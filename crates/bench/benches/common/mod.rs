@@ -1,0 +1,37 @@
+//! Shared Criterion scaffolding for the per-figure benches.
+
+use criterion::Criterion;
+use decorr_bench::Figure;
+use decorr_core::apply_strategy;
+use decorr_exec::execute_with;
+use decorr_sql::parse_and_bind;
+
+/// Scale used by the Criterion benches; override with `DECORR_SCALE`.
+pub fn bench_scale() -> f64 {
+    std::env::var("DECORR_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1)
+}
+
+/// Register one Criterion group for a figure: one benchmark per strategy,
+/// measuring *execution* of the pre-rewritten plan (rewrite time is
+/// measured separately in `benches/rewrite.rs`).
+pub fn bench_figure(c: &mut Criterion, fig: Figure) {
+    let scale = bench_scale();
+    let db = fig.database(scale, 42).expect("generate database");
+    let mut group = c.benchmark_group(fig.id());
+    group.sample_size(10);
+    for strategy in fig.strategies() {
+        let qgm = parse_and_bind(fig.sql(), &db).expect("bind");
+        let plan = apply_strategy(&qgm, strategy).expect("rewrite");
+        let opts = fig.exec_opts(strategy);
+        group.bench_function(strategy.name(), |b| {
+            b.iter(|| {
+                let (rows, _) = execute_with(&db, &plan, opts).expect("execute");
+                criterion::black_box(rows.len())
+            })
+        });
+    }
+    group.finish();
+}

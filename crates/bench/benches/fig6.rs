@@ -1,0 +1,13 @@
+//! Criterion bench regenerating Figure 6 of the paper.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use decorr_bench::Figure;
+
+fn bench(c: &mut Criterion) {
+    common::bench_figure(c, Figure::Fig6);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

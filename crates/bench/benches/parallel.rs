@@ -1,0 +1,52 @@
+//! Section 6: broadcast nested iteration vs the partitioned decorrelated
+//! plan across cluster sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use decorr_core::magic::MagicOptions;
+use decorr_parallel::{run_decorrelated, run_nested_iteration, Cluster};
+use decorr_sql::parse_and_bind;
+use decorr_tpcd::empdept::{generate, EmpDeptConfig};
+use decorr_tpcd::queries;
+
+fn bench(c: &mut Criterion) {
+    let db = generate(&EmpDeptConfig {
+        departments: 200,
+        employees: 2_000,
+        buildings: 20,
+        seed: 42,
+        with_indexes: true,
+    })
+    .expect("generate");
+    let qgm = parse_and_bind(queries::EMPDEPT, &db).expect("bind");
+
+    let mut group = c.benchmark_group("parallel");
+    group.sample_size(10);
+    for n in [2usize, 4, 8] {
+        let cluster = Cluster::partition_by_key(&db, n).expect("partition");
+        group.bench_function(format!("ni_broadcast_{n}_nodes"), |b| {
+            b.iter(|| {
+                let (rows, _) = run_nested_iteration(&cluster, &qgm).expect("run");
+                criterion::black_box(rows.len())
+            })
+        });
+        group.bench_function(format!("magic_partitioned_{n}_nodes"), |b| {
+            b.iter(|| {
+                // Repartitioning is part of the decorrelated strategy's
+                // cost, so it stays inside the timed section.
+                let mut cl = Cluster::partition_by_key(&db, n).expect("partition");
+                let (rows, _) = run_decorrelated(
+                    &mut cl,
+                    &qgm,
+                    &[("dept", "building"), ("emp", "building")],
+                    &MagicOptions::default(),
+                )
+                .expect("run");
+                criterion::black_box(rows.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

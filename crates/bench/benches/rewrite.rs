@@ -1,0 +1,36 @@
+//! Ablation: the cost of the rewrite itself (parse + bind + magic
+//! decorrelation) for each benchmark query. The paper notes rewriting is
+//! a compile-time heuristic; this shows it is microseconds, dwarfed by
+//! execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use decorr_core::magic::{magic_decorrelate, MagicOptions};
+use decorr_sql::parse_and_bind;
+use decorr_tpcd::{generate, queries, TpcdConfig};
+
+fn bench(c: &mut Criterion) {
+    let db = generate(&TpcdConfig { scale: 0.002, seed: 42, with_indexes: false })
+        .expect("generate");
+    let mut group = c.benchmark_group("rewrite");
+    for (name, sql) in [
+        ("q1", queries::Q1A),
+        ("q2", queries::Q2),
+        ("q3", queries::Q3),
+    ] {
+        group.bench_function(format!("parse_bind_{name}"), |b| {
+            b.iter(|| criterion::black_box(parse_and_bind(sql, &db).expect("bind")))
+        });
+        let qgm = parse_and_bind(sql, &db).expect("bind");
+        group.bench_function(format!("magic_decorrelate_{name}"), |b| {
+            b.iter(|| {
+                let mut g = qgm.clone();
+                let rep = magic_decorrelate(&mut g, &MagicOptions::default()).expect("rewrite");
+                criterion::black_box(rep.feeds)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

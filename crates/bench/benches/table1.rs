@@ -1,0 +1,26 @@
+//! Table 1: generation throughput of the TPC-D database (the paper's
+//! table reports cardinalities; this bench regenerates the database and
+//! asserts them, timing the generator).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use decorr_tpcd::{cardinalities, generate, TpcdConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for &scale in &[0.01, 0.05] {
+        group.bench_function(format!("generate_scale_{scale}"), |b| {
+            b.iter(|| {
+                let db = generate(&TpcdConfig { scale, seed: 42, with_indexes: true })
+                    .expect("generate");
+                let card = cardinalities(scale);
+                assert_eq!(db.table("lineitem").unwrap().len(), card.lineitem);
+                criterion::black_box(db.table("customers").unwrap().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

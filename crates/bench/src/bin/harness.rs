@@ -1,0 +1,260 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper as text, recording both wall time and machine-independent work
+//! counters.
+//!
+//! ```text
+//! harness [table1|fig5|fig6|fig7|fig8|fig9|parallel|countbug|ablation|all]
+//!         [--scale S] [--seed N] [--nodes N1,N2,...]
+//! ```
+
+use std::time::Instant;
+
+use decorr_bench::{format_table, run_figure, Figure};
+use decorr_common::Result;
+use decorr_core::magic::MagicOptions;
+use decorr_parallel::{run_decorrelated, run_nested_iteration, Cluster};
+use decorr_sql::parse_and_bind;
+use decorr_tpcd::empdept::{self, EmpDeptConfig};
+use decorr_tpcd::{cardinalities, queries};
+
+struct Args {
+    what: Vec<String>,
+    scale: f64,
+    seed: u64,
+    nodes: Vec<usize>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { what: Vec::new(), scale: 0.1, seed: 42, nodes: vec![1, 2, 4, 8] };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => args.scale = it.next().expect("--scale S").parse().expect("number"),
+            "--seed" => args.seed = it.next().expect("--seed N").parse().expect("number"),
+            "--nodes" => {
+                args.nodes = it
+                    .next()
+                    .expect("--nodes N1,N2")
+                    .split(',')
+                    .map(|s| s.parse().expect("number"))
+                    .collect()
+            }
+            other => args.what.push(other.to_string()),
+        }
+    }
+    if args.what.is_empty() {
+        args.what.push("all".to_string());
+    }
+    args
+}
+
+const EXPERIMENTS: [&str; 10] = [
+    "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "countbug", "ablation", "parallel",
+    "all",
+];
+
+fn main() -> Result<()> {
+    let args = parse_args();
+    if args.scale <= 0.0 {
+        eprintln!("--scale must be positive (got {})", args.scale);
+        std::process::exit(2);
+    }
+    for w in &args.what {
+        if !EXPERIMENTS.contains(&w.as_str()) {
+            eprintln!("unknown experiment '{w}'; expected one of {EXPERIMENTS:?}");
+            std::process::exit(2);
+        }
+    }
+    let all = args.what.iter().any(|w| w == "all");
+    let wants = |w: &str| all || args.what.iter().any(|x| x == w);
+
+    if wants("table1") {
+        table1(args.scale);
+    }
+    for fig in Figure::all() {
+        if wants(fig.id()) {
+            figure(fig, args.scale, args.seed)?;
+        }
+    }
+    if wants("countbug") {
+        countbug()?;
+    }
+    if wants("ablation") {
+        ablation(args.scale)?;
+    }
+    if wants("parallel") {
+        parallel(&args.nodes, args.seed)?;
+    }
+    Ok(())
+}
+
+fn table1(scale: f64) {
+    let full = cardinalities(1.0);
+    let scaled = cardinalities(scale);
+    println!("Table 1 - TPC-D database (paper cardinalities at scale 1.0)");
+    println!(
+        "{:<10} {:>10} {:>14}",
+        "table", "paper", format!("scale {scale}")
+    );
+    for (name, paper, ours) in [
+        ("customers", full.customers, scaled.customers),
+        ("parts", full.parts, scaled.parts),
+        ("suppliers", full.suppliers, scaled.suppliers),
+        ("partsupp", full.partsupp, scaled.partsupp),
+        ("lineitem", full.lineitem, scaled.lineitem),
+    ] {
+        println!("{name:<10} {paper:>10} {ours:>14}");
+    }
+    println!();
+}
+
+fn figure(fig: Figure, scale: f64, seed: u64) -> Result<()> {
+    let db = fig.database(scale, seed)?;
+    let ms = run_figure(fig, &db)?;
+    println!("{}", format_table(fig, scale, &ms));
+    Ok(())
+}
+
+/// The COUNT bug demonstration (Section 2): Kim's rewrite silently loses
+/// the department in the employee-less building.
+fn countbug() -> Result<()> {
+    use decorr_core::Strategy;
+    use decorr_exec::execute;
+
+    let db = empdept::generate(&EmpDeptConfig {
+        departments: 50,
+        employees: 400,
+        buildings: 8,
+        seed: 7,
+        with_indexes: true,
+    })?;
+    let qgm = parse_and_bind(queries::EMPDEPT, &db)?;
+    println!("COUNT bug (Section 2) - EMP/DEPT example");
+    for s in [Strategy::NestedIteration, Strategy::Kim, Strategy::Dayal, Strategy::Magic] {
+        let rewritten = decorr_core::apply_strategy(&qgm, s)?;
+        let (rows, _) = execute(&db, &rewritten)?;
+        println!("{:<8} {:>4} result rows", s.name(), rows.len());
+    }
+    println!("(Kim's method returns fewer rows: departments in employee-less buildings are lost)");
+    println!();
+    Ok(())
+}
+
+/// Ablation over the Section 4.4 knobs: supplementary scope, CSE
+/// handling, and quantified-subquery decorrelation.
+fn ablation(scale: f64) -> Result<()> {
+    use decorr_core::magic::{magic_decorrelate, MagicOptions, SuppScope};
+    use decorr_exec::{execute_with, ExecOptions};
+    use decorr_tpcd::{generate, TpcdConfig};
+
+    let db = generate(&TpcdConfig { scale, seed: 42, with_indexes: true })?;
+    println!("Ablation - magic decorrelation knobs (scale {scale})");
+    println!(
+        "{:<28} {:>10} {:>14} {:>12}",
+        "variant", "time(ms)", "total work", "scanned"
+    );
+
+    let mut run = |label: &str, plan: &decorr_qgm::Qgm, opts: ExecOptions| -> Result<()> {
+        let started = Instant::now();
+        let (rows, stats) = execute_with(&db, plan, opts)?;
+        println!(
+            "{:<28} {:>10.3} {:>14} {:>12}",
+            label,
+            started.elapsed().as_secs_f64() * 1e3,
+            stats.total_work(),
+            stats.rows_scanned
+        );
+        let _ = rows;
+        Ok(())
+    };
+
+    // Supplementary scope on Query 1.
+    for (label, scope) in [
+        ("q1 supp=all-foreach", SuppScope::AllForeach),
+        ("q1 supp=minimal-binding", SuppScope::MinimalBinding),
+    ] {
+        let qgm = parse_and_bind(queries::Q1A, &db)?;
+        let mut plan = qgm.clone();
+        magic_decorrelate(&mut plan, &MagicOptions { supp_scope: scope, ..Default::default() })?;
+        run(label, &plan, ExecOptions::default())?;
+    }
+    // CSE recompute vs materialize on Query 1.
+    {
+        let qgm = parse_and_bind(queries::Q1A, &db)?;
+        let mut plan = qgm.clone();
+        magic_decorrelate(&mut plan, &MagicOptions::default())?;
+        run("q1 cse=recompute", &plan, ExecOptions::default())?;
+        run(
+            "q1 cse=materialize",
+            &plan,
+            ExecOptions { memoize_cse: true, ..Default::default() },
+        )?;
+    }
+    // EXISTS decorrelation.
+    {
+        let sql = "SELECT s.s_name FROM suppliers s WHERE s.s_region = 'EUROPE' \
+                   AND EXISTS (SELECT c.c_custkey FROM customers c \
+                               WHERE c.c_nation = s.s_nation)";
+        let qgm = parse_and_bind(sql, &db)?;
+        run("exists ni", &qgm, ExecOptions::default())?;
+        let mut plan = qgm.clone();
+        magic_decorrelate(
+            &mut plan,
+            &MagicOptions { decorrelate_quantified: true, ..Default::default() },
+        )?;
+        run(
+            "exists decorrelated+memo",
+            &plan,
+            ExecOptions { memoize_cse: true, ..Default::default() },
+        )?;
+    }
+    println!();
+    Ok(())
+}
+
+/// Section 6: broadcast nested iteration vs the partitioned decorrelated
+/// plan over growing clusters.
+fn parallel(nodes: &[usize], seed: u64) -> Result<()> {
+    let db = empdept::generate(&EmpDeptConfig {
+        departments: 400,
+        employees: 4000,
+        buildings: 25,
+        seed,
+        with_indexes: true,
+    })?;
+    let qgm = parse_and_bind(queries::EMPDEPT, &db)?;
+    println!("Section 6 - shared-nothing parallel execution (EMP/DEPT, 400 depts x 4000 emps)");
+    println!(
+        "{:<6} {:<14} {:>10} {:>12} {:>10} {:>12} {:>12} {:>8}",
+        "nodes", "strategy", "frags", "messages", "shipped", "total work", "time(ms)", "rows"
+    );
+    for &n in nodes {
+        let cluster = Cluster::partition_by_key(&db, n)?;
+        let started = Instant::now();
+        let (rows, s) = run_nested_iteration(&cluster, &qgm)?;
+        let t = started.elapsed();
+        println!(
+            "{:<6} {:<14} {:>10} {:>12} {:>10} {:>12} {:>12.3} {:>8}",
+            n, "NI-broadcast", s.fragments, s.messages, s.rows_shipped,
+            s.total_work(), t.as_secs_f64() * 1e3, rows.len()
+        );
+
+        let mut cluster2 = Cluster::partition_by_key(&db, n)?;
+        let started = Instant::now();
+        let (rows2, s2) = run_decorrelated(
+            &mut cluster2,
+            &qgm,
+            &[("dept", "building"), ("emp", "building")],
+            &MagicOptions::default(),
+        )?;
+        let t2 = started.elapsed();
+        assert_eq!(rows.len(), rows2.len());
+        println!(
+            "{:<6} {:<14} {:>10} {:>12} {:>10} {:>12} {:>12.3} {:>8}",
+            n, "Magic", s2.fragments, s2.messages, s2.rows_shipped,
+            s2.total_work(), t2.as_secs_f64() * 1e3, rows2.len()
+        );
+    }
+    println!();
+    Ok(())
+}

@@ -1,0 +1,211 @@
+//! Shared benchmark plumbing: one [`Figure`] per figure/table of the
+//! paper, used both by the Criterion benches (`benches/fig*.rs`) and by
+//! the `harness` binary that prints the paper-style result tables for
+//! EXPERIMENTS.md.
+
+use std::time::{Duration, Instant};
+
+use decorr_common::{Error, ExecStats, Result, Row};
+use decorr_core::{apply_strategy, Strategy};
+use decorr_exec::{execute_with, ExecOptions, ScalarPlacement};
+use decorr_sql::parse_and_bind;
+use decorr_storage::Database;
+use decorr_tpcd::{generate, queries, TpcdConfig};
+
+/// The figures of the paper's Section 5 (plus the Section 6 analysis,
+/// which has no numbered figure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Figure {
+    /// Query 1(a): all indexes present.
+    Fig5,
+    /// Query 1(b): wider predicates, duplicate bindings.
+    Fig6,
+    /// Query 1(c): partsupp index dropped.
+    Fig7,
+    /// Query 2: key correlation, cheap indexed subquery.
+    Fig8,
+    /// Query 3: non-linear (UNION) query.
+    Fig9,
+}
+
+impl Figure {
+    pub fn all() -> [Figure; 5] {
+        [Figure::Fig5, Figure::Fig6, Figure::Fig7, Figure::Fig8, Figure::Fig9]
+    }
+
+    pub fn id(self) -> &'static str {
+        match self {
+            Figure::Fig5 => "fig5",
+            Figure::Fig6 => "fig6",
+            Figure::Fig7 => "fig7",
+            Figure::Fig8 => "fig8",
+            Figure::Fig9 => "fig9",
+        }
+    }
+
+    pub fn title(self) -> &'static str {
+        match self {
+            Figure::Fig5 => "Figure 5 - Query 1(a), all indexes",
+            Figure::Fig6 => "Figure 6 - Query 1(b), wider predicates (duplicate bindings)",
+            Figure::Fig7 => "Figure 7 - Query 1(c), partsupp index dropped",
+            Figure::Fig8 => "Figure 8 - Query 2, key correlation",
+            Figure::Fig9 => "Figure 9 - Query 3, non-linear (UNION) query",
+        }
+    }
+
+    pub fn sql(self) -> &'static str {
+        match self {
+            Figure::Fig5 => queries::Q1A,
+            Figure::Fig6 => queries::Q1B,
+            Figure::Fig7 => queries::Q1C,
+            Figure::Fig8 => queries::Q2,
+            Figure::Fig9 => queries::Q3,
+        }
+    }
+
+    /// The strategies each figure compares, in the paper's order. Kim and
+    /// Dayal are absent from Figure 9 (inapplicable); OptMag appears only
+    /// in Figure 8, as in the paper.
+    pub fn strategies(self) -> Vec<Strategy> {
+        match self {
+            Figure::Fig5 | Figure::Fig6 | Figure::Fig7 => vec![
+                Strategy::NestedIteration,
+                Strategy::Kim,
+                Strategy::Dayal,
+                Strategy::Magic,
+            ],
+            Figure::Fig8 => vec![
+                Strategy::NestedIteration,
+                Strategy::Kim,
+                Strategy::Dayal,
+                Strategy::Magic,
+                Strategy::OptMag,
+            ],
+            Figure::Fig9 => vec![Strategy::NestedIteration, Strategy::Magic],
+        }
+    }
+
+    /// Per-strategy execution options. Figure 8's NI plan places the
+    /// subquery before the join (the paper: "the plan optimizer places the
+    /// subquery *before* the join between Parts and Lineitem").
+    pub fn exec_opts(self, s: Strategy) -> ExecOptions {
+        match (self, s) {
+            (Figure::Fig8, Strategy::NestedIteration) => ExecOptions {
+                scalar_placement: ScalarPlacement::EarliestBinding,
+                ..Default::default()
+            },
+            _ => ExecOptions::default(),
+        }
+    }
+
+    /// Build the database this figure runs against.
+    pub fn database(self, scale: f64, seed: u64) -> Result<Database> {
+        let mut db = generate(&TpcdConfig { scale, seed, with_indexes: true })?;
+        if self == Figure::Fig7 {
+            queries::drop_fig7_index(&mut db)?;
+        }
+        Ok(db)
+    }
+}
+
+/// One measured run of one strategy.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    pub strategy: Strategy,
+    pub elapsed: Duration,
+    pub stats: ExecStats,
+    pub rows: usize,
+}
+
+/// Rewrite (outside the timed section) and execute (timed).
+pub fn run_strategy(
+    db: &Database,
+    sql: &str,
+    strategy: Strategy,
+    opts: ExecOptions,
+) -> Result<(Vec<Row>, Measurement)> {
+    let qgm = parse_and_bind(sql, db)?;
+    let rewritten = apply_strategy(&qgm, strategy)?;
+    let started = Instant::now();
+    let (rows, stats) = execute_with(db, &rewritten, opts)?;
+    let elapsed = started.elapsed();
+    let n = rows.len();
+    Ok((rows, Measurement { strategy, elapsed, stats, rows: n }))
+}
+
+/// Run a whole figure: every strategy, with result-equivalence checking
+/// against nested iteration (Kim's method is allowed to lose COUNT-bug
+/// rows, though the paper's three queries have none).
+pub fn run_figure(fig: Figure, db: &Database) -> Result<Vec<Measurement>> {
+    let mut out = Vec::new();
+    let mut reference: Option<Vec<Row>> = None;
+    for s in fig.strategies() {
+        let (mut rows, m) = run_strategy(db, fig.sql(), s, fig.exec_opts(s))?;
+        rows.sort();
+        match &reference {
+            None => reference = Some(rows),
+            Some(r) => {
+                if &rows != r {
+                    return Err(Error::internal(format!(
+                        "strategy {} disagrees with NI on {}",
+                        s.name(),
+                        fig.id()
+                    )));
+                }
+            }
+        }
+        out.push(m);
+    }
+    Ok(out)
+}
+
+/// Render measurements as the harness's text table.
+pub fn format_table(fig: Figure, scale: f64, ms: &[Measurement]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    writeln!(s, "{} (scale {scale})", fig.title()).unwrap();
+    writeln!(
+        s,
+        "{:<8} {:>10} {:>14} {:>12} {:>12} {:>12} {:>8}",
+        "strategy", "time(ms)", "total work", "subq invoc", "scanned", "idx rows", "rows"
+    )
+    .unwrap();
+    for m in ms {
+        writeln!(
+            s,
+            "{:<8} {:>10.3} {:>14} {:>12} {:>12} {:>12} {:>8}",
+            m.strategy.name(),
+            m.elapsed.as_secs_f64() * 1e3,
+            m.stats.total_work(),
+            m.stats.subquery_invocations,
+            m.stats.rows_scanned,
+            m.stats.index_rows,
+            m.rows
+        )
+        .unwrap();
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_figure_runs_and_strategies_agree() {
+        for fig in Figure::all() {
+            let db = fig.database(0.02, 42).unwrap();
+            let ms = run_figure(fig, &db).unwrap();
+            assert_eq!(ms.len(), fig.strategies().len(), "{}", fig.id());
+            let table = format_table(fig, 0.02, &ms);
+            assert!(table.contains("Mag"), "{table}");
+        }
+    }
+
+    #[test]
+    fn figure_metadata() {
+        assert_eq!(Figure::Fig8.strategies().len(), 5);
+        assert!(Figure::Fig9.strategies().len() == 2);
+        assert!(Figure::Fig7.title().contains("index dropped"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Result alias used across the workspace.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// The error type for every fallible operation in the engine.
+///
+/// Variants correspond to the phase that failed, which keeps error messages
+/// actionable ("parse error at line 3" vs "unknown column") without pulling
+/// in an external error-derive dependency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Lexing / parsing failure (position-annotated message).
+    Parse(String),
+    /// Name resolution / semantic analysis failure.
+    Binding(String),
+    /// Schema mismatch (arity, typing).
+    Schema(String),
+    /// Runtime type error during expression evaluation.
+    Type(String),
+    /// Runtime evaluation error (division by zero, overflow, ...).
+    Eval(String),
+    /// Catalog errors (unknown/duplicate table or index).
+    Catalog(String),
+    /// A rewrite rule was asked to do something it does not support
+    /// (e.g. Kim's method on a non-linear query).
+    Rewrite(String),
+    /// Internal invariant violation — indicates a bug in this library.
+    Internal(String),
+}
+
+impl Error {
+    pub fn parse(msg: impl Into<String>) -> Self {
+        Error::Parse(msg.into())
+    }
+    pub fn binding(msg: impl Into<String>) -> Self {
+        Error::Binding(msg.into())
+    }
+    pub fn schema(msg: impl Into<String>) -> Self {
+        Error::Schema(msg.into())
+    }
+    pub fn type_error(msg: impl Into<String>) -> Self {
+        Error::Type(msg.into())
+    }
+    pub fn eval(msg: impl Into<String>) -> Self {
+        Error::Eval(msg.into())
+    }
+    pub fn catalog(msg: impl Into<String>) -> Self {
+        Error::Catalog(msg.into())
+    }
+    pub fn rewrite(msg: impl Into<String>) -> Self {
+        Error::Rewrite(msg.into())
+    }
+    pub fn internal(msg: impl Into<String>) -> Self {
+        Error::Internal(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Binding(m) => write!(f, "binding error: {m}"),
+            Error::Schema(m) => write!(f, "schema error: {m}"),
+            Error::Type(m) => write!(f, "type error: {m}"),
+            Error::Eval(m) => write!(f, "evaluation error: {m}"),
+            Error::Catalog(m) => write!(f, "catalog error: {m}"),
+            Error::Rewrite(m) => write!(f, "rewrite error: {m}"),
+            Error::Internal(m) => write!(f, "internal error (bug): {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_phase() {
+        assert!(Error::parse("x").to_string().starts_with("parse error"));
+        assert!(Error::internal("y").to_string().contains("bug"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::eval("z"));
+    }
+}

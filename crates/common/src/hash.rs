@@ -1,0 +1,131 @@
+//! Fast non-cryptographic hashing for hot hash tables.
+//!
+//! The engine's inner loops are dominated by hash-join builds/probes and
+//! hash aggregation on integer and short-string keys. The standard library's
+//! SipHash is collision-resistant but slow for this use; the offline crate
+//! set does not include `rustc-hash`, so we carry a small implementation of
+//! the same "Fx" multiply-and-rotate hash used by the Rust compiler.
+//! HashDoS is not a concern: all inputs are generated workloads.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx hash function: for each word, `state = (state.rotl(5) ^ word) * SEED`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let word = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+            self.add_to_hash(word);
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            let word = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+            self.add_to_hash(word as u64);
+            bytes = &bytes[4..];
+        }
+        if bytes.len() >= 2 {
+            let word = u16::from_le_bytes(bytes[..2].try_into().unwrap());
+            self.add_to_hash(word as u64);
+            bytes = &bytes[2..];
+        }
+        if let Some(&b) = bytes.first() {
+            self.add_to_hash(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"hello"), hash_of(&"hello"));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&"a"), hash_of(&"b"));
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<i64, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+
+        let mut s: FxHashSet<&str> = FxHashSet::default();
+        assert!(s.insert("x"));
+        assert!(!s.insert("x"));
+    }
+
+    #[test]
+    fn byte_tail_lengths() {
+        // Exercise the 8/4/2/1-byte tails of `write`.
+        for len in 0..=17usize {
+            let data: Vec<u8> = (0..len as u8).collect();
+            let mut h = FxHasher::default();
+            h.write(&data);
+            let first = h.finish();
+            let mut h2 = FxHasher::default();
+            h2.write(&data);
+            assert_eq!(first, h2.finish());
+        }
+    }
+}

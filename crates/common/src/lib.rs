@@ -1,0 +1,30 @@
+//! Common foundation types for the magic-decorrelation workspace.
+//!
+//! This crate holds everything that more than one layer of the system needs:
+//!
+//! * [`Value`] — the dynamically typed SQL value with NULL and three-valued
+//!   comparison semantics (see [`value`]),
+//! * [`Row`] — a tuple of values (see [`row`](mod@row)),
+//! * [`Schema`] / [`DataType`] — relation schemas (see [`schema`]),
+//! * [`Error`] — the workspace-wide error type (see [`error`]),
+//! * [`FxHashMap`] / [`FxHashSet`] — fast non-cryptographic hash containers
+//!   used on all hot paths (see [`hash`]),
+//! * [`ExecStats`] — deterministic work counters that every executor
+//!   operation reports into (see [`stats`]).
+//!
+//! Nothing in this crate knows about query plans or storage; it is the
+//! bottom of the dependency graph.
+
+pub mod error;
+pub mod hash;
+pub mod row;
+pub mod schema;
+pub mod stats;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use row::Row;
+pub use schema::{ColumnDef, DataType, Schema};
+pub use stats::ExecStats;
+pub use value::Value;

@@ -1,0 +1,124 @@
+//! Tuples of values.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::value::Value;
+
+/// A tuple (row) of SQL values.
+///
+/// `Row` is a thin newtype over `Vec<Value>` so we can attach helpers and
+/// keep call sites readable. Joins concatenate rows; projections pick
+/// columns by index.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Row(pub Vec<Value>);
+
+impl Row {
+    /// Create a row from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row(values)
+    }
+
+    /// An empty row (used as the seed of cross-product accumulation).
+    pub fn empty() -> Self {
+        Row(Vec::new())
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Borrow the underlying values.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Concatenate two rows (join composition).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Row(v)
+    }
+
+    /// Append the values of `other` in place.
+    pub fn extend(&mut self, other: &Row) {
+        self.0.extend_from_slice(&other.0);
+    }
+
+    /// Project the given column indices into a new row.
+    pub fn project(&self, indices: &[usize]) -> Row {
+        Row(indices.iter().map(|&i| self.0[i].clone()).collect())
+    }
+
+    /// A row of `n` NULLs (the null-extended side of an outer join).
+    pub fn nulls(n: usize) -> Row {
+        Row(vec![Value::Null; n])
+    }
+}
+
+impl Index<usize> for Row {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+}
+
+impl IndexMut<usize> for Row {
+    fn index_mut(&mut self, i: usize) -> &mut Value {
+        &mut self.0[i]
+    }
+}
+
+impl FromIterator<Value> for Row {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Row(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Build a [`Row`] succinctly: `row![1, "a", Value::Null]`.
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        $crate::Row::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_and_project() {
+        let a = row![1, "x"];
+        let b = row![2.5];
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c.project(&[2, 0]), row![2.5, 1]);
+    }
+
+    #[test]
+    fn nulls_row() {
+        let r = Row::nulls(3);
+        assert!(r.values().iter().all(Value::is_null));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(row![1, "a"].to_string(), "(1, 'a')");
+    }
+}

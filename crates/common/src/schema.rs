@@ -1,0 +1,185 @@
+//! Relation schemas.
+
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::value::Value;
+
+/// The static type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    Bool,
+    Int,
+    Double,
+    Str,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "BOOL",
+            DataType::Int => "INT",
+            DataType::Double => "DOUBLE",
+            DataType::Str => "STRING",
+        };
+        f.write_str(s)
+    }
+}
+
+impl DataType {
+    /// Does a runtime value inhabit this type? NULL inhabits every type.
+    pub fn admits(&self, v: &Value) -> bool {
+        match (self, v) {
+            (_, Value::Null) => true,
+            (DataType::Bool, Value::Bool(_)) => true,
+            (DataType::Int, Value::Int(_)) => true,
+            // Ints are acceptable wherever doubles are (numeric widening).
+            (DataType::Double, Value::Double(_) | Value::Int(_)) => true,
+            (DataType::Str, Value::Str(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub ty: DataType,
+}
+
+impl ColumnDef {
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        ColumnDef { name: name.into(), ty }
+    }
+}
+
+/// The schema of a relation: an ordered list of named, typed columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    pub fn new(columns: Vec<ColumnDef>) -> Self {
+        Schema { columns }
+    }
+
+    /// Build a schema from `(name, type)` pairs.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
+        Schema {
+            columns: pairs
+                .iter()
+                .map(|(n, t)| ColumnDef::new(*n, *t))
+                .collect(),
+        }
+    }
+
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of the column with the given (case-insensitive) name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Like [`Schema::index_of`] but an error mentioning the name.
+    pub fn resolve(&self, name: &str) -> Result<usize> {
+        self.index_of(name)
+            .ok_or_else(|| Error::binding(format!("unknown column '{name}'")))
+    }
+
+    pub fn column(&self, i: usize) -> &ColumnDef {
+        &self.columns[i]
+    }
+
+    /// Concatenate two schemas (the schema of a join result).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema { columns }
+    }
+
+    /// Check that a row inhabits this schema (arity and column types).
+    pub fn check_row(&self, values: &[Value]) -> Result<()> {
+        if values.len() != self.arity() {
+            return Err(Error::schema(format!(
+                "row arity {} does not match schema arity {}",
+                values.len(),
+                self.arity()
+            )));
+        }
+        for (v, c) in values.iter().zip(&self.columns) {
+            if !c.ty.admits(v) {
+                return Err(Error::schema(format!(
+                    "value {v} is not of type {} (column '{}')",
+                    c.ty, c.name
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    fn emp() -> Schema {
+        Schema::from_pairs(&[("name", DataType::Str), ("building", DataType::Int)])
+    }
+
+    #[test]
+    fn name_resolution_is_case_insensitive() {
+        let s = emp();
+        assert_eq!(s.index_of("BUILDING"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert!(s.resolve("nope").is_err());
+    }
+
+    #[test]
+    fn row_checking() {
+        let s = emp();
+        assert!(s.check_row(row!["bob", 3].values()).is_ok());
+        assert!(s.check_row(row![Value::Null, Value::Null].values()).is_ok());
+        assert!(s.check_row(row![3, "bob"].values()).is_err());
+        assert!(s.check_row(row!["bob"].values()).is_err());
+    }
+
+    #[test]
+    fn numeric_widening_admitted() {
+        let s = Schema::from_pairs(&[("x", DataType::Double)]);
+        assert!(s.check_row(row![1].values()).is_ok());
+        assert!(s.check_row(row![1.5].values()).is_ok());
+    }
+
+    #[test]
+    fn concat_schemas() {
+        let s = emp().concat(&Schema::from_pairs(&[("budget", DataType::Double)]));
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("budget"), Some(2));
+    }
+
+    use crate::value::Value;
+}

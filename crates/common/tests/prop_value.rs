@@ -1,0 +1,97 @@
+//! Property tests for the [`decorr_common::Value`] lattice: the total
+//! order must really be total, hashing must agree with equality (the
+//! hash-join soundness condition), and SQL semantics must hold.
+
+use std::cmp::Ordering;
+use std::hash::{Hash, Hasher};
+
+use decorr_common::{FxHasher, Value};
+use proptest::prelude::*;
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite doubles only: NaN is unreachable through SQL evaluation
+        // (arithmetic errors surface as Err, not NaN).
+        (-1.0e12f64..1.0e12).prop_map(Value::Double),
+        "[a-z]{0,8}".prop_map(Value::str),
+    ]
+}
+
+fn h(v: &Value) -> u64 {
+    let mut s = FxHasher::default();
+    v.hash(&mut s);
+    s.finish()
+}
+
+proptest! {
+    #[test]
+    fn total_order_is_total_and_antisymmetric(a in value(), b in value()) {
+        let ab = a.total_cmp(&b);
+        let ba = b.total_cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        if ab == Ordering::Equal {
+            prop_assert_eq!(&a, &b);
+        }
+    }
+
+    #[test]
+    fn total_order_is_transitive(a in value(), b in value(), c in value()) {
+        let mut v = [a, b, c];
+        v.sort();
+        prop_assert!(v[0] <= v[1] && v[1] <= v[2] && v[0] <= v[2]);
+    }
+
+    #[test]
+    fn hash_agrees_with_equality(a in value(), b in value()) {
+        if a == b {
+            prop_assert_eq!(h(&a), h(&b));
+        }
+    }
+
+    #[test]
+    fn int_double_coherence(i in -(1i64 << 52)..(1i64 << 52)) {
+        let int = Value::Int(i);
+        let dbl = Value::Double(i as f64);
+        prop_assert_eq!(&int, &dbl);
+        prop_assert_eq!(h(&int), h(&dbl));
+        prop_assert_eq!(int.sql_eq(&dbl), Some(true));
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown(v in value()) {
+        prop_assert_eq!(Value::Null.sql_cmp(&v), None);
+        prop_assert_eq!(v.sql_cmp(&Value::Null), None);
+    }
+
+    #[test]
+    fn arithmetic_propagates_null(v in value()) {
+        if !matches!(v, Value::Bool(_) | Value::Str(_)) {
+            prop_assert!(v.add(&Value::Null).unwrap().is_null());
+            prop_assert!(Value::Null.mul(&v).unwrap().is_null());
+        }
+    }
+
+    #[test]
+    fn int_addition_matches_i64(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+        prop_assert_eq!(Value::Int(a).add(&Value::Int(b)).unwrap(), Value::Int(a + b));
+        prop_assert_eq!(Value::Int(a).sub(&Value::Int(b)).unwrap(), Value::Int(a - b));
+    }
+
+    #[test]
+    fn sql_cmp_consistent_with_total_order_on_non_null(a in value(), b in value()) {
+        // For same-class non-null values, the SQL comparison and the total
+        // order agree.
+        let same_class = matches!(
+            (&a, &b),
+            (Value::Int(_) | Value::Double(_), Value::Int(_) | Value::Double(_))
+                | (Value::Str(_), Value::Str(_))
+                | (Value::Bool(_), Value::Bool(_))
+        );
+        if same_class {
+            prop_assert_eq!(a.sql_cmp(&b), Some(a.total_cmp(&b)));
+        }
+    }
+}

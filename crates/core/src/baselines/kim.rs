@@ -1,0 +1,79 @@
+//! Kim's method \[Kim82\] — implemented as published, COUNT bug included.
+//!
+//! "The subquery is converted into a table expression with a GROUPBY
+//! clause, and the correlation predicate is moved to the outer block."
+//!
+//! The three weaknesses the paper lists are faithfully reproduced:
+//!
+//! 1. it applies only when the correlation predicates are simple
+//!    equalities (everything else is a [`decorr_common::Error::Rewrite`]),
+//! 2. the subquery computation is no longer restricted by the correlation
+//!    (the aggregate is computed for *every* group — the unnecessary work
+//!    visible in Figure 5),
+//! 3. **the COUNT bug**: groups with no rows vanish from the table
+//!    expression, so outer rows whose subquery would return 0 are silently
+//!    dropped. `tests/count_bug.rs` demonstrates this divergence.
+
+use decorr_common::Result;
+use decorr_qgm::{BoxKind, Expr, Qgm, QuantKind};
+
+use super::match_agg_subquery;
+
+/// Rewrite the graph in place using Kim's method.
+pub fn rewrite(qgm: &mut Qgm) -> Result<()> {
+    let pat = match_agg_subquery(qgm)?;
+    let cur = pat.cur;
+
+    // Remove the correlation predicates from the inner block and expose
+    // their local sides as grouping columns.
+    let mut local_positions = Vec::new();
+    {
+        // Drop predicates by index, descending, after capturing the exprs.
+        let mut idxs: Vec<usize> = pat.corr.iter().map(|(i, _, _)| *i).collect();
+        idxs.sort_unstable();
+        idxs.dedup();
+        let inner = qgm.boxmut(pat.inner);
+        for &i in idxs.iter().rev() {
+            inner.preds.remove(i);
+        }
+    }
+    for (_, local, _) in &pat.corr {
+        let pos = qgm.add_output(pat.inner, "corr", local.clone());
+        local_positions.push(pos);
+    }
+
+    // Group the aggregate by the correlation columns.
+    let gq = qgm.boxref(pat.grouping).quants[0];
+    let mut group_positions = Vec::new();
+    for &pos in &local_positions {
+        let col = Expr::col(gq, pos);
+        if let BoxKind::Grouping { group_by } = &mut qgm.boxmut(pat.grouping).kind {
+            group_by.push(col.clone());
+        }
+        let gpos = qgm.add_output(pat.grouping, "corr", col);
+        group_positions.push(gpos);
+    }
+
+    // A projection shell must forward the new columns.
+    let mut out_positions = group_positions.clone();
+    if let Some(pass) = pat.pass {
+        let pq = qgm.boxref(pass).quants[0];
+        out_positions.clear();
+        for &gpos in &group_positions {
+            let p = qgm.add_output(pass, "corr", Expr::col(pq, gpos));
+            out_positions.push(p);
+        }
+    }
+
+    // The outer block joins the table expression on the correlation
+    // columns: the Scalar quantifier becomes Foreach and the correlation
+    // predicates reappear as equi-joins. (This is where the COUNT bug
+    // creeps in: missing groups no longer join.)
+    qgm.quant_mut(pat.q).kind = QuantKind::Foreach;
+    for ((_, _, (oq, oc)), &pos) in pat.corr.iter().zip(&out_positions) {
+        let p = Expr::eq(Expr::col(pat.q, pos), Expr::col(*oq, *oc));
+        qgm.boxmut(cur).preds.push(p);
+    }
+    qgm.gc();
+    Ok(())
+}

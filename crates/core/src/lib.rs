@@ -1,0 +1,104 @@
+//! Query decorrelation rewrites — the paper's primary contribution.
+//!
+//! This crate implements **magic decorrelation** ([`magic`]) — the
+//! top-down, box-at-a-time FEED/ABSORB rewrite of Sections 2.1 and 4 — and
+//! the three baseline algorithms the paper compares against:
+//!
+//! * [`baselines::kim`] — Kim's method \[Kim82\]: converts an aggregate
+//!   subquery into a GROUP BY table expression joined in the outer block.
+//!   Implemented as published, including the **COUNT bug** it suffers from.
+//! * [`baselines::dayal`] — Dayal's method \[Day87\]: merges the blocks
+//!   with a left outer-join and groups the result.
+//! * [`baselines::ganski`] — Ganski/Wong \[GW87\]: the special case of
+//!   magic decorrelation for a single-table outer block.
+//!
+//! Supporting rewrite rules ([`rules`]) — SPJ box merging and redundant-box
+//! elimination — are the "existing rewrite rules" the paper leans on to
+//! simplify the graphs magic decorrelation produces (merging the CI box
+//! into its parent, removing identity DCO boxes).
+//!
+//! Every rewrite leaves the graph consistent (checked by
+//! `decorr_qgm::validate` in this crate's tests after each rule
+//! application), preserving the incremental, interruptible character of
+//! Starburst query rewrite that the paper emphasizes.
+
+pub mod baselines;
+pub mod magic;
+pub mod rules;
+
+pub use magic::{magic_decorrelate, MagicOptions, MagicReport, SuppScope};
+
+use decorr_common::Result;
+use decorr_qgm::Qgm;
+
+/// The evaluation strategies compared in the paper's Section 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Execute the correlated graph directly (System R nested iteration).
+    NestedIteration,
+    /// Kim's method (may change results — the COUNT bug).
+    Kim,
+    /// Dayal's outer-join method.
+    Dayal,
+    /// Ganski/Wong's method.
+    GanskiWong,
+    /// Magic decorrelation ("Mag" in the figures).
+    Magic,
+    /// Magic decorrelation with the supplementary-table common
+    /// subexpression eliminated when the correlation attributes form a key
+    /// ("OptMag" in Figure 8).
+    OptMag,
+}
+
+impl Strategy {
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::NestedIteration => "NI",
+            Strategy::Kim => "Kim",
+            Strategy::Dayal => "Dayal",
+            Strategy::GanskiWong => "Ganski",
+            Strategy::Magic => "Mag",
+            Strategy::OptMag => "OptMag",
+        }
+    }
+
+    /// All strategies, in the order the paper's figures list them.
+    pub fn all() -> [Strategy; 6] {
+        [
+            Strategy::NestedIteration,
+            Strategy::Kim,
+            Strategy::Dayal,
+            Strategy::GanskiWong,
+            Strategy::Magic,
+            Strategy::OptMag,
+        ]
+    }
+}
+
+/// Rewrite a (cloned) graph according to the strategy, then run the
+/// decorrelation-unrelated Starburst rules ([`rules::optimize`]) — the
+/// paper: "All Starburst query transformations that were unrelated to
+/// decorrelation were applied to all queries; i.e. we compared the
+/// 'optimal' versions of each rewritten query." Errors with
+/// [`decorr_common::Error::Rewrite`] when the strategy does not apply
+/// (e.g. Kim/Dayal on the non-linear Query 3).
+pub fn apply_strategy(qgm: &Qgm, strategy: Strategy) -> Result<Qgm> {
+    let mut g = qgm.clone();
+    match strategy {
+        Strategy::NestedIteration => {}
+        Strategy::Kim => baselines::kim::rewrite(&mut g)?,
+        Strategy::Dayal => baselines::dayal::rewrite(&mut g)?,
+        Strategy::GanskiWong => baselines::ganski::rewrite(&mut g)?,
+        Strategy::Magic => {
+            magic::magic_decorrelate(&mut g, &MagicOptions::default())?;
+        }
+        Strategy::OptMag => {
+            magic::magic_decorrelate(
+                &mut g,
+                &MagicOptions { eliminate_supp_cse: true, ..Default::default() },
+            )?;
+        }
+    }
+    rules::optimize(&mut g);
+    Ok(g)
+}

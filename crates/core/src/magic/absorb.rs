@@ -1,0 +1,160 @@
+//! The ABSORB stage (paper Section 4.3).
+//!
+//! After FEED has decoupled a correlated child behind DCO/CI boxes, the
+//! child *absorbs* the correlation bindings from the magic table:
+//!
+//! * an **SPJ box** adds the magic table to its FROM clause, re-points its
+//!   subtree's correlated references at that quantifier, and appends the
+//!   binding columns to its output (Figure 4);
+//! * a **Grouping box** first lets its input absorb the bindings, then
+//!   groups by them (Figure 3);
+//! * a **Union box** lets every branch absorb and extends its own output;
+//! * a *pass-through* Select (single quantifier, no correlation of its own
+//!   — e.g. the `0.2 * AVG(...)` projection of Query 2) forwards the
+//!   binding columns produced below.
+//!
+//! [`absorb_box`] mutates; it must only be called when
+//! [`super::encapsulator::absorbability`] said the subtree can absorb.
+
+use decorr_common::{Error, Result};
+use decorr_qgm::{BoxId, BoxKind, Expr, Qgm, QuantId, QuantKind};
+
+use super::encapsulator::absorbability;
+
+/// Make the subtree rooted at `child` absorb the `corr_len` binding
+/// columns of `magic_box`. Correlated references inside the subtree
+/// currently point at `q4` (the DCO box's magic quantifier, columns
+/// `0..corr_len`). Returns the positions of the binding columns in the
+/// child's (extended) output.
+pub fn absorb_box(
+    qgm: &mut Qgm,
+    child: BoxId,
+    magic_box: BoxId,
+    q4: QuantId,
+    corr_len: usize,
+) -> Result<Vec<usize>> {
+    match qgm.boxref(child).kind.clone() {
+        BoxKind::Select => {
+            // Pass-through shell?
+            if is_pass_through(qgm, child, q4) {
+                let q_inner = qgm.boxref(child).quants[0];
+                let inner = qgm.quant(q_inner).input;
+                let inner_pos = absorb_box(qgm, inner, magic_box, q4, corr_len)?;
+                let old = qgm.boxref(child).outputs.len();
+                for (i, &p) in inner_pos.iter().enumerate() {
+                    let name = binding_name(qgm, magic_box, i);
+                    qgm.add_output(child, name, Expr::col(q_inner, p));
+                }
+                return Ok((old..old + corr_len).collect());
+            }
+
+            // Standard SPJ absorb: the magic table joins the FROM clause.
+            // Insert it *first* so later FEED stages within this box see it
+            // as computation "ahead of" any remaining subquery.
+            let q_mc = qgm.add_quant(child, QuantKind::Foreach, magic_box, "magic");
+            {
+                let b = qgm.boxmut(child);
+                let moved = b.quants.pop().expect("just added");
+                b.quants.insert(0, moved);
+            }
+            qgm.map_refs_in_subtree(child, |q, c| if q == q4 { (q_mc, c) } else { (q, c) });
+            let old = qgm.boxref(child).outputs.len();
+            for i in 0..corr_len {
+                let name = binding_name(qgm, magic_box, i);
+                qgm.add_output(child, name, Expr::col(q_mc, i));
+            }
+            Ok((old..old + corr_len).collect())
+        }
+
+        BoxKind::Grouping { .. } => {
+            let q_inner = qgm.boxref(child).quants[0];
+            let inner = qgm.quant(q_inner).input;
+            let inner_pos = absorb_box(qgm, inner, magic_box, q4, corr_len)?;
+
+            // The Grouping box's own expressions may reference the bindings
+            // (an aggregate argument like `AVG(x - outer.y)`): they are now
+            // available as the inner box's appended columns.
+            {
+                let b = qgm.boxmut(child);
+                b.for_each_expr_mut(|e| {
+                    e.map_cols(&mut |q, c| {
+                        if q == q4 {
+                            (q_inner, inner_pos[c])
+                        } else {
+                            (q, c)
+                        }
+                    });
+                });
+            }
+
+            // Group by the bindings and append them to the output
+            // (Figure 3[c]: "decorrelation is effected by adding the
+            // building attribute to the output, and grouping by that
+            // attribute").
+            let old = qgm.boxref(child).outputs.len();
+            for (i, &p) in inner_pos.iter().enumerate() {
+                let name = binding_name(qgm, magic_box, i);
+                let col = Expr::col(q_inner, p);
+                if let BoxKind::Grouping { group_by } = &mut qgm.boxmut(child).kind {
+                    group_by.push(col.clone());
+                }
+                qgm.add_output(child, name, col);
+            }
+            Ok((old..old + corr_len).collect())
+        }
+
+        BoxKind::Union { .. } => {
+            let quants = qgm.boxref(child).quants.clone();
+            let old = qgm.boxref(child).outputs.len();
+            let mut first_positions: Option<Vec<usize>> = None;
+            for &uq in &quants {
+                let branch = qgm.quant(uq).input;
+                let pos = absorb_box(qgm, branch, magic_box, q4, corr_len)?;
+                if let Some(fp) = &first_positions {
+                    if *fp != pos {
+                        return Err(Error::internal(
+                            "UNION branches absorbed bindings at different positions"
+                                .to_string(),
+                        ));
+                    }
+                } else {
+                    first_positions = Some(pos);
+                }
+            }
+            let pos = first_positions.expect("union has branches");
+            let q1 = quants[0];
+            for (i, &p) in pos.iter().enumerate() {
+                let name = binding_name(qgm, magic_box, i);
+                qgm.add_output(child, name, Expr::col(q1, p));
+            }
+            Ok((old..old + corr_len).collect())
+        }
+
+        BoxKind::OuterJoin | BoxKind::BaseTable { .. } => Err(Error::internal(
+            "absorb_box called on a non-absorbable box (encapsulator bug)".to_string(),
+        )),
+    }
+}
+
+/// Mirror of the encapsulator's pass-through test (kept in sync with
+/// [`absorbability`]).
+fn is_pass_through(qgm: &Qgm, b: BoxId, _q4: QuantId) -> bool {
+    let bx = qgm.boxref(b);
+    if bx.quants.len() != 1 || qgm.quant(bx.quants[0]).kind != QuantKind::Foreach {
+        return false;
+    }
+    let q = bx.quants[0];
+    let mut own_corr = false;
+    bx.for_each_expr(|e| {
+        e.for_each_col(&mut |rq, _| own_corr |= rq != q);
+    });
+    if own_corr {
+        return false;
+    }
+    absorbability(qgm, qgm.quant(q).input).can_absorb()
+}
+
+/// Output name of the `i`-th binding column of the magic box.
+fn binding_name(qgm: &Qgm, magic_box: BoxId, i: usize) -> String {
+    qgm.output_name(magic_box, i)
+}

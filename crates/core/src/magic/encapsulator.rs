@@ -1,0 +1,322 @@
+//! Box encapsulators: per-box-kind decorrelation capabilities.
+//!
+//! The Starburst implementation "allows for extensibility of SQL constructs
+//! by classifying each kind of box as either capable of accepting a magic
+//! table (AM) or incapable of it (NM); the behavior of each box with
+//! respect to the magic decorrelation algorithm is captured by a box
+//! encapsulator" (Section 4.4). [`absorbability`] is that classification,
+//! and [`UseAnalysis`] is the Section 4.1 usage analysis that decides when
+//! the Decorrelated Output box must become a left outer-join with COALESCE
+//! (the COUNT-bug repair).
+
+use decorr_qgm::{AggFunc, BoxId, BoxKind, Expr, Qgm, QuantId, QuantKind, UnOp};
+
+/// Result of asking "can this subtree absorb a magic table?".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Absorbability {
+    /// Cannot absorb (NM): the FEED stage still decouples the subquery via
+    /// DCO/CI boxes (a *partial* decorrelation — bindings are computed
+    /// set-oriented and deduplicated), but the child keeps its correlation
+    /// to the DCO box.
+    NotAbsorbable,
+    /// Can absorb; the decorrelated subquery may produce *several* rows per
+    /// binding (plain SPJ or UNION children).
+    Absorbable,
+    /// Can absorb and produces at most one row per distinct binding (an
+    /// aggregate subquery: the Grouping box ends up grouped exactly by the
+    /// correlation columns). Scalar quantifiers over such children can be
+    /// converted to joins.
+    AbsorbableUnique,
+}
+
+impl Absorbability {
+    pub fn can_absorb(self) -> bool {
+        !matches!(self, Absorbability::NotAbsorbable)
+    }
+    pub fn unique(self) -> bool {
+        matches!(self, Absorbability::AbsorbableUnique)
+    }
+}
+
+/// Classify the subtree rooted at `b` (a purely structural check — the
+/// mutating ABSORB stage mirrors this exactly).
+pub fn absorbability(qgm: &Qgm, b: BoxId) -> Absorbability {
+    match &qgm.boxref(b).kind {
+        BoxKind::Select => {
+            // Pass-through: a projection shell over a single Foreach
+            // quantifier whose own expressions carry no correlation can
+            // forward the magic columns from below (e.g. the
+            // `SELECT 0.2 * AVG(..)` box of Query 2 sitting on a Grouping
+            // box).
+            let bx = qgm.boxref(b);
+            if bx.quants.len() == 1 && qgm.quant(bx.quants[0]).kind == QuantKind::Foreach {
+                let q = bx.quants[0];
+                let mut own_corr = false;
+                bx.for_each_expr(|e| {
+                    e.for_each_col(&mut |rq, _| own_corr |= rq != q);
+                });
+                if !own_corr {
+                    let inner = absorbability(qgm, qgm.quant(q).input);
+                    if inner.can_absorb() {
+                        // Filtering/projection preserves at-most-one.
+                        return inner;
+                    }
+                }
+            }
+            // Standard SPJ absorb: add the magic table to the FROM clause.
+            Absorbability::Absorbable
+        }
+        BoxKind::Grouping { group_by } => {
+            let bx = qgm.boxref(b);
+            let inner = qgm.quant(bx.quants[0]).input;
+            if absorbability(qgm, inner).can_absorb() {
+                if group_by.is_empty() {
+                    // Scalar aggregate: grouping by exactly the correlation
+                    // columns makes the result unique per binding.
+                    Absorbability::AbsorbableUnique
+                } else {
+                    Absorbability::Absorbable
+                }
+            } else {
+                Absorbability::NotAbsorbable
+            }
+        }
+        BoxKind::Union { .. } => {
+            let bx = qgm.boxref(b);
+            let all = bx
+                .quants
+                .iter()
+                .all(|&q| absorbability(qgm, qgm.quant(q).input).can_absorb());
+            if all {
+                Absorbability::Absorbable
+            } else {
+                Absorbability::NotAbsorbable
+            }
+        }
+        BoxKind::OuterJoin | BoxKind::BaseTable { .. } => Absorbability::NotAbsorbable,
+    }
+}
+
+/// How the outer block uses the columns of a subquery quantifier
+/// (Section 4.1: "the necessary information about the usage of the box's
+/// outputs ... for example, if the output column X of an Aggregate box with
+/// a COUNT aggregate is used in a predicate `X = 0`, naive decorrelation
+/// will lead to the COUNT bug").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UseAnalysis {
+    /// Some referenced output of the child is a COUNT aggregate.
+    pub uses_count: bool,
+    /// Every use of the child's columns is *null-rejecting*: the value
+    /// appears only inside comparison/arithmetic conjuncts (no OR, NOT,
+    /// IS NULL, COALESCE, and never in the output list). If a missing
+    /// binding would make the subquery NULL, such predicates filter the row
+    /// exactly like a plain join dropping it — so no outer-join is needed.
+    pub all_uses_null_rejecting: bool,
+}
+
+impl UseAnalysis {
+    /// Does decorrelating this child require the LOJ + COALESCE repair?
+    ///
+    /// Only subqueries with at-most-one-row-per-binding semantics
+    /// (aggregates) can "go missing"; for them the repair is needed when a
+    /// COUNT is consumed (empty group must read as 0, the classic COUNT
+    /// bug) or when some use would observe the NULL (output position,
+    /// IS NULL, OR, ...).
+    pub fn needs_loj(&self, unique_per_binding: bool) -> bool {
+        unique_per_binding && (self.uses_count || !self.all_uses_null_rejecting)
+    }
+}
+
+/// Analyze how box `cur` uses quantifier `q` (whose input is `child`).
+pub fn analyze_uses(qgm: &Qgm, cur: BoxId, q: QuantId, child: BoxId) -> UseAnalysis {
+    let bx = qgm.boxref(cur);
+    let child_box = qgm.boxref(child);
+    let mut uses_count = false;
+    let mut all_null_rejecting = true;
+
+    let is_count_output = |col: usize| -> bool {
+        // Walk through pass-through Selects to the underlying aggregate.
+        fn resolve(qgm: &Qgm, b: BoxId, col: usize, depth: usize) -> bool {
+            if depth > 16 {
+                return false;
+            }
+            let bx = qgm.boxref(b);
+            match &bx.kind {
+                BoxKind::Grouping { .. } => {
+                    matches!(
+                        bx.outputs.get(col).map(|o| &o.expr),
+                        Some(Expr::Agg { func: AggFunc::Count, .. })
+                    )
+                }
+                BoxKind::Select => {
+                    // A projection of a single column forwards count-ness;
+                    // arithmetic over a count still "uses" the count.
+                    let Some(o) = bx.outputs.get(col) else { return false };
+                    let mut found = false;
+                    o.expr.for_each_col(&mut |rq, rc| {
+                        let input = qgm.quant(rq).input;
+                        found |= resolve(qgm, input, rc, depth + 1);
+                    });
+                    found
+                }
+                _ => false,
+            }
+        }
+        resolve(qgm, child, col, 0)
+    };
+    let _ = child_box;
+
+    // Output-list uses are never null-rejecting.
+    for o in &bx.outputs {
+        o.expr.for_each_col(&mut |rq, rc| {
+            if rq == q {
+                all_null_rejecting = false;
+                if is_count_output(rc) {
+                    uses_count = true;
+                }
+            }
+        });
+    }
+    // Predicate uses: null-rejecting iff the conjunct is a pure
+    // comparison/arithmetic tree (no OR / NOT / IS NULL / COALESCE).
+    for p in &bx.preds {
+        if !p.references(q) {
+            continue;
+        }
+        p.for_each_col(&mut |rq, rc| {
+            if rq == q && is_count_output(rc) {
+                uses_count = true;
+            }
+        });
+        if !pred_null_rejecting(p) {
+            all_null_rejecting = false;
+        }
+    }
+
+    UseAnalysis { uses_count, all_uses_null_rejecting: all_null_rejecting }
+}
+
+/// Is this conjunct guaranteed to evaluate to non-true when any referenced
+/// column is NULL? True for trees of comparisons and arithmetic combined
+/// with AND.
+fn pred_null_rejecting(e: &Expr) -> bool {
+    match e {
+        Expr::Col { .. } | Expr::Lit(_) => true,
+        Expr::Binary { op, left, right } => {
+            use decorr_qgm::BinOp::*;
+            match op {
+                And => pred_null_rejecting(left) && pred_null_rejecting(right),
+                Or | NullEq => false,
+                Eq | Ne | Lt | Le | Gt | Ge | Add | Sub | Mul | Div => {
+                    pred_null_rejecting(left) && pred_null_rejecting(right)
+                }
+            }
+        }
+        Expr::Unary { op, expr } => match op {
+            UnOp::Neg => pred_null_rejecting(expr),
+            UnOp::Not | UnOp::IsNull | UnOp::IsNotNull => false,
+        },
+        Expr::Func { .. } => false, // COALESCE masks NULLs
+        Expr::Agg { .. } => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decorr_common::{DataType, Schema};
+    use decorr_qgm::{BinOp, BoxKind, Expr, QuantKind};
+
+    /// cur(SELECT over dept) with Scalar quant over grouping(COUNT) over
+    /// inner SPJ over emp — the Section 2 shape.
+    fn example(count: bool) -> (Qgm, BoxId, QuantId, BoxId) {
+        let mut g = Qgm::new();
+        let dept = g.add_base_table(
+            "dept",
+            Schema::from_pairs(&[("num_emps", DataType::Int), ("building", DataType::Int)]),
+        );
+        let emp = g.add_base_table(
+            "emp",
+            Schema::from_pairs(&[("building", DataType::Int)]),
+        );
+        let cur = g.add_box(BoxKind::Select, "top");
+        let qd = g.add_quant(cur, QuantKind::Foreach, dept, "D");
+
+        let inner = g.add_box(BoxKind::Select, "inner");
+        let qe = g.add_quant(inner, QuantKind::Foreach, emp, "E");
+        g.boxmut(inner)
+            .preds
+            .push(Expr::eq(Expr::col(qe, 0), Expr::col(qd, 1)));
+        g.add_output(inner, "b", Expr::col(qe, 0));
+
+        let grp = g.add_box(BoxKind::Grouping { group_by: vec![] }, "agg");
+        let _qi = g.add_quant(grp, QuantKind::Foreach, inner, "I");
+        let agg = if count {
+            Expr::count_star()
+        } else {
+            Expr::agg(decorr_qgm::AggFunc::Min, Expr::col(_qi, 0))
+        };
+        g.add_output(grp, "v", agg);
+
+        let qs = g.add_quant(cur, QuantKind::Scalar, grp, "S");
+        g.boxmut(cur).preds.push(Expr::bin(
+            BinOp::Gt,
+            Expr::col(qd, 0),
+            Expr::col(qs, 0),
+        ));
+        g.add_output(cur, "n", Expr::col(qd, 0));
+        g.set_top(cur);
+        (g, cur, qs, grp)
+    }
+
+    #[test]
+    fn aggregate_subqueries_are_absorbable_unique() {
+        let (g, _, _, grp) = example(true);
+        assert_eq!(absorbability(&g, grp), Absorbability::AbsorbableUnique);
+    }
+
+    #[test]
+    fn count_use_in_comparison_needs_loj() {
+        let (g, cur, qs, grp) = example(true);
+        let ua = analyze_uses(&g, cur, qs, grp);
+        assert!(ua.uses_count);
+        assert!(ua.all_uses_null_rejecting);
+        assert!(ua.needs_loj(true));
+    }
+
+    #[test]
+    fn min_use_in_comparison_avoids_loj() {
+        let (g, cur, qs, grp) = example(false);
+        let ua = analyze_uses(&g, cur, qs, grp);
+        assert!(!ua.uses_count);
+        assert!(ua.all_uses_null_rejecting);
+        assert!(!ua.needs_loj(true));
+    }
+
+    #[test]
+    fn output_use_defeats_null_rejection() {
+        let (mut g, cur, qs, grp) = example(false);
+        g.add_output(cur, "v", Expr::col(qs, 0));
+        let ua = analyze_uses(&g, cur, qs, grp);
+        assert!(!ua.all_uses_null_rejecting);
+        assert!(ua.needs_loj(true));
+    }
+
+    #[test]
+    fn is_null_use_defeats_null_rejection() {
+        let (mut g, cur, qs, grp) = example(false);
+        g.boxmut(cur).preds.push(Expr::Unary {
+            op: UnOp::IsNull,
+            expr: Box::new(Expr::col(qs, 0)),
+        });
+        let ua = analyze_uses(&g, cur, qs, grp);
+        assert!(!ua.all_uses_null_rejecting);
+    }
+
+    #[test]
+    fn base_tables_are_not_absorbable() {
+        let (g, cur, _, _) = example(true);
+        let dept = g.quant(g.boxref(cur).quants[0]).input;
+        assert_eq!(absorbability(&g, dept), Absorbability::NotAbsorbable);
+    }
+}

@@ -1,0 +1,369 @@
+//! The FEED stage (paper Section 4.2) plus the immediate ABSORB and the
+//! Decorrelated-Output fix-up.
+//!
+//! For one correlated child of the current box this builds the paper's four
+//! auxiliary structures:
+//!
+//! * **SUPP** — the supplementary table collecting the outer computation
+//!   ahead of the subquery (Figure 2\[b\]);
+//! * **MAGIC** — the duplicate-free projection of the correlation bindings
+//!   (Figure 2\[c\]);
+//! * **DCO** — the Decorrelated Output box combining magic × child
+//!   (Figure 2\[d\]), later converted to a left outer-join when the
+//!   COUNT-bug repair is needed (Figure 3\[d\], the BugRemoval box of
+//!   Section 2.1);
+//! * **CI** — the Correlated Input box restoring the per-binding
+//!   correspondence for the outer block; the block-merge rule later turns
+//!   its correlated predicate into an equi-join.
+
+use decorr_common::{FxHashMap, FxHashSet, Result, Value};
+use decorr_qgm::{BoxId, BoxKind, Expr, Func, Qgm, QuantId, QuantKind};
+
+use super::absorb::absorb_box;
+use super::encapsulator::{absorbability, analyze_uses};
+use super::{MagicOptions, MagicReport, SuppScope};
+use crate::rules::merge::flatten_columns;
+
+/// What one FEED attempt did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedOutcome {
+    /// The child cannot be decorrelated from this box (sources not local,
+    /// quantified subquery with the knob off, shared child, ...). The graph
+    /// is untouched.
+    NotApplicable,
+    /// FEED ran but the child is NM (cannot absorb): the subquery is
+    /// *partially* decorrelated — bindings are computed set-oriented and
+    /// de-duplicated through the magic table, but the child keeps a
+    /// correlation to the DCO box. Carries the DCO box's child quantifier,
+    /// which the driver must never FEED (its correlation is the
+    /// decorrelation mechanism itself).
+    Partial(QuantId),
+    /// Fully decorrelated (FEED + ABSORB).
+    Full,
+}
+
+pub(super) fn feed_and_absorb(
+    qgm: &mut Qgm,
+    cur: BoxId,
+    q: QuantId,
+    opts: &MagicOptions,
+    rep: &mut MagicReport,
+) -> Result<FeedOutcome> {
+    let child = qgm.quant(q).input;
+
+    // Shared children are materialization points; leave them alone.
+    if qgm.quants_over(child).len() != 1 {
+        return Ok(FeedOutcome::NotApplicable);
+    }
+    let corr = qgm.free_refs(child);
+    if corr.is_empty() {
+        return Ok(FeedOutcome::NotApplicable);
+    }
+    // Every correlation source must be a Foreach quantifier of this box.
+    for &(oq, _) in &corr {
+        let quant = qgm.quant(oq);
+        if quant.owner != cur || quant.kind != QuantKind::Foreach {
+            return Ok(FeedOutcome::NotApplicable);
+        }
+    }
+    // Encapsulator knob: quantified subqueries (EXISTS / IN / ANY / ALL)
+    // leave a CI box performing repeated correlated selections; systems
+    // without temporary-table indexes may prefer not to decorrelate them
+    // (Section 4.4).
+    let q_kind = qgm.quant(q).kind;
+    if matches!(q_kind, QuantKind::Existential | QuantKind::All)
+        && !opts.decorrelate_quantified
+    {
+        return Ok(FeedOutcome::NotApplicable);
+    }
+
+    // The quantifiers "ahead of" the subquery supply the bindings.
+    let cur_quants = qgm.boxref(cur).quants.clone();
+    let q_pos = cur_quants.iter().position(|&x| x == q).expect("q in cur");
+    let ahead: Vec<QuantId> = cur_quants[..q_pos]
+        .iter()
+        .copied()
+        .filter(|&x| qgm.quant(x).kind == QuantKind::Foreach)
+        .collect();
+    let needed: Vec<QuantId> = {
+        let mut v = Vec::new();
+        for &(oq, _) in &corr {
+            if !v.contains(&oq) {
+                v.push(oq);
+            }
+        }
+        v
+    };
+    if !needed.iter().all(|n| ahead.contains(n)) {
+        return Ok(FeedOutcome::NotApplicable);
+    }
+    let moved: Vec<QuantId> = match opts.supp_scope {
+        SuppScope::AllForeach => ahead,
+        SuppScope::MinimalBinding => ahead
+            .into_iter()
+            .filter(|x| needed.contains(x))
+            .collect(),
+    };
+    debug_assert!(!moved.is_empty());
+    let moved_set: FxHashSet<QuantId> = moved.iter().copied().collect();
+
+    // Pre-mutation analysis.
+    let absorb = absorbability(qgm, child);
+    let uses = analyze_uses(qgm, cur, q, child);
+    let needs_loj = uses.needs_loj(absorb.unique());
+
+    // OptMag: when the supplementary table is a single base table whose key
+    // is contained in the correlation columns, the magic table *is* the
+    // supplementary table and the common subexpression disappears
+    // (Section 5.1). Requires a fully absorbable child consumed through a
+    // Foreach quantifier or a unique-per-binding Scalar one.
+    let optmag = opts.eliminate_supp_cse
+        && moved.len() == 1
+        && absorb.can_absorb()
+        && (q_kind == QuantKind::Foreach
+            || (q_kind == QuantKind::Scalar && absorb.unique()))
+        && {
+            let input = qgm.quant(moved[0]).input;
+            match &qgm.boxref(input).kind {
+                BoxKind::BaseTable { key: Some(key), .. } => {
+                    let corr_cols: Vec<usize> = corr
+                        .iter()
+                        .filter(|(oq, _)| *oq == moved[0])
+                        .map(|&(_, c)| c)
+                        .collect();
+                    key.iter().all(|k| corr_cols.contains(k))
+                }
+                _ => false,
+            }
+        };
+
+    // ---- build SUPP ------------------------------------------------------
+    let supp = qgm.add_box(BoxKind::Select, "SUPP");
+    let first_moved_pos = cur_quants
+        .iter()
+        .position(|x| moved_set.contains(x))
+        .expect("moved quants exist");
+
+    // Predicates referencing only moved quantifiers move into SUPP
+    // (unless reproducing Ganski/Wong's raw temporary relation).
+    if opts.move_preds {
+        let cur_set: FxHashSet<QuantId> = cur_quants.iter().copied().collect();
+        let preds = std::mem::take(&mut qgm.boxmut(cur).preds);
+        let (mut stay, mut go) = (Vec::new(), Vec::new());
+        for p in preds {
+            let refs = p.referenced_quants();
+            let local: Vec<QuantId> = refs
+                .iter()
+                .copied()
+                .filter(|r| cur_set.contains(r))
+                .collect();
+            if !local.is_empty() && local.iter().all(|r| moved_set.contains(r)) {
+                go.push(p);
+            } else {
+                stay.push(p);
+            }
+        }
+        qgm.boxmut(cur).preds = stay;
+        qgm.boxmut(supp).preds = go;
+    }
+    for &mq in &moved {
+        qgm.reparent_quant(mq, supp);
+    }
+    let (supp_cols, supp_map) = flatten_columns(qgm, &moved);
+    for (mq, c, name) in &supp_cols {
+        qgm.add_output(supp, name.clone(), Expr::col(*mq, *c));
+    }
+
+    // ---- build MAGIC -----------------------------------------------------
+    // magic_cols[i] = the (original quant, col) whose value binding column i
+    // carries.
+    let (magic, magic_cols): (BoxId, Vec<(QuantId, usize)>) = if optmag {
+        (supp, supp_cols.iter().map(|&(mq, c, _)| (mq, c)).collect())
+    } else {
+        let m = qgm.add_box(BoxKind::Select, "MAGIC");
+        let qm = qgm.add_quant(m, QuantKind::Foreach, supp, "supp");
+        for &(oq, c) in &corr {
+            let name = supp_cols[supp_map[&(oq, c)]].2.clone();
+            qgm.add_output(m, name, Expr::col(qm, supp_map[&(oq, c)]));
+        }
+        qgm.boxmut(m).distinct = true;
+        (m, corr.clone())
+    };
+    let corr_len = magic_cols.len();
+    let magic_idx: FxHashMap<(QuantId, usize), usize> = magic_cols
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i))
+        .collect();
+
+    // ---- build DCO -------------------------------------------------------
+    let dco = qgm.add_box(BoxKind::Select, "DCO");
+    let q4 = qgm.add_quant(dco, QuantKind::Foreach, magic, "M");
+    let q5 = qgm.add_quant(dco, QuantKind::Foreach, child, "C");
+    let child_arity = qgm.output_arity(child);
+    for i in 0..corr_len {
+        let name = qgm.output_name(magic, i);
+        qgm.add_output(dco, name, Expr::col(q4, i));
+    }
+    for j in 0..child_arity {
+        let name = qgm.output_name(child, j);
+        qgm.add_output(dco, name, Expr::col(q5, j));
+    }
+
+    // Re-point the child subtree's correlated references at the magic
+    // quantifier of the DCO box (Figure 2[d]: "the destination of
+    // correlation in the descendant is modified so that it gets its
+    // bindings from Q4 instead of Q1").
+    qgm.map_refs_in_subtree(child, |oq, c| match magic_idx.get(&(oq, c)) {
+        Some(&i) => (q4, i),
+        None => (oq, c),
+    });
+
+    // The outer block now ranges over SUPP instead of the moved
+    // quantifiers.
+    let q_supp = if optmag {
+        None
+    } else {
+        let qs = qgm.add_quant(cur, QuantKind::Foreach, supp, "supp");
+        let b = qgm.boxmut(cur);
+        let moved_q = b.quants.pop().expect("just added");
+        b.quants.insert(first_moved_pos.min(b.quants.len()), moved_q);
+        Some(qs)
+    };
+
+    // ---- build CI --------------------------------------------------------
+    let ci = qgm.add_box(BoxKind::Select, "CI");
+    let q6 = qgm.add_quant(ci, QuantKind::Foreach, dco, "dco");
+    for j in 0..child_arity {
+        let name = qgm.output_name(child, j);
+        qgm.add_output(ci, name, Expr::col(q6, corr_len + j));
+    }
+    if optmag {
+        // The outer block reads the supplementary columns through the CI
+        // box; no re-join (and hence no correlated predicate) is needed.
+        for i in 0..corr_len {
+            let name = qgm.output_name(magic, i);
+            qgm.add_output(ci, name, Expr::col(q6, i));
+        }
+        rep.supp_cse_eliminated += 1;
+    } else {
+        let qs = q_supp.expect("non-optmag has a supp quantifier");
+        for (i, &(oq, c)) in corr.iter().enumerate() {
+            // Null-tolerant: a NULL binding must re-join its (empty or
+            // repaired) subquery result exactly as nested iteration would.
+            qgm.boxmut(ci).preds.push(Expr::bin(
+                decorr_qgm::BinOp::NullEq,
+                Expr::col(q6, i),
+                Expr::col(qs, supp_map[&(oq, c)]),
+            ));
+        }
+    }
+
+    // ---- re-point the rest of the graph at SUPP / CI ----------------------
+    let skip: FxHashSet<BoxId> = qgm.reachable_boxes(supp).into_iter().collect();
+    let targets: Vec<BoxId> = qgm
+        .reachable_boxes(qgm.top())
+        .into_iter()
+        .filter(|b| !skip.contains(b))
+        .collect();
+    for b in targets {
+        qgm.boxmut(b).for_each_expr_mut(|e| {
+            e.map_cols(&mut |oq, c| {
+                if moved_set.contains(&oq) {
+                    match q_supp {
+                        Some(qs) => (qs, supp_map[&(oq, c)]),
+                        None => (q, child_arity + supp_map[&(oq, c)]),
+                    }
+                } else {
+                    (oq, c)
+                }
+            });
+        });
+    }
+
+    qgm.set_quant_input(q, ci);
+    rep.feeds += 1;
+
+    // ---- ABSORB ----------------------------------------------------------
+    if !absorb.can_absorb() {
+        rep.partial += 1;
+        return Ok(FeedOutcome::Partial(q5));
+    }
+    let poss = absorb_box(qgm, child, magic, q4, corr_len)?;
+    debug_assert_eq!(poss.len(), corr_len);
+    rep.absorbs += 1;
+
+    // Fix up the DCO box: left outer-join with COALESCE when the COUNT bug
+    // (or NULL-observing uses) demand it, otherwise drop the now-redundant
+    // magic iterator (Figure 4[c]).
+    if needs_loj {
+        let count_cols = count_output_cols(qgm, child, child_arity);
+        {
+            let b = qgm.boxmut(dco);
+            b.kind = BoxKind::OuterJoin;
+            b.label = "BugRemoval".to_string();
+            b.preds.clear();
+        }
+        for i in 0..corr_len {
+            let p = Expr::bin(
+                decorr_qgm::BinOp::NullEq,
+                Expr::col(q4, i),
+                Expr::col(q5, poss[i]),
+            );
+            qgm.boxmut(dco).preds.push(p);
+        }
+        for j in 0..child_arity {
+            let expr = if count_cols.contains(&j) {
+                Expr::Func {
+                    func: Func::Coalesce,
+                    args: vec![Expr::col(q5, j), Expr::Lit(Value::Int(0))],
+                }
+            } else {
+                Expr::col(q5, j)
+            };
+            qgm.boxmut(dco).outputs[corr_len + j].expr = expr;
+        }
+        rep.loj_repairs += 1;
+    } else {
+        for i in 0..corr_len {
+            qgm.boxmut(dco).outputs[i].expr = Expr::col(q5, poss[i]);
+        }
+        qgm.remove_quant(q4);
+    }
+
+    // A scalar aggregate subquery now yields exactly one row per binding:
+    // the Scalar quantifier becomes an ordinary join input.
+    if q_kind == QuantKind::Scalar && absorb.unique() {
+        qgm.quant_mut(q).kind = QuantKind::Foreach;
+        rep.scalar_to_join += 1;
+    }
+
+    Ok(FeedOutcome::Full)
+}
+
+/// The output positions of `child` that carry COUNT aggregates (walking
+/// through pass-through Selects), for the COALESCE repair.
+fn count_output_cols(qgm: &Qgm, child: BoxId, arity: usize) -> Vec<usize> {
+    fn is_count(qgm: &Qgm, b: BoxId, col: usize, depth: usize) -> bool {
+        if depth > 16 {
+            return false;
+        }
+        let bx = qgm.boxref(b);
+        match &bx.kind {
+            BoxKind::Grouping { .. } => matches!(
+                bx.outputs.get(col).map(|o| &o.expr),
+                Some(Expr::Agg { func: decorr_qgm::AggFunc::Count, .. })
+            ),
+            BoxKind::Select => {
+                let Some(o) = bx.outputs.get(col) else { return false };
+                let mut found = false;
+                o.expr.for_each_col(&mut |rq, rc| {
+                    found |= is_count(qgm, qgm.quant(rq).input, rc, depth + 1);
+                });
+                found
+            }
+            _ => false,
+        }
+    }
+    (0..arity).filter(|&j| is_count(qgm, child, j, 0)).collect()
+}

@@ -1,0 +1,48 @@
+//! Supporting rewrite rules.
+//!
+//! Starburst's rewrite engine applies many independent rules; magic
+//! decorrelation relies on two of them to simplify its output (the paper:
+//! "the redundant CI box is removed (by other rewrite rules)", "it is
+//! possible to merge the CI box into the CurBox converting the correlation
+//! predicate into an equi-join predicate — this is done by existing rewrite
+//! rules that merge query blocks").
+
+pub mod merge;
+pub mod prune;
+pub mod pushdown;
+
+pub use merge::{bypass_identity_selects, cleanup, merge_select_children};
+pub use prune::prune_outputs;
+pub use pushdown::push_down_predicates;
+
+use decorr_qgm::Qgm;
+
+/// The full "unrelated Starburst transformations" pipeline the paper
+/// applies to every strategy: block merging, identity removal, predicate
+/// pushdown and projection pruning, to fixpoint.
+pub fn optimize(qgm: &mut Qgm) -> OptimizeReport {
+    let mut rep = OptimizeReport::default();
+    loop {
+        let (m, b) = merge::cleanup(qgm);
+        let p = pushdown::push_down_predicates(qgm);
+        let d = prune::prune_outputs(qgm);
+        rep.merges += m;
+        rep.bypasses += b;
+        rep.pushed_predicates += p;
+        rep.pruned_columns += d;
+        if m + b + p + d == 0 {
+            break;
+        }
+    }
+    qgm.gc();
+    rep
+}
+
+/// What [`optimize`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptimizeReport {
+    pub merges: usize,
+    pub bypasses: usize,
+    pub pushed_predicates: usize,
+    pub pruned_columns: usize,
+}

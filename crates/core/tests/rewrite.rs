@@ -1,0 +1,437 @@
+//! Structural tests of the rewrite rules: every rewrite must leave a
+//! consistent graph, and full magic decorrelation must leave no residual
+//! correlation.
+
+use decorr_common::{DataType, Schema};
+use decorr_core::magic::{magic_decorrelate, MagicOptions, SuppScope};
+use decorr_core::{apply_strategy, Strategy};
+use decorr_qgm::{validate::validate, BoxKind, CorrelationMap, Qgm, QuantKind};
+use decorr_sql::parse_and_bind;
+use decorr_storage::Database;
+
+fn empdept_db() -> Database {
+    let mut db = Database::new();
+    let d = db
+        .create_table(
+            "dept",
+            Schema::from_pairs(&[
+                ("name", DataType::Str),
+                ("budget", DataType::Double),
+                ("num_emps", DataType::Int),
+                ("building", DataType::Int),
+            ]),
+        )
+        .unwrap();
+    d.set_key(&["name"]).unwrap();
+    db.create_table(
+        "emp",
+        Schema::from_pairs(&[("name", DataType::Str), ("building", DataType::Int)]),
+    )
+    .unwrap();
+    db
+}
+
+const PAPER_QUERY: &str = "Select D.name From Dept D \
+    Where D.budget < 10000 and D.num_emps > \
+    (Select Count(*) From Emp E Where D.building = E.building)";
+
+fn is_fully_decorrelated(g: &Qgm) -> bool {
+    let cm = CorrelationMap::analyze(g);
+    g.reachable_boxes(g.top())
+        .iter()
+        .all(|&b| !cm.is_correlated(b))
+}
+
+#[test]
+fn magic_on_paper_example_produces_section_21_shape() {
+    let db = empdept_db();
+    let mut g = parse_and_bind(PAPER_QUERY, &db).unwrap();
+    let rep = magic_decorrelate(&mut g, &MagicOptions::default()).unwrap();
+    validate(&g).unwrap();
+
+    assert_eq!(rep.feeds, 1);
+    assert_eq!(rep.absorbs, 1);
+    assert_eq!(rep.loj_repairs, 1, "COUNT use must trigger the BugRemoval LOJ");
+    assert_eq!(rep.scalar_to_join, 1);
+    assert!(is_fully_decorrelated(&g));
+
+    // The decorrelated graph carries the Section 2.1 structure: a shared
+    // SUPP box, a DISTINCT MAGIC box, a BugRemoval OuterJoin, a Grouping
+    // box grouped by the binding.
+    let boxes = g.reachable_boxes(g.top());
+    let labels: Vec<&str> = boxes.iter().map(|&b| g.boxref(b).label.as_str()).collect();
+    assert!(labels.contains(&"SUPP"));
+    assert!(labels.contains(&"MAGIC"));
+    assert!(labels.contains(&"BugRemoval"));
+    let supp = boxes
+        .iter()
+        .find(|&&b| g.boxref(b).label == "SUPP")
+        .copied()
+        .unwrap();
+    // SUPP is a common subexpression: read by the outer block and by MAGIC.
+    assert_eq!(g.quants_over(supp).len(), 2);
+    let magic = boxes
+        .iter()
+        .find(|&&b| g.boxref(b).label == "MAGIC")
+        .copied()
+        .unwrap();
+    assert!(g.boxref(magic).distinct);
+    // The grouping box groups by the absorbed binding.
+    let grouping = boxes
+        .iter()
+        .find(|&&b| matches!(g.boxref(b).kind, BoxKind::Grouping { .. }))
+        .copied()
+        .unwrap();
+    let BoxKind::Grouping { group_by } = &g.boxref(grouping).kind else { unreachable!() };
+    assert_eq!(group_by.len(), 1);
+    // The COALESCE COUNT-bug repair sits in the BugRemoval outputs.
+    let bug = boxes
+        .iter()
+        .find(|&&b| g.boxref(b).label == "BugRemoval")
+        .copied()
+        .unwrap();
+    assert!(matches!(g.boxref(bug).kind, BoxKind::OuterJoin));
+    let rendered = decorr_qgm::print::render_from(&g, bug);
+    assert!(rendered.contains("COALESCE"), "{rendered}");
+}
+
+#[test]
+fn magic_min_aggregate_uses_plain_join() {
+    let db = empdept_db();
+    // MIN in a null-rejecting comparison: no outer-join needed
+    // ("None of the queries required the use of an outer-join").
+    let mut g = parse_and_bind(
+        "SELECT D.name FROM dept D WHERE D.budget < \
+         (SELECT MIN(E.building) FROM emp E WHERE E.building = D.building)",
+        &db,
+    )
+    .unwrap();
+    let rep = magic_decorrelate(&mut g, &MagicOptions::default()).unwrap();
+    validate(&g).unwrap();
+    assert_eq!(rep.loj_repairs, 0);
+    assert!(is_fully_decorrelated(&g));
+    assert!(!g
+        .reachable_boxes(g.top())
+        .iter()
+        .any(|&b| matches!(g.boxref(b).kind, BoxKind::OuterJoin)));
+}
+
+#[test]
+fn magic_on_projection_wrapped_aggregate() {
+    let db = empdept_db();
+    // The Query 2 shape: SELECT 0.2 * AVG(...) — a pass-through Select over
+    // the Grouping box.
+    let mut g = parse_and_bind(
+        "SELECT D.name FROM dept D WHERE D.budget < \
+         (SELECT 0.2 * AVG(E.building) FROM emp E WHERE E.building = D.building)",
+        &db,
+    )
+    .unwrap();
+    let rep = magic_decorrelate(&mut g, &MagicOptions::default()).unwrap();
+    validate(&g).unwrap();
+    assert!(is_fully_decorrelated(&g));
+    assert_eq!(rep.scalar_to_join, 1);
+}
+
+#[test]
+fn magic_on_union_subquery() {
+    let db = empdept_db();
+    // The Query 3 shape: correlated derived table over a UNION ALL.
+    let mut g = parse_and_bind(
+        "SELECT D.name, t FROM dept D, DT(t) AS \
+           (SELECT SUM(b) FROM DDT(b) AS \
+             ((SELECT E.building FROM emp E WHERE E.building = D.building) \
+              UNION ALL \
+              (SELECT E2.building FROM emp E2 WHERE E2.building = D.building)))",
+        &db,
+    )
+    .unwrap();
+    let rep = magic_decorrelate(&mut g, &MagicOptions::default()).unwrap();
+    validate(&g).unwrap();
+    assert!(is_fully_decorrelated(&g), "{}", decorr_qgm::print::render(&g));
+    assert!(rep.absorbs >= 1);
+    // SUM observed through the output list: the LOJ (no COALESCE) keeps
+    // suppliers with no customers.
+    assert_eq!(rep.loj_repairs, 1);
+}
+
+#[test]
+fn magic_multi_level_correlation() {
+    let db = empdept_db();
+    let mut g = parse_and_bind(
+        "SELECT D.name FROM dept D WHERE D.num_emps > \
+           (SELECT COUNT(*) FROM emp E WHERE E.building = D.building AND E.name <> \
+             (SELECT MIN(E2.name) FROM emp E2 WHERE E2.building = D.building))",
+        &db,
+    )
+    .unwrap();
+    let rep = magic_decorrelate(&mut g, &MagicOptions::default()).unwrap();
+    validate(&g).unwrap();
+    assert!(rep.feeds >= 2, "both nesting levels must be fed: {rep:?}");
+    assert!(is_fully_decorrelated(&g), "{}", decorr_qgm::print::render(&g));
+}
+
+#[test]
+fn magic_leaves_quantified_subqueries_alone_by_default() {
+    let db = empdept_db();
+    let mut g = parse_and_bind(
+        "SELECT D.name FROM dept D WHERE EXISTS \
+         (SELECT E.name FROM emp E WHERE E.building = D.building)",
+        &db,
+    )
+    .unwrap();
+    let rep = magic_decorrelate(&mut g, &MagicOptions::default()).unwrap();
+    validate(&g).unwrap();
+    assert_eq!(rep.feeds, 0);
+
+    // With the knob on, the existential is fed and keeps its CI box.
+    let mut g2 = parse_and_bind(
+        "SELECT D.name FROM dept D WHERE EXISTS \
+         (SELECT E.name FROM emp E WHERE E.building = D.building)",
+        &db,
+    )
+    .unwrap();
+    let rep2 = magic_decorrelate(
+        &mut g2,
+        &MagicOptions { decorrelate_quantified: true, ..Default::default() },
+    )
+    .unwrap();
+    validate(&g2).unwrap();
+    assert_eq!(rep2.feeds, 1);
+    assert_eq!(rep2.absorbs, 1);
+    // The CI box survives (it cannot merge through an Existential quant).
+    let has_exist = g2.live_quants().any(|q| q.kind == QuantKind::Existential);
+    assert!(has_exist);
+}
+
+#[test]
+fn optmag_eliminates_supp_cse_on_key_correlation() {
+    let db = empdept_db();
+    // Correlation on dept.name, the declared key.
+    let mut g = parse_and_bind(
+        "SELECT D.building FROM dept D WHERE D.num_emps > \
+         (SELECT COUNT(*) FROM emp E WHERE E.name = D.name)",
+        &db,
+    )
+    .unwrap();
+    let rep = magic_decorrelate(
+        &mut g,
+        &MagicOptions { eliminate_supp_cse: true, ..Default::default() },
+    )
+    .unwrap();
+    validate(&g).unwrap();
+    assert_eq!(rep.supp_cse_eliminated, 1);
+    assert!(is_fully_decorrelated(&g));
+    // No shared SUPP: every box is consumed through exactly one quantifier.
+    for b in g.reachable_boxes(g.top()) {
+        if !matches!(g.boxref(b).kind, BoxKind::BaseTable { .. }) {
+            assert!(g.quants_over(b).len() <= 1, "box {b} is shared");
+        }
+    }
+}
+
+#[test]
+fn optmag_falls_back_when_correlation_is_not_a_key() {
+    let db = empdept_db();
+    // building is not the key of dept: OptMag degrades to plain magic with
+    // minimal supplementary scope.
+    let mut g = parse_and_bind(PAPER_QUERY, &db).unwrap();
+    let rep = magic_decorrelate(
+        &mut g,
+        &MagicOptions { eliminate_supp_cse: true, ..Default::default() },
+    )
+    .unwrap();
+    validate(&g).unwrap();
+    assert_eq!(rep.supp_cse_eliminated, 0);
+    assert!(is_fully_decorrelated(&g));
+}
+
+#[test]
+fn minimal_binding_scope_moves_only_referenced_quants() {
+    let db = empdept_db();
+    let sql = "SELECT D.name FROM dept D, emp E0 WHERE D.building = E0.building \
+               AND D.num_emps > (SELECT COUNT(*) FROM emp E WHERE E.building = D.building)";
+    let mut g = parse_and_bind(sql, &db).unwrap();
+    magic_decorrelate(
+        &mut g,
+        &MagicOptions { supp_scope: SuppScope::MinimalBinding, ..Default::default() },
+    )
+    .unwrap();
+    validate(&g).unwrap();
+    assert!(is_fully_decorrelated(&g));
+    // Only dept feeds the magic table: E0 stays joined in the outer block,
+    // so the top box still ranges over the emp base table directly.
+    let top = g.boxref(g.top());
+    let top_tables: Vec<String> = top
+        .quants
+        .iter()
+        .filter_map(|&q| match &g.boxref(g.quant(q).input).kind {
+            BoxKind::BaseTable { table, .. } => Some(table.clone()),
+            _ => None,
+        })
+        .collect();
+    assert!(top_tables.contains(&"emp".to_string()));
+    // ... and the magic side must not contain emp (minimal scope): the
+    // DISTINCT projection reads (a bypassed identity over) dept only.
+    let magic = g
+        .reachable_boxes(g.top())
+        .into_iter()
+        .find(|&b| g.boxref(b).label == "MAGIC")
+        .expect("magic exists");
+    for b in g.reachable_boxes(magic) {
+        if let BoxKind::BaseTable { table, .. } = &g.boxref(b).kind {
+            assert_eq!(table, "dept");
+        }
+    }
+}
+
+#[test]
+fn kim_requires_equality_correlation() {
+    let db = empdept_db();
+    let g = parse_and_bind(
+        "SELECT D.name FROM dept D WHERE D.num_emps > \
+         (SELECT COUNT(*) FROM emp E WHERE E.building > D.building)",
+        &db,
+    )
+    .unwrap();
+    let err = apply_strategy(&g, Strategy::Kim).unwrap_err();
+    assert!(err.to_string().contains("equality"), "{err}");
+}
+
+#[test]
+fn kim_and_dayal_reject_union_queries() {
+    let db = empdept_db();
+    // The Query 3 shape is non-linear.
+    let g = parse_and_bind(
+        "SELECT D.name, t FROM dept D, DT(t) AS \
+           (SELECT SUM(b) FROM DDT(b) AS \
+             ((SELECT E.building FROM emp E WHERE E.building = D.building) \
+              UNION ALL \
+              (SELECT E2.building FROM emp E2 WHERE E2.building = D.building)))",
+        &db,
+    )
+    .unwrap();
+    assert!(apply_strategy(&g, Strategy::Kim).is_err());
+    assert!(apply_strategy(&g, Strategy::Dayal).is_err());
+    // Magic decorrelation handles it.
+    let g2 = apply_strategy(&g, Strategy::Magic).unwrap();
+    validate(&g2).unwrap();
+    assert!(is_fully_decorrelated(&g2));
+}
+
+#[test]
+fn kim_rewrite_shape() {
+    let db = empdept_db();
+    let g = parse_and_bind(PAPER_QUERY, &db).unwrap();
+    let g2 = apply_strategy(&g, Strategy::Kim).unwrap();
+    validate(&g2).unwrap();
+    assert!(is_fully_decorrelated(&g2));
+    // Kim: no SUPP/MAGIC, no outer join — the grouped table expression is
+    // computed for every building.
+    for b in g2.reachable_boxes(g2.top()) {
+        assert!(!matches!(g2.boxref(b).kind, BoxKind::OuterJoin));
+        assert_ne!(g2.boxref(b).label, "SUPP");
+    }
+    let grouping = g2
+        .reachable_boxes(g2.top())
+        .into_iter()
+        .find(|&b| matches!(g2.boxref(b).kind, BoxKind::Grouping { .. }))
+        .unwrap();
+    let BoxKind::Grouping { group_by } = &g2.boxref(grouping).kind else { unreachable!() };
+    assert_eq!(group_by.len(), 1);
+}
+
+#[test]
+fn dayal_rewrite_shape() {
+    let db = empdept_db();
+    let g = parse_and_bind(PAPER_QUERY, &db).unwrap();
+    let g2 = apply_strategy(&g, Strategy::Dayal).unwrap();
+    validate(&g2).unwrap();
+    assert!(is_fully_decorrelated(&g2));
+    // Dayal: one LOJ and one grouping over the whole outer row.
+    let lojs: Vec<_> = g2
+        .reachable_boxes(g2.top())
+        .into_iter()
+        .filter(|&b| matches!(g2.boxref(b).kind, BoxKind::OuterJoin))
+        .collect();
+    assert_eq!(lojs.len(), 1);
+    let grouping = g2
+        .reachable_boxes(g2.top())
+        .into_iter()
+        .find(|&b| matches!(g2.boxref(b).kind, BoxKind::Grouping { .. }))
+        .unwrap();
+    let BoxKind::Grouping { group_by } = &g2.boxref(grouping).kind else { unreachable!() };
+    assert_eq!(group_by.len(), 4, "groups by every dept column");
+}
+
+#[test]
+fn ganski_requires_single_table_outer() {
+    let db = empdept_db();
+    let g = parse_and_bind(
+        "SELECT D.name FROM dept D, emp E0 WHERE D.building = E0.building AND \
+         D.num_emps > (SELECT COUNT(*) FROM emp E WHERE E.building = D.building)",
+        &db,
+    )
+    .unwrap();
+    assert!(apply_strategy(&g, Strategy::GanskiWong).is_err());
+
+    let g2 = parse_and_bind(PAPER_QUERY, &db).unwrap();
+    let g3 = apply_strategy(&g2, Strategy::GanskiWong).unwrap();
+    validate(&g3).unwrap();
+    assert!(is_fully_decorrelated(&g3));
+    // Ganski/Wong does not push the budget predicate into the temporary:
+    // it stays a filter of the outer block, so the magic side of the graph
+    // is free of predicates entirely (the raw temporary relation).
+    let magic = g3
+        .reachable_boxes(g3.top())
+        .into_iter()
+        .find(|&b| g3.boxref(b).label == "MAGIC")
+        .expect("magic exists");
+    for b in g3.reachable_boxes(magic) {
+        assert!(g3.boxref(b).preds.is_empty(), "magic side must be unfiltered");
+    }
+    let top_preds = &g3.boxref(g3.top()).preds;
+    assert!(
+        top_preds.iter().any(|p| p.to_string().contains("10000")),
+        "budget filter stays in the outer block"
+    );
+}
+
+#[test]
+fn nested_iteration_applies_only_unrelated_transformations() {
+    let db = empdept_db();
+    let g = parse_and_bind(PAPER_QUERY, &db).unwrap();
+    let g2 = apply_strategy(&g, Strategy::NestedIteration).unwrap();
+    validate(&g2).unwrap();
+    // The generic Starburst rules may tidy the graph, but the correlation
+    // must survive untouched — no SUPP/MAGIC machinery.
+    assert!(g2.is_correlated(g2.quant(g2.boxref(g2.top()).quants[1]).input));
+    for b in g2.reachable_boxes(g2.top()) {
+        assert_ne!(g2.boxref(b).label, "SUPP");
+        assert_ne!(g2.boxref(b).label, "MAGIC");
+    }
+}
+
+#[test]
+fn decorrelating_twice_is_idempotent() {
+    let db = empdept_db();
+    let mut g = parse_and_bind(PAPER_QUERY, &db).unwrap();
+    magic_decorrelate(&mut g, &MagicOptions::default()).unwrap();
+    let first = decorr_qgm::print::render(&g);
+    let rep = magic_decorrelate(&mut g, &MagicOptions::default()).unwrap();
+    assert_eq!(rep.feeds, 0);
+    assert_eq!(first, decorr_qgm::print::render(&g));
+}
+
+#[test]
+fn uncorrelated_queries_untouched() {
+    let db = empdept_db();
+    let mut g = parse_and_bind(
+        "SELECT name FROM dept WHERE num_emps > (SELECT COUNT(*) FROM emp)",
+        &db,
+    )
+    .unwrap();
+    let rep = magic_decorrelate(&mut g, &MagicOptions::default()).unwrap();
+    assert!(!rep.changed());
+    validate(&g).unwrap();
+}

@@ -1,0 +1,221 @@
+//! Scalar expression evaluation with SQL three-valued logic.
+
+use decorr_common::{Error, Result, Value};
+use decorr_qgm::{BinOp, Expr, Func, UnOp};
+
+use crate::env::Env;
+
+/// Evaluate an expression under an environment. `Agg` nodes are rejected —
+/// aggregation is performed by the Grouping-box operator, which evaluates
+/// aggregate *arguments* through this function.
+pub fn eval_expr(e: &Expr, env: &Env<'_>) -> Result<Value> {
+    match e {
+        Expr::Col { quant, col } => env.lookup(*quant, *col).cloned().ok_or_else(|| {
+            Error::internal(format!("unbound column reference {quant}.c{col}", quant = quant))
+        }),
+        Expr::Lit(v) => Ok(v.clone()),
+        Expr::Binary { op, left, right } => eval_binary(*op, left, right, env),
+        Expr::Unary { op, expr } => {
+            let v = eval_expr(expr, env)?;
+            match op {
+                UnOp::Neg => v.neg(),
+                UnOp::Not => Ok(not3(v)?),
+                UnOp::IsNull => Ok(Value::Bool(v.is_null())),
+                UnOp::IsNotNull => Ok(Value::Bool(!v.is_null())),
+            }
+        }
+        Expr::Func { func: Func::Coalesce, args } => {
+            for a in args {
+                let v = eval_expr(a, env)?;
+                if !v.is_null() {
+                    return Ok(v);
+                }
+            }
+            Ok(Value::Null)
+        }
+        Expr::Agg { .. } => Err(Error::internal(
+            "aggregate evaluated outside a Grouping box".to_string(),
+        )),
+    }
+}
+
+fn eval_binary(op: BinOp, left: &Expr, right: &Expr, env: &Env<'_>) -> Result<Value> {
+    // AND/OR shortcut with three-valued logic.
+    match op {
+        BinOp::And => {
+            let l = truth(eval_expr(left, env)?)?;
+            if l == Some(false) {
+                return Ok(Value::Bool(false));
+            }
+            let r = truth(eval_expr(right, env)?)?;
+            return Ok(match (l, r) {
+                (_, Some(false)) => Value::Bool(false),
+                (Some(true), Some(true)) => Value::Bool(true),
+                _ => Value::Null,
+            });
+        }
+        BinOp::Or => {
+            let l = truth(eval_expr(left, env)?)?;
+            if l == Some(true) {
+                return Ok(Value::Bool(true));
+            }
+            let r = truth(eval_expr(right, env)?)?;
+            return Ok(match (l, r) {
+                (_, Some(true)) => Value::Bool(true),
+                (Some(false), Some(false)) => Value::Bool(false),
+                _ => Value::Null,
+            });
+        }
+        _ => {}
+    }
+
+    let l = eval_expr(left, env)?;
+    let r = eval_expr(right, env)?;
+    match op {
+        // Null-tolerant equality: total comparison, never unknown.
+        BinOp::NullEq => Ok(Value::Bool(l.total_cmp(&r).is_eq())),
+        BinOp::Add => l.add(&r),
+        BinOp::Sub => l.sub(&r),
+        BinOp::Mul => l.mul(&r),
+        BinOp::Div => l.div(&r),
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            Ok(match l.sql_cmp(&r) {
+                None => Value::Null,
+                Some(ord) => Value::Bool(match op {
+                    BinOp::Eq => ord.is_eq(),
+                    BinOp::Ne => !ord.is_eq(),
+                    BinOp::Lt => ord.is_lt(),
+                    BinOp::Le => ord.is_le(),
+                    BinOp::Gt => ord.is_gt(),
+                    BinOp::Ge => ord.is_ge(),
+                    _ => unreachable!("non-comparison handled above"),
+                }),
+            })
+        }
+        BinOp::And | BinOp::Or => unreachable!(),
+    }
+}
+
+/// Interpret a value as a SQL truth value: `Some(bool)` or `None` (unknown).
+pub fn truth(v: Value) -> Result<Option<bool>> {
+    match v {
+        Value::Null => Ok(None),
+        Value::Bool(b) => Ok(Some(b)),
+        other => Err(Error::type_error(format!(
+            "predicate evaluated to non-boolean {other}"
+        ))),
+    }
+}
+
+fn not3(v: Value) -> Result<Value> {
+    Ok(match truth(v)? {
+        Some(b) => Value::Bool(!b),
+        None => Value::Null,
+    })
+}
+
+/// Does the row qualify under this predicate? (Unknown filters out, as in
+/// SQL WHERE.)
+pub fn qualifies(e: &Expr, env: &Env<'_>) -> Result<bool> {
+    Ok(truth(eval_expr(e, env)?)? == Some(true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Layout;
+    use decorr_common::row;
+    use decorr_qgm::QuantId;
+
+    fn q0() -> QuantId {
+        QuantId::from_index(0)
+    }
+
+    fn with_row<F: FnOnce(&Env<'_>)>(vals: decorr_common::Row, f: F) {
+        let mut l = Layout::new();
+        l.push(q0(), vals.arity());
+        let env = Env::new(&l, &vals, None);
+        f(&env);
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        with_row(row![1], |env| {
+            let null = Expr::lit(Value::Null);
+            let t = Expr::lit(true);
+            let f = Expr::lit(false);
+            // NULL AND FALSE = FALSE
+            let e = Expr::bin(BinOp::And, null.clone(), f.clone());
+            assert_eq!(eval_expr(&e, env).unwrap(), Value::Bool(false));
+            // NULL AND TRUE = NULL
+            let e = Expr::bin(BinOp::And, null.clone(), t.clone());
+            assert!(eval_expr(&e, env).unwrap().is_null());
+            // NULL OR TRUE = TRUE
+            let e = Expr::bin(BinOp::Or, null.clone(), t);
+            assert_eq!(eval_expr(&e, env).unwrap(), Value::Bool(true));
+            // NULL OR FALSE = NULL
+            let e = Expr::bin(BinOp::Or, null, f);
+            assert!(eval_expr(&e, env).unwrap().is_null());
+        });
+    }
+
+    #[test]
+    fn null_comparisons_filter() {
+        with_row(row![Value::Null], |env| {
+            let e = Expr::eq(Expr::col(q0(), 0), Expr::lit(1));
+            assert!(eval_expr(&e, env).unwrap().is_null());
+            assert!(!qualifies(&e, env).unwrap());
+        });
+    }
+
+    #[test]
+    fn coalesce_picks_first_non_null() {
+        with_row(row![Value::Null], |env| {
+            let e = Expr::Func {
+                func: Func::Coalesce,
+                args: vec![Expr::col(q0(), 0), Expr::lit(0)],
+            };
+            assert_eq!(eval_expr(&e, env).unwrap(), Value::Int(0));
+        });
+    }
+
+    #[test]
+    fn is_null_and_not() {
+        with_row(row![Value::Null], |env| {
+            let isn = Expr::Unary {
+                op: UnOp::IsNull,
+                expr: Box::new(Expr::col(q0(), 0)),
+            };
+            assert_eq!(eval_expr(&isn, env).unwrap(), Value::Bool(true));
+            let notn = Expr::Unary { op: UnOp::Not, expr: Box::new(Expr::lit(Value::Null)) };
+            assert!(eval_expr(&notn, env).unwrap().is_null());
+        });
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        with_row(row![7], |env| {
+            let e = Expr::bin(
+                BinOp::Gt,
+                Expr::bin(BinOp::Mul, Expr::col(q0(), 0), Expr::lit(2)),
+                Expr::lit(13),
+            );
+            assert!(qualifies(&e, env).unwrap());
+        });
+    }
+
+    #[test]
+    fn unbound_reference_is_internal_error() {
+        with_row(row![1], |env| {
+            let e = Expr::col(QuantId::from_index(99), 0);
+            assert!(matches!(eval_expr(&e, env), Err(Error::Internal(_))));
+        });
+    }
+
+    #[test]
+    fn non_boolean_predicate_is_type_error() {
+        with_row(row![1], |env| {
+            assert!(qualifies(&Expr::col(q0(), 0), env).is_err());
+        });
+    }
+}

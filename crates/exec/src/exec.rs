@@ -1,0 +1,1254 @@
+//! The QGM interpreter.
+
+use std::rc::Rc;
+
+use decorr_common::{Error, ExecStats, FxHashMap, FxHashSet, Result, Row, Value};
+use decorr_qgm::{AggFunc, BoxId, BoxKind, Expr, Qgm, QuantId, QuantKind};
+use decorr_storage::{Database, Table};
+
+use crate::env::{Env, Layout};
+use crate::eval::{eval_expr, qualifies};
+
+/// When nested iteration evaluates a correlated *scalar* subquery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScalarPlacement {
+    /// After the outer block's joins, once per candidate row — the classic
+    /// System R behaviour and the common case in the paper's experiments.
+    #[default]
+    PerCandidateRow,
+    /// As soon as the quantifiers carrying its correlation bindings are
+    /// joined (the paper's Query 2 plan: "places the subquery before the
+    /// join between Parts and Lineitem").
+    EarliestBinding,
+}
+
+/// Execution knobs; see the crate docs for how each maps to the paper.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecOptions {
+    /// Materialize uncorrelated boxes referenced by several quantifiers
+    /// once (`true`) or recompute them per reference (`false`, the
+    /// Starburst behaviour in the paper's experiments).
+    pub memoize_cse: bool,
+    /// Correlated scalar subquery placement under nested iteration.
+    pub scalar_placement: ScalarPlacement,
+}
+
+/// The interpreter. One instance accumulates [`ExecStats`] over a run.
+pub struct Executor<'a> {
+    db: &'a Database,
+    opts: ExecOptions,
+    stats: ExecStats,
+    /// Cross-run memo for uncorrelated shared boxes (only with
+    /// `memoize_cse`).
+    cse_cache: FxHashMap<BoxId, Rc<Vec<Row>>>,
+    /// Lazily computed "is this subtree correlated" map.
+    corr_cache: FxHashMap<BoxId, bool>,
+}
+
+impl<'a> Executor<'a> {
+    pub fn new(db: &'a Database, opts: ExecOptions) -> Self {
+        Executor {
+            db,
+            opts,
+            stats: ExecStats::new(),
+            cse_cache: FxHashMap::default(),
+            corr_cache: FxHashMap::default(),
+        }
+    }
+
+    /// Work counters accumulated so far.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// Execute the graph's top box.
+    pub fn run(&mut self, qgm: &Qgm) -> Result<Vec<Row>> {
+        let rows = self.eval_box(qgm, qgm.top(), None)?;
+        self.stats.output_rows += rows.len() as u64;
+        Ok(rows)
+    }
+
+    fn is_correlated(&mut self, qgm: &Qgm, b: BoxId) -> bool {
+        if let Some(&c) = self.corr_cache.get(&b) {
+            return c;
+        }
+        let c = !qgm.free_refs(b).is_empty();
+        self.corr_cache.insert(b, c);
+        c
+    }
+
+    // ---- box dispatch ----------------------------------------------------
+
+    fn eval_box(&mut self, qgm: &Qgm, b: BoxId, env: Option<&Env<'_>>) -> Result<Vec<Row>> {
+        match &qgm.boxref(b).kind {
+            BoxKind::BaseTable { table, .. } => {
+                let t = self.db.table(table)?;
+                self.stats.rows_scanned += t.len() as u64;
+                Ok(t.rows().to_vec())
+            }
+            BoxKind::Select => self.eval_select(qgm, b, env),
+            BoxKind::Grouping { .. } => self.eval_grouping(qgm, b, env),
+            BoxKind::Union { all } => self.eval_union(qgm, b, *all, env),
+            BoxKind::OuterJoin => self.eval_outer_join(qgm, b, env),
+        }
+    }
+
+    /// Evaluate a child box, consulting the cross-run CSE memo for
+    /// uncorrelated shared boxes when enabled.
+    fn eval_child(&mut self, qgm: &Qgm, b: BoxId, env: Option<&Env<'_>>) -> Result<Rc<Vec<Row>>> {
+        let memoizable = self.opts.memoize_cse
+            && !matches!(qgm.boxref(b).kind, BoxKind::BaseTable { .. })
+            && !self.is_correlated(qgm, b);
+        if memoizable {
+            if let Some(hit) = self.cse_cache.get(&b) {
+                return Ok(Rc::clone(hit));
+            }
+        }
+        let rows = Rc::new(self.eval_box(qgm, b, env)?);
+        if memoizable {
+            self.cse_cache.insert(b, Rc::clone(&rows));
+        }
+        Ok(rows)
+    }
+
+    // ---- Select boxes ------------------------------------------------------
+
+    fn eval_select(&mut self, qgm: &Qgm, b: BoxId, env: Option<&Env<'_>>) -> Result<Vec<Row>> {
+        let bx = qgm.boxref(b);
+        let local: FxHashSet<QuantId> = bx.quants.iter().copied().collect();
+        let foreach: Vec<QuantId> = bx
+            .quants
+            .iter()
+            .copied()
+            .filter(|&q| qgm.quant(q).kind == QuantKind::Foreach)
+            .collect();
+        let subquants: Vec<QuantId> = bx
+            .quants
+            .iter()
+            .copied()
+            .filter(|&q| qgm.quant(q).kind != QuantKind::Foreach)
+            .collect();
+
+        // Per-evaluation cache of subquery results that do not depend on
+        // this box's rows (they may still be correlated to *outer* blocks,
+        // which are fixed during this evaluation).
+        let mut local_subq_cache: FxHashMap<BoxId, Rc<Vec<Row>>> = FxHashMap::default();
+
+        // Classify predicates. `consumed[i]` marks predicates already
+        // applied at a scan or join step.
+        let preds = bx.preds.clone();
+        let mut consumed = vec![false; preds.len()];
+
+        let local_refs = |e: &Expr| -> Vec<QuantId> {
+            e.referenced_quants()
+                .into_iter()
+                .filter(|q| local.contains(q))
+                .collect()
+        };
+        let refs_subquery =
+            |e: &Expr| -> bool { local_refs(e).iter().any(|q| subquants.contains(q)) };
+
+        // Constant predicates (no local references): check once.
+        {
+            let empty_layout = Layout::new();
+            let empty_row = Row::empty();
+            let env0 = Env::new(&empty_layout, &empty_row, env);
+            for (i, p) in preds.iter().enumerate() {
+                if local_refs(p).is_empty() {
+                    consumed[i] = true;
+                    self.stats.predicate_evals += 1;
+                    if !qualifies(p, &env0)? {
+                        return Ok(Vec::new());
+                    }
+                }
+            }
+        }
+
+        // Laterality: a child referencing quantifiers of *this* box must be
+        // re-evaluated per row of the quantifiers it references.
+        let is_lateral: FxHashMap<QuantId, bool> = foreach
+            .iter()
+            .map(|&q| {
+                let child = qgm.quant(q).input;
+                let lateral = qgm
+                    .free_refs(child)
+                    .iter()
+                    .any(|(fq, _)| local.contains(fq));
+                (q, lateral)
+            })
+            .collect();
+
+        // Evaluate non-lateral children up front, applying their
+        // single-quantifier predicates (with index assistance on base
+        // tables). Unfiltered base tables stay *deferred*: at join time
+        // they may be driven through an index (index nested loops) instead
+        // of being scanned — the access path Starburst picks when a small
+        // binding set joins a large indexed table.
+        let mut child_rows: FxHashMap<QuantId, Rc<Vec<Row>>> = FxHashMap::default();
+        let mut deferred: FxHashMap<QuantId, String> = FxHashMap::default();
+        for &q in &foreach {
+            if is_lateral[&q] {
+                continue;
+            }
+            let mut applicable: Vec<usize> = Vec::new();
+            for (i, p) in preds.iter().enumerate() {
+                if consumed[i] || refs_subquery(p) {
+                    continue;
+                }
+                let lr = local_refs(p);
+                if !lr.is_empty() && lr.iter().all(|&r| r == q) {
+                    applicable.push(i);
+                }
+            }
+            if applicable.is_empty() {
+                if let BoxKind::BaseTable { table, .. } = &qgm.boxref(qgm.quant(q).input).kind
+                {
+                    if !self.db.table(table)?.indexes().is_empty() {
+                        deferred.insert(q, table.clone());
+                        continue;
+                    }
+                }
+            }
+            let rows = self.scan_quant(qgm, q, &preds, &applicable, env)?;
+            for i in &applicable {
+                consumed[*i] = true;
+            }
+            child_rows.insert(q, Rc::new(rows));
+        }
+
+        // Greedy join over the Foreach quantifiers.
+        let mut layout = Layout::new();
+        let mut rows: Vec<Row> = vec![Row::empty()];
+        let mut bound: Vec<QuantId> = Vec::new();
+        let mut remaining: Vec<QuantId> = foreach.clone();
+        // Scalar quantifiers already materialized as row columns.
+        let mut scalars_bound: FxHashSet<QuantId> = FxHashSet::default();
+
+        // Estimated input sizes for the greedy order: materialized children
+        // by their (filtered) row count, deferred base tables by table size.
+        let mut sizes: FxHashMap<QuantId, usize> = FxHashMap::default();
+        for (&q, r) in &child_rows {
+            sizes.insert(q, r.len());
+        }
+        for (&q, table) in &deferred {
+            sizes.insert(q, self.db.table(table)?.len());
+        }
+
+        while !remaining.is_empty() {
+            let next = self.pick_next_quant(qgm, &remaining, &bound, &local, &is_lateral,
+                                            &sizes, &preds, &consumed, &local_refs)?;
+            remaining.retain(|&q| q != next);
+            let child_arity = qgm.output_arity(qgm.quant(next).input);
+
+            // Predicates that become applicable once `next` is bound.
+            let mut applicable: Vec<usize> = Vec::new();
+            for (i, p) in preds.iter().enumerate() {
+                if consumed[i] || refs_subquery(p) {
+                    continue;
+                }
+                let lr = local_refs(p);
+                let ok = lr.iter().all(|r| {
+                    bound.contains(r) || *r == next || scalars_bound.contains(r)
+                });
+                if ok && lr.contains(&next) {
+                    applicable.push(i);
+                }
+            }
+
+            if is_lateral[&next] {
+                rows = self.join_lateral(qgm, next, rows, &layout, env)?;
+                layout.push(next, child_arity);
+            } else if let Some(table) = deferred.get(&next) {
+                rows = self.join_deferred(
+                    qgm, next, table, rows, &layout, &preds, &mut applicable, env,
+                )?;
+                layout.push(next, child_arity);
+            } else {
+                let right = Rc::clone(&child_rows[&next]);
+                rows = self.join_step(
+                    qgm, next, rows, &layout, &right, &preds, &mut applicable, env,
+                )?;
+                layout.push(next, child_arity);
+            }
+            // Residual applicable predicates (non-equi or not used as keys).
+            if !applicable.is_empty() {
+                let kept: Vec<&Expr> = applicable.iter().map(|&i| &preds[i]).collect();
+                rows = self.filter_rows(rows, &layout, &kept, env)?;
+            }
+            for i in applicable {
+                consumed[i] = true;
+            }
+            bound.push(next);
+
+            // Early scalar-subquery placement.
+            if self.opts.scalar_placement == ScalarPlacement::EarliestBinding {
+                for &sq in &subquants {
+                    if scalars_bound.contains(&sq)
+                        || qgm.quant(sq).kind != QuantKind::Scalar
+                    {
+                        continue;
+                    }
+                    let child = qgm.quant(sq).input;
+                    let deps: Vec<QuantId> = qgm
+                        .free_refs(child)
+                        .into_iter()
+                        .map(|(fq, _)| fq)
+                        .filter(|fq| local.contains(fq))
+                        .collect();
+                    if deps.iter().all(|d| bound.contains(d)) {
+                        rows = self.append_scalar_column(
+                            qgm, sq, rows, &layout, env, &mut local_subq_cache,
+                        )?;
+                        layout.push(sq, 1);
+                        scalars_bound.insert(sq);
+                    }
+                }
+            }
+        }
+
+        // End stage: remaining predicates (those over subquery quantifiers
+        // plus anything never consumed) are evaluated per candidate row.
+        let remaining_preds: Vec<&Expr> = preds
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !consumed[*i])
+            .map(|(_, p)| p)
+            .collect();
+
+        // Scalar quantifiers still unbound but referenced by remaining
+        // predicates or outputs get appended per candidate row.
+        let mut needed_scalars: Vec<QuantId> = Vec::new();
+        let note_scalar = |e: &Expr, needed: &mut Vec<QuantId>| {
+            for r in e.referenced_quants() {
+                if subquants.contains(&r)
+                    && qgm.quant(r).kind == QuantKind::Scalar
+                    && !scalars_bound.contains(&r)
+                    && !needed.contains(&r)
+                {
+                    needed.push(r);
+                }
+            }
+        };
+        for p in &remaining_preds {
+            note_scalar(p, &mut needed_scalars);
+        }
+        for o in &bx.outputs {
+            note_scalar(&o.expr, &mut needed_scalars);
+        }
+
+        let mut end_layout = layout.clone();
+        for &sq in &needed_scalars {
+            end_layout.push(sq, 1);
+        }
+
+        // Existential / All quantifier groups: map quant -> predicate
+        // indices among remaining_preds.
+        let mut quant_groups: Vec<(QuantId, Vec<&Expr>)> = Vec::new();
+        for &sq in &subquants {
+            let kind = qgm.quant(sq).kind;
+            if kind == QuantKind::Existential || kind == QuantKind::All {
+                quant_groups.push((sq, Vec::new()));
+            }
+        }
+        let mut plain_preds: Vec<&Expr> = Vec::new();
+        for p in &remaining_preds {
+            let quantified: Vec<QuantId> = local_refs(p)
+                .into_iter()
+                .filter(|q| {
+                    matches!(qgm.quant(*q).kind, QuantKind::Existential | QuantKind::All)
+                })
+                .collect();
+            match quantified.len() {
+                0 => plain_preds.push(p),
+                1 => {
+                    let g = quant_groups
+                        .iter_mut()
+                        .find(|(q, _)| *q == quantified[0])
+                        .expect("group exists");
+                    g.1.push(p);
+                }
+                _ => {
+                    return Err(Error::internal(
+                        "predicate references multiple quantified subqueries".to_string(),
+                    ))
+                }
+            }
+        }
+
+        let mut out_rows: Vec<Row> = Vec::with_capacity(rows.len());
+        for mut row in rows {
+            // Materialize needed scalar subqueries into the row.
+            if !needed_scalars.is_empty() {
+                let env2 = Env::new(&layout, &row, env);
+                let mut extra: Vec<Value> = Vec::with_capacity(needed_scalars.len());
+                for &sq in &needed_scalars {
+                    extra.push(self.scalar_subquery_value(
+                        qgm, sq, &env2, &mut local_subq_cache,
+                    )?);
+                }
+                row.0.extend(extra);
+            }
+            let env2 = Env::new(&end_layout, &row, env);
+
+            // Plain predicates.
+            let mut keep = true;
+            for p in &plain_preds {
+                self.stats.predicate_evals += 1;
+                if !qualifies(p, &env2)? {
+                    keep = false;
+                    break;
+                }
+            }
+            if !keep {
+                continue;
+            }
+
+            // Quantified groups.
+            for (sq, group) in &quant_groups {
+                let kind = qgm.quant(*sq).kind;
+                let sub_rows =
+                    self.subquery_rows(qgm, *sq, &env2, &mut local_subq_cache)?;
+                let mut q_layout = Layout::new();
+                q_layout.push(*sq, qgm.output_arity(qgm.quant(*sq).input));
+                let sat = match kind {
+                    QuantKind::Existential => {
+                        if group.is_empty() {
+                            !sub_rows.is_empty()
+                        } else {
+                            let mut any = false;
+                            for r in sub_rows.iter() {
+                                let env3 = Env::new(&q_layout, r, Some(&env2));
+                                let mut all_true = true;
+                                for p in group {
+                                    self.stats.predicate_evals += 1;
+                                    if !qualifies(p, &env3)? {
+                                        all_true = false;
+                                        break;
+                                    }
+                                }
+                                if all_true {
+                                    any = true;
+                                    break;
+                                }
+                            }
+                            any
+                        }
+                    }
+                    QuantKind::All => {
+                        let mut all = true;
+                        for r in sub_rows.iter() {
+                            let env3 = Env::new(&q_layout, r, Some(&env2));
+                            for p in group {
+                                self.stats.predicate_evals += 1;
+                                if !qualifies(p, &env3)? {
+                                    all = false;
+                                    break;
+                                }
+                            }
+                            if !all {
+                                break;
+                            }
+                        }
+                        all
+                    }
+                    _ => unreachable!(),
+                };
+                if !sat {
+                    keep = false;
+                    break;
+                }
+            }
+            if !keep {
+                continue;
+            }
+
+            // Projection.
+            let env2 = Env::new(&end_layout, &row, env);
+            let mut out = Row(Vec::with_capacity(bx.outputs.len()));
+            for o in &bx.outputs {
+                out.0.push(eval_expr(&o.expr, &env2)?);
+            }
+            out_rows.push(out);
+        }
+
+        if bx.distinct {
+            out_rows = dedup_rows(out_rows);
+        }
+        Ok(out_rows)
+    }
+
+    /// Pick the next Foreach quantifier to join: among the candidates whose
+    /// lateral dependencies are satisfied, prefer ones connected to the
+    /// bound set by an equi-join predicate, breaking ties by smaller input
+    /// cardinality (a standard greedy join order; the paper's Section 7
+    /// notes magic decorrelation inherits whatever join order the optimizer
+    /// picked).
+    #[allow(clippy::too_many_arguments)]
+    fn pick_next_quant(
+        &self,
+        qgm: &Qgm,
+        remaining: &[QuantId],
+        bound: &[QuantId],
+        local: &FxHashSet<QuantId>,
+        is_lateral: &FxHashMap<QuantId, bool>,
+        sizes: &FxHashMap<QuantId, usize>,
+        preds: &[Expr],
+        consumed: &[bool],
+        local_refs: &dyn Fn(&Expr) -> Vec<QuantId>,
+    ) -> Result<QuantId> {
+        let mut best: Option<(bool, usize, QuantId)> = None; // (connected, size)
+        for &q in remaining {
+            if is_lateral[&q] {
+                let child = qgm.quant(q).input;
+                let deps: Vec<QuantId> = qgm
+                    .free_refs(child)
+                    .into_iter()
+                    .map(|(fq, _)| fq)
+                    .filter(|fq| local.contains(fq))
+                    .collect();
+                if !deps.iter().all(|d| bound.contains(d)) {
+                    continue;
+                }
+            }
+            let connected = !bound.is_empty()
+                && preds.iter().enumerate().any(|(i, p)| {
+                    if consumed[i] {
+                        return false;
+                    }
+                    let lr = local_refs(p);
+                    lr.contains(&q)
+                        && lr.iter().all(|r| *r == q || bound.contains(r))
+                        && lr.iter().any(|r| bound.contains(r))
+                });
+            let size = sizes.get(&q).copied().unwrap_or(0);
+            let cand = (connected, size, q);
+            best = Some(match best {
+                None => cand,
+                Some(cur) => {
+                    // connected beats unconnected; then smaller size wins.
+                    let better = (cand.0 && !cur.0)
+                        || (cand.0 == cur.0 && cand.1 < cur.1);
+                    if better {
+                        cand
+                    } else {
+                        cur
+                    }
+                }
+            });
+        }
+        best.map(|(_, _, q)| q).ok_or_else(|| {
+            Error::internal("no joinable quantifier (cyclic lateral dependency?)".to_string())
+        })
+    }
+
+    /// Scan/evaluate a non-lateral Foreach quantifier's input with its
+    /// single-quantifier predicates, using an index when the input is a
+    /// base table and a predicate binds an indexed column to a value
+    /// computable before the scan.
+    fn scan_quant(
+        &mut self,
+        qgm: &Qgm,
+        q: QuantId,
+        preds: &[Expr],
+        applicable: &[usize],
+        env: Option<&Env<'_>>,
+    ) -> Result<Vec<Row>> {
+        let child = qgm.quant(q).input;
+        let mut q_layout = Layout::new();
+        q_layout.push(q, qgm.output_arity(child));
+
+        if let BoxKind::BaseTable { table, .. } = &qgm.boxref(child).kind {
+            let t = self.db.table(table)?;
+            return self.scan_table(t, q, preds, applicable, &q_layout, env);
+        }
+
+        let rows = self.eval_child(qgm, child, env)?;
+        let kept: Vec<&Expr> = applicable.iter().map(|&i| &preds[i]).collect();
+        self.filter_rows(rows.as_ref().clone(), &q_layout, &kept, env)
+    }
+
+    /// Base-table scan with optional index assistance.
+    fn scan_table(
+        &mut self,
+        t: &Table,
+        q: QuantId,
+        preds: &[Expr],
+        applicable: &[usize],
+        q_layout: &Layout,
+        env: Option<&Env<'_>>,
+    ) -> Result<Vec<Row>> {
+        // Find an index-usable equality: Col(q, c) = <expr without local refs>.
+        let empty_layout = Layout::new();
+        let empty_row = Row::empty();
+        let env0 = Env::new(&empty_layout, &empty_row, env);
+        let mut index_probe: Option<(usize, Value, usize)> = None; // (col, key, pred idx)
+        for &i in applicable {
+            if let Expr::Binary { op: decorr_qgm::BinOp::Eq, left, right } = &preds[i] {
+                for (a, b) in [(left, right), (right, left)] {
+                    if let Expr::Col { quant, col } = a.as_ref() {
+                        if *quant == q && b.referenced_quants().iter().all(|r| *r != q)
+                            && t.index_on(&[*col]).is_some() {
+                                let key = eval_expr(b, &env0)?;
+                                index_probe = Some((*col, key, i));
+                                break;
+                            }
+                    }
+                }
+            }
+            if index_probe.is_some() {
+                break;
+            }
+        }
+
+        let (candidates, skip_pred): (Vec<&Row>, Option<usize>) = match &index_probe {
+            Some((col, key, pi)) => {
+                self.stats.index_lookups += 1;
+                let idx = t.index_on(&[*col]).expect("index checked above");
+                let positions = idx.lookup(std::slice::from_ref(key));
+                self.stats.index_rows += positions.len() as u64;
+                (positions.iter().map(|&p| &t.rows()[p]).collect(), Some(*pi))
+            }
+            None => {
+                self.stats.rows_scanned += t.len() as u64;
+                (t.rows().iter().collect(), None)
+            }
+        };
+
+        let mut out = Vec::new();
+        'rows: for r in candidates {
+            for &i in applicable {
+                if Some(i) == skip_pred {
+                    continue;
+                }
+                let env1 = Env::new(q_layout, r, env);
+                self.stats.predicate_evals += 1;
+                if !qualifies(&preds[i], &env1)? {
+                    continue 'rows;
+                }
+            }
+            out.push(r.clone());
+        }
+        Ok(out)
+    }
+
+    fn filter_rows(
+        &mut self,
+        rows: Vec<Row>,
+        layout: &Layout,
+        preds: &[&Expr],
+        env: Option<&Env<'_>>,
+    ) -> Result<Vec<Row>> {
+        if preds.is_empty() {
+            return Ok(rows);
+        }
+        let mut out = Vec::with_capacity(rows.len());
+        'rows: for r in rows {
+            let env1 = Env::new(layout, &r, env);
+            for p in preds {
+                self.stats.predicate_evals += 1;
+                if !qualifies(p, &env1)? {
+                    continue 'rows;
+                }
+            }
+            out.push(r);
+        }
+        Ok(out)
+    }
+
+    /// One join step: combine `rows` (layout `layout`) with `right`
+    /// (the rows of quantifier `next`). Equi-join predicates among
+    /// `applicable` become hash-join keys and are removed from the list;
+    /// everything else stays for the caller's residual filter.
+    #[allow(clippy::too_many_arguments)]
+    fn join_step(
+        &mut self,
+        qgm: &Qgm,
+        next: QuantId,
+        rows: Vec<Row>,
+        layout: &Layout,
+        right: &Rc<Vec<Row>>,
+        preds: &[Expr],
+        applicable: &mut Vec<usize>,
+        env: Option<&Env<'_>>,
+    ) -> Result<Vec<Row>> {
+        let mut right_layout = Layout::new();
+        right_layout.push(next, qgm.output_arity(qgm.quant(next).input));
+
+        // Split the applicable predicates into hash keys and residuals.
+        // NullEq keys match NULL against NULL (the decorrelated re-join
+        // with the magic table); Eq keys drop NULLs as SQL demands.
+        let mut left_keys: Vec<(Expr, bool)> = Vec::new();
+        let mut right_keys: Vec<(Expr, bool)> = Vec::new();
+        let mut residual: Vec<usize> = Vec::new();
+        for &i in applicable.iter() {
+            let p = &preds[i];
+            let mut is_key = false;
+            if let Expr::Binary {
+                op: op @ (decorr_qgm::BinOp::Eq | decorr_qgm::BinOp::NullEq),
+                left,
+                right: r,
+            } = p
+            {
+                let null_ok = *op == decorr_qgm::BinOp::NullEq;
+                let lq: Vec<QuantId> = left.referenced_quants();
+                let rq: Vec<QuantId> = r.referenced_quants();
+                let l_on_left = lq.iter().all(|x| layout.contains(*x) || !is_local_ref(qgm, *x, next))
+                    && lq.iter().any(|x| layout.contains(*x));
+                let r_on_right = rq.contains(&next) && rq.iter().all(|x| *x == next || !layout.contains(*x));
+                let l_on_right = lq.contains(&next) && lq.iter().all(|x| *x == next || !layout.contains(*x));
+                let r_on_left = rq.iter().all(|x| layout.contains(*x) || !is_local_ref(qgm, *x, next))
+                    && rq.iter().any(|x| layout.contains(*x));
+                if l_on_left && r_on_right {
+                    left_keys.push(((**left).clone(), null_ok));
+                    right_keys.push(((**r).clone(), null_ok));
+                    is_key = true;
+                } else if l_on_right && r_on_left {
+                    left_keys.push(((**r).clone(), null_ok));
+                    right_keys.push(((**left).clone(), null_ok));
+                    is_key = true;
+                }
+            }
+            if !is_key {
+                residual.push(i);
+            }
+        }
+        *applicable = residual;
+
+        let left_arity = layout.width();
+        let _ = left_arity;
+
+        if left_keys.is_empty() {
+            // Cross product (with residual filtering done by the caller).
+            let mut out = Vec::with_capacity(rows.len() * right.len().max(1));
+            self.stats.nl_comparisons += (rows.len() * right.len()) as u64;
+            for l in &rows {
+                for r in right.iter() {
+                    out.push(l.concat(r));
+                }
+            }
+            self.stats.join_output_rows += out.len() as u64;
+            return Ok(out);
+        }
+
+        // Hash join: build on the right (the fresh quantifier), probe with
+        // the accumulated rows.
+        let mut table: FxHashMap<Vec<Value>, Vec<&Row>> = FxHashMap::default();
+        self.stats.hash_build_rows += right.len() as u64;
+        'build: for r in right.iter() {
+            let env1 = Env::new(&right_layout, r, env);
+            let mut key = Vec::with_capacity(right_keys.len());
+            for (k, null_ok) in &right_keys {
+                let v = eval_expr(k, &env1)?;
+                if v.is_null() && !null_ok {
+                    continue 'build;
+                }
+                key.push(v);
+            }
+            table.entry(key).or_default().push(r);
+        }
+
+        let mut out = Vec::new();
+        self.stats.hash_probes += rows.len() as u64;
+        'probe: for l in &rows {
+            let env1 = Env::new(layout, l, env);
+            let mut key = Vec::with_capacity(left_keys.len());
+            for (k, null_ok) in &left_keys {
+                let v = eval_expr(k, &env1)?;
+                if v.is_null() && !null_ok {
+                    continue 'probe;
+                }
+                key.push(v);
+            }
+            if let Some(matches) = table.get(&key) {
+                for r in matches {
+                    out.push(l.concat(r));
+                }
+            }
+        }
+        self.stats.join_output_rows += out.len() as u64;
+        Ok(out)
+    }
+
+    /// Join a *deferred* base table: drive it through an index
+    /// (index nested loops) when an equality predicate binds an indexed
+    /// column to the already-bound rows and the bound side is small;
+    /// otherwise scan it now and fall back to the hash join.
+    #[allow(clippy::too_many_arguments)]
+    fn join_deferred(
+        &mut self,
+        qgm: &Qgm,
+        next: QuantId,
+        table: &str,
+        rows: Vec<Row>,
+        layout: &Layout,
+        preds: &[Expr],
+        applicable: &mut Vec<usize>,
+        env: Option<&Env<'_>>,
+    ) -> Result<Vec<Row>> {
+        let t = self.db.table(table)?;
+        // Find `Col(next, c) = <expr over bound rows>` with an index on c.
+        let mut probe: Option<(usize, usize, Expr)> = None;
+        'search: for &i in applicable.iter() {
+            if let Expr::Binary { op: decorr_qgm::BinOp::Eq, left, right } = &preds[i] {
+                for (a, b) in [(left, right), (right, left)] {
+                    if let Expr::Col { quant, col } = a.as_ref() {
+                        if *quant == next
+                            && !b.references(next)
+                            && t.index_on(&[*col]).is_some()
+                        {
+                            probe = Some((i, *col, (**b).clone()));
+                            break 'search;
+                        }
+                    }
+                }
+            }
+        }
+        let use_inl = probe.is_some() && rows.len() * 2 < t.len().max(1);
+        if !use_inl {
+            self.stats.rows_scanned += t.len() as u64;
+            let right = Rc::new(t.rows().to_vec());
+            return self.join_step(qgm, next, rows, layout, &right, preds, applicable, env);
+        }
+        let (pi, col, keyexpr) = probe.expect("checked above");
+        applicable.retain(|&i| i != pi);
+        let idx = t.index_on(&[col]).expect("checked above");
+        let mut out = Vec::new();
+        for l in &rows {
+            let env1 = Env::new(layout, l, env);
+            let key = eval_expr(&keyexpr, &env1)?;
+            if key.is_null() {
+                continue;
+            }
+            self.stats.index_lookups += 1;
+            let positions = idx.lookup(std::slice::from_ref(&key));
+            self.stats.index_rows += positions.len() as u64;
+            for &p in positions {
+                out.push(l.concat(&t.rows()[p]));
+            }
+        }
+        self.stats.join_output_rows += out.len() as u64;
+        Ok(out)
+    }
+
+    /// Lateral join: evaluate the child once per bound row.
+    fn join_lateral(
+        &mut self,
+        qgm: &Qgm,
+        next: QuantId,
+        rows: Vec<Row>,
+        layout: &Layout,
+        env: Option<&Env<'_>>,
+    ) -> Result<Vec<Row>> {
+        let child = qgm.quant(next).input;
+        let mut out = Vec::new();
+        for l in &rows {
+            let env2 = Env::new(layout, l, env);
+            self.stats.subquery_invocations += 1;
+            let sub = self.eval_box(qgm, child, Some(&env2))?;
+            for r in &sub {
+                out.push(l.concat(r));
+            }
+        }
+        self.stats.join_output_rows += out.len() as u64;
+        Ok(out)
+    }
+
+    /// Compute the rows of a subquery quantifier for the current candidate
+    /// row: correlated subqueries evaluate per call (counted), uncorrelated
+    /// ones once per Select-box evaluation.
+    fn subquery_rows(
+        &mut self,
+        qgm: &Qgm,
+        sq: QuantId,
+        env2: &Env<'_>,
+        cache: &mut FxHashMap<BoxId, Rc<Vec<Row>>>,
+    ) -> Result<Rc<Vec<Row>>> {
+        let child = qgm.quant(sq).input;
+        // A subquery is re-evaluated per candidate row only if it references
+        // quantifiers of the box being evaluated — i.e. anything bound in
+        // the *innermost* frame.
+        let correlated_here = qgm
+            .free_refs(child)
+            .iter()
+            .any(|(fq, _)| env2.layout.contains(*fq));
+        if correlated_here {
+            self.stats.subquery_invocations += 1;
+            return Ok(Rc::new(self.eval_box(qgm, child, Some(env2))?));
+        }
+        if let Some(hit) = cache.get(&child) {
+            return Ok(Rc::clone(hit));
+        }
+        self.stats.subquery_invocations += 1;
+        let rows = Rc::new(self.eval_box(qgm, child, Some(env2))?);
+        cache.insert(child, Rc::clone(&rows));
+        Ok(rows)
+    }
+
+    fn scalar_subquery_value(
+        &mut self,
+        qgm: &Qgm,
+        sq: QuantId,
+        env2: &Env<'_>,
+        cache: &mut FxHashMap<BoxId, Rc<Vec<Row>>>,
+    ) -> Result<Value> {
+        let rows = self.subquery_rows(qgm, sq, env2, cache)?;
+        match rows.len() {
+            0 => Ok(Value::Null),
+            1 => Ok(rows[0][0].clone()),
+            n => Err(Error::eval(format!(
+                "scalar subquery returned {n} rows"
+            ))),
+        }
+    }
+
+    /// EarliestBinding: append the scalar subquery's value as an extra
+    /// column of every row.
+    fn append_scalar_column(
+        &mut self,
+        qgm: &Qgm,
+        sq: QuantId,
+        rows: Vec<Row>,
+        layout: &Layout,
+        env: Option<&Env<'_>>,
+        cache: &mut FxHashMap<BoxId, Rc<Vec<Row>>>,
+    ) -> Result<Vec<Row>> {
+        let mut out = Vec::with_capacity(rows.len());
+        for mut r in rows {
+            let v = {
+                let env2 = Env::new(layout, &r, env);
+                self.scalar_subquery_value(qgm, sq, &env2, cache)?
+            };
+            r.0.push(v);
+            out.push(r);
+        }
+        Ok(out)
+    }
+
+    // ---- Grouping boxes ---------------------------------------------------
+
+    fn eval_grouping(&mut self, qgm: &Qgm, b: BoxId, env: Option<&Env<'_>>) -> Result<Vec<Row>> {
+        let bx = qgm.boxref(b);
+        let q = bx.quants[0];
+        let child = qgm.quant(q).input;
+        let input = self.eval_child(qgm, child, env)?;
+        let mut layout = Layout::new();
+        layout.push(q, qgm.output_arity(child));
+
+        let BoxKind::Grouping { group_by } = &bx.kind else { unreachable!() };
+
+        // Aggregate output positions and their calls.
+        struct AggSlot<'e> {
+            func: AggFunc,
+            arg: Option<&'e Expr>,
+            distinct: bool,
+            out_pos: usize,
+        }
+        let mut agg_slots: Vec<AggSlot<'_>> = Vec::new();
+        for (i, o) in bx.outputs.iter().enumerate() {
+            if let Expr::Agg { func, arg, distinct } = &o.expr {
+                agg_slots.push(AggSlot {
+                    func: *func,
+                    arg: arg.as_deref(),
+                    distinct: *distinct,
+                    out_pos: i,
+                });
+            }
+        }
+
+        #[derive(Clone)]
+        struct Acc {
+            count: i64,
+            sum: Value,
+            min: Value,
+            max: Value,
+            distinct: FxHashSet<Value>,
+            rep: Option<Row>, // representative row for group-column outputs
+        }
+        impl Acc {
+            fn new() -> Self {
+                Acc {
+                    count: 0,
+                    sum: Value::Null,
+                    min: Value::Null,
+                    max: Value::Null,
+                    distinct: FxHashSet::default(),
+                    rep: None,
+                }
+            }
+        }
+
+        self.stats.agg_input_rows += input.len() as u64;
+
+        // One accumulator vector per group (one accumulator per agg slot).
+        let mut groups: Vec<(Vec<Value>, Vec<Acc>)> = Vec::new();
+        let mut index: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
+
+        for r in input.iter() {
+            let env1 = Env::new(&layout, r, env);
+            let mut key = Vec::with_capacity(group_by.len());
+            for g in group_by {
+                key.push(eval_expr(g, &env1)?);
+            }
+            let gi = match index.get(&key) {
+                Some(&i) => i,
+                None => {
+                    let i = groups.len();
+                    index.insert(key.clone(), i);
+                    groups.push((key, vec![Acc::new(); agg_slots.len()]));
+                    i
+                }
+            };
+            let accs = &mut groups[gi].1;
+            for (slot, acc) in agg_slots.iter().zip(accs.iter_mut()) {
+                if acc.rep.is_none() {
+                    acc.rep = Some(r.clone());
+                }
+                let v = match slot.arg {
+                    None => Value::Int(1), // COUNT(*): every row counts
+                    Some(a) => eval_expr(a, &env1)?,
+                };
+                if slot.arg.is_some() && v.is_null() {
+                    continue; // NULLs are ignored by all aggregates
+                }
+                if slot.distinct && !acc.distinct.insert(v.clone()) {
+                    continue;
+                }
+                acc.count += 1;
+                match slot.func {
+                    AggFunc::Count => {}
+                    AggFunc::Sum | AggFunc::Avg => {
+                        acc.sum = if acc.sum.is_null() { v.clone() } else { acc.sum.add(&v)? };
+                    }
+                    AggFunc::Min | AggFunc::Max => {
+                        if acc.min.is_null() || v < acc.min {
+                            acc.min = v.clone();
+                        }
+                        if acc.max.is_null() || v > acc.max {
+                            acc.max = v;
+                        }
+                    }
+                }
+            }
+        }
+
+        // A grand-total aggregate (no GROUP BY) over empty input still
+        // produces one row — the asymmetry behind the COUNT bug.
+        if groups.is_empty() && group_by.is_empty() {
+            groups.push((Vec::new(), vec![Acc::new(); agg_slots.len()]));
+        }
+
+        self.stats.agg_groups += groups.len() as u64;
+
+        let mut out = Vec::with_capacity(groups.len());
+        for (_key, accs) in &groups {
+            let rep = accs
+                .iter()
+                .find_map(|a| a.rep.clone())
+                .unwrap_or_else(|| Row::nulls(layout.width()));
+            let env1 = Env::new(&layout, &rep, env);
+            let mut row = Row(Vec::with_capacity(bx.outputs.len()));
+            for (i, o) in bx.outputs.iter().enumerate() {
+                if let Some(si) = agg_slots.iter().position(|s| s.out_pos == i) {
+                    let acc = &accs[si];
+                    let slot = &agg_slots[si];
+                    let v = if acc.count == 0 {
+                        slot.func.empty_value()
+                    } else {
+                        match slot.func {
+                            AggFunc::Count => Value::Int(acc.count),
+                            AggFunc::Sum => acc.sum.clone(),
+                            // AVG is always a double, even when the sum
+                            // divides exactly (clients should not see the
+                            // result type vary with the data).
+                            AggFunc::Avg => {
+                                Value::Double(acc.sum.as_double()? / acc.count as f64)
+                            }
+                            AggFunc::Min => acc.min.clone(),
+                            AggFunc::Max => acc.max.clone(),
+                        }
+                    };
+                    row.0.push(v);
+                } else {
+                    row.0.push(eval_expr(&o.expr, &env1)?);
+                }
+            }
+            out.push(row);
+        }
+        Ok(out)
+    }
+
+    // ---- Union and OuterJoin ------------------------------------------------
+
+    fn eval_union(
+        &mut self,
+        qgm: &Qgm,
+        b: BoxId,
+        all: bool,
+        env: Option<&Env<'_>>,
+    ) -> Result<Vec<Row>> {
+        let bx = qgm.boxref(b);
+        let mut out = Vec::new();
+        for &q in &bx.quants {
+            let child = qgm.quant(q).input;
+            let rows = self.eval_child(qgm, child, env)?;
+            out.extend(rows.iter().cloned());
+        }
+        if !all {
+            out = dedup_rows(out);
+        }
+        Ok(out)
+    }
+
+    fn eval_outer_join(
+        &mut self,
+        qgm: &Qgm,
+        b: BoxId,
+        env: Option<&Env<'_>>,
+    ) -> Result<Vec<Row>> {
+        let bx = qgm.boxref(b);
+        let (ql, qr) = (bx.quants[0], bx.quants[1]);
+        let left = self.eval_child(qgm, qgm.quant(ql).input, env)?;
+        let right = self.eval_child(qgm, qgm.quant(qr).input, env)?;
+        let l_arity = qgm.output_arity(qgm.quant(ql).input);
+        let r_arity = qgm.output_arity(qgm.quant(qr).input);
+
+        let mut layout = Layout::new();
+        layout.push(ql, l_arity);
+        layout.push(qr, r_arity);
+        let mut l_layout = Layout::new();
+        l_layout.push(ql, l_arity);
+        let mut r_layout = Layout::new();
+        r_layout.push(qr, r_arity);
+
+        // Split ON predicates into hash keys and residuals. NullEq keys
+        // (the BugRemoval join with the magic table) match NULL bindings.
+        let mut l_keys: Vec<(Expr, bool)> = Vec::new();
+        let mut r_keys: Vec<(Expr, bool)> = Vec::new();
+        let mut residual: Vec<&Expr> = Vec::new();
+        for p in &bx.preds {
+            let mut is_key = false;
+            if let Expr::Binary {
+                op: op @ (decorr_qgm::BinOp::Eq | decorr_qgm::BinOp::NullEq),
+                left: a,
+                right: c,
+            } = p
+            {
+                let null_ok = *op == decorr_qgm::BinOp::NullEq;
+                let aq = a.referenced_quants();
+                let cq = c.referenced_quants();
+                if aq.iter().all(|x| *x != qr) && cq.iter().all(|x| *x != ql)
+                    && aq.contains(&ql) && cq.contains(&qr)
+                {
+                    l_keys.push(((**a).clone(), null_ok));
+                    r_keys.push(((**c).clone(), null_ok));
+                    is_key = true;
+                } else if aq.iter().all(|x| *x != ql) && cq.iter().all(|x| *x != qr)
+                    && aq.contains(&qr) && cq.contains(&ql)
+                {
+                    l_keys.push(((**c).clone(), null_ok));
+                    r_keys.push(((**a).clone(), null_ok));
+                    is_key = true;
+                }
+            }
+            if !is_key {
+                residual.push(p);
+            }
+        }
+
+        // Build hash table over the null-producing (right) side.
+        let mut table: FxHashMap<Vec<Value>, Vec<&Row>> = FxHashMap::default();
+        self.stats.hash_build_rows += right.len() as u64;
+        'build: for r in right.iter() {
+            let env1 = Env::new(&r_layout, r, env);
+            let mut key = Vec::with_capacity(r_keys.len());
+            for (k, null_ok) in &r_keys {
+                let v = eval_expr(k, &env1)?;
+                if v.is_null() && !null_ok {
+                    continue 'build;
+                }
+                key.push(v);
+            }
+            table.entry(key).or_default().push(r);
+        }
+
+        let nulls = Row::nulls(r_arity);
+        let mut out = Vec::new();
+        self.stats.hash_probes += left.len() as u64;
+        for l in left.iter() {
+            let env1 = Env::new(&l_layout, l, env);
+            let mut key = Vec::with_capacity(l_keys.len());
+            let mut null_key = false;
+            for (k, null_ok) in &l_keys {
+                let v = eval_expr(k, &env1)?;
+                if v.is_null() && !null_ok {
+                    null_key = true;
+                    break;
+                }
+                key.push(v);
+            }
+            // Candidates: hash matches, or (keyless ON) every right row;
+            // a NULL key matches nothing.
+            let candidate_rows: Vec<&Row> = if l_keys.is_empty() {
+                right.iter().collect()
+            } else if null_key {
+                Vec::new()
+            } else {
+                table.get(&key).map(|v| v.to_vec()).unwrap_or_default()
+            };
+
+            let mut matched = false;
+            for r in candidate_rows {
+                let combined = l.concat(r);
+                let env2 = Env::new(&layout, &combined, env);
+                let mut ok = true;
+                for p in &residual {
+                    self.stats.predicate_evals += 1;
+                    if !qualifies(p, &env2)? {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    matched = true;
+                    let mut row = Row(Vec::with_capacity(bx.outputs.len()));
+                    for o in &bx.outputs {
+                        row.0.push(eval_expr(&o.expr, &env2)?);
+                    }
+                    out.push(row);
+                }
+            }
+            if !matched {
+                // Null-extended left row.
+                let combined = l.concat(&nulls);
+                let env2 = Env::new(&layout, &combined, env);
+                let mut row = Row(Vec::with_capacity(bx.outputs.len()));
+                for o in &bx.outputs {
+                    row.0.push(eval_expr(&o.expr, &env2)?);
+                }
+                out.push(row);
+            }
+        }
+        self.stats.join_output_rows += out.len() as u64;
+        Ok(out)
+    }
+}
+
+/// Is `q` a reference that belongs to the box currently being joined (i.e.
+/// is it the incoming quantifier)? Helper for key classification: outer
+/// (correlated) references are constants during a join step and may appear
+/// on either side of an equi-join key.
+fn is_local_ref(_qgm: &Qgm, q: QuantId, next: QuantId) -> bool {
+    q == next
+}
+
+/// Order-preserving duplicate elimination.
+fn dedup_rows(rows: Vec<Row>) -> Vec<Row> {
+    let mut seen: FxHashSet<Row> = FxHashSet::default();
+    let mut out = Vec::with_capacity(rows.len());
+    for r in rows {
+        if seen.insert(r.clone()) {
+            out.push(r);
+        }
+    }
+    out
+}

@@ -1,0 +1,392 @@
+//! End-to-end executor tests: SQL → QGM → rows.
+
+use decorr_common::{row, DataType, Row, Schema, Value};
+use decorr_exec::{execute, execute_with, ExecOptions, ScalarPlacement};
+use decorr_sql::parse_and_bind;
+use decorr_storage::Database;
+
+/// The Section 2 example database:
+///   dept(name, budget, num_emps, building), emp(name, building)
+/// Department "ops" is in building 3, which has NO employees — the
+/// COUNT-bug witness.
+fn empdept() -> Database {
+    let mut db = Database::new();
+    let d = db
+        .create_table(
+            "dept",
+            Schema::from_pairs(&[
+                ("name", DataType::Str),
+                ("budget", DataType::Double),
+                ("num_emps", DataType::Int),
+                ("building", DataType::Int),
+            ]),
+        )
+        .unwrap();
+    d.insert_all(vec![
+        row!["toys", 5000.0, 3, 1],      // bldg 1 has 2 emps -> 3 > 2 ✓
+        row!["shoes", 8000.0, 1, 2],     // bldg 2 has 3 emps -> 1 > 3 ✗
+        row!["ops", 500.0, 1, 3],        // bldg 3 empty      -> 1 > 0 ✓ (COUNT bug!)
+        row!["golf", 20000.0, 9, 1],     // over budget       -> filtered
+        row!["books", 9000.0, 2, 1],     // 2 > 2 ✗
+    ])
+    .unwrap();
+    d.set_key(&["name"]).unwrap();
+    let e = db
+        .create_table(
+            "emp",
+            Schema::from_pairs(&[("name", DataType::Str), ("building", DataType::Int)]),
+        )
+        .unwrap();
+    e.insert_all(vec![
+        row!["ann", 1],
+        row!["bob", 1],
+        row!["cat", 2],
+        row!["dan", 2],
+        row!["eve", 2],
+    ])
+    .unwrap();
+    db
+}
+
+fn run(db: &Database, sql: &str) -> Vec<Row> {
+    let qgm = parse_and_bind(sql, db).unwrap();
+    let (rows, _) = execute(db, &qgm).unwrap();
+    rows
+}
+
+fn names(mut rows: Vec<Row>) -> Vec<String> {
+    rows.sort();
+    rows.iter().map(|r| r[0].as_str().unwrap().to_string()).collect()
+}
+
+#[test]
+fn simple_scan_filter_project() {
+    let db = empdept();
+    let rows = run(&db, "SELECT name FROM dept WHERE budget < 6000");
+    assert_eq!(names(rows), ["ops", "toys"]);
+}
+
+#[test]
+fn join_two_tables() {
+    let db = empdept();
+    let rows = run(
+        &db,
+        "SELECT E.name FROM dept D, emp E WHERE D.building = E.building AND D.name = 'shoes'",
+    );
+    assert_eq!(names(rows), ["cat", "dan", "eve"]);
+}
+
+#[test]
+fn the_paper_example_via_nested_iteration() {
+    let db = empdept();
+    let sql = "Select D.name From Dept D \
+        Where D.budget < 10000 and D.num_emps > \
+        (Select Count(*) From Emp E Where D.building = E.building)";
+    let qgm = parse_and_bind(sql, &db).unwrap();
+    let (rows, stats) = execute(&db, &qgm).unwrap();
+    // toys (3 > 2) and ops (1 > 0, the empty building) qualify.
+    assert_eq!(names(rows), ["ops", "toys"]);
+    // One invocation per low-budget department (4 candidates).
+    assert_eq!(stats.subquery_invocations, 4);
+}
+
+#[test]
+fn group_by_and_having() {
+    let db = empdept();
+    let rows = run(
+        &db,
+        "SELECT building, COUNT(*) AS c FROM emp GROUP BY building HAVING COUNT(*) > 2",
+    );
+    assert_eq!(rows, vec![row![2, 3]]);
+}
+
+#[test]
+fn scalar_aggregate_over_empty_input() {
+    let db = empdept();
+    // No employees in building 99: COUNT gives 0, SUM gives NULL.
+    let rows = run(&db, "SELECT COUNT(*) FROM emp WHERE building = 99");
+    assert_eq!(rows, vec![row![0]]);
+    let rows = run(&db, "SELECT SUM(building) FROM emp WHERE building = 99");
+    assert_eq!(rows, vec![Row::new(vec![Value::Null])]);
+}
+
+#[test]
+fn aggregate_functions() {
+    let db = empdept();
+    let rows = run(
+        &db,
+        "SELECT COUNT(*), COUNT(building), SUM(building), AVG(building), \
+                MIN(building), MAX(building) FROM emp",
+    );
+    assert_eq!(rows, vec![row![5, 5, 8, 1.6, 1, 2]]);
+}
+
+#[test]
+fn count_distinct() {
+    let db = empdept();
+    let rows = run(&db, "SELECT COUNT(DISTINCT building) FROM emp");
+    assert_eq!(rows, vec![row![2]]);
+}
+
+#[test]
+fn distinct_select() {
+    let db = empdept();
+    let rows = run(&db, "SELECT DISTINCT building FROM emp");
+    assert_eq!(rows.len(), 2);
+}
+
+#[test]
+fn union_all_and_distinct() {
+    let db = empdept();
+    let all = run(
+        &db,
+        "(SELECT building FROM emp) UNION ALL (SELECT building FROM emp)",
+    );
+    assert_eq!(all.len(), 10);
+    let distinct = run(
+        &db,
+        "(SELECT building FROM emp) UNION (SELECT building FROM emp)",
+    );
+    assert_eq!(distinct.len(), 2);
+}
+
+#[test]
+fn exists_semijoin() {
+    let db = empdept();
+    let rows = run(
+        &db,
+        "SELECT D.name FROM dept D WHERE EXISTS \
+         (SELECT E.name FROM emp E WHERE E.building = D.building)",
+    );
+    // every dept in buildings 1,2 (ops in 3 excluded)
+    assert_eq!(names(rows), ["books", "golf", "shoes", "toys"]);
+}
+
+#[test]
+fn not_exists_antijoin() {
+    let db = empdept();
+    let rows = run(
+        &db,
+        "SELECT D.name FROM dept D WHERE NOT EXISTS \
+         (SELECT E.name FROM emp E WHERE E.building = D.building)",
+    );
+    assert_eq!(names(rows), ["ops"]);
+}
+
+#[test]
+fn in_and_not_in_subquery() {
+    let db = empdept();
+    let rows = run(
+        &db,
+        "SELECT name FROM dept WHERE building IN (SELECT building FROM emp)",
+    );
+    assert_eq!(names(rows), ["books", "golf", "shoes", "toys"]);
+    let rows = run(
+        &db,
+        "SELECT name FROM dept WHERE building NOT IN (SELECT building FROM emp)",
+    );
+    assert_eq!(names(rows), ["ops"]);
+}
+
+#[test]
+fn all_quantifier() {
+    let db = empdept();
+    // budget strictly greater than every other dept's budget in building 1
+    let rows = run(
+        &db,
+        "SELECT D.name FROM dept D WHERE D.budget > ALL \
+         (SELECT D2.budget FROM dept D2 WHERE D2.building = 1 AND D2.name <> D.name)",
+    );
+    assert_eq!(names(rows), ["golf"]);
+}
+
+#[test]
+fn all_quantifier_vacuous_truth() {
+    let db = empdept();
+    // Empty subquery: ALL is vacuously true for every row.
+    let rows = run(
+        &db,
+        "SELECT name FROM dept WHERE budget > ALL \
+         (SELECT budget FROM dept D2 WHERE D2.building = 42)",
+    );
+    assert_eq!(rows.len(), 5);
+}
+
+#[test]
+fn lateral_correlated_derived_table() {
+    let db = empdept();
+    let qgm = parse_and_bind(
+        "SELECT D.name, c FROM dept D, DT(c) AS \
+         (SELECT COUNT(*) FROM emp E WHERE E.building = D.building)",
+        &db,
+    )
+    .unwrap();
+    let (mut rows, stats) = execute(&db, &qgm).unwrap();
+    rows.sort();
+    assert_eq!(stats.subquery_invocations, 5); // one per dept row
+    let ops = rows.iter().find(|r| r[0] == Value::str("ops")).unwrap();
+    assert_eq!(ops[1], Value::Int(0));
+    let shoes = rows.iter().find(|r| r[0] == Value::str("shoes")).unwrap();
+    assert_eq!(shoes[1], Value::Int(3));
+}
+
+#[test]
+fn uncorrelated_subquery_evaluated_once() {
+    let db = empdept();
+    let qgm = parse_and_bind(
+        "SELECT name FROM dept WHERE num_emps > (SELECT COUNT(*) FROM emp WHERE building = 2)",
+        &db,
+    )
+    .unwrap();
+    let (rows, stats) = execute(&db, &qgm).unwrap();
+    assert_eq!(names(rows), ["golf"]);
+    assert_eq!(stats.subquery_invocations, 1);
+}
+
+#[test]
+fn scalar_placement_changes_invocation_count_not_results() {
+    let db = empdept();
+    let sql = "Select D.name From Dept D, Emp E \
+        Where D.building = E.building and D.num_emps > \
+        (Select Count(*) From Emp E2 Where E2.building = D.building)";
+    let qgm = parse_and_bind(sql, &db).unwrap();
+    let (mut r1, s1) = execute(&db, &qgm).unwrap();
+    let (mut r2, s2) = execute_with(
+        &db,
+        &qgm,
+        ExecOptions { scalar_placement: ScalarPlacement::EarliestBinding, ..Default::default() },
+    )
+    .unwrap();
+    r1.sort();
+    r2.sort();
+    assert_eq!(r1, r2);
+    // Early placement: once per dept row (5); late: once per join row.
+    assert!(s2.subquery_invocations <= s1.subquery_invocations);
+    assert_eq!(s2.subquery_invocations, 5);
+}
+
+#[test]
+fn index_assisted_selection() {
+    let mut db = empdept();
+    db.table_mut("emp").unwrap().create_index(&["building"]).unwrap();
+    let qgm = parse_and_bind("SELECT name FROM emp WHERE building = 2", &db).unwrap();
+    let (rows, stats) = execute(&db, &qgm).unwrap();
+    assert_eq!(rows.len(), 3);
+    assert_eq!(stats.index_lookups, 1);
+    assert_eq!(stats.rows_scanned, 0);
+}
+
+#[test]
+fn index_used_inside_correlated_subquery() {
+    let mut db = empdept();
+    db.table_mut("emp").unwrap().create_index(&["building"]).unwrap();
+    let sql = "Select D.name From Dept D Where D.num_emps > \
+        (Select Count(*) From Emp E Where E.building = D.building)";
+    let qgm = parse_and_bind(sql, &db).unwrap();
+    let (_, stats) = execute(&db, &qgm).unwrap();
+    // Each of the 5 invocations probes the index instead of scanning emp.
+    assert_eq!(stats.subquery_invocations, 5);
+    assert_eq!(stats.index_lookups, 5);
+}
+
+#[test]
+fn memoize_cse_reuses_shared_boxes() {
+    // Build a QGM with a shared derived box through SQL is hard; instead
+    // check the option end-to-end: an uncorrelated subquery is evaluated
+    // once either way, so here we simply assert memoization does not
+    // change results.
+    let db = empdept();
+    let sql = "SELECT name FROM dept WHERE num_emps >= \
+               (SELECT COUNT(*) FROM emp WHERE building = 1)";
+    let qgm = parse_and_bind(sql, &db).unwrap();
+    let (r1, _) = execute(&db, &qgm).unwrap();
+    let (r2, _) = execute_with(
+        &db,
+        &qgm,
+        ExecOptions { memoize_cse: true, ..Default::default() },
+    )
+    .unwrap();
+    assert_eq!(r1, r2);
+}
+
+#[test]
+fn multi_level_correlation_executes() {
+    let db = empdept();
+    let rows = run(
+        &db,
+        "SELECT D.name FROM dept D WHERE D.num_emps > \
+           (SELECT COUNT(*) FROM emp E WHERE E.building = D.building AND E.name IN \
+             (SELECT E2.name FROM emp E2 WHERE E2.building = D.building AND E2.name <> 'ann'))",
+    );
+    // building 1: emps {ann,bob}; inner IN excludes ann -> count 1; toys 3>1 ✓, books 2>1 ✓
+    // building 2: {cat,dan,eve} minus nobody -> 3; shoes 1>3 ✗
+    // building 3: 0; ops 1>0 ✓ ; golf 9>1 ✓
+    assert_eq!(names(rows), ["books", "golf", "ops", "toys"]);
+}
+
+#[test]
+fn arithmetic_in_outputs_and_preds() {
+    let db = empdept();
+    let rows = run(
+        &db,
+        "SELECT name, budget / 1000 AS kb FROM dept WHERE budget * 2 >= 18000",
+    );
+    assert_eq!(names(rows.clone()), ["books", "golf"]);
+    assert!(rows.iter().any(|r| r[1] == Value::Int(9)));
+}
+
+#[test]
+fn in_list_and_between() {
+    let db = empdept();
+    let rows = run(
+        &db,
+        "SELECT name FROM dept WHERE name IN ('toys', 'ops') AND budget BETWEEN 100 AND 6000",
+    );
+    assert_eq!(names(rows), ["ops", "toys"]);
+}
+
+#[test]
+fn cross_product_when_no_join_predicate() {
+    let db = empdept();
+    let rows = run(&db, "SELECT D.name, E.name FROM dept D, emp E");
+    assert_eq!(rows.len(), 25);
+}
+
+#[test]
+fn output_rows_counted() {
+    let db = empdept();
+    let qgm = parse_and_bind("SELECT name FROM dept", &db).unwrap();
+    let (_, stats) = execute(&db, &qgm).unwrap();
+    assert_eq!(stats.output_rows, 5);
+    assert_eq!(stats.rows_scanned, 5);
+}
+
+#[test]
+fn scalar_subquery_cardinality_violation() {
+    let db = empdept();
+    let qgm = parse_and_bind(
+        "SELECT name FROM dept WHERE budget > (SELECT budget FROM dept D2)",
+        &db,
+    )
+    .unwrap();
+    let err = execute(&db, &qgm).unwrap_err();
+    assert!(err.to_string().contains("scalar subquery returned"));
+}
+
+#[test]
+fn null_semantics_in_filters() {
+    let mut db = Database::new();
+    let t = db
+        .create_table("t", Schema::from_pairs(&[("x", DataType::Int)]))
+        .unwrap();
+    t.insert_all(vec![row![1], Row::new(vec![Value::Null]), row![3]])
+        .unwrap();
+    // NULL comparisons are unknown and filter out.
+    let rows = run(&db, "SELECT x FROM t WHERE x > 0");
+    assert_eq!(rows.len(), 2);
+    let rows = run(&db, "SELECT x FROM t WHERE x IS NULL");
+    assert_eq!(rows.len(), 1);
+    // NOT IN with NULL in the outer value: filtered (unknown).
+    let rows = run(&db, "SELECT x FROM t WHERE x NOT IN (SELECT x FROM t WHERE x = 1)");
+    assert_eq!(rows.len(), 1); // only 3 qualifies; NULL <> 1 is unknown
+}

@@ -1,0 +1,85 @@
+//! Parallel execution metrics.
+
+use std::fmt;
+use std::time::Duration;
+
+/// What one parallel execution cost, beyond the answer itself.
+#[derive(Debug, Clone, Default)]
+pub struct ParallelStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Inter-node messages (binding broadcasts, partial-result returns,
+    /// shipped tuples during repartitioning — one message per tuple).
+    pub messages: u64,
+    /// Tuples moved between nodes during repartitioning.
+    pub rows_shipped: u64,
+    /// Computation fragments started across the cluster (the paper's
+    /// O(n²)-vs-O(n) quantity).
+    pub fragments: u64,
+    /// Correlated subquery invocations summed over all nodes.
+    pub subquery_invocations: u64,
+    /// Deterministic work performed by each node
+    /// ([`decorr_common::ExecStats::total_work`]).
+    pub per_node_work: Vec<u64>,
+    /// Wall-clock time of the parallel phase.
+    pub elapsed: Duration,
+    /// Rows in the final result.
+    pub result_rows: usize,
+}
+
+impl ParallelStats {
+    /// Total work across the cluster.
+    pub fn total_work(&self) -> u64 {
+        self.per_node_work.iter().sum()
+    }
+
+    /// Max/mean work ratio: 1.0 is a perfectly balanced cluster.
+    pub fn skew(&self) -> f64 {
+        if self.per_node_work.is_empty() {
+            return 1.0;
+        }
+        let max = *self.per_node_work.iter().max().unwrap() as f64;
+        let mean = self.total_work() as f64 / self.per_node_work.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+impl fmt::Display for ParallelStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "nodes            {:>12}", self.nodes)?;
+        writeln!(f, "fragments        {:>12}", self.fragments)?;
+        writeln!(f, "messages         {:>12}", self.messages)?;
+        writeln!(f, "rows shipped     {:>12}", self.rows_shipped)?;
+        writeln!(f, "subquery invokes {:>12}", self.subquery_invocations)?;
+        writeln!(f, "total work       {:>12}", self.total_work())?;
+        writeln!(f, "work skew        {:>12.2}", self.skew())?;
+        write!(f, "result rows      {:>12}", self.result_rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_of_balanced_cluster_is_one() {
+        let s = ParallelStats { per_node_work: vec![10, 10, 10], ..Default::default() };
+        assert!((s.skew() - 1.0).abs() < 1e-9);
+        assert_eq!(s.total_work(), 30);
+    }
+
+    #[test]
+    fn skew_detects_imbalance() {
+        let s = ParallelStats { per_node_work: vec![30, 0, 0], ..Default::default() };
+        assert!((s.skew() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_cluster_skew() {
+        assert_eq!(ParallelStats::default().skew(), 1.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Section 6 end-to-end: parallel nested iteration vs the decorrelated
+//! plan must agree with single-node execution, with O(n²) vs O(n)
+//! computation fragments.
+
+use decorr_core::magic::MagicOptions;
+use decorr_exec::execute;
+use decorr_parallel::{run_decorrelated, run_nested_iteration, Cluster};
+use decorr_sql::parse_and_bind;
+use decorr_tpcd::empdept::{generate, EmpDeptConfig};
+
+const QUERY: &str = "Select D.name From Dept D \
+    Where D.budget < 10000 and D.num_emps > \
+    (Select Count(*) From Emp E Where D.building = E.building)";
+
+fn sorted(mut rows: Vec<decorr_common::Row>) -> Vec<decorr_common::Row> {
+    rows.sort();
+    rows
+}
+
+#[test]
+fn parallel_strategies_agree_with_single_node() {
+    let db = generate(&EmpDeptConfig {
+        departments: 120,
+        employees: 800,
+        buildings: 12,
+        seed: 11,
+        with_indexes: true,
+    })
+    .unwrap();
+    let qgm = parse_and_bind(QUERY, &db).unwrap();
+    let (truth, _) = execute(&db, &qgm).unwrap();
+    let truth = sorted(truth);
+    assert!(!truth.is_empty());
+
+    for n in [1, 2, 4, 8] {
+        let cluster = Cluster::partition_by_key(&db, n).unwrap();
+        let (ni_rows, ni_stats) = run_nested_iteration(&cluster, &qgm).unwrap();
+        assert_eq!(sorted(ni_rows), truth, "NI on {n} nodes");
+        assert_eq!(ni_stats.nodes, n);
+
+        let mut cluster2 = Cluster::partition_by_key(&db, n).unwrap();
+        let (dc_rows, dc_stats) = run_decorrelated(
+            &mut cluster2,
+            &qgm,
+            &[("dept", "building"), ("emp", "building")],
+            &MagicOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(sorted(dc_rows), truth, "decorrelated on {n} nodes");
+        assert_eq!(dc_stats.fragments, n as u64);
+    }
+}
+
+#[test]
+fn nested_iteration_fragments_grow_quadratically() {
+    let db = generate(&EmpDeptConfig {
+        departments: 60,
+        employees: 300,
+        buildings: 10,
+        seed: 3,
+        with_indexes: true,
+    })
+    .unwrap();
+    let qgm = parse_and_bind(QUERY, &db).unwrap();
+
+    // Qualifying outer tuples are fixed; NI fragments = candidates × n.
+    let mut frag_per_n = Vec::new();
+    for n in [1, 2, 4] {
+        let cluster = Cluster::partition_by_key(&db, n).unwrap();
+        let (_, stats) = run_nested_iteration(&cluster, &qgm).unwrap();
+        assert_eq!(stats.fragments, stats.subquery_invocations * n as u64);
+        frag_per_n.push(stats.fragments);
+        // Broadcast messaging: 2(n-1) messages per binding.
+        assert_eq!(
+            stats.messages,
+            stats.subquery_invocations * 2 * (n as u64 - 1)
+        );
+    }
+    assert_eq!(frag_per_n[1], 2 * frag_per_n[0]);
+    assert_eq!(frag_per_n[2], 4 * frag_per_n[0]);
+}
+
+#[test]
+fn decorrelated_plan_communicates_only_during_repartitioning() {
+    let db = generate(&EmpDeptConfig {
+        departments: 60,
+        employees: 300,
+        buildings: 10,
+        seed: 3,
+        with_indexes: true,
+    })
+    .unwrap();
+    let qgm = parse_and_bind(QUERY, &db).unwrap();
+    let n = 4;
+    let mut cluster = Cluster::partition_by_key(&db, n).unwrap();
+    let (_, stats) = run_decorrelated(
+        &mut cluster,
+        &qgm,
+        &[("dept", "building"), ("emp", "building")],
+        &MagicOptions::default(),
+    )
+    .unwrap();
+    // All messages are shipped tuples plus one result message per node.
+    assert_eq!(stats.messages, stats.rows_shipped + n as u64);
+    // Repartitioning moves at most all rows.
+    assert!(stats.rows_shipped <= 360);
+    // Work spreads over the nodes instead of repeating on all of them.
+    // (Hash placement of 10 buildings can starve a node, but most nodes
+    // must hold work.)
+    let busy = stats.per_node_work.iter().filter(|&&w| w > 0).count();
+    assert!(busy >= n / 2, "only {busy} of {n} nodes did work");
+}
+
+#[test]
+fn decorrelated_beats_ni_on_total_work_and_messages() {
+    let db = generate(&EmpDeptConfig {
+        departments: 400,
+        employees: 4000,
+        buildings: 25,
+        seed: 5,
+        with_indexes: true,
+    })
+    .unwrap();
+    let qgm = parse_and_bind(QUERY, &db).unwrap();
+    let n = 8;
+    let cluster = Cluster::partition_by_key(&db, n).unwrap();
+    let (_, ni) = run_nested_iteration(&cluster, &qgm).unwrap();
+    let mut cluster2 = Cluster::partition_by_key(&db, n).unwrap();
+    let (_, dc) = run_decorrelated(
+        &mut cluster2,
+        &qgm,
+        &[("dept", "building"), ("emp", "building")],
+        &MagicOptions::default(),
+    )
+    .unwrap();
+    assert!(dc.total_work() < ni.total_work(), "{} vs {}", dc.total_work(), ni.total_work());
+    assert!(dc.fragments < ni.fragments);
+}
+
+#[test]
+fn parallel_ni_rejects_unsupported_shapes() {
+    let db = generate(&EmpDeptConfig::default()).unwrap();
+    // Two outer tables: local joins over key-partitioned tables are wrong,
+    // so the runner refuses.
+    let qgm = parse_and_bind(
+        "SELECT D.name FROM dept D, emp E0 WHERE D.building = E0.building AND \
+         D.num_emps > (SELECT COUNT(*) FROM emp E WHERE E.building = D.building)",
+        &db,
+    )
+    .unwrap();
+    let cluster = Cluster::partition_by_key(&db, 2).unwrap();
+    assert!(run_nested_iteration(&cluster, &qgm).is_err());
+}

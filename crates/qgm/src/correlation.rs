@@ -1,0 +1,189 @@
+//! Correlation analysis (paper Section 4.1).
+//!
+//! "To determine if a child box is correlated, the algorithm utilizes the
+//! following information: (1) a list of its ancestors, (2) a list of its
+//! descendants, (3) which of its ancestors it is correlated to, and
+//! (4) which descendant box caused each correlation. In our implementation,
+//! this information is precomputed by a traversal of the graph."
+//!
+//! [`CorrelationMap::analyze`] is that traversal.
+
+use decorr_common::{FxHashMap, FxHashSet};
+
+use crate::graph::{BoxId, Qgm, QuantId};
+
+/// One correlated column reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CorrRef {
+    /// The correlation column: which ancestor quantifier / column is read.
+    pub quant: QuantId,
+    pub col: usize,
+    /// The *destination of correlation*: the box whose expression contains
+    /// the reference.
+    pub dest: BoxId,
+}
+
+/// Precomputed correlation information for every box in a graph.
+#[derive(Debug, Default)]
+pub struct CorrelationMap {
+    /// For each box B: the correlated references appearing in B's own
+    /// expressions (B is their destination).
+    direct: FxHashMap<BoxId, Vec<CorrRef>>,
+    /// For each box B: all correlated references in B's subtree whose
+    /// source quantifier is owned *outside* that subtree. This is what the
+    /// FEED stage needs: the bindings the subtree consumes from above.
+    subtree: FxHashMap<BoxId, Vec<CorrRef>>,
+}
+
+impl CorrelationMap {
+    /// Run the analysis over the whole graph.
+    pub fn analyze(qgm: &Qgm) -> Self {
+        let mut map = CorrelationMap::default();
+        for b in qgm.live_boxes() {
+            // Direct: refs in this box's expressions to quantifiers it does
+            // not own.
+            let own: FxHashSet<QuantId> = b.quants.iter().copied().collect();
+            let mut direct = Vec::new();
+            let mut seen = FxHashSet::default();
+            b.for_each_expr(|e| {
+                e.for_each_col(&mut |q, c| {
+                    if !own.contains(&q) && seen.insert((q, c)) {
+                        direct.push(CorrRef { quant: q, col: c, dest: b.id });
+                    }
+                });
+            });
+            if !direct.is_empty() {
+                map.direct.insert(b.id, direct);
+            }
+        }
+        // Subtree: for each box, free refs of its subtree with destination
+        // attribution.
+        for b in qgm.live_boxes() {
+            let local = qgm.subtree_quants(b.id);
+            let mut list = Vec::new();
+            let mut seen = FxHashSet::default();
+            for inner in qgm.reachable_boxes(b.id) {
+                if let Some(direct) = map.direct.get(&inner) {
+                    for r in direct {
+                        if !local.contains(&r.quant) && seen.insert((r.quant, r.col, r.dest)) {
+                            list.push(*r);
+                        }
+                    }
+                }
+            }
+            if !list.is_empty() {
+                map.subtree.insert(b.id, list);
+            }
+        }
+        map
+    }
+
+    /// Correlated references whose destination is the given box itself.
+    pub fn direct_refs(&self, b: BoxId) -> &[CorrRef] {
+        self.direct.get(&b).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All correlated references of the subtree rooted at `b` (the
+    /// bindings the subtree needs from its ancestors).
+    pub fn subtree_refs(&self, b: BoxId) -> &[CorrRef] {
+        self.subtree.get(&b).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Is the subtree rooted at `b` correlated?
+    pub fn is_correlated(&self, b: BoxId) -> bool {
+        self.subtree.contains_key(&b)
+    }
+
+    /// The ancestor boxes the subtree at `b` is correlated to — the
+    /// *sources of correlation* (owners of the referenced quantifiers).
+    pub fn sources(&self, qgm: &Qgm, b: BoxId) -> Vec<BoxId> {
+        let mut out = Vec::new();
+        for r in self.subtree_refs(b) {
+            let owner = qgm.quant(r.quant).owner;
+            if !out.contains(&owner) {
+                out.push(owner);
+            }
+        }
+        out
+    }
+
+    /// The descendant boxes that caused correlations in `b`'s subtree —
+    /// the *destinations of correlation*.
+    pub fn destinations(&self, b: BoxId) -> Vec<BoxId> {
+        let mut out = Vec::new();
+        for r in self.subtree_refs(b) {
+            if !out.contains(&r.dest) {
+                out.push(r.dest);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinOp, Expr};
+    use crate::graph::{BoxKind, QuantKind};
+    use decorr_common::{DataType, Schema};
+
+    /// Two-level correlation: top -> mid -> leaf where the leaf references
+    /// a top quantifier column.
+    fn two_level() -> (Qgm, BoxId, BoxId, BoxId, QuantId) {
+        let mut g = Qgm::new();
+        let t1 = g.add_base_table("t1", Schema::from_pairs(&[("a", DataType::Int)]));
+        let t2 = g.add_base_table("t2", Schema::from_pairs(&[("b", DataType::Int)]));
+
+        let top = g.add_box(BoxKind::Select, "top");
+        let q1 = g.add_quant(top, QuantKind::Foreach, t1, "T1");
+
+        let leaf = g.add_box(BoxKind::Select, "leaf");
+        let q2 = g.add_quant(leaf, QuantKind::Foreach, t2, "T2");
+        g.boxmut(leaf)
+            .preds
+            .push(Expr::eq(Expr::col(q2, 0), Expr::col(q1, 0)));
+        g.add_output(leaf, "b", Expr::col(q2, 0));
+
+        let mid = g.add_box(BoxKind::Select, "mid");
+        let qleaf = g.add_quant(mid, QuantKind::Foreach, leaf, "L");
+        g.add_output(mid, "b", Expr::col(qleaf, 0));
+
+        let qmid = g.add_quant(top, QuantKind::Existential, mid, "M");
+        g.boxmut(top).preds.push(Expr::bin(
+            BinOp::Eq,
+            Expr::col(q1, 0),
+            Expr::col(qmid, 0),
+        ));
+        g.add_output(top, "a", Expr::col(q1, 0));
+        g.set_top(top);
+        (g, top, mid, leaf, q1)
+    }
+
+    #[test]
+    fn direct_vs_subtree() {
+        let (g, top, mid, leaf, q1) = two_level();
+        let cm = CorrelationMap::analyze(&g);
+        // leaf directly references q1.
+        assert_eq!(cm.direct_refs(leaf).len(), 1);
+        assert_eq!(cm.direct_refs(leaf)[0].quant, q1);
+        // mid has no direct correlation but its subtree does.
+        assert!(cm.direct_refs(mid).is_empty());
+        assert!(cm.is_correlated(mid));
+        assert_eq!(cm.subtree_refs(mid)[0].dest, leaf);
+        // top's subtree has no free refs (q1 is owned inside).
+        assert!(!cm.is_correlated(top));
+        // top *does* have direct refs to its own children's quantifiers?
+        // No: direct refs are to quantifiers the box does not own, and top
+        // owns q1 and qmid.
+        assert!(cm.direct_refs(top).is_empty());
+    }
+
+    #[test]
+    fn sources_and_destinations() {
+        let (g, top, mid, leaf, _) = two_level();
+        let cm = CorrelationMap::analyze(&g);
+        assert_eq!(cm.sources(&g, mid), vec![top]);
+        assert_eq!(cm.destinations(mid), vec![leaf]);
+        assert_eq!(cm.sources(&g, leaf), vec![top]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Textual rendering of query graphs.
+//!
+//! The paper explains magic decorrelation through QGM diagrams
+//! (Figures 1–4). [`render`] produces a deterministic text version of the
+//! same information — boxes top-down with their quantifiers, predicates,
+//! outputs, and correlation annotations — which the golden tests in
+//! `tests/qgm_figures.rs` compare against expected traces.
+
+use std::fmt::Write as _;
+
+use crate::correlation::CorrelationMap;
+use crate::graph::{BoxId, BoxKind, Qgm};
+
+/// Render the subgraph reachable from the top box.
+pub fn render(qgm: &Qgm) -> String {
+    render_from(qgm, qgm.top())
+}
+
+/// Render the subgraph reachable from `root`.
+pub fn render_from(qgm: &Qgm, root: BoxId) -> String {
+    let cm = CorrelationMap::analyze(qgm);
+    let mut s = String::new();
+    for id in qgm.reachable_boxes(root) {
+        let b = qgm.boxref(id);
+        let spj = if b.kind.is_spj() { "" } else { " (non-SPJ)" };
+        let distinct = if b.distinct { " DISTINCT" } else { "" };
+        writeln!(s, "{} [{}{}]{} \"{}\"", id, b.kind.name(), spj, distinct, b.label).unwrap();
+        match &b.kind {
+            BoxKind::BaseTable { table, schema, .. } => {
+                writeln!(s, "    table {} {}", table, schema).unwrap();
+            }
+            BoxKind::Grouping { group_by } if !group_by.is_empty() => {
+                let gb: Vec<String> = group_by.iter().map(ToString::to_string).collect();
+                writeln!(s, "    group by {}", gb.join(", ")).unwrap();
+            }
+            BoxKind::Union { all } => {
+                writeln!(s, "    union {}", if *all { "all" } else { "distinct" }).unwrap();
+            }
+            _ => {}
+        }
+        for &qid in &b.quants {
+            let q = qgm.quant(qid);
+            writeln!(
+                s,
+                "    {}:{} over {} \"{}\"",
+                qid,
+                q.kind,
+                q.input,
+                q.alias
+            )
+            .unwrap();
+        }
+        for p in &b.preds {
+            writeln!(s, "    pred {}", p).unwrap();
+        }
+        for (i, o) in b.outputs.iter().enumerate() {
+            writeln!(s, "    out[{i}] {} := {}", o.name, o.expr).unwrap();
+        }
+        for r in cm.direct_refs(id) {
+            let owner = qgm.quant(r.quant).owner;
+            writeln!(
+                s,
+                "    ~ correlated on {}.c{} (source box {})",
+                r.quant, r.col, owner
+            )
+            .unwrap();
+        }
+    }
+    s
+}
+
+/// A one-line-per-box summary, convenient in examples.
+pub fn summary(qgm: &Qgm) -> String {
+    let cm = CorrelationMap::analyze(qgm);
+    let mut s = String::new();
+    for id in qgm.reachable_boxes(qgm.top()) {
+        let b = qgm.boxref(id);
+        let corr = if cm.is_correlated(id) { " [correlated]" } else { "" };
+        writeln!(
+            s,
+            "{} {} \"{}\" quants={} preds={} outs={}{}",
+            id,
+            b.kind.name(),
+            b.label,
+            b.quants.len(),
+            b.preds.len(),
+            qgm.output_arity(id),
+            corr
+        )
+        .unwrap();
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::graph::{BoxKind, QuantKind};
+    use decorr_common::{DataType, Schema};
+
+    #[test]
+    fn render_contains_structure() {
+        let mut g = Qgm::new();
+        let t = g.add_base_table("emp", Schema::from_pairs(&[("x", DataType::Int)]));
+        let top = g.add_box(BoxKind::Select, "top");
+        let q = g.add_quant(top, QuantKind::Foreach, t, "E");
+        g.boxmut(top).preds.push(Expr::eq(Expr::col(q, 0), Expr::lit(1)));
+        g.add_output(top, "x", Expr::col(q, 0));
+        g.set_top(top);
+
+        let text = render(&g);
+        assert!(text.contains("[Select]"));
+        assert!(text.contains("table emp"));
+        assert!(text.contains("pred (Q0.c0 = 1)"));
+        assert!(text.contains("out[0] x := Q0.c0"));
+
+        let sum = summary(&g);
+        assert!(sum.contains("Select"));
+        assert!(!sum.contains("[correlated]"));
+    }
+
+    #[test]
+    fn render_marks_correlation() {
+        let mut g = Qgm::new();
+        let t1 = g.add_base_table("a", Schema::from_pairs(&[("x", DataType::Int)]));
+        let t2 = g.add_base_table("b", Schema::from_pairs(&[("y", DataType::Int)]));
+        let top = g.add_box(BoxKind::Select, "top");
+        let q1 = g.add_quant(top, QuantKind::Foreach, t1, "A");
+        let sub = g.add_box(BoxKind::Select, "sub");
+        let q2 = g.add_quant(sub, QuantKind::Foreach, t2, "B");
+        g.boxmut(sub).preds.push(Expr::eq(Expr::col(q2, 0), Expr::col(q1, 0)));
+        g.add_output(sub, "y", Expr::col(q2, 0));
+        let qs = g.add_quant(top, QuantKind::Existential, sub, "S");
+        let _ = qs;
+        g.add_output(top, "x", Expr::col(q1, 0));
+        g.set_top(top);
+
+        let text = render(&g);
+        assert!(text.contains("~ correlated on"));
+        assert!(summary(&g).contains("[correlated]"));
+    }
+}

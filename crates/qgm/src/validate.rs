@@ -1,0 +1,304 @@
+//! Graph consistency checking.
+//!
+//! "Each rule application should leave the QGM in a consistent state,
+//! because the query rewrite phase may be terminated at any point" — the
+//! paper, Section 3. Rewrite tests call [`validate`] after *every* rule
+//! application to enforce exactly this.
+
+use decorr_common::{Error, FxHashSet, Result};
+
+use crate::expr::Expr;
+use crate::graph::{BoxId, BoxKind, Qgm, QuantId, QuantKind};
+
+/// Check the structural consistency of the subgraph reachable from the top
+/// box. Returns the first violation found.
+///
+/// Checked invariants:
+/// 1. every quantifier's `input` and `owner` boxes are live, and the owner
+///    lists the quantifier exactly once;
+/// 2. every column reference resolves: the quantifier is live and the
+///    column index is within the arity of its input box;
+/// 3. every column reference in a box refers either to a quantifier owned
+///    by that box or to one owned by an **ancestor** (a valid correlation);
+/// 4. per-kind shape rules: BaseTable boxes own no quantifiers and have no
+///    predicates; Grouping boxes have exactly one Foreach quantifier and
+///    aggregate-free grouping expressions; Union boxes have ≥ 2 Foreach
+///    quantifiers over same-arity children; OuterJoin boxes have exactly
+///    two Foreach quantifiers; Select boxes contain no aggregates;
+/// 5. the top box has no free (correlated) references.
+pub fn validate(qgm: &Qgm) -> Result<()> {
+    let reachable = qgm.reachable_boxes(qgm.top());
+    let live: FxHashSet<BoxId> = reachable.iter().copied().collect();
+
+    for &bid in &reachable {
+        let b = qgm.boxref(bid);
+        // (1) quantifier bookkeeping
+        let mut seen_quants: FxHashSet<QuantId> = FxHashSet::default();
+        for &q in &b.quants {
+            let quant = qgm.quant(q);
+            if quant.owner != bid {
+                return Err(Error::internal(format!(
+                    "{bid}: quantifier {q} listed but owned by {}",
+                    quant.owner
+                )));
+            }
+            if !qgm.is_live(quant.input) {
+                return Err(Error::internal(format!(
+                    "{bid}: quantifier {q} ranges over deleted box"
+                )));
+            }
+            if !seen_quants.insert(q) {
+                return Err(Error::internal(format!(
+                    "{bid}: quantifier {q} listed twice"
+                )));
+            }
+        }
+
+        // (4) shape rules
+        match &b.kind {
+            BoxKind::BaseTable { .. } => {
+                if !b.quants.is_empty() || !b.preds.is_empty() || !b.outputs.is_empty() {
+                    return Err(Error::internal(format!(
+                        "{bid}: BaseTable box must be a bare leaf"
+                    )));
+                }
+            }
+            BoxKind::Grouping { group_by } => {
+                if b.quants.len() != 1 || qgm.quant(b.quants[0]).kind != QuantKind::Foreach {
+                    return Err(Error::internal(format!(
+                        "{bid}: Grouping box needs exactly one Foreach quantifier"
+                    )));
+                }
+                if !b.preds.is_empty() {
+                    return Err(Error::internal(format!(
+                        "{bid}: Grouping box must not carry predicates (HAVING lives in a Select above)"
+                    )));
+                }
+                for g in group_by {
+                    if g.contains_agg() {
+                        return Err(Error::internal(format!(
+                            "{bid}: grouping expression contains an aggregate"
+                        )));
+                    }
+                }
+                for o in &b.outputs {
+                    if !o.expr.contains_agg() && !group_by.contains(&o.expr) {
+                        return Err(Error::internal(format!(
+                            "{bid}: non-aggregate output '{}' is not a grouping expression",
+                            o.name
+                        )));
+                    }
+                }
+            }
+            BoxKind::Union { .. } => {
+                if b.quants.len() < 2 {
+                    return Err(Error::internal(format!(
+                        "{bid}: Union box needs at least two branches"
+                    )));
+                }
+                let arity = qgm.output_arity(qgm.quant(b.quants[0]).input);
+                for &q in &b.quants {
+                    let quant = qgm.quant(q);
+                    if quant.kind != QuantKind::Foreach {
+                        return Err(Error::internal(format!(
+                            "{bid}: Union branches must be Foreach"
+                        )));
+                    }
+                    if qgm.output_arity(quant.input) != arity {
+                        return Err(Error::internal(format!(
+                            "{bid}: Union branches have different arities"
+                        )));
+                    }
+                }
+                if b.outputs.len() != arity {
+                    return Err(Error::internal(format!(
+                        "{bid}: Union output arity must match branch arity"
+                    )));
+                }
+            }
+            BoxKind::OuterJoin => {
+                if b.quants.len() != 2 {
+                    return Err(Error::internal(format!(
+                        "{bid}: OuterJoin box needs exactly two quantifiers"
+                    )));
+                }
+                for &q in &b.quants {
+                    if qgm.quant(q).kind != QuantKind::Foreach {
+                        return Err(Error::internal(format!(
+                            "{bid}: OuterJoin quantifiers must be Foreach"
+                        )));
+                    }
+                }
+            }
+            BoxKind::Select => {
+                let check = |e: &Expr, what: &str| -> Result<()> {
+                    if e.contains_agg() {
+                        return Err(Error::internal(format!(
+                            "{bid}: Select box {what} contains an aggregate"
+                        )));
+                    }
+                    Ok(())
+                };
+                for p in &b.preds {
+                    check(p, "predicate")?;
+                }
+                for o in &b.outputs {
+                    check(&o.expr, "output")?;
+                }
+            }
+        }
+
+        // (2) + (3) column references
+        let ancestors: FxHashSet<BoxId> = qgm.ancestors_of(bid).into_iter().collect();
+        let mut ref_err: Option<Error> = None;
+        b.for_each_expr(|e| {
+            e.for_each_col(&mut |q, c| {
+                if ref_err.is_some() {
+                    return;
+                }
+                let quant = qgm.quant(q);
+                let arity = qgm.output_arity(quant.input);
+                if c >= arity {
+                    ref_err = Some(Error::internal(format!(
+                        "{bid}: reference {q}.c{c} out of range (arity {arity})"
+                    )));
+                    return;
+                }
+                let owner = quant.owner;
+                if owner != bid && !ancestors.contains(&owner) {
+                    ref_err = Some(Error::internal(format!(
+                        "{bid}: reference {q}.c{c} to quantifier owned by {owner}, \
+                         which is not this box or an ancestor"
+                    )));
+                }
+            });
+        });
+        if let Some(e) = ref_err {
+            return Err(e);
+        }
+        let _ = live;
+    }
+
+    // (5) top box closed
+    if !qgm.free_refs(qgm.top()).is_empty() {
+        return Err(Error::internal(
+            "top box has free (correlated) references".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use decorr_common::{DataType, Schema};
+
+    fn base(g: &mut Qgm) -> BoxId {
+        g.add_base_table("t", Schema::from_pairs(&[("x", DataType::Int)]))
+    }
+
+    #[test]
+    fn valid_simple_select() {
+        let mut g = Qgm::new();
+        let t = base(&mut g);
+        let top = g.add_box(BoxKind::Select, "top");
+        let q = g.add_quant(top, QuantKind::Foreach, t, "T");
+        g.add_output(top, "x", Expr::col(q, 0));
+        g.set_top(top);
+        assert!(validate(&g).is_ok());
+    }
+
+    #[test]
+    fn rejects_out_of_range_column() {
+        let mut g = Qgm::new();
+        let t = base(&mut g);
+        let top = g.add_box(BoxKind::Select, "top");
+        let q = g.add_quant(top, QuantKind::Foreach, t, "T");
+        g.add_output(top, "bad", Expr::col(q, 5));
+        g.set_top(top);
+        assert!(validate(&g).is_err());
+    }
+
+    #[test]
+    fn rejects_reference_to_non_ancestor() {
+        let mut g = Qgm::new();
+        let t = base(&mut g);
+        // Two sibling selects; one references the other's quantifier.
+        let a = g.add_box(BoxKind::Select, "a");
+        let qa = g.add_quant(a, QuantKind::Foreach, t, "T");
+        g.add_output(a, "x", Expr::col(qa, 0));
+        let b = g.add_box(BoxKind::Select, "b");
+        let _qb = g.add_quant(b, QuantKind::Foreach, t, "T2");
+        g.add_output(b, "x", Expr::col(qa, 0)); // illegal: qa owned by sibling
+        let top = g.add_box(BoxKind::Select, "top");
+        let q1 = g.add_quant(top, QuantKind::Foreach, a, "A");
+        let q2 = g.add_quant(top, QuantKind::Foreach, b, "B");
+        g.add_output(top, "x", Expr::col(q1, 0));
+        g.add_output(top, "y", Expr::col(q2, 0));
+        g.set_top(top);
+        assert!(validate(&g).is_err());
+    }
+
+    #[test]
+    fn accepts_legal_correlation() {
+        let mut g = Qgm::new();
+        let t = base(&mut g);
+        let top = g.add_box(BoxKind::Select, "top");
+        let qt = g.add_quant(top, QuantKind::Foreach, t, "T");
+        let sub = g.add_box(BoxKind::Select, "sub");
+        let qs = g.add_quant(sub, QuantKind::Foreach, t, "T2");
+        g.boxmut(sub).preds.push(Expr::eq(Expr::col(qs, 0), Expr::col(qt, 0)));
+        g.add_output(sub, "x", Expr::col(qs, 0));
+        let qe = g.add_quant(top, QuantKind::Existential, sub, "S");
+        let _ = qe;
+        g.add_output(top, "x", Expr::col(qt, 0));
+        g.set_top(top);
+        assert!(validate(&g).is_ok());
+    }
+
+    #[test]
+    fn rejects_aggregate_in_select_box() {
+        let mut g = Qgm::new();
+        let t = base(&mut g);
+        let top = g.add_box(BoxKind::Select, "top");
+        let _q = g.add_quant(top, QuantKind::Foreach, t, "T");
+        g.add_output(top, "n", Expr::count_star());
+        g.set_top(top);
+        assert!(validate(&g).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_grouping_output() {
+        let mut g = Qgm::new();
+        let t = base(&mut g);
+        let grp = g.add_box(
+            BoxKind::Grouping { group_by: vec![] },
+            "g",
+        );
+        let q = g.add_quant(grp, QuantKind::Foreach, t, "T");
+        // non-aggregate output that is not a grouping column
+        g.add_output(grp, "x", Expr::col(q, 0));
+        g.set_top(grp);
+        assert!(validate(&g).is_err());
+    }
+
+    #[test]
+    fn rejects_union_arity_mismatch() {
+        let mut g = Qgm::new();
+        let t = base(&mut g);
+        let a = g.add_box(BoxKind::Select, "a");
+        let qa = g.add_quant(a, QuantKind::Foreach, t, "T");
+        g.add_output(a, "x", Expr::col(qa, 0));
+        let b = g.add_box(BoxKind::Select, "b");
+        let qb = g.add_quant(b, QuantKind::Foreach, t, "T");
+        g.add_output(b, "x", Expr::col(qb, 0));
+        g.add_output(b, "y", Expr::col(qb, 0));
+        let u = g.add_box(BoxKind::Union { all: true }, "u");
+        let qu1 = g.add_quant(u, QuantKind::Foreach, a, "A");
+        let _qu2 = g.add_quant(u, QuantKind::Foreach, b, "B");
+        g.add_output(u, "x", Expr::col(qu1, 0));
+        g.set_top(u);
+        assert!(validate(&g).is_err());
+    }
+}

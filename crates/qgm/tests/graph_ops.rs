@@ -1,0 +1,113 @@
+//! Additional graph-surgery tests: the expression substitution and
+//! navigation primitives the rewrite rules are built from.
+
+use decorr_common::{DataType, Schema, Value};
+use decorr_qgm::{BinOp, BoxKind, Expr, Qgm, QuantId, QuantKind};
+
+fn q(i: u32) -> QuantId {
+    QuantId::from_index(i)
+}
+
+#[test]
+fn substitute_replaces_only_the_named_quantifier() {
+    let mut e = Expr::bin(
+        BinOp::Add,
+        Expr::col(q(0), 1),
+        Expr::bin(BinOp::Mul, Expr::col(q(1), 0), Expr::col(q(0), 2)),
+    );
+    e.substitute(q(0), &mut |col| Expr::lit(col as i64));
+    assert_eq!(e.to_string(), "(1 + (Q1.c0 * 2))");
+}
+
+#[test]
+fn substitute_reaches_aggregate_arguments_and_functions() {
+    let mut e = Expr::Func {
+        func: decorr_qgm::Func::Coalesce,
+        args: vec![Expr::agg(decorr_qgm::AggFunc::Sum, Expr::col(q(3), 0)), Expr::lit(0)],
+    };
+    e.substitute(q(3), &mut |_| Expr::Lit(Value::Int(9)));
+    assert_eq!(e.to_string(), "COALESCE(SUM(9), 0)");
+}
+
+#[test]
+fn substitute_can_splice_whole_subtrees() {
+    // The CI-merge rule replaces Col(q, i) with arbitrary child output
+    // expressions; nested occurrences must all be spliced.
+    let mut e = Expr::bin(BinOp::Gt, Expr::col(q(5), 0), Expr::col(q(5), 0));
+    let replacement = Expr::bin(BinOp::Add, Expr::col(q(6), 1), Expr::lit(1));
+    e.substitute(q(5), &mut |_| replacement.clone());
+    assert_eq!(e.to_string(), "((Q6.c1 + 1) > (Q6.c1 + 1))");
+}
+
+#[test]
+fn parents_and_ancestors_in_a_dag() {
+    // Diamond: top reads shared via two quantifiers.
+    let mut g = Qgm::new();
+    let t = g.add_base_table("t", Schema::from_pairs(&[("x", DataType::Int)]));
+    let shared = g.add_box(BoxKind::Select, "shared");
+    let qs = g.add_quant(shared, QuantKind::Foreach, t, "T");
+    g.add_output(shared, "x", Expr::col(qs, 0));
+    let top = g.add_box(BoxKind::Select, "top");
+    let qa = g.add_quant(top, QuantKind::Foreach, shared, "A");
+    let qb = g.add_quant(top, QuantKind::Foreach, shared, "B");
+    g.add_output(top, "x", Expr::col(qa, 0));
+    g.add_output(top, "y", Expr::col(qb, 0));
+    g.set_top(top);
+
+    assert_eq!(g.parents_of(shared), vec![top]);
+    assert_eq!(g.quants_over(shared).len(), 2);
+    let anc = g.ancestors_of(t);
+    assert!(anc.contains(&shared) && anc.contains(&top));
+    // Reachability visits the shared box once.
+    let reach = g.reachable_boxes(top);
+    assert_eq!(reach.len(), 3);
+}
+
+#[test]
+fn gc_keeps_everything_reachable_through_any_path() {
+    let mut g = Qgm::new();
+    let t = g.add_base_table("t", Schema::from_pairs(&[("x", DataType::Int)]));
+    let a = g.add_box(BoxKind::Select, "a");
+    let qa = g.add_quant(a, QuantKind::Foreach, t, "T");
+    g.add_output(a, "x", Expr::col(qa, 0));
+    let top = g.add_box(BoxKind::Select, "top");
+    let q1 = g.add_quant(top, QuantKind::Foreach, a, "A");
+    g.add_output(top, "x", Expr::col(q1, 0));
+    g.set_top(top);
+    assert_eq!(g.gc(), 0);
+    // Re-pointing the quantifier strands box `a`.
+    g.set_quant_input(q1, t);
+    g.boxmut(top).outputs[0].expr = Expr::col(q1, 0);
+    assert_eq!(g.gc(), 1);
+    assert!(!g.is_live(a));
+}
+
+#[test]
+fn free_refs_are_order_deterministic() {
+    let mut g = Qgm::new();
+    let t = g.add_base_table(
+        "t",
+        Schema::from_pairs(&[("x", DataType::Int), ("y", DataType::Int)]),
+    );
+    let top = g.add_box(BoxKind::Select, "top");
+    let qt = g.add_quant(top, QuantKind::Foreach, t, "T");
+    let sub = g.add_box(BoxKind::Select, "sub");
+    let qs = g.add_quant(sub, QuantKind::Foreach, t, "T2");
+    // Two correlated refs in one predicate, plus one in the output.
+    g.boxmut(sub).preds.push(Expr::bin(
+        BinOp::Lt,
+        Expr::col(qt, 1),
+        Expr::col(qs, 0),
+    ));
+    g.add_output(sub, "o", Expr::bin(BinOp::Add, Expr::col(qs, 1), Expr::col(qt, 0)));
+    let qe = g.add_quant(top, QuantKind::Existential, sub, "S");
+    let _ = qe;
+    g.add_output(top, "x", Expr::col(qt, 0));
+    g.set_top(top);
+
+    let a = g.free_refs(sub);
+    let b = g.free_refs(sub);
+    assert_eq!(a, b);
+    assert_eq!(a.len(), 2);
+    assert!(a.contains(&(qt, 0)) && a.contains(&(qt, 1)));
+}

@@ -1,0 +1,238 @@
+//! Abstract syntax tree for the supported SQL subset.
+
+use decorr_common::Value;
+
+/// A full query: a set expression (`SELECT ...` possibly combined with
+/// `UNION [ALL]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub body: SetExpr,
+}
+
+/// Set-level structure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetExpr {
+    Select(Box<Select>),
+    Union {
+        left: Box<SetExpr>,
+        right: Box<SetExpr>,
+        all: bool,
+    },
+}
+
+/// A single SELECT block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub where_clause: Option<AstExpr>,
+    pub group_by: Vec<AstExpr>,
+    pub having: Option<AstExpr>,
+}
+
+/// One entry of the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// `expr [AS name]`
+    Expr { expr: AstExpr, alias: Option<String> },
+}
+
+/// A FROM-clause item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// `name [AS] alias`
+    Table { name: String, alias: Option<String> },
+    /// `(query) [AS] alias [(col, ...)]` — also parsed from the paper's
+    /// `alias(col, ...) AS (query)` spelling.
+    Derived {
+        query: Box<Query>,
+        alias: String,
+        columns: Vec<String>,
+    },
+}
+
+impl TableRef {
+    /// The name this item is referred to by in scopes.
+    pub fn binding_name(&self) -> &str {
+        match self {
+            TableRef::Table { name, alias } => alias.as_deref().unwrap_or(name),
+            TableRef::Derived { alias, .. } => alias,
+        }
+    }
+}
+
+/// Comparison operators usable with ANY/ALL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Scalar expression AST.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// `a` or `t.a` (at most two parts).
+    Ident { qualifier: Option<String>, name: String },
+    Literal(Value),
+    Binary {
+        op: AstBinOp,
+        left: Box<AstExpr>,
+        right: Box<AstExpr>,
+    },
+    Unary {
+        op: AstUnOp,
+        expr: Box<AstExpr>,
+    },
+    /// `COUNT(*)`
+    CountStar,
+    /// Aggregate call: `SUM(x)`, `COUNT(DISTINCT x)`, ...
+    Agg {
+        func: AstAggFunc,
+        arg: Box<AstExpr>,
+        distinct: bool,
+    },
+    /// `COALESCE(a, b, ...)`
+    Coalesce(Vec<AstExpr>),
+    /// Scalar subquery `(SELECT ...)` in expression position.
+    Subquery(Box<Query>),
+    /// `[NOT] EXISTS (query)`
+    Exists { query: Box<Query>, negated: bool },
+    /// `expr [NOT] IN (query)`
+    InSubquery {
+        expr: Box<AstExpr>,
+        query: Box<Query>,
+        negated: bool,
+    },
+    /// `expr [NOT] IN (v1, v2, ...)`
+    InList {
+        expr: Box<AstExpr>,
+        list: Vec<AstExpr>,
+        negated: bool,
+    },
+    /// `expr op ANY|SOME|ALL (query)`
+    Quantified {
+        expr: Box<AstExpr>,
+        op: CmpOp,
+        all: bool,
+        query: Box<Query>,
+    },
+    /// `expr IS [NOT] NULL`
+    IsNull { expr: Box<AstExpr>, negated: bool },
+    /// `expr BETWEEN lo AND hi` (desugared by the binder).
+    Between {
+        expr: Box<AstExpr>,
+        lo: Box<AstExpr>,
+        hi: Box<AstExpr>,
+        negated: bool,
+    },
+}
+
+/// Binary operators in the AST.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstBinOp {
+    And,
+    Or,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Unary operators in the AST.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstUnOp {
+    Not,
+    Neg,
+}
+
+/// Aggregate functions in the AST (COUNT(*) is [`AstExpr::CountStar`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstAggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AstExpr {
+    /// Does this expression (tree) contain an aggregate call?
+    pub fn contains_agg(&self) -> bool {
+        match self {
+            AstExpr::CountStar | AstExpr::Agg { .. } => true,
+            AstExpr::Ident { .. } | AstExpr::Literal(_) => false,
+            AstExpr::Binary { left, right, .. } => left.contains_agg() || right.contains_agg(),
+            AstExpr::Unary { expr, .. } => expr.contains_agg(),
+            AstExpr::Coalesce(args) => args.iter().any(AstExpr::contains_agg),
+            // Aggregates inside subqueries belong to the subquery.
+            AstExpr::Subquery(_) | AstExpr::Exists { .. } => false,
+            AstExpr::InSubquery { expr, .. } => expr.contains_agg(),
+            AstExpr::InList { expr, list, .. } => {
+                expr.contains_agg() || list.iter().any(AstExpr::contains_agg)
+            }
+            AstExpr::Quantified { expr, .. } => expr.contains_agg(),
+            AstExpr::IsNull { expr, .. } => expr.contains_agg(),
+            AstExpr::Between { expr, lo, hi, .. } => {
+                expr.contains_agg() || lo.contains_agg() || hi.contains_agg()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_agg_sees_through_operators() {
+        let e = AstExpr::Binary {
+            op: AstBinOp::Mul,
+            left: Box::new(AstExpr::Literal(Value::Double(0.2))),
+            right: Box::new(AstExpr::Agg {
+                func: AstAggFunc::Avg,
+                arg: Box::new(AstExpr::Ident { qualifier: None, name: "q".into() }),
+                distinct: false,
+            }),
+        };
+        assert!(e.contains_agg());
+    }
+
+    #[test]
+    fn subquery_aggs_do_not_count() {
+        let q = Query {
+            body: SetExpr::Select(Box::new(Select {
+                distinct: false,
+                items: vec![SelectItem::Expr { expr: AstExpr::CountStar, alias: None }],
+                from: vec![],
+                where_clause: None,
+                group_by: vec![],
+                having: None,
+            })),
+        };
+        let e = AstExpr::Subquery(Box::new(q));
+        assert!(!e.contains_agg());
+    }
+
+    #[test]
+    fn binding_names() {
+        let t = TableRef::Table { name: "emp".into(), alias: Some("e".into()) };
+        assert_eq!(t.binding_name(), "e");
+        let t2 = TableRef::Table { name: "emp".into(), alias: None };
+        assert_eq!(t2.binding_name(), "emp");
+    }
+}

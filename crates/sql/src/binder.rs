@@ -1,0 +1,786 @@
+//! Semantic analysis: lowering the AST to a QGM graph.
+//!
+//! The binder resolves names against the catalog and an enclosing *scope
+//! stack* — a column reference that resolves to a quantifier of an outer
+//! SELECT block becomes a **correlation**, exactly the situation the
+//! decorrelation rewrites exist for. FROM items bind left-to-right and the
+//! items bound so far are visible to later ones (the paper's Query 3 uses a
+//! correlated derived table).
+//!
+//! Blocks with GROUP BY / aggregates lower to the Starburst shape the paper
+//! assumes: a bottom SPJ box (FROM + WHERE), a Grouping box above it, and —
+//! only when needed — a Select box on top carrying HAVING and a final
+//! projection.
+//!
+//! Quantified predicates (`EXISTS`, `IN`, `op ANY/ALL`) must appear as
+//! top-level conjuncts of WHERE; they become Existential/All quantifiers.
+//! `NOT EXISTS (q)` is desugared to `0 = (SELECT COUNT(*) ...)`, which both
+//! keeps the quantifier lattice small and exercises the COUNT-bug machinery
+//! that magic decorrelation repairs.
+
+use decorr_common::{Error, FxHashMap, Result};
+use decorr_qgm::{AggFunc, BinOp, BoxId, BoxKind, Expr, Func, Qgm, QuantId, QuantKind, UnOp};
+use decorr_storage::Database;
+
+use crate::ast::*;
+
+/// Lower a parsed query into a fresh QGM against the given catalog.
+pub fn bind(query: &Query, db: &Database) -> Result<Qgm> {
+    let mut b = Binder { db, qgm: Qgm::new() };
+    let top = b.bind_set_expr(&query.body, None)?;
+    b.qgm.set_top(top);
+    Ok(b.qgm)
+}
+
+/// One lexical scope level: the quantifiers of the SELECT block currently
+/// being bound, linked to the enclosing block's scope.
+struct Scope<'p> {
+    parent: Option<&'p Scope<'p>>,
+    /// `(binding name, quantifier)` in FROM order.
+    entries: Vec<(String, QuantId)>,
+}
+
+impl<'p> Scope<'p> {
+    fn child(parent: Option<&'p Scope<'p>>) -> Scope<'p> {
+        Scope { parent, entries: Vec::new() }
+    }
+}
+
+struct Binder<'a> {
+    db: &'a Database,
+    qgm: Qgm,
+}
+
+impl<'a> Binder<'a> {
+    // ---- set expressions ------------------------------------------------
+
+    fn bind_set_expr(&mut self, se: &SetExpr, outer: Option<&Scope<'_>>) -> Result<BoxId> {
+        match se {
+            SetExpr::Select(sel) => self.bind_select(sel, outer),
+            SetExpr::Union { left, right, all } => {
+                let lb = self.bind_set_expr(left, outer)?;
+                let rb = self.bind_set_expr(right, outer)?;
+                let la = self.qgm.output_arity(lb);
+                let ra = self.qgm.output_arity(rb);
+                if la != ra {
+                    return Err(Error::binding(format!(
+                        "UNION branches have different arities ({la} vs {ra})"
+                    )));
+                }
+                let ub = self.qgm.add_box(BoxKind::Union { all: *all }, "union");
+                let ql = self.qgm.add_quant(ub, QuantKind::Foreach, lb, "u1");
+                let _qr = self.qgm.add_quant(ub, QuantKind::Foreach, rb, "u2");
+                for i in 0..la {
+                    let name = self.qgm.output_name(lb, i);
+                    self.qgm.add_output(ub, name, Expr::col(ql, i));
+                }
+                Ok(ub)
+            }
+        }
+    }
+
+    // ---- SELECT blocks ---------------------------------------------------
+
+    fn bind_select(&mut self, sel: &Select, outer: Option<&Scope<'_>>) -> Result<BoxId> {
+        let spj = self.qgm.add_box(BoxKind::Select, "select");
+        let mut scope = Scope::child(outer);
+
+        // FROM: left-to-right, laterally visible.
+        for item in &sel.from {
+            let (name, input) = match item {
+                TableRef::Table { name, alias } => {
+                    let table = self.db.table(name)?;
+                    let bx = self.qgm.add_base_table_with_key(
+                        table.name().to_string(),
+                        table.schema().clone(),
+                        table.key().map(|k| k.to_vec()),
+                    );
+                    (alias.clone().unwrap_or_else(|| name.clone()), bx)
+                }
+                TableRef::Derived { query, alias, columns } => {
+                    let bx = self.bind_set_expr(&query.body, Some(&scope))?;
+                    if !columns.is_empty() {
+                        let arity = self.qgm.output_arity(bx);
+                        if columns.len() != arity {
+                            return Err(Error::binding(format!(
+                                "derived table '{alias}' declares {} columns but produces {arity}",
+                                columns.len()
+                            )));
+                        }
+                        // Rename the outputs of the derived box in place.
+                        let b = self.qgm.boxmut(bx);
+                        for (o, n) in b.outputs.iter_mut().zip(columns) {
+                            o.name = n.clone();
+                        }
+                    }
+                    (alias.clone(), bx)
+                }
+            };
+            if scope.entries.iter().any(|(n, _)| n.eq_ignore_ascii_case(&name)) {
+                return Err(Error::binding(format!(
+                    "duplicate FROM binding name '{name}'"
+                )));
+            }
+            let q = self.qgm.add_quant(spj, QuantKind::Foreach, input, name.clone());
+            scope.entries.push((name, q));
+        }
+
+        // WHERE: conjunct by conjunct, attaching subquery quantifiers.
+        if let Some(w) = &sel.where_clause {
+            let mut conjuncts = Vec::new();
+            collect_conjuncts(w, &mut conjuncts);
+            for c in conjuncts {
+                let pred = self.bind_conjunct(c, spj, &scope)?;
+                if let Some(p) = pred {
+                    self.qgm.boxmut(spj).preds.push(p);
+                }
+            }
+        }
+
+        // Aggregation?
+        let has_agg = !sel.group_by.is_empty()
+            || sel
+                .items
+                .iter()
+                .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_agg()))
+            || sel.having.as_ref().map(AstExpr::contains_agg).unwrap_or(false);
+
+        if !has_agg {
+            if sel.having.is_some() {
+                return Err(Error::binding(
+                    "HAVING requires GROUP BY or aggregates".to_string(),
+                ));
+            }
+            // Plain SPJ: bind the select list directly.
+            let items = self.expand_items(&sel.items, &scope)?;
+            for (name, expr) in items {
+                self.qgm.add_output(spj, name, expr);
+            }
+            self.qgm.boxmut(spj).distinct = sel.distinct;
+            return Ok(spj);
+        }
+
+        self.bind_aggregate_block(sel, spj, &scope)
+    }
+
+    /// Lower the Grouping (+ optional top Select) boxes for an aggregating
+    /// block whose bottom SPJ box has already been populated.
+    fn bind_aggregate_block(
+        &mut self,
+        sel: &Select,
+        spj: BoxId,
+        scope: &Scope<'_>,
+    ) -> Result<BoxId> {
+        // 1. Bottom SPJ outputs every column of every Foreach quantifier;
+        //    `colmap` remembers where each (quant, col) landed.
+        let mut colmap: FxHashMap<(QuantId, usize), usize> = FxHashMap::default();
+        let foreach: Vec<QuantId> = self
+            .qgm
+            .boxref(spj)
+            .quants
+            .iter()
+            .copied()
+            .filter(|&q| self.qgm.quant(q).kind == QuantKind::Foreach)
+            .collect();
+        for q in foreach {
+            let input = self.qgm.quant(q).input;
+            for c in 0..self.qgm.output_arity(input) {
+                let name = self.qgm.output_name(input, c);
+                let idx = self.qgm.add_output(spj, name, Expr::col(q, c));
+                colmap.insert((q, c), idx);
+            }
+        }
+
+        // 2. Grouping box over the SPJ box.
+        let grp = self.qgm.add_box(BoxKind::Grouping { group_by: vec![] }, "groupby");
+        let qg = self.qgm.add_quant(grp, QuantKind::Foreach, spj, "g");
+        let remap = |e: &Expr| -> Expr {
+            let mut e = e.clone();
+            e.map_cols(&mut |q, c| match colmap.get(&(q, c)) {
+                Some(&idx) => (qg, idx),
+                None => (q, c), // correlated ref to an outer block: keep
+            });
+            e
+        };
+
+        // Grouping expressions.
+        let mut group_exprs: Vec<Expr> = Vec::new(); // in original (SPJ) terms
+        for g in &sel.group_by {
+            if g.contains_agg() {
+                return Err(Error::binding("aggregate in GROUP BY".to_string()));
+            }
+            let bound = self.bind_scalar(g, scope)?;
+            group_exprs.push(bound);
+        }
+        let group_mapped: Vec<Expr> = group_exprs.iter().map(&remap).collect();
+        if let BoxKind::Grouping { group_by } = &mut self.qgm.boxmut(grp).kind {
+            *group_by = group_mapped.clone();
+        }
+        // Grouping outputs: the group columns first ...
+        for (i, gm) in group_mapped.iter().enumerate() {
+            let name = match &sel.group_by[i] {
+                AstExpr::Ident { name, .. } => name.clone(),
+                _ => format!("g{i}"),
+            };
+            self.qgm.add_output(grp, name, gm.clone());
+        }
+
+        // ... then one output per distinct aggregate call found in the
+        // select list and HAVING.
+        let mut agg_calls: Vec<AstExpr> = Vec::new();
+        for item in &sel.items {
+            if let SelectItem::Expr { expr, .. } = item {
+                collect_aggs(expr, &mut agg_calls);
+            } else {
+                return Err(Error::binding(
+                    "wildcards are not allowed with GROUP BY / aggregates".to_string(),
+                ));
+            }
+        }
+        if let Some(h) = &sel.having {
+            collect_aggs(h, &mut agg_calls);
+        }
+        let mut agg_pos: Vec<(AstExpr, usize)> = Vec::new();
+        for call in agg_calls {
+            if agg_pos.iter().any(|(c, _)| *c == call) {
+                continue;
+            }
+            let bound = match &call {
+                AstExpr::CountStar => Expr::Agg { func: AggFunc::Count, arg: None, distinct: false },
+                AstExpr::Agg { func, arg, distinct } => {
+                    let a = self.bind_scalar(arg, scope)?;
+                    Expr::Agg {
+                        func: map_agg(*func),
+                        arg: Some(Box::new(remap(&a))),
+                        distinct: *distinct,
+                    }
+                }
+                _ => unreachable!(),
+            };
+            let idx = self.qgm.add_output(grp, format!("agg{}", agg_pos.len()), bound);
+            agg_pos.push((call, idx));
+        }
+
+        // 3. Decide whether a top Select box is needed.
+        let mut final_items: Vec<(String, Expr)> = Vec::new();
+        // Bind each select item, replacing aggregate calls and grouping
+        // expressions with references into the Grouping box output.
+        let grp_quant_placeholder = QuantId::from_index(u32::MAX - 1);
+        for (i, item) in sel.items.iter().enumerate() {
+            let SelectItem::Expr { expr, alias } = item else { unreachable!() };
+            let name = alias.clone().unwrap_or_else(|| match expr {
+                AstExpr::Ident { name, .. } => name.clone(),
+                _ => format!("col{i}"),
+            });
+            let e = self.bind_item_over_group(
+                expr,
+                scope,
+                &group_exprs,
+                &agg_pos,
+                grp_quant_placeholder,
+            )?;
+            final_items.push((name, e));
+        }
+        let having_expr = match &sel.having {
+            Some(h) => Some(self.bind_item_over_group(
+                h,
+                scope,
+                &group_exprs,
+                &agg_pos,
+                grp_quant_placeholder,
+            )?),
+            None => None,
+        };
+
+        // If the final projection is exactly the grouping outputs in order,
+        // no HAVING and no DISTINCT, the Grouping box itself is the block.
+        let identity = having_expr.is_none()
+            && !sel.distinct
+            && final_items.len() == self.qgm.boxref(grp).outputs.len()
+            && final_items.iter().enumerate().all(|(i, (_, e))| {
+                matches!(e, Expr::Col { quant, col }
+                         if *quant == grp_quant_placeholder && *col == i)
+            });
+        if identity {
+            // Adopt the user-facing names.
+            let b = self.qgm.boxmut(grp);
+            for (o, (name, _)) in b.outputs.iter_mut().zip(&final_items) {
+                o.name = name.clone();
+            }
+            return Ok(grp);
+        }
+
+        let top = self.qgm.add_box(BoxKind::Select, "having");
+        let qt = self.qgm.add_quant(top, QuantKind::Foreach, grp, "h");
+        let fix = |mut e: Expr| -> Expr {
+            e.map_cols(&mut |q, c| {
+                if q == grp_quant_placeholder {
+                    (qt, c)
+                } else {
+                    (q, c)
+                }
+            });
+            e
+        };
+        for (name, e) in final_items {
+            let e = fix(e);
+            self.qgm.add_output(top, name, e);
+        }
+        if let Some(h) = having_expr {
+            let h = fix(h);
+            self.qgm.boxmut(top).preds.push(h);
+        }
+        self.qgm.boxmut(top).distinct = sel.distinct;
+        Ok(top)
+    }
+
+    /// Bind a select-list / HAVING expression of an aggregating block:
+    /// aggregate calls become references to the Grouping box outputs
+    /// (via a placeholder quantifier patched by the caller), grouping
+    /// expressions likewise; any other reference to the block's own tables
+    /// is an error (a non-grouped column).
+    fn bind_item_over_group(
+        &mut self,
+        e: &AstExpr,
+        scope: &Scope<'_>,
+        group_exprs: &[Expr],
+        agg_pos: &[(AstExpr, usize)],
+        placeholder: QuantId,
+    ) -> Result<Expr> {
+        // Aggregate call?
+        if let Some(pos) = agg_pos.iter().find(|(c, _)| c == e).map(|(_, p)| p) {
+            return Ok(Expr::col(placeholder, *pos));
+        }
+        // Structural match against a grouping expression?
+        if !matches!(e, AstExpr::Literal(_)) {
+            if let Ok(bound) = self.bind_scalar(e, scope) {
+                if let Some(i) = group_exprs.iter().position(|g| *g == bound) {
+                    return Ok(Expr::col(placeholder, i));
+                }
+                if !bound.contains_agg() {
+                    // Correlated-only expression (outer-block refs only)?
+                    let own: Vec<QuantId> = scope.entries.iter().map(|(_, q)| *q).collect();
+                    let refs = bound.referenced_quants();
+                    if refs.iter().all(|q| !own.contains(q)) {
+                        return Ok(bound);
+                    }
+                }
+            }
+        }
+        // Recurse structurally.
+        match e {
+            AstExpr::Literal(v) => Ok(Expr::Lit(v.clone())),
+            AstExpr::Binary { op, left, right } => Ok(Expr::bin(
+                map_binop(*op)?,
+                self.bind_item_over_group(left, scope, group_exprs, agg_pos, placeholder)?,
+                self.bind_item_over_group(right, scope, group_exprs, agg_pos, placeholder)?,
+            )),
+            AstExpr::Unary { op, expr } => {
+                let inner =
+                    self.bind_item_over_group(expr, scope, group_exprs, agg_pos, placeholder)?;
+                Ok(Expr::Unary {
+                    op: match op {
+                        AstUnOp::Not => UnOp::Not,
+                        AstUnOp::Neg => UnOp::Neg,
+                    },
+                    expr: Box::new(inner),
+                })
+            }
+            AstExpr::Coalesce(args) => {
+                let mut bound = Vec::with_capacity(args.len());
+                for a in args {
+                    bound.push(
+                        self.bind_item_over_group(a, scope, group_exprs, agg_pos, placeholder)?,
+                    );
+                }
+                Ok(Expr::Func { func: Func::Coalesce, args: bound })
+            }
+            AstExpr::IsNull { expr, negated } => {
+                let inner =
+                    self.bind_item_over_group(expr, scope, group_exprs, agg_pos, placeholder)?;
+                Ok(Expr::Unary {
+                    op: if *negated { UnOp::IsNotNull } else { UnOp::IsNull },
+                    expr: Box::new(inner),
+                })
+            }
+            AstExpr::Ident { qualifier, name } => Err(Error::binding(format!(
+                "column '{}{name}' must appear in GROUP BY or inside an aggregate",
+                qualifier.as_deref().map(|q| format!("{q}.")).unwrap_or_default()
+            ))),
+            other => Err(Error::binding(format!(
+                "unsupported expression with GROUP BY: {other:?}"
+            ))),
+        }
+    }
+
+    // ---- WHERE conjuncts -------------------------------------------------
+
+    /// Bind one WHERE conjunct. Quantified constructs attach quantifiers to
+    /// `spj` and may or may not produce a residual predicate.
+    fn bind_conjunct(
+        &mut self,
+        c: &AstExpr,
+        spj: BoxId,
+        scope: &Scope<'_>,
+    ) -> Result<Option<Expr>> {
+        match c {
+            AstExpr::Exists { query, negated: false } => {
+                let sub = self.bind_set_expr(&query.body, Some(scope))?;
+                self.qgm.add_quant(spj, QuantKind::Existential, sub, "ex");
+                Ok(None)
+            }
+            AstExpr::Exists { query, negated: true } => {
+                // NOT EXISTS (q)  ≡  0 = (SELECT COUNT(*) FROM (q)).
+                let sub = self.bind_set_expr(&query.body, Some(scope))?;
+                let grp = self.qgm.add_box(BoxKind::Grouping { group_by: vec![] }, "notexists");
+                self.qgm.add_quant(grp, QuantKind::Foreach, sub, "ne");
+                self.qgm.add_output(grp, "cnt", Expr::count_star());
+                let qs = self.qgm.add_quant(spj, QuantKind::Scalar, grp, "nec");
+                Ok(Some(Expr::eq(Expr::lit(0), Expr::col(qs, 0))))
+            }
+            AstExpr::InSubquery { expr, query, negated } => {
+                let lhs = self.bind_scalar_in(expr, spj, scope)?;
+                let sub = self.bind_set_expr(&query.body, Some(scope))?;
+                if self.qgm.output_arity(sub) != 1 {
+                    return Err(Error::binding("IN subquery must produce one column"));
+                }
+                if *negated {
+                    let q = self.qgm.add_quant(spj, QuantKind::All, sub, "nin");
+                    Ok(Some(Expr::bin(BinOp::Ne, lhs, Expr::col(q, 0))))
+                } else {
+                    let q = self.qgm.add_quant(spj, QuantKind::Existential, sub, "in");
+                    Ok(Some(Expr::eq(lhs, Expr::col(q, 0))))
+                }
+            }
+            AstExpr::Quantified { expr, op, all, query } => {
+                let lhs = self.bind_scalar_in(expr, spj, scope)?;
+                let sub = self.bind_set_expr(&query.body, Some(scope))?;
+                if self.qgm.output_arity(sub) != 1 {
+                    return Err(Error::binding(
+                        "quantified subquery must produce one column",
+                    ));
+                }
+                let kind = if *all { QuantKind::All } else { QuantKind::Existential };
+                let q = self.qgm.add_quant(spj, kind, sub, if *all { "all" } else { "any" });
+                let binop = match op {
+                    CmpOp::Eq => BinOp::Eq,
+                    CmpOp::Ne => BinOp::Ne,
+                    CmpOp::Lt => BinOp::Lt,
+                    CmpOp::Le => BinOp::Le,
+                    CmpOp::Gt => BinOp::Gt,
+                    CmpOp::Ge => BinOp::Ge,
+                };
+                Ok(Some(Expr::bin(binop, lhs, Expr::col(q, 0))))
+            }
+            other => {
+                let e = self.bind_scalar_in(other, spj, scope)?;
+                Ok(Some(e))
+            }
+        }
+    }
+
+    // ---- scalar expressions ----------------------------------------------
+
+    /// Bind a scalar expression that may *not* contain subqueries
+    /// (GROUP BY expressions, aggregate arguments).
+    fn bind_scalar(&mut self, e: &AstExpr, scope: &Scope<'_>) -> Result<Expr> {
+        self.bind_scalar_inner(e, None, scope)
+    }
+
+    /// Bind a scalar expression in predicate/select position within box
+    /// `spj`: scalar subqueries are allowed and attach Scalar quantifiers.
+    fn bind_scalar_in(&mut self, e: &AstExpr, spj: BoxId, scope: &Scope<'_>) -> Result<Expr> {
+        self.bind_scalar_inner(e, Some(spj), scope)
+    }
+
+    fn bind_scalar_inner(
+        &mut self,
+        e: &AstExpr,
+        spj: Option<BoxId>,
+        scope: &Scope<'_>,
+    ) -> Result<Expr> {
+        match e {
+            AstExpr::Ident { qualifier, name } => self.resolve_ident(qualifier.as_deref(), name, scope),
+            AstExpr::Literal(v) => Ok(Expr::Lit(v.clone())),
+            AstExpr::Binary { op, left, right } => Ok(Expr::bin(
+                map_binop(*op)?,
+                self.bind_scalar_inner(left, spj, scope)?,
+                self.bind_scalar_inner(right, spj, scope)?,
+            )),
+            AstExpr::Unary { op, expr } => Ok(Expr::Unary {
+                op: match op {
+                    AstUnOp::Not => UnOp::Not,
+                    AstUnOp::Neg => UnOp::Neg,
+                },
+                expr: Box::new(self.bind_scalar_inner(expr, spj, scope)?),
+            }),
+            AstExpr::Coalesce(args) => {
+                let mut bound = Vec::with_capacity(args.len());
+                for a in args {
+                    bound.push(self.bind_scalar_inner(a, spj, scope)?);
+                }
+                Ok(Expr::Func { func: Func::Coalesce, args: bound })
+            }
+            AstExpr::IsNull { expr, negated } => Ok(Expr::Unary {
+                op: if *negated { UnOp::IsNotNull } else { UnOp::IsNull },
+                expr: Box::new(self.bind_scalar_inner(expr, spj, scope)?),
+            }),
+            AstExpr::Between { expr, lo, hi, negated } => {
+                let x = self.bind_scalar_inner(expr, spj, scope)?;
+                let lo = self.bind_scalar_inner(lo, spj, scope)?;
+                let hi = self.bind_scalar_inner(hi, spj, scope)?;
+                let range = Expr::bin(
+                    BinOp::And,
+                    Expr::bin(BinOp::Ge, x.clone(), lo),
+                    Expr::bin(BinOp::Le, x, hi),
+                );
+                Ok(if *negated {
+                    Expr::Unary { op: UnOp::Not, expr: Box::new(range) }
+                } else {
+                    range
+                })
+            }
+            AstExpr::InList { expr, list, negated } => {
+                let x = self.bind_scalar_inner(expr, spj, scope)?;
+                let mut ors: Option<Expr> = None;
+                for item in list {
+                    let v = self.bind_scalar_inner(item, spj, scope)?;
+                    let eq = Expr::eq(x.clone(), v);
+                    ors = Some(match ors {
+                        Some(prev) => Expr::bin(BinOp::Or, prev, eq),
+                        None => eq,
+                    });
+                }
+                let ors = ors.ok_or_else(|| Error::binding("empty IN list".to_string()))?;
+                Ok(if *negated {
+                    Expr::Unary { op: UnOp::Not, expr: Box::new(ors) }
+                } else {
+                    ors
+                })
+            }
+            AstExpr::CountStar => Ok(Expr::count_star()),
+            AstExpr::Agg { func, arg, distinct } => {
+                let a = self.bind_scalar_inner(arg, spj, scope)?;
+                Ok(Expr::Agg {
+                    func: map_agg(*func),
+                    arg: Some(Box::new(a)),
+                    distinct: *distinct,
+                })
+            }
+            AstExpr::Subquery(q) => {
+                let Some(owner) = spj else {
+                    return Err(Error::binding(
+                        "scalar subquery not allowed in this position".to_string(),
+                    ));
+                };
+                let sub = self.bind_set_expr(&q.body, Some(scope))?;
+                if self.qgm.output_arity(sub) != 1 {
+                    return Err(Error::binding(
+                        "scalar subquery must produce exactly one column".to_string(),
+                    ));
+                }
+                let quant = self.qgm.add_quant(owner, QuantKind::Scalar, sub, "sq");
+                Ok(Expr::col(quant, 0))
+            }
+            AstExpr::Exists { .. } | AstExpr::InSubquery { .. } | AstExpr::Quantified { .. } => {
+                Err(Error::binding(
+                    "EXISTS / IN / ANY / ALL must appear as top-level WHERE conjuncts"
+                        .to_string(),
+                ))
+            }
+        }
+    }
+
+    fn resolve_ident(
+        &self,
+        qualifier: Option<&str>,
+        name: &str,
+        scope: &Scope<'_>,
+    ) -> Result<Expr> {
+        let mut frame = Some(scope);
+        while let Some(s) = frame {
+            if let Some(q) = qualifier {
+                for (bind_name, quant) in &s.entries {
+                    if bind_name.eq_ignore_ascii_case(q) {
+                        let input = self.qgm.quant(*quant).input;
+                        let col = self.qgm.resolve_output(input, name)?;
+                        return Ok(Expr::col(*quant, col));
+                    }
+                }
+            } else {
+                let mut hit: Option<(QuantId, usize)> = None;
+                for (_, quant) in &s.entries {
+                    let input = self.qgm.quant(*quant).input;
+                    let arity = self.qgm.output_arity(input);
+                    for c in 0..arity {
+                        if self.qgm.output_name(input, c).eq_ignore_ascii_case(name) {
+                            if hit.is_some() {
+                                return Err(Error::binding(format!(
+                                    "ambiguous column reference '{name}'"
+                                )));
+                            }
+                            hit = Some((*quant, c));
+                        }
+                    }
+                }
+                if let Some((q, c)) = hit {
+                    return Ok(Expr::col(q, c));
+                }
+            }
+            frame = s.parent;
+        }
+        Err(Error::binding(match qualifier {
+            Some(q) => format!("unknown table or alias '{q}' (resolving '{q}.{name}')"),
+            None => format!("unknown column '{name}'"),
+        }))
+    }
+
+    // ---- select list -------------------------------------------------------
+
+    fn expand_items(
+        &mut self,
+        items: &[SelectItem],
+        scope: &Scope<'_>,
+    ) -> Result<Vec<(String, Expr)>> {
+        let mut out = Vec::new();
+        for (i, item) in items.iter().enumerate() {
+            match item {
+                SelectItem::Wildcard => {
+                    for (_, quant) in &scope.entries {
+                        let input = self.qgm.quant(*quant).input;
+                        for c in 0..self.qgm.output_arity(input) {
+                            out.push((self.qgm.output_name(input, c), Expr::col(*quant, c)));
+                        }
+                    }
+                }
+                SelectItem::QualifiedWildcard(alias) => {
+                    let quant = scope
+                        .entries
+                        .iter()
+                        .find(|(n, _)| n.eq_ignore_ascii_case(alias))
+                        .map(|(_, q)| *q)
+                        .ok_or_else(|| {
+                            Error::binding(format!("unknown alias '{alias}' in '{alias}.*'"))
+                        })?;
+                    let input = self.qgm.quant(quant).input;
+                    for c in 0..self.qgm.output_arity(input) {
+                        out.push((self.qgm.output_name(input, c), Expr::col(quant, c)));
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    // Select items live in the block's SPJ box; scalar
+                    // subqueries there attach to it via the scope's owner.
+                    let owner = scope
+                        .entries
+                        .first()
+                        .map(|(_, q)| self.qgm.quant(*q).owner);
+                    let e = match owner {
+                        Some(o) => self.bind_scalar_in(expr, o, scope)?,
+                        None => self.bind_scalar(expr, scope)?,
+                    };
+                    let name = alias.clone().unwrap_or_else(|| match expr {
+                        AstExpr::Ident { name, .. } => name.clone(),
+                        _ => format!("col{i}"),
+                    });
+                    out.push((name, e));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn collect_conjuncts<'e>(e: &'e AstExpr, out: &mut Vec<&'e AstExpr>) {
+    if let AstExpr::Binary { op: AstBinOp::And, left, right } = e {
+        collect_conjuncts(left, out);
+        collect_conjuncts(right, out);
+    } else {
+        out.push(e);
+    }
+}
+
+fn collect_aggs(e: &AstExpr, out: &mut Vec<AstExpr>) {
+    match e {
+        AstExpr::CountStar | AstExpr::Agg { .. } => out.push(e.clone()),
+        AstExpr::Binary { left, right, .. } => {
+            collect_aggs(left, out);
+            collect_aggs(right, out);
+        }
+        AstExpr::Unary { expr, .. } => collect_aggs(expr, out),
+        AstExpr::Coalesce(args) => {
+            for a in args {
+                collect_aggs(a, out);
+            }
+        }
+        AstExpr::IsNull { expr, .. } => collect_aggs(expr, out),
+        AstExpr::Between { expr, lo, hi, .. } => {
+            collect_aggs(expr, out);
+            collect_aggs(lo, out);
+            collect_aggs(hi, out);
+        }
+        _ => {}
+    }
+}
+
+fn map_binop(op: AstBinOp) -> Result<BinOp> {
+    Ok(match op {
+        AstBinOp::And => BinOp::And,
+        AstBinOp::Or => BinOp::Or,
+        AstBinOp::Eq => BinOp::Eq,
+        AstBinOp::Ne => BinOp::Ne,
+        AstBinOp::Lt => BinOp::Lt,
+        AstBinOp::Le => BinOp::Le,
+        AstBinOp::Gt => BinOp::Gt,
+        AstBinOp::Ge => BinOp::Ge,
+        AstBinOp::Add => BinOp::Add,
+        AstBinOp::Sub => BinOp::Sub,
+        AstBinOp::Mul => BinOp::Mul,
+        AstBinOp::Div => BinOp::Div,
+    })
+}
+
+fn map_agg(f: AstAggFunc) -> AggFunc {
+    match f {
+        AstAggFunc::Count => AggFunc::Count,
+        AstAggFunc::Sum => AggFunc::Sum,
+        AstAggFunc::Avg => AggFunc::Avg,
+        AstAggFunc::Min => AggFunc::Min,
+        AstAggFunc::Max => AggFunc::Max,
+    }
+}
+
+// The binder is exercised primarily by crate-level integration tests in
+// `tests/binder.rs`; a couple of unit checks for helpers live here.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decorr_common::Value;
+
+    #[test]
+    fn conjunct_collection() {
+        let e = AstExpr::Binary {
+            op: AstBinOp::And,
+            left: Box::new(AstExpr::Literal(Value::Bool(true))),
+            right: Box::new(AstExpr::Binary {
+                op: AstBinOp::And,
+                left: Box::new(AstExpr::Literal(Value::Bool(false))),
+                right: Box::new(AstExpr::Literal(Value::Null)),
+            }),
+        };
+        let mut out = Vec::new();
+        collect_conjuncts(&e, &mut out);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn agg_collection_deduplicates_at_caller() {
+        let e = AstExpr::Binary {
+            op: AstBinOp::Add,
+            left: Box::new(AstExpr::CountStar),
+            right: Box::new(AstExpr::CountStar),
+        };
+        let mut out = Vec::new();
+        collect_aggs(&e, &mut out);
+        assert_eq!(out.len(), 2); // caller dedups structurally
+    }
+}

@@ -1,0 +1,290 @@
+//! SQL tokenizer.
+
+use std::fmt;
+
+use decorr_common::{Error, Result};
+
+/// A lexical token with its source position (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// 1-based line and column of the token start.
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Token kinds. Keywords are recognized case-insensitively and normalized
+/// to uppercase in `Keyword`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    Keyword(String),
+    Ident(String),
+    Number(String),
+    StringLit(String),
+    /// `= <> != < <= > >=`
+    Op(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{k}"),
+            TokenKind::Ident(i) => write!(f, "{i}"),
+            TokenKind::Number(n) => write!(f, "{n}"),
+            TokenKind::StringLit(s) => write!(f, "'{s}'"),
+            TokenKind::Op(o) => write!(f, "{o}"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "UNION", "ALL", "AS",
+    "AND", "OR", "NOT", "IN", "EXISTS", "ANY", "SOME", "IS", "NULL", "TRUE", "FALSE",
+    "BETWEEN", "COUNT", "SUM", "AVG", "MIN", "MAX", "COALESCE", "ORDER", "ASC", "DESC",
+];
+
+/// Tokenize a SQL string.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let bytes = sql.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! push {
+        ($kind:expr, $len:expr) => {{
+            tokens.push(Token { kind: $kind, line, col });
+            col += $len as u32;
+            i += $len;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => push!(TokenKind::LParen, 1),
+            ')' => push!(TokenKind::RParen, 1),
+            ',' => push!(TokenKind::Comma, 1),
+            '.' => push!(TokenKind::Dot, 1),
+            '*' => push!(TokenKind::Star, 1),
+            '+' => push!(TokenKind::Plus, 1),
+            '-' => push!(TokenKind::Minus, 1),
+            '/' => push!(TokenKind::Slash, 1),
+            ';' => {
+                i += 1;
+                col += 1;
+            }
+            '=' => push!(TokenKind::Op("=".into()), 1),
+            '<' | '>' | '!' => {
+                // Peek the next byte only (ASCII operators, so byte-level
+                // inspection is UTF-8 safe).
+                let next = bytes.get(i + 1).copied();
+                let op: &str = match (c, next) {
+                    ('<', Some(b'=')) => "<=",
+                    ('>', Some(b'=')) => ">=",
+                    ('<', Some(b'>')) => "<>",
+                    ('!', Some(b'=')) => "!=",
+                    ('!', _) => {
+                        return Err(Error::parse(format!(
+                            "unexpected '!' at line {line}, column {col}"
+                        )))
+                    }
+                    ('<', _) => "<",
+                    (_, _) => ">",
+                };
+                let norm = if op == "!=" { "<>" } else { op };
+                push!(TokenKind::Op(norm.into()), op.len());
+            }
+            '\'' => {
+                // String literal; '' escapes a quote. The delimiters are
+                // ASCII, so scanning bytes and slicing at quote positions
+                // is UTF-8 safe and preserves multibyte content.
+                let start = i;
+                let mut s = String::new();
+                i += 1;
+                let mut seg = i;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(Error::parse(format!(
+                            "unterminated string literal at line {line}, column {col}"
+                        )));
+                    }
+                    if bytes[i] == b'\'' {
+                        s.push_str(&sql[seg..i]);
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                            seg = i;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::StringLit(s), line, col });
+                col += (i - start) as u32;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len()
+                    && bytes[i + 1].is_ascii_digit()
+                {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &sql[start..i];
+                tokens.push(Token { kind: TokenKind::Number(text.into()), line, col });
+                col += (i - start) as u32;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '"' => {
+                if c == '"' {
+                    // delimited identifier (ASCII delimiter: byte scan is
+                    // UTF-8 safe)
+                    let start = i;
+                    i += 1;
+                    let seg = i;
+                    while i < bytes.len() && bytes[i] != b'"' {
+                        i += 1;
+                    }
+                    if i >= bytes.len() {
+                        return Err(Error::parse(format!(
+                            "unterminated delimited identifier at line {line}, column {col}"
+                        )));
+                    }
+                    let s = sql[seg..i].to_string();
+                    i += 1;
+                    tokens.push(Token { kind: TokenKind::Ident(s), line, col });
+                    col += (i - start) as u32;
+                } else {
+                    let start = i;
+                    while i < bytes.len()
+                        && ((bytes[i] as char).is_ascii_alphanumeric()
+                            || bytes[i] == b'_'
+                            || bytes[i] == b'#')
+                    {
+                        i += 1;
+                    }
+                    let word = &sql[start..i];
+                    let upper = word.to_ascii_uppercase();
+                    let kind = if KEYWORDS.contains(&upper.as_str()) {
+                        TokenKind::Keyword(upper)
+                    } else {
+                        TokenKind::Ident(word.into())
+                    };
+                    tokens.push(Token { kind, line, col });
+                    col += (i - start) as u32;
+                }
+            }
+            _ => {
+                // Decode the full (possibly multibyte) character for the
+                // error message.
+                let ch = sql[i..].chars().next().unwrap_or('\u{fffd}');
+                return Err(Error::parse(format!(
+                    "unexpected character '{ch}' at line {line}, column {col}"
+                )));
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, line, col });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let ks = kinds("SELECT a.b, 12 FROM t WHERE x >= 1.5");
+        assert_eq!(ks[0], TokenKind::Keyword("SELECT".into()));
+        assert!(ks.contains(&TokenKind::Dot));
+        assert!(ks.contains(&TokenKind::Number("12".into())));
+        assert!(ks.contains(&TokenKind::Op(">=".into())));
+        assert!(ks.contains(&TokenKind::Number("1.5".into())));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn string_literals_and_escapes() {
+        let ks = kinds("'FRANCE' 'it''s'");
+        assert_eq!(ks[0], TokenKind::StringLit("FRANCE".into()));
+        assert_eq!(ks[1], TokenKind::StringLit("it's".into()));
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn keywords_case_insensitive_identifiers_preserved() {
+        let ks = kinds("select Foo");
+        assert_eq!(ks[0], TokenKind::Keyword("SELECT".into()));
+        assert_eq!(ks[1], TokenKind::Ident("Foo".into()));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let ks = kinds("SELECT -- comment\n 1");
+        assert_eq!(ks.len(), 3); // SELECT, 1, EOF
+    }
+
+    #[test]
+    fn neq_normalized() {
+        assert_eq!(kinds("a != b")[1], TokenKind::Op("<>".into()));
+        assert_eq!(kinds("a <> b")[1], TokenKind::Op("<>".into()));
+    }
+
+    #[test]
+    fn identifiers_with_hash() {
+        // TPC-D brand literals like Brand#23 appear in identifiers/strings.
+        let ks = kinds("Brand#23");
+        assert_eq!(ks[0], TokenKind::Ident("Brand#23".into()));
+    }
+
+    #[test]
+    fn positions_reported() {
+        let ts = tokenize("SELECT\n  x").unwrap();
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+}

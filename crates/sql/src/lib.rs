@@ -1,0 +1,38 @@
+//! SQL frontend: lexer, parser, and binder lowering to QGM.
+//!
+//! The supported dialect is the subset the paper's queries use:
+//!
+//! * `SELECT [DISTINCT] items FROM items [WHERE e] [GROUP BY es] [HAVING e]`
+//! * table references with aliases, parenthesized derived tables
+//!   (`(query) AS dt(cols)` and the paper's `DT(cols) AS (query)` form),
+//! * `UNION [ALL]`,
+//! * scalar subqueries in expressions, `EXISTS` / `NOT EXISTS`,
+//!   `[NOT] IN (subquery | value list)`, `op ANY / SOME / ALL (subquery)`,
+//! * correlated references across any number of nesting levels,
+//! * aggregates `COUNT(*) / COUNT / SUM / AVG / MIN / MAX`, `COALESCE`,
+//!   `IS [NOT] NULL`, `BETWEEN`, arithmetic, `AND/OR/NOT`.
+//!
+//! [`parse`] yields an AST; [`bind`] lowers the AST into a
+//! [`decorr_qgm::Qgm`] graph against a [`decorr_storage::Database`]
+//! catalog. `parse_and_bind` is the one-call convenience.
+
+pub mod ast;
+pub mod binder;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::Query;
+pub use binder::bind;
+pub use parser::parse;
+
+use decorr_common::Result;
+use decorr_qgm::Qgm;
+use decorr_storage::Database;
+
+/// Parse `sql` and bind it against `db`, producing a validated QGM.
+pub fn parse_and_bind(sql: &str, db: &Database) -> Result<Qgm> {
+    let query = parse(sql)?;
+    let qgm = bind(&query, db)?;
+    decorr_qgm::validate::validate(&qgm)?;
+    Ok(qgm)
+}

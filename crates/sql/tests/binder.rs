@@ -1,0 +1,284 @@
+//! Binder integration tests: SQL text → validated QGM.
+
+use decorr_common::{DataType, Schema};
+use decorr_qgm::{validate::validate, BoxKind, CorrelationMap, QuantKind};
+use decorr_sql::parse_and_bind;
+use decorr_storage::Database;
+
+/// The Section 2 EMP/DEPT schema.
+fn empdept_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "dept",
+        Schema::from_pairs(&[
+            ("name", DataType::Str),
+            ("budget", DataType::Double),
+            ("num_emps", DataType::Int),
+            ("building", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    db.create_table(
+        "emp",
+        Schema::from_pairs(&[("name", DataType::Str), ("building", DataType::Int)]),
+    )
+    .unwrap();
+    db
+}
+
+const PAPER_QUERY: &str = "Select D.name From Dept D \
+    Where D.budget < 10000 and D.num_emps > \
+    (Select Count(*) From Emp E Where D.building = E.building)";
+
+#[test]
+fn binds_simple_select() {
+    let db = empdept_db();
+    let g = parse_and_bind("SELECT name, budget FROM dept WHERE budget < 100", &db).unwrap();
+    assert!(validate(&g).is_ok());
+    let top = g.boxref(g.top());
+    assert!(matches!(top.kind, BoxKind::Select));
+    assert_eq!(g.output_arity(g.top()), 2);
+    assert_eq!(g.output_name(g.top(), 0), "name");
+}
+
+#[test]
+fn binds_the_paper_example_with_correlation() {
+    let db = empdept_db();
+    let g = parse_and_bind(PAPER_QUERY, &db).unwrap();
+    let cm = CorrelationMap::analyze(&g);
+
+    // The top box owns a Foreach quant over DEPT and a Scalar quant over
+    // the aggregate box.
+    let top = g.boxref(g.top());
+    let kinds: Vec<QuantKind> = top.quants.iter().map(|&q| g.quant(q).kind).collect();
+    assert_eq!(kinds, vec![QuantKind::Foreach, QuantKind::Scalar]);
+
+    // The subquery box is a Grouping box whose subtree is correlated to the
+    // top box through D.building.
+    let agg = g.quant(top.quants[1]).input;
+    assert!(matches!(g.boxref(agg).kind, BoxKind::Grouping { .. }));
+    assert!(cm.is_correlated(agg));
+    let refs = cm.subtree_refs(agg);
+    assert_eq!(refs.len(), 1);
+    assert_eq!(g.quant(refs[0].quant).owner, g.top());
+    assert_eq!(refs[0].col, 3); // dept.building
+}
+
+#[test]
+fn wildcard_expansion() {
+    let db = empdept_db();
+    let g = parse_and_bind("SELECT * FROM dept D, emp E", &db).unwrap();
+    assert_eq!(g.output_arity(g.top()), 6);
+    let g2 = parse_and_bind("SELECT E.* FROM dept D, emp E", &db).unwrap();
+    assert_eq!(g2.output_arity(g2.top()), 2);
+}
+
+#[test]
+fn group_by_produces_grouping_box() {
+    let db = empdept_db();
+    let g = parse_and_bind(
+        "SELECT building, COUNT(*) AS c FROM emp GROUP BY building",
+        &db,
+    )
+    .unwrap();
+    // Identity projection: the Grouping box is the top.
+    assert!(matches!(g.boxref(g.top()).kind, BoxKind::Grouping { .. }));
+    assert_eq!(g.output_name(g.top(), 1), "c");
+}
+
+#[test]
+fn having_adds_select_above_grouping() {
+    let db = empdept_db();
+    let g = parse_and_bind(
+        "SELECT building FROM emp GROUP BY building HAVING COUNT(*) > 1",
+        &db,
+    )
+    .unwrap();
+    let top = g.boxref(g.top());
+    assert!(matches!(top.kind, BoxKind::Select));
+    assert_eq!(top.preds.len(), 1);
+    let grp = g.quant(top.quants[0]).input;
+    assert!(matches!(g.boxref(grp).kind, BoxKind::Grouping { .. }));
+}
+
+#[test]
+fn aggregate_expression_in_select_list() {
+    let db = empdept_db();
+    // 0.2 * AVG requires a Select box above the Grouping box.
+    let g = parse_and_bind("SELECT 0.2 * AVG(budget) FROM dept", &db).unwrap();
+    assert!(matches!(g.boxref(g.top()).kind, BoxKind::Select));
+    assert!(validate(&g).is_ok());
+}
+
+#[test]
+fn union_branches() {
+    let db = empdept_db();
+    let g = parse_and_bind(
+        "(SELECT name FROM emp) UNION ALL (SELECT name FROM dept)",
+        &db,
+    )
+    .unwrap();
+    let top = g.boxref(g.top());
+    assert!(matches!(top.kind, BoxKind::Union { all: true }));
+    assert_eq!(top.quants.len(), 2);
+}
+
+#[test]
+fn union_arity_mismatch_rejected() {
+    let db = empdept_db();
+    let err = parse_and_bind(
+        "(SELECT name FROM emp) UNION (SELECT name, budget FROM dept)",
+        &db,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("arities"));
+}
+
+#[test]
+fn derived_table_with_column_renames() {
+    let db = empdept_db();
+    let g = parse_and_bind(
+        "SELECT b FROM (SELECT building FROM emp) AS d(b)",
+        &db,
+    )
+    .unwrap();
+    assert_eq!(g.output_name(g.top(), 0), "b");
+}
+
+#[test]
+fn paper_style_derived_table() {
+    let db = empdept_db();
+    let g = parse_and_bind(
+        "SELECT total FROM DT(total) AS (SELECT SUM(budget) FROM dept)",
+        &db,
+    )
+    .unwrap();
+    assert_eq!(g.output_name(g.top(), 0), "total");
+}
+
+#[test]
+fn correlated_derived_table_is_lateral() {
+    let db = empdept_db();
+    // The derived table references D from the same FROM list (the paper's
+    // Query 3 shape).
+    let g = parse_and_bind(
+        "SELECT D.name, c FROM dept D, DT(c) AS \
+         (SELECT COUNT(*) FROM emp E WHERE E.building = D.building)",
+        &db,
+    )
+    .unwrap();
+    let top = g.boxref(g.top());
+    let dt = g.quant(top.quants[1]).input;
+    assert!(g.is_correlated(dt));
+}
+
+#[test]
+fn exists_and_in_become_quantifiers() {
+    let db = empdept_db();
+    let g = parse_and_bind(
+        "SELECT name FROM dept D WHERE EXISTS \
+         (SELECT 1 AS one FROM emp E WHERE E.building = D.building)",
+        &db,
+    )
+    .unwrap();
+    let top = g.boxref(g.top());
+    assert_eq!(g.quant(top.quants[1]).kind, QuantKind::Existential);
+
+    let g2 = parse_and_bind(
+        "SELECT name FROM dept WHERE building IN (SELECT building FROM emp)",
+        &db,
+    )
+    .unwrap();
+    let top2 = g2.boxref(g2.top());
+    assert_eq!(g2.quant(top2.quants[1]).kind, QuantKind::Existential);
+    assert_eq!(top2.preds.len(), 1);
+}
+
+#[test]
+fn not_in_becomes_all_quantifier() {
+    let db = empdept_db();
+    let g = parse_and_bind(
+        "SELECT name FROM dept WHERE building NOT IN (SELECT building FROM emp)",
+        &db,
+    )
+    .unwrap();
+    let top = g.boxref(g.top());
+    assert_eq!(g.quant(top.quants[1]).kind, QuantKind::All);
+}
+
+#[test]
+fn all_quantified_comparison() {
+    let db = empdept_db();
+    let g = parse_and_bind(
+        "SELECT name FROM dept D WHERE budget > ALL \
+         (SELECT budget FROM dept D2 WHERE D2.building = D.building AND D2.name <> D.name)",
+        &db,
+    )
+    .unwrap();
+    let top = g.boxref(g.top());
+    assert_eq!(g.quant(top.quants[1]).kind, QuantKind::All);
+}
+
+#[test]
+fn not_exists_desugars_to_count() {
+    let db = empdept_db();
+    let g = parse_and_bind(
+        "SELECT name FROM dept D WHERE NOT EXISTS \
+         (SELECT 1 AS one FROM emp E WHERE E.building = D.building)",
+        &db,
+    )
+    .unwrap();
+    let top = g.boxref(g.top());
+    // Scalar quantifier over a COUNT(*) grouping box plus a `0 = cnt` pred.
+    let scalar = top
+        .quants
+        .iter()
+        .find(|&&q| g.quant(q).kind == QuantKind::Scalar)
+        .copied()
+        .unwrap();
+    let grp = g.quant(scalar).input;
+    assert!(matches!(g.boxref(grp).kind, BoxKind::Grouping { .. }));
+}
+
+#[test]
+fn binding_errors() {
+    let db = empdept_db();
+    for (sql, needle) in [
+        ("SELECT zzz FROM dept", "unknown column"),
+        ("SELECT D.zzz FROM dept D", "no output column"),
+        ("SELECT X.name FROM dept D", "unknown table or alias"),
+        ("SELECT name FROM nonesuch", "unknown table"),
+        ("SELECT name FROM dept D, emp D", "duplicate FROM binding"),
+        ("SELECT name FROM dept, emp", "ambiguous"),
+        ("SELECT budget FROM dept GROUP BY name", "GROUP BY"),
+        ("SELECT name FROM dept HAVING budget > 1", "HAVING"),
+        (
+            "SELECT name FROM dept WHERE building IN (SELECT name, building FROM emp)",
+            "one column",
+        ),
+    ] {
+        let err = parse_and_bind(sql, &db).unwrap_err();
+        assert!(
+            err.to_string().contains(needle),
+            "for {sql:?}: expected {needle:?} in {err}"
+        );
+    }
+}
+
+#[test]
+fn multi_level_correlation_binds() {
+    let db = empdept_db();
+    // Level-2 subquery references the level-0 block's D.
+    let g = parse_and_bind(
+        "SELECT name FROM dept D WHERE num_emps > \
+           (SELECT COUNT(*) FROM emp E WHERE E.building = D.building AND E.name IN \
+             (SELECT E2.name FROM emp E2 WHERE E2.building = D.building))",
+        &db,
+    )
+    .unwrap();
+    assert!(validate(&g).is_ok());
+    let cm = CorrelationMap::analyze(&g);
+    let top = g.boxref(g.top());
+    let sub = g.quant(top.quants[1]).input;
+    assert!(cm.is_correlated(sub));
+}

@@ -1,0 +1,111 @@
+//! The database catalog: a named collection of tables.
+
+use decorr_common::{Error, FxHashMap, Result, Schema};
+
+use crate::table::Table;
+
+/// An in-memory database: the set of base tables visible to queries.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: FxHashMap<String, Table>,
+    /// Insertion order, for deterministic listings.
+    order: Vec<String>,
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn norm(name: &str) -> String {
+        name.to_ascii_lowercase()
+    }
+
+    /// Create an empty table. Errors on duplicate names.
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<&mut Table> {
+        let key = Self::norm(name);
+        if self.tables.contains_key(&key) {
+            return Err(Error::catalog(format!("table '{name}' already exists")));
+        }
+        self.order.push(key.clone());
+        Ok(self
+            .tables
+            .entry(key)
+            .or_insert_with(|| Table::new(name, schema)))
+    }
+
+    /// Register a pre-built table. Errors on duplicate names.
+    pub fn add_table(&mut self, table: Table) -> Result<()> {
+        let key = Self::norm(table.name());
+        if self.tables.contains_key(&key) {
+            return Err(Error::catalog(format!(
+                "table '{}' already exists",
+                table.name()
+            )));
+        }
+        self.order.push(key.clone());
+        self.tables.insert(key, table);
+        Ok(())
+    }
+
+    /// Look up a table by (case-insensitive) name.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(&Self::norm(name))
+            .ok_or_else(|| Error::catalog(format!("unknown table '{name}'")))
+    }
+
+    /// Mutable lookup (index creation / drops, loading).
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(&Self::norm(name))
+            .ok_or_else(|| Error::catalog(format!("unknown table '{name}'")))
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&Self::norm(name))
+    }
+
+    /// Tables in creation order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.order.iter().map(|k| &self.tables[k])
+    }
+
+    pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        let key = Self::norm(name);
+        if self.tables.remove(&key).is_none() {
+            return Err(Error::catalog(format!("unknown table '{name}'")));
+        }
+        self.order.retain(|k| k != &key);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decorr_common::DataType;
+
+    #[test]
+    fn create_lookup_drop() {
+        let mut db = Database::new();
+        db.create_table("Emp", Schema::from_pairs(&[("x", DataType::Int)]))
+            .unwrap();
+        assert!(db.has_table("emp"));
+        assert!(db.table("EMP").is_ok());
+        assert!(db.create_table("emp", Schema::default()).is_err());
+        db.drop_table("Emp").unwrap();
+        assert!(db.table("emp").is_err());
+        assert!(db.drop_table("emp").is_err());
+    }
+
+    #[test]
+    fn listing_is_in_creation_order() {
+        let mut db = Database::new();
+        for n in ["c", "a", "b"] {
+            db.create_table(n, Schema::default()).unwrap();
+        }
+        let names: Vec<_> = db.tables().map(|t| t.name().to_string()).collect();
+        assert_eq!(names, ["c", "a", "b"]);
+    }
+}

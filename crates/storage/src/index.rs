@@ -1,0 +1,118 @@
+//! Hash indexes over table columns.
+
+use decorr_common::{FxHashMap, Row, Value};
+
+/// A hash index mapping the values of one or more columns to the positions
+/// of the rows carrying those values.
+///
+/// Only equality lookups are supported — which matches the paper's usage:
+/// every index-assisted access in the evaluation is an equality probe on a
+/// correlation or join attribute (`E.building = ?`, `ps_partkey = ?`, ...).
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    /// Indexes (within the table schema) of the indexed columns, in order.
+    columns: Vec<usize>,
+    /// Key values -> positions of matching rows.
+    map: FxHashMap<Vec<Value>, Vec<usize>>,
+}
+
+impl HashIndex {
+    /// Build an index on `columns` over the given rows.
+    ///
+    /// Rows whose key contains a NULL are not indexed: an SQL equality
+    /// predicate can never select them.
+    pub fn build(columns: Vec<usize>, rows: &[Row]) -> Self {
+        let mut map: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
+        for (pos, row) in rows.iter().enumerate() {
+            if let Some(key) = Self::key_of(&columns, row) {
+                map.entry(key).or_default().push(pos);
+            }
+        }
+        HashIndex { columns, map }
+    }
+
+    fn key_of(columns: &[usize], row: &Row) -> Option<Vec<Value>> {
+        let mut key = Vec::with_capacity(columns.len());
+        for &c in columns {
+            let v = row[c].clone();
+            if v.is_null() {
+                return None;
+            }
+            key.push(v);
+        }
+        Some(key)
+    }
+
+    /// The indexed column positions.
+    pub fn columns(&self) -> &[usize] {
+        &self.columns
+    }
+
+    /// Does this index cover exactly the given set of columns
+    /// (order-insensitively)?
+    pub fn covers(&self, cols: &[usize]) -> bool {
+        self.columns.len() == cols.len() && cols.iter().all(|c| self.columns.contains(c))
+    }
+
+    /// Positions of rows whose indexed columns equal `key` (ordered as
+    /// [`HashIndex::columns`]). NULL keys match nothing.
+    pub fn lookup(&self, key: &[Value]) -> &[usize] {
+        if key.iter().any(Value::is_null) {
+            return &[];
+        }
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Register a newly appended row (position `pos`).
+    pub fn insert(&mut self, pos: usize, row: &Row) {
+        if let Some(key) = Self::key_of(&self.columns, row) {
+            self.map.entry(key).or_default().push(pos);
+        }
+    }
+
+    /// Number of distinct keys in the index.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decorr_common::row;
+
+    fn rows() -> Vec<Row> {
+        vec![row![1, "a"], row![2, "b"], row![1, "c"], row![Value::Null, "d"]]
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let idx = HashIndex::build(vec![0], &rows());
+        assert_eq!(idx.lookup(&[Value::Int(1)]), &[0, 2]);
+        assert_eq!(idx.lookup(&[Value::Int(2)]), &[1]);
+        assert_eq!(idx.lookup(&[Value::Int(9)]), &[] as &[usize]);
+    }
+
+    #[test]
+    fn null_keys_not_indexed_and_match_nothing() {
+        let idx = HashIndex::build(vec![0], &rows());
+        assert_eq!(idx.distinct_keys(), 2);
+        assert_eq!(idx.lookup(&[Value::Null]), &[] as &[usize]);
+    }
+
+    #[test]
+    fn multi_column() {
+        let rs = vec![row![1, "a"], row![1, "b"], row![1, "a"]];
+        let idx = HashIndex::build(vec![0, 1], &rs);
+        assert_eq!(idx.lookup(&[Value::Int(1), Value::str("a")]), &[0, 2]);
+        assert!(idx.covers(&[1, 0]));
+        assert!(!idx.covers(&[0]));
+    }
+
+    #[test]
+    fn incremental_insert() {
+        let mut idx = HashIndex::build(vec![0], &rows());
+        idx.insert(4, &row![2, "e"]);
+        assert_eq!(idx.lookup(&[Value::Int(2)]), &[1, 4]);
+    }
+}

@@ -1,0 +1,23 @@
+//! In-memory relational storage: tables, indexes, catalog.
+//!
+//! This crate is the storage substrate under the query engine. It is
+//! deliberately simple — row-oriented, fully in memory — because the paper's
+//! comparisons are driven by *how much* data each strategy touches, not by
+//! the storage format. What matters for fidelity is:
+//!
+//! * base tables with declared schemas and optional primary keys
+//!   (key information feeds the `OptMag` supplementary-table optimization
+//!   and Dayal's `GROUP BY key` rewrite),
+//! * **hash indexes** on arbitrary column sets, because the paper's Figures
+//!   5–7 hinge on whether the correlated subquery can use an index
+//!   ("we dropped the index on the ps_suppkey column ... increasing the work
+//!   performed in each correlated invocation"),
+//! * the ability to *drop* an index to reproduce Figure 7.
+
+pub mod catalog;
+pub mod index;
+pub mod table;
+
+pub use catalog::Database;
+pub use index::HashIndex;
+pub use table::Table;

@@ -1,0 +1,207 @@
+//! Base tables.
+
+use decorr_common::{Error, Result, Row, Schema, Value};
+
+use crate::index::HashIndex;
+
+/// A named, schema-checked, in-memory table with optional primary key and
+/// any number of hash indexes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Row>,
+    /// Column positions forming the primary key, if declared.
+    key: Option<Vec<usize>>,
+    indexes: Vec<HashIndex>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+            key: None,
+            indexes: Vec::new(),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Declare the primary key by column names. Purely metadata: it informs
+    /// rewrites (Dayal's `GROUP BY key`, the `OptMag` supplementary-table
+    /// elimination) but uniqueness is the loader's responsibility.
+    pub fn set_key(&mut self, column_names: &[&str]) -> Result<()> {
+        let mut cols = Vec::with_capacity(column_names.len());
+        for n in column_names {
+            cols.push(self.schema.resolve(n)?);
+        }
+        self.key = Some(cols);
+        Ok(())
+    }
+
+    /// The primary-key column positions, if declared.
+    pub fn key(&self) -> Option<&[usize]> {
+        self.key.as_deref()
+    }
+
+    /// Append a row, checking it against the schema and maintaining indexes.
+    pub fn insert(&mut self, row: Row) -> Result<()> {
+        self.schema.check_row(row.values())?;
+        let pos = self.rows.len();
+        for idx in &mut self.indexes {
+            idx.insert(pos, &row);
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Bulk-append rows.
+    pub fn insert_all<I: IntoIterator<Item = Row>>(&mut self, rows: I) -> Result<()> {
+        for r in rows {
+            self.insert(r)?;
+        }
+        Ok(())
+    }
+
+    /// Create a hash index on the named columns. Idempotent: re-creating an
+    /// index over the same column set is a no-op.
+    pub fn create_index(&mut self, column_names: &[&str]) -> Result<()> {
+        let mut cols = Vec::with_capacity(column_names.len());
+        for n in column_names {
+            cols.push(self.schema.resolve(n)?);
+        }
+        if self.indexes.iter().any(|i| i.covers(&cols)) {
+            return Ok(());
+        }
+        self.indexes.push(HashIndex::build(cols, &self.rows));
+        Ok(())
+    }
+
+    /// Drop the index on exactly the named columns (Figure 7 drops the
+    /// `ps_suppkey` index). Errors if no such index exists.
+    pub fn drop_index(&mut self, column_names: &[&str]) -> Result<()> {
+        let mut cols = Vec::with_capacity(column_names.len());
+        for n in column_names {
+            cols.push(self.schema.resolve(n)?);
+        }
+        let before = self.indexes.len();
+        self.indexes.retain(|i| !i.covers(&cols));
+        if self.indexes.len() == before {
+            return Err(Error::catalog(format!(
+                "table '{}' has no index on {column_names:?}",
+                self.name
+            )));
+        }
+        Ok(())
+    }
+
+    /// Drop all indexes.
+    pub fn drop_all_indexes(&mut self) {
+        self.indexes.clear();
+    }
+
+    /// An index whose column set is a subset of `cols` (so an equality
+    /// binding on all of `cols` can probe it), preferring the widest match.
+    pub fn best_index_for(&self, cols: &[usize]) -> Option<&HashIndex> {
+        self.indexes
+            .iter()
+            .filter(|i| i.columns().iter().all(|c| cols.contains(c)))
+            .max_by_key(|i| i.columns().len())
+    }
+
+    /// The index covering exactly `cols`, if any.
+    pub fn index_on(&self, cols: &[usize]) -> Option<&HashIndex> {
+        self.indexes.iter().find(|i| i.covers(cols))
+    }
+
+    /// All indexes.
+    pub fn indexes(&self) -> &[HashIndex] {
+        &self.indexes
+    }
+
+    /// Rows matching `value` on `col` via index; `None` if no usable index.
+    pub fn index_lookup(&self, col: usize, value: &Value) -> Option<&[usize]> {
+        self.index_on(&[col])
+            .map(|i| i.lookup(std::slice::from_ref(value)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decorr_common::{row, DataType};
+
+    fn emp() -> Table {
+        let mut t = Table::new(
+            "emp",
+            Schema::from_pairs(&[("name", DataType::Str), ("building", DataType::Int)]),
+        );
+        t.insert_all(vec![row!["a", 1], row!["b", 2], row!["c", 1]]).unwrap();
+        t
+    }
+
+    #[test]
+    fn schema_enforced_on_insert() {
+        let mut t = emp();
+        assert!(t.insert(row![1, "oops"]).is_err());
+        assert!(t.insert(row!["d"]).is_err());
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn index_lifecycle() {
+        let mut t = emp();
+        t.create_index(&["building"]).unwrap();
+        assert_eq!(t.index_lookup(1, &Value::Int(1)).unwrap(), &[0, 2]);
+        // Index maintained across later inserts.
+        t.insert(row!["d", 1]).unwrap();
+        assert_eq!(t.index_lookup(1, &Value::Int(1)).unwrap(), &[0, 2, 3]);
+        // Idempotent creation.
+        t.create_index(&["building"]).unwrap();
+        assert_eq!(t.indexes().len(), 1);
+        t.drop_index(&["building"]).unwrap();
+        assert!(t.index_lookup(1, &Value::Int(1)).is_none());
+        assert!(t.drop_index(&["building"]).is_err());
+    }
+
+    #[test]
+    fn key_metadata() {
+        let mut t = emp();
+        assert!(t.key().is_none());
+        t.set_key(&["name"]).unwrap();
+        assert_eq!(t.key(), Some(&[0usize][..]));
+        assert!(t.set_key(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn best_index_prefers_widest() {
+        let mut t = emp();
+        t.create_index(&["building"]).unwrap();
+        t.create_index(&["building", "name"]).unwrap();
+        let best = t.best_index_for(&[0, 1]).unwrap();
+        assert_eq!(best.columns().len(), 2);
+        let only = t.best_index_for(&[1]).unwrap();
+        assert_eq!(only.columns(), &[1]);
+    }
+}

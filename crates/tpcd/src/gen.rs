@@ -1,0 +1,349 @@
+//! Deterministic scaled TPC-D data generation.
+
+use decorr_common::{DataType, Result, Row, Schema, Value};
+use decorr_storage::Database;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The 25 TPC-D nations, five per region.
+pub const NATIONS: [&str; 25] = [
+    // AMERICA
+    "UNITED STATES", "CANADA", "BRAZIL", "ARGENTINA", "PERU",
+    // EUROPE
+    "FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM",
+    // ASIA
+    "CHINA", "INDIA", "JAPAN", "INDONESIA", "VIETNAM",
+    // AFRICA
+    "ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE",
+    // MIDDLE EAST
+    "EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA",
+];
+
+/// The five regions; `NATIONS[i]` belongs to `REGIONS[i / 5]`.
+pub const REGIONS: [&str; 5] = ["AMERICA", "EUROPE", "ASIA", "AFRICA", "MIDDLE EAST"];
+
+/// 25 part types ("BRASS" is what Query 1 selects).
+pub const PART_TYPES: [&str; 25] = [
+    "BRASS", "COPPER", "NICKEL", "STEEL", "TIN",
+    "ANODIZED BRASS", "ANODIZED COPPER", "ANODIZED NICKEL", "ANODIZED STEEL", "ANODIZED TIN",
+    "BURNISHED BRASS", "BURNISHED COPPER", "BURNISHED NICKEL", "BURNISHED STEEL", "BURNISHED TIN",
+    "PLATED BRASS", "PLATED COPPER", "PLATED NICKEL", "PLATED STEEL", "PLATED TIN",
+    "POLISHED BRASS", "POLISHED COPPER", "POLISHED NICKEL", "POLISHED STEEL", "POLISHED TIN",
+];
+
+/// Four containers ("6 PACK" is what Query 2 selects); the small domain
+/// keeps Query 2's part selectivity near the paper's 209 bindings.
+pub const CONTAINERS: [&str; 4] = ["6 PACK", "12 PACK", "JUMBO PKG", "LG CASE"];
+
+/// Five market segments (Query 3 selects BUILDING and FURNITURE).
+pub const SEGMENTS: [&str; 5] =
+    ["BUILDING", "FURNITURE", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD"];
+
+/// Number of partsupp entries per part (80,000 / 20,000).
+pub const SUPPLIERS_PER_PART: usize = 4;
+/// Expected lineitem rows per part (600,000 / 20,000).
+pub const LINEITEMS_PER_PART: usize = 30;
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TpcdConfig {
+    /// Scale relative to the paper's Table 1 (1.0 = 716,000 total rows).
+    pub scale: f64,
+    /// RNG seed: equal seeds give identical databases.
+    pub seed: u64,
+    /// Create the indexes the paper assumes ("indexes were available on
+    /// all the necessary attributes").
+    pub with_indexes: bool,
+}
+
+impl Default for TpcdConfig {
+    fn default() -> Self {
+        TpcdConfig { scale: 0.05, seed: 42, with_indexes: true }
+    }
+}
+
+/// Table cardinalities at a given scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cardinalities {
+    pub customers: usize,
+    pub parts: usize,
+    pub suppliers: usize,
+    pub partsupp: usize,
+    pub lineitem: usize,
+}
+
+/// Cardinalities at `scale` (Table 1 of the paper at 1.0).
+pub fn cardinalities(scale: f64) -> Cardinalities {
+    let n = |base: usize| ((base as f64 * scale).round() as usize).max(1);
+    let parts = n(20_000);
+    let suppliers = n(1_000).max(SUPPLIERS_PER_PART);
+    Cardinalities {
+        customers: n(15_000),
+        parts,
+        suppliers,
+        partsupp: parts * SUPPLIERS_PER_PART,
+        lineitem: parts * LINEITEMS_PER_PART,
+    }
+}
+
+/// Generate the benchmark database.
+pub fn generate(cfg: &TpcdConfig) -> Result<Database> {
+    let card = cardinalities(cfg.scale);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut db = Database::new();
+
+    // ---- suppliers -------------------------------------------------------
+    // Nations round-robin: exact per-nation counts at every scale, so
+    // Query 3's "5 unique European nations" holds even on tiny databases.
+    {
+        let t = db.create_table(
+            "suppliers",
+            Schema::from_pairs(&[
+                ("s_suppkey", DataType::Int),
+                ("s_name", DataType::Str),
+                ("s_acctbal", DataType::Double),
+                ("s_address", DataType::Str),
+                ("s_phone", DataType::Str),
+                ("s_comment", DataType::Str),
+                ("s_nation", DataType::Str),
+                ("s_region", DataType::Str),
+            ]),
+        )?;
+        for i in 0..card.suppliers {
+            let nation = i % NATIONS.len();
+            t.insert(Row::new(vec![
+                Value::Int(i as i64 + 1),
+                Value::str(format!("Supplier#{:06}", i + 1)),
+                Value::Double((rng.gen_range(-99_999..999_999) as f64) / 100.0),
+                Value::str(format!("{} Supply St.", i + 1)),
+                Value::str(format!("{:02}-{:07}", 10 + nation, i)),
+                Value::str("carefully final deposits"),
+                Value::str(NATIONS[nation]),
+                Value::str(REGIONS[nation / 5]),
+            ]))?;
+        }
+        t.set_key(&["s_suppkey"])?;
+    }
+
+    // ---- parts -----------------------------------------------------------
+    {
+        let t = db.create_table(
+            "parts",
+            Schema::from_pairs(&[
+                ("p_partkey", DataType::Int),
+                ("p_name", DataType::Str),
+                ("p_size", DataType::Int),
+                ("p_type", DataType::Str),
+                ("p_brand", DataType::Str),
+                ("p_container", DataType::Str),
+                ("p_retailprice", DataType::Double),
+            ]),
+        )?;
+        for i in 0..card.parts {
+            let brand = format!(
+                "Brand#{}{}",
+                rng.gen_range(1..=5),
+                rng.gen_range(1..=5)
+            );
+            t.insert(Row::new(vec![
+                Value::Int(i as i64 + 1),
+                Value::str(format!("part {:06}", i + 1)),
+                Value::Int(rng.gen_range(1..=25)),
+                Value::str(PART_TYPES[rng.gen_range(0..PART_TYPES.len())]),
+                Value::str(brand),
+                Value::str(CONTAINERS[rng.gen_range(0..CONTAINERS.len())]),
+                Value::Double(900.0 + (i % 200) as f64),
+            ]))?;
+        }
+        t.set_key(&["p_partkey"])?;
+    }
+
+    // ---- partsupp --------------------------------------------------------
+    // Exactly SUPPLIERS_PER_PART suppliers per part, deterministically
+    // spread so per-nation supplier coverage is uniform.
+    {
+        let t = db.create_table(
+            "partsupp",
+            Schema::from_pairs(&[
+                ("ps_partkey", DataType::Int),
+                ("ps_suppkey", DataType::Int),
+                ("ps_availqty", DataType::Int),
+                ("ps_supplycost", DataType::Double),
+            ]),
+        )?;
+        let nsupp = card.suppliers as i64;
+        for p in 0..card.parts as i64 {
+            for k in 0..SUPPLIERS_PER_PART as i64 {
+                let supp = (p + k * (nsupp / SUPPLIERS_PER_PART as i64 + 1)) % nsupp;
+                t.insert(Row::new(vec![
+                    Value::Int(p + 1),
+                    Value::Int(supp + 1),
+                    Value::Int(rng.gen_range(1..=9999)),
+                    Value::Double((rng.gen_range(100..100_000) as f64) / 100.0),
+                ]))?;
+            }
+        }
+        t.set_key(&["ps_partkey", "ps_suppkey"])?;
+    }
+
+    // ---- lineitem --------------------------------------------------------
+    {
+        let t = db.create_table(
+            "lineitem",
+            Schema::from_pairs(&[
+                ("l_orderkey", DataType::Int),
+                ("l_partkey", DataType::Int),
+                ("l_quantity", DataType::Int),
+                ("l_extendedprice", DataType::Double),
+            ]),
+        )?;
+        for i in 0..card.lineitem {
+            let part = rng.gen_range(0..card.parts) as i64;
+            let quantity = rng.gen_range(1..=50i64);
+            t.insert(Row::new(vec![
+                Value::Int(i as i64 + 1),
+                Value::Int(part + 1),
+                Value::Int(quantity),
+                Value::Double(quantity as f64 * (900.0 + (part % 200) as f64) / 10.0),
+            ]))?;
+        }
+        t.set_key(&["l_orderkey"])?;
+    }
+
+    // ---- customers -------------------------------------------------------
+    {
+        let t = db.create_table(
+            "customers",
+            Schema::from_pairs(&[
+                ("c_custkey", DataType::Int),
+                ("c_name", DataType::Str),
+                ("c_acctbal", DataType::Double),
+                ("c_mktsegment", DataType::Str),
+                ("c_nation", DataType::Str),
+            ]),
+        )?;
+        for i in 0..card.customers {
+            t.insert(Row::new(vec![
+                Value::Int(i as i64 + 1),
+                Value::str(format!("Customer#{:06}", i + 1)),
+                Value::Double((rng.gen_range(-99_999..999_999) as f64) / 100.0),
+                Value::str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]),
+                Value::str(NATIONS[rng.gen_range(0..NATIONS.len())]),
+            ]))?;
+        }
+        t.set_key(&["c_custkey"])?;
+    }
+
+    if cfg.with_indexes {
+        create_paper_indexes(&mut db)?;
+    }
+    Ok(db)
+}
+
+/// "Indexes were available on all the necessary attributes" (Section 5.2):
+/// the key and join/correlation columns of the five tables.
+pub fn create_paper_indexes(db: &mut Database) -> Result<()> {
+    db.table_mut("suppliers")?.create_index(&["s_suppkey"])?;
+    db.table_mut("suppliers")?.create_index(&["s_nation"])?;
+    db.table_mut("parts")?.create_index(&["p_partkey"])?;
+    db.table_mut("partsupp")?.create_index(&["ps_partkey"])?;
+    db.table_mut("partsupp")?.create_index(&["ps_suppkey"])?;
+    db.table_mut("lineitem")?.create_index(&["l_partkey"])?;
+    db.table_mut("customers")?.create_index(&["c_nation"])?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_cardinalities_at_full_scale() {
+        let c = cardinalities(1.0);
+        assert_eq!(
+            c,
+            Cardinalities {
+                customers: 15_000,
+                parts: 20_000,
+                suppliers: 1_000,
+                partsupp: 80_000,
+                lineitem: 600_000,
+            }
+        );
+    }
+
+    #[test]
+    fn generation_matches_cardinalities() {
+        let cfg = TpcdConfig { scale: 0.01, seed: 7, with_indexes: false };
+        let db = generate(&cfg).unwrap();
+        let c = cardinalities(0.01);
+        assert_eq!(db.table("customers").unwrap().len(), c.customers);
+        assert_eq!(db.table("parts").unwrap().len(), c.parts);
+        assert_eq!(db.table("suppliers").unwrap().len(), c.suppliers);
+        assert_eq!(db.table("partsupp").unwrap().len(), c.partsupp);
+        assert_eq!(db.table("lineitem").unwrap().len(), c.lineitem);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = TpcdConfig { scale: 0.005, seed: 3, with_indexes: false };
+        let a = generate(&cfg).unwrap();
+        let b = generate(&cfg).unwrap();
+        for t in ["customers", "parts", "suppliers", "partsupp", "lineitem"] {
+            assert_eq!(a.table(t).unwrap().rows(), b.table(t).unwrap().rows());
+        }
+    }
+
+    #[test]
+    fn suppliers_cover_all_nations_uniformly() {
+        let cfg = TpcdConfig { scale: 0.05, seed: 1, with_indexes: false };
+        let db = generate(&cfg).unwrap();
+        let t = db.table("suppliers").unwrap();
+        // 50 suppliers over 25 nations: exactly 2 per nation.
+        let mut per_nation = std::collections::HashMap::new();
+        for r in t.rows() {
+            *per_nation.entry(r[6].as_str().unwrap().to_string()).or_insert(0) += 1;
+        }
+        assert_eq!(per_nation.len(), 25);
+        assert!(per_nation.values().all(|&v| v == 2));
+        // 10 European suppliers with exactly 5 distinct nations (Query 3).
+        let europeans: Vec<_> = t
+            .rows()
+            .iter()
+            .filter(|r| r[7].as_str().unwrap() == "EUROPE")
+            .collect();
+        assert_eq!(europeans.len(), 10);
+        let nations: std::collections::HashSet<_> = europeans
+            .iter()
+            .map(|r| r[6].as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(nations.len(), 5);
+    }
+
+    #[test]
+    fn partsupp_has_exactly_four_distinct_suppliers_per_part() {
+        let cfg = TpcdConfig { scale: 0.01, seed: 9, with_indexes: false };
+        let db = generate(&cfg).unwrap();
+        let t = db.table("partsupp").unwrap();
+        let mut by_part: std::collections::HashMap<i64, Vec<i64>> = Default::default();
+        for r in t.rows() {
+            by_part
+                .entry(r[0].as_int().unwrap())
+                .or_default()
+                .push(r[1].as_int().unwrap());
+        }
+        for (part, mut supps) in by_part {
+            supps.sort_unstable();
+            supps.dedup();
+            assert_eq!(supps.len(), SUPPLIERS_PER_PART, "part {part}");
+        }
+    }
+
+    #[test]
+    fn indexes_created_on_request() {
+        let cfg = TpcdConfig { scale: 0.005, seed: 5, with_indexes: true };
+        let db = generate(&cfg).unwrap();
+        assert!(!db.table("partsupp").unwrap().indexes().is_empty());
+        assert!(!db.table("lineitem").unwrap().indexes().is_empty());
+    }
+}

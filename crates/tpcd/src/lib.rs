@@ -1,0 +1,24 @@
+//! The paper's benchmark workload: a deterministic, scaled TPC-D database
+//! (Section 5, Table 1) and the three evaluation queries, plus the
+//! Section 2 EMP/DEPT example data.
+//!
+//! The full-scale (`scale = 1.0`) cardinalities reproduce Table 1 exactly:
+//!
+//! | table     | tuples  |
+//! |-----------|---------|
+//! | customers | 15,000  |
+//! | parts     | 20,000  |
+//! | suppliers | 1,000   |
+//! | partsupp  | 80,000  |
+//! | lineitem  | 600,000 |
+//!
+//! Value distributions are tuned so the queries select roughly the
+//! binding counts the paper reports (≈6 outer rows for Query 1(a),
+//! thousands with ~2× duplicates for 1(b), ≈200 part bindings for
+//! Query 2, and exactly 5 distinct European nations for Query 3).
+
+pub mod empdept;
+pub mod gen;
+pub mod queries;
+
+pub use gen::{cardinalities, generate, Cardinalities, TpcdConfig};

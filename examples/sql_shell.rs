@@ -1,0 +1,166 @@
+//! An interactive SQL shell over the decorrelation engine.
+//!
+//! ```text
+//! cargo run --release --example sql_shell
+//! echo "SELECT COUNT(*) FROM parts" | cargo run --release --example sql_shell
+//! ```
+//!
+//! Commands (besides plain SQL, executed with the cost-based plan chooser):
+//!
+//! ```text
+//! \load tpcd [scale]     load the TPC-D benchmark database
+//! \load empdept          load the Section 2 EMP/DEPT example
+//! \tables                list tables
+//! \strategy <s>          auto | ni | kim | dayal | ganski | magic | optmag
+//! \explain <sql>         show the (rewritten) query graph instead of rows
+//! \quit
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use decorr::prelude::*;
+use decorr_tpcd::{empdept, generate, TpcdConfig};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Auto,
+    Fixed(Strategy),
+}
+
+fn main() -> Result<()> {
+    let mut db = generate(&TpcdConfig { scale: 0.02, seed: 42, with_indexes: true })?;
+    let mut mode = Mode::Auto;
+    println!("decorr SQL shell — TPC-D loaded at scale 0.02; \\load, \\tables, \\strategy, \\explain, \\quit");
+
+    let stdin = io::stdin();
+    let interactive = atty_stdin();
+    loop {
+        if interactive {
+            print!("decorr> ");
+            io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('\\') {
+            match handle_command(rest, &mut db, &mut mode) {
+                Ok(true) => break,
+                Ok(false) => {}
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        if let Err(e) = run_sql(line, &db, mode, false) {
+            println!("error: {e}");
+        }
+    }
+    Ok(())
+}
+
+fn atty_stdin() -> bool {
+    // Good enough without a TTY crate: honor an env override, default to
+    // prompting (the prompt is harmless under pipes).
+    std::env::var("DECORR_NO_PROMPT").is_err()
+}
+
+fn handle_command(cmd: &str, db: &mut Database, mode: &mut Mode) -> Result<bool> {
+    let mut parts = cmd.split_whitespace();
+    match parts.next().unwrap_or("") {
+        "quit" | "q" | "exit" => return Ok(true),
+        "tables" => {
+            for t in db.tables() {
+                println!(
+                    "{:<12} {:>8} rows  {:>2} indexes  {}",
+                    t.name(),
+                    t.len(),
+                    t.indexes().len(),
+                    t.schema()
+                );
+            }
+        }
+        "load" => match parts.next() {
+            Some("tpcd") => {
+                let scale: f64 = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0.02);
+                *db = generate(&TpcdConfig { scale, seed: 42, with_indexes: true })?;
+                println!("TPC-D loaded at scale {scale}");
+            }
+            Some("empdept") => {
+                *db = empdept::generate(&empdept::EmpDeptConfig::default())?;
+                println!("EMP/DEPT example loaded");
+            }
+            other => println!("unknown dataset {other:?}; try tpcd or empdept"),
+        },
+        "strategy" => {
+            *mode = match parts.next().unwrap_or("") {
+                "auto" => Mode::Auto,
+                "ni" => Mode::Fixed(Strategy::NestedIteration),
+                "kim" => Mode::Fixed(Strategy::Kim),
+                "dayal" => Mode::Fixed(Strategy::Dayal),
+                "ganski" => Mode::Fixed(Strategy::GanskiWong),
+                "magic" => Mode::Fixed(Strategy::Magic),
+                "optmag" => Mode::Fixed(Strategy::OptMag),
+                other => {
+                    println!("unknown strategy {other:?}");
+                    return Ok(false);
+                }
+            };
+            println!("ok");
+        }
+        "explain" => {
+            let sql = cmd.strip_prefix("explain").unwrap_or("").trim();
+            if sql.is_empty() {
+                println!("usage: \\explain <sql>");
+            } else {
+                run_sql(sql, db, *mode, true)?;
+            }
+        }
+        other => println!("unknown command \\{other}"),
+    }
+    Ok(false)
+}
+
+fn run_sql(sql: &str, db: &Database, mode: Mode, explain: bool) -> Result<()> {
+    let qgm = parse_and_bind(sql, db)?;
+    let (label, plan) = match mode {
+        Mode::Auto => {
+            let choice = choose_strategy(db, &qgm)?;
+            (
+                format!(
+                    "{} (est NI cost {:.0}, magic cost {:.0})",
+                    choice.strategy.name(),
+                    choice.ni_estimate.cost,
+                    choice.magic_estimate.cost
+                ),
+                choice.plan,
+            )
+        }
+        Mode::Fixed(s) => (s.name().to_string(), apply_strategy(&qgm, s)?),
+    };
+    if explain {
+        println!("-- plan: {label}");
+        print!("{}", qgm_print::render(&plan));
+        return Ok(());
+    }
+    let started = std::time::Instant::now();
+    let (rows, stats) = execute(db, &plan)?;
+    let elapsed = started.elapsed();
+    for r in rows.iter().take(20) {
+        println!("{r}");
+    }
+    if rows.len() > 20 {
+        println!("... ({} rows total)", rows.len());
+    }
+    println!(
+        "-- {} rows via {label} in {:.3} ms ({} subquery invocations, {} work units)",
+        rows.len(),
+        elapsed.as_secs_f64() * 1e3,
+        stats.subquery_invocations,
+        stats.total_work()
+    );
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Cost-based choice between the correlated and the decorrelated plan.
+//!
+//! The paper's Section 7: "Our implementation simply optimizes the query
+//! once without decorrelation, and using the chosen join orders repeats
+//! the optimization with decorrelation. The better of the two optimized
+//! plans is chosen." [`choose_strategy`] does exactly that, using
+//! [`decorr_exec::CostModel`] for the comparison.
+
+use decorr_common::Result;
+use decorr_core::magic::{magic_decorrelate, MagicOptions};
+use decorr_core::Strategy;
+use decorr_exec::{CostModel, Estimate};
+use decorr_qgm::Qgm;
+use decorr_storage::Database;
+
+/// The outcome of a cost-based plan choice.
+#[derive(Debug, Clone)]
+pub struct PlanChoice {
+    /// The winning strategy.
+    pub strategy: Strategy,
+    /// The plan to execute.
+    pub plan: Qgm,
+    /// Cost estimate of the correlated (nested iteration) plan.
+    pub ni_estimate: Estimate,
+    /// Cost estimate of the magic-decorrelated plan.
+    pub magic_estimate: Estimate,
+}
+
+/// Estimate both plans and return the cheaper one. Ties (e.g. the query
+/// was not correlated, so decorrelation changed nothing) go to nested
+/// iteration — the plan with fewer temporary tables.
+pub fn choose_strategy(db: &Database, qgm: &Qgm) -> Result<PlanChoice> {
+    let model = CostModel::new(db);
+    let ni_estimate = model.estimate(qgm)?;
+    let mut magic_plan = qgm.clone();
+    let report = magic_decorrelate(&mut magic_plan, &MagicOptions::default())?;
+    let magic_estimate = model.estimate(&magic_plan)?;
+    // Only a rewrite that actually decorrelated something is a candidate
+    // (the cleanup rules alone do not change execution semantics enough to
+    // justify the temporary-table machinery).
+    if report.changed() && magic_estimate.cost < ni_estimate.cost {
+        Ok(PlanChoice {
+            strategy: Strategy::Magic,
+            plan: magic_plan,
+            ni_estimate,
+            magic_estimate,
+        })
+    } else {
+        Ok(PlanChoice {
+            strategy: Strategy::NestedIteration,
+            plan: qgm.clone(),
+            ni_estimate,
+            magic_estimate,
+        })
+    }
+}

@@ -1,0 +1,69 @@
+//! The Section 7 cost-based chooser: nested iteration vs the decorrelated
+//! plan, decided by estimates and validated against actual work.
+
+use decorr::prelude::*;
+use decorr_tpcd::empdept::{generate, EmpDeptConfig};
+use decorr_tpcd::queries;
+use decorr_tpcd::{generate as tpcd_generate, TpcdConfig};
+
+#[test]
+fn chooser_prefers_magic_when_subqueries_are_expensive() {
+    // No indexes: every nested-iteration invocation scans emp.
+    let db = generate(&EmpDeptConfig {
+        departments: 200,
+        employees: 2000,
+        buildings: 20,
+        seed: 1,
+        with_indexes: false,
+    })
+    .unwrap();
+    let qgm = parse_and_bind(queries::EMPDEPT, &db).unwrap();
+    let choice = choose_strategy(&db, &qgm).unwrap();
+    assert_eq!(choice.strategy, Strategy::Magic);
+    assert!(choice.magic_estimate.cost < choice.ni_estimate.cost);
+
+    // The estimate-based decision agrees with measured work.
+    let (_, ni) = execute(&db, &qgm).unwrap();
+    let (_, mag) = execute(&db, &choice.plan).unwrap();
+    assert!(mag.total_work() < ni.total_work());
+}
+
+#[test]
+fn chooser_keeps_ni_for_uncorrelated_queries() {
+    let db = generate(&EmpDeptConfig::default()).unwrap();
+    let qgm = parse_and_bind(
+        "SELECT name FROM dept WHERE num_emps > (SELECT COUNT(*) FROM emp)",
+        &db,
+    )
+    .unwrap();
+    let choice = choose_strategy(&db, &qgm).unwrap();
+    // Decorrelation changes nothing; the tie goes to nested iteration.
+    assert_eq!(choice.strategy, Strategy::NestedIteration);
+}
+
+#[test]
+fn chooser_handles_the_tpcd_queries() {
+    let db = tpcd_generate(&TpcdConfig { scale: 0.02, seed: 42, with_indexes: true }).unwrap();
+    for sql in [queries::Q1A, queries::Q1B, queries::Q2, queries::Q3] {
+        let qgm = parse_and_bind(sql, &db).unwrap();
+        let choice = choose_strategy(&db, &qgm).unwrap();
+        validate(&choice.plan).unwrap();
+        // Whatever it picks must execute to the right answer.
+        let (mut expected, _) = execute(&db, &qgm).unwrap();
+        let (mut got, _) = execute(&db, &choice.plan).unwrap();
+        expected.sort();
+        got.sort();
+        assert_eq!(got, expected);
+    }
+}
+
+#[test]
+fn chooser_prefers_magic_without_the_subquery_index() {
+    // Figure 7's situation: the correlated invocation must scan partsupp.
+    let mut db =
+        tpcd_generate(&TpcdConfig { scale: 0.02, seed: 42, with_indexes: true }).unwrap();
+    queries::drop_fig7_index(&mut db).unwrap();
+    let qgm = parse_and_bind(queries::Q1C, &db).unwrap();
+    let choice = choose_strategy(&db, &qgm).unwrap();
+    assert_eq!(choice.strategy, Strategy::Magic);
+}

@@ -1,0 +1,154 @@
+//! Golden traces of the paper's Figures 1–4: the QGM of the running
+//! example at each stage of magic decorrelation.
+//!
+//! The figures are diagrams; we assert the structural content each one
+//! depicts — box kinds, quantifier kinds, correlation annotations, the
+//! SUPP/MAGIC/DCO/CI boxes of the FEED stage, the grouped absorbed
+//! subquery, and the BugRemoval outer join.
+
+use decorr::core::magic::{magic_decorrelate, MagicOptions};
+use decorr::prelude::*;
+use decorr::row;
+
+fn empdept() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "dept",
+        Schema::from_pairs(&[
+            ("name", DataType::Str),
+            ("budget", DataType::Double),
+            ("num_emps", DataType::Int),
+            ("building", DataType::Int),
+        ]),
+    )
+    .unwrap()
+    .insert(row!["toys", 5000.0, 3, 1])
+    .unwrap();
+    db.create_table(
+        "emp",
+        Schema::from_pairs(&[("name", DataType::Str), ("building", DataType::Int)]),
+    )
+    .unwrap()
+    .insert(row!["ann", 1])
+    .unwrap();
+    db
+}
+
+const SQL: &str = "Select D.name From Dept D \
+    Where D.budget < 10000 and D.num_emps > \
+    (Select Count(*) From Emp E Where D.building = E.building)";
+
+/// Figure 1: the initial QGM — a Select box over DEPT with a Scalar
+/// quantifier on a (grey, non-SPJ) Grouping box whose SPJ input carries
+/// the correlated predicate.
+#[test]
+fn figure1_initial_qgm() {
+    let db = empdept();
+    let qgm = parse_and_bind(SQL, &db).unwrap();
+    let trace = qgm_print::render(&qgm);
+
+    // Top Select box with a Foreach quantifier over dept and a Scalar one.
+    assert!(trace.contains("[Select]"));
+    assert!(trace.contains(":F over"));
+    assert!(trace.contains(":S over"));
+    // The non-SPJ aggregate box with a COUNT output.
+    assert!(trace.contains("[Grouping (non-SPJ)]"));
+    assert!(trace.contains("COUNT(*)"));
+    // The dotted correlation line of the figure: the inner box reads a
+    // quantifier owned by the top box.
+    assert!(trace.contains("~ correlated on"));
+    // Both base tables appear.
+    assert!(trace.contains("table dept"));
+    assert!(trace.contains("table emp"));
+}
+
+/// Figures 2–3: after FEED + ABSORB with cleanup suppressed, the four
+/// auxiliary structures are all present and the graph is consistent.
+#[test]
+fn figures2_and_3_feed_stage_structures() {
+    let db = empdept();
+    let mut qgm = parse_and_bind(SQL, &db).unwrap();
+    let rep = magic_decorrelate(
+        &mut qgm,
+        &MagicOptions { cleanup: false, ..Default::default() },
+    )
+    .unwrap();
+    validate(&qgm).unwrap();
+    assert_eq!(rep.feeds, 1);
+
+    let trace = qgm_print::render(&qgm);
+    // Figure 2[b]: the supplementary box collecting the outer computation
+    // (the budget predicate moved into it).
+    assert!(trace.contains("\"SUPP\""), "{trace}");
+    assert!(trace.contains("10000"));
+    // Figure 2[c]: the duplicate-free magic projection.
+    assert!(trace.contains("DISTINCT \"MAGIC\""), "{trace}");
+    // Figure 2[d]: the Correlated Input box giving the outer block its
+    // correlated view — its predicate is the correlation, re-established.
+    assert!(trace.contains("\"CI\""), "{trace}");
+    assert!(trace.contains("~ correlated on"), "the CI box is correlated by design");
+    // Figure 3[d]: the DCO box has become the outer join with COALESCE.
+    assert!(trace.contains("\"BugRemoval\""), "{trace}");
+    assert!(trace.contains("[OuterJoin (non-SPJ)]"));
+    assert!(trace.contains("COALESCE"));
+}
+
+/// Figure 3[c]: the Grouping box absorbed the binding — it now groups by
+/// the correlation column and outputs it.
+#[test]
+fn figure3_absorbed_grouping() {
+    let db = empdept();
+    let mut qgm = parse_and_bind(SQL, &db).unwrap();
+    magic_decorrelate(&mut qgm, &MagicOptions { cleanup: false, ..Default::default() })
+        .unwrap();
+    let grouping = qgm
+        .reachable_boxes(qgm.top())
+        .into_iter()
+        .find(|&b| matches!(qgm.boxref(b).kind, decorr::qgm::BoxKind::Grouping { .. }))
+        .expect("grouping box");
+    let trace = decorr::qgm::print::render_from(&qgm, grouping);
+    assert!(trace.contains("group by"), "{trace}");
+    assert!(trace.contains("building"), "{trace}");
+}
+
+/// Figure 4: the SPJ subquery added the magic table to its FROM clause —
+/// after the full rewrite no box in the graph is correlated.
+#[test]
+fn figure4_spj_absorb_eliminates_correlation() {
+    let db = empdept();
+    let mut qgm = parse_and_bind(SQL, &db).unwrap();
+    magic_decorrelate(&mut qgm, &MagicOptions::default()).unwrap();
+    validate(&qgm).unwrap();
+    let trace = qgm_print::render(&qgm);
+    assert!(
+        !trace.contains("~ correlated on"),
+        "correlation totally eliminated (Figure 4 caption):\n{trace}"
+    );
+    // The inner SPJ box joins emp with the magic table.
+    let cm = decorr::qgm::CorrelationMap::analyze(&qgm);
+    for b in qgm.reachable_boxes(qgm.top()) {
+        assert!(!cm.is_correlated(b));
+    }
+}
+
+/// The paper stresses that the rewrite may stop at any point; every
+/// intermediate stage executes to the same result.
+#[test]
+fn every_stage_is_consistent_and_equivalent() {
+    let db = empdept();
+    let qgm = parse_and_bind(SQL, &db).unwrap();
+    let (base, _) = execute(&db, &qgm).unwrap();
+
+    let mut partial = qgm.clone();
+    magic_decorrelate(&mut partial, &MagicOptions { cleanup: false, ..Default::default() })
+        .unwrap();
+    validate(&partial).unwrap();
+    let (mid, _) = execute(&db, &partial).unwrap();
+    assert_eq!(base, mid);
+
+    let mut full = qgm.clone();
+    magic_decorrelate(&mut full, &MagicOptions::default()).unwrap();
+    validate(&full).unwrap();
+    let (fin, _) = execute(&db, &full).unwrap();
+    assert_eq!(base, fin);
+}

@@ -1,0 +1,96 @@
+//! Regression pins on the rewrite reports for the paper's queries: the
+//! number of FEED/ABSORB stages, COUNT-bug repairs and scalar-to-join
+//! conversions is part of the algorithm's observable behaviour — a change
+//! here means the rewriter walks the graphs differently.
+
+use decorr::core::magic::{magic_decorrelate, MagicOptions};
+use decorr::prelude::*;
+use decorr_tpcd::{generate, queries, TpcdConfig};
+
+fn report(sql: &str, db: &Database, opts: &MagicOptions) -> decorr::core::MagicReport {
+    let mut g = parse_and_bind(sql, db).unwrap();
+    let rep = magic_decorrelate(&mut g, opts).unwrap();
+    validate(&g).unwrap();
+    rep
+}
+
+#[test]
+fn benchmark_query_rewrite_reports() {
+    let db = generate(&TpcdConfig { scale: 0.002, seed: 1, with_indexes: false }).unwrap();
+    let default = MagicOptions::default();
+
+    // Q1: one scalar MIN subquery — one FEED, one ABSORB, plain join
+    // (null-rejecting comparison), scalar becomes a join.
+    let r = report(queries::Q1A, &db, &default);
+    assert_eq!((r.feeds, r.absorbs, r.loj_repairs, r.scalar_to_join), (1, 1, 0, 1), "{r:?}");
+
+    // Q2: the pass-through AVG shell — same profile.
+    let r = report(queries::Q2, &db, &default);
+    assert_eq!((r.feeds, r.absorbs, r.loj_repairs, r.scalar_to_join), (1, 1, 0, 1), "{r:?}");
+
+    // Q3: lateral UNION subquery — SUM observed through the output list
+    // forces the BugRemoval outer join; the quantifier is already Foreach.
+    let r = report(queries::Q3, &db, &default);
+    assert_eq!((r.feeds, r.absorbs, r.loj_repairs, r.scalar_to_join), (1, 1, 1, 0), "{r:?}");
+
+    // The EMP/DEPT example: COUNT comparison — LOJ + COALESCE + scalar
+    // conversion.
+    let mut db2 = Database::new();
+    db2.create_table(
+        "dept",
+        Schema::from_pairs(&[
+            ("name", DataType::Str),
+            ("budget", DataType::Double),
+            ("num_emps", DataType::Int),
+            ("building", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    db2.create_table(
+        "emp",
+        Schema::from_pairs(&[("name", DataType::Str), ("building", DataType::Int)]),
+    )
+    .unwrap();
+    let r = report(queries::EMPDEPT, &db2, &default);
+    assert_eq!((r.feeds, r.absorbs, r.loj_repairs, r.scalar_to_join), (1, 1, 1, 1), "{r:?}");
+
+    // OptMag on Q2: correlation on the parts key — the supplementary CSE
+    // goes away.
+    let r = report(
+        queries::Q2,
+        &db,
+        &MagicOptions { eliminate_supp_cse: true, ..Default::default() },
+    );
+    assert_eq!(r.supp_cse_eliminated, 1, "{r:?}");
+
+    // OptMag on Q1: p_partkey is the key of parts, and minimal-binding
+    // scope makes parts the single supplementary quantifier, so the CSE is
+    // eliminated here too.
+    let r = report(
+        queries::Q1A,
+        &db,
+        &MagicOptions { eliminate_supp_cse: true, ..Default::default() },
+    );
+    assert_eq!(r.supp_cse_eliminated, 1, "{r:?}");
+}
+
+#[test]
+fn multi_level_report_counts_both_feeds() {
+    let mut db = Database::new();
+    db.create_table(
+        "dept",
+        Schema::from_pairs(&[("num_emps", DataType::Int), ("building", DataType::Int)]),
+    )
+    .unwrap();
+    db.create_table(
+        "emp",
+        Schema::from_pairs(&[("name", DataType::Str), ("building", DataType::Int)]),
+    )
+    .unwrap();
+    let sql = "SELECT D.building FROM dept D WHERE D.num_emps > \
+                 (SELECT COUNT(*) FROM emp E WHERE E.building = D.building AND E.name <> \
+                   (SELECT MIN(E2.name) FROM emp E2 WHERE E2.building = D.building))";
+    let r = report(sql, &db, &MagicOptions::default());
+    assert!(r.feeds >= 2, "{r:?}");
+    assert_eq!(r.partial, 0, "{r:?}");
+}
