@@ -15,8 +15,7 @@ use decorr_sql::parse_and_bind;
 use decorr_tpcd::{generate, queries, TpcdConfig};
 
 fn bench(c: &mut Criterion) {
-    let db = generate(&TpcdConfig { scale: 0.05, seed: 42, with_indexes: true })
-        .expect("generate");
+    let db = generate(&TpcdConfig { scale: 0.05, seed: 42, with_indexes: true }).expect("generate");
     let mut group = c.benchmark_group("ablation");
     group.sample_size(10);
 
@@ -27,12 +26,14 @@ fn bench(c: &mut Criterion) {
     ] {
         let qgm = parse_and_bind(queries::Q1A, &db).expect("bind");
         let mut plan = qgm.clone();
-        magic_decorrelate(&mut plan, &MagicOptions { supp_scope: scope, ..Default::default() })
-            .expect("rewrite");
+        magic_decorrelate(
+            &mut plan,
+            &MagicOptions { supp_scope: scope, ..Default::default() },
+        )
+        .expect("rewrite");
         group.bench_function(label, |b| {
             b.iter(|| {
-                let (rows, _) =
-                    execute_with(&db, &plan, ExecOptions::default()).expect("execute");
+                let (rows, _) = execute_with(&db, &plan, ExecOptions::default()).expect("execute");
                 criterion::black_box(rows.len())
             })
         });
@@ -63,8 +64,7 @@ fn bench(c: &mut Criterion) {
         // off: plain nested iteration of the existential.
         group.bench_function("exists_ni", |b| {
             b.iter(|| {
-                let (rows, _) =
-                    execute_with(&db, &qgm, ExecOptions::default()).expect("execute");
+                let (rows, _) = execute_with(&db, &qgm, ExecOptions::default()).expect("execute");
                 criterion::black_box(rows.len())
             })
         });

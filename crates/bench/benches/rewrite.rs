@@ -9,8 +9,8 @@ use decorr_sql::parse_and_bind;
 use decorr_tpcd::{generate, queries, TpcdConfig};
 
 fn bench(c: &mut Criterion) {
-    let db = generate(&TpcdConfig { scale: 0.002, seed: 42, with_indexes: false })
-        .expect("generate");
+    let db =
+        generate(&TpcdConfig { scale: 0.002, seed: 42, with_indexes: false }).expect("generate");
     let mut group = c.benchmark_group("rewrite");
     for (name, sql) in [
         ("q1", queries::Q1A),

@@ -4,12 +4,16 @@
 //!
 //! ```text
 //! harness [table1|fig5|fig6|fig7|fig8|fig9|parallel|countbug|ablation|all]
-//!         [--scale S] [--seed N] [--nodes N1,N2,...]
+//!         [--scale S] [--seed N] [--nodes N1,N2,...] [--trace]
 //! ```
+//!
+//! `--trace` additionally emits, for each figure, the per-strategy rewrite
+//! step log and a single-line JSON document with the EXPLAIN plans, rewrite
+//! traces and per-box execution traces.
 
 use std::time::Instant;
 
-use decorr_bench::{format_table, run_figure, Figure};
+use decorr_bench::{figure_trace_json, format_table, run_figure, run_figure_traced, Figure};
 use decorr_common::Result;
 use decorr_core::magic::MagicOptions;
 use decorr_parallel::{run_decorrelated, run_nested_iteration, Cluster};
@@ -22,10 +26,12 @@ struct Args {
     scale: f64,
     seed: u64,
     nodes: Vec<usize>,
+    trace: bool,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { what: Vec::new(), scale: 0.1, seed: 42, nodes: vec![1, 2, 4, 8] };
+    let mut args =
+        Args { what: Vec::new(), scale: 0.1, seed: 42, nodes: vec![1, 2, 4, 8], trace: false };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -39,6 +45,7 @@ fn parse_args() -> Args {
                     .map(|s| s.parse().expect("number"))
                     .collect()
             }
+            "--trace" => args.trace = true,
             other => args.what.push(other.to_string()),
         }
     }
@@ -49,8 +56,7 @@ fn parse_args() -> Args {
 }
 
 const EXPERIMENTS: [&str; 10] = [
-    "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "countbug", "ablation", "parallel",
-    "all",
+    "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "countbug", "ablation", "parallel", "all",
 ];
 
 fn main() -> Result<()> {
@@ -73,7 +79,7 @@ fn main() -> Result<()> {
     }
     for fig in Figure::all() {
         if wants(fig.id()) {
-            figure(fig, args.scale, args.seed)?;
+            figure(fig, args.scale, args.seed, args.trace)?;
         }
     }
     if wants("countbug") {
@@ -94,7 +100,9 @@ fn table1(scale: f64) {
     println!("Table 1 - TPC-D database (paper cardinalities at scale 1.0)");
     println!(
         "{:<10} {:>10} {:>14}",
-        "table", "paper", format!("scale {scale}")
+        "table",
+        "paper",
+        format!("scale {scale}")
     );
     for (name, paper, ours) in [
         ("customers", full.customers, scaled.customers),
@@ -108,10 +116,24 @@ fn table1(scale: f64) {
     println!();
 }
 
-fn figure(fig: Figure, scale: f64, seed: u64) -> Result<()> {
+fn figure(fig: Figure, scale: f64, seed: u64, trace: bool) -> Result<()> {
     let db = fig.database(scale, seed)?;
     let ms = run_figure(fig, &db)?;
     println!("{}", format_table(fig, scale, &ms));
+    if trace {
+        let runs = run_figure_traced(fig, &db)?;
+        for (_, t) in &runs {
+            if !t.rewrite.is_empty() {
+                println!(
+                    "rewrite steps [{}]:\n{}",
+                    t.strategy.name(),
+                    t.rewrite.render()
+                );
+            }
+        }
+        println!("{}", figure_trace_json(fig, &runs));
+        println!();
+    }
     Ok(())
 }
 
@@ -130,7 +152,12 @@ fn countbug() -> Result<()> {
     })?;
     let qgm = parse_and_bind(queries::EMPDEPT, &db)?;
     println!("COUNT bug (Section 2) - EMP/DEPT example");
-    for s in [Strategy::NestedIteration, Strategy::Kim, Strategy::Dayal, Strategy::Magic] {
+    for s in [
+        Strategy::NestedIteration,
+        Strategy::Kim,
+        Strategy::Dayal,
+        Strategy::Magic,
+    ] {
         let rewritten = decorr_core::apply_strategy(&qgm, s)?;
         let (rows, _) = execute(&db, &rewritten)?;
         println!("{:<8} {:>4} result rows", s.name(), rows.len());
@@ -154,7 +181,7 @@ fn ablation(scale: f64) -> Result<()> {
         "variant", "time(ms)", "total work", "scanned"
     );
 
-    let mut run = |label: &str, plan: &decorr_qgm::Qgm, opts: ExecOptions| -> Result<()> {
+    let run = |label: &str, plan: &decorr_qgm::Qgm, opts: ExecOptions| -> Result<()> {
         let started = Instant::now();
         let (rows, stats) = execute_with(&db, plan, opts)?;
         println!(
@@ -175,7 +202,10 @@ fn ablation(scale: f64) -> Result<()> {
     ] {
         let qgm = parse_and_bind(queries::Q1A, &db)?;
         let mut plan = qgm.clone();
-        magic_decorrelate(&mut plan, &MagicOptions { supp_scope: scope, ..Default::default() })?;
+        magic_decorrelate(
+            &mut plan,
+            &MagicOptions { supp_scope: scope, ..Default::default() },
+        )?;
         run(label, &plan, ExecOptions::default())?;
     }
     // CSE recompute vs materialize on Query 1.
@@ -235,8 +265,14 @@ fn parallel(nodes: &[usize], seed: u64) -> Result<()> {
         let t = started.elapsed();
         println!(
             "{:<6} {:<14} {:>10} {:>12} {:>10} {:>12} {:>12.3} {:>8}",
-            n, "NI-broadcast", s.fragments, s.messages, s.rows_shipped,
-            s.total_work(), t.as_secs_f64() * 1e3, rows.len()
+            n,
+            "NI-broadcast",
+            s.fragments,
+            s.messages,
+            s.rows_shipped,
+            s.total_work(),
+            t.as_secs_f64() * 1e3,
+            rows.len()
         );
 
         let mut cluster2 = Cluster::partition_by_key(&db, n)?;
@@ -251,8 +287,14 @@ fn parallel(nodes: &[usize], seed: u64) -> Result<()> {
         assert_eq!(rows.len(), rows2.len());
         println!(
             "{:<6} {:<14} {:>10} {:>12} {:>10} {:>12} {:>12.3} {:>8}",
-            n, "Magic", s2.fragments, s2.messages, s2.rows_shipped,
-            s2.total_work(), t2.as_secs_f64() * 1e3, rows2.len()
+            n,
+            "Magic",
+            s2.fragments,
+            s2.messages,
+            s2.rows_shipped,
+            s2.total_work(),
+            t2.as_secs_f64() * 1e3,
+            rows2.len()
         );
     }
     println!();

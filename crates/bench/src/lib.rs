@@ -5,9 +5,10 @@
 
 use std::time::{Duration, Instant};
 
-use decorr_common::{Error, ExecStats, Result, Row};
-use decorr_core::{apply_strategy, Strategy};
-use decorr_exec::{execute_with, ExecOptions, ScalarPlacement};
+use decorr_common::{Error, ExecStats, JsonWriter, Result, Row};
+use decorr_core::{apply_strategy, apply_strategy_traced, RewriteTrace, Strategy};
+use decorr_exec::{execute_traced, execute_with, ExecOptions, ExecTrace, ScalarPlacement};
+use decorr_qgm::{print, Qgm};
 use decorr_sql::parse_and_bind;
 use decorr_storage::Database;
 use decorr_tpcd::{generate, queries, TpcdConfig};
@@ -30,7 +31,13 @@ pub enum Figure {
 
 impl Figure {
     pub fn all() -> [Figure; 5] {
-        [Figure::Fig5, Figure::Fig6, Figure::Fig7, Figure::Fig8, Figure::Fig9]
+        [
+            Figure::Fig5,
+            Figure::Fig6,
+            Figure::Fig7,
+            Figure::Fig8,
+            Figure::Fig9,
+        ]
     }
 
     pub fn id(self) -> &'static str {
@@ -133,23 +140,134 @@ pub fn run_strategy(
     Ok((rows, Measurement { strategy, elapsed, stats, rows: n }))
 }
 
+/// Everything observable about one strategy's run: the rewritten plan,
+/// the rewrite step log that produced it, and the per-box execution trace.
+#[derive(Debug, Clone)]
+pub struct StrategyTrace {
+    pub strategy: Strategy,
+    pub plan: Qgm,
+    pub rewrite: RewriteTrace,
+    pub exec: ExecTrace,
+}
+
+impl StrategyTrace {
+    /// Human-readable dump: EXPLAIN plan, rewrite steps, execution trace.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        writeln!(s, "== strategy {}", self.strategy.name()).unwrap();
+        writeln!(s, "-- plan\n{}", print::explain(&self.plan)).unwrap();
+        if self.rewrite.is_empty() {
+            writeln!(s, "-- rewrite steps: (none)").unwrap();
+        } else {
+            writeln!(s, "-- rewrite steps\n{}", self.rewrite.render()).unwrap();
+        }
+        writeln!(s, "-- execution trace\n{}", self.exec.render(&self.plan)).unwrap();
+        s
+    }
+}
+
+/// [`run_strategy`] with full observability: rewrite trace and per-box
+/// execution trace alongside the rows and the measurement.
+pub fn run_strategy_traced(
+    db: &Database,
+    sql: &str,
+    strategy: Strategy,
+    opts: ExecOptions,
+) -> Result<(Vec<Row>, Measurement, StrategyTrace)> {
+    let qgm = parse_and_bind(sql, db)?;
+    let (plan, rewrite) = apply_strategy_traced(&qgm, strategy)?;
+    let started = Instant::now();
+    let (rows, stats, exec) = execute_traced(db, &plan, opts)?;
+    let elapsed = started.elapsed();
+    let n = rows.len();
+    Ok((
+        rows,
+        Measurement { strategy, elapsed, stats, rows: n },
+        StrategyTrace { strategy, plan, rewrite, exec },
+    ))
+}
+
+/// Compare two strategies on the same query. `None` when their (sorted)
+/// results agree; otherwise a report with both EXPLAIN plans, both rewrite
+/// and execution traces, and the first differing row — the dump the
+/// equivalence tests print on failure.
+pub fn diff_strategies(
+    db: &Database,
+    sql: &str,
+    reference: Strategy,
+    candidate: Strategy,
+    ref_opts: ExecOptions,
+    cand_opts: ExecOptions,
+) -> Result<Option<String>> {
+    let (mut rrows, _, rtrace) = run_strategy_traced(db, sql, reference, ref_opts)?;
+    let (mut crows, _, ctrace) = run_strategy_traced(db, sql, candidate, cand_opts)?;
+    rrows.sort();
+    crows.sort();
+    if rrows == crows {
+        return Ok(None);
+    }
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    writeln!(
+        s,
+        "result mismatch: {} returned {} row(s), {} returned {} row(s)",
+        reference.name(),
+        rrows.len(),
+        candidate.name(),
+        crows.len()
+    )
+    .unwrap();
+    let idx = rrows
+        .iter()
+        .zip(crows.iter())
+        .position(|(a, b)| a != b)
+        .unwrap_or(rrows.len().min(crows.len()));
+    writeln!(s, "first differing row (after sorting) at index {idx}:").unwrap();
+    match rrows.get(idx) {
+        Some(r) => writeln!(s, "  {:<8} {r}", reference.name()).unwrap(),
+        None => writeln!(s, "  {:<8} (exhausted)", reference.name()).unwrap(),
+    }
+    match crows.get(idx) {
+        Some(r) => writeln!(s, "  {:<8} {r}", candidate.name()).unwrap(),
+        None => writeln!(s, "  {:<8} (exhausted)", candidate.name()).unwrap(),
+    }
+    s.push_str(&rtrace.render());
+    s.push_str(&ctrace.render());
+    Ok(Some(s))
+}
+
 /// Run a whole figure: every strategy, with result-equivalence checking
 /// against nested iteration (Kim's method is allowed to lose COUNT-bug
 /// rows, though the paper's three queries have none).
 pub fn run_figure(fig: Figure, db: &Database) -> Result<Vec<Measurement>> {
+    let reference = fig.strategies()[0];
     let mut out = Vec::new();
-    let mut reference: Option<Vec<Row>> = None;
+    let mut ref_rows: Option<Vec<Row>> = None;
     for s in fig.strategies() {
         let (mut rows, m) = run_strategy(db, fig.sql(), s, fig.exec_opts(s))?;
         rows.sort();
-        match &reference {
-            None => reference = Some(rows),
+        match &ref_rows {
+            None => ref_rows = Some(rows),
             Some(r) => {
                 if &rows != r {
+                    // Re-run both sides traced so the failure explains
+                    // itself: plans, rewrite logs, traces, first diff.
+                    let dump = diff_strategies(
+                        db,
+                        fig.sql(),
+                        reference,
+                        s,
+                        fig.exec_opts(reference),
+                        fig.exec_opts(s),
+                    )?
+                    .unwrap_or_else(|| "(mismatch not reproducible under tracing)".into());
                     return Err(Error::internal(format!(
-                        "strategy {} disagrees with NI on {}",
+                        "strategy {} disagrees with {} on {}\n{}",
                         s.name(),
-                        fig.id()
+                        reference.name(),
+                        fig.id(),
+                        dump
                     )));
                 }
             }
@@ -157,6 +275,41 @@ pub fn run_figure(fig: Figure, db: &Database) -> Result<Vec<Measurement>> {
         out.push(m);
     }
     Ok(out)
+}
+
+/// [`run_figure`], returning the full per-strategy traces as well.
+pub fn run_figure_traced(fig: Figure, db: &Database) -> Result<Vec<(Measurement, StrategyTrace)>> {
+    let mut out = Vec::new();
+    for s in fig.strategies() {
+        let (_, m, t) = run_strategy_traced(db, fig.sql(), s, fig.exec_opts(s))?;
+        out.push((m, t));
+    }
+    Ok(out)
+}
+
+/// The `harness --trace` JSON document for one figure: per strategy the
+/// work counters, the EXPLAIN plan, the rewrite step log and the per-box
+/// execution trace.
+pub fn figure_trace_json(fig: Figure, runs: &[(Measurement, StrategyTrace)]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("figure", fig.id())
+        .field_str("title", fig.title());
+    w.key("strategies").begin_array();
+    for (m, t) in runs {
+        w.begin_object()
+            .field_str("strategy", m.strategy.name())
+            .field_uint("rows", m.rows as u64)
+            .field_float("time_ms", m.elapsed.as_secs_f64() * 1e3)
+            .field_uint("total_work", m.stats.total_work())
+            .field_uint("subquery_invocations", m.stats.subquery_invocations)
+            .field_str("plan", &print::explain(&t.plan));
+        w.key("rewrite").raw(&t.rewrite.to_json());
+        w.key("exec").raw(&t.exec.to_json(&t.plan));
+        w.end_object();
+    }
+    w.end_array().end_object();
+    w.finish()
 }
 
 /// Render measurements as the harness's text table.

@@ -10,13 +10,16 @@
 //! * [`FxHashMap`] / [`FxHashSet`] — fast non-cryptographic hash containers
 //!   used on all hot paths (see [`hash`]),
 //! * [`ExecStats`] — deterministic work counters that every executor
-//!   operation reports into (see [`stats`]).
+//!   operation reports into (see [`stats`]),
+//! * [`JsonWriter`] — a dependency-free JSON writer for the observability
+//!   traces (see [`json`]).
 //!
 //! Nothing in this crate knows about query plans or storage; it is the
 //! bottom of the dependency graph.
 
 pub mod error;
 pub mod hash;
+pub mod json;
 pub mod row;
 pub mod schema;
 pub mod stats;
@@ -24,6 +27,7 @@ pub mod value;
 
 pub use error::{Error, Result};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use json::JsonWriter;
 pub use row::Row;
 pub use schema::{ColumnDef, DataType, Schema};
 pub use stats::ExecStats;

@@ -67,12 +67,7 @@ impl Schema {
 
     /// Build a schema from `(name, type)` pairs.
     pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
-        Schema {
-            columns: pairs
-                .iter()
-                .map(|(n, t)| ColumnDef::new(*n, *t))
-                .collect(),
-        }
+        Schema { columns: pairs.iter().map(|(n, t)| ColumnDef::new(*n, *t)).collect() }
     }
 
     pub fn columns(&self) -> &[ColumnDef] {

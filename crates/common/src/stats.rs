@@ -121,7 +121,12 @@ mod tests {
 
     #[test]
     fn total_work_excludes_result_and_group_counts() {
-        let s = ExecStats { output_rows: 100, agg_groups: 50, subquery_invocations: 9, ..Default::default() };
+        let s = ExecStats {
+            output_rows: 100,
+            agg_groups: 50,
+            subquery_invocations: 9,
+            ..Default::default()
+        };
         assert_eq!(s.total_work(), 0);
     }
 

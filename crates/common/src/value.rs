@@ -101,6 +101,28 @@ impl Value {
         self.sql_cmp(other).map(|o| o == Ordering::Equal)
     }
 
+    /// Normalize this value for use as an SQL-equality (`=`) hash or index
+    /// key.
+    ///
+    /// `Value`'s `Eq`/`Hash` impls follow [`Value::total_cmp`], which
+    /// diverges from SQL `=` ([`Value::sql_cmp`]) in exactly three places:
+    /// NULL (total: NULL = NULL; SQL: unknown), NaN (total: NaN = NaN;
+    /// SQL: NaN equals nothing) and signed zero (total: -0.0 < 0.0; SQL:
+    /// -0.0 = 0.0). Returns `None` for values an equality can never select
+    /// (NULL, NaN) — the row must be skipped — and otherwise the value
+    /// with -0.0 mapped to 0.0, so that hash-table and index lookups agree
+    /// exactly with tuple-at-a-time predicate evaluation. `IS NOT
+    /// DISTINCT FROM` keys must *not* be normalized: their semantics are
+    /// `total_cmp`'s, which already matches `Eq`/`Hash`.
+    pub fn eq_key(&self) -> Option<Value> {
+        match self {
+            Value::Null => None,
+            Value::Double(d) if d.is_nan() => None,
+            Value::Double(d) if *d == 0.0 => Some(Value::Double(0.0)),
+            v => Some(v.clone()),
+        }
+    }
+
     /// SQL three-valued comparison: `None` when either side is NULL,
     /// otherwise the ordering of the two (type-compatible) values.
     ///
@@ -331,7 +353,10 @@ mod tests {
     #[test]
     fn mixed_numeric_equality() {
         assert_eq!(Value::Int(3).sql_eq(&Value::Double(3.0)), Some(true));
-        assert_eq!(Value::Int(3).sql_cmp(&Value::Double(3.5)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Int(3).sql_cmp(&Value::Double(3.5)),
+            Some(Ordering::Less)
+        );
     }
 
     #[test]
@@ -362,7 +387,10 @@ mod tests {
             Value::Int(2).mul(&Value::Double(1.5)).unwrap(),
             Value::Double(3.0)
         );
-        assert_eq!(Value::Int(7).div(&Value::Int(2)).unwrap(), Value::Double(3.5));
+        assert_eq!(
+            Value::Int(7).div(&Value::Int(2)).unwrap(),
+            Value::Double(3.5)
+        );
         assert_eq!(Value::Int(8).div(&Value::Int(2)).unwrap(), Value::Int(4));
     }
 
@@ -389,5 +417,25 @@ mod tests {
         assert_eq!(Value::Null.to_string(), "NULL");
         assert_eq!(Value::str("abc").to_string(), "'abc'");
         assert_eq!(Value::Int(-4).to_string(), "-4");
+    }
+
+    #[test]
+    fn eq_key_matches_sql_equality_semantics() {
+        // NULL and NaN can never satisfy `=`: excluded from keys entirely.
+        assert_eq!(Value::Null.eq_key(), None);
+        assert_eq!(Value::Double(f64::NAN).eq_key(), None);
+        // Signed zeros are `=`-equal but total_cmp/Hash-distinct: both
+        // normalize to the same key.
+        let nz = Value::Double(-0.0).eq_key().unwrap();
+        let pz = Value::Double(0.0).eq_key().unwrap();
+        assert_eq!(nz, pz);
+        assert_eq!(h(&nz), h(&pz));
+        // Everything else passes through, preserving the Int/Double
+        // cross-type hash equivalence.
+        assert_eq!(Value::Int(7).eq_key(), Some(Value::Int(7)));
+        let i = Value::Int(1).eq_key().unwrap();
+        let d = Value::Double(1.0).eq_key().unwrap();
+        assert_eq!(i, d);
+        assert_eq!(h(&i), h(&d));
     }
 }

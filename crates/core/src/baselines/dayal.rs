@@ -116,9 +116,9 @@ pub fn rewrite(qgm: &mut Qgm) -> Result<()> {
     let ql = qgm.add_quant(loj, QuantKind::Foreach, left, "L");
     let qr = qgm.add_quant(loj, QuantKind::Foreach, inner, "R");
     for ((_, _, (oq, oc)), &pos) in pat.corr.iter().zip(&local_positions) {
-        let lpos = *left_map.get(&(*oq, *oc)).ok_or_else(|| {
-            Error::rewrite("correlation source is not an outer FROM column")
-        })?;
+        let lpos = *left_map
+            .get(&(*oq, *oc))
+            .ok_or_else(|| Error::rewrite("correlation source is not an outer FROM column"))?;
         qgm.boxmut(loj)
             .preds
             .push(Expr::eq(Expr::col(ql, lpos), Expr::col(qr, pos)));
@@ -166,10 +166,7 @@ pub fn rewrite(qgm: &mut Qgm) -> Result<()> {
                     }
                     None => {
                         // COUNT(*) -> COUNT(right correlation column).
-                        *arg = Some(Box::new(Expr::col(
-                            qg,
-                            left_arity + inner_old_arity,
-                        )));
+                        *arg = Some(Box::new(Expr::col(qg, left_arity + inner_old_arity)));
                     }
                 }
             }

@@ -50,8 +50,7 @@ pub fn rewrite(qgm: &mut Qgm) -> Result<()> {
         .quants
         .iter()
         .filter(|&&q| {
-            qgm.quant(q).kind == QuantKind::Scalar
-                && !qgm.free_refs(qgm.quant(q).input).is_empty()
+            qgm.quant(q).kind == QuantKind::Scalar && !qgm.free_refs(qgm.quant(q).input).is_empty()
         })
         .count();
     if corr_subqueries != 1 {

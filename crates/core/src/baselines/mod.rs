@@ -99,7 +99,9 @@ pub fn match_agg_subquery(qgm: &Qgm) -> Result<AggSubquery> {
         _ => return Err(Error::rewrite("subquery is not an aggregate subquery")),
     };
     let gb = qgm.boxref(grouping);
-    let BoxKind::Grouping { group_by } = &gb.kind else { unreachable!() };
+    let BoxKind::Grouping { group_by } = &gb.kind else {
+        unreachable!()
+    };
     if !group_by.is_empty() {
         return Err(Error::rewrite("subquery already grouped"));
     }
@@ -150,7 +152,9 @@ pub fn match_agg_subquery(qgm: &Qgm) -> Result<AggSubquery> {
                 ))
             }
         };
-        let Expr::Col { quant: oq, col: oc } = outer else { unreachable!() };
+        let Expr::Col { quant: oq, col: oc } = outer else {
+            unreachable!()
+        };
         // The outer side must belong to the outer block directly.
         if qgm.quant(*oq).owner != cur {
             return Err(Error::rewrite(

@@ -25,11 +25,15 @@
 pub mod baselines;
 pub mod magic;
 pub mod rules;
+pub mod trace;
 
-pub use magic::{magic_decorrelate, MagicOptions, MagicReport, SuppScope};
+pub use magic::{
+    magic_decorrelate, magic_decorrelate_traced, MagicOptions, MagicReport, SuppScope,
+};
+pub use trace::{RewriteStep, RewriteTrace};
 
 use decorr_common::Result;
-use decorr_qgm::Qgm;
+use decorr_qgm::{print, Qgm};
 
 /// The evaluation strategies compared in the paper's Section 5.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,4 +105,61 @@ pub fn apply_strategy(qgm: &Qgm, strategy: Strategy) -> Result<Qgm> {
     }
     rules::optimize(&mut g);
     Ok(g)
+}
+
+/// [`apply_strategy`] with a [`RewriteTrace`] of every rewrite step.
+///
+/// Magic/OptMag record each FEED/ABSORB/repair/merge individually; the
+/// baseline rewrites (which are single whole-graph transformations) record
+/// one step each, with full before/after snapshots. The final
+/// [`rules::optimize`] pass is recorded as one summarizing step.
+pub fn apply_strategy_traced(qgm: &Qgm, strategy: Strategy) -> Result<(Qgm, RewriteTrace)> {
+    let mut g = qgm.clone();
+    let mut trace = RewriteTrace::new();
+    match strategy {
+        Strategy::NestedIteration => {}
+        Strategy::Kim | Strategy::Dayal | Strategy::GanskiWong => {
+            let before = print::render(&g);
+            match strategy {
+                Strategy::Kim => baselines::kim::rewrite(&mut g)?,
+                Strategy::Dayal => baselines::dayal::rewrite(&mut g)?,
+                Strategy::GanskiWong => baselines::ganski::rewrite(&mut g)?,
+                _ => unreachable!(),
+            }
+            trace.record(RewriteStep {
+                rule: strategy.name().into(),
+                target: g.top(),
+                created: vec![],
+                mutated: vec![g.top()],
+                before,
+                after: print::render(&g),
+                note: "baseline whole-graph rewrite".into(),
+            });
+        }
+        Strategy::Magic | Strategy::OptMag => {
+            let opts = MagicOptions {
+                eliminate_supp_cse: strategy == Strategy::OptMag,
+                ..Default::default()
+            };
+            let (_, t) = magic::magic_decorrelate_traced(&mut g, &opts)?;
+            trace = t;
+        }
+    }
+    let before = print::render(&g);
+    let rep = rules::optimize(&mut g);
+    if rep != rules::OptimizeReport::default() {
+        trace.record(RewriteStep {
+            rule: "optimize".into(),
+            target: g.top(),
+            created: vec![],
+            mutated: vec![],
+            before,
+            after: print::render(&g),
+            note: format!(
+                "{} merges, {} bypasses, {} predicates pushed, {} columns pruned",
+                rep.merges, rep.bypasses, rep.pushed_predicates, rep.pruned_columns
+            ),
+        });
+    }
+    Ok((g, trace))
 }

@@ -113,8 +113,7 @@ pub fn absorb_box(
                 if let Some(fp) = &first_positions {
                     if *fp != pos {
                         return Err(Error::internal(
-                            "UNION branches absorbed bindings at different positions"
-                                .to_string(),
+                            "UNION branches absorbed bindings at different positions".to_string(),
                         ));
                     }
                 } else {

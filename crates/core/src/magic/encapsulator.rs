@@ -151,7 +151,9 @@ pub fn analyze_uses(qgm: &Qgm, cur: BoxId, q: QuantId, child: BoxId) -> UseAnaly
                 BoxKind::Select => {
                     // A projection of a single column forwards count-ness;
                     // arithmetic over a count still "uses" the count.
-                    let Some(o) = bx.outputs.get(col) else { return false };
+                    let Some(o) = bx.outputs.get(col) else {
+                        return false;
+                    };
                     let mut found = false;
                     o.expr.for_each_col(&mut |rq, rc| {
                         let input = qgm.quant(rq).input;
@@ -235,10 +237,7 @@ mod tests {
             "dept",
             Schema::from_pairs(&[("num_emps", DataType::Int), ("building", DataType::Int)]),
         );
-        let emp = g.add_base_table(
-            "emp",
-            Schema::from_pairs(&[("building", DataType::Int)]),
-        );
+        let emp = g.add_base_table("emp", Schema::from_pairs(&[("building", DataType::Int)]));
         let cur = g.add_box(BoxKind::Select, "top");
         let qd = g.add_quant(cur, QuantKind::Foreach, dept, "D");
 
@@ -259,11 +258,9 @@ mod tests {
         g.add_output(grp, "v", agg);
 
         let qs = g.add_quant(cur, QuantKind::Scalar, grp, "S");
-        g.boxmut(cur).preds.push(Expr::bin(
-            BinOp::Gt,
-            Expr::col(qd, 0),
-            Expr::col(qs, 0),
-        ));
+        g.boxmut(cur)
+            .preds
+            .push(Expr::bin(BinOp::Gt, Expr::col(qd, 0), Expr::col(qs, 0)));
         g.add_output(cur, "n", Expr::col(qd, 0));
         g.set_top(cur);
         (g, cur, qs, grp)
@@ -305,10 +302,9 @@ mod tests {
     #[test]
     fn is_null_use_defeats_null_rejection() {
         let (mut g, cur, qs, grp) = example(false);
-        g.boxmut(cur).preds.push(Expr::Unary {
-            op: UnOp::IsNull,
-            expr: Box::new(Expr::col(qs, 0)),
-        });
+        g.boxmut(cur)
+            .preds
+            .push(Expr::Unary { op: UnOp::IsNull, expr: Box::new(Expr::col(qs, 0)) });
         let ua = analyze_uses(&g, cur, qs, grp);
         assert!(!ua.all_uses_null_rejecting);
     }

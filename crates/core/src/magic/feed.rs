@@ -17,12 +17,13 @@
 //!   its correlated predicate into an equi-join.
 
 use decorr_common::{FxHashMap, FxHashSet, Result, Value};
-use decorr_qgm::{BoxId, BoxKind, Expr, Func, Qgm, QuantId, QuantKind};
+use decorr_qgm::{print, BoxId, BoxKind, Expr, Func, Qgm, QuantId, QuantKind};
 
 use super::absorb::absorb_box;
 use super::encapsulator::{absorbability, analyze_uses};
 use super::{MagicOptions, MagicReport, SuppScope};
 use crate::rules::merge::flatten_columns;
+use crate::trace::{RewriteStep, RewriteTrace};
 
 /// What one FEED attempt did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,8 +49,10 @@ pub(super) fn feed_and_absorb(
     q: QuantId,
     opts: &MagicOptions,
     rep: &mut MagicReport,
+    mut trace: Option<&mut RewriteTrace>,
 ) -> Result<FeedOutcome> {
     let child = qgm.quant(q).input;
+    let snap_entry = trace.as_ref().map(|_| print::render_from(qgm, cur));
 
     // Shared children are materialization points; leave them alone.
     if qgm.quants_over(child).len() != 1 {
@@ -71,9 +74,7 @@ pub(super) fn feed_and_absorb(
     // without temporary-table indexes may prefer not to decorrelate them
     // (Section 4.4).
     let q_kind = qgm.quant(q).kind;
-    if matches!(q_kind, QuantKind::Existential | QuantKind::All)
-        && !opts.decorrelate_quantified
-    {
+    if matches!(q_kind, QuantKind::Existential | QuantKind::All) && !opts.decorrelate_quantified {
         return Ok(FeedOutcome::NotApplicable);
     }
 
@@ -99,10 +100,7 @@ pub(super) fn feed_and_absorb(
     }
     let moved: Vec<QuantId> = match opts.supp_scope {
         SuppScope::AllForeach => ahead,
-        SuppScope::MinimalBinding => ahead
-            .into_iter()
-            .filter(|x| needed.contains(x))
-            .collect(),
+        SuppScope::MinimalBinding => ahead.into_iter().filter(|x| needed.contains(x)).collect(),
     };
     debug_assert!(!moved.is_empty());
     let moved_set: FxHashSet<QuantId> = moved.iter().copied().collect();
@@ -120,8 +118,7 @@ pub(super) fn feed_and_absorb(
     let optmag = opts.eliminate_supp_cse
         && moved.len() == 1
         && absorb.can_absorb()
-        && (q_kind == QuantKind::Foreach
-            || (q_kind == QuantKind::Scalar && absorb.unique()))
+        && (q_kind == QuantKind::Foreach || (q_kind == QuantKind::Scalar && absorb.unique()))
         && {
             let input = qgm.quant(moved[0]).input;
             match &qgm.boxref(input).kind {
@@ -227,7 +224,8 @@ pub(super) fn feed_and_absorb(
         let qs = qgm.add_quant(cur, QuantKind::Foreach, supp, "supp");
         let b = qgm.boxmut(cur);
         let moved_q = b.quants.pop().expect("just added");
-        b.quants.insert(first_moved_pos.min(b.quants.len()), moved_q);
+        b.quants
+            .insert(first_moved_pos.min(b.quants.len()), moved_q);
         Some(qs)
     };
 
@@ -284,31 +282,87 @@ pub(super) fn feed_and_absorb(
     qgm.set_quant_input(q, ci);
     rep.feeds += 1;
 
+    let snap_feed = trace.as_ref().map(|_| print::render_from(qgm, cur));
+    if let Some(t) = trace.as_deref_mut() {
+        let mut created = vec![supp];
+        if !optmag {
+            created.push(magic);
+        }
+        created.extend([dco, ci]);
+        t.record(RewriteStep {
+            rule: "FEED".into(),
+            target: cur,
+            created,
+            mutated: vec![cur, child],
+            before: snap_entry.unwrap_or_default(),
+            after: snap_feed.clone().unwrap_or_default(),
+            note: format!(
+                "decoupled {q}; moved {} binding quantifier(s) into SUPP",
+                moved.len()
+            ),
+        });
+        if optmag {
+            t.record(RewriteStep {
+                rule: "OptMag-CSE".into(),
+                target: supp,
+                created: vec![],
+                mutated: vec![supp],
+                before: snap_feed.clone().unwrap_or_default(),
+                after: snap_feed.clone().unwrap_or_default(),
+                note: "correlation columns cover the supplementary table's key: \
+                       MAGIC = SUPP, common subexpression eliminated"
+                    .into(),
+            });
+        }
+    }
+
     // ---- ABSORB ----------------------------------------------------------
     if !absorb.can_absorb() {
         rep.partial += 1;
+        if let Some(t) = trace.as_deref_mut() {
+            t.record(RewriteStep {
+                rule: "FEED-partial".into(),
+                target: child,
+                created: vec![],
+                mutated: vec![],
+                before: snap_feed.clone().unwrap_or_default(),
+                after: snap_feed.unwrap_or_default(),
+                note: "child is NM (cannot absorb): bindings flow set-oriented \
+                       through MAGIC but the child keeps a correlation to DCO"
+                    .into(),
+            });
+        }
         return Ok(FeedOutcome::Partial(q5));
     }
     let poss = absorb_box(qgm, child, magic, q4, corr_len)?;
     debug_assert_eq!(poss.len(), corr_len);
     rep.absorbs += 1;
+    let snap_absorb = trace.as_ref().map(|_| print::render_from(qgm, cur));
 
     // Fix up the DCO box: left outer-join with COALESCE when the COUNT bug
     // (or NULL-observing uses) demand it, otherwise drop the now-redundant
     // magic iterator (Figure 4[c]).
+    let mut loj_note = String::new();
     if needs_loj {
         let count_cols = count_output_cols(qgm, child, child_arity);
+        if trace.is_some() {
+            let cols: Vec<String> = count_cols.iter().map(|c| format!("out[{c}]")).collect();
+            loj_note = format!(
+                "DCO becomes left outer-join; COALESCE(·, 0) on COUNT columns [{}]",
+                cols.join(", ")
+            );
+        }
         {
             let b = qgm.boxmut(dco);
             b.kind = BoxKind::OuterJoin;
             b.label = "BugRemoval".to_string();
             b.preds.clear();
         }
-        for i in 0..corr_len {
+        for (i, &pos) in poss.iter().enumerate().take(corr_len) {
             let p = Expr::bin(
                 decorr_qgm::BinOp::NullEq,
                 Expr::col(q4, i),
-                Expr::col(q5, poss[i]),
+                Expr::col(q5, pos),
             );
             qgm.boxmut(dco).preds.push(p);
         }
@@ -325,8 +379,8 @@ pub(super) fn feed_and_absorb(
         }
         rep.loj_repairs += 1;
     } else {
-        for i in 0..corr_len {
-            qgm.boxmut(dco).outputs[i].expr = Expr::col(q5, poss[i]);
+        for (i, &pos) in poss.iter().enumerate().take(corr_len) {
+            qgm.boxmut(dco).outputs[i].expr = Expr::col(q5, pos);
         }
         qgm.remove_quant(q4);
     }
@@ -338,11 +392,36 @@ pub(super) fn feed_and_absorb(
         rep.scalar_to_join += 1;
     }
 
+    if let Some(t) = trace {
+        let snap_fix = print::render_from(qgm, cur);
+        t.record(RewriteStep {
+            rule: "ABSORB".into(),
+            target: child,
+            created: vec![],
+            mutated: vec![child],
+            before: snap_feed.unwrap_or_default(),
+            after: snap_absorb.clone().unwrap_or_default(),
+            note: "bindings absorbed into the child (correlation eliminated)".into(),
+        });
+        if needs_loj {
+            t.record(RewriteStep {
+                rule: "LOJ-repair".into(),
+                target: dco,
+                created: vec![],
+                mutated: vec![dco],
+                before: snap_absorb.unwrap_or_default(),
+                after: snap_fix,
+                note: loj_note,
+            });
+        }
+    }
+
     Ok(FeedOutcome::Full)
 }
 
 /// The output positions of `child` that carry COUNT aggregates (walking
-/// through pass-through Selects), for the COALESCE repair.
+/// through pass-through Selects, OuterJoins and Unions), for the COALESCE
+/// repair.
 fn count_output_cols(qgm: &Qgm, child: BoxId, arity: usize) -> Vec<usize> {
     fn is_count(qgm: &Qgm, b: BoxId, col: usize, depth: usize) -> bool {
         if depth > 16 {
@@ -354,16 +433,107 @@ fn count_output_cols(qgm: &Qgm, child: BoxId, arity: usize) -> Vec<usize> {
                 bx.outputs.get(col).map(|o| &o.expr),
                 Some(Expr::Agg { func: decorr_qgm::AggFunc::Count, .. })
             ),
-            BoxKind::Select => {
-                let Some(o) = bx.outputs.get(col) else { return false };
+            // OuterJoin outputs are expressions over the join's quantifiers
+            // (possibly already COALESCE-wrapped), exactly like a Select's.
+            BoxKind::Select | BoxKind::OuterJoin => {
+                let Some(o) = bx.outputs.get(col) else {
+                    return false;
+                };
                 let mut found = false;
                 o.expr.for_each_col(&mut |rq, rc| {
                     found |= is_count(qgm, qgm.quant(rq).input, rc, depth + 1);
                 });
                 found
             }
-            _ => false,
+            // Union branches align positionally; COALESCE(x, 0) is only a
+            // correct repair when *every* branch's column is a COUNT (NULL
+            // must always mean "zero rows matched").
+            BoxKind::Union { .. } => {
+                !bx.quants.is_empty()
+                    && bx
+                        .quants
+                        .iter()
+                        .all(|&q| is_count(qgm, qgm.quant(q).input, col, depth + 1))
+            }
+            BoxKind::BaseTable { .. } => false,
         }
     }
     (0..arity).filter(|&j| is_count(qgm, child, j, 0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decorr_common::{DataType, Schema};
+    use decorr_qgm::AggFunc;
+
+    fn grouping_over_table(g: &mut Qgm, agg: AggFunc) -> BoxId {
+        let t = g.add_base_table("t", Schema::from_pairs(&[("x", DataType::Int)]));
+        let grp = g.add_box(BoxKind::Grouping { group_by: vec![] }, "g");
+        let q = g.add_quant(grp, QuantKind::Foreach, t, "T");
+        let arg = Box::new(Expr::col(q, 0));
+        g.add_output(
+            grp,
+            "a",
+            Expr::Agg { func: agg, arg: Some(arg), distinct: false },
+        );
+        grp
+    }
+
+    #[test]
+    fn count_cols_walk_through_selects() {
+        let mut g = Qgm::new();
+        let grp = grouping_over_table(&mut g, AggFunc::Count);
+        let sel = g.add_box(BoxKind::Select, "s");
+        let q = g.add_quant(sel, QuantKind::Foreach, grp, "G");
+        g.add_output(sel, "n", Expr::col(q, 0));
+        g.set_top(sel);
+        assert_eq!(count_output_cols(&g, sel, 1), vec![0]);
+
+        let mut g2 = Qgm::new();
+        let grp2 = grouping_over_table(&mut g2, AggFunc::Sum);
+        g2.set_top(grp2);
+        assert!(count_output_cols(&g2, grp2, 1).is_empty());
+    }
+
+    #[test]
+    fn count_cols_walk_through_outer_joins() {
+        // OuterJoin forwarding a COUNT column (the shape a nested
+        // BugRemoval box leaves behind): previously missed entirely.
+        let mut g = Qgm::new();
+        let grp = grouping_over_table(&mut g, AggFunc::Count);
+        let t2 = g.add_base_table("u", Schema::from_pairs(&[("y", DataType::Int)]));
+        let oj = g.add_box(BoxKind::OuterJoin, "oj");
+        let ql = g.add_quant(oj, QuantKind::Foreach, t2, "L");
+        let qr = g.add_quant(oj, QuantKind::Foreach, grp, "R");
+        g.add_output(oj, "y", Expr::col(ql, 0));
+        g.add_output(oj, "n", Expr::col(qr, 0));
+        g.set_top(oj);
+        assert_eq!(count_output_cols(&g, oj, 2), vec![1]);
+    }
+
+    #[test]
+    fn count_cols_require_all_union_branches_to_count() {
+        // Both branches COUNT at col 0 -> repairable; mixed branches are
+        // not (COALESCE(x, 0) would rewrite a legitimate NULL).
+        let mut g = Qgm::new();
+        let b1 = grouping_over_table(&mut g, AggFunc::Count);
+        let b2 = grouping_over_table(&mut g, AggFunc::Count);
+        let un = g.add_box(BoxKind::Union { all: true }, "union");
+        let q1 = g.add_quant(un, QuantKind::Foreach, b1, "U1");
+        let _q2 = g.add_quant(un, QuantKind::Foreach, b2, "U2");
+        g.add_output(un, "n", Expr::col(q1, 0));
+        g.set_top(un);
+        assert_eq!(count_output_cols(&g, un, 1), vec![0]);
+
+        let mut g2 = Qgm::new();
+        let c1 = grouping_over_table(&mut g2, AggFunc::Count);
+        let c2 = grouping_over_table(&mut g2, AggFunc::Sum);
+        let un2 = g2.add_box(BoxKind::Union { all: true }, "union");
+        let p1 = g2.add_quant(un2, QuantKind::Foreach, c1, "U1");
+        let _p2 = g2.add_quant(un2, QuantKind::Foreach, c2, "U2");
+        g2.add_output(un2, "n", Expr::col(p1, 0));
+        g2.set_top(un2);
+        assert!(count_output_cols(&g2, un2, 1).is_empty());
+    }
 }

@@ -23,6 +23,7 @@ use decorr_common::{FxHashSet, Result};
 use decorr_qgm::{BoxId, BoxKind, Qgm, QuantId};
 
 use crate::rules;
+use crate::trace::RewriteTrace;
 
 /// Which of the current box's Foreach quantifiers form the supplementary
 /// table of a FEED.
@@ -103,6 +104,26 @@ impl MagicReport {
 
 /// Apply magic decorrelation to the whole graph in place.
 pub fn magic_decorrelate(qgm: &mut Qgm, opts: &MagicOptions) -> Result<MagicReport> {
+    magic_decorrelate_inner(qgm, opts, None)
+}
+
+/// [`magic_decorrelate`] with a [`RewriteTrace`] logging every FEED,
+/// ABSORB, LOJ repair, OptMag CSE elimination and cleanup merge with
+/// before/after QGM snapshots.
+pub fn magic_decorrelate_traced(
+    qgm: &mut Qgm,
+    opts: &MagicOptions,
+) -> Result<(MagicReport, RewriteTrace)> {
+    let mut trace = RewriteTrace::new();
+    let rep = magic_decorrelate_inner(qgm, opts, Some(&mut trace))?;
+    Ok((rep, trace))
+}
+
+fn magic_decorrelate_inner(
+    qgm: &mut Qgm,
+    opts: &MagicOptions,
+    mut trace: Option<&mut RewriteTrace>,
+) -> Result<MagicReport> {
     let mut opts = *opts;
     if opts.eliminate_supp_cse {
         // OptMag targets the minimal binding prefix (the magic table *is*
@@ -112,15 +133,24 @@ pub fn magic_decorrelate(qgm: &mut Qgm, opts: &MagicOptions) -> Result<MagicRepo
     let mut rep = MagicReport::default();
     let mut visited: FxHashSet<BoxId> = FxHashSet::default();
     let mut fed: FxHashSet<QuantId> = FxHashSet::default();
-    process(qgm, qgm.top(), &opts, &mut rep, &mut visited, &mut fed)?;
+    process(
+        qgm,
+        qgm.top(),
+        &opts,
+        &mut rep,
+        &mut visited,
+        &mut fed,
+        trace.as_deref_mut(),
+    )?;
     if opts.cleanup {
-        let (m, b) = rules::cleanup(qgm);
+        let (m, b) = rules::cleanup_traced(qgm, trace);
         rep.cleanup_merges = m + b;
     }
     qgm.gc();
     Ok(rep)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn process(
     qgm: &mut Qgm,
     cur: BoxId,
@@ -128,6 +158,7 @@ fn process(
     rep: &mut MagicReport,
     visited: &mut FxHashSet<BoxId>,
     fed: &mut FxHashSet<QuantId>,
+    mut trace: Option<&mut RewriteTrace>,
 ) -> Result<()> {
     if !visited.insert(cur) {
         return Ok(());
@@ -149,7 +180,7 @@ fn process(
                 if qgm.free_refs(child).is_empty() {
                     continue;
                 }
-                match feed::feed_and_absorb(qgm, cur, q, opts, rep)? {
+                match feed::feed_and_absorb(qgm, cur, q, opts, rep, trace.as_deref_mut())? {
                     FeedOutcome::NotApplicable => {}
                     FeedOutcome::Partial(dco_child_quant) => {
                         fed.insert(q);
@@ -178,7 +209,7 @@ fn process(
         .map(|&q| qgm.quant(q).input)
         .collect();
     for c in children {
-        process(qgm, c, opts, rep, visited, fed)?;
+        process(qgm, c, opts, rep, visited, fed, trace.as_deref_mut())?;
     }
     Ok(())
 }

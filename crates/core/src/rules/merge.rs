@@ -1,7 +1,9 @@
 //! Query-block merging and redundant-box elimination.
 
 use decorr_common::FxHashMap;
-use decorr_qgm::{BoxId, BoxKind, Expr, Qgm, QuantId, QuantKind};
+use decorr_qgm::{print, BoxId, BoxKind, Expr, Qgm, QuantId, QuantKind};
+
+use crate::trace::{RewriteStep, RewriteTrace};
 
 /// Merge Select children into Select parents.
 ///
@@ -14,12 +16,18 @@ use decorr_qgm::{BoxId, BoxKind, Expr, Qgm, QuantId, QuantKind};
 /// block. Returns the number of merges performed.
 pub fn merge_select_children(qgm: &mut Qgm) -> usize {
     let mut merges = 0;
-    loop {
-        let Some((parent, quant)) = find_mergeable(qgm) else { break };
-        merge_one(qgm, parent, quant);
+    while merge_one_select_child(qgm).is_some() {
         merges += 1;
     }
     merges
+}
+
+/// Perform a single block merge, if any child is mergeable. Returns the
+/// parent box and the (now removed) quantifier that consumed the child.
+pub fn merge_one_select_child(qgm: &mut Qgm) -> Option<(BoxId, QuantId)> {
+    let (parent, quant) = find_mergeable(qgm)?;
+    merge_one(qgm, parent, quant);
+    Some((parent, quant))
 }
 
 fn find_mergeable(qgm: &Qgm) -> Option<(BoxId, QuantId)> {
@@ -95,27 +103,29 @@ fn merge_one(qgm: &mut Qgm, parent: BoxId, q: QuantId) {
 /// ABSORB.) Returns the number of boxes bypassed.
 pub fn bypass_identity_selects(qgm: &mut Qgm) -> usize {
     let mut bypassed = 0;
-    loop {
-        let mut change: Option<(QuantId, BoxId)> = None;
-        'outer: for b in qgm.reachable_boxes(qgm.top()) {
-            for &q in &qgm.boxref(b).quants {
-                let child = qgm.quant(q).input;
-                if let Some(inner) = identity_input(qgm, child) {
-                    change = Some((q, inner));
-                    break 'outer;
-                }
-            }
-        }
-        match change {
-            Some((q, inner)) => {
-                qgm.set_quant_input(q, inner);
-                qgm.gc();
-                bypassed += 1;
-            }
-            None => break,
-        }
+    while bypass_one_identity_select(qgm).is_some() {
+        bypassed += 1;
     }
     bypassed
+}
+
+/// Bypass a single identity Select, if one exists. Returns the quantifier
+/// that was re-pointed, the bypassed identity box, and the box it forwarded.
+pub fn bypass_one_identity_select(qgm: &mut Qgm) -> Option<(QuantId, BoxId, BoxId)> {
+    let mut change: Option<(QuantId, BoxId, BoxId)> = None;
+    'outer: for b in qgm.reachable_boxes(qgm.top()) {
+        for &q in &qgm.boxref(b).quants {
+            let child = qgm.quant(q).input;
+            if let Some(inner) = identity_input(qgm, child) {
+                change = Some((q, child, inner));
+                break 'outer;
+            }
+        }
+    }
+    let (q, identity, inner) = change?;
+    qgm.set_quant_input(q, inner);
+    qgm.gc();
+    Some((q, identity, inner))
 }
 
 /// If `b` is an identity Select, the box it forwards; else None.
@@ -161,14 +171,55 @@ fn identity_input(qgm: &Qgm, b: BoxId) -> Option<BoxId> {
 /// The standard post-rewrite cleanup: merge blocks, bypass identities,
 /// sweep garbage. Returns (merges, bypasses).
 pub fn cleanup(qgm: &mut Qgm) -> (usize, usize) {
+    cleanup_traced(qgm, None)
+}
+
+/// [`cleanup`] with an optional [`RewriteTrace`]: every individual merge
+/// and bypass becomes one [`RewriteStep`] with whole-graph snapshots.
+pub fn cleanup_traced(qgm: &mut Qgm, mut trace: Option<&mut RewriteTrace>) -> (usize, usize) {
     let mut merges = 0;
     let mut bypasses = 0;
     loop {
-        let m = merge_select_children(qgm);
-        let b = bypass_identity_selects(qgm);
-        merges += m;
-        bypasses += b;
-        if m == 0 && b == 0 {
+        let mut changed = false;
+        loop {
+            let before = trace.as_ref().map(|_| print::render(qgm));
+            let Some((parent, quant)) = merge_one_select_child(qgm) else {
+                break;
+            };
+            merges += 1;
+            changed = true;
+            if let Some(t) = trace.as_deref_mut() {
+                t.record(RewriteStep {
+                    rule: "merge-select".into(),
+                    target: parent,
+                    created: vec![],
+                    mutated: vec![parent],
+                    before: before.unwrap_or_default(),
+                    after: print::render(qgm),
+                    note: format!("inlined child consumed through {quant}"),
+                });
+            }
+        }
+        loop {
+            let before = trace.as_ref().map(|_| print::render(qgm));
+            let Some((quant, identity, inner)) = bypass_one_identity_select(qgm) else {
+                break;
+            };
+            bypasses += 1;
+            changed = true;
+            if let Some(t) = trace.as_deref_mut() {
+                t.record(RewriteStep {
+                    rule: "bypass-identity".into(),
+                    target: identity,
+                    created: vec![],
+                    mutated: vec![],
+                    before: before.unwrap_or_default(),
+                    after: print::render(qgm),
+                    note: format!("{quant} now reads {inner} directly"),
+                });
+            }
+        }
+        if !changed {
             break;
         }
     }
@@ -176,13 +227,15 @@ pub fn cleanup(qgm: &mut Qgm) -> (usize, usize) {
     (merges, bypasses)
 }
 
+/// Flattened concatenation of quantifier outputs: (quant, column, name).
+pub type FlatColumns = Vec<(QuantId, usize, String)>;
+/// Position of each `(quant, col)` within a [`FlatColumns`] list.
+pub type FlatColumnMap = FxHashMap<(QuantId, usize), usize>;
+
 /// Collect a map from `(quant, col)` to the position of that column in a
 /// flattened concatenation of the given quantifiers' outputs. Shared by the
 /// FEED stage and the baselines when they build supplementary boxes.
-pub fn flatten_columns(
-    qgm: &Qgm,
-    quants: &[QuantId],
-) -> (Vec<(QuantId, usize, String)>, FxHashMap<(QuantId, usize), usize>) {
+pub fn flatten_columns(qgm: &Qgm, quants: &[QuantId]) -> (FlatColumns, FlatColumnMap) {
     let mut cols = Vec::new();
     let mut map = FxHashMap::default();
     for &q in quants {

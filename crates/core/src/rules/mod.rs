@@ -11,7 +11,10 @@ pub mod merge;
 pub mod prune;
 pub mod pushdown;
 
-pub use merge::{bypass_identity_selects, cleanup, merge_select_children};
+pub use merge::{
+    bypass_identity_selects, bypass_one_identity_select, cleanup, cleanup_traced,
+    merge_one_select_child, merge_select_children,
+};
 pub use prune::prune_outputs;
 pub use pushdown::push_down_predicates;
 

@@ -108,10 +108,7 @@ fn apply_keep(qgm: &mut Qgm, b: BoxId, keep: &[usize]) {
         });
     }
     // Re-point consumers.
-    let consumers: FxHashSet<_> = qgm
-        .quants_over(b)
-        .into_iter()
-        .collect();
+    let consumers: FxHashSet<_> = qgm.quants_over(b).into_iter().collect();
     for bb in qgm.reachable_boxes(qgm.top()) {
         qgm.boxmut(bb).for_each_expr_mut(|e| {
             e.map_cols(&mut |q, c| {
@@ -165,7 +162,10 @@ mod tests {
         assert_eq!(g.output_name(inner, 0), "b");
         // The consumer reference moved from position 1 to 0.
         let out = &g.boxref(top).outputs[0];
-        assert_eq!(out.expr.to_string(), format!("Q{}.c0", g.boxref(top).quants[0].index()));
+        assert_eq!(
+            out.expr.to_string(),
+            format!("Q{}.c0", g.boxref(top).quants[0].index())
+        );
     }
 
     #[test]
@@ -212,7 +212,9 @@ mod tests {
         assert!(dropped >= 1);
         validate(&g).unwrap();
         // The group key output died but the grouping structure survives.
-        let BoxKind::Grouping { group_by } = &g.boxref(grp).kind else { unreachable!() };
+        let BoxKind::Grouping { group_by } = &g.boxref(grp).kind else {
+            unreachable!()
+        };
         assert_eq!(group_by.len(), 1);
         assert_eq!(g.output_arity(grp), 1);
     }

@@ -139,14 +139,10 @@ fn try_push(qgm: &mut Qgm, q: QuantId, child: BoxId, pred: Expr) -> Result<(), E
             // over the inner quantifier) and push into the inner block.
             let mut p = pred;
             p.substitute(q, &mut |col| outputs[col].expr.clone());
-            try_push(qgm, inner_q, inner, p).map_err(|p| {
-                // Could not go deeper: park it on the inner select if that
-                // is a Select; otherwise give up. Grouping boxes carry no
-                // predicates, so refusal bubbles the original back up —
-                // reconstructing it is not worth it; keep the rewritten
-                // one at the grouping input if possible.
-                p
-            })
+            // On refusal the rewritten predicate bubbles back up unchanged:
+            // Grouping boxes carry no predicates, so there is nowhere to
+            // park it between here and the inner block.
+            try_push(qgm, inner_q, inner, p)
         }
         _ => Err(pred),
     }
@@ -218,7 +214,9 @@ mod tests {
         g.add_output(u, "v", Expr::col(q1, 0));
         let top = g.add_box(BoxKind::Select, "top");
         let qu = g.add_quant(top, QuantKind::Foreach, u, "U");
-        g.boxmut(top).preds.push(Expr::eq(Expr::col(qu, 0), Expr::lit(3)));
+        g.boxmut(top)
+            .preds
+            .push(Expr::eq(Expr::col(qu, 0), Expr::lit(3)));
         g.add_output(top, "v", Expr::col(qu, 0));
         g.set_top(top);
 
@@ -248,7 +246,9 @@ mod tests {
         g.add_output(grp, "n", Expr::count_star());
         let top = g.add_box(BoxKind::Select, "top");
         let qtop = g.add_quant(top, QuantKind::Foreach, grp, "X");
-        g.boxmut(top).preds.push(Expr::eq(Expr::col(qtop, 0), Expr::lit(7)));
+        g.boxmut(top)
+            .preds
+            .push(Expr::eq(Expr::col(qtop, 0), Expr::lit(7)));
         g.boxmut(top)
             .preds
             .push(Expr::bin(BinOp::Gt, Expr::col(qtop, 1), Expr::lit(2)));

@@ -51,7 +51,10 @@ fn magic_on_paper_example_produces_section_21_shape() {
 
     assert_eq!(rep.feeds, 1);
     assert_eq!(rep.absorbs, 1);
-    assert_eq!(rep.loj_repairs, 1, "COUNT use must trigger the BugRemoval LOJ");
+    assert_eq!(
+        rep.loj_repairs, 1,
+        "COUNT use must trigger the BugRemoval LOJ"
+    );
     assert_eq!(rep.scalar_to_join, 1);
     assert!(is_fully_decorrelated(&g));
 
@@ -82,7 +85,9 @@ fn magic_on_paper_example_produces_section_21_shape() {
         .find(|&&b| matches!(g.boxref(b).kind, BoxKind::Grouping { .. }))
         .copied()
         .unwrap();
-    let BoxKind::Grouping { group_by } = &g.boxref(grouping).kind else { unreachable!() };
+    let BoxKind::Grouping { group_by } = &g.boxref(grouping).kind else {
+        unreachable!()
+    };
     assert_eq!(group_by.len(), 1);
     // The COALESCE COUNT-bug repair sits in the BugRemoval outputs.
     let bug = boxes
@@ -148,7 +153,11 @@ fn magic_on_union_subquery() {
     .unwrap();
     let rep = magic_decorrelate(&mut g, &MagicOptions::default()).unwrap();
     validate(&g).unwrap();
-    assert!(is_fully_decorrelated(&g), "{}", decorr_qgm::print::render(&g));
+    assert!(
+        is_fully_decorrelated(&g),
+        "{}",
+        decorr_qgm::print::render(&g)
+    );
     assert!(rep.absorbs >= 1);
     // SUM observed through the output list: the LOJ (no COALESCE) keeps
     // suppliers with no customers.
@@ -168,7 +177,11 @@ fn magic_multi_level_correlation() {
     let rep = magic_decorrelate(&mut g, &MagicOptions::default()).unwrap();
     validate(&g).unwrap();
     assert!(rep.feeds >= 2, "both nesting levels must be fed: {rep:?}");
-    assert!(is_fully_decorrelated(&g), "{}", decorr_qgm::print::render(&g));
+    assert!(
+        is_fully_decorrelated(&g),
+        "{}",
+        decorr_qgm::print::render(&g)
+    );
 }
 
 #[test]
@@ -337,7 +350,9 @@ fn kim_rewrite_shape() {
         .into_iter()
         .find(|&b| matches!(g2.boxref(b).kind, BoxKind::Grouping { .. }))
         .unwrap();
-    let BoxKind::Grouping { group_by } = &g2.boxref(grouping).kind else { unreachable!() };
+    let BoxKind::Grouping { group_by } = &g2.boxref(grouping).kind else {
+        unreachable!()
+    };
     assert_eq!(group_by.len(), 1);
 }
 
@@ -360,7 +375,9 @@ fn dayal_rewrite_shape() {
         .into_iter()
         .find(|&b| matches!(g2.boxref(b).kind, BoxKind::Grouping { .. }))
         .unwrap();
-    let BoxKind::Grouping { group_by } = &g2.boxref(grouping).kind else { unreachable!() };
+    let BoxKind::Grouping { group_by } = &g2.boxref(grouping).kind else {
+        unreachable!()
+    };
     assert_eq!(group_by.len(), 4, "groups by every dept column");
 }
 
@@ -388,7 +405,10 @@ fn ganski_requires_single_table_outer() {
         .find(|&b| g3.boxref(b).label == "MAGIC")
         .expect("magic exists");
     for b in g3.reachable_boxes(magic) {
-        assert!(g3.boxref(b).preds.is_empty(), "magic side must be unfiltered");
+        assert!(
+            g3.boxref(b).preds.is_empty(),
+            "magic side must be unfiltered"
+        );
     }
     let top_preds = &g3.boxref(g3.top()).preds;
     assert!(

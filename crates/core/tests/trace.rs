@@ -1,0 +1,127 @@
+//! RewriteTrace tests: the traced entry points must log every rewrite step
+//! with usable snapshots, without changing what the rewrite produces.
+
+use decorr_common::{DataType, Schema};
+use decorr_core::magic::{magic_decorrelate, magic_decorrelate_traced, MagicOptions};
+use decorr_core::{apply_strategy, apply_strategy_traced, Strategy};
+use decorr_qgm::print;
+use decorr_sql::parse_and_bind;
+use decorr_storage::Database;
+
+fn empdept_db() -> Database {
+    let mut db = Database::new();
+    let d = db
+        .create_table(
+            "dept",
+            Schema::from_pairs(&[
+                ("name", DataType::Str),
+                ("budget", DataType::Double),
+                ("num_emps", DataType::Int),
+                ("building", DataType::Int),
+            ]),
+        )
+        .unwrap();
+    d.set_key(&["name"]).unwrap();
+    db.create_table(
+        "emp",
+        Schema::from_pairs(&[("name", DataType::Str), ("building", DataType::Int)]),
+    )
+    .unwrap();
+    db
+}
+
+const PAPER_QUERY: &str = "Select D.name From Dept D \
+    Where D.budget < 10000 and D.num_emps > \
+    (Select Count(*) From Emp E Where D.building = E.building)";
+
+#[test]
+fn traced_magic_logs_feed_absorb_repair_and_cleanup() {
+    let db = empdept_db();
+    let mut g = parse_and_bind(PAPER_QUERY, &db).unwrap();
+    let (rep, trace) = magic_decorrelate_traced(&mut g, &MagicOptions::default()).unwrap();
+
+    assert_eq!(rep.feeds, 1);
+    assert_eq!(trace.count_rule("FEED"), 1);
+    assert_eq!(trace.count_rule("ABSORB"), 1);
+    assert_eq!(
+        trace.count_rule("LOJ-repair"),
+        1,
+        "COUNT demands the repair step"
+    );
+    assert!(
+        trace.count_rule("merge-select") + trace.count_rule("bypass-identity") > 0,
+        "cleanup steps must be individually recorded:\n{}",
+        trace.render()
+    );
+
+    // Steps carry real snapshots: FEED visibly restructures the graph.
+    let feed = trace.steps.iter().find(|s| s.rule == "FEED").unwrap();
+    assert_ne!(feed.before, feed.after);
+    assert!(feed.after.contains("SUPP"), "{}", feed.after);
+    assert!(feed.after.contains("MAGIC"), "{}", feed.after);
+    assert!(!feed.created.is_empty());
+
+    // Renderings mention the rules; the full form embeds snapshots.
+    let compact = trace.render();
+    assert!(
+        compact.contains("FEED") && compact.contains("ABSORB"),
+        "{compact}"
+    );
+    let full = trace.render_full();
+    assert!(
+        full.contains("--- before") && full.contains("--- after"),
+        "{full}"
+    );
+}
+
+#[test]
+fn traced_magic_matches_untraced_result() {
+    let db = empdept_db();
+    let mut traced = parse_and_bind(PAPER_QUERY, &db).unwrap();
+    let mut plain = traced.clone();
+    magic_decorrelate_traced(&mut traced, &MagicOptions::default()).unwrap();
+    magic_decorrelate(&mut plain, &MagicOptions::default()).unwrap();
+    assert_eq!(print::render(&traced), print::render(&plain));
+}
+
+#[test]
+fn traced_optmag_records_cse_elimination() {
+    // Correlate on the dept key so OptMag applies.
+    let db = empdept_db();
+    let q = "Select D.name From Dept D Where D.num_emps > \
+        (Select Count(*) From Emp E Where D.name = E.name)";
+    let (g, trace) = {
+        let g0 = parse_and_bind(q, &db).unwrap();
+        apply_strategy_traced(&g0, Strategy::OptMag).unwrap()
+    };
+    assert_eq!(trace.count_rule("OptMag-CSE"), 1, "{}", trace.render());
+    // Parity with the untraced strategy application.
+    let plain = apply_strategy(&parse_and_bind(q, &db).unwrap(), Strategy::OptMag).unwrap();
+    assert_eq!(print::render(&g), print::render(&plain));
+}
+
+#[test]
+fn traced_baselines_record_one_whole_graph_step() {
+    let db = empdept_db();
+    let g0 = parse_and_bind(PAPER_QUERY, &db).unwrap();
+    for strat in [Strategy::Kim, Strategy::Dayal, Strategy::GanskiWong] {
+        let (_, trace) = apply_strategy_traced(&g0, strat).unwrap();
+        assert_eq!(trace.count_rule(strat.name()), 1, "{:?}", strat);
+        let step = trace.steps.iter().find(|s| s.rule == strat.name()).unwrap();
+        assert_ne!(step.before, step.after, "{:?} must change the graph", strat);
+    }
+}
+
+#[test]
+fn trace_json_is_emitted() {
+    let db = empdept_db();
+    let mut g = parse_and_bind(PAPER_QUERY, &db).unwrap();
+    let (_, trace) = magic_decorrelate_traced(&mut g, &MagicOptions::default()).unwrap();
+    let json = trace.to_json();
+    assert!(json.starts_with("{\"steps\":["), "{json}");
+    assert!(json.ends_with("]}"), "{json}");
+    assert!(json.contains("\"rule\":\"FEED\""), "{json}");
+    assert!(json.contains("\"before\":"), "{json}");
+    // Snapshots embed newlines; they must be escaped, never raw.
+    assert!(!json.contains('\n'), "raw newline leaked into JSON");
+}

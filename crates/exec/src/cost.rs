@@ -130,9 +130,9 @@ impl<'a> CostModel<'a> {
         }
         for p in &bx.preds {
             let refs = p.referenced_quants();
-            let touches_subquery = refs.iter().any(|r| {
-                local.contains(r) && qgm.quant(*r).kind != QuantKind::Foreach
-            });
+            let touches_subquery = refs
+                .iter()
+                .any(|r| local.contains(r) && qgm.quant(*r).kind != QuantKind::Foreach);
             if touches_subquery {
                 continue; // applied after the subquery term below
             }
@@ -190,10 +190,9 @@ impl<'a> CostModel<'a> {
                     1.0 / d
                 }
             }
-            Expr::Binary {
-                op: BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge,
-                ..
-            } => RANGE_SELECTIVITY,
+            Expr::Binary { op: BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge, .. } => {
+                RANGE_SELECTIVITY
+            }
             Expr::Binary { op: BinOp::Ne, .. } => 1.0 - EQ_SELECTIVITY,
             Expr::Binary { op: BinOp::Or, left, right } => {
                 let a = self.pred_selectivity(qgm, left);
@@ -209,7 +208,9 @@ impl<'a> CostModel<'a> {
 
     /// Distinct count of a bare base-table column, from its hash index.
     fn distinct_of(&self, qgm: &Qgm, e: &Expr) -> Option<f64> {
-        let Expr::Col { quant, col } = e else { return None };
+        let Expr::Col { quant, col } = e else {
+            return None;
+        };
         let input = qgm.quant(*quant).input;
         let BoxKind::BaseTable { table, .. } = &qgm.boxref(input).kind else {
             return None;

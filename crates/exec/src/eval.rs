@@ -11,7 +11,10 @@ use crate::env::Env;
 pub fn eval_expr(e: &Expr, env: &Env<'_>) -> Result<Value> {
     match e {
         Expr::Col { quant, col } => env.lookup(*quant, *col).cloned().ok_or_else(|| {
-            Error::internal(format!("unbound column reference {quant}.c{col}", quant = quant))
+            Error::internal(format!(
+                "unbound column reference {quant}.c{col}",
+                quant = quant
+            ))
         }),
         Expr::Lit(v) => Ok(v.clone()),
         Expr::Binary { op, left, right } => eval_binary(*op, left, right, env),
@@ -171,10 +174,8 @@ mod tests {
     #[test]
     fn coalesce_picks_first_non_null() {
         with_row(row![Value::Null], |env| {
-            let e = Expr::Func {
-                func: Func::Coalesce,
-                args: vec![Expr::col(q0(), 0), Expr::lit(0)],
-            };
+            let e =
+                Expr::Func { func: Func::Coalesce, args: vec![Expr::col(q0(), 0), Expr::lit(0)] };
             assert_eq!(eval_expr(&e, env).unwrap(), Value::Int(0));
         });
     }
@@ -182,10 +183,7 @@ mod tests {
     #[test]
     fn is_null_and_not() {
         with_row(row![Value::Null], |env| {
-            let isn = Expr::Unary {
-                op: UnOp::IsNull,
-                expr: Box::new(Expr::col(q0(), 0)),
-            };
+            let isn = Expr::Unary { op: UnOp::IsNull, expr: Box::new(Expr::col(q0(), 0)) };
             assert_eq!(eval_expr(&isn, env).unwrap(), Value::Bool(true));
             let notn = Expr::Unary { op: UnOp::Not, expr: Box::new(Expr::lit(Value::Null)) };
             assert!(eval_expr(&notn, env).unwrap().is_null());

@@ -1,6 +1,7 @@
 //! The QGM interpreter.
 
 use std::rc::Rc;
+use std::time::Instant;
 
 use decorr_common::{Error, ExecStats, FxHashMap, FxHashSet, Result, Row, Value};
 use decorr_qgm::{AggFunc, BoxId, BoxKind, Expr, Qgm, QuantId, QuantKind};
@@ -8,6 +9,7 @@ use decorr_storage::{Database, Table};
 
 use crate::env::{Env, Layout};
 use crate::eval::{eval_expr, qualifies};
+use crate::trace::{ExecTrace, JoinStrategy};
 
 /// When nested iteration evaluates a correlated *scalar* subquery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -43,6 +45,11 @@ pub struct Executor<'a> {
     cse_cache: FxHashMap<BoxId, Rc<Vec<Row>>>,
     /// Lazily computed "is this subtree correlated" map.
     corr_cache: FxHashMap<BoxId, bool>,
+    /// Per-box operator trace, populated when tracing is enabled.
+    trace: Option<ExecTrace>,
+    /// The boxes currently being evaluated (innermost last); used to
+    /// attribute predicate evaluations and join decisions to a box.
+    box_stack: Vec<BoxId>,
 }
 
 impl<'a> Executor<'a> {
@@ -53,12 +60,24 @@ impl<'a> Executor<'a> {
             stats: ExecStats::new(),
             cse_cache: FxHashMap::default(),
             corr_cache: FxHashMap::default(),
+            trace: None,
+            box_stack: Vec::new(),
         }
     }
 
     /// Work counters accumulated so far.
     pub fn stats(&self) -> ExecStats {
         self.stats
+    }
+
+    /// Start recording a per-box operator trace (see [`ExecTrace`]).
+    pub fn enable_tracing(&mut self) {
+        self.trace = Some(ExecTrace::new());
+    }
+
+    /// Take the recorded trace, leaving tracing disabled.
+    pub fn take_trace(&mut self) -> Option<ExecTrace> {
+        self.trace.take()
     }
 
     /// Execute the graph's top box.
@@ -79,7 +98,56 @@ impl<'a> Executor<'a> {
 
     // ---- box dispatch ----------------------------------------------------
 
+    /// Evaluate a box, recording an operator-trace entry when tracing is
+    /// on. Wall time is inclusive of children (the box stack has no
+    /// double-counting concern: the QGM is a DAG, a box never recursively
+    /// evaluates itself).
     fn eval_box(&mut self, qgm: &Qgm, b: BoxId, env: Option<&Env<'_>>) -> Result<Vec<Row>> {
+        if self.trace.is_none() {
+            return self.eval_box_inner(qgm, b, env);
+        }
+        let started = Instant::now();
+        self.box_stack.push(b);
+        let result = self.eval_box_inner(qgm, b, env);
+        self.box_stack.pop();
+        let elapsed = started.elapsed();
+        if let (Some(trace), Ok(rows)) = (&mut self.trace, &result) {
+            let e = trace.entry(b);
+            e.invocations += 1;
+            e.rows_out += rows.len() as u64;
+            e.wall += elapsed;
+        }
+        result
+    }
+
+    /// Charge one predicate evaluation to the stats and (when tracing) to
+    /// the box currently on top of the evaluation stack.
+    fn note_pred(&mut self) {
+        self.stats.predicate_evals += 1;
+        if let Some(trace) = &mut self.trace {
+            if let Some(&b) = self.box_stack.last() {
+                trace.entry(b).predicate_evals += 1;
+            }
+        }
+    }
+
+    /// Record a join-strategy decision for the current box.
+    fn note_join(
+        &mut self,
+        quant: QuantId,
+        strategy: JoinStrategy,
+        left_rows: u64,
+        right_rows: u64,
+        out_rows: u64,
+    ) {
+        if let Some(trace) = &mut self.trace {
+            if let Some(&b) = self.box_stack.last() {
+                trace.note_join(b, quant, strategy, left_rows, right_rows, out_rows);
+            }
+        }
+    }
+
+    fn eval_box_inner(&mut self, qgm: &Qgm, b: BoxId, env: Option<&Env<'_>>) -> Result<Vec<Row>> {
         match &qgm.boxref(b).kind {
             BoxKind::BaseTable { table, .. } => {
                 let t = self.db.table(table)?;
@@ -156,7 +224,7 @@ impl<'a> Executor<'a> {
             for (i, p) in preds.iter().enumerate() {
                 if local_refs(p).is_empty() {
                     consumed[i] = true;
-                    self.stats.predicate_evals += 1;
+                    self.note_pred();
                     if !qualifies(p, &env0)? {
                         return Ok(Vec::new());
                     }
@@ -201,8 +269,7 @@ impl<'a> Executor<'a> {
                 }
             }
             if applicable.is_empty() {
-                if let BoxKind::BaseTable { table, .. } = &qgm.boxref(qgm.quant(q).input).kind
-                {
+                if let BoxKind::BaseTable { table, .. } = &qgm.boxref(qgm.quant(q).input).kind {
                     if !self.db.table(table)?.indexes().is_empty() {
                         deferred.insert(q, table.clone());
                         continue;
@@ -235,8 +302,17 @@ impl<'a> Executor<'a> {
         }
 
         while !remaining.is_empty() {
-            let next = self.pick_next_quant(qgm, &remaining, &bound, &local, &is_lateral,
-                                            &sizes, &preds, &consumed, &local_refs)?;
+            let next = self.pick_next_quant(
+                qgm,
+                &remaining,
+                &bound,
+                &local,
+                &is_lateral,
+                &sizes,
+                &preds,
+                &consumed,
+                &local_refs,
+            )?;
             remaining.retain(|&q| q != next);
             let child_arity = qgm.output_arity(qgm.quant(next).input);
 
@@ -247,9 +323,9 @@ impl<'a> Executor<'a> {
                     continue;
                 }
                 let lr = local_refs(p);
-                let ok = lr.iter().all(|r| {
-                    bound.contains(r) || *r == next || scalars_bound.contains(r)
-                });
+                let ok = lr
+                    .iter()
+                    .all(|r| bound.contains(r) || *r == next || scalars_bound.contains(r));
                 if ok && lr.contains(&next) {
                     applicable.push(i);
                 }
@@ -260,13 +336,27 @@ impl<'a> Executor<'a> {
                 layout.push(next, child_arity);
             } else if let Some(table) = deferred.get(&next) {
                 rows = self.join_deferred(
-                    qgm, next, table, rows, &layout, &preds, &mut applicable, env,
+                    qgm,
+                    next,
+                    table,
+                    rows,
+                    &layout,
+                    &preds,
+                    &mut applicable,
+                    env,
                 )?;
                 layout.push(next, child_arity);
             } else {
                 let right = Rc::clone(&child_rows[&next]);
                 rows = self.join_step(
-                    qgm, next, rows, &layout, &right, &preds, &mut applicable, env,
+                    qgm,
+                    next,
+                    rows,
+                    &layout,
+                    &right,
+                    &preds,
+                    &mut applicable,
+                    env,
                 )?;
                 layout.push(next, child_arity);
             }
@@ -283,9 +373,7 @@ impl<'a> Executor<'a> {
             // Early scalar-subquery placement.
             if self.opts.scalar_placement == ScalarPlacement::EarliestBinding {
                 for &sq in &subquants {
-                    if scalars_bound.contains(&sq)
-                        || qgm.quant(sq).kind != QuantKind::Scalar
-                    {
+                    if scalars_bound.contains(&sq) || qgm.quant(sq).kind != QuantKind::Scalar {
                         continue;
                     }
                     let child = qgm.quant(sq).input;
@@ -297,7 +385,12 @@ impl<'a> Executor<'a> {
                         .collect();
                     if deps.iter().all(|d| bound.contains(d)) {
                         rows = self.append_scalar_column(
-                            qgm, sq, rows, &layout, env, &mut local_subq_cache,
+                            qgm,
+                            sq,
+                            rows,
+                            &layout,
+                            env,
+                            &mut local_subq_cache,
                         )?;
                         layout.push(sq, 1);
                         scalars_bound.insert(sq);
@@ -354,9 +447,7 @@ impl<'a> Executor<'a> {
         for p in &remaining_preds {
             let quantified: Vec<QuantId> = local_refs(p)
                 .into_iter()
-                .filter(|q| {
-                    matches!(qgm.quant(*q).kind, QuantKind::Existential | QuantKind::All)
-                })
+                .filter(|q| matches!(qgm.quant(*q).kind, QuantKind::Existential | QuantKind::All))
                 .collect();
             match quantified.len() {
                 0 => plain_preds.push(p),
@@ -383,7 +474,10 @@ impl<'a> Executor<'a> {
                 let mut extra: Vec<Value> = Vec::with_capacity(needed_scalars.len());
                 for &sq in &needed_scalars {
                     extra.push(self.scalar_subquery_value(
-                        qgm, sq, &env2, &mut local_subq_cache,
+                        qgm,
+                        sq,
+                        &env2,
+                        &mut local_subq_cache,
                     )?);
                 }
                 row.0.extend(extra);
@@ -393,7 +487,7 @@ impl<'a> Executor<'a> {
             // Plain predicates.
             let mut keep = true;
             for p in &plain_preds {
-                self.stats.predicate_evals += 1;
+                self.note_pred();
                 if !qualifies(p, &env2)? {
                     keep = false;
                     break;
@@ -406,8 +500,7 @@ impl<'a> Executor<'a> {
             // Quantified groups.
             for (sq, group) in &quant_groups {
                 let kind = qgm.quant(*sq).kind;
-                let sub_rows =
-                    self.subquery_rows(qgm, *sq, &env2, &mut local_subq_cache)?;
+                let sub_rows = self.subquery_rows(qgm, *sq, &env2, &mut local_subq_cache)?;
                 let mut q_layout = Layout::new();
                 q_layout.push(*sq, qgm.output_arity(qgm.quant(*sq).input));
                 let sat = match kind {
@@ -420,7 +513,7 @@ impl<'a> Executor<'a> {
                                 let env3 = Env::new(&q_layout, r, Some(&env2));
                                 let mut all_true = true;
                                 for p in group {
-                                    self.stats.predicate_evals += 1;
+                                    self.note_pred();
                                     if !qualifies(p, &env3)? {
                                         all_true = false;
                                         break;
@@ -439,7 +532,7 @@ impl<'a> Executor<'a> {
                         for r in sub_rows.iter() {
                             let env3 = Env::new(&q_layout, r, Some(&env2));
                             for p in group {
-                                self.stats.predicate_evals += 1;
+                                self.note_pred();
                                 if !qualifies(p, &env3)? {
                                     all = false;
                                     break;
@@ -526,8 +619,7 @@ impl<'a> Executor<'a> {
                 None => cand,
                 Some(cur) => {
                     // connected beats unconnected; then smaller size wins.
-                    let better = (cand.0 && !cur.0)
-                        || (cand.0 == cur.0 && cand.1 < cur.1);
+                    let better = (cand.0 && !cur.0) || (cand.0 == cur.0 && cand.1 < cur.1);
                     if better {
                         cand
                     } else {
@@ -586,12 +678,14 @@ impl<'a> Executor<'a> {
             if let Expr::Binary { op: decorr_qgm::BinOp::Eq, left, right } = &preds[i] {
                 for (a, b) in [(left, right), (right, left)] {
                     if let Expr::Col { quant, col } = a.as_ref() {
-                        if *quant == q && b.referenced_quants().iter().all(|r| *r != q)
-                            && t.index_on(&[*col]).is_some() {
-                                let key = eval_expr(b, &env0)?;
-                                index_probe = Some((*col, key, i));
-                                break;
-                            }
+                        if *quant == q
+                            && b.referenced_quants().iter().all(|r| *r != q)
+                            && t.index_on(&[*col]).is_some()
+                        {
+                            let key = eval_expr(b, &env0)?;
+                            index_probe = Some((*col, key, i));
+                            break;
+                        }
                     }
                 }
             }
@@ -621,7 +715,7 @@ impl<'a> Executor<'a> {
                     continue;
                 }
                 let env1 = Env::new(q_layout, r, env);
-                self.stats.predicate_evals += 1;
+                self.note_pred();
                 if !qualifies(&preds[i], &env1)? {
                     continue 'rows;
                 }
@@ -645,7 +739,7 @@ impl<'a> Executor<'a> {
         'rows: for r in rows {
             let env1 = Env::new(layout, &r, env);
             for p in preds {
-                self.stats.predicate_evals += 1;
+                self.note_pred();
                 if !qualifies(p, &env1)? {
                     continue 'rows;
                 }
@@ -692,11 +786,17 @@ impl<'a> Executor<'a> {
                 let null_ok = *op == decorr_qgm::BinOp::NullEq;
                 let lq: Vec<QuantId> = left.referenced_quants();
                 let rq: Vec<QuantId> = r.referenced_quants();
-                let l_on_left = lq.iter().all(|x| layout.contains(*x) || !is_local_ref(qgm, *x, next))
+                let l_on_left = lq
+                    .iter()
+                    .all(|x| layout.contains(*x) || !is_local_ref(qgm, *x, next))
                     && lq.iter().any(|x| layout.contains(*x));
-                let r_on_right = rq.contains(&next) && rq.iter().all(|x| *x == next || !layout.contains(*x));
-                let l_on_right = lq.contains(&next) && lq.iter().all(|x| *x == next || !layout.contains(*x));
-                let r_on_left = rq.iter().all(|x| layout.contains(*x) || !is_local_ref(qgm, *x, next))
+                let r_on_right =
+                    rq.contains(&next) && rq.iter().all(|x| *x == next || !layout.contains(*x));
+                let l_on_right =
+                    lq.contains(&next) && lq.iter().all(|x| *x == next || !layout.contains(*x));
+                let r_on_left = rq
+                    .iter()
+                    .all(|x| layout.contains(*x) || !is_local_ref(qgm, *x, next))
                     && rq.iter().any(|x| layout.contains(*x));
                 if l_on_left && r_on_right {
                     left_keys.push(((**left).clone(), null_ok));
@@ -727,6 +827,13 @@ impl<'a> Executor<'a> {
                 }
             }
             self.stats.join_output_rows += out.len() as u64;
+            self.note_join(
+                next,
+                JoinStrategy::Cross,
+                rows.len() as u64,
+                right.len() as u64,
+                out.len() as u64,
+            );
             return Ok(out);
         }
 
@@ -739,10 +846,18 @@ impl<'a> Executor<'a> {
             let mut key = Vec::with_capacity(right_keys.len());
             for (k, null_ok) in &right_keys {
                 let v = eval_expr(k, &env1)?;
-                if v.is_null() && !null_ok {
-                    continue 'build;
+                if *null_ok {
+                    // NullEq (IS NOT DISTINCT FROM) keys use total_cmp
+                    // semantics — exactly Value's Eq/Hash. Keep raw.
+                    key.push(v);
+                } else {
+                    // Eq keys must agree with sql_cmp: skip NULL/NaN rows
+                    // (they can never match), fold -0.0 into 0.0.
+                    match v.eq_key() {
+                        Some(v) => key.push(v),
+                        None => continue 'build,
+                    }
                 }
-                key.push(v);
             }
             table.entry(key).or_default().push(r);
         }
@@ -754,10 +869,14 @@ impl<'a> Executor<'a> {
             let mut key = Vec::with_capacity(left_keys.len());
             for (k, null_ok) in &left_keys {
                 let v = eval_expr(k, &env1)?;
-                if v.is_null() && !null_ok {
-                    continue 'probe;
+                if *null_ok {
+                    key.push(v);
+                } else {
+                    match v.eq_key() {
+                        Some(v) => key.push(v),
+                        None => continue 'probe,
+                    }
                 }
-                key.push(v);
             }
             if let Some(matches) = table.get(&key) {
                 for r in matches {
@@ -766,6 +885,13 @@ impl<'a> Executor<'a> {
             }
         }
         self.stats.join_output_rows += out.len() as u64;
+        self.note_join(
+            next,
+            JoinStrategy::Hash,
+            rows.len() as u64,
+            right.len() as u64,
+            out.len() as u64,
+        );
         Ok(out)
     }
 
@@ -792,10 +918,7 @@ impl<'a> Executor<'a> {
             if let Expr::Binary { op: decorr_qgm::BinOp::Eq, left, right } = &preds[i] {
                 for (a, b) in [(left, right), (right, left)] {
                     if let Expr::Col { quant, col } = a.as_ref() {
-                        if *quant == next
-                            && !b.references(next)
-                            && t.index_on(&[*col]).is_some()
-                        {
+                        if *quant == next && !b.references(next) && t.index_on(&[*col]).is_some() {
                             probe = Some((i, *col, (**b).clone()));
                             break 'search;
                         }
@@ -816,9 +939,8 @@ impl<'a> Executor<'a> {
         for l in &rows {
             let env1 = Env::new(layout, l, env);
             let key = eval_expr(&keyexpr, &env1)?;
-            if key.is_null() {
-                continue;
-            }
+            // Eq-key normalization: NULL/NaN probe nothing, -0.0 = 0.0.
+            let Some(key) = key.eq_key() else { continue };
             self.stats.index_lookups += 1;
             let positions = idx.lookup(std::slice::from_ref(&key));
             self.stats.index_rows += positions.len() as u64;
@@ -827,6 +949,13 @@ impl<'a> Executor<'a> {
             }
         }
         self.stats.join_output_rows += out.len() as u64;
+        self.note_join(
+            next,
+            JoinStrategy::IndexNestedLoop,
+            rows.len() as u64,
+            t.len() as u64,
+            out.len() as u64,
+        );
         Ok(out)
     }
 
@@ -850,6 +979,13 @@ impl<'a> Executor<'a> {
             }
         }
         self.stats.join_output_rows += out.len() as u64;
+        self.note_join(
+            next,
+            JoinStrategy::Lateral,
+            rows.len() as u64,
+            rows.len() as u64,
+            out.len() as u64,
+        );
         Ok(out)
     }
 
@@ -895,9 +1031,7 @@ impl<'a> Executor<'a> {
         match rows.len() {
             0 => Ok(Value::Null),
             1 => Ok(rows[0][0].clone()),
-            n => Err(Error::eval(format!(
-                "scalar subquery returned {n} rows"
-            ))),
+            n => Err(Error::eval(format!("scalar subquery returned {n} rows"))),
         }
     }
 
@@ -934,7 +1068,9 @@ impl<'a> Executor<'a> {
         let mut layout = Layout::new();
         layout.push(q, qgm.output_arity(child));
 
-        let BoxKind::Grouping { group_by } = &bx.kind else { unreachable!() };
+        let BoxKind::Grouping { group_by } = &bx.kind else {
+            unreachable!()
+        };
 
         // Aggregate output positions and their calls.
         struct AggSlot<'e> {
@@ -1017,7 +1153,11 @@ impl<'a> Executor<'a> {
                 match slot.func {
                     AggFunc::Count => {}
                     AggFunc::Sum | AggFunc::Avg => {
-                        acc.sum = if acc.sum.is_null() { v.clone() } else { acc.sum.add(&v)? };
+                        acc.sum = if acc.sum.is_null() {
+                            v.clone()
+                        } else {
+                            acc.sum.add(&v)?
+                        };
                     }
                     AggFunc::Min | AggFunc::Max => {
                         if acc.min.is_null() || v < acc.min {
@@ -1060,9 +1200,7 @@ impl<'a> Executor<'a> {
                             // AVG is always a double, even when the sum
                             // divides exactly (clients should not see the
                             // result type vary with the data).
-                            AggFunc::Avg => {
-                                Value::Double(acc.sum.as_double()? / acc.count as f64)
-                            }
+                            AggFunc::Avg => Value::Double(acc.sum.as_double()? / acc.count as f64),
                             AggFunc::Min => acc.min.clone(),
                             AggFunc::Max => acc.max.clone(),
                         }
@@ -1099,12 +1237,7 @@ impl<'a> Executor<'a> {
         Ok(out)
     }
 
-    fn eval_outer_join(
-        &mut self,
-        qgm: &Qgm,
-        b: BoxId,
-        env: Option<&Env<'_>>,
-    ) -> Result<Vec<Row>> {
+    fn eval_outer_join(&mut self, qgm: &Qgm, b: BoxId, env: Option<&Env<'_>>) -> Result<Vec<Row>> {
         let bx = qgm.boxref(b);
         let (ql, qr) = (bx.quants[0], bx.quants[1]);
         let left = self.eval_child(qgm, qgm.quant(ql).input, env)?;
@@ -1136,14 +1269,18 @@ impl<'a> Executor<'a> {
                 let null_ok = *op == decorr_qgm::BinOp::NullEq;
                 let aq = a.referenced_quants();
                 let cq = c.referenced_quants();
-                if aq.iter().all(|x| *x != qr) && cq.iter().all(|x| *x != ql)
-                    && aq.contains(&ql) && cq.contains(&qr)
+                if aq.iter().all(|x| *x != qr)
+                    && cq.iter().all(|x| *x != ql)
+                    && aq.contains(&ql)
+                    && cq.contains(&qr)
                 {
                     l_keys.push(((**a).clone(), null_ok));
                     r_keys.push(((**c).clone(), null_ok));
                     is_key = true;
-                } else if aq.iter().all(|x| *x != ql) && cq.iter().all(|x| *x != qr)
-                    && aq.contains(&qr) && cq.contains(&ql)
+                } else if aq.iter().all(|x| *x != ql)
+                    && cq.iter().all(|x| *x != qr)
+                    && aq.contains(&qr)
+                    && cq.contains(&ql)
                 {
                     l_keys.push(((**c).clone(), null_ok));
                     r_keys.push(((**a).clone(), null_ok));
@@ -1163,10 +1300,16 @@ impl<'a> Executor<'a> {
             let mut key = Vec::with_capacity(r_keys.len());
             for (k, null_ok) in &r_keys {
                 let v = eval_expr(k, &env1)?;
-                if v.is_null() && !null_ok {
-                    continue 'build;
+                if *null_ok {
+                    // NullEq keys keep total_cmp (= Eq/Hash) semantics.
+                    key.push(v);
+                } else {
+                    // Eq keys: NULL/NaN never match; -0.0 folds into 0.0.
+                    match v.eq_key() {
+                        Some(v) => key.push(v),
+                        None => continue 'build,
+                    }
                 }
-                key.push(v);
             }
             table.entry(key).or_default().push(r);
         }
@@ -1180,11 +1323,17 @@ impl<'a> Executor<'a> {
             let mut null_key = false;
             for (k, null_ok) in &l_keys {
                 let v = eval_expr(k, &env1)?;
-                if v.is_null() && !null_ok {
-                    null_key = true;
-                    break;
+                if *null_ok {
+                    key.push(v);
+                } else {
+                    match v.eq_key() {
+                        Some(v) => key.push(v),
+                        None => {
+                            null_key = true;
+                            break;
+                        }
+                    }
                 }
-                key.push(v);
             }
             // Candidates: hash matches, or (keyless ON) every right row;
             // a NULL key matches nothing.
@@ -1202,7 +1351,7 @@ impl<'a> Executor<'a> {
                 let env2 = Env::new(&layout, &combined, env);
                 let mut ok = true;
                 for p in &residual {
-                    self.stats.predicate_evals += 1;
+                    self.note_pred();
                     if !qualifies(p, &env2)? {
                         ok = false;
                         break;

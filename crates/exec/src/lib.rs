@@ -33,10 +33,12 @@ pub mod cost;
 pub mod env;
 pub mod eval;
 pub mod exec;
+pub mod trace;
 
 pub use cost::{CostModel, Estimate};
 pub use env::{Env, Layout};
 pub use exec::{ExecOptions, Executor, ScalarPlacement};
+pub use trace::{BoxTrace, ExecTrace, JoinChoice, JoinStrategy};
 
 use decorr_common::{ExecStats, Result, Row};
 use decorr_qgm::Qgm;
@@ -49,12 +51,22 @@ pub fn execute(db: &Database, qgm: &Qgm) -> Result<(Vec<Row>, ExecStats)> {
 }
 
 /// Execute with explicit options.
-pub fn execute_with(
-    db: &Database,
-    qgm: &Qgm,
-    opts: ExecOptions,
-) -> Result<(Vec<Row>, ExecStats)> {
+pub fn execute_with(db: &Database, qgm: &Qgm, opts: ExecOptions) -> Result<(Vec<Row>, ExecStats)> {
     let mut ex = Executor::new(db, opts);
     let rows = ex.run(qgm)?;
     Ok((rows, ex.stats()))
+}
+
+/// Execute with a per-box operator trace (rows in/out, join strategies,
+/// predicate evaluations, wall time per box) alongside the work counters.
+pub fn execute_traced(
+    db: &Database,
+    qgm: &Qgm,
+    opts: ExecOptions,
+) -> Result<(Vec<Row>, ExecStats, ExecTrace)> {
+    let mut ex = Executor::new(db, opts);
+    ex.enable_tracing();
+    let rows = ex.run(qgm)?;
+    let trace = ex.take_trace().expect("tracing was enabled");
+    Ok((rows, ex.stats(), trace))
 }

@@ -1,0 +1,273 @@
+//! Per-box execution tracing.
+//!
+//! When tracing is enabled (see [`crate::execute_traced`] or
+//! [`crate::exec::Executor::enable_tracing`]) the executor records, for
+//! every QGM box it evaluates, how many times the box ran, the rows it
+//! produced, the predicate evaluations charged to it, the wall time spent
+//! inside it (inclusive of children), and — for Select boxes — which join
+//! strategy each quantifier binding step used (hash, index nested-loop,
+//! lateral re-evaluation, or cross product).
+//!
+//! The trace is *aggregated per box*, not per invocation: a correlated
+//! subquery evaluated 4000 times under nested iteration contributes one
+//! [`BoxTrace`] with `invocations == 4000`, keeping traces bounded by plan
+//! size. The counters are consistent with [`decorr_common::ExecStats`]:
+//! summing `predicate_evals` over all boxes yields exactly the run's
+//! `ExecStats::predicate_evals` (asserted in this crate's tests).
+
+use std::time::Duration;
+
+use decorr_common::{FxHashMap, FxHashSet, JsonWriter};
+use decorr_qgm::{BoxId, Qgm, QuantId};
+
+/// The join strategy the executor chose for one quantifier binding step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// Build a hash table on the incoming quantifier, probe with the bound
+    /// rows (equi-join keys found).
+    Hash,
+    /// Drive the bound rows through a base-table index (index nested-loops).
+    IndexNestedLoop,
+    /// Re-evaluate a correlated (lateral) child once per bound row.
+    Lateral,
+    /// No usable key: cross product with residual filtering.
+    Cross,
+}
+
+impl JoinStrategy {
+    pub fn name(self) -> &'static str {
+        match self {
+            JoinStrategy::Hash => "hash",
+            JoinStrategy::IndexNestedLoop => "index-nested-loop",
+            JoinStrategy::Lateral => "lateral",
+            JoinStrategy::Cross => "cross",
+        }
+    }
+}
+
+/// One aggregated join step inside a Select box: the binding of quantifier
+/// `quant`, summed over every invocation of the box.
+#[derive(Debug, Clone)]
+pub struct JoinChoice {
+    pub quant: QuantId,
+    pub strategy: JoinStrategy,
+    /// How many times this step executed (> 1 under nested iteration).
+    pub steps: u64,
+    /// Rows on the already-bound side, summed over steps.
+    pub left_rows: u64,
+    /// Rows on the incoming side (for lateral joins: child evaluations).
+    pub right_rows: u64,
+    /// Rows the step produced, summed over steps.
+    pub out_rows: u64,
+}
+
+/// Aggregated observations for one box.
+#[derive(Debug, Clone, Default)]
+pub struct BoxTrace {
+    /// Times the box was evaluated (1 for set-oriented plans; once per
+    /// candidate row for boxes under nested iteration).
+    pub invocations: u64,
+    /// Rows the box returned, summed over invocations.
+    pub rows_out: u64,
+    /// Predicate evaluations charged to this box.
+    pub predicate_evals: u64,
+    /// Wall time inside the box, inclusive of children.
+    pub wall: Duration,
+    /// Join strategy decisions (Select boxes only).
+    pub joins: Vec<JoinChoice>,
+}
+
+/// The per-box operator trace of one execution.
+#[derive(Debug, Clone, Default)]
+pub struct ExecTrace {
+    per_box: FxHashMap<BoxId, BoxTrace>,
+}
+
+impl ExecTrace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn entry(&mut self, b: BoxId) -> &mut BoxTrace {
+        self.per_box.entry(b).or_default()
+    }
+
+    pub(crate) fn note_join(
+        &mut self,
+        b: BoxId,
+        quant: QuantId,
+        strategy: JoinStrategy,
+        left_rows: u64,
+        right_rows: u64,
+        out_rows: u64,
+    ) {
+        let e = self.entry(b);
+        match e
+            .joins
+            .iter_mut()
+            .find(|j| j.quant == quant && j.strategy == strategy)
+        {
+            Some(j) => {
+                j.steps += 1;
+                j.left_rows += left_rows;
+                j.right_rows += right_rows;
+                j.out_rows += out_rows;
+            }
+            None => e.joins.push(JoinChoice {
+                quant,
+                strategy,
+                steps: 1,
+                left_rows,
+                right_rows,
+                out_rows,
+            }),
+        }
+    }
+
+    /// The trace entry for a box, if it was evaluated.
+    pub fn get(&self, b: BoxId) -> Option<&BoxTrace> {
+        self.per_box.get(&b)
+    }
+
+    /// Number of boxes that were actually evaluated.
+    pub fn traced_boxes(&self) -> usize {
+        self.per_box.len()
+    }
+
+    /// Sum of per-box predicate evaluations — must equal the run's
+    /// `ExecStats::predicate_evals`.
+    pub fn total_predicate_evals(&self) -> u64 {
+        self.per_box.values().map(|t| t.predicate_evals).sum()
+    }
+
+    /// Rows flowing *into* a box: the rows its children delivered, summed.
+    fn rows_in(&self, qgm: &Qgm, b: BoxId) -> u64 {
+        qgm.boxref(b)
+            .quants
+            .iter()
+            .filter_map(|&q| self.per_box.get(&qgm.quant(q).input))
+            .map(|t| t.rows_out)
+            .sum()
+    }
+
+    /// Render the trace as an indented operator tree mirroring
+    /// [`decorr_qgm::print::explain`].
+    pub fn render(&self, qgm: &Qgm) -> String {
+        let mut s = String::new();
+        let mut seen = FxHashSet::default();
+        self.render_box(qgm, qgm.top(), 0, &mut seen, &mut s);
+        s
+    }
+
+    fn render_box(
+        &self,
+        qgm: &Qgm,
+        b: BoxId,
+        depth: usize,
+        seen: &mut FxHashSet<BoxId>,
+        out: &mut String,
+    ) {
+        use std::fmt::Write as _;
+        let pad = "  ".repeat(depth);
+        let bx = qgm.boxref(b);
+        if !seen.insert(b) {
+            writeln!(out, "{pad}{b} [{}] (shared, traced above)", bx.kind.name()).unwrap();
+            return;
+        }
+        match self.per_box.get(&b) {
+            None => {
+                writeln!(
+                    out,
+                    "{pad}{b} [{}] \"{}\" (not evaluated)",
+                    bx.kind.name(),
+                    bx.label
+                )
+                .unwrap();
+            }
+            Some(t) => {
+                writeln!(
+                    out,
+                    "{pad}{b} [{}] \"{}\" invocations={} rows_in={} rows_out={} \
+                     predicate_evals={} wall={:.3}ms",
+                    bx.kind.name(),
+                    bx.label,
+                    t.invocations,
+                    self.rows_in(qgm, b),
+                    t.rows_out,
+                    t.predicate_evals,
+                    t.wall.as_secs_f64() * 1e3,
+                )
+                .unwrap();
+                for j in &t.joins {
+                    writeln!(
+                        out,
+                        "{pad}  join {} via {} steps={} left={} right={} out={}",
+                        j.quant,
+                        j.strategy.name(),
+                        j.steps,
+                        j.left_rows,
+                        j.right_rows,
+                        j.out_rows,
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        for &q in &bx.quants {
+            self.render_box(qgm, qgm.quant(q).input, depth + 1, seen, out);
+        }
+    }
+
+    /// The trace as a JSON operator tree (shared boxes are emitted once;
+    /// later references carry `"shared": true` and no children).
+    pub fn to_json(&self, qgm: &Qgm) -> String {
+        let mut w = JsonWriter::new();
+        let mut seen = FxHashSet::default();
+        self.json_box(qgm, qgm.top(), &mut seen, &mut w);
+        w.finish()
+    }
+
+    fn json_box(&self, qgm: &Qgm, b: BoxId, seen: &mut FxHashSet<BoxId>, w: &mut JsonWriter) {
+        let bx = qgm.boxref(b);
+        w.begin_object()
+            .field_str("box", &b.to_string())
+            .field_str("kind", bx.kind.name())
+            .field_str("label", &bx.label);
+        if !seen.insert(b) {
+            w.key("shared").bool(true);
+            w.end_object();
+            return;
+        }
+        match self.per_box.get(&b) {
+            None => {
+                w.key("evaluated").bool(false);
+            }
+            Some(t) => {
+                w.key("evaluated").bool(true);
+                w.field_uint("invocations", t.invocations)
+                    .field_uint("rows_in", self.rows_in(qgm, b))
+                    .field_uint("rows_out", t.rows_out)
+                    .field_uint("predicate_evals", t.predicate_evals)
+                    .field_float("wall_ms", t.wall.as_secs_f64() * 1e3);
+                w.key("joins").begin_array();
+                for j in &t.joins {
+                    w.begin_object()
+                        .field_str("quant", &j.quant.to_string())
+                        .field_str("strategy", j.strategy.name())
+                        .field_uint("steps", j.steps)
+                        .field_uint("left_rows", j.left_rows)
+                        .field_uint("right_rows", j.right_rows)
+                        .field_uint("out_rows", j.out_rows)
+                        .end_object();
+                }
+                w.end_array();
+            }
+        }
+        w.key("children").begin_array();
+        for &q in &bx.quants {
+            self.json_box(qgm, qgm.quant(q).input, seen, w);
+        }
+        w.end_array();
+        w.end_object();
+    }
+}

@@ -23,11 +23,11 @@ fn empdept() -> Database {
         )
         .unwrap();
     d.insert_all(vec![
-        row!["toys", 5000.0, 3, 1],      // bldg 1 has 2 emps -> 3 > 2 ✓
-        row!["shoes", 8000.0, 1, 2],     // bldg 2 has 3 emps -> 1 > 3 ✗
-        row!["ops", 500.0, 1, 3],        // bldg 3 empty      -> 1 > 0 ✓ (COUNT bug!)
-        row!["golf", 20000.0, 9, 1],     // over budget       -> filtered
-        row!["books", 9000.0, 2, 1],     // 2 > 2 ✗
+        row!["toys", 5000.0, 3, 1],  // bldg 1 has 2 emps -> 3 > 2 ✓
+        row!["shoes", 8000.0, 1, 2], // bldg 2 has 3 emps -> 1 > 3 ✗
+        row!["ops", 500.0, 1, 3],    // bldg 3 empty      -> 1 > 0 ✓ (COUNT bug!)
+        row!["golf", 20000.0, 9, 1], // over budget       -> filtered
+        row!["books", 9000.0, 2, 1], // 2 > 2 ✗
     ])
     .unwrap();
     d.set_key(&["name"]).unwrap();
@@ -56,7 +56,9 @@ fn run(db: &Database, sql: &str) -> Vec<Row> {
 
 fn names(mut rows: Vec<Row>) -> Vec<String> {
     rows.sort();
-    rows.iter().map(|r| r[0].as_str().unwrap().to_string()).collect()
+    rows.iter()
+        .map(|r| r[0].as_str().unwrap().to_string())
+        .collect()
 }
 
 #[test]
@@ -268,7 +270,10 @@ fn scalar_placement_changes_invocation_count_not_results() {
 #[test]
 fn index_assisted_selection() {
     let mut db = empdept();
-    db.table_mut("emp").unwrap().create_index(&["building"]).unwrap();
+    db.table_mut("emp")
+        .unwrap()
+        .create_index(&["building"])
+        .unwrap();
     let qgm = parse_and_bind("SELECT name FROM emp WHERE building = 2", &db).unwrap();
     let (rows, stats) = execute(&db, &qgm).unwrap();
     assert_eq!(rows.len(), 3);
@@ -279,7 +284,10 @@ fn index_assisted_selection() {
 #[test]
 fn index_used_inside_correlated_subquery() {
     let mut db = empdept();
-    db.table_mut("emp").unwrap().create_index(&["building"]).unwrap();
+    db.table_mut("emp")
+        .unwrap()
+        .create_index(&["building"])
+        .unwrap();
     let sql = "Select D.name From Dept D Where D.num_emps > \
         (Select Count(*) From Emp E Where E.building = D.building)";
     let qgm = parse_and_bind(sql, &db).unwrap();
@@ -387,6 +395,9 @@ fn null_semantics_in_filters() {
     let rows = run(&db, "SELECT x FROM t WHERE x IS NULL");
     assert_eq!(rows.len(), 1);
     // NOT IN with NULL in the outer value: filtered (unknown).
-    let rows = run(&db, "SELECT x FROM t WHERE x NOT IN (SELECT x FROM t WHERE x = 1)");
+    let rows = run(
+        &db,
+        "SELECT x FROM t WHERE x NOT IN (SELECT x FROM t WHERE x = 1)",
+    );
     assert_eq!(rows.len(), 1); // only 3 qualifies; NULL <> 1 is unknown
 }

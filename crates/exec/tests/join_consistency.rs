@@ -1,0 +1,199 @@
+//! Hash-join / nested-loop consistency on tricky key values.
+//!
+//! `Value`'s `Eq`/`Hash` (used by hash tables and indexes) follow
+//! `total_cmp`, while the SQL `=` predicate follows `sql_cmp` — they
+//! disagree on NaN (total: equal; SQL: never equal) and signed zero
+//! (total: distinct; SQL: equal). The executor therefore normalizes
+//! Eq-derived join keys (`Value::eq_key`). These tests force the same
+//! join through the hash path and through a nested-loop (cross product +
+//! residual predicate) path — by wrapping the predicate in `AND(p, TRUE)`
+//! so key extraction cannot see it — and demand identical results for
+//! mixed Int/Double keys, NULLs, NaN and ±0.0, for both `=` and
+//! `IS NOT DISTINCT FROM`, in inner joins, index nested-loops and outer
+//! joins.
+
+use decorr_common::{row, DataType, Row, Schema, Value};
+use decorr_exec::{execute_traced, ExecOptions, JoinStrategy};
+use decorr_qgm::{BinOp, BoxKind, Expr, Qgm, QuantKind};
+use decorr_storage::Database;
+
+/// l(a): Int column with 0, 1, 2, NULL.
+/// r(b): Double column with 0.0, -0.0, 1.0, NaN, NULL, 2.0, 2.0.
+fn tricky_db() -> Database {
+    let mut db = Database::new();
+    let l = db
+        .create_table("l", Schema::from_pairs(&[("a", DataType::Int)]))
+        .unwrap();
+    l.insert_all(vec![row![0], row![1], row![2], row![Value::Null]])
+        .unwrap();
+    let r = db
+        .create_table("r", Schema::from_pairs(&[("b", DataType::Double)]))
+        .unwrap();
+    r.insert_all(vec![
+        row![0.0],
+        row![-0.0],
+        row![1.0],
+        row![f64::NAN],
+        row![Value::Null],
+        row![2.0],
+        row![2.0],
+    ])
+    .unwrap();
+    db
+}
+
+/// An inner join of l and r on the given predicate over (Q(l).0, Q(r).0).
+fn join_qgm(op: BinOp, force_nested_loop: bool) -> Qgm {
+    let mut g = Qgm::new();
+    let lt = g.add_base_table("l", Schema::from_pairs(&[("a", DataType::Int)]));
+    let rt = g.add_base_table("r", Schema::from_pairs(&[("b", DataType::Double)]));
+    let top = g.add_box(BoxKind::Select, "top");
+    let ql = g.add_quant(top, QuantKind::Foreach, lt, "L");
+    let qr = g.add_quant(top, QuantKind::Foreach, rt, "R");
+    let p = Expr::bin(op, Expr::col(ql, 0), Expr::col(qr, 0));
+    // AND(p, TRUE) is semantically p but opaque to the equi-key extractor,
+    // forcing the cross-product + residual-filter (nested loop) path.
+    let p = if force_nested_loop {
+        Expr::bin(BinOp::And, p, Expr::Lit(Value::Bool(true)))
+    } else {
+        p
+    };
+    g.boxmut(top).preds.push(p);
+    g.add_output(top, "a", Expr::col(ql, 0));
+    g.add_output(top, "b", Expr::col(qr, 0));
+    g.set_top(top);
+    g
+}
+
+fn run(db: &Database, g: &Qgm) -> (Vec<Row>, decorr_exec::ExecTrace) {
+    let (mut rows, _, trace) = execute_traced(db, g, ExecOptions::default()).unwrap();
+    rows.sort();
+    (rows, trace)
+}
+
+fn used_strategy(trace: &decorr_exec::ExecTrace, g: &Qgm, s: JoinStrategy) -> bool {
+    g.reachable_boxes(g.top())
+        .iter()
+        .filter_map(|&b| trace.get(b))
+        .flat_map(|t| t.joins.iter())
+        .any(|j| j.strategy == s)
+}
+
+#[test]
+fn eq_hash_join_agrees_with_nested_loop() {
+    let db = tricky_db();
+    let hashed = join_qgm(BinOp::Eq, false);
+    let looped = join_qgm(BinOp::Eq, true);
+    let (hash_rows, hash_trace) = run(&db, &hashed);
+    let (nl_rows, nl_trace) = run(&db, &looped);
+
+    // Both paths were actually exercised.
+    assert!(used_strategy(&hash_trace, &hashed, JoinStrategy::Hash));
+    assert!(used_strategy(&nl_trace, &looped, JoinStrategy::Cross));
+
+    assert_eq!(
+        hash_rows, nl_rows,
+        "hash vs nested-loop divergence on Eq keys"
+    );
+
+    // SQL semantics, spelled out: Int 0 matches both 0.0 and -0.0; NaN and
+    // NULL match nothing; 2 matches the duplicated 2.0 twice.
+    assert_eq!(hash_rows.len(), 2 + 1 + 2);
+    assert!(hash_rows.iter().all(|r| !r[0].is_null() && !r[1].is_null()));
+    let zero_matches = hash_rows.iter().filter(|r| r[0] == Value::Int(0)).count();
+    assert_eq!(zero_matches, 2, "0 must match 0.0 and -0.0");
+}
+
+#[test]
+fn nulleq_hash_join_agrees_with_nested_loop() {
+    let db = tricky_db();
+    let hashed = join_qgm(BinOp::NullEq, false);
+    let looped = join_qgm(BinOp::NullEq, true);
+    let (hash_rows, hash_trace) = run(&db, &hashed);
+    let (nl_rows, nl_trace) = run(&db, &looped);
+
+    assert!(used_strategy(&hash_trace, &hashed, JoinStrategy::Hash));
+    assert!(used_strategy(&nl_trace, &looped, JoinStrategy::Cross));
+
+    assert_eq!(
+        hash_rows, nl_rows,
+        "hash vs nested-loop divergence on NullEq keys"
+    );
+
+    // IS NOT DISTINCT FROM follows the total order: NULL matches NULL.
+    assert!(hash_rows.iter().any(|r| r[0].is_null() && r[1].is_null()));
+}
+
+#[test]
+fn index_nested_loop_agrees_with_hash_and_nested_loop() {
+    // Give r an index and enough rows that the executor defers it into an
+    // index nested-loop drive; results must still match the other paths.
+    let mut db = tricky_db();
+    {
+        let r = db.table_mut("r").unwrap();
+        for i in 0..40 {
+            r.insert(row![100.0 + i as f64]).unwrap();
+        }
+        r.create_index(&["b"]).unwrap();
+    }
+    let plan = join_qgm(BinOp::Eq, false);
+    let (inl_rows, inl_trace) = run(&db, &plan);
+    assert!(
+        used_strategy(&inl_trace, &plan, JoinStrategy::IndexNestedLoop),
+        "expected the deferred index nested-loop path:\n{}",
+        inl_trace.render(&plan)
+    );
+    let (nl_rows, _) = run(&db, &join_qgm(BinOp::Eq, true));
+    assert_eq!(
+        inl_rows, nl_rows,
+        "index nested-loop vs nested-loop divergence"
+    );
+    let zero_matches = inl_rows.iter().filter(|r| r[0] == Value::Int(0)).count();
+    assert_eq!(
+        zero_matches, 2,
+        "indexed probe for 0 must reach 0.0 and -0.0"
+    );
+}
+
+/// An outer join of l and r on the given predicate.
+fn outer_join_qgm(op: BinOp, force_nested_loop: bool) -> Qgm {
+    let mut g = Qgm::new();
+    let lt = g.add_base_table("l", Schema::from_pairs(&[("a", DataType::Int)]));
+    let rt = g.add_base_table("r", Schema::from_pairs(&[("b", DataType::Double)]));
+    let oj = g.add_box(BoxKind::OuterJoin, "oj");
+    let ql = g.add_quant(oj, QuantKind::Foreach, lt, "L");
+    let qr = g.add_quant(oj, QuantKind::Foreach, rt, "R");
+    let p = Expr::bin(op, Expr::col(ql, 0), Expr::col(qr, 0));
+    let p = if force_nested_loop {
+        Expr::bin(BinOp::And, p, Expr::Lit(Value::Bool(true)))
+    } else {
+        p
+    };
+    g.boxmut(oj).preds.push(p);
+    g.add_output(oj, "a", Expr::col(ql, 0));
+    g.add_output(oj, "b", Expr::col(qr, 0));
+    g.set_top(oj);
+    g
+}
+
+#[test]
+fn outer_join_hash_path_agrees_with_residual_path() {
+    let db = tricky_db();
+    for op in [BinOp::Eq, BinOp::NullEq] {
+        let (hash_rows, _) = run(&db, &outer_join_qgm(op, false));
+        let (nl_rows, _) = run(&db, &outer_join_qgm(op, true));
+        assert_eq!(hash_rows, nl_rows, "outer-join divergence on {op:?} keys");
+        // Every left row appears (null-extended when unmatched).
+        for v in [Value::Int(0), Value::Int(1), Value::Int(2), Value::Null] {
+            assert!(
+                hash_rows.iter().any(|r| r[0] == v),
+                "left row {v:?} lost from outer join ({op:?})"
+            );
+        }
+    }
+    // Under Eq, the NULL left row must be null-extended, not NULL-joined.
+    let (rows, _) = run(&db, &outer_join_qgm(BinOp::Eq, false));
+    let null_rows: Vec<&Row> = rows.iter().filter(|r| r[0].is_null()).collect();
+    assert_eq!(null_rows.len(), 1);
+    assert!(null_rows[0][1].is_null());
+}

@@ -47,7 +47,9 @@ fn outer_join_box_plain_eq() {
     let oj = g.add_box(BoxKind::OuterJoin, "loj");
     let ql = g.add_quant(oj, QuantKind::Foreach, lt, "L");
     let qr = g.add_quant(oj, QuantKind::Foreach, rt, "R");
-    g.boxmut(oj).preds.push(Expr::eq(Expr::col(ql, 0), Expr::col(qr, 0)));
+    g.boxmut(oj)
+        .preds
+        .push(Expr::eq(Expr::col(ql, 0), Expr::col(qr, 0)));
     g.add_output(oj, "lk", Expr::col(ql, 0));
     g.add_output(oj, "b", Expr::col(qr, 1));
     g.set_top(oj);
@@ -138,7 +140,9 @@ fn index_nested_loop_decision() {
         let s = g.add_box(BoxKind::Select, "join");
         let qs = g.add_quant(s, QuantKind::Foreach, st, "S");
         let qb = g.add_quant(s, QuantKind::Foreach, bt, "B");
-        g.boxmut(s).preds.push(Expr::eq(Expr::col(qs, 0), Expr::col(qb, 0)));
+        g.boxmut(s)
+            .preds
+            .push(Expr::eq(Expr::col(qs, 0), Expr::col(qb, 0)));
         g.add_output(s, "v", Expr::col(qb, 1));
         g.set_top(s);
         g
@@ -180,7 +184,9 @@ fn shared_box_recompute_vs_memoize() {
     let top = g.add_box(BoxKind::Select, "top");
     let q1 = g.add_quant(top, QuantKind::Foreach, shared, "A");
     let q2 = g.add_quant(top, QuantKind::Foreach, shared, "B");
-    g.boxmut(top).preds.push(Expr::eq(Expr::col(q1, 0), Expr::col(q2, 0)));
+    g.boxmut(top)
+        .preds
+        .push(Expr::eq(Expr::col(q1, 0), Expr::col(q2, 0)));
     g.add_output(top, "x", Expr::col(q1, 0));
     g.set_top(top);
     validate(&g).unwrap();

@@ -6,13 +6,13 @@
 //! therefore be performed locally. ... each of the joins can be executed
 //! in parallel on all nodes without interference from each other."
 
+use std::sync::Mutex;
 use std::time::Instant;
 
 use decorr_common::{Error, Result, Row};
 use decorr_core::magic::{magic_decorrelate, MagicOptions};
 use decorr_exec::{ExecOptions, Executor};
 use decorr_qgm::Qgm;
-use parking_lot::Mutex;
 
 use crate::cluster::Cluster;
 use crate::stats::ParallelStats;
@@ -65,23 +65,25 @@ pub fn run_decorrelated(
     // Parallel phase: one plan fragment per node, no cross-talk.
     let node_work: Mutex<Vec<u64>> = Mutex::new(vec![0; n]);
     let started = Instant::now();
-    let results: Vec<Result<Vec<Row>>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Result<Vec<Row>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n)
             .map(|i| {
                 let plan = &plan;
                 let node_work = &node_work;
                 let cluster = &*cluster;
-                scope.spawn(move |_| -> Result<Vec<Row>> {
+                scope.spawn(move || -> Result<Vec<Row>> {
                     let mut ex = Executor::new(cluster.node(i), ExecOptions::default());
                     let rows = ex.run(plan)?;
-                    node_work.lock()[i] += ex.stats().total_work();
+                    node_work.lock().unwrap()[i] += ex.stats().total_work();
                     Ok(rows)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .map_err(|_| Error::internal("parallel worker panicked"))?;
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
 
     stats.fragments += n as u64;
     // Final result collection: one message per producing node.
@@ -91,7 +93,9 @@ pub fn run_decorrelated(
     for r in results {
         rows.extend(r?);
     }
-    stats.per_node_work = node_work.into_inner();
+    stats.per_node_work = node_work
+        .into_inner()
+        .expect("worker poisoned the stats mutex");
     stats.elapsed = started.elapsed();
     stats.result_rows = rows.len();
     Ok((rows, stats))

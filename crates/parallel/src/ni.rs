@@ -5,13 +5,13 @@
 //! to the requesting node. ... nested iteration can result in O(n²)
 //! computation fragments."
 
+use std::sync::Mutex;
 use std::time::Instant;
 
 use decorr_common::{Error, Result, Row, Value};
 use decorr_core::baselines::match_agg_subquery;
 use decorr_exec::{Env, ExecOptions, Executor, Layout};
 use decorr_qgm::{AggFunc, BoxKind, Expr, Qgm, QuantKind};
-use parking_lot::Mutex;
 
 use crate::cluster::Cluster;
 use crate::stats::ParallelStats;
@@ -23,10 +23,7 @@ use crate::stats::ParallelStats;
 /// Supports the linear shape of the paper's running example: a single
 /// outer base table and one correlated scalar aggregate subquery
 /// (COUNT / SUM / MIN / MAX — AVG partials do not compose).
-pub fn run_nested_iteration(
-    cluster: &Cluster,
-    qgm: &Qgm,
-) -> Result<(Vec<Row>, ParallelStats)> {
+pub fn run_nested_iteration(cluster: &Cluster, qgm: &Qgm) -> Result<(Vec<Row>, ParallelStats)> {
     let pat = match_agg_subquery(qgm)?;
     if pat.cur != qgm.top() {
         return Err(Error::rewrite(
@@ -96,20 +93,16 @@ pub fn run_nested_iteration(
         invocations: u64,
     }
 
-    let results: Vec<Result<NodeOut>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Result<NodeOut>> = std::thread::scope(|scope| {
         let pat = &pat;
         let handles: Vec<_> = (0..n)
             .map(|i| {
                 let node_work = &node_work;
                 let outer_preds = &outer_preds;
                 let scalar_preds = &scalar_preds;
-                scope.spawn(move |_| -> Result<NodeOut> {
-                    let mut out = NodeOut {
-                        rows: Vec::new(),
-                        messages: 0,
-                        fragments: 0,
-                        invocations: 0,
-                    };
+                scope.spawn(move || -> Result<NodeOut> {
+                    let mut out =
+                        NodeOut { rows: Vec::new(), messages: 0, fragments: 0, invocations: 0 };
                     let local = cluster.node(i);
                     let table = local.table(outer_table)?;
 
@@ -139,10 +132,9 @@ pub fn run_nested_iteration(
                             if j != i {
                                 out.messages += 2; // request + partial result
                             }
-                            let mut ex =
-                                Executor::new(cluster.node(j), ExecOptions::default());
+                            let mut ex = Executor::new(cluster.node(j), ExecOptions::default());
                             let partial_rows = ex.run(&bound)?;
-                            node_work.lock()[j] += ex.stats().total_work();
+                            node_work.lock().unwrap()[j] += ex.stats().total_work();
                             let partial = partial_rows
                                 .first()
                                 .map(|r| r[0].clone())
@@ -161,7 +153,9 @@ pub fn run_nested_iteration(
                         }
                         let mut projected = Row(Vec::new());
                         for o in &qgm.boxref(pat.cur).outputs {
-                            projected.0.push(decorr_exec::eval::eval_expr(&o.expr, &env)?);
+                            projected
+                                .0
+                                .push(decorr_exec::eval::eval_expr(&o.expr, &env)?);
                         }
                         out.rows.push(projected);
                     }
@@ -169,14 +163,18 @@ pub fn run_nested_iteration(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .map_err(|_| Error::internal("parallel worker panicked"))?;
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
 
     let mut rows = Vec::new();
     let mut stats = ParallelStats {
         nodes: n,
-        per_node_work: node_work.into_inner(),
+        per_node_work: node_work
+            .into_inner()
+            .expect("worker poisoned the stats mutex"),
         ..Default::default()
     };
     for r in results {

@@ -133,7 +133,12 @@ fn decorrelated_beats_ni_on_total_work_and_messages() {
         &MagicOptions::default(),
     )
     .unwrap();
-    assert!(dc.total_work() < ni.total_work(), "{} vs {}", dc.total_work(), ni.total_work());
+    assert!(
+        dc.total_work() < ni.total_work(),
+        "{} vs {}",
+        dc.total_work(),
+        ni.total_work()
+    );
     assert!(dc.fragments < ni.fragments);
 }
 

@@ -149,11 +149,9 @@ mod tests {
         g.add_output(mid, "b", Expr::col(qleaf, 0));
 
         let qmid = g.add_quant(top, QuantKind::Existential, mid, "M");
-        g.boxmut(top).preds.push(Expr::bin(
-            BinOp::Eq,
-            Expr::col(q1, 0),
-            Expr::col(qmid, 0),
-        ));
+        g.boxmut(top)
+            .preds
+            .push(Expr::bin(BinOp::Eq, Expr::col(q1, 0), Expr::col(qmid, 0)));
         g.add_output(top, "a", Expr::col(q1, 0));
         g.set_top(top);
         (g, top, mid, leaf, q1)

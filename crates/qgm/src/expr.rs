@@ -148,7 +148,10 @@ impl fmt::Display for AggFunc {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// Reference to output column `col` of quantifier `quant`.
-    Col { quant: QuantId, col: usize },
+    Col {
+        quant: QuantId,
+        col: usize,
+    },
     /// Literal value.
     Lit(Value),
     Binary {
@@ -185,11 +188,7 @@ impl Expr {
 
     /// `left op right` helper.
     pub fn bin(op: BinOp, left: Expr, right: Expr) -> Expr {
-        Expr::Binary {
-            op,
-            left: Box::new(left),
-            right: Box::new(right),
-        }
+        Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
     }
 
     /// `a = b` helper.
@@ -199,20 +198,12 @@ impl Expr {
 
     /// `COUNT(*)` helper.
     pub fn count_star() -> Expr {
-        Expr::Agg {
-            func: AggFunc::Count,
-            arg: None,
-            distinct: false,
-        }
+        Expr::Agg { func: AggFunc::Count, arg: None, distinct: false }
     }
 
     /// Aggregate helper.
     pub fn agg(func: AggFunc, arg: Expr) -> Expr {
-        Expr::Agg {
-            func,
-            arg: Some(Box::new(arg)),
-            distinct: false,
-        }
+        Expr::Agg { func, arg: Some(Box::new(arg)), distinct: false }
     }
 
     /// Visit every column reference in the tree.
@@ -299,11 +290,7 @@ impl Expr {
     /// are normalized through this.
     pub fn split_conjuncts(self) -> Vec<Expr> {
         match self {
-            Expr::Binary {
-                op: BinOp::And,
-                left,
-                right,
-            } => {
+            Expr::Binary { op: BinOp::And, left, right } => {
                 let mut v = left.split_conjuncts();
                 v.extend(right.split_conjuncts());
                 v
@@ -343,12 +330,7 @@ impl Expr {
     /// If this is `lhs = rhs` where each side is a bare column, return the
     /// two references. Used to recognize correlation/join predicates.
     pub fn as_col_eq_col(&self) -> Option<((QuantId, usize), (QuantId, usize))> {
-        if let Expr::Binary {
-            op: BinOp::Eq,
-            left,
-            right,
-        } = self
-        {
+        if let Expr::Binary { op: BinOp::Eq, left, right } = self {
             if let (Expr::Col { quant: q1, col: c1 }, Expr::Col { quant: q2, col: c2 }) =
                 (left.as_ref(), right.as_ref())
             {
@@ -438,7 +420,11 @@ mod tests {
     #[test]
     fn contains_agg() {
         assert!(Expr::count_star().contains_agg());
-        let e = Expr::bin(BinOp::Mul, Expr::lit(0.2), Expr::agg(AggFunc::Avg, Expr::col(q(0), 0)));
+        let e = Expr::bin(
+            BinOp::Mul,
+            Expr::lit(0.2),
+            Expr::agg(AggFunc::Avg, Expr::col(q(0), 0)),
+        );
         assert!(e.contains_agg());
         assert!(!Expr::col(q(0), 0).contains_agg());
     }

@@ -29,6 +29,4 @@ pub mod validate;
 
 pub use correlation::CorrelationMap;
 pub use expr::{AggFunc, BinOp, Expr, Func, UnOp};
-pub use graph::{
-    BoxId, BoxKind, OutputCol, Qgm, QgmBox, QuantId, QuantKind, Quantifier,
-};
+pub use graph::{BoxId, BoxKind, OutputCol, Qgm, QgmBox, QuantId, QuantKind, Quantifier};

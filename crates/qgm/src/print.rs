@@ -24,7 +24,16 @@ pub fn render_from(qgm: &Qgm, root: BoxId) -> String {
         let b = qgm.boxref(id);
         let spj = if b.kind.is_spj() { "" } else { " (non-SPJ)" };
         let distinct = if b.distinct { " DISTINCT" } else { "" };
-        writeln!(s, "{} [{}{}]{} \"{}\"", id, b.kind.name(), spj, distinct, b.label).unwrap();
+        writeln!(
+            s,
+            "{} [{}{}]{} \"{}\"",
+            id,
+            b.kind.name(),
+            spj,
+            distinct,
+            b.label
+        )
+        .unwrap();
         match &b.kind {
             BoxKind::BaseTable { table, schema, .. } => {
                 writeln!(s, "    table {} {}", table, schema).unwrap();
@@ -40,15 +49,7 @@ pub fn render_from(qgm: &Qgm, root: BoxId) -> String {
         }
         for &qid in &b.quants {
             let q = qgm.quant(qid);
-            writeln!(
-                s,
-                "    {}:{} over {} \"{}\"",
-                qid,
-                q.kind,
-                q.input,
-                q.alias
-            )
-            .unwrap();
+            writeln!(s, "    {}:{} over {} \"{}\"", qid, q.kind, q.input, q.alias).unwrap();
         }
         for p in &b.preds {
             writeln!(s, "    pred {}", p).unwrap();
@@ -69,13 +70,108 @@ pub fn render_from(qgm: &Qgm, root: BoxId) -> String {
     s
 }
 
+/// EXPLAIN-style rendering: the graph as an indented operator tree, each
+/// box annotated with its output arity, quantifier kinds, distinctness,
+/// and the free (correlated) column references of its subtree.
+///
+/// This is the observability companion to [`render`]: `render` is the flat
+/// golden-trace format the figure tests compare against; `explain` is the
+/// human-facing plan display (`harness --trace`, equivalence-diff dumps)
+/// and may grow annotations freely.
+pub fn explain(qgm: &Qgm) -> String {
+    explain_from(qgm, qgm.top())
+}
+
+/// EXPLAIN the subgraph reachable from `root`.
+pub fn explain_from(qgm: &Qgm, root: BoxId) -> String {
+    let mut s = String::new();
+    let mut seen = decorr_common::FxHashSet::default();
+    explain_box(qgm, root, 0, &mut seen, &mut s);
+    s
+}
+
+fn explain_box(
+    qgm: &Qgm,
+    id: BoxId,
+    depth: usize,
+    seen: &mut decorr_common::FxHashSet<BoxId>,
+    out: &mut String,
+) {
+    let pad = "  ".repeat(depth);
+    let b = qgm.boxref(id);
+    let arity = qgm.output_arity(id);
+    if !seen.insert(id) {
+        // Shared box (SUPP, MAGIC, ...): expanded at its first occurrence.
+        writeln!(
+            out,
+            "{pad}{id} [{}] \"{}\" (shared, expanded above)",
+            b.kind.name(),
+            b.label
+        )
+        .unwrap();
+        return;
+    }
+    let distinct = if b.distinct { " DISTINCT" } else { "" };
+    writeln!(
+        out,
+        "{pad}{id} [{}] \"{}\" arity={arity}{distinct}",
+        b.kind.name(),
+        b.label
+    )
+    .unwrap();
+    match &b.kind {
+        BoxKind::BaseTable { table, schema, key } => {
+            writeln!(out, "{pad}  table {} {}", table, schema).unwrap();
+            if let Some(key) = key {
+                let cols: Vec<String> = key.iter().map(|c| format!("c{c}")).collect();
+                writeln!(out, "{pad}  key ({})", cols.join(", ")).unwrap();
+            }
+        }
+        BoxKind::Grouping { group_by } if !group_by.is_empty() => {
+            let gb: Vec<String> = group_by.iter().map(ToString::to_string).collect();
+            writeln!(out, "{pad}  group by {}", gb.join(", ")).unwrap();
+        }
+        BoxKind::Union { all } => {
+            writeln!(
+                out,
+                "{pad}  union {}",
+                if *all { "all" } else { "distinct" }
+            )
+            .unwrap();
+        }
+        _ => {}
+    }
+    for p in &b.preds {
+        writeln!(out, "{pad}  pred {}", p).unwrap();
+    }
+    for (i, o) in b.outputs.iter().enumerate() {
+        writeln!(out, "{pad}  out[{i}] {} := {}", o.name, o.expr).unwrap();
+    }
+    // Free references of the whole subtree: exactly what decorrelation
+    // must eliminate below this point.
+    let free = qgm.free_refs(id);
+    if !free.is_empty() {
+        let refs: Vec<String> = free.iter().map(|(q, c)| format!("{q}.c{c}")).collect();
+        writeln!(out, "{pad}  free refs: {}", refs.join(", ")).unwrap();
+    }
+    for &qid in &b.quants {
+        let q = qgm.quant(qid);
+        writeln!(out, "{pad}  {}:{} \"{}\" over:", qid, q.kind, q.alias).unwrap();
+        explain_box(qgm, q.input, depth + 2, seen, out);
+    }
+}
+
 /// A one-line-per-box summary, convenient in examples.
 pub fn summary(qgm: &Qgm) -> String {
     let cm = CorrelationMap::analyze(qgm);
     let mut s = String::new();
     for id in qgm.reachable_boxes(qgm.top()) {
         let b = qgm.boxref(id);
-        let corr = if cm.is_correlated(id) { " [correlated]" } else { "" };
+        let corr = if cm.is_correlated(id) {
+            " [correlated]"
+        } else {
+            ""
+        };
         writeln!(
             s,
             "{} {} \"{}\" quants={} preds={} outs={}{}",
@@ -105,7 +201,9 @@ mod tests {
         let t = g.add_base_table("emp", Schema::from_pairs(&[("x", DataType::Int)]));
         let top = g.add_box(BoxKind::Select, "top");
         let q = g.add_quant(top, QuantKind::Foreach, t, "E");
-        g.boxmut(top).preds.push(Expr::eq(Expr::col(q, 0), Expr::lit(1)));
+        g.boxmut(top)
+            .preds
+            .push(Expr::eq(Expr::col(q, 0), Expr::lit(1)));
         g.add_output(top, "x", Expr::col(q, 0));
         g.set_top(top);
 
@@ -129,7 +227,9 @@ mod tests {
         let q1 = g.add_quant(top, QuantKind::Foreach, t1, "A");
         let sub = g.add_box(BoxKind::Select, "sub");
         let q2 = g.add_quant(sub, QuantKind::Foreach, t2, "B");
-        g.boxmut(sub).preds.push(Expr::eq(Expr::col(q2, 0), Expr::col(q1, 0)));
+        g.boxmut(sub)
+            .preds
+            .push(Expr::eq(Expr::col(q2, 0), Expr::col(q1, 0)));
         g.add_output(sub, "y", Expr::col(q2, 0));
         let qs = g.add_quant(top, QuantKind::Existential, sub, "S");
         let _ = qs;
@@ -139,5 +239,60 @@ mod tests {
         let text = render(&g);
         assert!(text.contains("~ correlated on"));
         assert!(summary(&g).contains("[correlated]"));
+    }
+
+    #[test]
+    fn explain_annotates_arity_kinds_and_free_refs() {
+        let mut g = Qgm::new();
+        let t1 = g.add_base_table("a", Schema::from_pairs(&[("x", DataType::Int)]));
+        let t2 = g.add_base_table("b", Schema::from_pairs(&[("y", DataType::Int)]));
+        let top = g.add_box(BoxKind::Select, "top");
+        let q1 = g.add_quant(top, QuantKind::Foreach, t1, "A");
+        let sub = g.add_box(BoxKind::Select, "sub");
+        g.boxmut(sub).distinct = true;
+        let q2 = g.add_quant(sub, QuantKind::Foreach, t2, "B");
+        g.boxmut(sub)
+            .preds
+            .push(Expr::eq(Expr::col(q2, 0), Expr::col(q1, 0)));
+        g.add_output(sub, "y", Expr::col(q2, 0));
+        let _qs = g.add_quant(top, QuantKind::Existential, sub, "S");
+        g.add_output(top, "x", Expr::col(q1, 0));
+        g.set_top(top);
+
+        let text = explain(&g);
+        // Arity and distinctness annotations.
+        assert!(text.contains("arity=1 DISTINCT"), "{text}");
+        // Quantifier kinds (Foreach + Existential).
+        assert!(text.contains(":F \"A\" over:"), "{text}");
+        assert!(text.contains(":E \"S\" over:"), "{text}");
+        // The correlated subtree lists its free refs.
+        assert!(text.contains(&format!("free refs: {q1}.c0")), "{text}");
+        // The correlated source box itself has none.
+        assert!(
+            !text.lines().next().unwrap().contains("free refs"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn explain_marks_shared_boxes_once() {
+        let mut g = Qgm::new();
+        let t = g.add_base_table("t", Schema::from_pairs(&[("x", DataType::Int)]));
+        let shared = g.add_box(BoxKind::Select, "shared");
+        let qt = g.add_quant(shared, QuantKind::Foreach, t, "T");
+        g.add_output(shared, "x", Expr::col(qt, 0));
+        let top = g.add_box(BoxKind::Select, "top");
+        let qa = g.add_quant(top, QuantKind::Foreach, shared, "S1");
+        let qb = g.add_quant(top, QuantKind::Foreach, shared, "S2");
+        g.add_output(top, "x", Expr::col(qa, 0));
+        g.add_output(top, "x2", Expr::col(qb, 0));
+        g.set_top(top);
+
+        let text = explain(&g);
+        assert_eq!(
+            text.matches("(shared, expanded above)").count(),
+            1,
+            "{text}"
+        );
     }
 }

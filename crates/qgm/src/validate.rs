@@ -248,7 +248,9 @@ mod tests {
         let qt = g.add_quant(top, QuantKind::Foreach, t, "T");
         let sub = g.add_box(BoxKind::Select, "sub");
         let qs = g.add_quant(sub, QuantKind::Foreach, t, "T2");
-        g.boxmut(sub).preds.push(Expr::eq(Expr::col(qs, 0), Expr::col(qt, 0)));
+        g.boxmut(sub)
+            .preds
+            .push(Expr::eq(Expr::col(qs, 0), Expr::col(qt, 0)));
         g.add_output(sub, "x", Expr::col(qs, 0));
         let qe = g.add_quant(top, QuantKind::Existential, sub, "S");
         let _ = qe;
@@ -272,10 +274,7 @@ mod tests {
     fn rejects_bad_grouping_output() {
         let mut g = Qgm::new();
         let t = base(&mut g);
-        let grp = g.add_box(
-            BoxKind::Grouping { group_by: vec![] },
-            "g",
-        );
+        let grp = g.add_box(BoxKind::Grouping { group_by: vec![] }, "g");
         let q = g.add_quant(grp, QuantKind::Foreach, t, "T");
         // non-aggregate output that is not a grouping column
         g.add_output(grp, "x", Expr::col(q, 0));

@@ -23,7 +23,10 @@ fn substitute_replaces_only_the_named_quantifier() {
 fn substitute_reaches_aggregate_arguments_and_functions() {
     let mut e = Expr::Func {
         func: decorr_qgm::Func::Coalesce,
-        args: vec![Expr::agg(decorr_qgm::AggFunc::Sum, Expr::col(q(3), 0)), Expr::lit(0)],
+        args: vec![
+            Expr::agg(decorr_qgm::AggFunc::Sum, Expr::col(q(3), 0)),
+            Expr::lit(0),
+        ],
     };
     e.substitute(q(3), &mut |_| Expr::Lit(Value::Int(9)));
     assert_eq!(e.to_string(), "COALESCE(SUM(9), 0)");
@@ -94,12 +97,14 @@ fn free_refs_are_order_deterministic() {
     let sub = g.add_box(BoxKind::Select, "sub");
     let qs = g.add_quant(sub, QuantKind::Foreach, t, "T2");
     // Two correlated refs in one predicate, plus one in the output.
-    g.boxmut(sub).preds.push(Expr::bin(
-        BinOp::Lt,
-        Expr::col(qt, 1),
-        Expr::col(qs, 0),
-    ));
-    g.add_output(sub, "o", Expr::bin(BinOp::Add, Expr::col(qs, 1), Expr::col(qt, 0)));
+    g.boxmut(sub)
+        .preds
+        .push(Expr::bin(BinOp::Lt, Expr::col(qt, 1), Expr::col(qs, 0)));
+    g.add_output(
+        sub,
+        "o",
+        Expr::bin(BinOp::Add, Expr::col(qs, 1), Expr::col(qt, 0)),
+    );
     let qe = g.add_quant(top, QuantKind::Existential, sub, "S");
     let _ = qe;
     g.add_output(top, "x", Expr::col(qt, 0));

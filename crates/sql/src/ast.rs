@@ -39,7 +39,10 @@ pub enum SelectItem {
     /// `alias.*`
     QualifiedWildcard(String),
     /// `expr [AS name]`
-    Expr { expr: AstExpr, alias: Option<String> },
+    Expr {
+        expr: AstExpr,
+        alias: Option<String>,
+    },
 }
 
 /// A FROM-clause item.
@@ -81,7 +84,10 @@ pub enum CmpOp {
 #[derive(Debug, Clone, PartialEq)]
 pub enum AstExpr {
     /// `a` or `t.a` (at most two parts).
-    Ident { qualifier: Option<String>, name: String },
+    Ident {
+        qualifier: Option<String>,
+        name: String,
+    },
     Literal(Value),
     Binary {
         op: AstBinOp,
@@ -105,7 +111,10 @@ pub enum AstExpr {
     /// Scalar subquery `(SELECT ...)` in expression position.
     Subquery(Box<Query>),
     /// `[NOT] EXISTS (query)`
-    Exists { query: Box<Query>, negated: bool },
+    Exists {
+        query: Box<Query>,
+        negated: bool,
+    },
     /// `expr [NOT] IN (query)`
     InSubquery {
         expr: Box<AstExpr>,
@@ -126,7 +135,10 @@ pub enum AstExpr {
         query: Box<Query>,
     },
     /// `expr IS [NOT] NULL`
-    IsNull { expr: Box<AstExpr>, negated: bool },
+    IsNull {
+        expr: Box<AstExpr>,
+        negated: bool,
+    },
     /// `expr BETWEEN lo AND hi` (desugared by the binder).
     Between {
         expr: Box<AstExpr>,

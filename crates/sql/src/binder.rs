@@ -116,12 +116,18 @@ impl<'a> Binder<'a> {
                     (alias.clone(), bx)
                 }
             };
-            if scope.entries.iter().any(|(n, _)| n.eq_ignore_ascii_case(&name)) {
+            if scope
+                .entries
+                .iter()
+                .any(|(n, _)| n.eq_ignore_ascii_case(&name))
+            {
                 return Err(Error::binding(format!(
                     "duplicate FROM binding name '{name}'"
                 )));
             }
-            let q = self.qgm.add_quant(spj, QuantKind::Foreach, input, name.clone());
+            let q = self
+                .qgm
+                .add_quant(spj, QuantKind::Foreach, input, name.clone());
             scope.entries.push((name, q));
         }
 
@@ -143,7 +149,11 @@ impl<'a> Binder<'a> {
                 .items
                 .iter()
                 .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_agg()))
-            || sel.having.as_ref().map(AstExpr::contains_agg).unwrap_or(false);
+            || sel
+                .having
+                .as_ref()
+                .map(AstExpr::contains_agg)
+                .unwrap_or(false);
 
         if !has_agg {
             if sel.having.is_some() {
@@ -192,7 +202,9 @@ impl<'a> Binder<'a> {
         }
 
         // 2. Grouping box over the SPJ box.
-        let grp = self.qgm.add_box(BoxKind::Grouping { group_by: vec![] }, "groupby");
+        let grp = self
+            .qgm
+            .add_box(BoxKind::Grouping { group_by: vec![] }, "groupby");
         let qg = self.qgm.add_quant(grp, QuantKind::Foreach, spj, "g");
         let remap = |e: &Expr| -> Expr {
             let mut e = e.clone();
@@ -246,7 +258,9 @@ impl<'a> Binder<'a> {
                 continue;
             }
             let bound = match &call {
-                AstExpr::CountStar => Expr::Agg { func: AggFunc::Count, arg: None, distinct: false },
+                AstExpr::CountStar => {
+                    Expr::Agg { func: AggFunc::Count, arg: None, distinct: false }
+                }
                 AstExpr::Agg { func, arg, distinct } => {
                     let a = self.bind_scalar(arg, scope)?;
                     Expr::Agg {
@@ -257,7 +271,9 @@ impl<'a> Binder<'a> {
                 }
                 _ => unreachable!(),
             };
-            let idx = self.qgm.add_output(grp, format!("agg{}", agg_pos.len()), bound);
+            let idx = self
+                .qgm
+                .add_output(grp, format!("agg{}", agg_pos.len()), bound);
             agg_pos.push((call, idx));
         }
 
@@ -267,7 +283,9 @@ impl<'a> Binder<'a> {
         // expressions with references into the Grouping box output.
         let grp_quant_placeholder = QuantId::from_index(u32::MAX - 1);
         for (i, item) in sel.items.iter().enumerate() {
-            let SelectItem::Expr { expr, alias } = item else { unreachable!() };
+            let SelectItem::Expr { expr, alias } = item else {
+                unreachable!()
+            };
             let name = alias.clone().unwrap_or_else(|| match expr {
                 AstExpr::Ident { name, .. } => name.clone(),
                 _ => format!("col{i}"),
@@ -389,9 +407,13 @@ impl<'a> Binder<'a> {
             AstExpr::Coalesce(args) => {
                 let mut bound = Vec::with_capacity(args.len());
                 for a in args {
-                    bound.push(
-                        self.bind_item_over_group(a, scope, group_exprs, agg_pos, placeholder)?,
-                    );
+                    bound.push(self.bind_item_over_group(
+                        a,
+                        scope,
+                        group_exprs,
+                        agg_pos,
+                        placeholder,
+                    )?);
                 }
                 Ok(Expr::Func { func: Func::Coalesce, args: bound })
             }
@@ -399,13 +421,20 @@ impl<'a> Binder<'a> {
                 let inner =
                     self.bind_item_over_group(expr, scope, group_exprs, agg_pos, placeholder)?;
                 Ok(Expr::Unary {
-                    op: if *negated { UnOp::IsNotNull } else { UnOp::IsNull },
+                    op: if *negated {
+                        UnOp::IsNotNull
+                    } else {
+                        UnOp::IsNull
+                    },
                     expr: Box::new(inner),
                 })
             }
             AstExpr::Ident { qualifier, name } => Err(Error::binding(format!(
                 "column '{}{name}' must appear in GROUP BY or inside an aggregate",
-                qualifier.as_deref().map(|q| format!("{q}.")).unwrap_or_default()
+                qualifier
+                    .as_deref()
+                    .map(|q| format!("{q}."))
+                    .unwrap_or_default()
             ))),
             other => Err(Error::binding(format!(
                 "unsupported expression with GROUP BY: {other:?}"
@@ -432,7 +461,9 @@ impl<'a> Binder<'a> {
             AstExpr::Exists { query, negated: true } => {
                 // NOT EXISTS (q)  ≡  0 = (SELECT COUNT(*) FROM (q)).
                 let sub = self.bind_set_expr(&query.body, Some(scope))?;
-                let grp = self.qgm.add_box(BoxKind::Grouping { group_by: vec![] }, "notexists");
+                let grp = self
+                    .qgm
+                    .add_box(BoxKind::Grouping { group_by: vec![] }, "notexists");
                 self.qgm.add_quant(grp, QuantKind::Foreach, sub, "ne");
                 self.qgm.add_output(grp, "cnt", Expr::count_star());
                 let qs = self.qgm.add_quant(spj, QuantKind::Scalar, grp, "nec");
@@ -460,8 +491,14 @@ impl<'a> Binder<'a> {
                         "quantified subquery must produce one column",
                     ));
                 }
-                let kind = if *all { QuantKind::All } else { QuantKind::Existential };
-                let q = self.qgm.add_quant(spj, kind, sub, if *all { "all" } else { "any" });
+                let kind = if *all {
+                    QuantKind::All
+                } else {
+                    QuantKind::Existential
+                };
+                let q = self
+                    .qgm
+                    .add_quant(spj, kind, sub, if *all { "all" } else { "any" });
                 let binop = match op {
                     CmpOp::Eq => BinOp::Eq,
                     CmpOp::Ne => BinOp::Ne,
@@ -500,7 +537,9 @@ impl<'a> Binder<'a> {
         scope: &Scope<'_>,
     ) -> Result<Expr> {
         match e {
-            AstExpr::Ident { qualifier, name } => self.resolve_ident(qualifier.as_deref(), name, scope),
+            AstExpr::Ident { qualifier, name } => {
+                self.resolve_ident(qualifier.as_deref(), name, scope)
+            }
             AstExpr::Literal(v) => Ok(Expr::Lit(v.clone())),
             AstExpr::Binary { op, left, right } => Ok(Expr::bin(
                 map_binop(*op)?,
@@ -522,7 +561,11 @@ impl<'a> Binder<'a> {
                 Ok(Expr::Func { func: Func::Coalesce, args: bound })
             }
             AstExpr::IsNull { expr, negated } => Ok(Expr::Unary {
-                op: if *negated { UnOp::IsNotNull } else { UnOp::IsNull },
+                op: if *negated {
+                    UnOp::IsNotNull
+                } else {
+                    UnOp::IsNull
+                },
                 expr: Box::new(self.bind_scalar_inner(expr, spj, scope)?),
             }),
             AstExpr::Between { expr, lo, hi, negated } => {
@@ -561,11 +604,7 @@ impl<'a> Binder<'a> {
             AstExpr::CountStar => Ok(Expr::count_star()),
             AstExpr::Agg { func, arg, distinct } => {
                 let a = self.bind_scalar_inner(arg, spj, scope)?;
-                Ok(Expr::Agg {
-                    func: map_agg(*func),
-                    arg: Some(Box::new(a)),
-                    distinct: *distinct,
-                })
+                Ok(Expr::Agg { func: map_agg(*func), arg: Some(Box::new(a)), distinct: *distinct })
             }
             AstExpr::Subquery(q) => {
                 let Some(owner) = spj else {
@@ -584,8 +623,7 @@ impl<'a> Binder<'a> {
             }
             AstExpr::Exists { .. } | AstExpr::InSubquery { .. } | AstExpr::Quantified { .. } => {
                 Err(Error::binding(
-                    "EXISTS / IN / ANY / ALL must appear as top-level WHERE conjuncts"
-                        .to_string(),
+                    "EXISTS / IN / ANY / ALL must appear as top-level WHERE conjuncts".to_string(),
                 ))
             }
         }
@@ -670,10 +708,7 @@ impl<'a> Binder<'a> {
                 SelectItem::Expr { expr, alias } => {
                     // Select items live in the block's SPJ box; scalar
                     // subqueries there attach to it via the scope's owner.
-                    let owner = scope
-                        .entries
-                        .first()
-                        .map(|(_, q)| self.qgm.quant(*q).owner);
+                    let owner = scope.entries.first().map(|(_, q)| self.qgm.quant(*q).owner);
                     let e = match owner {
                         Some(o) => self.bind_scalar_in(expr, o, scope)?,
                         None => self.bind_scalar(expr, scope)?,

@@ -56,9 +56,9 @@ impl fmt::Display for TokenKind {
 }
 
 const KEYWORDS: &[&str] = &[
-    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "UNION", "ALL", "AS",
-    "AND", "OR", "NOT", "IN", "EXISTS", "ANY", "SOME", "IS", "NULL", "TRUE", "FALSE",
-    "BETWEEN", "COUNT", "SUM", "AVG", "MIN", "MAX", "COALESCE", "ORDER", "ASC", "DESC",
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "UNION", "ALL", "AS", "AND",
+    "OR", "NOT", "IN", "EXISTS", "ANY", "SOME", "IS", "NULL", "TRUE", "FALSE", "BETWEEN", "COUNT",
+    "SUM", "AVG", "MIN", "MAX", "COALESCE", "ORDER", "ASC", "DESC",
 ];
 
 /// Tokenize a SQL string.
@@ -164,7 +164,9 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
-                if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len()
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && i + 1 < bytes.len()
                     && bytes[i + 1].is_ascii_digit()
                 {
                     i += 1;

@@ -114,11 +114,7 @@ impl Parser {
             self.advance();
             let all = self.eat_keyword("ALL");
             let right = self.parse_set_primary()?;
-            left = SetExpr::Union {
-                left: Box::new(left),
-                right: Box::new(right),
-                all,
-            };
+            left = SetExpr::Union { left: Box::new(left), right: Box::new(right), all };
         }
         Ok(left)
     }
@@ -166,14 +162,7 @@ impl Parser {
         if self.is_keyword("ORDER") {
             return Err(self.error_here("ORDER BY is not supported"));
         }
-        Ok(Select {
-            distinct,
-            items,
-            from,
-            where_clause,
-            group_by,
-            having,
-        })
+        Ok(Select { distinct, items, from, where_clause, group_by, having })
     }
 
     fn parse_select_item(&mut self) -> Result<SelectItem> {
@@ -216,11 +205,7 @@ impl Parser {
                 }
                 self.expect(TokenKind::RParen)?;
             }
-            return Ok(TableRef::Derived {
-                query: Box::new(query),
-                alias,
-                columns,
-            });
+            return Ok(TableRef::Derived { query: Box::new(query), alias, columns });
         }
         let name = self.expect_ident()?;
         // Paper-style derived table: alias(cols) AS (query)
@@ -235,11 +220,7 @@ impl Parser {
             self.expect(TokenKind::LParen)?;
             let query = self.parse_query()?;
             self.expect(TokenKind::RParen)?;
-            return Ok(TableRef::Derived {
-                query: Box::new(query),
-                alias: name,
-                columns,
-            });
+            return Ok(TableRef::Derived { query: Box::new(query), alias: name, columns });
         }
         let alias = if self.eat_keyword("AS") {
             Some(self.expect_ident()?)
@@ -262,11 +243,8 @@ impl Parser {
         let mut left = self.parse_and()?;
         while self.eat_keyword("OR") {
             let right = self.parse_and()?;
-            left = AstExpr::Binary {
-                op: AstBinOp::Or,
-                left: Box::new(left),
-                right: Box::new(right),
-            };
+            left =
+                AstExpr::Binary { op: AstBinOp::Or, left: Box::new(left), right: Box::new(right) };
         }
         Ok(left)
     }
@@ -275,11 +253,8 @@ impl Parser {
         let mut left = self.parse_not()?;
         while self.eat_keyword("AND") {
             let right = self.parse_not()?;
-            left = AstExpr::Binary {
-                op: AstBinOp::And,
-                left: Box::new(left),
-                right: Box::new(right),
-            };
+            left =
+                AstExpr::Binary { op: AstBinOp::And, left: Box::new(left), right: Box::new(right) };
         }
         Ok(left)
     }
@@ -293,10 +268,7 @@ impl Parser {
                 return Ok(AstExpr::Exists { query: Box::new(query), negated: true });
             }
             let inner = self.parse_not()?;
-            return Ok(AstExpr::Unary {
-                op: AstUnOp::Not,
-                expr: Box::new(inner),
-            });
+            return Ok(AstExpr::Unary { op: AstUnOp::Not, expr: Box::new(inner) });
         }
         self.parse_comparison()
     }
@@ -354,11 +326,7 @@ impl Parser {
                 list.push(self.parse_expr()?);
             }
             self.expect(TokenKind::RParen)?;
-            return Ok(AstExpr::InList {
-                expr: Box::new(left),
-                list,
-                negated,
-            });
+            return Ok(AstExpr::InList { expr: Box::new(left), list, negated });
         }
 
         if negated {
@@ -398,11 +366,7 @@ impl Parser {
                 CmpOp::Gt => AstBinOp::Gt,
                 CmpOp::Ge => AstBinOp::Ge,
             };
-            return Ok(AstExpr::Binary {
-                op: bin,
-                left: Box::new(left),
-                right: Box::new(right),
-            });
+            return Ok(AstExpr::Binary { op: bin, left: Box::new(left), right: Box::new(right) });
         }
 
         Ok(left)
@@ -419,11 +383,7 @@ impl Parser {
                 break;
             };
             let right = self.parse_multiplicative()?;
-            left = AstExpr::Binary {
-                op,
-                left: Box::new(left),
-                right: Box::new(right),
-            };
+            left = AstExpr::Binary { op, left: Box::new(left), right: Box::new(right) };
         }
         Ok(left)
     }
@@ -439,11 +399,7 @@ impl Parser {
                 break;
             };
             let right = self.parse_unary()?;
-            left = AstExpr::Binary {
-                op,
-                left: Box::new(left),
-                right: Box::new(right),
-            };
+            left = AstExpr::Binary { op, left: Box::new(left), right: Box::new(right) };
         }
         Ok(left)
     }
@@ -451,10 +407,7 @@ impl Parser {
     fn parse_unary(&mut self) -> Result<AstExpr> {
         if self.eat(&TokenKind::Minus) {
             let inner = self.parse_unary()?;
-            return Ok(AstExpr::Unary {
-                op: AstUnOp::Neg,
-                expr: Box::new(inner),
-            });
+            return Ok(AstExpr::Unary { op: AstUnOp::Neg, expr: Box::new(inner) });
         }
         self.parse_primary()
     }
@@ -524,15 +477,9 @@ impl Parser {
                 let distinct = self.eat_keyword("DISTINCT");
                 let arg = self.parse_expr()?;
                 self.expect(TokenKind::RParen)?;
-                Ok(AstExpr::Agg {
-                    func: AstAggFunc::Count,
-                    arg: Box::new(arg),
-                    distinct,
-                })
+                Ok(AstExpr::Agg { func: AstAggFunc::Count, arg: Box::new(arg), distinct })
             }
-            TokenKind::Keyword(k)
-                if k == "SUM" || k == "AVG" || k == "MIN" || k == "MAX" =>
-            {
+            TokenKind::Keyword(k) if k == "SUM" || k == "AVG" || k == "MIN" || k == "MAX" => {
                 self.advance();
                 let func = match k.as_str() {
                     "SUM" => AstAggFunc::Sum,
@@ -544,11 +491,7 @@ impl Parser {
                 let distinct = self.eat_keyword("DISTINCT");
                 let arg = self.parse_expr()?;
                 self.expect(TokenKind::RParen)?;
-                Ok(AstExpr::Agg {
-                    func,
-                    arg: Box::new(arg),
-                    distinct,
-                })
+                Ok(AstExpr::Agg { func, arg: Box::new(arg), distinct })
             }
             TokenKind::Keyword(k) if k == "COALESCE" => {
                 self.advance();
@@ -576,15 +519,9 @@ impl Parser {
                 self.advance();
                 if self.eat(&TokenKind::Dot) {
                     let name = self.expect_ident()?;
-                    Ok(AstExpr::Ident {
-                        qualifier: Some(first),
-                        name,
-                    })
+                    Ok(AstExpr::Ident { qualifier: Some(first), name })
                 } else {
-                    Ok(AstExpr::Ident {
-                        qualifier: None,
-                        name: first,
-                    })
+                    Ok(AstExpr::Ident { qualifier: None, name: first })
                 }
             }
             _ => Err(self.error_here("expected expression")),
@@ -616,16 +553,22 @@ mod tests {
         let SetExpr::Select(s) = q.body else { panic!() };
         let w = s.where_clause.unwrap();
         // AND of two predicates; RHS of second is a scalar subquery.
-        let AstExpr::Binary { op: AstBinOp::And, right, .. } = w else { panic!() };
-        let AstExpr::Binary { op: AstBinOp::Gt, right: sub, .. } = *right else { panic!() };
+        let AstExpr::Binary { op: AstBinOp::And, right, .. } = w else {
+            panic!()
+        };
+        let AstExpr::Binary { op: AstBinOp::Gt, right: sub, .. } = *right else {
+            panic!()
+        };
         assert!(matches!(*sub, AstExpr::Subquery(_)));
     }
 
     #[test]
     fn union_all_and_nesting() {
-        let q = parse("(SELECT a FROM t) UNION ALL (SELECT b FROM u) UNION SELECT c FROM v")
-            .unwrap();
-        let SetExpr::Union { all, left, .. } = q.body else { panic!() };
+        let q =
+            parse("(SELECT a FROM t) UNION ALL (SELECT b FROM u) UNION SELECT c FROM v").unwrap();
+        let SetExpr::Union { all, left, .. } = q.body else {
+            panic!()
+        };
         assert!(!all); // outermost union is distinct
         assert!(matches!(*left, SetExpr::Union { all: true, .. }));
     }
@@ -633,12 +576,16 @@ mod tests {
     #[test]
     fn derived_tables_both_spellings() {
         let q1 = parse("SELECT x FROM (SELECT a AS x FROM t) AS d").unwrap();
-        let SetExpr::Select(s1) = q1.body else { panic!() };
+        let SetExpr::Select(s1) = q1.body else {
+            panic!()
+        };
         assert!(matches!(&s1.from[0], TableRef::Derived { alias, .. } if alias == "d"));
 
         // the paper's "DT(sumbal) AS (SELECT ...)" spelling
         let q2 = parse("SELECT sumbal FROM DT(sumbal) AS (SELECT sum(b) FROM t)").unwrap();
-        let SetExpr::Select(s2) = q2.body else { panic!() };
+        let SetExpr::Select(s2) = q2.body else {
+            panic!()
+        };
         match &s2.from[0] {
             TableRef::Derived { alias, columns, .. } => {
                 assert_eq!(alias, "DT");
@@ -650,21 +597,29 @@ mod tests {
 
     #[test]
     fn quantified_and_in() {
-        let q = parse("SELECT a FROM t WHERE a > ALL (SELECT b FROM u) AND a IN (1, 2, 3)")
-            .unwrap();
+        let q =
+            parse("SELECT a FROM t WHERE a > ALL (SELECT b FROM u) AND a IN (1, 2, 3)").unwrap();
         let SetExpr::Select(s) = q.body else { panic!() };
         let AstExpr::Binary { op: AstBinOp::And, left, right } = s.where_clause.unwrap() else {
             panic!()
         };
-        assert!(matches!(*left, AstExpr::Quantified { all: true, op: CmpOp::Gt, .. }));
+        assert!(matches!(
+            *left,
+            AstExpr::Quantified { all: true, op: CmpOp::Gt, .. }
+        ));
         assert!(matches!(*right, AstExpr::InList { negated: false, .. }));
     }
 
     #[test]
     fn exists_and_not_exists() {
-        let q = parse("SELECT a FROM t WHERE EXISTS (SELECT b FROM u) AND NOT EXISTS (SELECT c FROM v)").unwrap();
+        let q = parse(
+            "SELECT a FROM t WHERE EXISTS (SELECT b FROM u) AND NOT EXISTS (SELECT c FROM v)",
+        )
+        .unwrap();
         let SetExpr::Select(s) = q.body else { panic!() };
-        let AstExpr::Binary { left, right, .. } = s.where_clause.unwrap() else { panic!() };
+        let AstExpr::Binary { left, right, .. } = s.where_clause.unwrap() else {
+            panic!()
+        };
         assert!(matches!(*left, AstExpr::Exists { negated: false, .. }));
         assert!(matches!(*right, AstExpr::Exists { negated: true, .. }));
     }
@@ -691,9 +646,13 @@ mod tests {
     fn arithmetic_precedence() {
         let q = parse("SELECT 1 + 2 * 3 FROM t").unwrap();
         let SetExpr::Select(s) = q.body else { panic!() };
-        let SelectItem::Expr { expr, .. } = &s.items[0] else { panic!() };
+        let SelectItem::Expr { expr, .. } = &s.items[0] else {
+            panic!()
+        };
         // Should parse as 1 + (2 * 3)
-        let AstExpr::Binary { op: AstBinOp::Add, right, .. } = expr else { panic!() };
+        let AstExpr::Binary { op: AstBinOp::Add, right, .. } = expr else {
+            panic!()
+        };
         assert!(matches!(**right, AstExpr::Binary { op: AstBinOp::Mul, .. }));
     }
 
@@ -701,7 +660,9 @@ mod tests {
     fn between_and_is_null() {
         let q = parse("SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b IS NOT NULL").unwrap();
         let SetExpr::Select(s) = q.body else { panic!() };
-        let AstExpr::Binary { left, right, .. } = s.where_clause.unwrap() else { panic!() };
+        let AstExpr::Binary { left, right, .. } = s.where_clause.unwrap() else {
+            panic!()
+        };
         assert!(matches!(*left, AstExpr::Between { negated: false, .. }));
         assert!(matches!(*right, AstExpr::IsNull { negated: true, .. }));
     }
@@ -709,7 +670,9 @@ mod tests {
     #[test]
     fn wildcards() {
         let q = parse("SELECT *, s.* FROM s, t").unwrap();
-        let SetExpr::Select(sel) = q.body else { panic!() };
+        let SetExpr::Select(sel) = q.body else {
+            panic!()
+        };
         assert!(matches!(sel.items[0], SelectItem::Wildcard));
         assert!(matches!(&sel.items[1], SelectItem::QualifiedWildcard(a) if a == "s"));
     }

@@ -137,11 +137,7 @@ fn union_arity_mismatch_rejected() {
 #[test]
 fn derived_table_with_column_renames() {
     let db = empdept_db();
-    let g = parse_and_bind(
-        "SELECT b FROM (SELECT building FROM emp) AS d(b)",
-        &db,
-    )
-    .unwrap();
+    let g = parse_and_bind("SELECT b FROM (SELECT building FROM emp) AS d(b)", &db).unwrap();
     assert_eq!(g.output_name(g.top(), 0), "b");
 }
 

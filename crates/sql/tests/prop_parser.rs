@@ -25,7 +25,14 @@ fn db() -> Database {
 
 /// A generator of syntactically valid SELECT queries over t(a, b), u(a, c).
 fn valid_query() -> impl Strategy<Value = String> {
-    let cmp = prop_oneof![Just("<"), Just("<="), Just(">"), Just(">="), Just("="), Just("<>")];
+    let cmp = prop_oneof![
+        Just("<"),
+        Just("<="),
+        Just(">"),
+        Just(">="),
+        Just("="),
+        Just("<>")
+    ];
     let agg = prop_oneof![
         Just("COUNT(*)".to_string()),
         Just("SUM(u.c)".to_string()),

@@ -19,8 +19,10 @@ pub struct HashIndex {
 impl HashIndex {
     /// Build an index on `columns` over the given rows.
     ///
-    /// Rows whose key contains a NULL are not indexed: an SQL equality
-    /// predicate can never select them.
+    /// Keys are normalized with [`Value::eq_key`]: rows whose key contains
+    /// a NULL or a NaN are not indexed (an SQL equality predicate can never
+    /// select them) and -0.0 is stored as 0.0, so lookups agree exactly
+    /// with `=` predicate evaluation.
     pub fn build(columns: Vec<usize>, rows: &[Row]) -> Self {
         let mut map: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
         for (pos, row) in rows.iter().enumerate() {
@@ -32,15 +34,7 @@ impl HashIndex {
     }
 
     fn key_of(columns: &[usize], row: &Row) -> Option<Vec<Value>> {
-        let mut key = Vec::with_capacity(columns.len());
-        for &c in columns {
-            let v = row[c].clone();
-            if v.is_null() {
-                return None;
-            }
-            key.push(v);
-        }
-        Some(key)
+        columns.iter().map(|&c| row[c].eq_key()).collect()
     }
 
     /// The indexed column positions.
@@ -55,12 +49,27 @@ impl HashIndex {
     }
 
     /// Positions of rows whose indexed columns equal `key` (ordered as
-    /// [`HashIndex::columns`]). NULL keys match nothing.
+    /// [`HashIndex::columns`]), under SQL `=` semantics: NULL and NaN keys
+    /// match nothing, -0.0 matches rows storing 0.0.
     pub fn lookup(&self, key: &[Value]) -> &[usize] {
-        if key.iter().any(Value::is_null) {
-            return &[];
+        // Normalize the probe the same way keys were normalized at build
+        // time, allocating only when normalization actually changes it.
+        let mut owned: Option<Vec<Value>> = None;
+        for (i, v) in key.iter().enumerate() {
+            let Some(n) = v.eq_key() else { return &[] };
+            if let Some(o) = owned.as_mut() {
+                o.push(n);
+            } else if n != *v {
+                let mut o = key[..i].to_vec();
+                o.push(n);
+                owned = Some(o);
+            }
         }
-        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+        let positions = match &owned {
+            Some(o) => self.map.get(o.as_slice()),
+            None => self.map.get(key),
+        };
+        positions.map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Register a newly appended row (position `pos`).
@@ -82,7 +91,12 @@ mod tests {
     use decorr_common::row;
 
     fn rows() -> Vec<Row> {
-        vec![row![1, "a"], row![2, "b"], row![1, "c"], row![Value::Null, "d"]]
+        vec![
+            row![1, "a"],
+            row![2, "b"],
+            row![1, "c"],
+            row![Value::Null, "d"],
+        ]
     }
 
     #[test]

@@ -19,13 +19,7 @@ pub struct Table {
 impl Table {
     /// Create an empty table.
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
-        Table {
-            name: name.into(),
-            schema,
-            rows: Vec::new(),
-            key: None,
-            indexes: Vec::new(),
-        }
+        Table { name: name.into(), schema, rows: Vec::new(), key: None, indexes: Vec::new() }
     }
 
     pub fn name(&self) -> &str {
@@ -157,7 +151,8 @@ mod tests {
             "emp",
             Schema::from_pairs(&[("name", DataType::Str), ("building", DataType::Int)]),
         );
-        t.insert_all(vec![row!["a", 1], row!["b", 2], row!["c", 1]]).unwrap();
+        t.insert_all(vec![row!["a", 1], row!["b", 2], row!["c", 1]])
+            .unwrap();
         t
     }
 

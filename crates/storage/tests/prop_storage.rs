@@ -6,7 +6,10 @@ use decorr_storage::Table;
 use proptest::prelude::*;
 
 fn rows() -> impl Strategy<Value = Vec<(Option<i64>, i64)>> {
-    prop::collection::vec((prop::option::weighted(0.85, -5i64..5), any::<i64>()), 0..200)
+    prop::collection::vec(
+        (prop::option::weighted(0.85, -5i64..5), any::<i64>()),
+        0..200,
+    )
 }
 
 fn build(data: &[(Option<i64>, i64)]) -> Table {

@@ -125,6 +125,9 @@ mod tests {
         let cfg = EmpDeptConfig { seed: 9, ..Default::default() };
         let a = generate(&cfg).unwrap();
         let b = generate(&cfg).unwrap();
-        assert_eq!(a.table("emp").unwrap().rows(), b.table("emp").unwrap().rows());
+        assert_eq!(
+            a.table("emp").unwrap().rows(),
+            b.table("emp").unwrap().rows()
+        );
     }
 }

@@ -8,15 +8,35 @@ use rand::{Rng, SeedableRng};
 /// The 25 TPC-D nations, five per region.
 pub const NATIONS: [&str; 25] = [
     // AMERICA
-    "UNITED STATES", "CANADA", "BRAZIL", "ARGENTINA", "PERU",
+    "UNITED STATES",
+    "CANADA",
+    "BRAZIL",
+    "ARGENTINA",
+    "PERU",
     // EUROPE
-    "FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM",
+    "FRANCE",
+    "GERMANY",
+    "ROMANIA",
+    "RUSSIA",
+    "UNITED KINGDOM",
     // ASIA
-    "CHINA", "INDIA", "JAPAN", "INDONESIA", "VIETNAM",
+    "CHINA",
+    "INDIA",
+    "JAPAN",
+    "INDONESIA",
+    "VIETNAM",
     // AFRICA
-    "ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE",
+    "ALGERIA",
+    "ETHIOPIA",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
     // MIDDLE EAST
-    "EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA",
+    "EGYPT",
+    "IRAN",
+    "IRAQ",
+    "JORDAN",
+    "SAUDI ARABIA",
 ];
 
 /// The five regions; `NATIONS[i]` belongs to `REGIONS[i / 5]`.
@@ -24,11 +44,31 @@ pub const REGIONS: [&str; 5] = ["AMERICA", "EUROPE", "ASIA", "AFRICA", "MIDDLE E
 
 /// 25 part types ("BRASS" is what Query 1 selects).
 pub const PART_TYPES: [&str; 25] = [
-    "BRASS", "COPPER", "NICKEL", "STEEL", "TIN",
-    "ANODIZED BRASS", "ANODIZED COPPER", "ANODIZED NICKEL", "ANODIZED STEEL", "ANODIZED TIN",
-    "BURNISHED BRASS", "BURNISHED COPPER", "BURNISHED NICKEL", "BURNISHED STEEL", "BURNISHED TIN",
-    "PLATED BRASS", "PLATED COPPER", "PLATED NICKEL", "PLATED STEEL", "PLATED TIN",
-    "POLISHED BRASS", "POLISHED COPPER", "POLISHED NICKEL", "POLISHED STEEL", "POLISHED TIN",
+    "BRASS",
+    "COPPER",
+    "NICKEL",
+    "STEEL",
+    "TIN",
+    "ANODIZED BRASS",
+    "ANODIZED COPPER",
+    "ANODIZED NICKEL",
+    "ANODIZED STEEL",
+    "ANODIZED TIN",
+    "BURNISHED BRASS",
+    "BURNISHED COPPER",
+    "BURNISHED NICKEL",
+    "BURNISHED STEEL",
+    "BURNISHED TIN",
+    "PLATED BRASS",
+    "PLATED COPPER",
+    "PLATED NICKEL",
+    "PLATED STEEL",
+    "PLATED TIN",
+    "POLISHED BRASS",
+    "POLISHED COPPER",
+    "POLISHED NICKEL",
+    "POLISHED STEEL",
+    "POLISHED TIN",
 ];
 
 /// Four containers ("6 PACK" is what Query 2 selects); the small domain
@@ -36,8 +76,13 @@ pub const PART_TYPES: [&str; 25] = [
 pub const CONTAINERS: [&str; 4] = ["6 PACK", "12 PACK", "JUMBO PKG", "LG CASE"];
 
 /// Five market segments (Query 3 selects BUILDING and FURNITURE).
-pub const SEGMENTS: [&str; 5] =
-    ["BUILDING", "FURNITURE", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD"];
+pub const SEGMENTS: [&str; 5] = [
+    "BUILDING",
+    "FURNITURE",
+    "AUTOMOBILE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 
 /// Number of partsupp entries per part (80,000 / 20,000).
 pub const SUPPLIERS_PER_PART: usize = 4;
@@ -140,11 +185,7 @@ pub fn generate(cfg: &TpcdConfig) -> Result<Database> {
             ]),
         )?;
         for i in 0..card.parts {
-            let brand = format!(
-                "Brand#{}{}",
-                rng.gen_range(1..=5),
-                rng.gen_range(1..=5)
-            );
+            let brand = format!("Brand#{}{}", rng.gen_range(1..=5), rng.gen_range(1..=5));
             t.insert(Row::new(vec![
                 Value::Int(i as i64 + 1),
                 Value::str(format!("part {:06}", i + 1)),
@@ -302,7 +343,9 @@ mod tests {
         // 50 suppliers over 25 nations: exactly 2 per nation.
         let mut per_nation = std::collections::HashMap::new();
         for r in t.rows() {
-            *per_nation.entry(r[6].as_str().unwrap().to_string()).or_insert(0) += 1;
+            *per_nation
+                .entry(r[6].as_str().unwrap().to_string())
+                .or_insert(0) += 1;
         }
         assert_eq!(per_nation.len(), 25);
         assert!(per_nation.values().all(|&v| v == 2));

@@ -41,7 +41,12 @@ fn main() -> Result<()> {
         assert_eq!(rows, truth);
         println!(
             "{:<6} {:<14} {:>10} {:>10} {:>12} {:>10.2}",
-            n, "NI-broadcast", ni.fragments, ni.messages, ni.total_work(), ni.skew()
+            n,
+            "NI-broadcast",
+            ni.fragments,
+            ni.messages,
+            ni.total_work(),
+            ni.skew()
         );
 
         let mut cluster = Cluster::partition_by_key(&db, n)?;
@@ -55,7 +60,12 @@ fn main() -> Result<()> {
         assert_eq!(rows, truth);
         println!(
             "{:<6} {:<14} {:>10} {:>10} {:>12} {:>10.2}",
-            n, "Magic", dc.fragments, dc.messages, dc.total_work(), dc.skew()
+            n,
+            "Magic",
+            dc.fragments,
+            dc.messages,
+            dc.total_work(),
+            dc.skew()
         );
     }
     println!(

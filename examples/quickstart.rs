@@ -48,7 +48,10 @@ fn main() -> Result<()> {
                Where D.budget < 10000 and D.num_emps > \
                (Select Count(*) From Emp E Where D.building = E.building)";
     let qgm = parse_and_bind(sql, &db)?;
-    println!("=== correlated QGM (Figure 1) ===\n{}", qgm_print::render(&qgm));
+    println!(
+        "=== correlated QGM (Figure 1) ===\n{}",
+        qgm_print::render(&qgm)
+    );
 
     // 3. Execute it as-is: System R nested iteration.
     let (mut ni_rows, ni_stats) = execute(&db, &qgm)?;
@@ -63,7 +66,10 @@ fn main() -> Result<()> {
     //    outer join, and a grouped, set-oriented subquery.
     let decorrelated = apply_strategy(&qgm, Strategy::Magic)?;
     validate(&decorrelated)?;
-    println!("\n=== decorrelated QGM (Section 2.1) ===\n{}", qgm_print::render(&decorrelated));
+    println!(
+        "\n=== decorrelated QGM (Section 2.1) ===\n{}",
+        qgm_print::render(&decorrelated)
+    );
 
     let (mut mag_rows, mag_stats) = execute(&db, &decorrelated)?;
     mag_rows.sort();

@@ -53,7 +53,10 @@ fn main() -> Result<()> {
     )?;
     validate(&mid)?;
     println!("===== Figures 2-4: after FEED + ABSORB (cleanup off) =====");
-    println!("feeds={} absorbs={} count-bug repairs={}", rep.feeds, rep.absorbs, rep.loj_repairs);
+    println!(
+        "feeds={} absorbs={} count-bug repairs={}",
+        rep.feeds, rep.absorbs, rep.loj_repairs
+    );
     println!("{}", qgm_print::render(&mid));
 
     // The full pipeline: block merging turns the CI box's correlated

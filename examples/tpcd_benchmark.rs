@@ -23,7 +23,12 @@ fn main() -> Result<()> {
         (
             "Query 1 (minimum-cost supplier)",
             queries::Q1A,
-            vec![Strategy::NestedIteration, Strategy::Kim, Strategy::Dayal, Strategy::Magic],
+            vec![
+                Strategy::NestedIteration,
+                Strategy::Kim,
+                Strategy::Dayal,
+                Strategy::Magic,
+            ],
             ExecOptions::default(),
         ),
         (
@@ -37,7 +42,10 @@ fn main() -> Result<()> {
                 Strategy::OptMag,
             ],
             // The paper's optimizer placed the subquery before the join.
-            ExecOptions { scalar_placement: ScalarPlacement::EarliestBinding, ..Default::default() },
+            ExecOptions {
+                scalar_placement: ScalarPlacement::EarliestBinding,
+                ..Default::default()
+            },
         ),
         (
             "Query 3 (European customer balances, UNION)",
@@ -55,7 +63,11 @@ fn main() -> Result<()> {
         let mut reference: Option<Vec<Row>> = None;
         for s in strategies {
             let plan = apply_strategy(&qgm, s)?;
-            let opts = if s == Strategy::NestedIteration { ni_opts } else { ExecOptions::default() };
+            let opts = if s == Strategy::NestedIteration {
+                ni_opts
+            } else {
+                ExecOptions::default()
+            };
             let started = Instant::now();
             let (mut rows, stats) = execute_with(&db, &plan, opts)?;
             let elapsed = started.elapsed();

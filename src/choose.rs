@@ -39,12 +39,7 @@ pub fn choose_strategy(db: &Database, qgm: &Qgm) -> Result<PlanChoice> {
     // (the cleanup rules alone do not change execution semantics enough to
     // justify the temporary-table machinery).
     if report.changed() && magic_estimate.cost < ni_estimate.cost {
-        Ok(PlanChoice {
-            strategy: Strategy::Magic,
-            plan: magic_plan,
-            ni_estimate,
-            magic_estimate,
-        })
+        Ok(PlanChoice { strategy: Strategy::Magic, plan: magic_plan, ni_estimate, magic_estimate })
     } else {
         Ok(PlanChoice {
             strategy: Strategy::NestedIteration,

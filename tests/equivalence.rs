@@ -58,14 +58,28 @@ fn run_strategy(db: &Database, sql: &str, s: Strategy) -> Result<Vec<Row>> {
     Ok(rows)
 }
 
-/// Assert that all given strategies agree with nested iteration.
+/// Assert that all given strategies agree with nested iteration. On a
+/// mismatch, [`decorr_bench::diff_strategies`] dumps both EXPLAIN plans,
+/// both rewrite/execution traces and the first differing row.
 fn assert_equivalent(db: &Database, sql: &str, strategies: &[Strategy]) {
     let expected = run_strategy(db, sql, Strategy::NestedIteration).unwrap();
     for &s in strategies {
-        let got = run_strategy(db, sql, s).unwrap_or_else(|e| {
-            panic!("strategy {} failed on {sql:?}: {e}", s.name())
-        });
-        assert_eq!(got, expected, "strategy {} diverges on {sql:?}", s.name());
+        let got = run_strategy(db, sql, s)
+            .unwrap_or_else(|e| panic!("strategy {} failed on {sql:?}: {e}", s.name()));
+        if got != expected {
+            let dump = decorr_bench::diff_strategies(
+                db,
+                sql,
+                Strategy::NestedIteration,
+                s,
+                Default::default(),
+                Default::default(),
+            )
+            .ok()
+            .flatten()
+            .unwrap_or_else(|| "(mismatch not reproducible under tracing)".into());
+            panic!("strategy {} diverges on {sql:?}\n{dump}", s.name());
+        }
     }
 }
 
@@ -104,7 +118,12 @@ fn min_aggregate_all_strategies_agree() {
     assert_equivalent(
         &db,
         sql,
-        &[Strategy::Kim, Strategy::Dayal, Strategy::Magic, Strategy::OptMag],
+        &[
+            Strategy::Kim,
+            Strategy::Dayal,
+            Strategy::Magic,
+            Strategy::OptMag,
+        ],
     );
 }
 
@@ -148,7 +167,9 @@ fn union_subquery_only_magic_applies() {
     assert_equivalent(&db, sql, &[Strategy::Magic]);
     // And the NULL-sum row for the empty building survives decorrelation.
     let rows = run_strategy(&db, sql, Strategy::Magic).unwrap();
-    assert!(rows.iter().any(|r| r[0] == Value::str("ops") && r[1].is_null()));
+    assert!(rows
+        .iter()
+        .any(|r| r[0] == Value::str("ops") && r[1].is_null()));
 }
 
 #[test]
@@ -232,7 +253,8 @@ fn non_equality_correlation_still_works_under_magic() {
 #[test]
 fn uncorrelated_subquery_unchanged_by_every_strategy() {
     let db = empdept();
-    let sql = "SELECT name FROM dept WHERE num_emps > (SELECT COUNT(*) FROM emp WHERE building = 2)";
+    let sql =
+        "SELECT name FROM dept WHERE num_emps > (SELECT COUNT(*) FROM emp WHERE building = 2)";
     assert_equivalent(&db, sql, &[Strategy::Magic, Strategy::OptMag]);
 }
 
@@ -253,7 +275,12 @@ fn empty_outer_table() {
     .unwrap()
     .set_key(&["name"])
     .unwrap();
-    for s in [Strategy::NestedIteration, Strategy::Magic, Strategy::Dayal, Strategy::Kim] {
+    for s in [
+        Strategy::NestedIteration,
+        Strategy::Magic,
+        Strategy::Dayal,
+        Strategy::Kim,
+    ] {
         let rows = run_strategy(&db, PAPER_QUERY, s).unwrap();
         assert!(rows.is_empty(), "{}", s.name());
     }

@@ -60,8 +60,7 @@ fn chooser_handles_the_tpcd_queries() {
 #[test]
 fn chooser_prefers_magic_without_the_subquery_index() {
     // Figure 7's situation: the correlated invocation must scan partsupp.
-    let mut db =
-        tpcd_generate(&TpcdConfig { scale: 0.02, seed: 42, with_indexes: true }).unwrap();
+    let mut db = tpcd_generate(&TpcdConfig { scale: 0.02, seed: 42, with_indexes: true }).unwrap();
     queries::drop_fig7_index(&mut db).unwrap();
     let qgm = parse_and_bind(queries::Q1C, &db).unwrap();
     let choice = choose_strategy(&db, &qgm).unwrap();

@@ -86,7 +86,10 @@ fn figures2_and_3_feed_stage_structures() {
     // Figure 2[d]: the Correlated Input box giving the outer block its
     // correlated view — its predicate is the correlation, re-established.
     assert!(trace.contains("\"CI\""), "{trace}");
-    assert!(trace.contains("~ correlated on"), "the CI box is correlated by design");
+    assert!(
+        trace.contains("~ correlated on"),
+        "the CI box is correlated by design"
+    );
     // Figure 3[d]: the DCO box has become the outer join with COALESCE.
     assert!(trace.contains("\"BugRemoval\""), "{trace}");
     assert!(trace.contains("[OuterJoin (non-SPJ)]"));
@@ -99,8 +102,11 @@ fn figures2_and_3_feed_stage_structures() {
 fn figure3_absorbed_grouping() {
     let db = empdept();
     let mut qgm = parse_and_bind(SQL, &db).unwrap();
-    magic_decorrelate(&mut qgm, &MagicOptions { cleanup: false, ..Default::default() })
-        .unwrap();
+    magic_decorrelate(
+        &mut qgm,
+        &MagicOptions { cleanup: false, ..Default::default() },
+    )
+    .unwrap();
     let grouping = qgm
         .reachable_boxes(qgm.top())
         .into_iter()
@@ -140,8 +146,11 @@ fn every_stage_is_consistent_and_equivalent() {
     let (base, _) = execute(&db, &qgm).unwrap();
 
     let mut partial = qgm.clone();
-    magic_decorrelate(&mut partial, &MagicOptions { cleanup: false, ..Default::default() })
-        .unwrap();
+    magic_decorrelate(
+        &mut partial,
+        &MagicOptions { cleanup: false, ..Default::default() },
+    )
+    .unwrap();
     validate(&partial).unwrap();
     let (mid, _) = execute(&db, &partial).unwrap();
     assert_eq!(base, mid);

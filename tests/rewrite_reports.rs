@@ -22,16 +22,28 @@ fn benchmark_query_rewrite_reports() {
     // Q1: one scalar MIN subquery — one FEED, one ABSORB, plain join
     // (null-rejecting comparison), scalar becomes a join.
     let r = report(queries::Q1A, &db, &default);
-    assert_eq!((r.feeds, r.absorbs, r.loj_repairs, r.scalar_to_join), (1, 1, 0, 1), "{r:?}");
+    assert_eq!(
+        (r.feeds, r.absorbs, r.loj_repairs, r.scalar_to_join),
+        (1, 1, 0, 1),
+        "{r:?}"
+    );
 
     // Q2: the pass-through AVG shell — same profile.
     let r = report(queries::Q2, &db, &default);
-    assert_eq!((r.feeds, r.absorbs, r.loj_repairs, r.scalar_to_join), (1, 1, 0, 1), "{r:?}");
+    assert_eq!(
+        (r.feeds, r.absorbs, r.loj_repairs, r.scalar_to_join),
+        (1, 1, 0, 1),
+        "{r:?}"
+    );
 
     // Q3: lateral UNION subquery — SUM observed through the output list
     // forces the BugRemoval outer join; the quantifier is already Foreach.
     let r = report(queries::Q3, &db, &default);
-    assert_eq!((r.feeds, r.absorbs, r.loj_repairs, r.scalar_to_join), (1, 1, 1, 0), "{r:?}");
+    assert_eq!(
+        (r.feeds, r.absorbs, r.loj_repairs, r.scalar_to_join),
+        (1, 1, 1, 0),
+        "{r:?}"
+    );
 
     // The EMP/DEPT example: COUNT comparison — LOJ + COALESCE + scalar
     // conversion.
@@ -52,7 +64,11 @@ fn benchmark_query_rewrite_reports() {
     )
     .unwrap();
     let r = report(queries::EMPDEPT, &db2, &default);
-    assert_eq!((r.feeds, r.absorbs, r.loj_repairs, r.scalar_to_join), (1, 1, 1, 1), "{r:?}");
+    assert_eq!(
+        (r.feeds, r.absorbs, r.loj_repairs, r.scalar_to_join),
+        (1, 1, 1, 1),
+        "{r:?}"
+    );
 
     // OptMag on Q2: correlation on the parts key — the supplementary CSE
     // goes away.

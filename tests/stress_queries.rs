@@ -6,7 +6,6 @@
 //! correlations, DISTINCT blocks, IN/NOT IN, arithmetic over bindings.
 
 use decorr::prelude::*;
-use decorr::row;
 
 fn db() -> Database {
     let mut db = Database::new();
@@ -26,7 +25,11 @@ fn db() -> Database {
             Value::str(format!("d{i:02}")),
             Value::Double((i * 700 % 19_000) as f64),
             Value::Int(i % 7),
-            if i % 11 == 10 { Value::Null } else { Value::Int(i % 6) },
+            if i % 11 == 10 {
+                Value::Null
+            } else {
+                Value::Int(i % 6)
+            },
         ]))
         .unwrap();
     }
@@ -44,13 +47,20 @@ fn db() -> Database {
     for i in 0..80i64 {
         e.insert(Row::new(vec![
             Value::str(format!("e{i:02}")),
-            if i % 13 == 12 { Value::Null } else { Value::Int(i % 5) },
+            if i % 13 == 12 {
+                Value::Null
+            } else {
+                Value::Int(i % 5)
+            },
             Value::Int(1000 + (i * 37) % 900),
         ]))
         .unwrap();
     }
     e.set_key(&["name"]).unwrap();
-    db.table_mut("emp").unwrap().create_index(&["building"]).unwrap();
+    db.table_mut("emp")
+        .unwrap()
+        .create_index(&["building"])
+        .unwrap();
     db
 }
 
@@ -133,8 +143,8 @@ fn corpus_magic_equals_nested_iteration() {
     for (i, sql) in QUERIES.iter().enumerate() {
         let qgm = parse_and_bind(sql, &db)
             .unwrap_or_else(|e| panic!("query #{i} failed to bind: {e}\n{sql}"));
-        let (mut ni, ni_stats) = execute(&db, &qgm)
-            .unwrap_or_else(|e| panic!("query #{i} NI failed: {e}\n{sql}"));
+        let (mut ni, ni_stats) =
+            execute(&db, &qgm).unwrap_or_else(|e| panic!("query #{i} NI failed: {e}\n{sql}"));
         ni.sort();
 
         let plan = apply_strategy(&qgm, Strategy::Magic)
@@ -184,7 +194,10 @@ fn corpus_survives_chooser() {
         let (mut got, _) = execute(&db, &choice.plan).unwrap();
         expected.sort();
         got.sort();
-        assert_eq!(got, expected, "query #{i} diverged under the chooser:\n{sql}");
+        assert_eq!(
+            got, expected,
+            "query #{i} diverged under the chooser:\n{sql}"
+        );
     }
 }
 

@@ -15,9 +15,7 @@ const SCALE: f64 = 0.25;
 fn db() -> &'static Database {
     use std::sync::OnceLock;
     static DB: OnceLock<Database> = OnceLock::new();
-    DB.get_or_init(|| {
-        generate(&TpcdConfig { scale: SCALE, seed: 42, with_indexes: true }).unwrap()
-    })
+    DB.get_or_init(|| generate(&TpcdConfig { scale: SCALE, seed: 42, with_indexes: true }).unwrap())
 }
 
 fn run(db: &Database, sql: &str, s: Strategy, opts: ExecOptions) -> (Vec<Row>, ExecStats) {
@@ -32,7 +30,12 @@ fn run(db: &Database, sql: &str, s: Strategy, opts: ExecOptions) -> (Vec<Row>, E
 #[test]
 fn q1a_all_strategies_agree() {
     let db = db();
-    let (ni, ni_stats) = run(db, queries::Q1A, Strategy::NestedIteration, ExecOptions::default());
+    let (ni, ni_stats) = run(
+        db,
+        queries::Q1A,
+        Strategy::NestedIteration,
+        ExecOptions::default(),
+    );
     let (kim, _) = run(db, queries::Q1A, Strategy::Kim, ExecOptions::default());
     let (dayal, _) = run(db, queries::Q1A, Strategy::Dayal, ExecOptions::default());
     let (mag, mag_stats) = run(db, queries::Q1A, Strategy::Magic, ExecOptions::default());
@@ -48,14 +51,22 @@ fn q1a_all_strategies_agree() {
 #[test]
 fn q1b_more_invocations_with_duplicates() {
     let db = db();
-    let (ni, ni_stats) = run(db, queries::Q1B, Strategy::NestedIteration, ExecOptions::default());
+    let (ni, ni_stats) = run(
+        db,
+        queries::Q1B,
+        Strategy::NestedIteration,
+        ExecOptions::default(),
+    );
     let (mag, mag_stats) = run(db, queries::Q1B, Strategy::Magic, ExecOptions::default());
     let (kim, _) = run(db, queries::Q1B, Strategy::Kim, ExecOptions::default());
     let (dayal, _) = run(db, queries::Q1B, Strategy::Dayal, ExecOptions::default());
     assert_eq!(mag, ni);
     assert_eq!(kim, ni);
     assert_eq!(dayal, ni);
-    assert!(!ni.is_empty(), "variant query should produce rows at this scale");
+    assert!(
+        !ni.is_empty(),
+        "variant query should produce rows at this scale"
+    );
     // The outer block yields duplicate bindings (several suppliers per
     // part): NI pays one invocation per row.
     assert!(
@@ -73,10 +84,8 @@ fn q2_optmag_matches_and_eliminates_cse() {
     let db = db();
     // The paper's NI plan computes the subquery per part, before the join
     // with lineitem.
-    let early = ExecOptions {
-        scalar_placement: ScalarPlacement::EarliestBinding,
-        ..Default::default()
-    };
+    let early =
+        ExecOptions { scalar_placement: ScalarPlacement::EarliestBinding, ..Default::default() };
     let (ni, ni_stats) = run(db, queries::Q2, Strategy::NestedIteration, early);
     let (mag, _) = run(db, queries::Q2, Strategy::Magic, ExecOptions::default());
     let (opt, opt_stats) = run(db, queries::Q2, Strategy::OptMag, ExecOptions::default());
@@ -93,9 +102,7 @@ fn q2_optmag_matches_and_eliminates_cse() {
         .unwrap()
         .rows()
         .iter()
-        .filter(|r| {
-            r[4] == Value::str("Brand#23") && r[5] == Value::str("6 PACK")
-        })
+        .filter(|r| r[4] == Value::str("Brand#23") && r[5] == Value::str("6 PACK"))
         .count() as u64;
     assert_eq!(ni_stats.subquery_invocations, selected_parts);
     assert_eq!(opt_stats.subquery_invocations, 0);
@@ -104,7 +111,12 @@ fn q2_optmag_matches_and_eliminates_cse() {
 #[test]
 fn q3_only_magic_applies_and_wins() {
     let db = db();
-    let (ni, ni_stats) = run(db, queries::Q3, Strategy::NestedIteration, ExecOptions::default());
+    let (ni, ni_stats) = run(
+        db,
+        queries::Q3,
+        Strategy::NestedIteration,
+        ExecOptions::default(),
+    );
     let (mag, mag_stats) = run(db, queries::Q3, Strategy::Magic, ExecOptions::default());
     assert_eq!(mag, ni);
     assert!(!ni.is_empty());
@@ -132,7 +144,12 @@ fn q3_only_magic_applies_and_wins() {
 fn q1c_index_drop_explodes_nested_iteration() {
     let mut db = db().clone();
     queries::drop_fig7_index(&mut db).unwrap();
-    let (ni, ni_stats) = run(&db, queries::Q1C, Strategy::NestedIteration, ExecOptions::default());
+    let (ni, ni_stats) = run(
+        &db,
+        queries::Q1C,
+        Strategy::NestedIteration,
+        ExecOptions::default(),
+    );
     let (mag, mag_stats) = run(&db, queries::Q1C, Strategy::Magic, ExecOptions::default());
     assert_eq!(mag, ni);
     // Without the index every invocation scans partsupp: NI's scanned-rows
@@ -151,7 +168,12 @@ fn ni_scalar_placement_q2_matches_paper_plan() {
     // paper's optimizer avoided that by placing the subquery before the
     // join. Both give the same answer.
     let db = db();
-    let late = run(db, queries::Q2, Strategy::NestedIteration, ExecOptions::default());
+    let late = run(
+        db,
+        queries::Q2,
+        Strategy::NestedIteration,
+        ExecOptions::default(),
+    );
     let early = run(
         db,
         queries::Q2,

@@ -1,0 +1,147 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no network access, so the workspace vendors the
+//! small slice of criterion's API its benches use: [`Criterion`],
+//! `benchmark_group` / `sample_size` / `bench_function` / `finish`,
+//! [`Bencher::iter`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is deliberately simple — per
+//! sample it times a batch of iterations with `Instant` and prints
+//! min/median/mean per iteration — with none of criterion's statistical
+//! machinery (no outlier analysis, no HTML reports, no baselines).
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup { criterion: self, name, sample_size: None }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        run_benchmark(&name.into(), sample_size, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_benchmark(&format!("{}/{}", self.name, name.into()), sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    /// Per-sample wall time divided by iterations in the sample.
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let started = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(f());
+        }
+        self.samples
+            .push(started.elapsed() / self.iters_per_sample as u32);
+    }
+}
+
+fn run_benchmark<F>(name: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration pass: size iteration batches so one sample is not pure
+    // timer noise for sub-microsecond bodies.
+    let mut b = Bencher { samples: Vec::new(), iters_per_sample: 1 };
+    f(&mut b);
+    let per_iter = b
+        .samples
+        .last()
+        .copied()
+        .unwrap_or(Duration::from_millis(1));
+    let iters_per_sample = if per_iter < Duration::from_micros(50) {
+        (Duration::from_micros(200).as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 10_000) as u64
+    } else {
+        1
+    };
+
+    let mut b = Bencher { samples: Vec::new(), iters_per_sample };
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    b.samples.sort();
+    let min = b.samples.first().copied().unwrap_or_default();
+    let median = b.samples[b.samples.len() / 2];
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    eprintln!(
+        "  {name:<40} min {min:>12?}  median {median:>12?}  mean {mean:>12?}  ({} samples x {} iters)",
+        b.samples.len(),
+        iters_per_sample,
+    );
+}
+
+/// Collects bench functions into one runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

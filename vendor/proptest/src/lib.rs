@@ -1,0 +1,38 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no network access, so the workspace vendors the
+//! subset of proptest its property tests actually use: the [`Strategy`]
+//! trait with `prop_map`, tuple/range/`Just`/regex-pattern strategies,
+//! `prop::collection::vec` and `prop::option::weighted`, the
+//! `proptest!` / `prop_assert*!` / `prop_oneof!` macros, and
+//! [`test_runner::ProptestConfig`] with a `cases` knob.
+//!
+//! Differences from upstream, deliberate:
+//! - **No shrinking.** A failing case reports the generated inputs
+//!   (`Debug`-printed) and the deterministic case seed instead.
+//! - **Deterministic by default.** Case `i` of every test derives its RNG
+//!   seed from the test name and `i`, so failures reproduce without a
+//!   persistence file. Set `PROPTEST_SEED` to vary the whole run.
+//! - String "regex" strategies support the pattern shapes used in-repo:
+//!   literal chars, `[a-z]`-style classes, `.`, `\PC`, `\d`, `\w`, and
+//!   `{m,n}` / `{n}` / `*` / `+` / `?` repetition of the last atom.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Mirrors upstream's `proptest::prop` facade module.
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::collection_vec as vec;
+    }
+    pub mod option {
+        pub use crate::strategy::option_weighted as weighted;
+    }
+}

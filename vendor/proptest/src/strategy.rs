@@ -1,0 +1,429 @@
+//! Value-generation strategies (no shrinking — see crate docs).
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    type Value: std::fmt::Debug;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: std::fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: std::fmt::Debug> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (**self).new_value(rng)
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: std::fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// `prop_flat_map` adapter.
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.new_value(rng)).new_value(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Equal-weight choice among boxed strategies; built by `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: std::fmt::Debug> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T: std::fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].new_value(rng)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Bias towards small magnitudes half the time: boundary-ish
+                // values surface arithmetic bugs that uniform u64 noise
+                // rarely hits.
+                if rng.next_u64() & 1 == 0 {
+                    (rng.below(201) as i64 - 100) as $t
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// `prop::collection::vec(element, len_range)`.
+pub fn collection_vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.clone().new_value(rng);
+        (0..n).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// `prop::option::weighted(p_some, inner)`.
+pub fn option_weighted<S: Strategy>(p_some: f64, inner: S) -> OptionStrategy<S> {
+    OptionStrategy { p_some, inner }
+}
+
+pub struct OptionStrategy<S> {
+    p_some: f64,
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.unit_f64() < self.p_some {
+            Some(self.inner.new_value(rng))
+        } else {
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String pattern strategies: `"[a-z]{0,8}"`, `"\\PC{0,120}"`, ...
+// ---------------------------------------------------------------------------
+
+/// One parsed regex atom plus its repetition bounds.
+#[derive(Debug, Clone)]
+struct PatternUnit {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// Explicit alternatives from a `[...]` class (ranges expanded).
+    Class(Vec<char>),
+    /// `\PC`: any printable, non-control character.
+    Printable,
+    /// `.`: anything printable (newline excluded, as in regex).
+    Dot,
+    Literal(char),
+}
+
+fn class_chars(spec: &str) -> Vec<char> {
+    let cs: Vec<char> = spec.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < cs.len() {
+        if i + 2 < cs.len() && cs[i + 1] == '-' {
+            let (lo, hi) = (cs[i] as u32, cs[i + 2] as u32);
+            for c in lo..=hi {
+                if let Some(c) = char::from_u32(c) {
+                    out.push(c);
+                }
+            }
+            i += 3;
+        } else {
+            out.push(cs[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+fn parse_pattern(pat: &str) -> Vec<PatternUnit> {
+    let cs: Vec<char> = pat.chars().collect();
+    let mut units: Vec<PatternUnit> = Vec::new();
+    let mut i = 0;
+    while i < cs.len() {
+        let atom = match cs[i] {
+            '[' => {
+                let close = cs[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .expect("unclosed [class] in pattern strategy")
+                    + i;
+                let spec: String = cs[i + 1..close].iter().collect();
+                i = close + 1;
+                Atom::Class(class_chars(&spec))
+            }
+            '\\' => {
+                let a = match cs.get(i + 1) {
+                    Some('P') if cs.get(i + 2) == Some(&'C') => {
+                        i += 1; // consume the class letter below too
+                        Atom::Printable
+                    }
+                    Some('d') => Atom::Class(('0'..='9').collect()),
+                    Some('w') => {
+                        let mut v: Vec<char> = ('a'..='z').collect();
+                        v.extend('A'..='Z');
+                        v.extend('0'..='9');
+                        v.push('_');
+                        Atom::Class(v)
+                    }
+                    Some(&c) => Atom::Literal(c),
+                    None => panic!("dangling backslash in pattern strategy"),
+                };
+                i += 2;
+                a
+            }
+            '.' => {
+                i += 1;
+                Atom::Dot
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional repetition suffix.
+        let (min, max) = match cs.get(i) {
+            Some('{') => {
+                let close = cs[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unclosed {m,n} in pattern strategy")
+                    + i;
+                let body: String = cs[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("bad {m,n} lower bound"),
+                        n.trim().parse().expect("bad {m,n} upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad {n} count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        units.push(PatternUnit { atom, min, max });
+    }
+    units
+}
+
+fn gen_printable(rng: &mut TestRng) -> char {
+    // Mostly ASCII printables, with an occasional non-ASCII scalar to keep
+    // Unicode handling honest.
+    if rng.below(8) == 0 {
+        let extras = ['é', 'λ', '√', '中', '🦀', 'ß', 'Ω', '—'];
+        extras[rng.below(extras.len() as u64) as usize]
+    } else {
+        char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap()
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for unit in parse_pattern(self) {
+            let span = (unit.max - unit.min) as u64;
+            let n = unit.min + rng.below(span + 1) as usize;
+            for _ in 0..n {
+                let c = match &unit.atom {
+                    Atom::Class(cs) => {
+                        assert!(!cs.is_empty(), "empty [class] in pattern strategy");
+                        cs[rng.below(cs.len() as u64) as usize]
+                    }
+                    Atom::Printable | Atom::Dot => gen_printable(rng),
+                    Atom::Literal(c) => *c,
+                };
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+/// Equal-weight choice among strategies yielding one common value type.
+///
+/// Each arm is boxed so heterogeneous strategy types can share a `Union`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $({
+                let boxed: $crate::strategy::BoxedStrategy<_> = Box::new($arm);
+                boxed
+            }),+
+        ])
+    };
+}
