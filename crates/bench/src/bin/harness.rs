@@ -4,16 +4,22 @@
 //!
 //! ```text
 //! harness [table1|fig5|fig6|fig7|fig8|fig9|parallel|countbug|ablation|all]
-//!         [--scale S] [--seed N] [--nodes N1,N2,...] [--trace]
+//!         [--scale S] [--seed N] [--nodes N1,N2,...] [--threads N]
+//!         [--trace] [--bench-json [PATH]]
 //! ```
 //!
-//! `--trace` additionally emits, for each figure, the per-strategy rewrite
-//! step log and a single-line JSON document with the EXPLAIN plans, rewrite
-//! traces and per-box execution traces.
+//! `--threads N` runs the figure executors on a worker pool of N threads
+//! (default 1 = serial). `--trace` additionally emits, for each figure, the
+//! per-strategy rewrite step log and a single-line JSON document with the
+//! EXPLAIN plans, rewrite traces and per-box execution traces.
+//! `--bench-json [PATH]` records the serial-vs-parallel benchmark baseline
+//! (failing if their results diverge) to PATH, default `BENCH_PR2.json`.
 
 use std::time::Instant;
 
-use decorr_bench::{figure_trace_json, format_table, run_figure, run_figure_traced, Figure};
+use decorr_bench::{
+    bench_baseline, figure_trace_json, format_table, run_figure_traced, run_figure_with, Figure,
+};
 use decorr_common::Result;
 use decorr_core::magic::MagicOptions;
 use decorr_parallel::{run_decorrelated, run_nested_iteration, Cluster};
@@ -26,13 +32,22 @@ struct Args {
     scale: f64,
     seed: u64,
     nodes: Vec<usize>,
+    threads: usize,
     trace: bool,
+    bench_json: Option<String>,
 }
 
 fn parse_args() -> Args {
-    let mut args =
-        Args { what: Vec::new(), scale: 0.1, seed: 42, nodes: vec![1, 2, 4, 8], trace: false };
-    let mut it = std::env::args().skip(1);
+    let mut args = Args {
+        what: Vec::new(),
+        scale: 0.1,
+        seed: 42,
+        nodes: vec![1, 2, 4, 8],
+        threads: 1,
+        trace: false,
+        bench_json: None,
+    };
+    let mut it = std::env::args().skip(1).peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => args.scale = it.next().expect("--scale S").parse().expect("number"),
@@ -45,11 +60,21 @@ fn parse_args() -> Args {
                     .map(|s| s.parse().expect("number"))
                     .collect()
             }
+            "--threads" => args.threads = it.next().expect("--threads N").parse().expect("number"),
             "--trace" => args.trace = true,
+            "--bench-json" => {
+                // Optional path operand: consume the next token only if it
+                // names a JSON file, else record to the default path.
+                let path = match it.peek() {
+                    Some(p) if p.ends_with(".json") => it.next().unwrap(),
+                    _ => "BENCH_PR2.json".to_string(),
+                };
+                args.bench_json = Some(path);
+            }
             other => args.what.push(other.to_string()),
         }
     }
-    if args.what.is_empty() {
+    if args.what.is_empty() && args.bench_json.is_none() {
         args.what.push("all".to_string());
     }
     args
@@ -63,6 +88,10 @@ fn main() -> Result<()> {
     let args = parse_args();
     if args.scale <= 0.0 {
         eprintln!("--scale must be positive (got {})", args.scale);
+        std::process::exit(2);
+    }
+    if args.threads == 0 {
+        eprintln!("--threads must be at least 1 (got 0)");
         std::process::exit(2);
     }
     for w in &args.what {
@@ -79,7 +108,7 @@ fn main() -> Result<()> {
     }
     for fig in Figure::all() {
         if wants(fig.id()) {
-            figure(fig, args.scale, args.seed, args.trace)?;
+            figure(fig, args.scale, args.seed, args.threads, args.trace)?;
         }
     }
     if wants("countbug") {
@@ -90,6 +119,16 @@ fn main() -> Result<()> {
     }
     if wants("parallel") {
         parallel(&args.nodes, args.seed)?;
+    }
+    if let Some(path) = &args.bench_json {
+        let threads = if args.threads > 1 { args.threads } else { 4 };
+        let json = bench_baseline(args.scale, args.seed, threads)?;
+        std::fs::write(path, json + "\n")
+            .map_err(|e| decorr_common::Error::internal(format!("writing {path}: {e}")))?;
+        println!(
+            "benchmark baseline (scale {}, threads 1 vs {threads}) recorded to {path}",
+            args.scale
+        );
     }
     Ok(())
 }
@@ -116,9 +155,9 @@ fn table1(scale: f64) {
     println!();
 }
 
-fn figure(fig: Figure, scale: f64, seed: u64, trace: bool) -> Result<()> {
+fn figure(fig: Figure, scale: f64, seed: u64, threads: usize, trace: bool) -> Result<()> {
     let db = fig.database(scale, seed)?;
-    let ms = run_figure(fig, &db)?;
+    let ms = run_figure_with(fig, &db, threads)?;
     println!("{}", format_table(fig, scale, &ms));
     if trace {
         let runs = run_figure_traced(fig, &db)?;

@@ -105,6 +105,12 @@ impl Figure {
         }
     }
 
+    /// [`Figure::exec_opts`] with the executor's worker-pool width set —
+    /// how the harness's `--threads` flag reaches each strategy run.
+    pub fn exec_opts_threads(self, s: Strategy, threads: usize) -> ExecOptions {
+        ExecOptions { threads, ..self.exec_opts(s) }
+    }
+
     /// Build the database this figure runs against.
     pub fn database(self, scale: f64, seed: u64) -> Result<Database> {
         let mut db = generate(&TpcdConfig { scale, seed, with_indexes: true })?;
@@ -241,11 +247,19 @@ pub fn diff_strategies(
 /// against nested iteration (Kim's method is allowed to lose COUNT-bug
 /// rows, though the paper's three queries have none).
 pub fn run_figure(fig: Figure, db: &Database) -> Result<Vec<Measurement>> {
+    run_figure_with(fig, db, 1)
+}
+
+/// [`run_figure`] on a worker pool of the given width. The cross-strategy
+/// equivalence check compares sorted rows, so it holds at any thread count
+/// (parallel runs may emit rows in a different order, never different
+/// rows).
+pub fn run_figure_with(fig: Figure, db: &Database, threads: usize) -> Result<Vec<Measurement>> {
     let reference = fig.strategies()[0];
     let mut out = Vec::new();
     let mut ref_rows: Option<Vec<Row>> = None;
     for s in fig.strategies() {
-        let (mut rows, m) = run_strategy(db, fig.sql(), s, fig.exec_opts(s))?;
+        let (mut rows, m) = run_strategy(db, fig.sql(), s, fig.exec_opts_threads(s, threads))?;
         rows.sort();
         match &ref_rows {
             None => ref_rows = Some(rows),
@@ -310,6 +324,74 @@ pub fn figure_trace_json(fig: Figure, runs: &[(Measurement, StrategyTrace)]) -> 
     }
     w.end_array().end_object();
     w.finish()
+}
+
+/// The figures recorded by the benchmark baseline (`harness --bench-json`):
+/// the expensive scan-heavy query (Fig 5), the indexed key-correlation
+/// query (Fig 8) and the non-linear UNION query (Fig 9).
+pub const BASELINE_FIGURES: [Figure; 3] = [Figure::Fig5, Figure::Fig8, Figure::Fig9];
+
+/// Run the recorded benchmark baseline: every [`BASELINE_FIGURES`] figure,
+/// every strategy, once serial (`threads = 1`) and once on a pool of
+/// `threads` workers. Each pair is cross-checked — the parallel run must
+/// return the same multiset of rows as the serial run, or this errors
+/// (the CI `bench-smoke` job runs exactly this check at tiny scale).
+///
+/// Returns the JSON document recorded as `BENCH_PR2.json`: per
+/// figure/strategy/thread-count the wall time, result rows, predicate
+/// evaluations and total deterministic work, plus the host CPU count so a
+/// reader can judge how much true parallelism the wall times reflect.
+pub fn bench_baseline(scale: f64, seed: u64, threads: usize) -> Result<String> {
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("bench", "parallel-executor-baseline")
+        .field_float("scale", scale)
+        .field_uint("seed", seed)
+        .field_uint("host_cpus", host_cpus as u64)
+        .field_uint("threads", threads as u64);
+    w.key("figures").begin_array();
+    for fig in BASELINE_FIGURES {
+        let db = fig.database(scale, seed)?;
+        w.begin_object()
+            .field_str("figure", fig.id())
+            .field_str("title", fig.title());
+        w.key("strategies").begin_array();
+        for s in fig.strategies() {
+            let (mut srows, serial) = run_strategy(&db, fig.sql(), s, fig.exec_opts_threads(s, 1))?;
+            let (mut prows, par) =
+                run_strategy(&db, fig.sql(), s, fig.exec_opts_threads(s, threads))?;
+            srows.sort();
+            prows.sort();
+            if srows != prows {
+                return Err(Error::internal(format!(
+                    "parallel run (threads={threads}) diverges from serial for {} on {}: \
+                     {} vs {} row(s) after sorting",
+                    s.name(),
+                    fig.id(),
+                    serial.rows,
+                    par.rows
+                )));
+            }
+            w.begin_object().field_str("strategy", s.name());
+            w.key("runs").begin_array();
+            for (t, m) in [(1, &serial), (threads, &par)] {
+                w.begin_object()
+                    .field_uint("threads", t as u64)
+                    .field_float("time_ms", m.elapsed.as_secs_f64() * 1e3)
+                    .field_uint("rows", m.rows as u64)
+                    .field_uint("predicate_evals", m.stats.predicate_evals)
+                    .field_uint("total_work", m.stats.total_work())
+                    .end_object();
+            }
+            w.end_array().end_object();
+        }
+        w.end_array().end_object();
+    }
+    w.end_array().end_object();
+    Ok(w.finish())
 }
 
 /// Render measurements as the harness's text table.

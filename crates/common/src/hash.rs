@@ -80,6 +80,22 @@ impl Hasher for FxHasher {
     }
 }
 
+/// Murmur-style bit-mix finalizer for Fx hashes that feed `% n` bucketing.
+///
+/// Fx multiply hashes of small integer values carry little entropy in their
+/// low bits (the f64 bit pattern of a small integer has 30+ trailing
+/// zeroes), so plain modulo partitioning would collapse onto bucket 0.
+/// Used by hash-partitioned joins and cluster partitioning alike.
+#[inline]
+pub fn mix64(h: u64) -> u64 {
+    let mut x = h;
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^ (x >> 33)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -12,7 +12,10 @@
 //! * [`ExecStats`] — deterministic work counters that every executor
 //!   operation reports into (see [`stats`]),
 //! * [`JsonWriter`] — a dependency-free JSON writer for the observability
-//!   traces (see [`json`]).
+//!   traces (see [`json`]),
+//! * [`WorkerPool`] — the work-stealing-free morsel scheduler behind
+//!   intra-query parallelism and parallel cluster maintenance (see
+//!   [`pool`]).
 //!
 //! Nothing in this crate knows about query plans or storage; it is the
 //! bottom of the dependency graph.
@@ -20,15 +23,17 @@
 pub mod error;
 pub mod hash;
 pub mod json;
+pub mod pool;
 pub mod row;
 pub mod schema;
 pub mod stats;
 pub mod value;
 
 pub use error::{Error, Result};
-pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use hash::{mix64, FxHashMap, FxHashSet, FxHasher};
 pub use json::JsonWriter;
-pub use row::Row;
+pub use pool::{WorkerPool, MORSEL_ROWS};
+pub use row::{Row, RowBatch};
 pub use schema::{ColumnDef, DataType, Schema};
 pub use stats::ExecStats;
 pub use value::Value;

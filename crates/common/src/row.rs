@@ -13,6 +13,15 @@ use crate::value::Value;
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Row(pub Vec<Value>);
 
+/// An immutable, shareable batch of rows.
+///
+/// Operator results are materialized once and then *shared* — across CSE
+/// consumers, across repeated subquery references, and across the worker
+/// threads of a parallel operator. `Arc<[Row]>` is `Send + Sync`, so unlike
+/// the `Rc<Vec<Row>>` it replaced, a batch crosses worker boundaries as a
+/// refcount bump instead of a deep row-by-row clone.
+pub type RowBatch = std::sync::Arc<[Row]>;
+
 impl Row {
     /// Create a row from values.
     pub fn new(values: Vec<Value>) -> Self {

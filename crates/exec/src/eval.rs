@@ -1,40 +1,56 @@
 //! Scalar expression evaluation with SQL three-valued logic.
+//!
+//! The workhorse is [`eval_value`], which returns a [`Cow`]: column
+//! references and literals *borrow* their value from the row / the
+//! expression tree instead of cloning it, so the comparison-only paths
+//! (predicate evaluation, join-key probing) never allocate per row.
+//! [`eval_expr`] is the owning wrapper for callers that materialize the
+//! result (projection, aggregation).
+
+use std::borrow::Cow;
 
 use decorr_common::{Error, Result, Value};
 use decorr_qgm::{BinOp, Expr, Func, UnOp};
 
 use crate::env::Env;
 
-/// Evaluate an expression under an environment. `Agg` nodes are rejected —
-/// aggregation is performed by the Grouping-box operator, which evaluates
-/// aggregate *arguments* through this function.
+/// Evaluate an expression under an environment, returning an owned value.
+/// `Agg` nodes are rejected — aggregation is performed by the Grouping-box
+/// operator, which evaluates aggregate *arguments* through this function.
 pub fn eval_expr(e: &Expr, env: &Env<'_>) -> Result<Value> {
+    eval_value(e, env).map(Cow::into_owned)
+}
+
+/// Evaluate an expression under an environment without materializing
+/// borrowed results: `Col` and `Lit` nodes (and `Coalesce` over them)
+/// return `Cow::Borrowed`, computed nodes return `Cow::Owned`.
+pub fn eval_value<'a>(e: &'a Expr, env: &'a Env<'a>) -> Result<Cow<'a, Value>> {
     match e {
-        Expr::Col { quant, col } => env.lookup(*quant, *col).cloned().ok_or_else(|| {
+        Expr::Col { quant, col } => env.lookup(*quant, *col).map(Cow::Borrowed).ok_or_else(|| {
             Error::internal(format!(
                 "unbound column reference {quant}.c{col}",
                 quant = quant
             ))
         }),
-        Expr::Lit(v) => Ok(v.clone()),
+        Expr::Lit(v) => Ok(Cow::Borrowed(v)),
         Expr::Binary { op, left, right } => eval_binary(*op, left, right, env),
         Expr::Unary { op, expr } => {
-            let v = eval_expr(expr, env)?;
-            match op {
-                UnOp::Neg => v.neg(),
-                UnOp::Not => Ok(not3(v)?),
-                UnOp::IsNull => Ok(Value::Bool(v.is_null())),
-                UnOp::IsNotNull => Ok(Value::Bool(!v.is_null())),
-            }
+            let v = eval_value(expr, env)?;
+            Ok(Cow::Owned(match op {
+                UnOp::Neg => v.neg()?,
+                UnOp::Not => not3(&v)?,
+                UnOp::IsNull => Value::Bool(v.is_null()),
+                UnOp::IsNotNull => Value::Bool(!v.is_null()),
+            }))
         }
         Expr::Func { func: Func::Coalesce, args } => {
             for a in args {
-                let v = eval_expr(a, env)?;
+                let v = eval_value(a, env)?;
                 if !v.is_null() {
                     return Ok(v);
                 }
             }
-            Ok(Value::Null)
+            Ok(Cow::Owned(Value::Null))
         }
         Expr::Agg { .. } => Err(Error::internal(
             "aggregate evaluated outside a Grouping box".to_string(),
@@ -42,47 +58,52 @@ pub fn eval_expr(e: &Expr, env: &Env<'_>) -> Result<Value> {
     }
 }
 
-fn eval_binary(op: BinOp, left: &Expr, right: &Expr, env: &Env<'_>) -> Result<Value> {
+fn eval_binary<'a>(
+    op: BinOp,
+    left: &'a Expr,
+    right: &'a Expr,
+    env: &'a Env<'a>,
+) -> Result<Cow<'a, Value>> {
     // AND/OR shortcut with three-valued logic.
     match op {
         BinOp::And => {
-            let l = truth(eval_expr(left, env)?)?;
+            let l = truth_of(&*eval_value(left, env)?)?;
             if l == Some(false) {
-                return Ok(Value::Bool(false));
+                return Ok(Cow::Owned(Value::Bool(false)));
             }
-            let r = truth(eval_expr(right, env)?)?;
-            return Ok(match (l, r) {
+            let r = truth_of(&*eval_value(right, env)?)?;
+            return Ok(Cow::Owned(match (l, r) {
                 (_, Some(false)) => Value::Bool(false),
                 (Some(true), Some(true)) => Value::Bool(true),
                 _ => Value::Null,
-            });
+            }));
         }
         BinOp::Or => {
-            let l = truth(eval_expr(left, env)?)?;
+            let l = truth_of(&*eval_value(left, env)?)?;
             if l == Some(true) {
-                return Ok(Value::Bool(true));
+                return Ok(Cow::Owned(Value::Bool(true)));
             }
-            let r = truth(eval_expr(right, env)?)?;
-            return Ok(match (l, r) {
+            let r = truth_of(&*eval_value(right, env)?)?;
+            return Ok(Cow::Owned(match (l, r) {
                 (_, Some(true)) => Value::Bool(true),
                 (Some(false), Some(false)) => Value::Bool(false),
                 _ => Value::Null,
-            });
+            }));
         }
         _ => {}
     }
 
-    let l = eval_expr(left, env)?;
-    let r = eval_expr(right, env)?;
-    match op {
+    let l = eval_value(left, env)?;
+    let r = eval_value(right, env)?;
+    Ok(Cow::Owned(match op {
         // Null-tolerant equality: total comparison, never unknown.
-        BinOp::NullEq => Ok(Value::Bool(l.total_cmp(&r).is_eq())),
-        BinOp::Add => l.add(&r),
-        BinOp::Sub => l.sub(&r),
-        BinOp::Mul => l.mul(&r),
-        BinOp::Div => l.div(&r),
+        BinOp::NullEq => Value::Bool(l.total_cmp(&r).is_eq()),
+        BinOp::Add => l.add(&r)?,
+        BinOp::Sub => l.sub(&r)?,
+        BinOp::Mul => l.mul(&r)?,
+        BinOp::Div => l.div(&r)?,
         BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-            Ok(match l.sql_cmp(&r) {
+            match l.sql_cmp(&r) {
                 None => Value::Null,
                 Some(ord) => Value::Bool(match op {
                     BinOp::Eq => ord.is_eq(),
@@ -93,34 +114,39 @@ fn eval_binary(op: BinOp, left: &Expr, right: &Expr, env: &Env<'_>) -> Result<Va
                     BinOp::Ge => ord.is_ge(),
                     _ => unreachable!("non-comparison handled above"),
                 }),
-            })
+            }
         }
         BinOp::And | BinOp::Or => unreachable!(),
-    }
+    }))
 }
 
 /// Interpret a value as a SQL truth value: `Some(bool)` or `None` (unknown).
 pub fn truth(v: Value) -> Result<Option<bool>> {
+    truth_of(&v)
+}
+
+/// [`truth`] by reference (no move, no clone).
+pub fn truth_of(v: &Value) -> Result<Option<bool>> {
     match v {
         Value::Null => Ok(None),
-        Value::Bool(b) => Ok(Some(b)),
+        Value::Bool(b) => Ok(Some(*b)),
         other => Err(Error::type_error(format!(
             "predicate evaluated to non-boolean {other}"
         ))),
     }
 }
 
-fn not3(v: Value) -> Result<Value> {
-    Ok(match truth(v)? {
+fn not3(v: &Value) -> Result<Value> {
+    Ok(match truth_of(v)? {
         Some(b) => Value::Bool(!b),
         None => Value::Null,
     })
 }
 
 /// Does the row qualify under this predicate? (Unknown filters out, as in
-/// SQL WHERE.)
-pub fn qualifies(e: &Expr, env: &Env<'_>) -> Result<bool> {
-    Ok(truth(eval_expr(e, env)?)? == Some(true))
+/// SQL WHERE.) Allocation-free: evaluates through [`eval_value`].
+pub fn qualifies<'a>(e: &'a Expr, env: &'a Env<'a>) -> Result<bool> {
+    Ok(truth_of(&*eval_value(e, env)?)? == Some(true))
 }
 
 #[cfg(test)]

@@ -1,9 +1,21 @@
 //! The QGM interpreter.
+//!
+//! Execution is morsel-driven: with `threads > 1` the executor fans
+//! scans/filters, hash-join build+probe, projection and grouping out over a
+//! [`WorkerPool`], cutting inputs into [`MORSEL_ROWS`]-sized chunks that
+//! workers claim from a shared counter. All parallel paths are gated on
+//! input size, merge their outputs in chunk/partition order, and report the
+//! same [`ExecStats`] counters as the serial path; `threads == 1` never
+//! enters them at all, so a single-threaded run is byte-identical to the
+//! executor before parallelism existed.
 
-use std::rc::Rc;
+use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
-use decorr_common::{Error, ExecStats, FxHashMap, FxHashSet, Result, Row, Value};
+use decorr_common::{
+    mix64, Error, ExecStats, FxHashMap, FxHashSet, FxHasher, Result, Row, RowBatch, Value,
+    WorkerPool, MORSEL_ROWS,
+};
 use decorr_qgm::{AggFunc, BoxId, BoxKind, Expr, Qgm, QuantId, QuantKind};
 use decorr_storage::{Database, Table};
 
@@ -25,7 +37,7 @@ pub enum ScalarPlacement {
 }
 
 /// Execution knobs; see the crate docs for how each maps to the paper.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct ExecOptions {
     /// Materialize uncorrelated boxes referenced by several quantifiers
     /// once (`true`) or recompute them per reference (`false`, the
@@ -33,6 +45,15 @@ pub struct ExecOptions {
     pub memoize_cse: bool,
     /// Correlated scalar subquery placement under nested iteration.
     pub scalar_placement: ScalarPlacement,
+    /// Worker threads for intra-query parallelism. `1` (the default) runs
+    /// everything inline on the calling thread.
+    pub threads: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { memoize_cse: false, scalar_placement: ScalarPlacement::default(), threads: 1 }
+    }
 }
 
 /// The interpreter. One instance accumulates [`ExecStats`] over a run.
@@ -40,9 +61,12 @@ pub struct Executor<'a> {
     db: &'a Database,
     opts: ExecOptions,
     stats: ExecStats,
+    /// Morsel scheduler for the parallel operator paths; `threads == 1`
+    /// runs everything inline.
+    pool: WorkerPool,
     /// Cross-run memo for uncorrelated shared boxes (only with
     /// `memoize_cse`).
-    cse_cache: FxHashMap<BoxId, Rc<Vec<Row>>>,
+    cse_cache: FxHashMap<BoxId, RowBatch>,
     /// Lazily computed "is this subtree correlated" map.
     corr_cache: FxHashMap<BoxId, bool>,
     /// Per-box operator trace, populated when tracing is enabled.
@@ -58,6 +82,7 @@ impl<'a> Executor<'a> {
             db,
             opts,
             stats: ExecStats::new(),
+            pool: WorkerPool::new(opts.threads),
             cse_cache: FxHashMap::default(),
             corr_cache: FxHashMap::default(),
             trace: None,
@@ -123,12 +148,29 @@ impl<'a> Executor<'a> {
     /// Charge one predicate evaluation to the stats and (when tracing) to
     /// the box currently on top of the evaluation stack.
     fn note_pred(&mut self) {
-        self.stats.predicate_evals += 1;
+        self.note_preds(1);
+    }
+
+    /// Bulk form of [`Executor::note_pred`]: parallel operators count
+    /// evaluations per worker and charge the merged total here, so the
+    /// counters come out identical to the serial path.
+    fn note_preds(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.stats.predicate_evals += n;
         if let Some(trace) = &mut self.trace {
             if let Some(&b) = self.box_stack.last() {
-                trace.entry(b).predicate_evals += 1;
+                trace.entry(b).predicate_evals += n;
             }
         }
+    }
+
+    /// Should an operator over `n` input rows fan out? Small inputs stay
+    /// serial: a morsel's worth of rows is cheaper to process inline than
+    /// to schedule.
+    fn parallel_over(&self, n: usize) -> bool {
+        self.pool.is_parallel() && n > MORSEL_ROWS
     }
 
     /// Record a join-strategy decision for the current box.
@@ -162,19 +204,21 @@ impl<'a> Executor<'a> {
     }
 
     /// Evaluate a child box, consulting the cross-run CSE memo for
-    /// uncorrelated shared boxes when enabled.
-    fn eval_child(&mut self, qgm: &Qgm, b: BoxId, env: Option<&Env<'_>>) -> Result<Rc<Vec<Row>>> {
+    /// uncorrelated shared boxes when enabled. The result is a shared
+    /// [`RowBatch`]: consumers (and worker threads) share the one
+    /// materialization by refcount instead of copying rows.
+    fn eval_child(&mut self, qgm: &Qgm, b: BoxId, env: Option<&Env<'_>>) -> Result<RowBatch> {
         let memoizable = self.opts.memoize_cse
             && !matches!(qgm.boxref(b).kind, BoxKind::BaseTable { .. })
             && !self.is_correlated(qgm, b);
         if memoizable {
             if let Some(hit) = self.cse_cache.get(&b) {
-                return Ok(Rc::clone(hit));
+                return Ok(RowBatch::clone(hit));
             }
         }
-        let rows = Rc::new(self.eval_box(qgm, b, env)?);
+        let rows: RowBatch = self.eval_box(qgm, b, env)?.into();
         if memoizable {
-            self.cse_cache.insert(b, Rc::clone(&rows));
+            self.cse_cache.insert(b, RowBatch::clone(&rows));
         }
         Ok(rows)
     }
@@ -200,11 +244,11 @@ impl<'a> Executor<'a> {
         // Per-evaluation cache of subquery results that do not depend on
         // this box's rows (they may still be correlated to *outer* blocks,
         // which are fixed during this evaluation).
-        let mut local_subq_cache: FxHashMap<BoxId, Rc<Vec<Row>>> = FxHashMap::default();
+        let mut local_subq_cache: FxHashMap<BoxId, RowBatch> = FxHashMap::default();
 
         // Classify predicates. `consumed[i]` marks predicates already
         // applied at a scan or join step.
-        let preds = bx.preds.clone();
+        let preds: &[Expr] = &bx.preds;
         let mut consumed = vec![false; preds.len()];
 
         let local_refs = |e: &Expr| -> Vec<QuantId> {
@@ -252,7 +296,7 @@ impl<'a> Executor<'a> {
         // they may be driven through an index (index nested loops) instead
         // of being scanned — the access path Starburst picks when a small
         // binding set joins a large indexed table.
-        let mut child_rows: FxHashMap<QuantId, Rc<Vec<Row>>> = FxHashMap::default();
+        let mut child_rows: FxHashMap<QuantId, RowBatch> = FxHashMap::default();
         let mut deferred: FxHashMap<QuantId, String> = FxHashMap::default();
         for &q in &foreach {
             if is_lateral[&q] {
@@ -276,11 +320,11 @@ impl<'a> Executor<'a> {
                     }
                 }
             }
-            let rows = self.scan_quant(qgm, q, &preds, &applicable, env)?;
+            let rows = self.scan_quant(qgm, q, preds, &applicable, env)?;
             for i in &applicable {
                 consumed[*i] = true;
             }
-            child_rows.insert(q, Rc::new(rows));
+            child_rows.insert(q, rows);
         }
 
         // Greedy join over the Foreach quantifiers.
@@ -309,7 +353,7 @@ impl<'a> Executor<'a> {
                 &local,
                 &is_lateral,
                 &sizes,
-                &preds,
+                preds,
                 &consumed,
                 &local_refs,
             )?;
@@ -341,20 +385,20 @@ impl<'a> Executor<'a> {
                     table,
                     rows,
                     &layout,
-                    &preds,
+                    preds,
                     &mut applicable,
                     env,
                 )?;
                 layout.push(next, child_arity);
             } else {
-                let right = Rc::clone(&child_rows[&next]);
+                let right = RowBatch::clone(&child_rows[&next]);
                 rows = self.join_step(
                     qgm,
                     next,
                     rows,
                     &layout,
                     &right,
-                    &preds,
+                    preds,
                     &mut applicable,
                     env,
                 )?;
@@ -464,6 +508,46 @@ impl<'a> Executor<'a> {
                     ))
                 }
             }
+        }
+
+        // Morsel-parallel end stage: when no scalar subqueries or
+        // quantified groups remain (the common case after decorrelation,
+        // where subqueries have become joins), filtering + projection is a
+        // pure per-row map — fan it out and reassemble in chunk order.
+        if needed_scalars.is_empty() && quant_groups.is_empty() && self.parallel_over(rows.len()) {
+            let outputs = &bx.outputs;
+            let chunks: Vec<Result<(Vec<Row>, u64)>> =
+                self.pool.map_morsels(&rows, MORSEL_ROWS, |chunk| {
+                    let mut kept = Vec::new();
+                    let mut evals = 0u64;
+                    'rows: for row in chunk {
+                        let env2 = Env::new(&end_layout, row, env);
+                        for p in &plain_preds {
+                            evals += 1;
+                            if !qualifies(p, &env2)? {
+                                continue 'rows;
+                            }
+                        }
+                        let mut out = Row(Vec::with_capacity(outputs.len()));
+                        for o in outputs {
+                            out.0.push(eval_expr(&o.expr, &env2)?);
+                        }
+                        kept.push(out);
+                    }
+                    Ok((kept, evals))
+                });
+            let mut out_rows = Vec::with_capacity(rows.len());
+            let mut evals = 0u64;
+            for c in chunks {
+                let (kept, e) = c?;
+                out_rows.extend(kept);
+                evals += e;
+            }
+            self.note_preds(evals);
+            if bx.distinct {
+                out_rows = dedup_rows(out_rows);
+            }
+            return Ok(out_rows);
         }
 
         let mut out_rows: Vec<Row> = Vec::with_capacity(rows.len());
@@ -644,19 +728,26 @@ impl<'a> Executor<'a> {
         preds: &[Expr],
         applicable: &[usize],
         env: Option<&Env<'_>>,
-    ) -> Result<Vec<Row>> {
+    ) -> Result<RowBatch> {
         let child = qgm.quant(q).input;
         let mut q_layout = Layout::new();
         q_layout.push(q, qgm.output_arity(child));
 
         if let BoxKind::BaseTable { table, .. } = &qgm.boxref(child).kind {
             let t = self.db.table(table)?;
-            return self.scan_table(t, q, preds, applicable, &q_layout, env);
+            return self
+                .scan_table(t, q, preds, applicable, &q_layout, env)
+                .map(Into::into);
         }
 
         let rows = self.eval_child(qgm, child, env)?;
+        if applicable.is_empty() {
+            // No predicates to apply: share the child's batch as-is.
+            return Ok(rows);
+        }
         let kept: Vec<&Expr> = applicable.iter().map(|&i| &preds[i]).collect();
-        self.filter_rows(rows.as_ref().clone(), &q_layout, &kept, env)
+        self.filter_rows_ref(&rows, &q_layout, &kept, env)
+            .map(Into::into)
     }
 
     /// Base-table scan with optional index assistance.
@@ -694,35 +785,32 @@ impl<'a> Executor<'a> {
             }
         }
 
-        let (candidates, skip_pred): (Vec<&Row>, Option<usize>) = match &index_probe {
-            Some((col, key, pi)) => {
-                self.stats.index_lookups += 1;
-                let idx = t.index_on(&[*col]).expect("index checked above");
-                let positions = idx.lookup(std::slice::from_ref(key));
-                self.stats.index_rows += positions.len() as u64;
-                (positions.iter().map(|&p| &t.rows()[p]).collect(), Some(*pi))
-            }
-            None => {
-                self.stats.rows_scanned += t.len() as u64;
-                (t.rows().iter().collect(), None)
-            }
-        };
-
-        let mut out = Vec::new();
-        'rows: for r in candidates {
-            for &i in applicable {
-                if Some(i) == skip_pred {
-                    continue;
+        if let Some((col, key, pi)) = &index_probe {
+            self.stats.index_lookups += 1;
+            let idx = t.index_on(&[*col]).expect("index checked above");
+            let positions = idx.lookup(std::slice::from_ref(key));
+            self.stats.index_rows += positions.len() as u64;
+            let mut out = Vec::new();
+            'rows: for &p in positions {
+                let r = &t.rows()[p];
+                for &i in applicable {
+                    if i == *pi {
+                        continue;
+                    }
+                    let env1 = Env::new(q_layout, r, env);
+                    self.note_pred();
+                    if !qualifies(&preds[i], &env1)? {
+                        continue 'rows;
+                    }
                 }
-                let env1 = Env::new(q_layout, r, env);
-                self.note_pred();
-                if !qualifies(&preds[i], &env1)? {
-                    continue 'rows;
-                }
+                out.push(r.clone());
             }
-            out.push(r.clone());
+            return Ok(out);
         }
-        Ok(out)
+
+        self.stats.rows_scanned += t.len() as u64;
+        let kept: Vec<&Expr> = applicable.iter().map(|&i| &preds[i]).collect();
+        self.filter_rows_ref(t.rows(), q_layout, &kept, env)
     }
 
     fn filter_rows(
@@ -734,6 +822,42 @@ impl<'a> Executor<'a> {
     ) -> Result<Vec<Row>> {
         if preds.is_empty() {
             return Ok(rows);
+        }
+        if self.parallel_over(rows.len()) {
+            // Compute a keep-mask in parallel, then move the kept rows out.
+            let chunks: Vec<Result<(Vec<bool>, u64)>> =
+                self.pool.map_morsels(&rows, MORSEL_ROWS, |chunk| {
+                    let mut mask = Vec::with_capacity(chunk.len());
+                    let mut evals = 0u64;
+                    for r in chunk {
+                        let env1 = Env::new(layout, r, env);
+                        let mut keep = true;
+                        for p in preds {
+                            evals += 1;
+                            if !qualifies(p, &env1)? {
+                                keep = false;
+                                break;
+                            }
+                        }
+                        mask.push(keep);
+                    }
+                    Ok((mask, evals))
+                });
+            let mut mask = Vec::with_capacity(rows.len());
+            let mut evals = 0u64;
+            for c in chunks {
+                let (m, e) = c?;
+                mask.extend(m);
+                evals += e;
+            }
+            self.note_preds(evals);
+            let mut out = Vec::with_capacity(rows.len());
+            for (keep, r) in mask.into_iter().zip(rows) {
+                if keep {
+                    out.push(r);
+                }
+            }
+            return Ok(out);
         }
         let mut out = Vec::with_capacity(rows.len());
         'rows: for r in rows {
@@ -749,6 +873,60 @@ impl<'a> Executor<'a> {
         Ok(out)
     }
 
+    /// [`Executor::filter_rows`] over borrowed rows: kept rows are cloned.
+    /// Used by scans, where the source (a table or a shared batch) cannot
+    /// be consumed.
+    fn filter_rows_ref(
+        &mut self,
+        rows: &[Row],
+        layout: &Layout,
+        preds: &[&Expr],
+        env: Option<&Env<'_>>,
+    ) -> Result<Vec<Row>> {
+        if preds.is_empty() {
+            return Ok(rows.to_vec());
+        }
+        if self.parallel_over(rows.len()) {
+            let chunks: Vec<Result<(Vec<Row>, u64)>> =
+                self.pool.map_morsels(rows, MORSEL_ROWS, |chunk| {
+                    let mut kept = Vec::new();
+                    let mut evals = 0u64;
+                    'rows: for r in chunk {
+                        let env1 = Env::new(layout, r, env);
+                        for p in preds {
+                            evals += 1;
+                            if !qualifies(p, &env1)? {
+                                continue 'rows;
+                            }
+                        }
+                        kept.push(r.clone());
+                    }
+                    Ok((kept, evals))
+                });
+            let mut out = Vec::new();
+            let mut evals = 0u64;
+            for c in chunks {
+                let (k, e) = c?;
+                out.extend(k);
+                evals += e;
+            }
+            self.note_preds(evals);
+            return Ok(out);
+        }
+        let mut out = Vec::with_capacity(rows.len());
+        'rows: for r in rows {
+            let env1 = Env::new(layout, r, env);
+            for p in preds {
+                self.note_pred();
+                if !qualifies(p, &env1)? {
+                    continue 'rows;
+                }
+            }
+            out.push(r.clone());
+        }
+        Ok(out)
+    }
+
     /// One join step: combine `rows` (layout `layout`) with `right`
     /// (the rows of quantifier `next`). Equi-join predicates among
     /// `applicable` become hash-join keys and are removed from the list;
@@ -760,7 +938,7 @@ impl<'a> Executor<'a> {
         next: QuantId,
         rows: Vec<Row>,
         layout: &Layout,
-        right: &Rc<Vec<Row>>,
+        right: &[Row],
         preds: &[Expr],
         applicable: &mut Vec<usize>,
         env: Option<&Env<'_>>,
@@ -771,8 +949,8 @@ impl<'a> Executor<'a> {
         // Split the applicable predicates into hash keys and residuals.
         // NullEq keys match NULL against NULL (the decorrelated re-join
         // with the magic table); Eq keys drop NULLs as SQL demands.
-        let mut left_keys: Vec<(Expr, bool)> = Vec::new();
-        let mut right_keys: Vec<(Expr, bool)> = Vec::new();
+        let mut left_keys: Vec<(&Expr, bool)> = Vec::new();
+        let mut right_keys: Vec<(&Expr, bool)> = Vec::new();
         let mut residual: Vec<usize> = Vec::new();
         for &i in applicable.iter() {
             let p = &preds[i];
@@ -799,12 +977,12 @@ impl<'a> Executor<'a> {
                     .all(|x| layout.contains(*x) || !is_local_ref(qgm, *x, next))
                     && rq.iter().any(|x| layout.contains(*x));
                 if l_on_left && r_on_right {
-                    left_keys.push(((**left).clone(), null_ok));
-                    right_keys.push(((**r).clone(), null_ok));
+                    left_keys.push((&**left, null_ok));
+                    right_keys.push((&**r, null_ok));
                     is_key = true;
                 } else if l_on_right && r_on_left {
-                    left_keys.push(((**r).clone(), null_ok));
-                    right_keys.push(((**left).clone(), null_ok));
+                    left_keys.push((&**r, null_ok));
+                    right_keys.push((&**left, null_ok));
                     is_key = true;
                 }
             }
@@ -813,9 +991,6 @@ impl<'a> Executor<'a> {
             }
         }
         *applicable = residual;
-
-        let left_arity = layout.width();
-        let _ = left_arity;
 
         if left_keys.is_empty() {
             // Cross product (with residual filtering done by the caller).
@@ -838,52 +1013,31 @@ impl<'a> Executor<'a> {
         }
 
         // Hash join: build on the right (the fresh quantifier), probe with
-        // the accumulated rows.
-        let mut table: FxHashMap<Vec<Value>, Vec<&Row>> = FxHashMap::default();
+        // the accumulated rows. Large inputs are hash-partitioned across
+        // the worker pool; one worker builds and probes each partition.
         self.stats.hash_build_rows += right.len() as u64;
-        'build: for r in right.iter() {
-            let env1 = Env::new(&right_layout, r, env);
-            let mut key = Vec::with_capacity(right_keys.len());
-            for (k, null_ok) in &right_keys {
-                let v = eval_expr(k, &env1)?;
-                if *null_ok {
-                    // NullEq (IS NOT DISTINCT FROM) keys use total_cmp
-                    // semantics — exactly Value's Eq/Hash. Keep raw.
-                    key.push(v);
-                } else {
-                    // Eq keys must agree with sql_cmp: skip NULL/NaN rows
-                    // (they can never match), fold -0.0 into 0.0.
-                    match v.eq_key() {
-                        Some(v) => key.push(v),
-                        None => continue 'build,
-                    }
-                }
-            }
-            table.entry(key).or_default().push(r);
-        }
-
-        let mut out = Vec::new();
         self.stats.hash_probes += rows.len() as u64;
-        'probe: for l in &rows {
-            let env1 = Env::new(layout, l, env);
-            let mut key = Vec::with_capacity(left_keys.len());
-            for (k, null_ok) in &left_keys {
-                let v = eval_expr(k, &env1)?;
-                if *null_ok {
-                    key.push(v);
-                } else {
-                    match v.eq_key() {
-                        Some(v) => key.push(v),
-                        None => continue 'probe,
-                    }
-                }
-            }
-            if let Some(matches) = table.get(&key) {
-                for r in matches {
-                    out.push(l.concat(r));
-                }
-            }
-        }
+        let out = if self.parallel_over(rows.len().max(right.len())) {
+            self.partitioned_hash_join(
+                &rows,
+                layout,
+                right,
+                &right_layout,
+                &left_keys,
+                &right_keys,
+                env,
+            )?
+        } else {
+            serial_hash_join(
+                &rows,
+                layout,
+                right,
+                &right_layout,
+                &left_keys,
+                &right_keys,
+                env,
+            )?
+        };
         self.stats.join_output_rows += out.len() as u64;
         self.note_join(
             next,
@@ -893,6 +1047,77 @@ impl<'a> Executor<'a> {
             out.len() as u64,
         );
         Ok(out)
+    }
+
+    /// Hash-partitioned parallel equi-join. Both sides' keys are extracted
+    /// morsel-parallel, rows are bucketed by key hash into one partition
+    /// per worker, and each partition is built + probed independently —
+    /// equal keys land in the same partition by construction. Output is
+    /// assembled in partition order (deterministic for a fixed thread
+    /// count).
+    #[allow(clippy::too_many_arguments)]
+    fn partitioned_hash_join(
+        &self,
+        rows: &[Row],
+        layout: &Layout,
+        right: &[Row],
+        right_layout: &Layout,
+        left_keys: &[(&Expr, bool)],
+        right_keys: &[(&Expr, bool)],
+        env: Option<&Env<'_>>,
+    ) -> Result<Vec<Row>> {
+        let parts = self.pool.threads();
+        let right_keyed = extract_join_keys(&self.pool, right, right_layout, right_keys, env)?;
+        let left_keyed = extract_join_keys(&self.pool, rows, layout, left_keys, env)?;
+
+        // Bucket row indices by key hash. Rows with no key (NULL/NaN under
+        // Eq) match nothing and are dropped here, as in the serial join.
+        let bucket = |keyed: &[Option<Vec<Value>>]| -> Vec<Vec<usize>> {
+            let mut parts_idx: Vec<Vec<usize>> = vec![Vec::new(); parts];
+            for (i, k) in keyed.iter().enumerate() {
+                if let Some(k) = k {
+                    parts_idx[key_partition(k, parts)].push(i);
+                }
+            }
+            parts_idx
+        };
+        let right_parts = bucket(&right_keyed);
+        let left_parts = bucket(&left_keyed);
+
+        // Each partition builds over its right rows (bucket order = right
+        // scan order, so per-key match lists equal the serial build's) and
+        // probes its left rows, returning matches tagged with the left row
+        // index. Every left row lives in exactly one partition, so placing
+        // each match list into a per-left-row slot and flattening yields
+        // *byte-identical output to the serial probe order* — order
+        // differences would otherwise leak into downstream floating-point
+        // aggregation, where addition is not associative.
+        let part_out: Vec<Vec<(usize, Vec<Row>)>> = self.pool.run_indexed(parts, |p| {
+            let mut table: FxHashMap<&[Value], Vec<usize>> = FxHashMap::default();
+            for &ri in &right_parts[p] {
+                table
+                    .entry(right_keyed[ri].as_deref().expect("bucketed key"))
+                    .or_default()
+                    .push(ri);
+            }
+            let mut out = Vec::new();
+            for &li in &left_parts[p] {
+                let key = left_keyed[li].as_deref().expect("bucketed key");
+                if let Some(matches) = table.get(key) {
+                    let joined: Vec<Row> = matches
+                        .iter()
+                        .map(|&ri| rows[li].concat(&right[ri]))
+                        .collect();
+                    out.push((li, joined));
+                }
+            }
+            out
+        });
+        let mut slots: Vec<Vec<Row>> = vec![Vec::new(); rows.len()];
+        for (li, joined) in part_out.into_iter().flatten() {
+            slots[li] = joined;
+        }
+        Ok(slots.into_iter().flatten().collect())
     }
 
     /// Join a *deferred* base table: drive it through an index
@@ -929,8 +1154,7 @@ impl<'a> Executor<'a> {
         let use_inl = probe.is_some() && rows.len() * 2 < t.len().max(1);
         if !use_inl {
             self.stats.rows_scanned += t.len() as u64;
-            let right = Rc::new(t.rows().to_vec());
-            return self.join_step(qgm, next, rows, layout, &right, preds, applicable, env);
+            return self.join_step(qgm, next, rows, layout, t.rows(), preds, applicable, env);
         }
         let (pi, col, keyexpr) = probe.expect("checked above");
         applicable.retain(|&i| i != pi);
@@ -997,8 +1221,8 @@ impl<'a> Executor<'a> {
         qgm: &Qgm,
         sq: QuantId,
         env2: &Env<'_>,
-        cache: &mut FxHashMap<BoxId, Rc<Vec<Row>>>,
-    ) -> Result<Rc<Vec<Row>>> {
+        cache: &mut FxHashMap<BoxId, RowBatch>,
+    ) -> Result<RowBatch> {
         let child = qgm.quant(sq).input;
         // A subquery is re-evaluated per candidate row only if it references
         // quantifiers of the box being evaluated — i.e. anything bound in
@@ -1009,14 +1233,14 @@ impl<'a> Executor<'a> {
             .any(|(fq, _)| env2.layout.contains(*fq));
         if correlated_here {
             self.stats.subquery_invocations += 1;
-            return Ok(Rc::new(self.eval_box(qgm, child, Some(env2))?));
+            return Ok(self.eval_box(qgm, child, Some(env2))?.into());
         }
         if let Some(hit) = cache.get(&child) {
-            return Ok(Rc::clone(hit));
+            return Ok(RowBatch::clone(hit));
         }
         self.stats.subquery_invocations += 1;
-        let rows = Rc::new(self.eval_box(qgm, child, Some(env2))?);
-        cache.insert(child, Rc::clone(&rows));
+        let rows: RowBatch = self.eval_box(qgm, child, Some(env2))?.into();
+        cache.insert(child, RowBatch::clone(&rows));
         Ok(rows)
     }
 
@@ -1025,7 +1249,7 @@ impl<'a> Executor<'a> {
         qgm: &Qgm,
         sq: QuantId,
         env2: &Env<'_>,
-        cache: &mut FxHashMap<BoxId, Rc<Vec<Row>>>,
+        cache: &mut FxHashMap<BoxId, RowBatch>,
     ) -> Result<Value> {
         let rows = self.subquery_rows(qgm, sq, env2, cache)?;
         match rows.len() {
@@ -1044,7 +1268,7 @@ impl<'a> Executor<'a> {
         rows: Vec<Row>,
         layout: &Layout,
         env: Option<&Env<'_>>,
-        cache: &mut FxHashMap<BoxId, Rc<Vec<Row>>>,
+        cache: &mut FxHashMap<BoxId, RowBatch>,
     ) -> Result<Vec<Row>> {
         let mut out = Vec::with_capacity(rows.len());
         for mut r in rows {
@@ -1073,12 +1297,6 @@ impl<'a> Executor<'a> {
         };
 
         // Aggregate output positions and their calls.
-        struct AggSlot<'e> {
-            func: AggFunc,
-            arg: Option<&'e Expr>,
-            distinct: bool,
-            out_pos: usize,
-        }
         let mut agg_slots: Vec<AggSlot<'_>> = Vec::new();
         for (i, o) in bx.outputs.iter().enumerate() {
             if let Expr::Agg { func, arg, distinct } = &o.expr {
@@ -1091,85 +1309,27 @@ impl<'a> Executor<'a> {
             }
         }
 
-        #[derive(Clone)]
-        struct Acc {
-            count: i64,
-            sum: Value,
-            min: Value,
-            max: Value,
-            distinct: FxHashSet<Value>,
-            rep: Option<Row>, // representative row for group-column outputs
-        }
-        impl Acc {
-            fn new() -> Self {
-                Acc {
-                    count: 0,
-                    sum: Value::Null,
-                    min: Value::Null,
-                    max: Value::Null,
-                    distinct: FxHashSet::default(),
-                    rep: None,
-                }
-            }
-        }
-
         self.stats.agg_input_rows += input.len() as u64;
 
-        // One accumulator vector per group (one accumulator per agg slot).
-        let mut groups: Vec<(Vec<Value>, Vec<Acc>)> = Vec::new();
-        let mut index: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
-
-        for r in input.iter() {
-            let env1 = Env::new(&layout, r, env);
-            let mut key = Vec::with_capacity(group_by.len());
-            for g in group_by {
-                key.push(eval_expr(g, &env1)?);
+        // One accumulator vector per group (one accumulator per agg slot),
+        // in first-appearance order. Large inputs aggregate into
+        // thread-local tables over contiguous slices, merged in slice
+        // order — the merge replays distinct values in first-seen order,
+        // so the result is the one the serial fold produces.
+        let groups: Vec<(Vec<Value>, Vec<Acc>)> = if self.parallel_over(input.len()) {
+            let partials = self.pool.map_worker_slices(&input, |slice| {
+                build_groups(slice, &layout, env, group_by, &agg_slots, true)
+            });
+            let mut merged: Vec<(Vec<Value>, Vec<Acc>)> = Vec::new();
+            let mut index: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
+            for partial in partials {
+                merge_groups(&mut merged, &mut index, partial?, &agg_slots)?;
             }
-            let gi = match index.get(&key) {
-                Some(&i) => i,
-                None => {
-                    let i = groups.len();
-                    index.insert(key.clone(), i);
-                    groups.push((key, vec![Acc::new(); agg_slots.len()]));
-                    i
-                }
-            };
-            let accs = &mut groups[gi].1;
-            for (slot, acc) in agg_slots.iter().zip(accs.iter_mut()) {
-                if acc.rep.is_none() {
-                    acc.rep = Some(r.clone());
-                }
-                let v = match slot.arg {
-                    None => Value::Int(1), // COUNT(*): every row counts
-                    Some(a) => eval_expr(a, &env1)?,
-                };
-                if slot.arg.is_some() && v.is_null() {
-                    continue; // NULLs are ignored by all aggregates
-                }
-                if slot.distinct && !acc.distinct.insert(v.clone()) {
-                    continue;
-                }
-                acc.count += 1;
-                match slot.func {
-                    AggFunc::Count => {}
-                    AggFunc::Sum | AggFunc::Avg => {
-                        acc.sum = if acc.sum.is_null() {
-                            v.clone()
-                        } else {
-                            acc.sum.add(&v)?
-                        };
-                    }
-                    AggFunc::Min | AggFunc::Max => {
-                        if acc.min.is_null() || v < acc.min {
-                            acc.min = v.clone();
-                        }
-                        if acc.max.is_null() || v > acc.max {
-                            acc.max = v;
-                        }
-                    }
-                }
-            }
-        }
+            merged
+        } else {
+            build_groups(&input, &layout, env, group_by, &agg_slots, false)?
+        };
+        let mut groups = groups;
 
         // A grand-total aggregate (no GROUP BY) over empty input still
         // produces one row — the asymmetry behind the COUNT bug.
@@ -1255,8 +1415,8 @@ impl<'a> Executor<'a> {
 
         // Split ON predicates into hash keys and residuals. NullEq keys
         // (the BugRemoval join with the magic table) match NULL bindings.
-        let mut l_keys: Vec<(Expr, bool)> = Vec::new();
-        let mut r_keys: Vec<(Expr, bool)> = Vec::new();
+        let mut l_keys: Vec<(&Expr, bool)> = Vec::new();
+        let mut r_keys: Vec<(&Expr, bool)> = Vec::new();
         let mut residual: Vec<&Expr> = Vec::new();
         for p in &bx.preds {
             let mut is_key = false;
@@ -1274,16 +1434,16 @@ impl<'a> Executor<'a> {
                     && aq.contains(&ql)
                     && cq.contains(&qr)
                 {
-                    l_keys.push(((**a).clone(), null_ok));
-                    r_keys.push(((**c).clone(), null_ok));
+                    l_keys.push((&**a, null_ok));
+                    r_keys.push((&**c, null_ok));
                     is_key = true;
                 } else if aq.iter().all(|x| *x != ql)
                     && cq.iter().all(|x| *x != qr)
                     && aq.contains(&qr)
                     && cq.contains(&ql)
                 {
-                    l_keys.push(((**c).clone(), null_ok));
-                    r_keys.push(((**a).clone(), null_ok));
+                    l_keys.push((&**c, null_ok));
+                    r_keys.push((&**a, null_ok));
                     is_key = true;
                 }
             }
@@ -1313,70 +1473,96 @@ impl<'a> Executor<'a> {
             }
             table.entry(key).or_default().push(r);
         }
+        let all_right: Vec<&Row> = right.iter().collect();
 
         let nulls = Row::nulls(r_arity);
-        let mut out = Vec::new();
         self.stats.hash_probes += left.len() as u64;
-        for l in left.iter() {
-            let env1 = Env::new(&l_layout, l, env);
-            let mut key = Vec::with_capacity(l_keys.len());
-            let mut null_key = false;
-            for (k, null_ok) in &l_keys {
-                let v = eval_expr(k, &env1)?;
-                if *null_ok {
-                    key.push(v);
-                } else {
-                    match v.eq_key() {
-                        Some(v) => key.push(v),
-                        None => {
-                            null_key = true;
-                            break;
+
+        // The probe is a pure per-left-row map (the build table is only
+        // read), so the same closure serves the serial path and the
+        // morsel-parallel one.
+        let outputs = &bx.outputs;
+        let probe = |chunk: &[Row]| -> Result<(Vec<Row>, u64)> {
+            let mut out = Vec::new();
+            let mut evals = 0u64;
+            for l in chunk {
+                let env1 = Env::new(&l_layout, l, env);
+                let mut key = Vec::with_capacity(l_keys.len());
+                let mut null_key = false;
+                for (k, null_ok) in &l_keys {
+                    let v = eval_expr(k, &env1)?;
+                    if *null_ok {
+                        key.push(v);
+                    } else {
+                        match v.eq_key() {
+                            Some(v) => key.push(v),
+                            None => {
+                                null_key = true;
+                                break;
+                            }
                         }
                     }
                 }
-            }
-            // Candidates: hash matches, or (keyless ON) every right row;
-            // a NULL key matches nothing.
-            let candidate_rows: Vec<&Row> = if l_keys.is_empty() {
-                right.iter().collect()
-            } else if null_key {
-                Vec::new()
-            } else {
-                table.get(&key).map(|v| v.to_vec()).unwrap_or_default()
-            };
+                // Candidates: hash matches, or (keyless ON) every right
+                // row; a NULL key matches nothing.
+                let candidate_rows: &[&Row] = if l_keys.is_empty() {
+                    &all_right
+                } else if null_key {
+                    &[]
+                } else {
+                    table.get(&key).map(|v| v.as_slice()).unwrap_or_default()
+                };
 
-            let mut matched = false;
-            for r in candidate_rows {
-                let combined = l.concat(r);
-                let env2 = Env::new(&layout, &combined, env);
-                let mut ok = true;
-                for p in &residual {
-                    self.note_pred();
-                    if !qualifies(p, &env2)? {
-                        ok = false;
-                        break;
+                let mut matched = false;
+                for r in candidate_rows {
+                    let combined = l.concat(r);
+                    let env2 = Env::new(&layout, &combined, env);
+                    let mut ok = true;
+                    for p in &residual {
+                        evals += 1;
+                        if !qualifies(p, &env2)? {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        matched = true;
+                        let mut row = Row(Vec::with_capacity(outputs.len()));
+                        for o in outputs {
+                            row.0.push(eval_expr(&o.expr, &env2)?);
+                        }
+                        out.push(row);
                     }
                 }
-                if ok {
-                    matched = true;
-                    let mut row = Row(Vec::with_capacity(bx.outputs.len()));
-                    for o in &bx.outputs {
+                if !matched {
+                    // Null-extended left row.
+                    let combined = l.concat(&nulls);
+                    let env2 = Env::new(&layout, &combined, env);
+                    let mut row = Row(Vec::with_capacity(outputs.len()));
+                    for o in outputs {
                         row.0.push(eval_expr(&o.expr, &env2)?);
                     }
                     out.push(row);
                 }
             }
-            if !matched {
-                // Null-extended left row.
-                let combined = l.concat(&nulls);
-                let env2 = Env::new(&layout, &combined, env);
-                let mut row = Row(Vec::with_capacity(bx.outputs.len()));
-                for o in &bx.outputs {
-                    row.0.push(eval_expr(&o.expr, &env2)?);
-                }
-                out.push(row);
+            Ok((out, evals))
+        };
+
+        let (out, evals) = if self.parallel_over(left.len()) {
+            let chunks: Vec<Result<(Vec<Row>, u64)>> =
+                self.pool.map_morsels(&left, MORSEL_ROWS, probe);
+            let mut out = Vec::new();
+            let mut evals = 0u64;
+            for c in chunks {
+                let (o, e) = c?;
+                out.extend(o);
+                evals += e;
             }
-        }
+            (out, evals)
+        } else {
+            probe(&left)?
+        };
+        self.note_preds(evals);
         self.stats.join_output_rows += out.len() as u64;
         Ok(out)
     }
@@ -1388,6 +1574,310 @@ impl<'a> Executor<'a> {
 /// on either side of an equi-join key.
 fn is_local_ref(_qgm: &Qgm, q: QuantId, next: QuantId) -> bool {
     q == next
+}
+
+// ---- grouping support ------------------------------------------------------
+
+/// One aggregate call in a Grouping box's output list.
+struct AggSlot<'e> {
+    func: AggFunc,
+    arg: Option<&'e Expr>,
+    distinct: bool,
+    out_pos: usize,
+}
+
+/// Accumulator state for one aggregate over one group.
+#[derive(Clone)]
+struct Acc {
+    count: i64,
+    sum: Value,
+    min: Value,
+    max: Value,
+    distinct: FxHashSet<Value>,
+    /// Distinct values in first-seen order. Parallel merges replay a later
+    /// slice's values through [`acc_update`] in this order, reproducing the
+    /// exact accumulation sequence of a serial scan (sum order included).
+    distinct_order: Vec<Value>,
+    /// Non-distinct SUM/AVG inputs in arrival order, recorded only by
+    /// parallel slice workers. Floating-point addition is not associative,
+    /// so merging partial sums would produce a (slightly) different Double
+    /// than the serial fold; the merge replays these values instead.
+    sum_order: Vec<Value>,
+    rep: Option<Row>, // representative row for group-column outputs
+}
+
+impl Acc {
+    fn new() -> Self {
+        Acc {
+            count: 0,
+            sum: Value::Null,
+            min: Value::Null,
+            max: Value::Null,
+            distinct: FxHashSet::default(),
+            distinct_order: Vec::new(),
+            sum_order: Vec::new(),
+            rep: None,
+        }
+    }
+}
+
+/// Fold a (non-NULL, distinct-deduplicated upstream of the DISTINCT check
+/// here) value into an accumulator.
+fn acc_update(slot: &AggSlot<'_>, acc: &mut Acc, v: Value) -> Result<()> {
+    if slot.distinct {
+        if !acc.distinct.insert(v.clone()) {
+            return Ok(());
+        }
+        acc.distinct_order.push(v.clone());
+    }
+    acc.count += 1;
+    match slot.func {
+        AggFunc::Count => {}
+        AggFunc::Sum | AggFunc::Avg => {
+            acc.sum = if acc.sum.is_null() {
+                v.clone()
+            } else {
+                acc.sum.add(&v)?
+            };
+        }
+        AggFunc::Min | AggFunc::Max => {
+            if acc.min.is_null() || v < acc.min {
+                acc.min = v.clone();
+            }
+            if acc.max.is_null() || v > acc.max {
+                acc.max = v;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Hash-aggregate `rows` into per-group accumulators, groups in
+/// first-appearance order. Runs serially over the whole input, or as one
+/// worker's thread-local aggregation over a contiguous slice.
+fn build_groups(
+    rows: &[Row],
+    layout: &Layout,
+    env: Option<&Env<'_>>,
+    group_by: &[Expr],
+    slots: &[AggSlot<'_>],
+    record_sum_order: bool,
+) -> Result<Vec<(Vec<Value>, Vec<Acc>)>> {
+    let mut groups: Vec<(Vec<Value>, Vec<Acc>)> = Vec::new();
+    let mut index: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
+    for r in rows {
+        let env1 = Env::new(layout, r, env);
+        let mut key = Vec::with_capacity(group_by.len());
+        for g in group_by {
+            key.push(eval_expr(g, &env1)?);
+        }
+        let gi = match index.get(&key) {
+            Some(&i) => i,
+            None => {
+                let i = groups.len();
+                index.insert(key.clone(), i);
+                groups.push((key, vec![Acc::new(); slots.len()]));
+                i
+            }
+        };
+        let accs = &mut groups[gi].1;
+        for (slot, acc) in slots.iter().zip(accs.iter_mut()) {
+            if acc.rep.is_none() {
+                acc.rep = Some(r.clone());
+            }
+            let v = match slot.arg {
+                None => Value::Int(1), // COUNT(*): every row counts
+                Some(a) => eval_expr(a, &env1)?,
+            };
+            if slot.arg.is_some() && v.is_null() {
+                continue; // NULLs are ignored by all aggregates
+            }
+            if record_sum_order
+                && !slot.distinct
+                && matches!(slot.func, AggFunc::Sum | AggFunc::Avg)
+            {
+                acc.sum_order.push(v.clone());
+            }
+            acc_update(slot, acc, v)?;
+        }
+    }
+    Ok(groups)
+}
+
+/// Merge a later slice's groups into the accumulated result, preserving
+/// first-appearance order across slices (slices are merged in input
+/// order, so this is the serial appearance order).
+fn merge_groups(
+    into: &mut Vec<(Vec<Value>, Vec<Acc>)>,
+    index: &mut FxHashMap<Vec<Value>, usize>,
+    from: Vec<(Vec<Value>, Vec<Acc>)>,
+    slots: &[AggSlot<'_>],
+) -> Result<()> {
+    for (key, accs) in from {
+        match index.get(&key) {
+            Some(&gi) => {
+                for ((slot, into_acc), from_acc) in
+                    slots.iter().zip(into[gi].1.iter_mut()).zip(accs)
+                {
+                    merge_acc(slot, into_acc, from_acc)?;
+                }
+            }
+            None => {
+                index.insert(key.clone(), into.len());
+                into.push((key, accs));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Combine two accumulators for the same (group, aggregate) pair. `into`
+/// comes from an earlier input slice than `from`.
+fn merge_acc(slot: &AggSlot<'_>, into: &mut Acc, from: Acc) -> Result<()> {
+    if into.rep.is_none() {
+        into.rep = from.rep;
+    }
+    if slot.distinct {
+        // Partial DISTINCT sets may overlap; replay the later slice's
+        // values (first-seen order) through the serial update, which
+        // dedups against the earlier slice's set.
+        for v in from.distinct_order {
+            acc_update(slot, into, v)?;
+        }
+        return Ok(());
+    }
+    match slot.func {
+        AggFunc::Count => into.count += from.count,
+        AggFunc::Sum | AggFunc::Avg => {
+            // Adding `from.sum` here would re-associate floating-point
+            // addition (slice totals instead of the serial left-to-right
+            // fold) and shift Double sums by an ulp or two. Replay the
+            // later slice's inputs in arrival order instead; this also
+            // advances `into.count`, once per value, exactly as the
+            // serial scan did.
+            for v in from.sum_order {
+                acc_update(slot, into, v)?;
+            }
+        }
+        AggFunc::Min | AggFunc::Max => {
+            into.count += from.count;
+            if !from.min.is_null() && (into.min.is_null() || from.min < into.min) {
+                into.min = from.min;
+            }
+            if !from.max.is_null() && (into.max.is_null() || from.max > into.max) {
+                into.max = from.max;
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---- hash-join support -----------------------------------------------------
+
+/// The single-threaded build + probe the executor has always used.
+fn serial_hash_join(
+    rows: &[Row],
+    layout: &Layout,
+    right: &[Row],
+    right_layout: &Layout,
+    left_keys: &[(&Expr, bool)],
+    right_keys: &[(&Expr, bool)],
+    env: Option<&Env<'_>>,
+) -> Result<Vec<Row>> {
+    let mut table: FxHashMap<Vec<Value>, Vec<&Row>> = FxHashMap::default();
+    'build: for r in right {
+        let env1 = Env::new(right_layout, r, env);
+        let mut key = Vec::with_capacity(right_keys.len());
+        for (k, null_ok) in right_keys {
+            let v = eval_expr(k, &env1)?;
+            if *null_ok {
+                // NullEq (IS NOT DISTINCT FROM) keys use total_cmp
+                // semantics — exactly Value's Eq/Hash. Keep raw.
+                key.push(v);
+            } else {
+                // Eq keys must agree with sql_cmp: skip NULL/NaN rows
+                // (they can never match), fold -0.0 into 0.0.
+                match v.eq_key() {
+                    Some(v) => key.push(v),
+                    None => continue 'build,
+                }
+            }
+        }
+        table.entry(key).or_default().push(r);
+    }
+
+    let mut out = Vec::new();
+    'probe: for l in rows {
+        let env1 = Env::new(layout, l, env);
+        let mut key = Vec::with_capacity(left_keys.len());
+        for (k, null_ok) in left_keys {
+            let v = eval_expr(k, &env1)?;
+            if *null_ok {
+                key.push(v);
+            } else {
+                match v.eq_key() {
+                    Some(v) => key.push(v),
+                    None => continue 'probe,
+                }
+            }
+        }
+        if let Some(matches) = table.get(&key) {
+            for r in matches {
+                out.push(l.concat(r));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Extract normalized join keys for every row, morsel-parallel. `None`
+/// marks a row whose Eq key is NULL/NaN (it can never match); NullEq key
+/// parts are kept raw, exactly as in [`serial_hash_join`].
+fn extract_join_keys(
+    pool: &WorkerPool,
+    rows: &[Row],
+    layout: &Layout,
+    keys: &[(&Expr, bool)],
+    env: Option<&Env<'_>>,
+) -> Result<Vec<Option<Vec<Value>>>> {
+    let chunks: Vec<Result<Vec<Option<Vec<Value>>>>> =
+        pool.map_morsels(rows, MORSEL_ROWS, |chunk| {
+            let mut out = Vec::with_capacity(chunk.len());
+            'rows: for r in chunk {
+                let env1 = Env::new(layout, r, env);
+                let mut key = Vec::with_capacity(keys.len());
+                for (k, null_ok) in keys {
+                    let v = eval_expr(k, &env1)?;
+                    if *null_ok {
+                        key.push(v);
+                    } else {
+                        match v.eq_key() {
+                            Some(v) => key.push(v),
+                            None => {
+                                out.push(None);
+                                continue 'rows;
+                            }
+                        }
+                    }
+                }
+                out.push(Some(key));
+            }
+            Ok(out)
+        });
+    let mut all = Vec::with_capacity(rows.len());
+    for c in chunks {
+        all.extend(c?);
+    }
+    Ok(all)
+}
+
+/// Which of `parts` partitions does a join key belong to? The Fx hash is
+/// run through a murmur finalizer so small-integer keys spread across
+/// partitions instead of collapsing onto the low buckets.
+fn key_partition(key: &[Value], parts: usize) -> usize {
+    let mut h = FxHasher::default();
+    key.hash(&mut h);
+    (mix64(h.finish()) % parts as u64) as usize
 }
 
 /// Order-preserving duplicate elimination.

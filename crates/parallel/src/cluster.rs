@@ -1,8 +1,9 @@
 //! Hash-partitioned clusters of databases.
 
 use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
 
-use decorr_common::{Error, FxHasher, Result, Row};
+use decorr_common::{mix64, Error, FxHasher, Result, Row, Schema, WorkerPool};
 use decorr_storage::{Database, Table};
 
 /// A shared-nothing cluster: one [`Database`] per node, each holding a
@@ -12,23 +13,70 @@ pub struct Cluster {
     nodes: Vec<Database>,
 }
 
-/// Bit-mix a hash before taking `% n`. Fx-style multiply hashes of small
-/// integer values carry no entropy in their low bits (the f64 bit pattern
-/// of a small integer has 30+ trailing zeroes), so plain modulo bucketing
-/// would collapse onto node 0; a murmur-style finalizer spreads them.
-fn spread(h: u64) -> u64 {
-    let mut x = h;
-    x ^= x >> 33;
-    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
-    x ^= x >> 33;
-    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
-    x ^ (x >> 33)
-}
-
+/// Fx hashes of small integer values carry no entropy in their low bits
+/// (the f64 bit pattern of a small integer has 30+ trailing zeroes), so
+/// plain modulo bucketing would collapse onto node 0; [`mix64`] spreads
+/// them before `% n` — the same finalizer the executor's partitioned hash
+/// join uses.
 fn hash_value(v: &decorr_common::Value) -> u64 {
     let mut h = FxHasher::default();
     v.hash(&mut h);
-    spread(h.finish())
+    mix64(h.finish())
+}
+
+/// Physical design of one table, captured once so per-node partitions can
+/// be (re)built in parallel worker jobs without touching the source.
+struct TableMeta {
+    name: String,
+    schema: Schema,
+    key: Option<Vec<String>>,
+    index_cols: Vec<Vec<String>>,
+}
+
+impl TableMeta {
+    fn of(t: &Table) -> TableMeta {
+        let names = |cols: &[usize]| -> Vec<String> {
+            cols.iter()
+                .map(|&c| t.schema().column(c).name.clone())
+                .collect()
+        };
+        TableMeta {
+            name: t.name().to_string(),
+            schema: t.schema().clone(),
+            key: t.key().map(names),
+            index_cols: t.indexes().iter().map(|idx| names(idx.columns())).collect(),
+        }
+    }
+
+    /// Build one node's partition: same schema, key and indexes as the
+    /// source, holding exactly `rows`.
+    fn build(&self, rows: Vec<Row>) -> Result<Table> {
+        let mut t = Table::new(&self.name, self.schema.clone());
+        if let Some(key) = &self.key {
+            let refs: Vec<&str> = key.iter().map(String::as_str).collect();
+            t.set_key(&refs)?;
+        }
+        t.insert_all(rows)?;
+        for cols in &self.index_cols {
+            let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+            t.create_index(&refs)?;
+        }
+        Ok(t)
+    }
+}
+
+/// Build all `n` node partitions of one table on the worker pool (one job
+/// per node: inserts, key enforcement, index builds).
+fn build_partitions(
+    pool: &WorkerPool,
+    meta: &TableMeta,
+    buckets: Vec<Vec<Row>>,
+) -> Vec<Result<Table>> {
+    let buckets: Vec<Mutex<Vec<Row>>> = buckets.into_iter().map(Mutex::new).collect();
+    pool.run_indexed(buckets.len(), |i| {
+        let rows = std::mem::take(&mut *buckets[i].lock().expect("bucket lock"));
+        meta.build(rows)
+    })
 }
 
 impl Cluster {
@@ -40,20 +88,13 @@ impl Cluster {
         if n == 0 {
             return Err(Error::internal("cluster needs at least one node"));
         }
+        let pool = WorkerPool::new(n);
         let mut nodes: Vec<Database> = (0..n).map(|_| Database::new()).collect();
         for table in db.tables() {
-            for node_db in &mut nodes {
-                let mut t = Table::new(table.name(), table.schema().clone());
-                if let Some(key) = table.key() {
-                    let names: Vec<String> = key
-                        .iter()
-                        .map(|&c| table.schema().column(c).name.clone())
-                        .collect();
-                    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
-                    t.set_key(&refs)?;
-                }
-                node_db.add_table(t)?;
-            }
+            // Route rows to nodes (serial: one pass over the source), then
+            // build all node partitions — inserts, key enforcement, index
+            // builds — in parallel, one worker job per node.
+            let mut buckets: Vec<Vec<Row>> = vec![Vec::new(); n];
             for (i, row) in table.rows().iter().enumerate() {
                 let node = match table.key() {
                     Some(key) => {
@@ -61,28 +102,18 @@ impl Cluster {
                         for &c in key {
                             row[c].hash(&mut h);
                         }
-                        (spread(h.finish()) % n as u64) as usize
+                        (mix64(h.finish()) % n as u64) as usize
                     }
                     None => i % n,
                 };
-                nodes[node].table_mut(table.name())?.insert(row.clone())?;
+                buckets[node].push(row.clone());
             }
-            // Same physical design on every node.
-            let index_cols: Vec<Vec<String>> = table
-                .indexes()
-                .iter()
-                .map(|idx| {
-                    idx.columns()
-                        .iter()
-                        .map(|&c| table.schema().column(c).name.clone())
-                        .collect()
-                })
-                .collect();
-            for node_db in &mut nodes {
-                for cols in &index_cols {
-                    let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
-                    node_db.table_mut(table.name())?.create_index(&refs)?;
-                }
+            let meta = TableMeta::of(table);
+            for (node_db, part) in nodes
+                .iter_mut()
+                .zip(build_partitions(&pool, &meta, buckets))
+            {
+                node_db.add_table(part?)?;
             }
         }
         Ok(Cluster { nodes })
@@ -123,35 +154,18 @@ impl Cluster {
                 buckets[target].push(row.clone());
             }
         }
-        // Rebuild each node's partition (preserving schema/key/indexes).
-        for (node_db, bucket) in self.nodes.iter_mut().zip(buckets) {
-            let old = node_db.table(table)?;
-            let mut fresh = Table::new(old.name(), old.schema().clone());
-            if let Some(key) = old.key() {
-                let names: Vec<String> = key
-                    .iter()
-                    .map(|&c| old.schema().column(c).name.clone())
-                    .collect();
-                let refs: Vec<&str> = names.iter().map(String::as_str).collect();
-                fresh.set_key(&refs)?;
-            }
-            let index_cols: Vec<Vec<String>> = old
-                .indexes()
-                .iter()
-                .map(|idx| {
-                    idx.columns()
-                        .iter()
-                        .map(|&c| old.schema().column(c).name.clone())
-                        .collect()
-                })
-                .collect();
-            fresh.insert_all(bucket)?;
-            for cols in &index_cols {
-                let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
-                fresh.create_index(&refs)?;
-            }
+        // Rebuild each node's partition (preserving schema/key/indexes) in
+        // parallel — the physical design is identical on every node, so
+        // the rebuild jobs share one metadata snapshot.
+        let meta = TableMeta::of(self.nodes[0].table(table)?);
+        let pool = WorkerPool::new(n);
+        for (node_db, part) in self
+            .nodes
+            .iter_mut()
+            .zip(build_partitions(&pool, &meta, buckets))
+        {
             node_db.drop_table(table)?;
-            node_db.add_table(fresh)?;
+            node_db.add_table(part?)?;
         }
         Ok(shipped)
     }
@@ -163,6 +177,15 @@ impl Cluster {
             total += db.table(table)?.len();
         }
         Ok(total)
+    }
+
+    /// Rows of `table` held by each node, in node order — the partition
+    /// balance the [`crate::ParallelStats`] row-skew report starts from.
+    pub fn rows_per_node(&self, table: &str) -> Result<Vec<u64>> {
+        self.nodes
+            .iter()
+            .map(|db| Ok(db.table(table)?.len() as u64))
+            .collect()
     }
 }
 

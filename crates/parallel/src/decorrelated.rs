@@ -6,10 +6,9 @@
 //! therefore be performed locally. ... each of the joins can be executed
 //! in parallel on all nodes without interference from each other."
 
-use std::sync::Mutex;
 use std::time::Instant;
 
-use decorr_common::{Error, Result, Row};
+use decorr_common::{Error, Result, Row, WorkerPool};
 use decorr_core::magic::{magic_decorrelate, MagicOptions};
 use decorr_exec::{ExecOptions, Executor};
 use decorr_qgm::Qgm;
@@ -62,27 +61,16 @@ pub fn run_decorrelated(
         stats.messages += shipped;
     }
 
-    // Parallel phase: one plan fragment per node, no cross-talk.
-    let node_work: Mutex<Vec<u64>> = Mutex::new(vec![0; n]);
+    // Parallel phase: one plan fragment per node, no cross-talk. The
+    // fragments run on the shared worker pool (one job per node); each
+    // returns its rows and its deterministic work counter, reassembled in
+    // node order.
+    let pool = WorkerPool::new(n);
     let started = Instant::now();
-    let results: Vec<Result<Vec<Row>>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..n)
-            .map(|i| {
-                let plan = &plan;
-                let node_work = &node_work;
-                let cluster = &*cluster;
-                scope.spawn(move || -> Result<Vec<Row>> {
-                    let mut ex = Executor::new(cluster.node(i), ExecOptions::default());
-                    let rows = ex.run(plan)?;
-                    node_work.lock().unwrap()[i] += ex.stats().total_work();
-                    Ok(rows)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parallel worker panicked"))
-            .collect()
+    let results: Vec<Result<(Vec<Row>, u64)>> = pool.run_indexed(n, |i| {
+        let mut ex = Executor::new(cluster.node(i), ExecOptions::default());
+        let rows = ex.run(&plan)?;
+        Ok((rows, ex.stats().total_work()))
     });
 
     stats.fragments += n as u64;
@@ -90,12 +78,12 @@ pub fn run_decorrelated(
     stats.messages += n as u64;
 
     let mut rows = Vec::new();
-    for r in results {
-        rows.extend(r?);
+    for (i, r) in results.into_iter().enumerate() {
+        let (node_rows, work) = r?;
+        stats.per_node_work[i] = work;
+        stats.per_node_rows.push(node_rows.len() as u64);
+        rows.extend(node_rows);
     }
-    stats.per_node_work = node_work
-        .into_inner()
-        .expect("worker poisoned the stats mutex");
     stats.elapsed = started.elapsed();
     stats.result_rows = rows.len();
     Ok((rows, stats))

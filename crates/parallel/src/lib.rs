@@ -22,9 +22,10 @@
 //!   decorrelated plan *independently on every node* — O(n) fragments and
 //!   no execution-time communication, exactly the Section 6.2 plan.
 //!
-//! Node fragments run on real threads (crossbeam scoped threads); the
-//! returned [`ParallelStats`] carries both communication counters and the
-//! per-node work.
+//! Node fragments run on real threads via the shared
+//! [`decorr_common::WorkerPool`] (std scoped threads, one job per node);
+//! the returned [`ParallelStats`] carries communication counters, per-node
+//! work, and per-node result rows (row skew).
 
 pub mod cluster;
 pub mod decorrelated;

@@ -8,7 +8,7 @@
 use std::sync::Mutex;
 use std::time::Instant;
 
-use decorr_common::{Error, Result, Row, Value};
+use decorr_common::{Error, Result, Row, Value, WorkerPool};
 use decorr_core::baselines::match_agg_subquery;
 use decorr_exec::{Env, ExecOptions, Executor, Layout};
 use decorr_qgm::{AggFunc, BoxKind, Expr, Qgm, QuantKind};
@@ -93,80 +93,71 @@ pub fn run_nested_iteration(cluster: &Cluster, qgm: &Qgm) -> Result<(Vec<Row>, P
         invocations: u64,
     }
 
-    let results: Vec<Result<NodeOut>> = std::thread::scope(|scope| {
-        let pat = &pat;
-        let handles: Vec<_> = (0..n)
-            .map(|i| {
-                let node_work = &node_work;
-                let outer_preds = &outer_preds;
-                let scalar_preds = &scalar_preds;
-                scope.spawn(move || -> Result<NodeOut> {
-                    let mut out =
-                        NodeOut { rows: Vec::new(), messages: 0, fragments: 0, invocations: 0 };
-                    let local = cluster.node(i);
-                    let table = local.table(outer_table)?;
+    // One fan-out job per node on the worker pool. Node i's outer loop
+    // charges work to *other* nodes (each binding broadcast runs a subquery
+    // fragment on every node j), so the per-node work vector stays behind a
+    // mutex — unlike the decorrelated path, work is not job-local here.
+    let pat = &pat;
+    let pool = WorkerPool::new(n);
+    let results: Vec<Result<NodeOut>> = pool.run_indexed(n, |i| {
+        let mut out = NodeOut { rows: Vec::new(), messages: 0, fragments: 0, invocations: 0 };
+        let local = cluster.node(i);
+        let table = local.table(outer_table)?;
 
-                    // Layout of a candidate row: the outer columns plus the
-                    // combined subquery value appended at the end.
-                    let mut layout = Layout::new();
-                    layout.push(oq, outer_arity);
-                    let mut ext_layout = layout.clone();
-                    ext_layout.push(pat.q, 1);
+        // Layout of a candidate row: the outer columns plus the
+        // combined subquery value appended at the end.
+        let mut layout = Layout::new();
+        layout.push(oq, outer_arity);
+        let mut ext_layout = layout.clone();
+        ext_layout.push(pat.q, 1);
 
-                    'rows: for row in table.rows() {
-                        {
-                            let env = Env::new(&layout, row, None);
-                            for p in outer_preds {
-                                if !decorr_exec::eval::qualifies(p, &env)? {
-                                    continue 'rows;
-                                }
-                            }
-                        }
-                        // Broadcast the bindings: every node runs a local
-                        // subquery fragment.
-                        out.invocations += 1;
-                        let bound = instantiate_subquery(qgm, subquery_child, &pat.corr, row);
-                        let mut combined: Value = agg_func.empty_value();
-                        for j in 0..n {
-                            out.fragments += 1;
-                            if j != i {
-                                out.messages += 2; // request + partial result
-                            }
-                            let mut ex = Executor::new(cluster.node(j), ExecOptions::default());
-                            let partial_rows = ex.run(&bound)?;
-                            node_work.lock().unwrap()[j] += ex.stats().total_work();
-                            let partial = partial_rows
-                                .first()
-                                .map(|r| r[0].clone())
-                                .unwrap_or(Value::Null);
-                            combined = combine(agg_func, combined, partial)?;
-                        }
-
-                        // Evaluate the comparison and the projection.
-                        let mut ext = row.clone();
-                        ext.0.push(combined);
-                        let env = Env::new(&ext_layout, &ext, None);
-                        for p in scalar_preds {
-                            if !decorr_exec::eval::qualifies(p, &env)? {
-                                continue 'rows;
-                            }
-                        }
-                        let mut projected = Row(Vec::new());
-                        for o in &qgm.boxref(pat.cur).outputs {
-                            projected
-                                .0
-                                .push(decorr_exec::eval::eval_expr(&o.expr, &env)?);
-                        }
-                        out.rows.push(projected);
+        'rows: for row in table.rows() {
+            {
+                let env = Env::new(&layout, row, None);
+                for p in &outer_preds {
+                    if !decorr_exec::eval::qualifies(p, &env)? {
+                        continue 'rows;
                     }
-                    Ok(out)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parallel worker panicked"))
-            .collect()
+                }
+            }
+            // Broadcast the bindings: every node runs a local
+            // subquery fragment.
+            out.invocations += 1;
+            let bound = instantiate_subquery(qgm, subquery_child, &pat.corr, row);
+            let mut combined: Value = agg_func.empty_value();
+            for j in 0..n {
+                out.fragments += 1;
+                if j != i {
+                    out.messages += 2; // request + partial result
+                }
+                let mut ex = Executor::new(cluster.node(j), ExecOptions::default());
+                let partial_rows = ex.run(&bound)?;
+                node_work.lock().unwrap()[j] += ex.stats().total_work();
+                let partial = partial_rows
+                    .first()
+                    .map(|r| r[0].clone())
+                    .unwrap_or(Value::Null);
+                combined = combine(agg_func, combined, partial)?;
+            }
+
+            // Evaluate the comparison and the projection.
+            let mut ext = row.clone();
+            ext.0.push(combined);
+            let env = Env::new(&ext_layout, &ext, None);
+            for p in &scalar_preds {
+                if !decorr_exec::eval::qualifies(p, &env)? {
+                    continue 'rows;
+                }
+            }
+            let mut projected = Row(Vec::new());
+            for o in &qgm.boxref(pat.cur).outputs {
+                projected
+                    .0
+                    .push(decorr_exec::eval::eval_expr(&o.expr, &env)?);
+            }
+            out.rows.push(projected);
+        }
+        Ok(out)
     });
 
     let mut rows = Vec::new();
@@ -179,6 +170,7 @@ pub fn run_nested_iteration(cluster: &Cluster, qgm: &Qgm) -> Result<(Vec<Row>, P
     };
     for r in results {
         let r = r?;
+        stats.per_node_rows.push(r.rows.len() as u64);
         rows.extend(r.rows);
         stats.messages += r.messages;
         stats.fragments += r.fragments;

@@ -21,6 +21,9 @@ pub struct ParallelStats {
     /// Deterministic work performed by each node
     /// ([`decorr_common::ExecStats::total_work`]).
     pub per_node_work: Vec<u64>,
+    /// Result rows produced by each node — the row-level balance of the
+    /// partitioning (work skew can hide a row skew behind index use).
+    pub per_node_rows: Vec<u64>,
     /// Wall-clock time of the parallel phase.
     pub elapsed: Duration,
     /// Rows in the final result.
@@ -46,6 +49,31 @@ impl ParallelStats {
             max / mean
         }
     }
+
+    /// Most result rows any node produced.
+    pub fn max_node_rows(&self) -> u64 {
+        self.per_node_rows.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Fewest result rows any node produced.
+    pub fn min_node_rows(&self) -> u64 {
+        self.per_node_rows.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Max/mean *row* ratio across nodes; 1.0 is perfectly balanced, and
+    /// an empty (or all-empty) cluster reports 1.0.
+    pub fn row_skew(&self) -> f64 {
+        if self.per_node_rows.is_empty() {
+            return 1.0;
+        }
+        let total: u64 = self.per_node_rows.iter().sum();
+        let mean = total as f64 / self.per_node_rows.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.max_node_rows() as f64 / mean
+        }
+    }
 }
 
 impl fmt::Display for ParallelStats {
@@ -57,6 +85,12 @@ impl fmt::Display for ParallelStats {
         writeln!(f, "subquery invokes {:>12}", self.subquery_invocations)?;
         writeln!(f, "total work       {:>12}", self.total_work())?;
         writeln!(f, "work skew        {:>12.2}", self.skew())?;
+        writeln!(
+            f,
+            "node rows        {:>12}",
+            format!("{}..{}", self.min_node_rows(), self.max_node_rows())
+        )?;
+        writeln!(f, "row skew         {:>12.2}", self.row_skew())?;
         write!(f, "result rows      {:>12}", self.result_rows)
     }
 }
@@ -81,5 +115,14 @@ mod tests {
     #[test]
     fn empty_cluster_skew() {
         assert_eq!(ParallelStats::default().skew(), 1.0);
+        assert_eq!(ParallelStats::default().row_skew(), 1.0);
+    }
+
+    #[test]
+    fn row_skew_and_extremes() {
+        let s = ParallelStats { per_node_rows: vec![4, 8, 0, 4], ..Default::default() };
+        assert_eq!(s.max_node_rows(), 8);
+        assert_eq!(s.min_node_rows(), 0);
+        assert!((s.row_skew() - 2.0).abs() < 1e-9);
     }
 }
