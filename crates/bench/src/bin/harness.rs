@@ -3,22 +3,31 @@
 //! counters.
 //!
 //! ```text
-//! harness [table1|fig5|fig6|fig7|fig8|fig9|parallel|countbug|ablation|all]
+//! harness [table1|fig5|fig6|fig7|fig8|fig9|parallel|countbug|ablation|accuracy|all]
 //!         [--scale S] [--seed N] [--nodes N1,N2,...] [--threads N]
-//!         [--trace] [--bench-json [PATH]]
+//!         [--trace] [--analyze] [--explain-cost] [--qerr-threshold Q]
+//!         [--bench-json [PATH]]
 //! ```
 //!
 //! `--threads N` runs the figure executors on a worker pool of N threads
 //! (default 1 = serial). `--trace` additionally emits, for each figure, the
 //! per-strategy rewrite step log and a single-line JSON document with the
 //! EXPLAIN plans, rewrite traces and per-box execution traces.
-//! `--bench-json [PATH]` records the serial-vs-parallel benchmark baseline
-//! (failing if their results diverge) to PATH, default `BENCH_PR2.json`.
+//! `--analyze` prints the collected `ANALYZE` statistics for each figure's
+//! database. `--explain-cost` prints, per figure, the five-way strategy
+//! race (ranked estimates) and the chosen plan's per-box estimated-vs-
+//! actual rows with q-error. The `accuracy` experiment summarizes the race
+//! across every figure; with `--qerr-threshold Q` it exits non-zero if any
+//! chosen plan's total-cost q-error exceeds Q (the CI `estimator-accuracy`
+//! job). `--bench-json [PATH]` records the serial-vs-parallel benchmark
+//! baseline plus each figure's chosen strategy and q-error (failing if
+//! serial and parallel results diverge) to PATH, default `BENCH_PR2.json`.
 
 use std::time::Instant;
 
 use decorr_bench::{
-    bench_baseline, figure_trace_json, format_table, run_figure_traced, run_figure_with, Figure,
+    analyze_figure, bench_baseline, figure_trace_json, format_table, race_figure,
+    run_figure_traced, run_figure_with, Figure,
 };
 use decorr_common::Result;
 use decorr_core::magic::MagicOptions;
@@ -34,6 +43,9 @@ struct Args {
     nodes: Vec<usize>,
     threads: usize,
     trace: bool,
+    analyze: bool,
+    explain_cost: bool,
+    qerr_threshold: Option<f64>,
     bench_json: Option<String>,
 }
 
@@ -45,6 +57,9 @@ fn parse_args() -> Args {
         nodes: vec![1, 2, 4, 8],
         threads: 1,
         trace: false,
+        analyze: false,
+        explain_cost: false,
+        qerr_threshold: None,
         bench_json: None,
     };
     let mut it = std::env::args().skip(1).peekable();
@@ -62,6 +77,16 @@ fn parse_args() -> Args {
             }
             "--threads" => args.threads = it.next().expect("--threads N").parse().expect("number"),
             "--trace" => args.trace = true,
+            "--analyze" => args.analyze = true,
+            "--explain-cost" => args.explain_cost = true,
+            "--qerr-threshold" => {
+                args.qerr_threshold = Some(
+                    it.next()
+                        .expect("--qerr-threshold Q")
+                        .parse()
+                        .expect("number"),
+                )
+            }
             "--bench-json" => {
                 // Optional path operand: consume the next token only if it
                 // names a JSON file, else record to the default path.
@@ -80,8 +105,9 @@ fn parse_args() -> Args {
     args
 }
 
-const EXPERIMENTS: [&str; 10] = [
-    "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "countbug", "ablation", "parallel", "all",
+const EXPERIMENTS: [&str; 11] = [
+    "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "countbug", "ablation", "parallel",
+    "accuracy", "all",
 ];
 
 fn main() -> Result<()> {
@@ -108,8 +134,11 @@ fn main() -> Result<()> {
     }
     for fig in Figure::all() {
         if wants(fig.id()) {
-            figure(fig, args.scale, args.seed, args.threads, args.trace)?;
+            figure(fig, &args)?;
         }
+    }
+    if wants("accuracy") {
+        accuracy(&args)?;
     }
     if wants("countbug") {
         countbug()?;
@@ -155,10 +184,19 @@ fn table1(scale: f64) {
     println!();
 }
 
-fn figure(fig: Figure, scale: f64, seed: u64, threads: usize, trace: bool) -> Result<()> {
+fn figure(fig: Figure, args: &Args) -> Result<()> {
+    let (scale, seed, threads, trace) = (args.scale, args.seed, args.threads, args.trace);
     let db = fig.database(scale, seed)?;
+    if args.analyze {
+        println!("ANALYZE ({}, scale {scale}):", fig.id());
+        print!("{}", analyze_figure(fig, scale, seed)?);
+        println!();
+    }
     let ms = run_figure_with(fig, &db, threads)?;
     println!("{}", format_table(fig, scale, &ms));
+    if args.explain_cost {
+        println!("{}", race_figure(fig, &db)?.render());
+    }
     if trace {
         let runs = run_figure_traced(fig, &db)?;
         for (_, t) in &runs {
@@ -172,6 +210,59 @@ fn figure(fig: Figure, scale: f64, seed: u64, threads: usize, trace: bool) -> Re
         }
         println!("{}", figure_trace_json(fig, &runs));
         println!();
+    }
+    Ok(())
+}
+
+/// The estimator-accuracy summary: race every figure, execute the chosen
+/// plan, and report how the cost prediction held up. With
+/// `--qerr-threshold Q` this is the CI smoke gate — exits non-zero when
+/// any chosen plan's total-cost q-error exceeds Q.
+fn accuracy(args: &Args) -> Result<()> {
+    println!(
+        "Estimator accuracy — cost-based race over every figure (scale {})",
+        args.scale
+    );
+    println!(
+        "{:<6} {:<8} {:>14} {:>14} {:>8} {:>10} {:>8} {:>10}",
+        "figure", "chosen", "est cost", "actual work", "cost-q", "max box-q", "best", "work ratio"
+    );
+    let mut worst: Option<(Figure, f64)> = None;
+    for fig in Figure::all() {
+        let db = fig.database(args.scale, args.seed)?;
+        let o = race_figure(fig, &db)?;
+        println!(
+            "{:<6} {:<8} {:>14.0} {:>14} {:>8.2} {:>10.2} {:>8} {:>10.2}",
+            fig.id(),
+            o.choice.strategy.name(),
+            o.choice.estimate.cost,
+            o.chosen_work,
+            o.cost_q_error(),
+            o.report.max_q(),
+            o.best_strategy.name(),
+            o.work_ratio()
+        );
+        if args.explain_cost {
+            println!("{}", o.render());
+        }
+        if worst.is_none() || o.cost_q_error() > worst.unwrap().1 {
+            worst = Some((fig, o.cost_q_error()));
+        }
+    }
+    println!();
+    if let (Some(q), Some((fig, got))) = (args.qerr_threshold, worst) {
+        if got > q {
+            eprintln!(
+                "estimator accuracy regression: {} total-cost q-error {got:.2} exceeds \
+                 threshold {q:.2}",
+                fig.id()
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "worst total-cost q-error {got:.2} within threshold {q:.2} ({})",
+            fig.id()
+        );
     }
     Ok(())
 }

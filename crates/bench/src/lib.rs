@@ -5,11 +5,15 @@
 
 use std::time::{Duration, Instant};
 
+use decorr::choose::{audit_estimates, choose_strategy_with, PlanChoice};
 use decorr_common::{Error, ExecStats, JsonWriter, Result, Row};
 use decorr_core::{apply_strategy, apply_strategy_traced, RewriteTrace, Strategy};
-use decorr_exec::{execute_traced, execute_with, ExecOptions, ExecTrace, ScalarPlacement};
+use decorr_exec::{
+    execute_traced, execute_with, CostModel, ExecOptions, ExecTrace, ScalarPlacement,
+};
 use decorr_qgm::{print, Qgm};
 use decorr_sql::parse_and_bind;
+use decorr_stats::{q_error, AccuracyReport, Statistics};
 use decorr_storage::Database;
 use decorr_tpcd::{generate, queries, TpcdConfig};
 
@@ -326,6 +330,110 @@ pub fn figure_trace_json(fig: Figure, runs: &[(Measurement, StrategyTrace)]) -> 
     w.finish()
 }
 
+/// The strategies the cost-based race can actually choose from (Kim is
+/// raced for its estimate but is unsound; OptMag joins the race in a
+/// future PR) — the yardstick for [`ChoiceOutcome::best_work`].
+pub const SOUND_STRATEGIES: [Strategy; 4] = [
+    Strategy::NestedIteration,
+    Strategy::Dayal,
+    Strategy::GanskiWong,
+    Strategy::Magic,
+];
+
+/// One figure's cost-based choice, measured: what the race picked, how
+/// much work the chosen plan actually did, how that compares to the best
+/// choosable strategy's measured work, and the per-box accuracy audit.
+#[derive(Debug, Clone)]
+pub struct ChoiceOutcome {
+    pub figure: Figure,
+    pub choice: PlanChoice,
+    /// Measured total work of the chosen plan.
+    pub chosen_work: u64,
+    /// The choosable strategy with the least measured work…
+    pub best_strategy: Strategy,
+    /// …and that work, for the "within 2x of best" acceptance bar.
+    pub best_work: u64,
+    /// Per-box estimated-vs-actual rows with q-error.
+    pub report: AccuracyReport,
+}
+
+impl ChoiceOutcome {
+    /// q-error of the total-cost prediction against measured work — the
+    /// number the CI `estimator-accuracy` job thresholds.
+    pub fn cost_q_error(&self) -> f64 {
+        q_error(self.choice.estimate.cost, self.chosen_work as f64)
+    }
+
+    /// Measured work of the chosen plan relative to the best choosable
+    /// strategy (1.0 = the race picked the measured winner).
+    pub fn work_ratio(&self) -> f64 {
+        self.chosen_work.max(1) as f64 / self.best_work.max(1) as f64
+    }
+
+    /// Human-readable dump: ranked race, per-box accuracy, summary line.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        writeln!(
+            s,
+            "{} — strategy race (cheapest first):",
+            self.figure.title()
+        )
+        .unwrap();
+        s.push_str(&self.choice.render());
+        writeln!(
+            s,
+            "estimation accuracy ({} plan):",
+            self.choice.strategy.name()
+        )
+        .unwrap();
+        s.push_str(&self.report.render());
+        writeln!(
+            s,
+            "chosen {} work {} vs best {} work {}: ratio {:.2}, total-cost q-error {:.2}",
+            self.choice.strategy.name(),
+            self.chosen_work,
+            self.best_strategy.name(),
+            self.best_work,
+            self.work_ratio(),
+            self.cost_q_error()
+        )
+        .unwrap();
+        s
+    }
+}
+
+/// Race every strategy over one figure's query, execute the winner with a
+/// per-box trace, audit the estimates, and measure every sound strategy
+/// for comparison.
+pub fn race_figure(fig: Figure, db: &Database) -> Result<ChoiceOutcome> {
+    let model = CostModel::new(db);
+    let qgm = parse_and_bind(fig.sql(), db)?;
+    let choice = choose_strategy_with(&model, qgm)?;
+    let (_, stats, trace) = execute_traced(db, &choice.plan, fig.exec_opts(choice.strategy))?;
+    let report = audit_estimates(&choice.plan, &choice.plan_estimate, &trace);
+    let chosen_work = stats.total_work();
+
+    let mut best_strategy = choice.strategy;
+    let mut best_work = chosen_work;
+    for s in SOUND_STRATEGIES {
+        let Ok((_, m)) = run_strategy(db, fig.sql(), s, fig.exec_opts(s)) else {
+            continue; // strategy inapplicable to this query
+        };
+        if m.stats.total_work() < best_work {
+            best_work = m.stats.total_work();
+            best_strategy = s;
+        }
+    }
+    Ok(ChoiceOutcome { figure: fig, choice, chosen_work, best_strategy, best_work, report })
+}
+
+/// `ANALYZE` the database a figure runs against and render the result.
+pub fn analyze_figure(fig: Figure, scale: f64, seed: u64) -> Result<String> {
+    let db = fig.database(scale, seed)?;
+    Ok(Statistics::analyze(&db).render())
+}
+
 /// The figures recorded by the benchmark baseline (`harness --bench-json`):
 /// the expensive scan-heavy query (Fig 5), the indexed key-correlation
 /// query (Fig 8) and the non-linear UNION query (Fig 9).
@@ -388,7 +496,23 @@ pub fn bench_baseline(scale: f64, seed: u64, threads: usize) -> Result<String> {
             }
             w.end_array().end_object();
         }
-        w.end_array().end_object();
+        w.end_array();
+        // The cost-based race's verdict for this figure, so the bench
+        // trajectory tracks estimator quality over future PRs.
+        let outcome = race_figure(fig, &db)?;
+        w.key("choice").begin_object();
+        w.field_str("strategy", outcome.choice.strategy.name())
+            .field_float("est_cost", outcome.choice.estimate.cost)
+            .field_uint("chosen_work", outcome.chosen_work)
+            .field_str("best_strategy", outcome.best_strategy.name())
+            .field_uint("best_work", outcome.best_work)
+            .field_float("work_ratio", outcome.work_ratio())
+            .field_float("cost_q_error", outcome.cost_q_error())
+            .field_float("max_box_q_error", outcome.report.max_q());
+        w.key("boxes");
+        outcome.report.write_json(&mut w);
+        w.end_object();
+        w.end_object();
     }
     w.end_array().end_object();
     Ok(w.finish())

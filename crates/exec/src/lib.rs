@@ -36,6 +36,7 @@ pub mod exec;
 pub mod trace;
 
 pub use cost::{CostModel, Estimate};
+pub use decorr_stats::{BoxEstimate, PlanEstimate};
 pub use env::{Env, Layout};
 pub use exec::{ExecOptions, Executor, ScalarPlacement};
 pub use trace::{BoxTrace, ExecTrace, JoinChoice, JoinStrategy};

@@ -1,0 +1,440 @@
+//! The `ANALYZE` pass: per-column statistics over base tables.
+
+use std::fmt::Write as _;
+
+use decorr_common::{FxHashMap, Value};
+use decorr_qgm::BinOp;
+use decorr_storage::{Database, Table};
+
+/// Number of equi-depth histogram buckets (fewer when the column has
+/// fewer distinct values).
+const HISTOGRAM_BUCKETS: usize = 64;
+/// Maximum length of the most-common-values list.
+const MCV_LIMIT: usize = 8;
+
+/// An equi-depth histogram over the non-NULL values of one column.
+///
+/// `bounds` holds `buckets + 1` sorted boundary values; every bucket
+/// contains (approximately) `total / buckets` values. Built from the full
+/// sorted column, so boundaries are exact order statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    bounds: Vec<Value>,
+    /// Number of values the histogram summarizes (non-NULL count).
+    total: u64,
+}
+
+impl Histogram {
+    /// Build from the sorted non-NULL values of a column.
+    fn build(sorted: &[Value]) -> Self {
+        if sorted.is_empty() {
+            return Histogram::default();
+        }
+        let buckets = HISTOGRAM_BUCKETS.min(sorted.len());
+        let mut bounds = Vec::with_capacity(buckets + 1);
+        for i in 0..=buckets {
+            // Order statistic at fraction i/buckets (clamped to the ends).
+            let pos = (i * (sorted.len() - 1)) / buckets;
+            bounds.push(sorted[pos].clone());
+        }
+        Histogram { bounds, total: sorted.len() as u64 }
+    }
+
+    pub fn buckets(&self) -> usize {
+        self.bounds.len().saturating_sub(1)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Estimated fraction of (non-NULL) values `< v` (or `<= v` when
+    /// `inclusive`), interpolating linearly inside numeric buckets.
+    pub fn fraction_below(&self, v: &Value, inclusive: bool) -> f64 {
+        let nb = self.buckets();
+        if nb == 0 {
+            return 0.5;
+        }
+        if cmp_below(v, &self.bounds[0], inclusive) {
+            return 0.0;
+        }
+        if !cmp_below(v, &self.bounds[nb], inclusive) {
+            return 1.0;
+        }
+        // Find the bucket containing v: bounds[i] <= v < bounds[i+1].
+        for i in 0..nb {
+            if cmp_below(v, &self.bounds[i + 1], inclusive) {
+                let lo = &self.bounds[i];
+                let hi = &self.bounds[i + 1];
+                let within = match (lo.as_double(), hi.as_double(), v.as_double()) {
+                    (Ok(l), Ok(h), Ok(x)) if h > l => ((x - l) / (h - l)).clamp(0.0, 1.0),
+                    _ => 0.5, // non-numeric or degenerate bucket
+                };
+                return (i as f64 + within) / nb as f64;
+            }
+        }
+        1.0
+    }
+}
+
+/// Is `v` strictly below `bound` (`inclusive` shifts `<` to `<=`)?
+fn cmp_below(v: &Value, bound: &Value, inclusive: bool) -> bool {
+    match v.total_cmp(bound) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Equal => !inclusive,
+        std::cmp::Ordering::Greater => false,
+    }
+}
+
+/// Statistics of one column.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    pub name: String,
+    /// Rows in the table (repeated here so a column stat is self-contained).
+    pub row_count: u64,
+    /// NULL values in this column.
+    pub null_count: u64,
+    /// Number of distinct non-NULL values.
+    pub ndv: u64,
+    /// Smallest / largest non-NULL value (total order).
+    pub min: Option<Value>,
+    pub max: Option<Value>,
+    /// Most common values with their exact counts, most frequent first
+    /// (ties broken by value order). Only values occurring at least twice.
+    pub mcvs: Vec<(Value, u64)>,
+    /// Equi-depth histogram over all non-NULL values.
+    pub histogram: Histogram,
+}
+
+impl ColumnStats {
+    fn analyze(name: &str, rows: u64, values: impl Iterator<Item = Value>) -> Self {
+        let mut non_null: Vec<Value> = Vec::new();
+        let mut counts: FxHashMap<Value, u64> = FxHashMap::default();
+        let mut null_count = 0u64;
+        for v in values {
+            if v.is_null() {
+                null_count += 1;
+            } else {
+                *counts.entry(v.clone()).or_insert(0) += 1;
+                non_null.push(v);
+            }
+        }
+        non_null.sort();
+        let ndv = counts.len() as u64;
+        let mut mcvs: Vec<(Value, u64)> = counts.into_iter().filter(|&(_, c)| c >= 2).collect();
+        mcvs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        mcvs.truncate(MCV_LIMIT);
+        ColumnStats {
+            name: name.to_string(),
+            row_count: rows,
+            null_count,
+            ndv,
+            min: non_null.first().cloned(),
+            max: non_null.last().cloned(),
+            histogram: Histogram::build(&non_null),
+            mcvs,
+        }
+    }
+
+    /// Fraction of rows that are NULL in this column.
+    pub fn null_fraction(&self) -> f64 {
+        if self.row_count == 0 {
+            0.0
+        } else {
+            self.null_count as f64 / self.row_count as f64
+        }
+    }
+
+    fn non_null_count(&self) -> u64 {
+        self.row_count - self.null_count
+    }
+
+    /// Selectivity of `col = lit` over the whole table (NULL rows never
+    /// qualify). MCV hits are exact; other in-range values share the
+    /// non-MCV mass uniformly; out-of-range literals select nothing.
+    pub fn eq_selectivity(&self, lit: &Value) -> f64 {
+        if lit.is_null() || self.row_count == 0 || self.ndv == 0 {
+            return 0.0;
+        }
+        if let Some(key) = lit.eq_key() {
+            if let Some((_, c)) = self.mcvs.iter().find(|(v, _)| *v == key) {
+                return *c as f64 / self.row_count as f64;
+            }
+            // Outside [min, max] nothing matches.
+            if let (Some(min), Some(max)) = (&self.min, &self.max) {
+                if key.total_cmp(min).is_lt() || key.total_cmp(max).is_gt() {
+                    return 0.0;
+                }
+            }
+        } else {
+            return 0.0; // NaN equals nothing
+        }
+        let mcv_rows: u64 = self.mcvs.iter().map(|&(_, c)| c).sum();
+        let rest_rows = self.non_null_count().saturating_sub(mcv_rows);
+        let rest_ndv = self.ndv.saturating_sub(self.mcvs.len() as u64);
+        if rest_ndv == 0 {
+            // Every distinct value is an MCV and the literal missed them
+            // all: it can only be a value we did not see at all.
+            return 0.0;
+        }
+        (rest_rows as f64 / rest_ndv as f64) / self.row_count as f64
+    }
+
+    /// Selectivity of `col op lit` for a comparison against a literal.
+    pub fn cmp_selectivity(&self, op: BinOp, lit: &Value) -> f64 {
+        if lit.is_null() || self.row_count == 0 {
+            return 0.0;
+        }
+        let non_null_frac = 1.0 - self.null_fraction();
+        let f = match op {
+            BinOp::Eq | BinOp::NullEq => return self.eq_selectivity(lit),
+            BinOp::Ne => 1.0 - self.eq_selectivity(lit) / non_null_frac.max(f64::MIN_POSITIVE),
+            BinOp::Lt => self.histogram.fraction_below(lit, false),
+            BinOp::Le => self.histogram.fraction_below(lit, true),
+            BinOp::Ge => 1.0 - self.histogram.fraction_below(lit, false),
+            BinOp::Gt => 1.0 - self.histogram.fraction_below(lit, true),
+            _ => 0.5,
+        };
+        (f * non_null_frac).clamp(0.0, 1.0)
+    }
+}
+
+/// Statistics of one table.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    pub name: String,
+    pub rows: u64,
+    pub columns: Vec<ColumnStats>,
+    /// Column sets with a hash index (so the estimator can price indexed
+    /// probes — Figure 7 drops an index and the cost must follow).
+    pub indexed: Vec<Vec<usize>>,
+}
+
+impl TableStats {
+    /// Analyze one table.
+    pub fn analyze(table: &Table) -> Self {
+        let rows = table.len() as u64;
+        let columns = table
+            .schema()
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                ColumnStats::analyze(&c.name, rows, table.rows().iter().map(|r| r[i].clone()))
+            })
+            .collect();
+        TableStats {
+            name: table.name().to_string(),
+            rows,
+            columns,
+            indexed: table
+                .indexes()
+                .iter()
+                .map(|i| i.columns().to_vec())
+                .collect(),
+        }
+    }
+
+    pub fn column(&self, i: usize) -> Option<&ColumnStats> {
+        self.columns.get(i)
+    }
+
+    /// Is there an index usable for an equality probe on `col` (an index
+    /// whose column set is exactly `[col]` or is covered by wider probes)?
+    pub fn has_index_on(&self, col: usize) -> bool {
+        self.indexed.iter().any(|cols| cols == &[col])
+    }
+}
+
+/// The statistics of a whole database, keyed by normalized table name.
+#[derive(Debug, Clone, Default)]
+pub struct Statistics {
+    tables: FxHashMap<String, TableStats>,
+    /// Analysis order, for deterministic rendering.
+    order: Vec<String>,
+}
+
+impl Statistics {
+    /// Run `ANALYZE` over every table of the database.
+    pub fn analyze(db: &Database) -> Self {
+        let mut s = Statistics::default();
+        for t in db.tables() {
+            s.insert(TableStats::analyze(t));
+        }
+        s
+    }
+
+    fn norm(name: &str) -> String {
+        name.to_ascii_lowercase()
+    }
+
+    /// Add (or replace) one table's statistics.
+    pub fn insert(&mut self, ts: TableStats) {
+        let key = Self::norm(&ts.name);
+        if self.tables.insert(key.clone(), ts).is_none() {
+            self.order.push(key);
+        }
+    }
+
+    /// Statistics of a table, by (case-insensitive) name.
+    pub fn table(&self, name: &str) -> Option<&TableStats> {
+        self.tables.get(&Self::norm(name))
+    }
+
+    /// Tables in analysis order.
+    pub fn tables(&self) -> impl Iterator<Item = &TableStats> {
+        self.order.iter().map(|k| &self.tables[k])
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// The `ANALYZE` report: one line per column.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for t in self.tables() {
+            writeln!(
+                s,
+                "table {} ({} rows, {} indexes)",
+                t.name,
+                t.rows,
+                t.indexed.len()
+            )
+            .unwrap();
+            writeln!(
+                s,
+                "  {:<16} {:>8} {:>8} {:>8} {:>12} {:>12}  mcvs",
+                "column", "nulls", "ndv", "buckets", "min", "max"
+            )
+            .unwrap();
+            for c in &t.columns {
+                let fmt_v = |v: &Option<Value>| match v {
+                    Some(v) => {
+                        let s = v.to_string();
+                        if s.len() > 12 {
+                            format!("{}..", &s[..10])
+                        } else {
+                            s
+                        }
+                    }
+                    None => "-".into(),
+                };
+                let mcvs = c
+                    .mcvs
+                    .iter()
+                    .take(3)
+                    .map(|(v, n)| format!("{v}x{n}"))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                writeln!(
+                    s,
+                    "  {:<16} {:>8} {:>8} {:>8} {:>12} {:>12}  {}",
+                    c.name,
+                    c.null_count,
+                    c.ndv,
+                    c.histogram.buckets(),
+                    fmt_v(&c.min),
+                    fmt_v(&c.max),
+                    mcvs
+                )
+                .unwrap();
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decorr_common::{row, DataType, Schema};
+
+    fn table_with(values: Vec<Value>) -> Table {
+        let mut t = Table::new("t", Schema::from_pairs(&[("x", DataType::Int)]));
+        for v in values {
+            t.insert(decorr_common::Row::new(vec![v])).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn basic_column_stats() {
+        let mut vals: Vec<Value> = (0..100).map(Value::Int).collect();
+        vals.push(Value::Null);
+        let t = table_with(vals);
+        let ts = TableStats::analyze(&t);
+        let c = ts.column(0).unwrap();
+        assert_eq!(c.row_count, 101);
+        assert_eq!(c.null_count, 1);
+        assert_eq!(c.ndv, 100);
+        assert_eq!(c.min, Some(Value::Int(0)));
+        assert_eq!(c.max, Some(Value::Int(99)));
+        assert!(c.mcvs.is_empty()); // all values unique: nothing occurs twice
+    }
+
+    #[test]
+    fn mcvs_capture_skew() {
+        // 90 copies of 7, ten singletons.
+        let mut vals = vec![Value::Int(7); 90];
+        vals.extend((100..110).map(Value::Int));
+        let t = table_with(vals);
+        let c = TableStats::analyze(&t).columns.remove(0);
+        assert_eq!(c.mcvs.first(), Some(&(Value::Int(7), 90)));
+        let sel = c.eq_selectivity(&Value::Int(7));
+        assert!((sel - 0.9).abs() < 1e-9, "{sel}");
+        // A non-MCV in-range value shares the rest uniformly: 1 row of 100.
+        let sel = c.eq_selectivity(&Value::Int(105));
+        assert!((sel - 0.01).abs() < 1e-9, "{sel}");
+        // Out of range selects nothing.
+        assert_eq!(c.eq_selectivity(&Value::Int(1000)), 0.0);
+    }
+
+    #[test]
+    fn histogram_range_fractions() {
+        let t = table_with((0..1000).map(Value::Int).collect());
+        let c = TableStats::analyze(&t).columns.remove(0);
+        let lt = c.cmp_selectivity(BinOp::Lt, &Value::Int(100));
+        assert!((lt - 0.1).abs() < 0.02, "{lt}");
+        let ge = c.cmp_selectivity(BinOp::Ge, &Value::Int(900));
+        assert!((ge - 0.1).abs() < 0.02, "{ge}");
+        assert_eq!(c.cmp_selectivity(BinOp::Lt, &Value::Int(-5)), 0.0);
+        assert_eq!(c.cmp_selectivity(BinOp::Le, &Value::Int(2000)), 1.0);
+    }
+
+    #[test]
+    fn all_null_column() {
+        let t = table_with(vec![Value::Null; 10]);
+        let c = TableStats::analyze(&t).columns.remove(0);
+        assert_eq!(c.ndv, 0);
+        assert_eq!(c.null_fraction(), 1.0);
+        assert_eq!(c.eq_selectivity(&Value::Int(1)), 0.0);
+        assert!(c.min.is_none() && c.max.is_none());
+        assert!(c.histogram.is_empty());
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = table_with(vec![]);
+        let ts = TableStats::analyze(&t);
+        assert_eq!(ts.rows, 0);
+        let c = ts.column(0).unwrap();
+        assert_eq!(c.eq_selectivity(&Value::Int(1)), 0.0);
+        assert_eq!(c.cmp_selectivity(BinOp::Lt, &Value::Int(1)), 0.0);
+    }
+
+    #[test]
+    fn statistics_over_database() {
+        let mut db = Database::new();
+        let t = db
+            .create_table("Emp", Schema::from_pairs(&[("b", DataType::Int)]))
+            .unwrap();
+        t.insert(row![1]).unwrap();
+        t.create_index(&["b"]).unwrap();
+        let stats = Statistics::analyze(&db);
+        let ts = stats.table("emp").unwrap();
+        assert_eq!(ts.rows, 1);
+        assert!(ts.has_index_on(0));
+        assert!(stats.render().contains("table Emp"));
+    }
+}

@@ -1,0 +1,244 @@
+//! Edge cases and properties of the cardinality estimator: empty tables,
+//! all-NULL columns, single-value columns, Zipf skew (where the MCV list
+//! must beat the uniform assumption), and proptest-driven q-error bounds
+//! over the TPC-D generator's columns.
+
+use decorr_common::{row, DataType, Schema, Value};
+use decorr_qgm::BinOp;
+use decorr_sql::parse_and_bind;
+use decorr_stats::{q_error, Estimator, Statistics};
+use decorr_storage::Database;
+use decorr_tpcd::{generate, TpcdConfig};
+
+/// Estimate the root cardinality of `sql` against `db` using fresh stats.
+fn est_rows(sql: &str, db: &Database) -> f64 {
+    let stats = Statistics::analyze(db);
+    let qgm = parse_and_bind(sql, db).unwrap();
+    Estimator::new(&stats).estimate(&qgm).unwrap().total().rows
+}
+
+fn single_column_db(values: Vec<Value>) -> Database {
+    let mut db = Database::new();
+    let t = db
+        .create_table("t", Schema::from_pairs(&[("x", DataType::Int)]))
+        .unwrap();
+    for v in values {
+        t.insert(decorr_common::Row::new(vec![v])).unwrap();
+    }
+    db
+}
+
+#[test]
+fn empty_tables_estimate_nothing_and_stay_finite() {
+    let mut db = Database::new();
+    db.create_table(
+        "dept",
+        Schema::from_pairs(&[("name", DataType::Str), ("budget", DataType::Double)]),
+    )
+    .unwrap();
+    db.create_table(
+        "emp",
+        Schema::from_pairs(&[("name", DataType::Str), ("salary", DataType::Int)]),
+    )
+    .unwrap();
+    let stats = Statistics::analyze(&db);
+    let qgm = parse_and_bind(
+        "SELECT D.name FROM dept D WHERE D.budget > \
+         (SELECT SUM(E.salary) FROM emp E)",
+        &db,
+    )
+    .unwrap();
+    let plan = Estimator::new(&stats).estimate(&qgm).unwrap();
+    let total = plan.total();
+    assert!(total.rows.is_finite() && total.cost.is_finite());
+    assert!(
+        total.rows < 1.0,
+        "empty inputs produce (almost) no rows: {}",
+        total.rows
+    );
+    // Every reachable box got an estimate, none of them NaN.
+    for (_, be) in plan.boxes() {
+        assert!(be.rows.is_finite() && be.cost.is_finite() && be.invocations.is_finite());
+    }
+}
+
+#[test]
+fn all_null_column_selects_nothing() {
+    let db = single_column_db(vec![Value::Null; 50]);
+    let rows = est_rows("SELECT x FROM t WHERE x = 7", &db);
+    assert!(rows < 1.0, "NULLs never satisfy an equality: {rows}");
+    // IS NULL, on the other hand, keeps everything.
+    let rows = est_rows("SELECT x FROM t WHERE x IS NULL", &db);
+    assert!(rows > 40.0, "all 50 rows are NULL: {rows}");
+}
+
+#[test]
+fn ndv_one_column_matches_everything_or_nothing() {
+    let db = single_column_db(vec![Value::Int(5); 80]);
+    // The single distinct value: every row qualifies (MCV hit is exact).
+    let hit = est_rows("SELECT x FROM t WHERE x = 5", &db);
+    assert!((hit - 80.0).abs() < 1.0, "{hit}");
+    // Any other value is out of the [min, max] = [5, 5] range.
+    let miss = est_rows("SELECT x FROM t WHERE x = 6", &db);
+    assert!(miss < 1.0, "{miss}");
+}
+
+#[test]
+fn zipf_skew_mcv_beats_the_uniform_assumption() {
+    // value k occurs ~600/k times, k = 1..=30: a sharply skewed column.
+    let mut vals = Vec::new();
+    for k in 1..=30i64 {
+        for _ in 0..(600 / k) {
+            vals.push(Value::Int(k));
+        }
+    }
+    let total = vals.len() as f64;
+    let actual_head = 600.0;
+    let db = single_column_db(vals);
+
+    let est_head = est_rows("SELECT x FROM t WHERE x = 1", &db);
+    let mcv_q = q_error(est_head, actual_head);
+    assert!(
+        mcv_q < 1.05,
+        "MCV hit should be (nearly) exact: q = {mcv_q}"
+    );
+
+    // The uniform assumption (rows / ndv) is badly wrong on the head value.
+    let uniform_q = q_error(total / 30.0, actual_head);
+    assert!(
+        uniform_q > 3.0 * mcv_q,
+        "skew must make MCVs decisively better: uniform q {uniform_q} vs MCV q {mcv_q}"
+    );
+}
+
+#[test]
+fn unknown_tables_fall_back_to_default_cardinality() {
+    // Estimating with *no* statistics at all must not panic — base tables
+    // get the documented default guess.
+    let db = single_column_db((0..10).map(Value::Int).collect());
+    let qgm = parse_and_bind("SELECT x FROM t", &db).unwrap();
+    let empty = Statistics::default();
+    let plan = Estimator::new(&empty).estimate(&qgm).unwrap();
+    assert!(
+        (plan.total().rows - 1000.0).abs() < 1.0,
+        "default table guess: {}",
+        plan.total().rows
+    );
+}
+
+#[test]
+fn correlated_estimate_scales_with_outer_cardinality() {
+    let mut db = Database::new();
+    let d = db
+        .create_table(
+            "dept",
+            Schema::from_pairs(&[("building", DataType::Int), ("num_emps", DataType::Int)]),
+        )
+        .unwrap();
+    for i in 0..40i64 {
+        d.insert(row![i % 8, i % 5]).unwrap();
+    }
+    let e = db
+        .create_table(
+            "emp",
+            Schema::from_pairs(&[("building", DataType::Int), ("salary", DataType::Int)]),
+        )
+        .unwrap();
+    for i in 0..200i64 {
+        e.insert(row![i % 8, 1000 + i]).unwrap();
+    }
+    let stats = Statistics::analyze(&db);
+    let sql = "SELECT D.num_emps FROM dept D WHERE D.num_emps > \
+               (SELECT COUNT(*) FROM emp E WHERE E.building = D.building)";
+    let qgm = parse_and_bind(sql, &db).unwrap();
+    let plan = Estimator::new(&stats).estimate(&qgm).unwrap();
+    // The subquery is re-invoked per outer row: some box must carry ~40
+    // invocations, and the plan must be priced well above one emp scan.
+    let max_inv = plan
+        .boxes()
+        .iter()
+        .map(|(_, be)| be.invocations)
+        .fold(0.0, f64::max);
+    assert!(
+        max_inv > 30.0,
+        "expected per-outer-row invocations, got {max_inv}"
+    );
+    assert!(plan.total().cost > 200.0);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: on TPC-D generator columns, the column statistics must
+// keep equality estimates within a bounded q-error of the truth, and range
+// estimates within a bounded absolute error.
+// ---------------------------------------------------------------------------
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..Default::default() })]
+
+    #[test]
+    fn tpcd_eq_estimates_have_bounded_q_error(seed in 0u64..1000, pick in 0usize..7919) {
+        let db = generate(&TpcdConfig { scale: 0.01, seed, with_indexes: false }).unwrap();
+        let stats = Statistics::analyze(&db);
+        for table in db.tables() {
+            let rows = table.rows();
+            if rows.is_empty() {
+                continue;
+            }
+            let ts = stats.table(table.name()).unwrap();
+            for (ci, cs) in ts.columns.iter().enumerate() {
+                // Probe with a value that actually occurs in the column.
+                let lit = rows[pick % rows.len()][ci].clone();
+                if lit.is_null() {
+                    continue;
+                }
+                let actual = rows
+                    .iter()
+                    .filter(|r| !r[ci].is_null() && r[ci].total_cmp(&lit).is_eq())
+                    .count() as f64;
+                let est = cs.eq_selectivity(&lit) * ts.rows as f64;
+                let q = q_error(est, actual);
+                prop_assert!(
+                    q <= 10.0,
+                    "{}.{}: est {est:.1} actual {actual} q {q:.2}",
+                    table.name(), cs.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tpcd_range_estimates_have_bounded_error(seed in 0u64..1000, pick in 0usize..7919) {
+        let db = generate(&TpcdConfig { scale: 0.01, seed, with_indexes: false }).unwrap();
+        let stats = Statistics::analyze(&db);
+        for table in db.tables() {
+            let rows = table.rows();
+            if rows.is_empty() {
+                continue;
+            }
+            let ts = stats.table(table.name()).unwrap();
+            for (ci, cs) in ts.columns.iter().enumerate() {
+                // Histograms only pay off with some spread; skip tiny domains.
+                if cs.ndv < 8 {
+                    continue;
+                }
+                let lit = rows[pick % rows.len()][ci].clone();
+                if lit.is_null() {
+                    continue;
+                }
+                let actual = rows
+                    .iter()
+                    .filter(|r| !r[ci].is_null() && r[ci].total_cmp(&lit).is_lt())
+                    .count() as f64
+                    / ts.rows as f64;
+                let est = cs.cmp_selectivity(BinOp::Lt, &lit);
+                prop_assert!(
+                    (est - actual).abs() <= 0.2,
+                    "{}.{}: est {est:.3} actual {actual:.3}",
+                    table.name(), cs.name
+                );
+            }
+        }
+    }
+}

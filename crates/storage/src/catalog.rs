@@ -100,6 +100,42 @@ mod tests {
     }
 
     #[test]
+    fn drop_then_recreate_discards_old_index_state() {
+        use decorr_common::row;
+
+        // Build a table with rows and a secondary hash index…
+        let mut db = Database::new();
+        let t = db
+            .create_table(
+                "Emp",
+                Schema::from_pairs(&[("building", DataType::Int), ("name", DataType::Str)]),
+            )
+            .unwrap();
+        for i in 0..10i64 {
+            t.insert(row![i % 3, format!("e{i}")]).unwrap();
+        }
+        t.create_index(&["building"]).unwrap();
+        assert_eq!(db.table("emp").unwrap().indexes().len(), 1);
+
+        // …drop it and recreate under the same normalized key with a
+        // different shape. Nothing of the old table — rows or HashIndex
+        // state — may survive into the replacement.
+        db.drop_table("EMP").unwrap();
+        let t = db
+            .create_table("emp", Schema::from_pairs(&[("salary", DataType::Double)]))
+            .unwrap();
+        assert_eq!(t.len(), 0);
+        assert!(t.indexes().is_empty());
+        assert!(t.index_on(&[0]).is_none());
+
+        // The recreated table indexes its own data only.
+        t.insert(row![100.0]).unwrap();
+        t.create_index(&["salary"]).unwrap();
+        let idx = db.table("emp").unwrap().index_on(&[0]).unwrap();
+        assert_eq!(idx.distinct_keys(), 1);
+    }
+
+    #[test]
     fn listing_is_in_creation_order() {
         let mut db = Database::new();
         for n in ["c", "a", "b"] {

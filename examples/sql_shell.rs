@@ -15,6 +15,14 @@
 //! \explain <sql>         show the (rewritten) query graph instead of rows
 //! \quit
 //! ```
+//!
+//! SQL-level statements beyond queries:
+//!
+//! ```text
+//! ANALYZE;               collect table statistics and print them
+//! EXPLAIN COST <query>;  race all five strategies, show the ranked
+//!                        estimates and the per-box est-vs-actual q-error
+//! ```
 
 use std::io::{self, BufRead, Write};
 
@@ -52,6 +60,17 @@ fn main() -> Result<()> {
                 Ok(true) => break,
                 Ok(false) => {}
                 Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        let stmt = line.strip_suffix(';').unwrap_or(line).trim();
+        if stmt.eq_ignore_ascii_case("analyze") {
+            print!("{}", Statistics::analyze(&db).render());
+            continue;
+        }
+        if let Some(sql) = strip_prefix_ci(stmt, "explain cost ") {
+            if let Err(e) = explain_cost(sql, &db) {
+                println!("error: {e}");
             }
             continue;
         }
@@ -124,17 +143,39 @@ fn handle_command(cmd: &str, db: &mut Database, mode: &mut Mode) -> Result<bool>
     Ok(false)
 }
 
+fn strip_prefix_ci<'a>(s: &'a str, prefix: &str) -> Option<&'a str> {
+    if s.len() >= prefix.len() && s[..prefix.len()].eq_ignore_ascii_case(prefix) {
+        Some(s[prefix.len()..].trim())
+    } else {
+        None
+    }
+}
+
+/// Race all five strategies over the query, print the ranked estimates,
+/// then execute the winner and print per-box est-vs-actual with q-error.
+fn explain_cost(sql: &str, db: &Database) -> Result<()> {
+    let qgm = parse_and_bind(sql, db)?;
+    let choice = choose_strategy(db, qgm)?;
+    println!("strategy race (cheapest first):");
+    print!("{}", choice.render());
+    let (_, _, trace) =
+        decorr::exec::execute_traced(db, &choice.plan, decorr::exec::ExecOptions::default())?;
+    let report = audit_estimates(&choice.plan, &choice.plan_estimate, &trace);
+    println!("estimation accuracy ({} plan):", choice.strategy.name());
+    print!("{}", report.render());
+    Ok(())
+}
+
 fn run_sql(sql: &str, db: &Database, mode: Mode, explain: bool) -> Result<()> {
     let qgm = parse_and_bind(sql, db)?;
     let (label, plan) = match mode {
         Mode::Auto => {
-            let choice = choose_strategy(db, &qgm)?;
+            let choice = choose_strategy(db, qgm)?;
             (
                 format!(
-                    "{} (est NI cost {:.0}, magic cost {:.0})",
+                    "{} (est cost {:.0})",
                     choice.strategy.name(),
-                    choice.ni_estimate.cost,
-                    choice.magic_estimate.cost
+                    choice.estimate.cost
                 ),
                 choice.plan,
             )

@@ -1,51 +1,233 @@
-//! Cost-based choice between the correlated and the decorrelated plan.
+//! Cost-based strategy race over all five evaluation strategies.
 //!
 //! The paper's Section 7: "Our implementation simply optimizes the query
 //! once without decorrelation, and using the chosen join orders repeats
 //! the optimization with decorrelation. The better of the two optimized
-//! plans is chosen." [`choose_strategy`] does exactly that, using
-//! [`decorr_exec::CostModel`] for the comparison.
+//! plans is chosen." [`choose_strategy`] generalizes that two-way
+//! comparison into a race over every strategy of Section 5 — nested
+//! iteration, Kim, Dayal, Ganski/Wong and magic decorrelation — each
+//! rewritten (where applicable) and priced by the statistics-backed
+//! [`decorr_exec::CostModel`]. The result is a ranked [`PlanChoice`]:
+//! only the winning plan is materialized; the losers keep just their
+//! [`Estimate`] breakdown.
+//!
+//! Kim's method is raced for its estimate but is **never chosen**: it
+//! carries the COUNT bug (Section 2) and may return wrong answers, and no
+//! cost advantage buys back correctness.
 
 use decorr_common::Result;
-use decorr_core::magic::{magic_decorrelate, MagicOptions};
-use decorr_core::Strategy;
-use decorr_exec::{CostModel, Estimate};
-use decorr_qgm::Qgm;
+use decorr_core::{apply_strategy, Strategy};
+use decorr_exec::{CostModel, Estimate, ExecTrace, PlanEstimate};
+use decorr_qgm::{BoxKind, Qgm};
+use decorr_stats::AccuracyReport;
 use decorr_storage::Database;
 
-/// The outcome of a cost-based plan choice.
+/// One lane of the race: a strategy and how it fared.
+#[derive(Debug, Clone)]
+pub struct StrategyEstimate {
+    pub strategy: Strategy,
+    /// The plan estimate, or `None` when the rewrite does not apply to
+    /// this query (e.g. Kim/Dayal on a non-linear UNION query).
+    pub estimate: Option<Estimate>,
+    /// Ranked for comparison but excluded from winning (Kim: the COUNT
+    /// bug makes it unsound).
+    pub unsound: bool,
+    /// Why the strategy is unsound or inapplicable.
+    pub note: Option<String>,
+}
+
+impl StrategyEstimate {
+    pub fn applicable(&self) -> bool {
+        self.estimate.is_some()
+    }
+}
+
+/// The outcome of the cost-based strategy race.
 #[derive(Debug, Clone)]
 pub struct PlanChoice {
     /// The winning strategy.
     pub strategy: Strategy,
-    /// The plan to execute.
+    /// The winning plan — the only plan the race materializes.
     pub plan: Qgm,
-    /// Cost estimate of the correlated (nested iteration) plan.
-    pub ni_estimate: Estimate,
-    /// Cost estimate of the magic-decorrelated plan.
-    pub magic_estimate: Estimate,
+    /// The winner's total estimate.
+    pub estimate: Estimate,
+    /// The winner's per-box estimates, for q-error auditing against an
+    /// execution trace.
+    pub plan_estimate: PlanEstimate,
+    /// Every raced strategy, cheapest first (inapplicable ones last).
+    pub ranked: Vec<StrategyEstimate>,
 }
 
-/// Estimate both plans and return the cheaper one. Ties (e.g. the query
-/// was not correlated, so decorrelation changed nothing) go to nested
-/// iteration — the plan with fewer temporary tables.
-pub fn choose_strategy(db: &Database, qgm: &Qgm) -> Result<PlanChoice> {
+impl PlanChoice {
+    /// The ranked entry for one strategy.
+    pub fn entry(&self, s: Strategy) -> Option<&StrategyEstimate> {
+        self.ranked.iter().find(|e| e.strategy == s)
+    }
+
+    /// A fixed-width table of the race, cheapest first.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "  {:<8} {:>14} {:>14}  {}\n",
+            "strategy", "est rows", "est cost", "verdict"
+        ));
+        for e in &self.ranked {
+            let verdict = if e.strategy == self.strategy {
+                "chosen".to_string()
+            } else if let Some(note) = &e.note {
+                note.clone()
+            } else {
+                String::new()
+            };
+            match e.estimate {
+                Some(est) => out.push_str(&format!(
+                    "  {:<8} {:>14.1} {:>14.1}  {}\n",
+                    e.strategy.name(),
+                    est.rows,
+                    est.cost,
+                    verdict
+                )),
+                None => out.push_str(&format!(
+                    "  {:<8} {:>14} {:>14}  {}\n",
+                    e.strategy.name(),
+                    "-",
+                    "-",
+                    verdict
+                )),
+            }
+        }
+        out
+    }
+}
+
+/// The five strategies of the race, in the paper's figure order. OptMag
+/// is a refinement of Magic rather than an independent algorithm; it
+/// joins the race in a future PR once the CSE-elimination estimate is
+/// distinguishable.
+const RACED: [Strategy; 4] = [
+    Strategy::Kim,
+    Strategy::Dayal,
+    Strategy::GanskiWong,
+    Strategy::Magic,
+];
+
+/// Race every strategy and return the cheapest sound plan.
+///
+/// Takes ownership of `qgm`: when nested iteration wins, the input graph
+/// *is* the plan, so no copy is ever made of it; rewritten challengers
+/// are materialized one at a time and dropped as soon as a cheaper one
+/// appears. Ties go to nested iteration (fewer temporary tables).
+pub fn choose_strategy(db: &Database, qgm: Qgm) -> Result<PlanChoice> {
     let model = CostModel::new(db);
-    let ni_estimate = model.estimate(qgm)?;
-    let mut magic_plan = qgm.clone();
-    let report = magic_decorrelate(&mut magic_plan, &MagicOptions::default())?;
-    let magic_estimate = model.estimate(&magic_plan)?;
-    // Only a rewrite that actually decorrelated something is a candidate
-    // (the cleanup rules alone do not change execution semantics enough to
-    // justify the temporary-table machinery).
-    if report.changed() && magic_estimate.cost < ni_estimate.cost {
-        Ok(PlanChoice { strategy: Strategy::Magic, plan: magic_plan, ni_estimate, magic_estimate })
-    } else {
-        Ok(PlanChoice {
+    choose_strategy_with(&model, qgm)
+}
+
+/// [`choose_strategy`] against a pre-built cost model (e.g. cached
+/// `ANALYZE` statistics).
+pub fn choose_strategy_with(model: &CostModel, qgm: Qgm) -> Result<PlanChoice> {
+    // Nested iteration: the input graph as-is.
+    let ni_plan_estimate = model.estimate_plan(&qgm)?;
+    let ni_estimate = ni_plan_estimate.total();
+    let mut ranked = vec![StrategyEstimate {
+        strategy: Strategy::NestedIteration,
+        estimate: Some(ni_estimate),
+        unsound: false,
+        note: None,
+    }];
+
+    let correlated = qgm
+        .reachable_boxes(qgm.top())
+        .iter()
+        .any(|&b| qgm.is_correlated(b));
+
+    // Challengers: rewrite, price, and keep at most one plan alive —
+    // the cheapest sound one seen so far (beating the NI champion).
+    let mut champion_cost = ni_estimate.cost;
+    let mut best: Option<(Strategy, Qgm, PlanEstimate)> = None;
+    for s in RACED {
+        if !correlated {
+            // Nothing to decorrelate: rewrites are identity (or error);
+            // the paper's choice machinery only engages on correlation.
+            ranked.push(StrategyEstimate {
+                strategy: s,
+                estimate: None,
+                unsound: s == Strategy::Kim,
+                note: Some("query is not correlated".into()),
+            });
+            continue;
+        }
+        match apply_strategy(&qgm, s) {
+            Ok(plan) => {
+                let plan_estimate = model.estimate_plan(&plan)?;
+                let estimate = plan_estimate.total();
+                let unsound = s == Strategy::Kim;
+                ranked.push(StrategyEstimate {
+                    strategy: s,
+                    estimate: Some(estimate),
+                    unsound,
+                    note: unsound
+                        .then(|| "unsound (COUNT bug): raced but never chosen".to_string()),
+                });
+                if !unsound && estimate.cost < champion_cost {
+                    champion_cost = estimate.cost;
+                    best = Some((s, plan, plan_estimate)); // previous best dropped here
+                }
+            }
+            Err(e) => ranked.push(StrategyEstimate {
+                strategy: s,
+                estimate: None,
+                unsound: s == Strategy::Kim,
+                note: Some(format!("inapplicable: {e}")),
+            }),
+        }
+    }
+
+    // Cheapest first; inapplicable lanes sort last, in race order.
+    ranked.sort_by(|a, b| match (a.estimate, b.estimate) {
+        (Some(x), Some(y)) => x.cost.total_cmp(&y.cost),
+        (Some(_), None) => std::cmp::Ordering::Less,
+        (None, Some(_)) => std::cmp::Ordering::Greater,
+        (None, None) => std::cmp::Ordering::Equal,
+    });
+
+    Ok(match best {
+        Some((strategy, plan, plan_estimate)) => {
+            PlanChoice { strategy, plan, estimate: plan_estimate.total(), plan_estimate, ranked }
+        }
+        None => PlanChoice {
             strategy: Strategy::NestedIteration,
-            plan: qgm.clone(),
-            ni_estimate,
-            magic_estimate,
-        })
+            plan: qgm,
+            estimate: ni_estimate,
+            plan_estimate: ni_plan_estimate,
+            ranked,
+        },
+    })
+}
+
+/// Line a plan's estimates up against an execution trace of the same
+/// plan: per-box estimated vs actual rows with q-error.
+pub fn audit_estimates(qgm: &Qgm, plan: &PlanEstimate, trace: &ExecTrace) -> AccuracyReport {
+    AccuracyReport::build(
+        plan,
+        qgm.reachable_boxes(qgm.top()).into_iter().filter_map(|b| {
+            let t = trace.get(b)?;
+            Some((b, box_label(qgm, b), t.rows_out, t.invocations))
+        }),
+    )
+}
+
+fn box_label(qgm: &Qgm, b: decorr_qgm::BoxId) -> String {
+    let bx = qgm.boxref(b);
+    let kind = match &bx.kind {
+        BoxKind::BaseTable { table, .. } => return format!("BaseTable {table}"),
+        BoxKind::Select => "Select",
+        BoxKind::Grouping { .. } => "Grouping",
+        BoxKind::Union { .. } => "Union",
+        BoxKind::OuterJoin => "OuterJoin",
+    };
+    if bx.label.is_empty() {
+        kind.to_string()
+    } else {
+        format!("{kind} {}", bx.label)
     }
 }

@@ -47,6 +47,7 @@ pub use decorr_exec as exec;
 pub use decorr_parallel as parallel;
 pub use decorr_qgm as qgm;
 pub use decorr_sql as sql;
+pub use decorr_stats as stats;
 pub use decorr_storage as storage;
 pub use decorr_tpcd as tpcd;
 
@@ -61,5 +62,9 @@ pub mod prelude {
     pub use decorr_sql::parse_and_bind;
     pub use decorr_storage::{Database, Table};
 
-    pub use crate::choose::{choose_strategy, PlanChoice};
+    pub use crate::choose::{
+        audit_estimates, choose_strategy, choose_strategy_with, PlanChoice, StrategyEstimate,
+    };
+    pub use decorr_exec::CostModel;
+    pub use decorr_stats::Statistics;
 }

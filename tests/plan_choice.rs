@@ -1,5 +1,7 @@
-//! The Section 7 cost-based chooser: nested iteration vs the decorrelated
-//! plan, decided by estimates and validated against actual work.
+//! The Section 7 cost-based chooser, grown into a five-way strategy
+//! race: NI, Kim, Dayal, Ganski and Magic are each rewritten (where
+//! applicable), priced by the statistics-backed cost model, and the
+//! cheapest *sound* plan wins — validated here against actual work.
 
 use decorr::prelude::*;
 use decorr_tpcd::empdept::{generate, EmpDeptConfig};
@@ -7,7 +9,50 @@ use decorr_tpcd::queries;
 use decorr_tpcd::{generate as tpcd_generate, TpcdConfig};
 
 #[test]
-fn chooser_prefers_magic_when_subqueries_are_expensive() {
+fn race_covers_all_five_strategies() {
+    let db = generate(&EmpDeptConfig::default()).unwrap();
+    let qgm = parse_and_bind(queries::EMPDEPT, &db).unwrap();
+    let choice = choose_strategy(&db, qgm).unwrap();
+    let names: Vec<&str> = choice.ranked.iter().map(|e| e.strategy.name()).collect();
+    for want in ["NI", "Kim", "Dayal", "Ganski", "Mag"] {
+        assert!(names.contains(&want), "missing {want} in {names:?}");
+    }
+    // Applicable lanes are sorted cheapest first.
+    let costs: Vec<f64> = choice
+        .ranked
+        .iter()
+        .filter_map(|e| e.estimate.map(|est| est.cost))
+        .collect();
+    assert!(costs.windows(2).all(|w| w[0] <= w[1]), "{costs:?}");
+    // The winner's estimate is the cheapest sound one.
+    assert_eq!(
+        choice.entry(choice.strategy).unwrap().estimate.unwrap(),
+        choice.estimate
+    );
+}
+
+#[test]
+fn kim_is_raced_but_never_chosen() {
+    // Kim's rewrite has the COUNT bug: it may lose rows, so whatever its
+    // estimate says, it must not win.
+    let db = generate(&EmpDeptConfig {
+        departments: 200,
+        employees: 2000,
+        buildings: 20,
+        seed: 1,
+        with_indexes: false,
+    })
+    .unwrap();
+    let qgm = parse_and_bind(queries::EMPDEPT, &db).unwrap();
+    let choice = choose_strategy(&db, qgm).unwrap();
+    assert_ne!(choice.strategy, Strategy::Kim);
+    let kim = choice.entry(Strategy::Kim).unwrap();
+    assert!(kim.unsound);
+    assert!(kim.applicable(), "Kim applies to the linear EMP/DEPT query");
+}
+
+#[test]
+fn chooser_prefers_decorrelation_when_subqueries_are_expensive() {
     // No indexes: every nested-iteration invocation scans emp.
     let db = generate(&EmpDeptConfig {
         departments: 200,
@@ -18,14 +63,20 @@ fn chooser_prefers_magic_when_subqueries_are_expensive() {
     })
     .unwrap();
     let qgm = parse_and_bind(queries::EMPDEPT, &db).unwrap();
-    let choice = choose_strategy(&db, &qgm).unwrap();
-    assert_eq!(choice.strategy, Strategy::Magic);
-    assert!(choice.magic_estimate.cost < choice.ni_estimate.cost);
+    let ni_plan = qgm.clone();
+    let choice = choose_strategy(&db, qgm).unwrap();
+    assert_ne!(choice.strategy, Strategy::NestedIteration);
+    let ni = choice
+        .entry(Strategy::NestedIteration)
+        .unwrap()
+        .estimate
+        .unwrap();
+    assert!(choice.estimate.cost < ni.cost);
 
     // The estimate-based decision agrees with measured work.
-    let (_, ni) = execute(&db, &qgm).unwrap();
-    let (_, mag) = execute(&db, &choice.plan).unwrap();
-    assert!(mag.total_work() < ni.total_work());
+    let (_, ni_stats) = execute(&db, &ni_plan).unwrap();
+    let (_, chosen_stats) = execute(&db, &choice.plan).unwrap();
+    assert!(chosen_stats.total_work() < ni_stats.total_work());
 }
 
 #[test]
@@ -36,7 +87,7 @@ fn chooser_keeps_ni_for_uncorrelated_queries() {
         &db,
     )
     .unwrap();
-    let choice = choose_strategy(&db, &qgm).unwrap();
+    let choice = choose_strategy(&db, qgm).unwrap();
     // Decorrelation changes nothing; the tie goes to nested iteration.
     assert_eq!(choice.strategy, Strategy::NestedIteration);
 }
@@ -46,23 +97,68 @@ fn chooser_handles_the_tpcd_queries() {
     let db = tpcd_generate(&TpcdConfig { scale: 0.02, seed: 42, with_indexes: true }).unwrap();
     for sql in [queries::Q1A, queries::Q1B, queries::Q2, queries::Q3] {
         let qgm = parse_and_bind(sql, &db).unwrap();
-        let choice = choose_strategy(&db, &qgm).unwrap();
+        let ni_plan = qgm.clone();
+        let choice = choose_strategy(&db, qgm).unwrap();
         validate(&choice.plan).unwrap();
         // Whatever it picks must execute to the right answer.
-        let (mut expected, _) = execute(&db, &qgm).unwrap();
+        let (mut expected, _) = execute(&db, &ni_plan).unwrap();
         let (mut got, _) = execute(&db, &choice.plan).unwrap();
         expected.sort();
         got.sort();
-        assert_eq!(got, expected);
+        assert_eq!(
+            got,
+            expected,
+            "wrong answer under {} for {sql}",
+            choice.strategy.name()
+        );
     }
 }
 
 #[test]
-fn chooser_prefers_magic_without_the_subquery_index() {
+fn chooser_prefers_decorrelation_without_the_subquery_index() {
     // Figure 7's situation: the correlated invocation must scan partsupp.
     let mut db = tpcd_generate(&TpcdConfig { scale: 0.02, seed: 42, with_indexes: true }).unwrap();
     queries::drop_fig7_index(&mut db).unwrap();
     let qgm = parse_and_bind(queries::Q1C, &db).unwrap();
-    let choice = choose_strategy(&db, &qgm).unwrap();
-    assert_eq!(choice.strategy, Strategy::Magic);
+    let choice = choose_strategy(&db, qgm).unwrap();
+    assert_ne!(choice.strategy, Strategy::NestedIteration);
+    assert_ne!(choice.strategy, Strategy::Kim);
+}
+
+#[test]
+fn chosen_plan_is_competitive_with_the_best_measured_strategy() {
+    // The acceptance bar: on the paper's figure queries, the chosen
+    // plan's measured total work stays within 2x of the best choosable
+    // strategy's measured work (each strategy run with its figure's
+    // execution options, e.g. Fig 8's NI places the subquery early).
+    use decorr_bench::{race_figure, Figure};
+    for fig in Figure::all() {
+        let db = fig.database(0.02, 42).unwrap();
+        let outcome = race_figure(fig, &db).unwrap();
+        assert!(
+            outcome.work_ratio() <= 2.0,
+            "{}: chose {} with work {} but {} measured {}",
+            fig.id(),
+            outcome.choice.strategy.name(),
+            outcome.chosen_work,
+            outcome.best_strategy.name(),
+            outcome.best_work
+        );
+    }
+}
+
+#[test]
+fn estimates_audit_against_the_trace() {
+    let db = generate(&EmpDeptConfig::default()).unwrap();
+    let qgm = parse_and_bind(queries::EMPDEPT, &db).unwrap();
+    let choice = choose_strategy(&db, qgm).unwrap();
+    let (_, _, trace) =
+        decorr::exec::execute_traced(&db, &choice.plan, decorr::exec::ExecOptions::default())
+            .unwrap();
+    let report = audit_estimates(&choice.plan, &choice.plan_estimate, &trace);
+    assert!(!report.is_empty(), "every executed box should be audited");
+    assert!(report.max_q().is_finite());
+    // The rendered table mentions every audited box.
+    let rendered = report.render();
+    assert!(rendered.contains("q-error"));
 }

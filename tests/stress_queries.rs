@@ -189,8 +189,8 @@ fn corpus_survives_chooser() {
     let db = db();
     for (i, sql) in QUERIES.iter().enumerate() {
         let qgm = parse_and_bind(sql, &db).unwrap();
-        let choice = choose_strategy(&db, &qgm).unwrap();
         let (mut expected, _) = execute(&db, &qgm).unwrap();
+        let choice = choose_strategy(&db, qgm).unwrap();
         let (mut got, _) = execute(&db, &choice.plan).unwrap();
         expected.sort();
         got.sort();
