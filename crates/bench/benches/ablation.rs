@@ -48,7 +48,7 @@ fn bench(c: &mut Criterion) {
             let opts = ExecOptions { memoize_cse: memoize, ..Default::default() };
             group.bench_function(label, |b| {
                 b.iter(|| {
-                    let (rows, _) = execute_with(&db, &plan, opts).expect("execute");
+                    let (rows, _) = execute_with(&db, &plan, opts.clone()).expect("execute");
                     criterion::black_box(rows.len())
                 })
             });
@@ -79,7 +79,7 @@ fn bench(c: &mut Criterion) {
         let opts = ExecOptions { memoize_cse: true, ..Default::default() };
         group.bench_function("exists_decorrelated", |b| {
             b.iter(|| {
-                let (rows, _) = execute_with(&db, &plan, opts).expect("execute");
+                let (rows, _) = execute_with(&db, &plan, opts.clone()).expect("execute");
                 criterion::black_box(rows.len())
             })
         });

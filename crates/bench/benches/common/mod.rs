@@ -28,7 +28,7 @@ pub fn bench_figure(c: &mut Criterion, fig: Figure) {
         let opts = fig.exec_opts(strategy);
         group.bench_function(strategy.name(), |b| {
             b.iter(|| {
-                let (rows, _) = execute_with(&db, &plan, opts).expect("execute");
+                let (rows, _) = execute_with(&db, &plan, opts.clone()).expect("execute");
                 criterion::black_box(rows.len())
             })
         });

@@ -3,10 +3,11 @@
 //! counters.
 //!
 //! ```text
-//! harness [table1|fig5|fig6|fig7|fig8|fig9|parallel|countbug|ablation|accuracy|all]
+//! harness [table1|fig5|fig6|fig7|fig8|fig9|parallel|countbug|ablation|accuracy|chaos|all]
 //!         [--scale S] [--seed N] [--nodes N1,N2,...] [--threads N]
 //!         [--trace] [--analyze] [--explain-cost] [--qerr-threshold Q]
-//!         [--bench-json [PATH]]
+//!         [--fault-seed S1,S2,...] [--replication K1,K2,...]
+//!         [--timeout-ms MS] [--mem-budget ROWS] [--bench-json [PATH]]
 //! ```
 //!
 //! `--threads N` runs the figure executors on a worker pool of N threads
@@ -22,12 +23,20 @@
 //! job). `--bench-json [PATH]` records the serial-vs-parallel benchmark
 //! baseline plus each figure's chosen strategy and q-error (failing if
 //! serial and parallel results diverge) to PATH, default `BENCH_PR2.json`.
+//!
+//! The `chaos` experiment (run only when requested by name — it is not
+//! part of `all`) executes the figure queries on a 4-node cluster under a
+//! sweep of `--fault-seed`s × `--replication` factors, asserting that
+//! every recoverable crash yields a byte-identical answer and every
+//! unrecoverable one fails closed with `NodeFailed`. `--timeout-ms` and
+//! `--mem-budget` apply query governance to the chaos runs; with
+//! `--bench-json` the sweep's JSON report replaces the baseline document.
 
 use std::time::Instant;
 
 use decorr_bench::{
-    analyze_figure, bench_baseline, figure_trace_json, format_table, race_figure,
-    run_figure_traced, run_figure_with, Figure,
+    analyze_figure, bench_baseline, chaos_sweep, figure_trace_json, format_table, race_figure,
+    run_figure_traced, run_figure_with, ChaosConfig, Figure,
 };
 use decorr_common::Result;
 use decorr_core::magic::MagicOptions;
@@ -46,6 +55,10 @@ struct Args {
     analyze: bool,
     explain_cost: bool,
     qerr_threshold: Option<f64>,
+    fault_seeds: Vec<u64>,
+    replications: Vec<usize>,
+    timeout_ms: Option<u64>,
+    mem_budget: Option<usize>,
     bench_json: Option<String>,
 }
 
@@ -60,6 +73,10 @@ fn parse_args() -> Args {
         analyze: false,
         explain_cost: false,
         qerr_threshold: None,
+        fault_seeds: vec![1, 2, 3, 4],
+        replications: vec![1, 2],
+        timeout_ms: None,
+        mem_budget: None,
         bench_json: None,
     };
     let mut it = std::env::args().skip(1).peekable();
@@ -87,6 +104,33 @@ fn parse_args() -> Args {
                         .expect("number"),
                 )
             }
+            "--fault-seed" => {
+                args.fault_seeds = it
+                    .next()
+                    .expect("--fault-seed S1,S2")
+                    .split(',')
+                    .map(|s| s.parse().expect("number"))
+                    .collect()
+            }
+            "--replication" => {
+                args.replications = it
+                    .next()
+                    .expect("--replication K1,K2")
+                    .split(',')
+                    .map(|s| s.parse().expect("number"))
+                    .collect()
+            }
+            "--timeout-ms" => {
+                args.timeout_ms = Some(it.next().expect("--timeout-ms MS").parse().expect("number"))
+            }
+            "--mem-budget" => {
+                args.mem_budget = Some(
+                    it.next()
+                        .expect("--mem-budget ROWS")
+                        .parse()
+                        .expect("number"),
+                )
+            }
             "--bench-json" => {
                 // Optional path operand: consume the next token only if it
                 // names a JSON file, else record to the default path.
@@ -105,9 +149,9 @@ fn parse_args() -> Args {
     args
 }
 
-const EXPERIMENTS: [&str; 11] = [
+const EXPERIMENTS: [&str; 12] = [
     "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "countbug", "ablation", "parallel",
-    "accuracy", "all",
+    "accuracy", "chaos", "all",
 ];
 
 fn main() -> Result<()> {
@@ -149,15 +193,38 @@ fn main() -> Result<()> {
     if wants("parallel") {
         parallel(&args.nodes, args.seed)?;
     }
+    // Chaos is opt-in by name: a fault sweep is a CI gate, not a figure,
+    // so `all` does not imply it.
+    let chaos_requested = args.what.iter().any(|w| w == "chaos");
+    let mut chaos_json = None;
+    if chaos_requested {
+        let cfg = ChaosConfig {
+            scale: args.scale,
+            seed: args.seed,
+            nodes: 4,
+            fault_seeds: args.fault_seeds.clone(),
+            replications: args.replications.clone(),
+            timeout_ms: args.timeout_ms,
+            mem_budget: args.mem_budget,
+        };
+        let (table, json) = chaos_sweep(&cfg)?;
+        println!("{table}");
+        chaos_json = Some(json);
+    }
     if let Some(path) = &args.bench_json {
-        let threads = if args.threads > 1 { args.threads } else { 4 };
-        let json = bench_baseline(args.scale, args.seed, threads)?;
+        let (json, what) = match chaos_json {
+            Some(json) => (json, "chaos sweep".to_string()),
+            None => {
+                let threads = if args.threads > 1 { args.threads } else { 4 };
+                (
+                    bench_baseline(args.scale, args.seed, threads)?,
+                    format!("benchmark baseline (threads 1 vs {threads})"),
+                )
+            }
+        };
         std::fs::write(path, json + "\n")
             .map_err(|e| decorr_common::Error::internal(format!("writing {path}: {e}")))?;
-        println!(
-            "benchmark baseline (scale {}, threads 1 vs {threads}) recorded to {path}",
-            args.scale
-        );
+        println!("{what} (scale {}) recorded to {path}", args.scale);
     }
     Ok(())
 }

@@ -6,11 +6,12 @@
 use std::time::{Duration, Instant};
 
 use decorr::choose::{audit_estimates, choose_strategy_with, PlanChoice};
-use decorr_common::{Error, ExecStats, JsonWriter, Result, Row};
+use decorr_common::{Budget, Chaos, Error, ExecStats, FaultPlan, JsonWriter, Result, Row};
 use decorr_core::{apply_strategy, apply_strategy_traced, RewriteTrace, Strategy};
 use decorr_exec::{
     execute_traced, execute_with, CostModel, ExecOptions, ExecTrace, ScalarPlacement,
 };
+use decorr_parallel::{run_gathered, Cluster};
 use decorr_qgm::{print, Qgm};
 use decorr_sql::parse_and_bind;
 use decorr_stats::{q_error, AccuracyReport, Statistics};
@@ -516,6 +517,212 @@ pub fn bench_baseline(scale: f64, seed: u64, threads: usize) -> Result<String> {
     }
     w.end_array().end_object();
     Ok(w.finish())
+}
+
+/// Configuration of the `chaos` experiment: the figure queries under a
+/// sweep of injected single-node crashes × replication factors.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    pub scale: f64,
+    pub seed: u64,
+    /// Cluster width for every sweep point.
+    pub nodes: usize,
+    /// Fault seeds; each derives one permanently crashed node plus
+    /// transient/straggler noise, all replayable from the seed.
+    pub fault_seeds: Vec<u64>,
+    /// Replication factors to sweep (clamped to `1..=nodes`).
+    pub replications: Vec<usize>,
+    /// Wall-clock timeout for the coordinator execution, if any.
+    pub timeout_ms: Option<u64>,
+    /// Executor memory budget (rows), if any.
+    pub mem_budget: Option<usize>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            scale: 0.05,
+            seed: 42,
+            nodes: 4,
+            fault_seeds: vec![1, 2, 3, 4],
+            replications: vec![1, 2],
+            timeout_ms: None,
+            mem_budget: None,
+        }
+    }
+}
+
+/// Run the chaos sweep and return `(text table, JSON document)`.
+///
+/// For every [`BASELINE_FIGURES`] figure (Magic-rewritten plan) and every
+/// replication factor, a fault-free gathered run establishes the baseline;
+/// then each fault seed injects a permanent single-node crash. The sweep
+/// *enforces* the recovery contract and errors on any violation:
+///
+/// * every partition keeps a live replica → the run must succeed and be
+///   **byte-identical** to the fault-free baseline;
+/// * the crash strands a partition (replication 1) → the run must fail
+///   closed with [`Error::NodeFailed`] — any answer is a wrong answer.
+pub fn chaos_sweep(cfg: &ChaosConfig) -> Result<(String, String)> {
+    use std::fmt::Write as _;
+
+    let mk_opts = || {
+        let mut o = ExecOptions::default();
+        if let Some(ms) = cfg.timeout_ms {
+            o.timeout = Some(Budget::wall_ms(ms));
+        }
+        o.mem_budget = cfg.mem_budget;
+        o
+    };
+
+    let mut table = String::new();
+    writeln!(
+        table,
+        "Chaos sweep - figure queries under injected single-node crashes \
+         (scale {}, {} nodes)",
+        cfg.scale, cfg.nodes
+    )
+    .unwrap();
+    writeln!(
+        table,
+        "{:<6} {:>4} {:>6} {:>7} {:<13} {:>9} {:>6} {:>7} {:>9} {:>9} {:>7}",
+        "figure",
+        "repl",
+        "seed",
+        "crashed",
+        "outcome",
+        "identical",
+        "rows",
+        "retries",
+        "failovers",
+        "redriven",
+        "delay"
+    )
+    .unwrap();
+
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("bench", "chaos-sweep")
+        .field_float("scale", cfg.scale)
+        .field_uint("seed", cfg.seed)
+        .field_uint("nodes", cfg.nodes as u64);
+    if let Some(ms) = cfg.timeout_ms {
+        w.field_uint("timeout_ms", ms);
+    }
+    if let Some(mb) = cfg.mem_budget {
+        w.field_uint("mem_budget", mb as u64);
+    }
+    w.key("runs").begin_array();
+
+    let mut violations: Vec<String> = Vec::new();
+    for fig in BASELINE_FIGURES {
+        let db = fig.database(cfg.scale, cfg.seed)?;
+        let qgm = parse_and_bind(fig.sql(), &db)?;
+        // Magic applies to all three figures and is the cheapest plan to
+        // re-run across the sweep; recovery is about *where* fragments
+        // run, not which rewrite produced them.
+        let plan = apply_strategy(&qgm, Strategy::Magic)?;
+        for &repl in &cfg.replications {
+            let cluster = Cluster::partition_by_key_replicated(&db, cfg.nodes, repl)?;
+            let (baseline, _) = run_gathered(&cluster, &plan, mk_opts(), None)?;
+            for &fseed in &cfg.fault_seeds {
+                let fault = FaultPlan::single_crash(fseed, cfg.nodes);
+                let crashed = fault.crashed_node().unwrap_or(0);
+                let recoverable = cluster.survives_crash_of(crashed);
+                let chaos = Chaos::new(fault);
+                let label = format!(
+                    "{} seed {fseed} replication {} (crashed node {crashed})",
+                    fig.id(),
+                    cluster.replication()
+                );
+
+                let (outcome, identical, rows, stats) =
+                    match run_gathered(&cluster, &plan, mk_opts(), Some(&chaos)) {
+                        Ok((rows, stats)) => {
+                            let identical = rows == baseline;
+                            if !recoverable {
+                                violations.push(format!(
+                                    "{label}: produced an answer with a stranded partition"
+                                ));
+                            } else if !identical {
+                                violations.push(format!(
+                                    "{label}: recovered answer diverges from fault-free run"
+                                ));
+                            }
+                            ("recovered", identical, rows.len(), Some(stats))
+                        }
+                        Err(Error::NodeFailed(_)) if !recoverable => {
+                            ("failed-closed", false, 0, None)
+                        }
+                        Err(e) => {
+                            violations.push(format!("{label}: unexpected error: {e}"));
+                            ("error", false, 0, None)
+                        }
+                    };
+
+                let (retries, failovers, redriven, delay) = stats
+                    .as_ref()
+                    .map(|s| {
+                        (
+                            s.retries,
+                            s.failovers,
+                            s.redriven_rows,
+                            s.injected_delay_ticks,
+                        )
+                    })
+                    .unwrap_or((
+                        chaos.retries(),
+                        chaos.failovers(),
+                        0,
+                        chaos.injected_delay_ticks(),
+                    ));
+                writeln!(
+                    table,
+                    "{:<6} {:>4} {:>6} {:>7} {:<13} {:>9} {:>6} {:>7} {:>9} {:>9} {:>7}",
+                    fig.id(),
+                    cluster.replication(),
+                    fseed,
+                    crashed,
+                    outcome,
+                    identical,
+                    rows,
+                    retries,
+                    failovers,
+                    redriven,
+                    delay
+                )
+                .unwrap();
+
+                w.begin_object()
+                    .field_str("figure", fig.id())
+                    .field_uint("replication", cluster.replication() as u64)
+                    .field_uint("fault_seed", fseed)
+                    .field_uint("crashed_node", crashed as u64)
+                    .field_str("outcome", outcome);
+                w.key("identical").bool(identical);
+                w.field_uint("rows", rows as u64)
+                    .field_uint("retries", retries)
+                    .field_uint("failovers", failovers)
+                    .field_uint("redriven_rows", redriven)
+                    .field_uint("injected_delay_ticks", delay)
+                    .end_object();
+            }
+        }
+    }
+    w.end_array();
+    w.key("violations").begin_array();
+    for v in &violations {
+        w.string(v);
+    }
+    w.end_array().end_object();
+
+    if !violations.is_empty() {
+        return Err(Error::internal(format!(
+            "chaos sweep violated the recovery contract:\n  {}",
+            violations.join("\n  ")
+        )));
+    }
+    Ok((table, w.finish()))
 }
 
 /// Render measurements as the harness's text table.

@@ -27,6 +27,19 @@ pub enum Error {
     /// A rewrite rule was asked to do something it does not support
     /// (e.g. Kim's method on a non-linear query).
     Rewrite(String),
+    /// The query's [`crate::CancelToken`] fired; execution stopped at the
+    /// next morsel boundary with no result.
+    Cancelled,
+    /// The query's [`crate::Budget`] was exhausted before the result was
+    /// produced.
+    Timeout,
+    /// An operator would exceed the memory budget even after degrading to
+    /// its low-memory fallback.
+    ResourceExhausted(String),
+    /// A cluster node was unreachable and no live replica could serve its
+    /// partitions — the query fails closed rather than returning a partial
+    /// (wrong) answer.
+    NodeFailed(String),
     /// Internal invariant violation — indicates a bug in this library.
     Internal(String),
 }
@@ -53,6 +66,12 @@ impl Error {
     pub fn rewrite(msg: impl Into<String>) -> Self {
         Error::Rewrite(msg.into())
     }
+    pub fn resource_exhausted(msg: impl Into<String>) -> Self {
+        Error::ResourceExhausted(msg.into())
+    }
+    pub fn node_failed(msg: impl Into<String>) -> Self {
+        Error::NodeFailed(msg.into())
+    }
     pub fn internal(msg: impl Into<String>) -> Self {
         Error::Internal(msg.into())
     }
@@ -68,6 +87,10 @@ impl fmt::Display for Error {
             Error::Eval(m) => write!(f, "evaluation error: {m}"),
             Error::Catalog(m) => write!(f, "catalog error: {m}"),
             Error::Rewrite(m) => write!(f, "rewrite error: {m}"),
+            Error::Cancelled => write!(f, "query cancelled"),
+            Error::Timeout => write!(f, "query timeout: execution budget exhausted"),
+            Error::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
+            Error::NodeFailed(m) => write!(f, "node failed: {m}"),
             Error::Internal(m) => write!(f, "internal error (bug): {m}"),
         }
     }

@@ -1,0 +1,335 @@
+//! Deterministic fault injection for the parallel simulator.
+//!
+//! A [`FaultPlan`] is derived entirely from a `u64` seed: which node
+//! crashes (and for which window of its job sequence), which job attempts
+//! draw transient errors, and which jobs straggle. Faults are keyed on
+//! `(node, per-node job index)` — every attempt against a node consumes one
+//! index from that node's counter — so a failing CI seed replays exactly.
+//!
+//! Delays never sleep: stragglers and retry backoff advance the shared
+//! logical [`Clock`], which a query [`crate::Budget`] may be watching.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::govern::Clock;
+
+/// splitmix64: the stateless mixer behind every fault decision.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// What the plan injects for one job attempt on one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Run normally.
+    None,
+    /// The node's database is unreachable; the attempt fails.
+    NodeDown,
+    /// The attempt fails once with a transient error; a retry may succeed.
+    Transient,
+    /// The attempt succeeds after a straggler delay of this many ticks.
+    Straggle(u64),
+}
+
+/// A seeded schedule of injected faults over an `n`-node cluster.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    nodes: usize,
+    /// Per-node crash window over that node's job sequence: attempts with
+    /// per-node index in `[start, start + len)` observe [`FaultEvent::NodeDown`].
+    crash: Vec<Option<(u64, u64)>>,
+    /// Per-mille probability that an attempt draws a transient error.
+    transient_permille: u64,
+    /// Per-mille probability and tick range for straggler jobs.
+    straggle_permille: u64,
+    straggle_ticks: u64,
+    /// Per-node attempt counters: each call to [`FaultPlan::begin_job`]
+    /// consumes one index from the target node's sequence.
+    counters: Vec<AtomicU64>,
+}
+
+impl FaultPlan {
+    fn quiet(nodes: usize) -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            nodes,
+            crash: vec![None; nodes],
+            transient_permille: 0,
+            straggle_permille: 0,
+            straggle_ticks: 0,
+            counters: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// A plan that injects nothing (the fault-free baseline).
+    pub fn none(nodes: usize) -> FaultPlan {
+        Self::quiet(nodes)
+    }
+
+    /// A general chaos plan: one node gets a *finite* crash window early in
+    /// its job sequence (short enough that bounded retry can outlast it),
+    /// plus background transient errors and stragglers.
+    pub fn from_seed(seed: u64, nodes: usize) -> FaultPlan {
+        let mut plan = Self::quiet(nodes);
+        plan.seed = seed;
+        let victim = (splitmix64(seed) % nodes.max(1) as u64) as usize;
+        let start = splitmix64(seed ^ 0x11) % 2;
+        let len = 1 + splitmix64(seed ^ 0x22) % 4;
+        plan.crash[victim] = Some((start, len));
+        plan.transient_permille = 40;
+        plan.straggle_permille = 30;
+        plan.straggle_ticks = 8;
+        plan
+    }
+
+    /// A single permanent node crash chosen by the seed, plus background
+    /// transient errors and stragglers — the chaos sweep's scenario: with a
+    /// live replica the query must recover byte-identically, without one it
+    /// must fail closed with `Error::NodeFailed`.
+    pub fn single_crash(seed: u64, nodes: usize) -> FaultPlan {
+        let mut plan = Self::quiet(nodes);
+        plan.seed = seed;
+        let victim = (splitmix64(seed) % nodes.max(1) as u64) as usize;
+        plan.crash[victim] = Some((0, u64::MAX));
+        plan.transient_permille = 40;
+        plan.straggle_permille = 30;
+        plan.straggle_ticks = 8;
+        plan
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The node with a crash window, if any.
+    pub fn crashed_node(&self) -> Option<usize> {
+        self.crash.iter().position(Option::is_some)
+    }
+
+    /// Is the node permanently down (its crash window never closes)?
+    pub fn permanently_down(&self, node: usize) -> bool {
+        matches!(self.crash.get(node), Some(Some((0, u64::MAX))))
+    }
+
+    pub fn is_fault_free(&self) -> bool {
+        self.crash.iter().all(Option::is_none)
+            && self.transient_permille == 0
+            && self.straggle_permille == 0
+    }
+
+    /// Consume one attempt index from `node`'s job sequence and return the
+    /// injected fault for that attempt.
+    pub fn begin_job(&self, node: usize) -> FaultEvent {
+        let idx = self.counters[node].fetch_add(1, Ordering::Relaxed);
+        if let Some(Some((start, len))) = self.crash.get(node) {
+            if idx >= *start && idx - start < *len {
+                return FaultEvent::NodeDown;
+            }
+        }
+        let h = splitmix64(
+            self.seed
+                ^ (node as u64).wrapping_mul(0xA076_1D64_78BD_642F)
+                ^ idx.wrapping_mul(0xE703_7ED1_A0B4_28DB),
+        );
+        if h % 1000 < self.transient_permille {
+            return FaultEvent::Transient;
+        }
+        if let Some(d) = self.straggle_for(node as u64 ^ idx.rotate_left(17)) {
+            return FaultEvent::Straggle(d);
+        }
+        FaultEvent::None
+    }
+
+    /// Counter-free straggler decision for a work lane (a pool job index or
+    /// a node/attempt mix): purely hash-based, so it is independent of the
+    /// interleaving in which parallel workers consult it.
+    pub fn straggle_for(&self, lane: u64) -> Option<u64> {
+        if self.straggle_permille == 0 {
+            return None;
+        }
+        let h = splitmix64(self.seed ^ 0x5742_4747 ^ lane.wrapping_mul(0x8EBC_6AF0_9C88_C6E3));
+        if h % 1000 < self.straggle_permille {
+            Some(1 + (h >> 32) % self.straggle_ticks.max(1))
+        } else {
+            None
+        }
+    }
+}
+
+/// One run's fault-injection session: the plan, the logical clock that
+/// delays and backoff advance, and the recovery counters the cluster layer
+/// folds into `ParallelStats`. Cloning shares the session.
+#[derive(Clone, Debug)]
+pub struct Chaos {
+    inner: Arc<ChaosInner>,
+}
+
+#[derive(Debug)]
+struct ChaosInner {
+    plan: FaultPlan,
+    clock: Clock,
+    retries: AtomicU64,
+    failovers: AtomicU64,
+    injected_delay: AtomicU64,
+}
+
+impl Chaos {
+    pub fn new(plan: FaultPlan) -> Chaos {
+        Self::with_clock(plan, Clock::new())
+    }
+
+    /// Share `clock` with a query [`crate::Budget`], so injected delays
+    /// consume execution budget.
+    pub fn with_clock(plan: FaultPlan, clock: Clock) -> Chaos {
+        Chaos {
+            inner: Arc::new(ChaosInner {
+                plan,
+                clock,
+                retries: AtomicU64::new(0),
+                failovers: AtomicU64::new(0),
+                injected_delay: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.inner.plan
+    }
+
+    pub fn clock(&self) -> &Clock {
+        &self.inner.clock
+    }
+
+    /// Record one retried attempt.
+    pub fn note_retry(&self) {
+        self.inner.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one failover to a replica node.
+    pub fn note_failover(&self) {
+        self.inner.failovers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Advance the clock by an injected delay (straggler or backoff).
+    pub fn delay(&self, ticks: u64) {
+        self.inner.clock.advance(ticks);
+        self.inner
+            .injected_delay
+            .fetch_add(ticks, Ordering::Relaxed);
+    }
+
+    pub fn retries(&self) -> u64 {
+        self.inner.retries.load(Ordering::Relaxed)
+    }
+
+    pub fn failovers(&self) -> u64 {
+        self.inner.failovers.load(Ordering::Relaxed)
+    }
+
+    pub fn injected_delay_ticks(&self) -> u64 {
+        self.inner.injected_delay.load(Ordering::Relaxed)
+    }
+
+    /// Worker-pool consultation: inject a straggler delay for pool job
+    /// `lane` if the plan schedules one. Keyed purely on the job index, so
+    /// the decision (and the total injected delay) is deterministic no
+    /// matter which worker claims the job.
+    pub fn on_pool_job(&self, lane: u64) {
+        if let Some(d) = self.plan().straggle_for(lane) {
+            self.delay(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drain the first `per_node` events of every node's sequence.
+    fn events(plan: &FaultPlan, per_node: u64) -> Vec<FaultEvent> {
+        let mut out = Vec::new();
+        for node in 0..plan.nodes() {
+            for _ in 0..per_node {
+                out.push(plan.begin_job(node));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let a = events(&FaultPlan::from_seed(42, 4), 16);
+        let b = events(&FaultPlan::from_seed(42, 4), 16);
+        assert_eq!(a, b);
+        let c = events(&FaultPlan::from_seed(43, 4), 16);
+        assert_ne!(a, c, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn none_plan_injects_nothing() {
+        let plan = FaultPlan::none(3);
+        assert!(plan.is_fault_free());
+        assert!(events(&plan, 32).iter().all(|e| *e == FaultEvent::None));
+        assert_eq!(plan.crashed_node(), None);
+    }
+
+    #[test]
+    fn single_crash_downs_exactly_one_node_forever() {
+        let plan = FaultPlan::single_crash(7, 4);
+        let victim = plan.crashed_node().expect("one node crashes");
+        assert!(plan.permanently_down(victim));
+        for _ in 0..64 {
+            assert_eq!(plan.begin_job(victim), FaultEvent::NodeDown);
+        }
+        for node in (0..4).filter(|&n| n != victim) {
+            assert!(!plan.permanently_down(node));
+            assert!((0..64).all(|_| plan.begin_job(node) != FaultEvent::NodeDown));
+        }
+    }
+
+    #[test]
+    fn finite_windows_close() {
+        // Every from_seed window has len <= 5 < 16 attempts, so each node
+        // eventually serves again.
+        for seed in 0..32u64 {
+            let plan = FaultPlan::from_seed(seed, 3);
+            let victim = plan.crashed_node().expect("one victim");
+            assert!(!plan.permanently_down(victim));
+            let evs: Vec<FaultEvent> = (0..16).map(|_| plan.begin_job(victim)).collect();
+            assert!(
+                evs.iter().rev().take(8).all(|e| *e != FaultEvent::NodeDown),
+                "seed {seed}: crash window should close within 8 attempts: {evs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn straggle_decisions_are_lane_keyed() {
+        let plan = FaultPlan::from_seed(5, 4);
+        let picks: Vec<Option<u64>> = (0..256).map(|l| plan.straggle_for(l)).collect();
+        assert_eq!(
+            picks,
+            (0..256).map(|l| plan.straggle_for(l)).collect::<Vec<_>>()
+        );
+        assert!(picks.iter().any(Option::is_some), "some lane straggles");
+        assert!(picks.iter().any(Option::is_none), "some lane does not");
+    }
+
+    #[test]
+    fn chaos_counters_accumulate() {
+        let chaos = Chaos::new(FaultPlan::none(2));
+        chaos.note_retry();
+        chaos.note_retry();
+        chaos.note_failover();
+        chaos.delay(7);
+        assert_eq!(chaos.retries(), 2);
+        assert_eq!(chaos.failovers(), 1);
+        assert_eq!(chaos.injected_delay_ticks(), 7);
+        assert_eq!(chaos.clock().now(), 7);
+    }
+}

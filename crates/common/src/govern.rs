@@ -1,0 +1,178 @@
+//! Query governance primitives: an injected logical clock, execution
+//! budgets (timeouts) and cooperative cancellation.
+//!
+//! The executor never reads wall time to make control decisions — tests
+//! would be flaky and chaos runs unreproducible. Instead a [`Clock`] counts
+//! *logical ticks* (one tick ≈ one row touched by an operator) and a
+//! [`Budget`] turns a tick ceiling into [`Error::Timeout`]. For interactive
+//! use the harness can additionally arm a wall-clock deadline
+//! ([`Budget::wall_ms`]); tests stick to ticks.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::{Error, Result};
+
+/// A shared logical clock. Operators advance it by the number of rows they
+/// touch; fault injection advances it by straggler delays and retry
+/// backoff. Cloning shares the underlying counter.
+#[derive(Clone, Debug, Default)]
+pub struct Clock(Arc<AtomicU64>);
+
+impl Clock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current tick count.
+    pub fn now(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Advance by `ticks`, returning the new time.
+    pub fn advance(&self, ticks: u64) -> u64 {
+        self.0.fetch_add(ticks, Ordering::Relaxed) + ticks
+    }
+}
+
+/// An execution budget: a logical-tick deadline on a [`Clock`], optionally
+/// combined with a wall-clock deadline. Exceeding either surfaces as
+/// [`Error::Timeout`] at the next morsel boundary.
+#[derive(Clone, Debug)]
+pub struct Budget {
+    clock: Clock,
+    /// Logical deadline in absolute ticks on `clock`.
+    deadline: u64,
+    /// Optional wall-clock deadline (harness `--timeout-ms`; never used in
+    /// tests, which must stay deterministic).
+    wall: Option<Instant>,
+}
+
+impl Budget {
+    /// A budget of `limit` logical ticks on a fresh clock.
+    pub fn ticks(limit: u64) -> Budget {
+        Budget { clock: Clock::new(), deadline: limit, wall: None }
+    }
+
+    /// A budget of `limit` ticks from `clock`'s current time — used when
+    /// the executor shares a clock with fault injection, so straggler
+    /// delays and retry backoff consume query budget too.
+    pub fn on_clock(clock: Clock, limit: u64) -> Budget {
+        let deadline = clock.now().saturating_add(limit);
+        Budget { clock, deadline, wall: None }
+    }
+
+    /// A wall-clock-only budget of `ms` milliseconds from now.
+    pub fn wall_ms(ms: u64) -> Budget {
+        Budget {
+            clock: Clock::new(),
+            deadline: u64::MAX,
+            wall: Some(Instant::now() + Duration::from_millis(ms)),
+        }
+    }
+
+    /// The clock this budget charges against.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Charge `ticks` of work and fail with [`Error::Timeout`] if either
+    /// deadline has passed.
+    pub fn charge(&self, ticks: u64) -> Result<()> {
+        let now = if ticks == 0 {
+            self.clock.now()
+        } else {
+            self.clock.advance(ticks)
+        };
+        if now > self.deadline {
+            return Err(Error::Timeout);
+        }
+        if let Some(wall) = self.wall {
+            if Instant::now() >= wall {
+                return Err(Error::Timeout);
+            }
+        }
+        Ok(())
+    }
+
+    /// Ticks left before the logical deadline.
+    pub fn remaining(&self) -> u64 {
+        self.deadline.saturating_sub(self.clock.now())
+    }
+}
+
+/// Cooperative cancellation: any thread may [`cancel`](CancelToken::cancel)
+/// the token; the executor checks it at morsel boundaries and unwinds with
+/// [`Error::Cancelled`]. Cloning shares the flag.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// [`Error::Cancelled`] once the token has fired.
+    pub fn check(&self) -> Result<()> {
+        if self.is_cancelled() {
+            Err(Error::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let c = Clock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.advance(5), 5);
+        assert_eq!(c.advance(3), 8);
+        let shared = c.clone();
+        shared.advance(2);
+        assert_eq!(c.now(), 10);
+    }
+
+    #[test]
+    fn budget_times_out_deterministically() {
+        let b = Budget::ticks(10);
+        assert!(b.charge(4).is_ok());
+        assert!(b.charge(6).is_ok()); // exactly at the deadline
+        assert_eq!(b.charge(1), Err(Error::Timeout));
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn budget_on_shared_clock_sees_external_delays() {
+        let clock = Clock::new();
+        let b = Budget::on_clock(clock.clone(), 10);
+        clock.advance(20); // a straggler delay, not query work
+        assert_eq!(b.charge(0), Err(Error::Timeout));
+    }
+
+    #[test]
+    fn cancel_token_fires_across_clones() {
+        let t = CancelToken::new();
+        assert!(t.check().is_ok());
+        let remote = t.clone();
+        std::thread::spawn(move || remote.cancel())
+            .join()
+            .expect("canceller thread");
+        assert!(t.is_cancelled());
+        assert_eq!(t.check(), Err(Error::Cancelled));
+    }
+}

@@ -21,6 +21,8 @@
 //! bottom of the dependency graph.
 
 pub mod error;
+pub mod fault;
+pub mod govern;
 pub mod hash;
 pub mod json;
 pub mod pool;
@@ -30,6 +32,8 @@ pub mod stats;
 pub mod value;
 
 pub use error::{Error, Result};
+pub use fault::{Chaos, FaultEvent, FaultPlan};
+pub use govern::{Budget, CancelToken, Clock};
 pub use hash::{mix64, FxHashMap, FxHashSet, FxHasher};
 pub use json::JsonWriter;
 pub use pool::{WorkerPool, MORSEL_ROWS};

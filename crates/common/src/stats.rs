@@ -44,6 +44,9 @@ pub struct ExecStats {
     pub predicate_evals: u64,
     /// Rows emitted as the final query result.
     pub output_rows: u64,
+    /// Operators that degraded to a low-memory fallback (nested-loop join,
+    /// sort-based grouping) to honor the executor's memory budget.
+    pub degradations: u64,
 }
 
 impl ExecStats {
@@ -84,6 +87,7 @@ impl AddAssign for ExecStats {
         self.rows_materialized += o.rows_materialized;
         self.predicate_evals += o.predicate_evals;
         self.output_rows += o.output_rows;
+        self.degradations += o.degradations;
     }
 }
 
@@ -102,6 +106,7 @@ impl fmt::Display for ExecStats {
         writeln!(f, "materialized     {:>12}", self.rows_materialized)?;
         writeln!(f, "predicate evals  {:>12}", self.predicate_evals)?;
         writeln!(f, "output rows      {:>12}", self.output_rows)?;
+        writeln!(f, "degradations     {:>12}", self.degradations)?;
         write!(f, "TOTAL WORK       {:>12}", self.total_work())
     }
 }

@@ -13,8 +13,8 @@ use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
 use decorr_common::{
-    mix64, Error, ExecStats, FxHashMap, FxHashSet, FxHasher, Result, Row, RowBatch, Value,
-    WorkerPool, MORSEL_ROWS,
+    mix64, Budget, CancelToken, Error, ExecStats, FxHashMap, FxHashSet, FxHasher, Result, Row,
+    RowBatch, Value, WorkerPool, MORSEL_ROWS,
 };
 use decorr_qgm::{AggFunc, BoxId, BoxKind, Expr, Qgm, QuantId, QuantKind};
 use decorr_storage::{Database, Table};
@@ -37,7 +37,7 @@ pub enum ScalarPlacement {
 }
 
 /// Execution knobs; see the crate docs for how each maps to the paper.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Materialize uncorrelated boxes referenced by several quantifiers
     /// once (`true`) or recompute them per reference (`false`, the
@@ -48,12 +48,48 @@ pub struct ExecOptions {
     /// Worker threads for intra-query parallelism. `1` (the default) runs
     /// everything inline on the calling thread.
     pub threads: usize,
+    /// Execution budget: operators charge it one tick per row touched and
+    /// unwind with [`Error::Timeout`] at the next morsel boundary once it
+    /// is exhausted. `None` (the default) never times out.
+    pub timeout: Option<Budget>,
+    /// Cooperative cancellation, checked at morsel boundaries; any thread
+    /// may fire it and the run unwinds with [`Error::Cancelled`].
+    pub cancel: Option<CancelToken>,
+    /// Memory budget in rows. Hash joins whose build side exceeds it
+    /// degrade to a block nested-loop join; grouping whose input exceeds
+    /// it degrades to sort-based aggregation (both recorded in
+    /// [`ExecStats::degradations`] and the [`ExecTrace`]). An operator
+    /// whose *output* exceeds `1024 ×` the budget fails with
+    /// [`Error::ResourceExhausted`] — degraded algorithms bound working
+    /// state, but no algorithm can bound the result itself.
+    pub mem_budget: Option<usize>,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { memoize_cse: false, scalar_placement: ScalarPlacement::default(), threads: 1 }
+        ExecOptions {
+            memoize_cse: false,
+            scalar_placement: ScalarPlacement::default(),
+            threads: 1,
+            timeout: None,
+            cancel: None,
+            mem_budget: None,
+        }
     }
+}
+
+/// Check the governance knobs: cancellation first (a cancelled query should
+/// not report `Timeout`), then charge `work` ticks against the budget.
+/// Free function so worker closures can call it on a captured `&ExecOptions`
+/// without borrowing the whole executor.
+fn governor_check(opts: &ExecOptions, work: u64) -> Result<()> {
+    if let Some(tok) = &opts.cancel {
+        tok.check()?;
+    }
+    if let Some(budget) = &opts.timeout {
+        budget.charge(work)?;
+    }
+    Ok(())
 }
 
 /// The interpreter. One instance accumulates [`ExecStats`] over a run.
@@ -78,11 +114,12 @@ pub struct Executor<'a> {
 
 impl<'a> Executor<'a> {
     pub fn new(db: &'a Database, opts: ExecOptions) -> Self {
+        let pool = WorkerPool::new(opts.threads);
         Executor {
             db,
             opts,
             stats: ExecStats::new(),
-            pool: WorkerPool::new(opts.threads),
+            pool,
             cse_cache: FxHashMap::default(),
             corr_cache: FxHashMap::default(),
             trace: None,
@@ -173,6 +210,47 @@ impl<'a> Executor<'a> {
         self.pool.is_parallel() && n > MORSEL_ROWS
     }
 
+    /// Governance checkpoint: cancellation + budget charge of `work` rows.
+    /// Operators call this on entry (charging their input size) and at
+    /// morsel boundaries inside long loops (charging 0 — the work was
+    /// already charged up front).
+    fn checkpoint(&self, work: u64) -> Result<()> {
+        governor_check(&self.opts, work)
+    }
+
+    /// Hard memory ceiling: an operator output of `n` rows beyond
+    /// `1024 × mem_budget` cannot be absorbed by degrading the algorithm
+    /// and fails the query with [`Error::ResourceExhausted`].
+    fn check_mem(&self, n: usize, operator: &str) -> Result<()> {
+        if let Some(mb) = self.opts.mem_budget {
+            let ceiling = mb.saturating_mul(1024);
+            if n > ceiling {
+                return Err(Error::resource_exhausted(format!(
+                    "{operator} output of {n} rows exceeds {ceiling} \
+                     (1024 x mem_budget of {mb} rows)"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Record a graceful degradation (stats counter + trace entry on the
+    /// box currently being evaluated).
+    fn note_degradation(&mut self, reason: &str) {
+        self.stats.degradations += 1;
+        if let Some(trace) = &mut self.trace {
+            if let Some(&b) = self.box_stack.last() {
+                trace.note_degradation(b, reason);
+            }
+        }
+    }
+
+    /// Does the memory budget force a fallback for an operator whose
+    /// working state would hold `n` rows?
+    fn over_mem_budget(&self, n: usize) -> bool {
+        self.opts.mem_budget.is_some_and(|mb| n > mb)
+    }
+
     /// Record a join-strategy decision for the current box.
     fn note_join(
         &mut self,
@@ -190,9 +268,11 @@ impl<'a> Executor<'a> {
     }
 
     fn eval_box_inner(&mut self, qgm: &Qgm, b: BoxId, env: Option<&Env<'_>>) -> Result<Vec<Row>> {
+        self.checkpoint(0)?;
         match &qgm.boxref(b).kind {
             BoxKind::BaseTable { table, .. } => {
                 let t = self.db.table(table)?;
+                self.checkpoint(t.len() as u64)?;
                 self.stats.rows_scanned += t.len() as u64;
                 Ok(t.rows().to_vec())
             }
@@ -516,8 +596,10 @@ impl<'a> Executor<'a> {
         // pure per-row map — fan it out and reassemble in chunk order.
         if needed_scalars.is_empty() && quant_groups.is_empty() && self.parallel_over(rows.len()) {
             let outputs = &bx.outputs;
+            let opts = &self.opts;
             let chunks: Vec<Result<(Vec<Row>, u64)>> =
                 self.pool.map_morsels(&rows, MORSEL_ROWS, |chunk| {
+                    governor_check(opts, 0)?;
                     let mut kept = Vec::new();
                     let mut evals = 0u64;
                     'rows: for row in chunk {
@@ -551,7 +633,10 @@ impl<'a> Executor<'a> {
         }
 
         let mut out_rows: Vec<Row> = Vec::with_capacity(rows.len());
-        for mut row in rows {
+        for (row_i, mut row) in rows.into_iter().enumerate() {
+            if row_i % MORSEL_ROWS == 0 {
+                self.checkpoint(0)?;
+            }
             // Materialize needed scalar subqueries into the row.
             if !needed_scalars.is_empty() {
                 let env2 = Env::new(&layout, &row, env);
@@ -823,10 +908,13 @@ impl<'a> Executor<'a> {
         if preds.is_empty() {
             return Ok(rows);
         }
+        self.checkpoint(rows.len() as u64)?;
         if self.parallel_over(rows.len()) {
             // Compute a keep-mask in parallel, then move the kept rows out.
+            let opts = &self.opts;
             let chunks: Vec<Result<(Vec<bool>, u64)>> =
                 self.pool.map_morsels(&rows, MORSEL_ROWS, |chunk| {
+                    governor_check(opts, 0)?;
                     let mut mask = Vec::with_capacity(chunk.len());
                     let mut evals = 0u64;
                     for r in chunk {
@@ -860,7 +948,10 @@ impl<'a> Executor<'a> {
             return Ok(out);
         }
         let mut out = Vec::with_capacity(rows.len());
-        'rows: for r in rows {
+        'rows: for (i, r) in rows.into_iter().enumerate() {
+            if i % MORSEL_ROWS == 0 {
+                self.checkpoint(0)?;
+            }
             let env1 = Env::new(layout, &r, env);
             for p in preds {
                 self.note_pred();
@@ -886,9 +977,12 @@ impl<'a> Executor<'a> {
         if preds.is_empty() {
             return Ok(rows.to_vec());
         }
+        self.checkpoint(rows.len() as u64)?;
         if self.parallel_over(rows.len()) {
+            let opts = &self.opts;
             let chunks: Vec<Result<(Vec<Row>, u64)>> =
                 self.pool.map_morsels(rows, MORSEL_ROWS, |chunk| {
+                    governor_check(opts, 0)?;
                     let mut kept = Vec::new();
                     let mut evals = 0u64;
                     'rows: for r in chunk {
@@ -914,7 +1008,10 @@ impl<'a> Executor<'a> {
             return Ok(out);
         }
         let mut out = Vec::with_capacity(rows.len());
-        'rows: for r in rows {
+        'rows: for (i, r) in rows.iter().enumerate() {
+            if i % MORSEL_ROWS == 0 {
+                self.checkpoint(0)?;
+            }
             let env1 = Env::new(layout, r, env);
             for p in preds {
                 self.note_pred();
@@ -994,9 +1091,15 @@ impl<'a> Executor<'a> {
 
         if left_keys.is_empty() {
             // Cross product (with residual filtering done by the caller).
-            let mut out = Vec::with_capacity(rows.len() * right.len().max(1));
-            self.stats.nl_comparisons += (rows.len() * right.len()) as u64;
+            // The output size is known up front, so the memory ceiling is
+            // enforced before materializing anything.
+            let projected = rows.len() * right.len();
+            self.check_mem(projected, "cross join")?;
+            self.checkpoint(projected as u64)?;
+            let mut out = Vec::with_capacity(projected.max(1));
+            self.stats.nl_comparisons += projected as u64;
             for l in &rows {
+                self.checkpoint(0)?;
                 for r in right.iter() {
                     out.push(l.concat(r));
                 }
@@ -1012,9 +1115,40 @@ impl<'a> Executor<'a> {
             return Ok(out);
         }
 
+        // Memory governance: a hash table over the build side would exceed
+        // the budget, so degrade to a block nested-loop join over the
+        // extracted keys — same matches, same output order, O(1) extra
+        // memory beyond the already-materialized inputs.
+        if self.over_mem_budget(right.len()) {
+            self.note_degradation(&format!(
+                "hash-join build side of {} rows exceeds mem_budget; \
+                 using block nested-loop join",
+                right.len()
+            ));
+            let out = self.nested_loop_equi_join(
+                &rows,
+                layout,
+                right,
+                &right_layout,
+                &left_keys,
+                &right_keys,
+                env,
+            )?;
+            self.stats.join_output_rows += out.len() as u64;
+            self.note_join(
+                next,
+                JoinStrategy::NestedLoop,
+                rows.len() as u64,
+                right.len() as u64,
+                out.len() as u64,
+            );
+            return Ok(out);
+        }
+
         // Hash join: build on the right (the fresh quantifier), probe with
         // the accumulated rows. Large inputs are hash-partitioned across
         // the worker pool; one worker builds and probes each partition.
+        self.checkpoint((rows.len() + right.len()) as u64)?;
         self.stats.hash_build_rows += right.len() as u64;
         self.stats.hash_probes += rows.len() as u64;
         let out = if self.parallel_over(rows.len().max(right.len())) {
@@ -1038,6 +1172,7 @@ impl<'a> Executor<'a> {
                 env,
             )?
         };
+        self.check_mem(out.len(), "hash join")?;
         self.stats.join_output_rows += out.len() as u64;
         self.note_join(
             next,
@@ -1046,6 +1181,40 @@ impl<'a> Executor<'a> {
             right.len() as u64,
             out.len() as u64,
         );
+        Ok(out)
+    }
+
+    /// Memory-degraded equi-join: extract the normalized keys of both sides
+    /// (exactly as the hash join would), then compare them pairwise. Rows
+    /// whose Eq key is NULL/NaN (`None`) match nothing, as in the hash
+    /// paths; output order equals the serial hash join's (probe order, then
+    /// build order), so degrading never changes the result bytes.
+    #[allow(clippy::too_many_arguments)]
+    fn nested_loop_equi_join(
+        &mut self,
+        rows: &[Row],
+        layout: &Layout,
+        right: &[Row],
+        right_layout: &Layout,
+        left_keys: &[(&Expr, bool)],
+        right_keys: &[(&Expr, bool)],
+        env: Option<&Env<'_>>,
+    ) -> Result<Vec<Row>> {
+        let right_keyed = extract_join_keys(&self.pool, right, right_layout, right_keys, env)?;
+        let left_keyed = extract_join_keys(&self.pool, rows, layout, left_keys, env)?;
+        self.checkpoint((rows.len() * right.len()) as u64)?;
+        self.stats.nl_comparisons += (rows.len() * right.len()) as u64;
+        let mut out = Vec::new();
+        for (l, lk) in rows.iter().zip(&left_keyed) {
+            self.checkpoint(0)?;
+            let Some(lk) = lk else { continue };
+            for (r, rk) in right.iter().zip(&right_keyed) {
+                if rk.as_ref() == Some(lk) {
+                    out.push(l.concat(r));
+                }
+            }
+            self.check_mem(out.len(), "nested-loop join")?;
+        }
         Ok(out)
     }
 
@@ -1161,6 +1330,7 @@ impl<'a> Executor<'a> {
         let idx = t.index_on(&[col]).expect("checked above");
         let mut out = Vec::new();
         for l in &rows {
+            self.checkpoint(1)?;
             let env1 = Env::new(layout, l, env);
             let key = eval_expr(&keyexpr, &env1)?;
             // Eq-key normalization: NULL/NaN probe nothing, -0.0 = 0.0.
@@ -1195,12 +1365,14 @@ impl<'a> Executor<'a> {
         let child = qgm.quant(next).input;
         let mut out = Vec::new();
         for l in &rows {
+            self.checkpoint(1)?;
             let env2 = Env::new(layout, l, env);
             self.stats.subquery_invocations += 1;
             let sub = self.eval_box(qgm, child, Some(&env2))?;
             for r in &sub {
                 out.push(l.concat(r));
             }
+            self.check_mem(out.len(), "lateral join")?;
         }
         self.stats.join_output_rows += out.len() as u64;
         self.note_join(
@@ -1272,6 +1444,7 @@ impl<'a> Executor<'a> {
     ) -> Result<Vec<Row>> {
         let mut out = Vec::with_capacity(rows.len());
         for mut r in rows {
+            self.checkpoint(0)?;
             let v = {
                 let env2 = Env::new(layout, &r, env);
                 self.scalar_subquery_value(qgm, sq, &env2, cache)?
@@ -1309,14 +1482,32 @@ impl<'a> Executor<'a> {
             }
         }
 
+        self.checkpoint(input.len() as u64)?;
         self.stats.agg_input_rows += input.len() as u64;
+
+        // Memory governance: a hash-aggregation table over this input
+        // could exceed the budget (worst case, one group per row), so
+        // degrade to sort-based grouping — the stable sort keeps each
+        // group's rows in input order, so per-group accumulation (and
+        // floating-point sums) matches the hash path exactly; only the
+        // emission order changes (key-sorted instead of first-appearance).
+        let degraded = self.over_mem_budget(input.len());
+        if degraded {
+            self.note_degradation(&format!(
+                "grouping input of {} rows exceeds mem_budget; \
+                 using sort-based aggregation",
+                input.len()
+            ));
+        }
 
         // One accumulator vector per group (one accumulator per agg slot),
         // in first-appearance order. Large inputs aggregate into
         // thread-local tables over contiguous slices, merged in slice
         // order — the merge replays distinct values in first-seen order,
         // so the result is the one the serial fold produces.
-        let groups: Vec<(Vec<Value>, Vec<Acc>)> = if self.parallel_over(input.len()) {
+        let groups: Vec<(Vec<Value>, Vec<Acc>)> = if degraded {
+            sort_groups(&input, &layout, env, group_by, &agg_slots)?
+        } else if self.parallel_over(input.len()) {
             let partials = self.pool.map_worker_slices(&input, |slice| {
                 build_groups(slice, &layout, env, group_by, &agg_slots, true)
             });
@@ -1338,6 +1529,7 @@ impl<'a> Executor<'a> {
         }
 
         self.stats.agg_groups += groups.len() as u64;
+        self.check_mem(groups.len(), "grouping")?;
 
         let mut out = Vec::with_capacity(groups.len());
         for (_key, accs) in &groups {
@@ -1389,7 +1581,9 @@ impl<'a> Executor<'a> {
         for &q in &bx.quants {
             let child = qgm.quant(q).input;
             let rows = self.eval_child(qgm, child, env)?;
+            self.checkpoint(rows.len() as u64)?;
             out.extend(rows.iter().cloned());
+            self.check_mem(out.len(), "union")?;
         }
         if !all {
             out = dedup_rows(out);
@@ -1413,12 +1607,31 @@ impl<'a> Executor<'a> {
         let mut r_layout = Layout::new();
         r_layout.push(qr, r_arity);
 
+        self.checkpoint((left.len() + right.len()) as u64)?;
+
+        // Memory governance: the hash table materializes the whole right
+        // side, so when it exceeds the budget treat every ON predicate as
+        // residual — the keyless path below scans `all_right` per left row
+        // (a block nested-loop outer join) with identical match semantics.
+        let degraded = self.over_mem_budget(right.len());
+        if degraded {
+            self.note_degradation(&format!(
+                "outer-join build side of {} rows exceeds mem_budget; \
+                 using nested-loop outer join",
+                right.len()
+            ));
+        }
+
         // Split ON predicates into hash keys and residuals. NullEq keys
         // (the BugRemoval join with the magic table) match NULL bindings.
         let mut l_keys: Vec<(&Expr, bool)> = Vec::new();
         let mut r_keys: Vec<(&Expr, bool)> = Vec::new();
         let mut residual: Vec<&Expr> = Vec::new();
         for p in &bx.preds {
+            if degraded {
+                residual.push(p);
+                continue;
+            }
             let mut is_key = false;
             if let Expr::Binary {
                 op: op @ (decorr_qgm::BinOp::Eq | decorr_qgm::BinOp::NullEq),
@@ -1452,40 +1665,53 @@ impl<'a> Executor<'a> {
             }
         }
 
-        // Build hash table over the null-producing (right) side.
+        // Build hash table over the null-producing (right) side (skipped
+        // under degradation — the keyless probe path never consults it).
         let mut table: FxHashMap<Vec<Value>, Vec<&Row>> = FxHashMap::default();
-        self.stats.hash_build_rows += right.len() as u64;
-        'build: for r in right.iter() {
-            let env1 = Env::new(&r_layout, r, env);
-            let mut key = Vec::with_capacity(r_keys.len());
-            for (k, null_ok) in &r_keys {
-                let v = eval_expr(k, &env1)?;
-                if *null_ok {
-                    // NullEq keys keep total_cmp (= Eq/Hash) semantics.
-                    key.push(v);
-                } else {
-                    // Eq keys: NULL/NaN never match; -0.0 folds into 0.0.
-                    match v.eq_key() {
-                        Some(v) => key.push(v),
-                        None => continue 'build,
+        if degraded {
+            self.stats.nl_comparisons += (left.len() * right.len()) as u64;
+        } else {
+            self.stats.hash_build_rows += right.len() as u64;
+        }
+        if !degraded {
+            'build: for r in right.iter() {
+                let env1 = Env::new(&r_layout, r, env);
+                let mut key = Vec::with_capacity(r_keys.len());
+                for (k, null_ok) in &r_keys {
+                    let v = eval_expr(k, &env1)?;
+                    if *null_ok {
+                        // NullEq keys keep total_cmp (= Eq/Hash) semantics.
+                        key.push(v);
+                    } else {
+                        // Eq keys: NULL/NaN never match; -0.0 folds into 0.0.
+                        match v.eq_key() {
+                            Some(v) => key.push(v),
+                            None => continue 'build,
+                        }
                     }
                 }
+                table.entry(key).or_default().push(r);
             }
-            table.entry(key).or_default().push(r);
         }
         let all_right: Vec<&Row> = right.iter().collect();
 
         let nulls = Row::nulls(r_arity);
-        self.stats.hash_probes += left.len() as u64;
+        if !degraded {
+            self.stats.hash_probes += left.len() as u64;
+        }
 
         // The probe is a pure per-left-row map (the build table is only
         // read), so the same closure serves the serial path and the
         // morsel-parallel one.
         let outputs = &bx.outputs;
+        let opts = &self.opts;
         let probe = |chunk: &[Row]| -> Result<(Vec<Row>, u64)> {
             let mut out = Vec::new();
             let mut evals = 0u64;
-            for l in chunk {
+            for (li, l) in chunk.iter().enumerate() {
+                if li % MORSEL_ROWS == 0 {
+                    governor_check(opts, 0)?;
+                }
                 let env1 = Env::new(&l_layout, l, env);
                 let mut key = Vec::with_capacity(l_keys.len());
                 let mut null_key = false;
@@ -1562,6 +1788,7 @@ impl<'a> Executor<'a> {
         } else {
             probe(&left)?
         };
+        self.check_mem(out.len(), "outer join")?;
         self.note_preds(evals);
         self.stats.join_output_rows += out.len() as u64;
         Ok(out)
@@ -1680,26 +1907,81 @@ fn build_groups(
                 i
             }
         };
-        let accs = &mut groups[gi].1;
-        for (slot, acc) in slots.iter().zip(accs.iter_mut()) {
-            if acc.rep.is_none() {
-                acc.rep = Some(r.clone());
-            }
-            let v = match slot.arg {
-                None => Value::Int(1), // COUNT(*): every row counts
-                Some(a) => eval_expr(a, &env1)?,
-            };
-            if slot.arg.is_some() && v.is_null() {
-                continue; // NULLs are ignored by all aggregates
-            }
-            if record_sum_order
-                && !slot.distinct
-                && matches!(slot.func, AggFunc::Sum | AggFunc::Avg)
-            {
-                acc.sum_order.push(v.clone());
-            }
-            acc_update(slot, acc, v)?;
+        fold_row(slots, &mut groups[gi].1, r, &env1, record_sum_order)?;
+    }
+    Ok(groups)
+}
+
+/// Fold one input row into a group's accumulators — the per-row body shared
+/// by hash aggregation ([`build_groups`]) and sort-based aggregation
+/// ([`sort_groups`]).
+fn fold_row(
+    slots: &[AggSlot<'_>],
+    accs: &mut [Acc],
+    r: &Row,
+    env1: &Env<'_>,
+    record_sum_order: bool,
+) -> Result<()> {
+    for (slot, acc) in slots.iter().zip(accs.iter_mut()) {
+        if acc.rep.is_none() {
+            acc.rep = Some(r.clone());
         }
+        let v = match slot.arg {
+            None => Value::Int(1), // COUNT(*): every row counts
+            Some(a) => eval_expr(a, env1)?,
+        };
+        if slot.arg.is_some() && v.is_null() {
+            continue; // NULLs are ignored by all aggregates
+        }
+        if record_sum_order && !slot.distinct && matches!(slot.func, AggFunc::Sum | AggFunc::Avg) {
+            acc.sum_order.push(v.clone());
+        }
+        acc_update(slot, acc, v)?;
+    }
+    Ok(())
+}
+
+/// Sort-based aggregation: the memory-budget fallback for [`build_groups`].
+/// Rows are stable-sorted by group key and each run is folded in input
+/// order, so every accumulator (floating-point sums included) is exactly
+/// what the hash path computes for that group; only the group *emission*
+/// order differs (key-sorted instead of first-appearance). Peak state is the
+/// sorted key/index vector plus one group's accumulators.
+fn sort_groups(
+    rows: &[Row],
+    layout: &Layout,
+    env: Option<&Env<'_>>,
+    group_by: &[Expr],
+    slots: &[AggSlot<'_>],
+) -> Result<Vec<(Vec<Value>, Vec<Acc>)>> {
+    let mut keyed: Vec<(Vec<Value>, usize)> = Vec::with_capacity(rows.len());
+    for (i, r) in rows.iter().enumerate() {
+        let env1 = Env::new(layout, r, env);
+        let mut key = Vec::with_capacity(group_by.len());
+        for g in group_by {
+            key.push(eval_expr(g, &env1)?);
+        }
+        keyed.push((key, i));
+    }
+    // Stable: rows with equal keys stay in input order.
+    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut groups: Vec<(Vec<Value>, Vec<Acc>)> = Vec::new();
+    let mut run = 0;
+    while run < keyed.len() {
+        let key = &keyed[run].0;
+        let mut end = run + 1;
+        while end < keyed.len() && keyed[end].0 == *key {
+            end += 1;
+        }
+        let mut accs = vec![Acc::new(); slots.len()];
+        for (_, ri) in &keyed[run..end] {
+            let r = &rows[*ri];
+            let env1 = Env::new(layout, r, env);
+            fold_row(slots, &mut accs, r, &env1, false)?;
+        }
+        groups.push((key.clone(), accs));
+        run = end;
     }
     Ok(groups)
 }

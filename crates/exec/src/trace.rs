@@ -32,6 +32,10 @@ pub enum JoinStrategy {
     Lateral,
     /// No usable key: cross product with residual filtering.
     Cross,
+    /// Equi-join keys exist, but the build side exceeded the memory budget:
+    /// block nested-loop comparison of the extracted keys instead of a hash
+    /// table (a graceful degradation, recorded in [`BoxTrace::degradations`]).
+    NestedLoop,
 }
 
 impl JoinStrategy {
@@ -41,6 +45,7 @@ impl JoinStrategy {
             JoinStrategy::IndexNestedLoop => "index-nested-loop",
             JoinStrategy::Lateral => "lateral",
             JoinStrategy::Cross => "cross",
+            JoinStrategy::NestedLoop => "nested-loop",
         }
     }
 }
@@ -75,6 +80,10 @@ pub struct BoxTrace {
     pub wall: Duration,
     /// Join strategy decisions (Select boxes only).
     pub joins: Vec<JoinChoice>,
+    /// Memory-budget degradations this box took, as `(reason, count)` —
+    /// aggregated like everything else, so a degraded join under nested
+    /// iteration stays one entry however often it re-runs.
+    pub degradations: Vec<(String, u64)>,
 }
 
 /// The per-box operator trace of one execution.
@@ -122,6 +131,23 @@ impl ExecTrace {
                 out_rows,
             }),
         }
+    }
+
+    pub(crate) fn note_degradation(&mut self, b: BoxId, reason: &str) {
+        let e = self.entry(b);
+        match e.degradations.iter_mut().find(|(r, _)| r == reason) {
+            Some((_, n)) => *n += 1,
+            None => e.degradations.push((reason.to_string(), 1)),
+        }
+    }
+
+    /// Total degradations recorded across all boxes.
+    pub fn total_degradations(&self) -> u64 {
+        self.per_box
+            .values()
+            .flat_map(|t| t.degradations.iter())
+            .map(|(_, n)| n)
+            .sum()
     }
 
     /// The trace entry for a box, if it was evaluated.
@@ -211,6 +237,9 @@ impl ExecTrace {
                     )
                     .unwrap();
                 }
+                for (reason, n) in &t.degradations {
+                    writeln!(out, "{pad}  degraded x{n}: {reason}").unwrap();
+                }
             }
         }
         for &q in &bx.quants {
@@ -258,6 +287,14 @@ impl ExecTrace {
                         .field_uint("left_rows", j.left_rows)
                         .field_uint("right_rows", j.right_rows)
                         .field_uint("out_rows", j.out_rows)
+                        .end_object();
+                }
+                w.end_array();
+                w.key("degradations").begin_array();
+                for (reason, n) in &t.degradations {
+                    w.begin_object()
+                        .field_str("reason", reason)
+                        .field_uint("count", *n)
                         .end_object();
                 }
                 w.end_array();

@@ -3,14 +3,33 @@
 use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
 
-use decorr_common::{mix64, Error, FxHasher, Result, Row, Schema, WorkerPool};
+use decorr_common::{mix64, Chaos, Error, FaultEvent, FxHasher, Result, Row, Schema, WorkerPool};
 use decorr_storage::{Database, Table};
+
+/// Retry budget per replica: a transient fault (or a finite crash window)
+/// is retried up to this many times, with exponential backoff on the
+/// injected clock, before the job fails over to the next replica. All
+/// [`decorr_common::FaultPlan::from_seed`] crash windows close within this
+/// many attempts, so seeded chaos is recoverable by retry alone.
+pub const MAX_ATTEMPTS: usize = 8;
+
+/// Backoff cap in logical ticks; the per-replica backoff doubles from one
+/// tick up to this ceiling.
+const MAX_BACKOFF_TICKS: u64 = 16;
 
 /// A shared-nothing cluster: one [`Database`] per node, each holding a
 /// horizontal partition of every table.
+///
+/// With `replication > 1`, partition `p` is additionally *served* by the
+/// next `replication - 1` nodes in ring order (chained declustering). The
+/// simulator keeps one physical copy of each partition — replicas would be
+/// byte-identical — so failover re-reads exactly the rows the primary held,
+/// while fault injection and work accounting are charged to the serving
+/// node.
 #[derive(Debug, Clone)]
 pub struct Cluster {
     nodes: Vec<Database>,
+    replication: usize,
 }
 
 /// Fx hashes of small integer values carry no entropy in their low bits
@@ -24,9 +43,20 @@ fn hash_value(v: &decorr_common::Value) -> u64 {
     mix64(h.finish())
 }
 
+/// How one recoverable job was ultimately served.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobOutcome {
+    /// The node whose service attempt succeeded.
+    pub served_by: usize,
+    /// Injected faults absorbed by retrying (on any replica).
+    pub retries: u64,
+    /// Did the job leave its primary replica?
+    pub failed_over: bool,
+}
+
 /// Physical design of one table, captured once so per-node partitions can
 /// be (re)built in parallel worker jobs without touching the source.
-struct TableMeta {
+pub(crate) struct TableMeta {
     name: String,
     schema: Schema,
     key: Option<Vec<String>>,
@@ -34,7 +64,7 @@ struct TableMeta {
 }
 
 impl TableMeta {
-    fn of(t: &Table) -> TableMeta {
+    pub(crate) fn of(t: &Table) -> TableMeta {
         let names = |cols: &[usize]| -> Vec<String> {
             cols.iter()
                 .map(|&c| t.schema().column(c).name.clone())
@@ -50,7 +80,7 @@ impl TableMeta {
 
     /// Build one node's partition: same schema, key and indexes as the
     /// source, holding exactly `rows`.
-    fn build(&self, rows: Vec<Row>) -> Result<Table> {
+    pub(crate) fn build(&self, rows: Vec<Row>) -> Result<Table> {
         let mut t = Table::new(&self.name, self.schema.clone());
         if let Some(key) = &self.key {
             let refs: Vec<&str> = key.iter().map(String::as_str).collect();
@@ -66,7 +96,9 @@ impl TableMeta {
 }
 
 /// Build all `n` node partitions of one table on the worker pool (one job
-/// per node: inserts, key enforcement, index builds).
+/// per node: inserts, key enforcement, index builds). Empty buckets still
+/// build a partition — every node must hold the table's schema, key and
+/// indexes even when the hash routed it no rows.
 fn build_partitions(
     pool: &WorkerPool,
     meta: &TableMeta,
@@ -74,7 +106,11 @@ fn build_partitions(
 ) -> Vec<Result<Table>> {
     let buckets: Vec<Mutex<Vec<Row>>> = buckets.into_iter().map(Mutex::new).collect();
     pool.run_indexed(buckets.len(), |i| {
-        let rows = std::mem::take(&mut *buckets[i].lock().expect("bucket lock"));
+        let mut bucket = buckets[i]
+            .lock()
+            .map_err(|_| Error::internal("partition bucket mutex poisoned"))?;
+        let rows = std::mem::take(&mut *bucket);
+        drop(bucket);
         meta.build(rows)
     })
 }
@@ -83,11 +119,24 @@ impl Cluster {
     /// Partition every table of `db` over `n` nodes by its primary key
     /// (round-robin for keyless tables) — the paper's starting scenario in
     /// which *neither* table is partitioned on the correlation attribute.
-    /// Indexes are re-created per partition.
+    /// Indexes are re-created per partition. No replication (factor 1).
     pub fn partition_by_key(db: &Database, n: usize) -> Result<Cluster> {
+        Self::partition_by_key_replicated(db, n, 1)
+    }
+
+    /// Like [`Cluster::partition_by_key`], but each partition is served by
+    /// `replication` consecutive nodes in ring order, so any single-node
+    /// crash leaves every partition reachable when `replication >= 2`.
+    /// `replication` is clamped to `1..=n`.
+    pub fn partition_by_key_replicated(
+        db: &Database,
+        n: usize,
+        replication: usize,
+    ) -> Result<Cluster> {
         if n == 0 {
             return Err(Error::internal("cluster needs at least one node"));
         }
+        let replication = replication.clamp(1, n);
         let pool = WorkerPool::new(n);
         let mut nodes: Vec<Database> = (0..n).map(|_| Database::new()).collect();
         for table in db.tables() {
@@ -116,11 +165,16 @@ impl Cluster {
                 node_db.add_table(part?)?;
             }
         }
-        Ok(Cluster { nodes })
+        Ok(Cluster { nodes, replication })
     }
 
     pub fn nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// The configured replication factor (1 = no replicas).
+    pub fn replication(&self) -> usize {
+        self.replication
     }
 
     pub fn node(&self, i: usize) -> &Database {
@@ -132,9 +186,79 @@ impl Cluster {
         &self.nodes
     }
 
+    /// The nodes that can serve partition `p`, primary first (chained
+    /// declustering: the next `replication - 1` nodes in ring order).
+    pub fn placement(&self, p: usize) -> Vec<usize> {
+        let n = self.nodes.len();
+        (0..self.replication).map(|r| (p + r) % n).collect()
+    }
+
+    /// Can every partition still be served when `crashed` is permanently
+    /// down? True exactly when some replica of each partition is live.
+    pub fn survives_crash_of(&self, crashed: usize) -> bool {
+        (0..self.nodes.len()).all(|p| self.placement(p).iter().any(|&s| s != crashed))
+    }
+
+    /// Run `job` against partition `p` with retry and failover.
+    ///
+    /// Without a fault session the job runs once on the primary. With one,
+    /// each replica in [`Cluster::placement`] order gets up to
+    /// [`MAX_ATTEMPTS`] attempts; every injected fault costs a backoff
+    /// delay on the injected clock (doubling, capped) and is recorded as a
+    /// retry. A replica that exhausts its attempts triggers a failover to
+    /// the next; when all replicas are exhausted the job fails closed with
+    /// [`Error::NodeFailed`]. Genuine job errors (missing table, type
+    /// error) propagate immediately — only *injected* faults are retried.
+    pub fn run_recoverable<T>(
+        &self,
+        p: usize,
+        chaos: Option<&Chaos>,
+        job: impl Fn(&Database) -> Result<T>,
+    ) -> Result<(T, JobOutcome)> {
+        let part = &self.nodes[p % self.nodes.len()];
+        let Some(chaos) = chaos else {
+            let v = job(part)?;
+            return Ok((v, JobOutcome { served_by: p, ..Default::default() }));
+        };
+        let placement = self.placement(p);
+        let replicas = placement.len();
+        let mut outcome = JobOutcome { served_by: p, ..Default::default() };
+        for (ri, &serving) in placement.iter().enumerate() {
+            let mut backoff = 1u64;
+            for _attempt in 0..MAX_ATTEMPTS {
+                match chaos.plan().begin_job(serving) {
+                    FaultEvent::None => {}
+                    FaultEvent::Straggle(d) => chaos.delay(d),
+                    FaultEvent::Transient | FaultEvent::NodeDown => {
+                        chaos.note_retry();
+                        outcome.retries += 1;
+                        chaos.delay(backoff);
+                        backoff = (backoff * 2).min(MAX_BACKOFF_TICKS);
+                        continue;
+                    }
+                }
+                // Replicas hold byte-identical copies; the simulator reads
+                // the single physical partition and charges `serving`.
+                let v = job(part)?;
+                outcome.served_by = serving;
+                return Ok((v, outcome));
+            }
+            if ri + 1 < replicas {
+                chaos.note_failover();
+                outcome.failed_over = true;
+            }
+        }
+        Err(Error::node_failed(format!(
+            "partition {p}: all {replicas} replica(s) exhausted after {MAX_ATTEMPTS} attempts each"
+        )))
+    }
+
     /// Re-partition `table` on `column`: every row moves to the node
     /// `hash(value) % n`. Returns the number of rows that changed nodes —
-    /// the tuples a real system would ship over the interconnect.
+    /// the tuples a real system would ship over the interconnect. Nodes
+    /// that receive zero rows still get a full (empty) partition: schema,
+    /// key and indexes are created everywhere, so later fragments never
+    /// find the table missing.
     pub fn repartition(&mut self, table: &str, column: &str) -> Result<u64> {
         let n = self.nodes.len();
         let col = self.nodes[0].table(table)?.schema().resolve(column)?;
@@ -186,71 +310,5 @@ impl Cluster {
             .iter()
             .map(|db| Ok(db.table(table)?.len() as u64))
             .collect()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use decorr_common::{row, DataType, Schema};
-
-    fn db() -> Database {
-        let mut db = Database::new();
-        let t = db
-            .create_table(
-                "emp",
-                Schema::from_pairs(&[("name", DataType::Str), ("building", DataType::Int)]),
-            )
-            .unwrap();
-        for i in 0..100 {
-            t.insert(row![format!("e{i}"), i % 7]).unwrap();
-        }
-        t.set_key(&["name"]).unwrap();
-        t.create_index(&["building"]).unwrap();
-        db
-    }
-
-    #[test]
-    fn partitioning_preserves_all_rows() {
-        let c = Cluster::partition_by_key(&db(), 4).unwrap();
-        assert_eq!(c.nodes(), 4);
-        assert_eq!(c.total_rows("emp").unwrap(), 100);
-        // No node holds everything (hash spread).
-        for i in 0..4 {
-            assert!(c.node(i).table("emp").unwrap().len() < 100);
-        }
-    }
-
-    #[test]
-    fn indexes_recreated_per_node() {
-        let c = Cluster::partition_by_key(&db(), 3).unwrap();
-        for i in 0..3 {
-            assert_eq!(c.node(i).table("emp").unwrap().indexes().len(), 1);
-        }
-    }
-
-    #[test]
-    fn repartition_colocates_by_column() {
-        let mut c = Cluster::partition_by_key(&db(), 4).unwrap();
-        let shipped = c.repartition("emp", "building").unwrap();
-        assert!(shipped > 0);
-        assert_eq!(c.total_rows("emp").unwrap(), 100);
-        // After repartitioning, equal buildings live on the same node.
-        let mut owner: std::collections::HashMap<i64, usize> = Default::default();
-        for i in 0..4 {
-            for r in c.node(i).table("emp").unwrap().rows() {
-                let b = r[1].as_int().unwrap();
-                if let Some(&prev) = owner.get(&b) {
-                    assert_eq!(prev, i, "building {b} split across nodes");
-                } else {
-                    owner.insert(b, i);
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn zero_nodes_rejected() {
-        assert!(Cluster::partition_by_key(&db(), 0).is_err());
     }
 }

@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use decorr_common::{Error, Result, Row, WorkerPool};
+use decorr_common::{Chaos, Error, Result, Row, WorkerPool};
 use decorr_core::magic::{magic_decorrelate, MagicOptions};
 use decorr_exec::{ExecOptions, Executor};
 use decorr_qgm::Qgm;
@@ -30,6 +30,24 @@ pub fn run_decorrelated(
     qgm: &Qgm,
     partition_on: &[(&str, &str)],
     magic: &MagicOptions,
+) -> Result<(Vec<Row>, ParallelStats)> {
+    run_decorrelated_with(cluster, qgm, partition_on, magic, None)
+}
+
+/// [`run_decorrelated`] under fault injection: each node's plan fragment is
+/// driven through [`Cluster::run_recoverable`], so an injected crash of the
+/// node is retried and — when the cluster carries replicas — failed over to
+/// a standby that re-runs the fragment over the same partition. With faults
+/// active the fragments run serially so the fault plan's per-node job
+/// counters replay deterministically from the seed. The repartitioning
+/// phase itself is not fault-injected (recovery of in-flight data movement
+/// is out of scope; the paper's interest is the execution fragments).
+pub fn run_decorrelated_with(
+    cluster: &mut Cluster,
+    qgm: &Qgm,
+    partition_on: &[(&str, &str)],
+    magic: &MagicOptions,
+    chaos: Option<&Chaos>,
 ) -> Result<(Vec<Row>, ParallelStats)> {
     let mut plan = qgm.clone();
     let report = magic_decorrelate(&mut plan, magic)?;
@@ -64,13 +82,19 @@ pub fn run_decorrelated(
     // Parallel phase: one plan fragment per node, no cross-talk. The
     // fragments run on the shared worker pool (one job per node); each
     // returns its rows and its deterministic work counter, reassembled in
-    // node order.
-    let pool = WorkerPool::new(n);
+    // node order. Under fault injection the pool is serial (deterministic
+    // fault-counter replay) and every fragment goes through the cluster's
+    // retry/failover path.
+    let pool = WorkerPool::new(if chaos.is_some() { 1 } else { n });
     let started = Instant::now();
-    let results: Vec<Result<(Vec<Row>, u64)>> = pool.run_indexed(n, |i| {
-        let mut ex = Executor::new(cluster.node(i), ExecOptions::default());
-        let rows = ex.run(&plan)?;
-        Ok((rows, ex.stats().total_work()))
+    let cluster = &*cluster;
+    let results: Vec<Result<(Vec<Row>, u64, bool)>> = pool.run_indexed(n, |i| {
+        let ((rows, work), outcome) = cluster.run_recoverable(i, chaos, |db| {
+            let mut ex = Executor::new(db, ExecOptions::default());
+            let rows = ex.run(&plan)?;
+            Ok((rows, ex.stats().total_work()))
+        })?;
+        Ok((rows, work, outcome.failed_over))
     });
 
     stats.fragments += n as u64;
@@ -79,10 +103,19 @@ pub fn run_decorrelated(
 
     let mut rows = Vec::new();
     for (i, r) in results.into_iter().enumerate() {
-        let (node_rows, work) = r?;
+        let (node_rows, work, failed_over) = r?;
         stats.per_node_work[i] = work;
         stats.per_node_rows.push(node_rows.len() as u64);
+        if failed_over {
+            // The standby re-produced this fragment's rows from its copy.
+            stats.redriven_rows += node_rows.len() as u64;
+        }
         rows.extend(node_rows);
+    }
+    if let Some(chaos) = chaos {
+        stats.retries = chaos.retries();
+        stats.failovers = chaos.failovers();
+        stats.injected_delay_ticks = chaos.injected_delay_ticks();
     }
     stats.elapsed = started.elapsed();
     stats.result_rows = rows.len();

@@ -27,12 +27,25 @@
 //! the returned [`ParallelStats`] carries communication counters, per-node
 //! work, and per-node result rows (row skew).
 
+//! Fault tolerance (this crate's robustness layer): [`Cluster`] can place
+//! every partition on `k` consecutive nodes
+//! ([`Cluster::partition_by_key_replicated`]) and drive any per-partition
+//! job through [`Cluster::run_recoverable`] — bounded retry with
+//! exponential backoff on an injected logical clock, then failover to a
+//! replica, then a closed [`decorr_common::Error::NodeFailed`] failure.
+//! Faults come from a seeded [`decorr_common::FaultPlan`], so every chaos
+//! run replays exactly from its `u64` seed; [`gather::run_gathered`] uses
+//! this to execute the figure queries under injected crashes with
+//! byte-identical recovery whenever a live replica remains.
+
 pub mod cluster;
 pub mod decorrelated;
+pub mod gather;
 pub mod ni;
 pub mod stats;
 
-pub use cluster::Cluster;
-pub use decorrelated::run_decorrelated;
-pub use ni::run_nested_iteration;
+pub use cluster::{Cluster, JobOutcome, MAX_ATTEMPTS};
+pub use decorrelated::{run_decorrelated, run_decorrelated_with};
+pub use gather::run_gathered;
+pub use ni::{run_nested_iteration, run_nested_iteration_with};
 pub use stats::ParallelStats;

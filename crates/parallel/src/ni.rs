@@ -5,10 +5,9 @@
 //! to the requesting node. ... nested iteration can result in O(n²)
 //! computation fragments."
 
-use std::sync::Mutex;
 use std::time::Instant;
 
-use decorr_common::{Error, Result, Row, Value, WorkerPool};
+use decorr_common::{Chaos, Error, Result, Row, Value, WorkerPool};
 use decorr_core::baselines::match_agg_subquery;
 use decorr_exec::{Env, ExecOptions, Executor, Layout};
 use decorr_qgm::{AggFunc, BoxKind, Expr, Qgm, QuantKind};
@@ -24,6 +23,20 @@ use crate::stats::ParallelStats;
 /// outer base table and one correlated scalar aggregate subquery
 /// (COUNT / SUM / MIN / MAX — AVG partials do not compose).
 pub fn run_nested_iteration(cluster: &Cluster, qgm: &Qgm) -> Result<(Vec<Row>, ParallelStats)> {
+    run_nested_iteration_with(cluster, qgm, None)
+}
+
+/// [`run_nested_iteration`] under fault injection: every subquery fragment
+/// is driven through [`Cluster::run_recoverable`], so injected node crashes
+/// and transient errors are retried (and failed over to replicas when the
+/// cluster has them). With faults active the per-node fan-out runs
+/// serially, keeping the fault plan's per-node job counters — and therefore
+/// the whole run — reproducible from the seed alone.
+pub fn run_nested_iteration_with(
+    cluster: &Cluster,
+    qgm: &Qgm,
+    chaos: Option<&Chaos>,
+) -> Result<(Vec<Row>, ParallelStats)> {
     let pat = match_agg_subquery(qgm)?;
     if pat.cur != qgm.top() {
         return Err(Error::rewrite(
@@ -83,7 +96,6 @@ pub fn run_nested_iteration(cluster: &Cluster, qgm: &Qgm) -> Result<(Vec<Row>, P
     let subquery_child = qgm.quant(pat.q).input;
 
     let n = cluster.nodes();
-    let node_work: Mutex<Vec<u64>> = Mutex::new(vec![0; n]);
     let started = Instant::now();
 
     struct NodeOut {
@@ -91,16 +103,27 @@ pub fn run_nested_iteration(cluster: &Cluster, qgm: &Qgm) -> Result<(Vec<Row>, P
         messages: u64,
         fragments: u64,
         invocations: u64,
+        /// Work this job charged to *each* node: node i's outer loop runs a
+        /// subquery fragment on every node j, so the vector is dense. Jobs
+        /// return their own vector (no shared mutable state); the caller
+        /// sums them element-wise in job order.
+        work: Vec<u64>,
     }
 
-    // One fan-out job per node on the worker pool. Node i's outer loop
-    // charges work to *other* nodes (each binding broadcast runs a subquery
-    // fragment on every node j), so the per-node work vector stays behind a
-    // mutex — unlike the decorrelated path, work is not job-local here.
+    // One fan-out job per node on the worker pool. Under fault injection
+    // the pool is serial: the fault plan hands out events from per-node job
+    // counters, and a deterministic replay needs those counters consumed in
+    // one fixed order.
     let pat = &pat;
-    let pool = WorkerPool::new(n);
+    let pool = WorkerPool::new(if chaos.is_some() { 1 } else { n });
     let results: Vec<Result<NodeOut>> = pool.run_indexed(n, |i| {
-        let mut out = NodeOut { rows: Vec::new(), messages: 0, fragments: 0, invocations: 0 };
+        let mut out = NodeOut {
+            rows: Vec::new(),
+            messages: 0,
+            fragments: 0,
+            invocations: 0,
+            work: vec![0; n],
+        };
         let local = cluster.node(i);
         let table = local.table(outer_table)?;
 
@@ -130,9 +153,12 @@ pub fn run_nested_iteration(cluster: &Cluster, qgm: &Qgm) -> Result<(Vec<Row>, P
                 if j != i {
                     out.messages += 2; // request + partial result
                 }
-                let mut ex = Executor::new(cluster.node(j), ExecOptions::default());
-                let partial_rows = ex.run(&bound)?;
-                node_work.lock().unwrap()[j] += ex.stats().total_work();
+                let ((partial_rows, work), outcome) = cluster.run_recoverable(j, chaos, |db| {
+                    let mut ex = Executor::new(db, ExecOptions::default());
+                    let rows = ex.run(&bound)?;
+                    Ok((rows, ex.stats().total_work()))
+                })?;
+                out.work[outcome.served_by] += work;
                 let partial = partial_rows
                     .first()
                     .map(|r| r[0].clone())
@@ -161,20 +187,22 @@ pub fn run_nested_iteration(cluster: &Cluster, qgm: &Qgm) -> Result<(Vec<Row>, P
     });
 
     let mut rows = Vec::new();
-    let mut stats = ParallelStats {
-        nodes: n,
-        per_node_work: node_work
-            .into_inner()
-            .expect("worker poisoned the stats mutex"),
-        ..Default::default()
-    };
+    let mut stats = ParallelStats { nodes: n, per_node_work: vec![0; n], ..Default::default() };
     for r in results {
         let r = r?;
+        for (total, w) in stats.per_node_work.iter_mut().zip(&r.work) {
+            *total += w;
+        }
         stats.per_node_rows.push(r.rows.len() as u64);
         rows.extend(r.rows);
         stats.messages += r.messages;
         stats.fragments += r.fragments;
         stats.subquery_invocations += r.invocations;
+    }
+    if let Some(chaos) = chaos {
+        stats.retries = chaos.retries();
+        stats.failovers = chaos.failovers();
+        stats.injected_delay_ticks = chaos.injected_delay_ticks();
     }
     stats.elapsed = started.elapsed();
     stats.result_rows = rows.len();
@@ -232,6 +260,7 @@ fn combine(func: AggFunc, acc: Value, partial: Value) -> Result<Value> {
                 acc
             }
         }
-        AggFunc::Avg => unreachable!("rejected above"),
+        // Rejected before the fan-out starts; fail closed if it slips by.
+        AggFunc::Avg => return Err(Error::internal("AVG partials do not compose across nodes")),
     })
 }

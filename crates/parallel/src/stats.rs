@@ -28,6 +28,15 @@ pub struct ParallelStats {
     pub elapsed: Duration,
     /// Rows in the final result.
     pub result_rows: usize,
+    /// Injected faults absorbed by retrying a job on the same replica.
+    pub retries: u64,
+    /// Jobs that left their primary replica for a standby.
+    pub failovers: u64,
+    /// Rows re-read from a replica after a failover — the recovery
+    /// traffic a real system would re-ship.
+    pub redriven_rows: u64,
+    /// Logical ticks of injected delay (stragglers plus retry backoff).
+    pub injected_delay_ticks: u64,
 }
 
 impl ParallelStats {
@@ -41,7 +50,7 @@ impl ParallelStats {
         if self.per_node_work.is_empty() {
             return 1.0;
         }
-        let max = *self.per_node_work.iter().max().unwrap() as f64;
+        let max = self.per_node_work.iter().copied().max().unwrap_or(0) as f64;
         let mean = self.total_work() as f64 / self.per_node_work.len() as f64;
         if mean == 0.0 {
             1.0
@@ -91,6 +100,10 @@ impl fmt::Display for ParallelStats {
             format!("{}..{}", self.min_node_rows(), self.max_node_rows())
         )?;
         writeln!(f, "row skew         {:>12.2}", self.row_skew())?;
+        writeln!(f, "retries          {:>12}", self.retries)?;
+        writeln!(f, "failovers        {:>12}", self.failovers)?;
+        writeln!(f, "redriven rows    {:>12}", self.redriven_rows)?;
+        writeln!(f, "injected delay   {:>12}", self.injected_delay_ticks)?;
         write!(f, "result rows      {:>12}", self.result_rows)
     }
 }

@@ -2,9 +2,13 @@
 //! plan must agree with single-node execution, with O(n²) vs O(n)
 //! computation fragments.
 
+use decorr_common::{Chaos, Error, FaultPlan};
 use decorr_core::magic::MagicOptions;
-use decorr_exec::execute;
-use decorr_parallel::{run_decorrelated, run_nested_iteration, Cluster};
+use decorr_exec::{execute, ExecOptions};
+use decorr_parallel::{
+    run_decorrelated, run_decorrelated_with, run_gathered, run_nested_iteration,
+    run_nested_iteration_with, Cluster,
+};
 use decorr_sql::parse_and_bind;
 use decorr_tpcd::empdept::{generate, EmpDeptConfig};
 
@@ -140,6 +144,129 @@ fn decorrelated_beats_ni_on_total_work_and_messages() {
         ni.total_work()
     );
     assert!(dc.fragments < ni.fragments);
+}
+
+// ---- fault injection --------------------------------------------------------
+
+fn chaos_db() -> decorr_storage::Database {
+    generate(&EmpDeptConfig {
+        departments: 80,
+        employees: 400,
+        buildings: 11,
+        seed: 17,
+        with_indexes: true,
+    })
+    .unwrap()
+}
+
+/// With a replica for every partition, a permanently crashed node must be
+/// invisible in the answer: the gathered run under every crash seed is
+/// **byte-identical** (same rows, same order) to the fault-free run.
+#[test]
+fn gathered_chaos_recovers_byte_identically_with_replicas() {
+    let db = chaos_db();
+    let qgm = parse_and_bind(QUERY, &db).unwrap();
+    let cluster = Cluster::partition_by_key_replicated(&db, 4, 2).unwrap();
+    let (baseline, base_stats) =
+        run_gathered(&cluster, &qgm, ExecOptions::default(), None).unwrap();
+    assert!(!baseline.is_empty());
+    assert_eq!(base_stats.retries, 0);
+
+    for seed in 0..8u64 {
+        let chaos = Chaos::new(FaultPlan::single_crash(seed, 4));
+        let (rows, stats) = run_gathered(&cluster, &qgm, ExecOptions::default(), Some(&chaos))
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(rows, baseline, "seed {seed} not byte-identical");
+        assert!(stats.failovers >= 1, "seed {seed} never failed over");
+        assert!(stats.redriven_rows > 0, "seed {seed} redrove no rows");
+    }
+}
+
+/// Without replicas the same crash seeds must fail *closed*: a typed
+/// `NodeFailed`, never a wrong (partial) answer.
+#[test]
+fn gathered_chaos_without_replicas_fails_closed() {
+    let db = chaos_db();
+    let qgm = parse_and_bind(QUERY, &db).unwrap();
+    let cluster = Cluster::partition_by_key(&db, 4).unwrap();
+    for seed in 0..8u64 {
+        let chaos = Chaos::new(FaultPlan::single_crash(seed, 4));
+        let err = run_gathered(&cluster, &qgm, ExecOptions::default(), Some(&chaos)).unwrap_err();
+        assert!(matches!(err, Error::NodeFailed(_)), "seed {seed}: {err:?}");
+    }
+}
+
+/// Seeded transient faults and finite crash windows are absorbed by retry
+/// alone (no replicas needed), and the answer matches the fault-free run.
+#[test]
+fn gathered_transient_faults_recover_by_retry() {
+    let db = chaos_db();
+    let qgm = parse_and_bind(QUERY, &db).unwrap();
+    let cluster = Cluster::partition_by_key(&db, 4).unwrap();
+    let (baseline, _) = run_gathered(&cluster, &qgm, ExecOptions::default(), None).unwrap();
+    let mut saw_fault = false;
+    for seed in 0..8u64 {
+        let chaos = Chaos::new(FaultPlan::from_seed(seed, 4));
+        let (rows, stats) = run_gathered(&cluster, &qgm, ExecOptions::default(), Some(&chaos))
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(rows, baseline, "seed {seed} not byte-identical");
+        saw_fault |= stats.retries > 0 || stats.injected_delay_ticks > 0;
+    }
+    assert!(saw_fault, "no seed in 0..8 injected anything");
+}
+
+/// The same chaos seed replays to the same counters — CI failures are
+/// reproducible from the seed alone.
+#[test]
+fn chaos_replays_exactly_from_seed() {
+    let db = chaos_db();
+    let qgm = parse_and_bind(QUERY, &db).unwrap();
+    let cluster = Cluster::partition_by_key_replicated(&db, 4, 2).unwrap();
+    let run = |seed: u64| {
+        let chaos = Chaos::new(FaultPlan::single_crash(seed, 4));
+        let (rows, stats) =
+            run_gathered(&cluster, &qgm, ExecOptions::default(), Some(&chaos)).unwrap();
+        (
+            rows,
+            stats.retries,
+            stats.failovers,
+            stats.injected_delay_ticks,
+        )
+    };
+    assert_eq!(run(5), run(5));
+}
+
+/// The strategy runners themselves recover through replicas: nested
+/// iteration and the decorrelated plan both survive a permanent
+/// single-node crash with replication 2 and agree with single-node truth.
+#[test]
+fn strategy_runners_recover_with_replicas() {
+    let db = chaos_db();
+    let qgm = parse_and_bind(QUERY, &db).unwrap();
+    let (truth, _) = execute(&db, &qgm).unwrap();
+    let truth = sorted(truth);
+    assert!(!truth.is_empty());
+    let seed = 3u64;
+
+    let cluster = Cluster::partition_by_key_replicated(&db, 4, 2).unwrap();
+    let chaos = Chaos::new(FaultPlan::single_crash(seed, 4));
+    let (ni_rows, ni_stats) = run_nested_iteration_with(&cluster, &qgm, Some(&chaos)).unwrap();
+    assert_eq!(sorted(ni_rows), truth, "NI under chaos");
+    assert!(ni_stats.retries > 0);
+
+    let mut cluster2 = Cluster::partition_by_key_replicated(&db, 4, 2).unwrap();
+    let chaos2 = Chaos::new(FaultPlan::single_crash(seed, 4));
+    let (dc_rows, dc_stats) = run_decorrelated_with(
+        &mut cluster2,
+        &qgm,
+        &[("dept", "building"), ("emp", "building")],
+        &MagicOptions::default(),
+        Some(&chaos2),
+    )
+    .unwrap();
+    assert_eq!(sorted(dc_rows), truth, "decorrelated under chaos");
+    assert!(dc_stats.failovers >= 1);
+    assert!(dc_stats.redriven_rows > 0);
 }
 
 #[test]

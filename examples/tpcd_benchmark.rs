@@ -64,7 +64,7 @@ fn main() -> Result<()> {
         for s in strategies {
             let plan = apply_strategy(&qgm, s)?;
             let opts = if s == Strategy::NestedIteration {
-                ni_opts
+                ni_opts.clone()
             } else {
                 ExecOptions::default()
             };
