@@ -8,21 +8,28 @@
 //!         [--trace] [--analyze] [--explain-cost] [--qerr-threshold Q]
 //!         [--fault-seed S1,S2,...] [--replication K1,K2,...]
 //!         [--timeout-ms MS] [--mem-budget ROWS] [--bench-json [PATH]]
+//!         [--columnar|--no-columnar]
 //! ```
 //!
 //! `--threads N` runs the figure executors on a worker pool of N threads
-//! (default 1 = serial). `--trace` additionally emits, for each figure, the
-//! per-strategy rewrite step log and a single-line JSON document with the
-//! EXPLAIN plans, rewrite traces and per-box execution traces.
-//! `--analyze` prints the collected `ANALYZE` statistics for each figure's
-//! database. `--explain-cost` prints, per figure, the five-way strategy
-//! race (ranked estimates) and the chosen plan's per-box estimated-vs-
-//! actual rows with q-error. The `accuracy` experiment summarizes the race
-//! across every figure; with `--qerr-threshold Q` it exits non-zero if any
-//! chosen plan's total-cost q-error exceeds Q (the CI `estimator-accuracy`
-//! job). `--bench-json [PATH]` records the serial-vs-parallel benchmark
-//! baseline plus each figure's chosen strategy and q-error (failing if
-//! serial and parallel results diverge) to PATH, default `BENCH_PR2.json`.
+//! (default 1 = serial). `--columnar` (the default) / `--no-columnar`
+//! select the execution representation for the figure experiments — the
+//! two must be observationally identical, so the flag exists for A/B
+//! timing and differential debugging, not for changing results. `--trace`
+//! additionally emits, for each figure, the per-strategy rewrite step log
+//! and a single-line JSON document with the EXPLAIN plans, rewrite traces
+//! and per-box execution traces. `--analyze` prints the collected
+//! `ANALYZE` statistics for each figure's database. `--explain-cost`
+//! prints, per figure, the five-way strategy race (ranked estimates) and
+//! the chosen plan's per-box estimated-vs-actual rows with q-error. The
+//! `accuracy` experiment summarizes the race across every figure; with
+//! `--qerr-threshold Q` it exits non-zero if any chosen plan's total-cost
+//! q-error exceeds Q (the CI `estimator-accuracy` job). `--bench-json
+//! [PATH]` records the {row-wise, columnar} × {serial, parallel} benchmark
+//! grid plus each figure's chosen strategy and q-error (failing if any
+//! cell diverges or the columnar path does more work) to PATH, default
+//! `BENCH_PR5.json`. The bench grid always runs both representations; it
+//! ignores `--no-columnar`.
 //!
 //! The `chaos` experiment (run only when requested by name — it is not
 //! part of `all`) executes the figure queries on a 4-node cluster under a
@@ -36,7 +43,7 @@ use std::time::Instant;
 
 use decorr_bench::{
     analyze_figure, bench_baseline, chaos_sweep, figure_trace_json, format_table, race_figure,
-    run_figure_traced, run_figure_with, ChaosConfig, Figure,
+    run_figure_cfg, run_figure_traced, ChaosConfig, Figure,
 };
 use decorr_common::Result;
 use decorr_core::magic::MagicOptions;
@@ -60,6 +67,7 @@ struct Args {
     timeout_ms: Option<u64>,
     mem_budget: Option<usize>,
     bench_json: Option<String>,
+    columnar: bool,
 }
 
 fn parse_args() -> Args {
@@ -78,6 +86,7 @@ fn parse_args() -> Args {
         timeout_ms: None,
         mem_budget: None,
         bench_json: None,
+        columnar: true,
     };
     let mut it = std::env::args().skip(1).peekable();
     while let Some(a) = it.next() {
@@ -93,6 +102,8 @@ fn parse_args() -> Args {
                     .collect()
             }
             "--threads" => args.threads = it.next().expect("--threads N").parse().expect("number"),
+            "--columnar" => args.columnar = true,
+            "--no-columnar" => args.columnar = false,
             "--trace" => args.trace = true,
             "--analyze" => args.analyze = true,
             "--explain-cost" => args.explain_cost = true,
@@ -136,7 +147,7 @@ fn parse_args() -> Args {
                 // names a JSON file, else record to the default path.
                 let path = match it.peek() {
                     Some(p) if p.ends_with(".json") => it.next().unwrap(),
-                    _ => "BENCH_PR2.json".to_string(),
+                    _ => "BENCH_PR5.json".to_string(),
                 };
                 args.bench_json = Some(path);
             }
@@ -218,7 +229,7 @@ fn main() -> Result<()> {
                 let threads = if args.threads > 1 { args.threads } else { 4 };
                 (
                     bench_baseline(args.scale, args.seed, threads)?,
-                    format!("benchmark baseline (threads 1 vs {threads})"),
+                    format!("columnar A/B baseline (row-wise vs columnar, threads 1 vs {threads})"),
                 )
             }
         };
@@ -259,7 +270,7 @@ fn figure(fig: Figure, args: &Args) -> Result<()> {
         print!("{}", analyze_figure(fig, scale, seed)?);
         println!();
     }
-    let ms = run_figure_with(fig, &db, threads)?;
+    let ms = run_figure_cfg(fig, &db, threads, args.columnar)?;
     println!("{}", format_table(fig, scale, &ms));
     if args.explain_cost {
         println!("{}", race_figure(fig, &db)?.render());

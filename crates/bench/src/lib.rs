@@ -116,6 +116,13 @@ impl Figure {
         ExecOptions { threads, ..self.exec_opts(s) }
     }
 
+    /// [`Figure::exec_opts`] with both the pool width and the execution
+    /// representation set — the full A/B configuration surface
+    /// (`--threads` × `--columnar`/`--no-columnar`).
+    pub fn exec_opts_cfg(self, s: Strategy, threads: usize, columnar: bool) -> ExecOptions {
+        ExecOptions { threads, columnar, ..self.exec_opts(s) }
+    }
+
     /// Build the database this figure runs against.
     pub fn database(self, scale: f64, seed: u64) -> Result<Database> {
         let mut db = generate(&TpcdConfig { scale, seed, with_indexes: true })?;
@@ -260,11 +267,23 @@ pub fn run_figure(fig: Figure, db: &Database) -> Result<Vec<Measurement>> {
 /// (parallel runs may emit rows in a different order, never different
 /// rows).
 pub fn run_figure_with(fig: Figure, db: &Database, threads: usize) -> Result<Vec<Measurement>> {
+    run_figure_cfg(fig, db, threads, true)
+}
+
+/// [`run_figure_with`] with the execution representation selectable —
+/// the harness's `--no-columnar` flag lands here.
+pub fn run_figure_cfg(
+    fig: Figure,
+    db: &Database,
+    threads: usize,
+    columnar: bool,
+) -> Result<Vec<Measurement>> {
     let reference = fig.strategies()[0];
     let mut out = Vec::new();
     let mut ref_rows: Option<Vec<Row>> = None;
     for s in fig.strategies() {
-        let (mut rows, m) = run_strategy(db, fig.sql(), s, fig.exec_opts_threads(s, threads))?;
+        let (mut rows, m) =
+            run_strategy(db, fig.sql(), s, fig.exec_opts_cfg(s, threads, columnar))?;
         rows.sort();
         match &ref_rows {
             None => ref_rows = Some(rows),
@@ -441,22 +460,33 @@ pub fn analyze_figure(fig: Figure, scale: f64, seed: u64) -> Result<String> {
 pub const BASELINE_FIGURES: [Figure; 3] = [Figure::Fig5, Figure::Fig8, Figure::Fig9];
 
 /// Run the recorded benchmark baseline: every [`BASELINE_FIGURES`] figure,
-/// every strategy, once serial (`threads = 1`) and once on a pool of
-/// `threads` workers. Each pair is cross-checked — the parallel run must
-/// return the same multiset of rows as the serial run, or this errors
-/// (the CI `bench-smoke` job runs exactly this check at tiny scale).
+/// every strategy, across the full A/B grid — {row-wise, columnar} ×
+/// {serial, `threads` workers}. Three contracts are *enforced*, not just
+/// recorded (the CI `bench-smoke` and `columnar-smoke` jobs run exactly
+/// these checks at tiny scale):
 ///
-/// Returns the JSON document recorded as `BENCH_PR2.json`: per
-/// figure/strategy/thread-count the wall time, result rows, predicate
-/// evaluations and total deterministic work, plus the host CPU count so a
-/// reader can judge how much true parallelism the wall times reflect.
+/// * At each thread count the columnar run must return **byte-identical
+///   rows in the same order** as the row-wise run, with **identical
+///   `ExecStats`** — the two representations must be observationally
+///   indistinguishable.
+/// * The parallel run must return the same multiset of rows as the serial
+///   run (order may differ across pool widths, rows may not).
+/// * Columnar total deterministic work must never exceed row-wise total
+///   work on any figure/strategy/thread-count — vectorization is not
+///   allowed to buy wall time with extra work.
+///
+/// Returns the JSON document recorded as `BENCH_PR5.json`: per
+/// figure/strategy/representation/thread-count the wall time, result rows,
+/// predicate evaluations and total deterministic work, plus the host CPU
+/// count so a reader can judge how much true parallelism the wall times
+/// reflect.
 pub fn bench_baseline(scale: f64, seed: u64, threads: usize) -> Result<String> {
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let mut w = JsonWriter::new();
     w.begin_object()
-        .field_str("bench", "parallel-executor-baseline")
+        .field_str("bench", "columnar-ab-baseline")
         .field_float("scale", scale)
         .field_uint("seed", seed)
         .field_uint("host_cpus", host_cpus as u64)
@@ -469,9 +499,52 @@ pub fn bench_baseline(scale: f64, seed: u64, threads: usize) -> Result<String> {
             .field_str("title", fig.title());
         w.key("strategies").begin_array();
         for s in fig.strategies() {
-            let (mut srows, serial) = run_strategy(&db, fig.sql(), s, fig.exec_opts_threads(s, 1))?;
-            let (mut prows, par) =
-                run_strategy(&db, fig.sql(), s, fig.exec_opts_threads(s, threads))?;
+            // The grid: representation-major so each (row, col) pair at a
+            // thread count is adjacent for the equivalence checks below.
+            let mut runs = Vec::new();
+            for t in [1, threads] {
+                for columnar in [false, true] {
+                    let (rows, m) =
+                        run_strategy(&db, fig.sql(), s, fig.exec_opts_cfg(s, t, columnar))?;
+                    runs.push((t, columnar, rows, m));
+                }
+            }
+            for pair in runs.chunks(2) {
+                let (t, _, row_rows, row_m) = &pair[0];
+                let (_, _, col_rows, col_m) = &pair[1];
+                if row_rows != col_rows {
+                    return Err(Error::internal(format!(
+                        "columnar run diverges from row-wise for {} on {} (threads={t}): \
+                         {} vs {} row(s)",
+                        s.name(),
+                        fig.id(),
+                        row_m.rows,
+                        col_m.rows
+                    )));
+                }
+                if row_m.stats != col_m.stats {
+                    return Err(Error::internal(format!(
+                        "columnar ExecStats diverge from row-wise for {} on {} (threads={t}): \
+                         {:?} vs {:?}",
+                        s.name(),
+                        fig.id(),
+                        row_m.stats,
+                        col_m.stats
+                    )));
+                }
+                if col_m.stats.total_work() > row_m.stats.total_work() {
+                    return Err(Error::internal(format!(
+                        "columnar path does more work than row-wise for {} on {} (threads={t}): \
+                         {} vs {}",
+                        s.name(),
+                        fig.id(),
+                        col_m.stats.total_work(),
+                        row_m.stats.total_work()
+                    )));
+                }
+            }
+            let mut srows = runs[0].2.clone();
+            let mut prows = runs[2].2.clone();
             srows.sort();
             prows.sort();
             if srows != prows {
@@ -480,15 +553,16 @@ pub fn bench_baseline(scale: f64, seed: u64, threads: usize) -> Result<String> {
                      {} vs {} row(s) after sorting",
                     s.name(),
                     fig.id(),
-                    serial.rows,
-                    par.rows
+                    runs[0].3.rows,
+                    runs[2].3.rows
                 )));
             }
             w.begin_object().field_str("strategy", s.name());
             w.key("runs").begin_array();
-            for (t, m) in [(1, &serial), (threads, &par)] {
+            for (t, columnar, _, m) in &runs {
                 w.begin_object()
-                    .field_uint("threads", t as u64)
+                    .field_uint("threads", *t as u64)
+                    .field_bool("columnar", *columnar)
                     .field_float("time_ms", m.elapsed.as_secs_f64() * 1e3)
                     .field_uint("rows", m.rows as u64)
                     .field_uint("predicate_evals", m.stats.predicate_evals)

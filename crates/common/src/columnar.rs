@@ -1,0 +1,1271 @@
+//! Columnar batches and vectorized kernels.
+//!
+//! The paper's argument is that decorrelation turns tuple-at-a-time nested
+//! iteration into *set-oriented* evaluation; this module gives those sets a
+//! set-oriented representation. A [`ColumnarBatch`] stores a batch of rows
+//! transposed into typed [`Column`]s — `Int`/`Double`/`Bool` vectors, a
+//! dictionary-encoded `Str` column with an interning pool, and a `Mixed`
+//! fallback for the dynamically typed residue — each with a null bitmap.
+//! Kernels then work a column at a time:
+//!
+//! * [`filter_kernel`] — evaluate one predicate over a selection vector,
+//!   with fast paths for `Col cmp Lit` and `Col cmp Col`;
+//! * [`hash_kernel`] — bulk `eq_key`-consistent hashing of join/DISTINCT
+//!   keys (NULL/NaN excluded, `-0.0` folded for `=` keys; raw total-order
+//!   semantics for `IS NOT DISTINCT FROM` keys);
+//! * [`ColumnarBatch::gather`] / [`ColumnarBatch::project`] — materialize
+//!   selected (projected) rows back at operator boundaries;
+//! * [`count_kernel`] / [`sum_kernel`] / [`min_kernel`] / [`max_kernel`] —
+//!   vectorized aggregate accumulation.
+//!
+//! Every kernel replicates the scalar semantics in [`crate::value`]
+//! *exactly* — same three-valued comparisons, same NaN/-0.0 handling, same
+//! overflow errors, same fold order for non-associative float sums — so the
+//! executor's columnar path produces byte-identical rows and identical
+//! `ExecStats` to its row-wise twin.
+
+use std::cmp::Ordering;
+use std::hash::Hasher;
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::hash::{FxHashMap, FxHasher};
+use crate::row::{Row, RowBatch};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A selection vector: indices of surviving rows, in ascending order.
+pub type SelVec = Vec<u32>;
+
+// ---------------------------------------------------------------------------
+// Null bitmap
+// ---------------------------------------------------------------------------
+
+/// A bitmap with one bit per row; a set bit marks the row NULL.
+#[derive(Debug, Clone, Default)]
+pub struct NullBitmap {
+    words: Vec<u64>,
+    len: usize,
+    any: bool,
+}
+
+impl NullBitmap {
+    /// An all-valid bitmap for `len` rows.
+    pub fn new(len: usize) -> Self {
+        NullBitmap { words: vec![0; len.div_ceil(64)], len, any: false }
+    }
+
+    /// Mark row `i` NULL.
+    pub fn set_null(&mut self, i: usize) {
+        self.words[i >> 6] |= 1u64 << (i & 63);
+        self.any = true;
+    }
+
+    /// Is row `i` NULL?
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        self.any && (self.words[i >> 6] >> (i & 63)) & 1 == 1
+    }
+
+    /// Does any row hold NULL?
+    pub fn any_null(&self) -> bool {
+        self.any
+    }
+
+    /// Number of rows covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String interning pool
+// ---------------------------------------------------------------------------
+
+/// Dictionary for a [`Column::Str`]: interns each distinct string once and
+/// hands out dense `u32` codes. Equal strings always share a code, so
+/// equality over the column is code equality.
+#[derive(Debug, Clone, Default)]
+pub struct StrPool {
+    strings: Vec<Arc<str>>,
+    index: FxHashMap<Arc<str>, u32>,
+}
+
+impl StrPool {
+    /// Intern `s`, returning its code (existing or freshly assigned).
+    pub fn intern(&mut self, s: &Arc<str>) -> u32 {
+        if let Some(&c) = self.index.get(s.as_ref()) {
+            return c;
+        }
+        let c = self.strings.len() as u32;
+        self.strings.push(Arc::clone(s));
+        self.index.insert(Arc::clone(s), c);
+        c
+    }
+
+    /// The code of `s`, if interned.
+    pub fn lookup(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    /// The string behind `code`.
+    pub fn get(&self, code: u32) -> &Arc<str> {
+        &self.strings[code as usize]
+    }
+
+    /// Number of distinct strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when no string has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Columns
+// ---------------------------------------------------------------------------
+
+/// The typed storage behind a [`Column`].
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// All non-null values are `Int`.
+    Int(Vec<i64>),
+    /// All non-null values are `Double`.
+    Double(Vec<f64>),
+    /// All non-null values are `Bool`.
+    Bool(Vec<bool>),
+    /// All non-null values are strings, dictionary-encoded against `pool`.
+    Str {
+        /// Per-row dictionary codes (undefined where the null bit is set).
+        codes: Vec<u32>,
+        /// The interning pool the codes index into.
+        pool: StrPool,
+    },
+    /// Dynamically typed fallback (e.g. a column mixing `Int` and `Double`
+    /// mid-pipeline). Values are stored verbatim so reconstruction is exact.
+    Mixed(Vec<Value>),
+}
+
+/// One column of a [`ColumnarBatch`]: typed data plus a null bitmap.
+#[derive(Debug, Clone)]
+pub struct Column {
+    data: ColumnData,
+    nulls: NullBitmap,
+}
+
+/// A borrowed view of one value in a column — the kernels' working currency.
+/// Mirrors [`Value`] without owning (string views borrow the pool).
+#[derive(Debug, Clone, Copy)]
+pub enum ValRef<'a> {
+    /// SQL NULL.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Integer.
+    Int(i64),
+    /// Double.
+    Double(f64),
+    /// String slice borrowed from the column's pool (or a literal).
+    Str(&'a str),
+}
+
+impl<'a> ValRef<'a> {
+    /// View a [`Value`] without cloning.
+    pub fn of(v: &'a Value) -> ValRef<'a> {
+        match v {
+            Value::Null => ValRef::Null,
+            Value::Bool(b) => ValRef::Bool(*b),
+            Value::Int(i) => ValRef::Int(*i),
+            Value::Double(d) => ValRef::Double(*d),
+            Value::Str(s) => ValRef::Str(s),
+        }
+    }
+
+    /// Is this the NULL view?
+    pub fn is_null(self) -> bool {
+        matches!(self, ValRef::Null)
+    }
+
+    /// Three-valued SQL comparison — exactly [`Value::sql_cmp`].
+    pub fn sql_cmp(self, other: ValRef<'_>) -> Option<Ordering> {
+        use ValRef::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Int(a), Double(b)) => (a as f64).partial_cmp(&b),
+            (Double(a), Int(b)) => a.partial_cmp(&(b as f64)),
+            (Double(a), Double(b)) => a.partial_cmp(&b),
+            (a, b) => Some(a.total_cmp(b)),
+        }
+    }
+
+    /// Total order — exactly [`Value::total_cmp`].
+    pub fn total_cmp(self, other: ValRef<'_>) -> Ordering {
+        use ValRef::*;
+        fn class(v: ValRef<'_>) -> u8 {
+            match v {
+                Null => 0,
+                Bool(_) => 1,
+                Int(_) | Double(_) => 2,
+                Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(&b),
+            (Int(a), Int(b)) => a.cmp(&b),
+            (Int(a), Double(b)) => (a as f64).total_cmp(&b),
+            (Double(a), Int(b)) => a.total_cmp(&(b as f64)),
+            (Double(a), Double(b)) => a.total_cmp(&b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (a, b) => class(a).cmp(&class(b)),
+        }
+    }
+
+    /// Standalone Fx hash of this value, consistent with `Value`'s
+    /// `Hash`/`Eq` pair (total-order semantics: NULLs hash alike, numerics
+    /// hash as f64 bits so `Int(1)` and `Double(1.0)` collide on purpose).
+    pub fn fx_hash(self) -> u64 {
+        let mut h = FxHasher::default();
+        match self {
+            ValRef::Null => h.write_u8(0),
+            ValRef::Bool(b) => {
+                h.write_u8(1);
+                h.write_u8(b as u8);
+            }
+            ValRef::Int(i) => {
+                h.write_u8(2);
+                h.write_u64((i as f64).to_bits());
+            }
+            ValRef::Double(d) => {
+                h.write_u8(2);
+                h.write_u64(d.to_bits());
+            }
+            ValRef::Str(s) => {
+                h.write_u8(3);
+                h.write(s.as_bytes());
+            }
+        }
+        h.finish()
+    }
+
+    /// Standalone hash of this value as an SQL `=` key: `None` for values
+    /// an equality can never select (NULL, NaN), `-0.0` folded to `0.0` —
+    /// exactly the normalization of [`Value::eq_key`].
+    pub fn eq_key_hash(self) -> Option<u64> {
+        match self {
+            ValRef::Null => None,
+            ValRef::Double(d) if d.is_nan() => None,
+            // Fold -0.0 onto 0.0 so the two equal zeros share a hash.
+            ValRef::Double(d) => Some(ValRef::Double(if d == 0.0 { 0.0 } else { d }).fx_hash()),
+            v => Some(v.fx_hash()),
+        }
+    }
+
+    /// Clone into an owned [`Value`].
+    pub fn to_value(self) -> Value {
+        match self {
+            ValRef::Null => Value::Null,
+            ValRef::Bool(b) => Value::Bool(b),
+            ValRef::Int(i) => Value::Int(i),
+            ValRef::Double(d) => Value::Double(d),
+            ValRef::Str(s) => Value::str(s),
+        }
+    }
+}
+
+impl Column {
+    /// Build a column from one value per row, sniffing the narrowest
+    /// representation: a typed vector when all non-null values share one
+    /// runtime type, the `Mixed` fallback otherwise (so reconstruction
+    /// stays exact even for columns mixing `Int` and `Double`).
+    pub fn from_values<'a, I>(values: I, len: usize) -> Column
+    where
+        I: Iterator<Item = &'a Value> + Clone,
+    {
+        #[derive(PartialEq, Clone, Copy)]
+        enum Sniff {
+            Empty,
+            Int,
+            Double,
+            Bool,
+            Str,
+            Mixed,
+        }
+        let mut sniff = Sniff::Empty;
+        for v in values.clone() {
+            let t = match v {
+                Value::Null => continue,
+                Value::Int(_) => Sniff::Int,
+                Value::Double(_) => Sniff::Double,
+                Value::Bool(_) => Sniff::Bool,
+                Value::Str(_) => Sniff::Str,
+            };
+            if sniff == Sniff::Empty {
+                sniff = t;
+            } else if sniff != t {
+                sniff = Sniff::Mixed;
+                break;
+            }
+        }
+        let mut nulls = NullBitmap::new(len);
+        let data = match sniff {
+            Sniff::Empty | Sniff::Int => {
+                let mut out = Vec::with_capacity(len);
+                for (i, v) in values.enumerate() {
+                    match v {
+                        Value::Int(x) => out.push(*x),
+                        _ => {
+                            nulls.set_null(i);
+                            out.push(0);
+                        }
+                    }
+                }
+                ColumnData::Int(out)
+            }
+            Sniff::Double => {
+                let mut out = Vec::with_capacity(len);
+                for (i, v) in values.enumerate() {
+                    match v {
+                        Value::Double(x) => out.push(*x),
+                        _ => {
+                            nulls.set_null(i);
+                            out.push(0.0);
+                        }
+                    }
+                }
+                ColumnData::Double(out)
+            }
+            Sniff::Bool => {
+                let mut out = Vec::with_capacity(len);
+                for (i, v) in values.enumerate() {
+                    match v {
+                        Value::Bool(x) => out.push(*x),
+                        _ => {
+                            nulls.set_null(i);
+                            out.push(false);
+                        }
+                    }
+                }
+                ColumnData::Bool(out)
+            }
+            Sniff::Str => {
+                let mut pool = StrPool::default();
+                let mut codes = Vec::with_capacity(len);
+                for (i, v) in values.enumerate() {
+                    match v {
+                        Value::Str(s) => codes.push(pool.intern(s)),
+                        _ => {
+                            nulls.set_null(i);
+                            codes.push(0);
+                        }
+                    }
+                }
+                ColumnData::Str { codes, pool }
+            }
+            Sniff::Mixed => {
+                let mut out = Vec::with_capacity(len);
+                for (i, v) in values.enumerate() {
+                    if v.is_null() {
+                        nulls.set_null(i);
+                    }
+                    out.push(v.clone());
+                }
+                ColumnData::Mixed(out)
+            }
+        };
+        Column { data, nulls }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.nulls.len()
+    }
+
+    /// True when the column holds zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The typed storage.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// Is row `i` NULL?
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        self.nulls.is_null(i)
+    }
+
+    /// Borrowed view of row `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> ValRef<'_> {
+        if self.nulls.is_null(i) {
+            return ValRef::Null;
+        }
+        match &self.data {
+            ColumnData::Int(v) => ValRef::Int(v[i]),
+            ColumnData::Double(v) => ValRef::Double(v[i]),
+            ColumnData::Bool(v) => ValRef::Bool(v[i]),
+            ColumnData::Str { codes, pool } => ValRef::Str(pool.get(codes[i])),
+            ColumnData::Mixed(v) => ValRef::of(&v[i]),
+        }
+    }
+
+    /// Owned copy of row `i`. Strings come back as clones of the pool's
+    /// `Arc`, so reconstruction is a refcount bump.
+    pub fn value_at(&self, i: usize) -> Value {
+        if self.nulls.is_null(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Double(v) => Value::Double(v[i]),
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::Str { codes, pool } => Value::Str(Arc::clone(pool.get(codes[i]))),
+            ColumnData::Mixed(v) => v[i].clone(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batches
+// ---------------------------------------------------------------------------
+
+/// A batch of rows stored column-wise: an optional schema, one [`Column`]
+/// per attribute, and an optional selection vector naming the surviving
+/// rows (absent means "all rows").
+#[derive(Debug, Clone)]
+pub struct ColumnarBatch {
+    schema: Option<Schema>,
+    columns: Vec<Column>,
+    len: usize,
+    sel: Option<SelVec>,
+}
+
+impl ColumnarBatch {
+    /// Transpose a slice of rows. All rows must share the first row's arity.
+    pub fn from_rows(rows: &[Row]) -> ColumnarBatch {
+        let len = rows.len();
+        let width = rows.first().map_or(0, Row::arity);
+        let columns = (0..width)
+            .map(|c| Column::from_values(rows.iter().map(move |r| &r[c]), len))
+            .collect();
+        ColumnarBatch { schema: None, columns, len, sel: None }
+    }
+
+    /// Transpose a shared [`RowBatch`].
+    pub fn from_row_batch(rows: &RowBatch) -> ColumnarBatch {
+        ColumnarBatch::from_rows(&rows[..])
+    }
+
+    /// Assemble a batch from already-built columns (all of length `len`).
+    /// This is how the executor builds *narrow* batches holding only the
+    /// columns a compiled predicate actually reads, skipping the transpose
+    /// (and string-interning) cost of untouched attributes.
+    pub fn from_columns(columns: Vec<Column>, len: usize) -> ColumnarBatch {
+        debug_assert!(columns.iter().all(|c| c.len() == len));
+        ColumnarBatch { schema: None, columns, len, sel: None }
+    }
+
+    /// Attach the relation schema (known for base-table scans).
+    pub fn with_schema(mut self, schema: Schema) -> ColumnarBatch {
+        self.schema = Some(schema);
+        self
+    }
+
+    /// Restrict the batch to `sel` (kept for shipping a filtered batch
+    /// without materializing; [`ColumnarBatch::to_rows`] honors it).
+    pub fn with_selection(mut self, sel: SelVec) -> ColumnarBatch {
+        self.sel = Some(sel);
+        self
+    }
+
+    /// The attached schema, if any.
+    pub fn schema(&self) -> Option<&Schema> {
+        self.schema.as_ref()
+    }
+
+    /// The current selection vector, if any.
+    pub fn selection(&self) -> Option<&[u32]> {
+        self.sel.as_deref()
+    }
+
+    /// Number of physical rows (ignoring any selection).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the batch holds zero physical rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column `c`.
+    pub fn column(&self, c: usize) -> &Column {
+        &self.columns[c]
+    }
+
+    /// The identity selection (all physical rows).
+    pub fn all(&self) -> SelVec {
+        (0..self.len as u32).collect()
+    }
+
+    /// Materialize rows: the selected ones when a selection is attached,
+    /// all rows otherwise. Round-trips [`ColumnarBatch::from_rows`] exactly
+    /// (NaN payloads, signed zeros and `Int`/`Double` width included).
+    pub fn to_rows(&self) -> Vec<Row> {
+        match &self.sel {
+            Some(sel) => self.gather(sel),
+            None => (0..self.len)
+                .map(|i| Row(self.columns.iter().map(|c| c.value_at(i)).collect()))
+                .collect(),
+        }
+    }
+
+    /// Materialize into a shared [`RowBatch`].
+    pub fn to_row_batch(&self) -> RowBatch {
+        self.to_rows().into()
+    }
+
+    /// Materialize the rows named by `sel`, in order.
+    pub fn gather(&self, sel: &[u32]) -> Vec<Row> {
+        sel.iter()
+            .map(|&i| {
+                Row(self
+                    .columns
+                    .iter()
+                    .map(|c| c.value_at(i as usize))
+                    .collect())
+            })
+            .collect()
+    }
+
+    /// Materialize `cols` (in that order) of the rows named by `sel` —
+    /// gather and project fused into one pass.
+    pub fn project(&self, cols: &[usize], sel: &[u32]) -> Vec<Row> {
+        sel.iter()
+            .map(|&i| {
+                Row(cols
+                    .iter()
+                    .map(|&c| self.columns[c].value_at(i as usize))
+                    .collect())
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Filter kernel
+// ---------------------------------------------------------------------------
+
+/// A comparison operator, detached from the plan IR so the kernel layer has
+/// no dependency on the query graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// SQL `=` (three-valued: NULL/NaN never qualify).
+    Eq,
+    /// `IS NOT DISTINCT FROM` — total equality, NULL matches NULL.
+    NullEq,
+    /// `<>`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+}
+
+impl CmpOp {
+    /// The mirror-image operator: `lit op col` ≡ `col op.flip() lit`.
+    /// Sound because both `sql_cmp` and `total_cmp` are antisymmetric.
+    #[inline]
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Eq | CmpOp::NullEq | CmpOp::Ne => self,
+        }
+    }
+
+    /// Does an ordering outcome satisfy this operator?
+    #[inline]
+    pub fn matches(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq | CmpOp::NullEq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+/// A predicate the filter kernel can evaluate vectorized: a column against
+/// a literal, or a column against a column (both in the same batch). More
+/// general predicates stay on the row-wise path.
+#[derive(Debug, Clone)]
+pub enum ColPredicate {
+    /// `column <op> literal` (literal-first comparisons are pre-flipped by
+    /// the caller via the operator's mirror image).
+    ColLit {
+        /// Column index in the batch.
+        col: usize,
+        /// Comparison operator.
+        op: CmpOp,
+        /// The literal (or correlation-constant) right-hand side.
+        lit: Value,
+    },
+    /// `column <op> column`.
+    ColCol {
+        /// Left column index.
+        left: usize,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right column index.
+        right: usize,
+    },
+}
+
+/// Evaluate `pred` over the rows named by `sel`, returning the surviving
+/// selection (order preserved). Semantics match the row-wise evaluator
+/// exactly: `=`,`<`,… use [`Value::sql_cmp`] three-valued comparison (NULL
+/// and NaN comparisons never qualify), `IS NOT DISTINCT FROM` uses
+/// [`Value::total_cmp`] (NULL matches NULL, `-0.0` ≠ `0.0`).
+pub fn filter_kernel(batch: &ColumnarBatch, pred: &ColPredicate, sel: &[u32]) -> SelVec {
+    match pred {
+        ColPredicate::ColLit { col, op, lit } => filter_col_lit(batch.column(*col), *op, lit, sel),
+        ColPredicate::ColCol { left, op, right } => {
+            filter_col_col(batch.column(*left), *op, batch.column(*right), sel)
+        }
+    }
+}
+
+fn filter_col_lit(col: &Column, op: CmpOp, lit: &Value, sel: &[u32]) -> SelVec {
+    let mut out = Vec::with_capacity(sel.len());
+    if op == CmpOp::NullEq {
+        // Total equality, NULL matches NULL; no fast path needed beyond the
+        // dictionary (code equality) for strings.
+        if let (ColumnData::Str { codes, pool }, Value::Str(s)) = (&col.data, lit) {
+            if let Some(code) = pool.lookup(s) {
+                for &i in sel {
+                    let i_us = i as usize;
+                    if !col.is_null(i_us) && codes[i_us] == code {
+                        out.push(i);
+                    }
+                }
+            }
+            return out;
+        }
+        let lit = ValRef::of(lit);
+        for &i in sel {
+            if col.get(i as usize).total_cmp(lit) == Ordering::Equal {
+                out.push(i);
+            }
+        }
+        return out;
+    }
+    match (&col.data, lit) {
+        // Fast path: Int column vs Int literal — plain machine compares.
+        (ColumnData::Int(v), Value::Int(b)) => {
+            for &i in sel {
+                let i_us = i as usize;
+                if !col.is_null(i_us) && op.matches(v[i_us].cmp(b)) {
+                    out.push(i);
+                }
+            }
+        }
+        // Fast path: Int column vs Double literal (compare as f64, like
+        // `sql_cmp`; a NaN literal qualifies nothing).
+        (ColumnData::Int(v), Value::Double(b)) => {
+            for &i in sel {
+                let i_us = i as usize;
+                if col.is_null(i_us) {
+                    continue;
+                }
+                if let Some(ord) = (v[i_us] as f64).partial_cmp(b) {
+                    if op.matches(ord) {
+                        out.push(i);
+                    }
+                }
+            }
+        }
+        // Fast path: Double column vs numeric literal (NaN rows and NaN
+        // literals never qualify, `-0.0 = 0.0` holds — IEEE compare).
+        (ColumnData::Double(v), Value::Int(_) | Value::Double(_)) => {
+            let b = match lit {
+                Value::Int(b) => *b as f64,
+                Value::Double(b) => *b,
+                _ => unreachable!(),
+            };
+            for &i in sel {
+                let i_us = i as usize;
+                if col.is_null(i_us) {
+                    continue;
+                }
+                if let Some(ord) = v[i_us].partial_cmp(&b) {
+                    if op.matches(ord) {
+                        out.push(i);
+                    }
+                }
+            }
+        }
+        // Fast path: dictionary strings — decide once per distinct string,
+        // then the row loop is a table lookup on the code.
+        (ColumnData::Str { codes, pool }, Value::Str(s)) => {
+            let verdict: Vec<bool> = pool
+                .strings
+                .iter()
+                .map(|p| op.matches(p.as_ref().cmp(s.as_ref())))
+                .collect();
+            for &i in sel {
+                let i_us = i as usize;
+                if !col.is_null(i_us) && verdict[codes[i_us] as usize] {
+                    out.push(i);
+                }
+            }
+        }
+        // General path (Bool columns, cross-class comparisons falling back
+        // to the total order, Mixed columns, NULL literals).
+        _ => {
+            let lit = ValRef::of(lit);
+            for &i in sel {
+                if let Some(ord) = col.get(i as usize).sql_cmp(lit) {
+                    if op.matches(ord) {
+                        out.push(i);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn filter_col_col(left: &Column, op: CmpOp, right: &Column, sel: &[u32]) -> SelVec {
+    let mut out = Vec::with_capacity(sel.len());
+    if op == CmpOp::NullEq {
+        for &i in sel {
+            let i_us = i as usize;
+            if left.get(i_us).total_cmp(right.get(i_us)) == Ordering::Equal {
+                out.push(i);
+            }
+        }
+        return out;
+    }
+    match (&left.data, &right.data) {
+        // Fast path: Int = Int (the common join/filter shape).
+        (ColumnData::Int(a), ColumnData::Int(b)) => {
+            for &i in sel {
+                let i_us = i as usize;
+                if !left.is_null(i_us) && !right.is_null(i_us) && op.matches(a[i_us].cmp(&b[i_us]))
+                {
+                    out.push(i);
+                }
+            }
+        }
+        // Fast path: Double vs Double (NaN never qualifies).
+        (ColumnData::Double(a), ColumnData::Double(b)) => {
+            for &i in sel {
+                let i_us = i as usize;
+                if left.is_null(i_us) || right.is_null(i_us) {
+                    continue;
+                }
+                if let Some(ord) = a[i_us].partial_cmp(&b[i_us]) {
+                    if op.matches(ord) {
+                        out.push(i);
+                    }
+                }
+            }
+        }
+        _ => {
+            for &i in sel {
+                let i_us = i as usize;
+                if let Some(ord) = left.get(i_us).sql_cmp(right.get(i_us)) {
+                    if op.matches(ord) {
+                        out.push(i);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Hash kernel
+// ---------------------------------------------------------------------------
+
+/// One key part for [`hash_kernel`]: the column and whether NULL/NaN may
+/// participate (`true` for `IS NOT DISTINCT FROM` and DISTINCT keys, which
+/// hash with raw total-order semantics; `false` for `=` keys, which apply
+/// [`Value::eq_key`] normalization and exclude the row entirely).
+pub type HashKeyPart<'a> = (&'a Column, bool);
+
+/// Bulk-hash composite keys over the rows named by `sel`. Returns one entry
+/// per selected row: `None` when any `=`-key part is NULL or NaN (the row
+/// can never match and must be skipped, exactly like the row-wise
+/// `eq_key` path), otherwise a 64-bit hash such that keys equal under the
+/// respective equality hash identically — including `Int(1)`/`Double(1.0)`
+/// and `-0.0`/`0.0` on normalized parts.
+pub fn hash_kernel(parts: &[HashKeyPart<'_>], sel: &[u32]) -> Vec<Option<u64>> {
+    // Standalone part hashes are combined with the same Fx mixing an
+    // `FxHasher` would apply to a sequence of u64 writes, so a one-part key
+    // and a multi-part key both get well-mixed 64-bit hashes. Dictionary
+    // columns hash each distinct string once.
+    let memo: Vec<Option<Vec<u64>>> = parts
+        .iter()
+        .map(|(col, _)| match &col.data {
+            ColumnData::Str { pool, .. } => Some(
+                pool.strings
+                    .iter()
+                    .map(|s| ValRef::Str(s).fx_hash())
+                    .collect(),
+            ),
+            _ => None,
+        })
+        .collect();
+    sel.iter()
+        .map(|&i| {
+            let i_us = i as usize;
+            let mut h = FxHasher::default();
+            for (p, (col, null_ok)) in parts.iter().enumerate() {
+                let part = if *null_ok {
+                    match (&memo[p], &col.data) {
+                        (Some(codes_memo), ColumnData::Str { codes, .. }) if !col.is_null(i_us) => {
+                            codes_memo[codes[i_us] as usize]
+                        }
+                        _ => col.get(i_us).fx_hash(),
+                    }
+                } else {
+                    let part = match (&memo[p], &col.data) {
+                        (Some(codes_memo), ColumnData::Str { codes, .. }) if !col.is_null(i_us) => {
+                            Some(codes_memo[codes[i_us] as usize])
+                        }
+                        _ => col.get(i_us).eq_key_hash(),
+                    };
+                    match part {
+                        Some(part) => part,
+                        None => return None,
+                    }
+                };
+                h.write_u64(part);
+            }
+            Some(h.finish())
+        })
+        .collect()
+}
+
+/// Row-major companion of [`hash_kernel`] for composite keys that already
+/// live as value vectors (computed key expressions, pre-normalized `=`
+/// parts): each part hashes exactly as a kernel key part would, and parts
+/// combine through the same `FxHasher` `u64` writes — so a key hashed here
+/// and an equal key hashed by [`hash_kernel`] land in the same bucket.
+/// `None` entries (excluded rows) stay `None`.
+pub fn hash_keys(keys: &[Option<Vec<Value>>]) -> Vec<Option<u64>> {
+    keys.iter()
+        .map(|k| {
+            k.as_ref().map(|parts| {
+                let mut h = FxHasher::default();
+                for v in parts {
+                    h.write_u64(ValRef::of(v).fx_hash());
+                }
+                h.finish()
+            })
+        })
+        .collect()
+}
+
+/// Bulk-hash whole rows with total-order semantics (NULLs equal, numerics
+/// as f64 bits) — the DISTINCT/magic-table dedup hash. Rows equal under
+/// `Row`'s `Eq` always hash identically.
+pub fn hash_rows(rows: &[Row]) -> Vec<u64> {
+    rows.iter()
+        .map(|r| {
+            let mut h = FxHasher::default();
+            for v in r.values() {
+                h.write_u64(ValRef::of(v).fx_hash());
+            }
+            h.finish()
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate kernels
+// ---------------------------------------------------------------------------
+
+/// Vectorized `COUNT(col)`: the number of non-null values.
+pub fn count_kernel(col: &Column) -> i64 {
+    let n = col.len();
+    if !col.nulls.any_null() {
+        return n as i64;
+    }
+    (0..n).filter(|&i| !col.is_null(i)).count() as i64
+}
+
+/// Vectorized `SUM(col)`: fold non-null values **in row order** (float sums
+/// are not associative; the serial row-wise accumulator's order is the
+/// contract). Returns `Value::Null` on an all-NULL or empty column and the
+/// same overflow/type errors the scalar `Value::add` would raise.
+pub fn sum_kernel(col: &Column) -> Result<Value> {
+    match &col.data {
+        ColumnData::Int(v) => {
+            let mut acc: Option<i64> = None;
+            for (i, &x) in v.iter().enumerate() {
+                if col.is_null(i) {
+                    continue;
+                }
+                acc = Some(match acc {
+                    None => x,
+                    Some(a) => a
+                        .checked_add(x)
+                        .ok_or_else(|| Error::eval("integer overflow in +"))?,
+                });
+            }
+            Ok(acc.map_or(Value::Null, Value::Int))
+        }
+        ColumnData::Double(v) => {
+            let mut acc: Option<f64> = None;
+            for (i, &x) in v.iter().enumerate() {
+                if col.is_null(i) {
+                    continue;
+                }
+                acc = Some(match acc {
+                    None => x,
+                    Some(a) => a + x,
+                });
+            }
+            Ok(acc.map_or(Value::Null, Value::Double))
+        }
+        // Mixed (and mistyped Bool/Str) columns fold through `Value::add`
+        // so promotion order and error messages match the scalar path.
+        _ => {
+            let mut acc = Value::Null;
+            for i in 0..col.len() {
+                let v = col.value_at(i);
+                if v.is_null() {
+                    continue;
+                }
+                acc = if acc.is_null() { v } else { acc.add(&v)? };
+            }
+            Ok(acc)
+        }
+    }
+}
+
+/// Vectorized `MIN(col)` under the total order (first minimal value wins
+/// ties, matching the serial fold). `Value::Null` when no non-null value.
+pub fn min_kernel(col: &Column) -> Value {
+    fold_extreme(col, Ordering::Less)
+}
+
+/// Vectorized `MAX(col)` under the total order.
+pub fn max_kernel(col: &Column) -> Value {
+    fold_extreme(col, Ordering::Greater)
+}
+
+fn fold_extreme(col: &Column, want: Ordering) -> Value {
+    match &col.data {
+        ColumnData::Int(v) => {
+            let mut best: Option<i64> = None;
+            for (i, &x) in v.iter().enumerate() {
+                if col.is_null(i) {
+                    continue;
+                }
+                best = Some(match best {
+                    None => x,
+                    Some(b) if x.cmp(&b) == want => x,
+                    Some(b) => b,
+                });
+            }
+            best.map_or(Value::Null, Value::Int)
+        }
+        ColumnData::Double(v) => {
+            // Total order over doubles (NaN sorts by bit pattern, -0.0 <
+            // 0.0) — the same order `Value::total_cmp` uses.
+            let mut best: Option<f64> = None;
+            for (i, &x) in v.iter().enumerate() {
+                if col.is_null(i) {
+                    continue;
+                }
+                best = Some(match best {
+                    None => x,
+                    Some(b) if x.total_cmp(&b) == want => x,
+                    Some(b) => b,
+                });
+            }
+            best.map_or(Value::Null, Value::Double)
+        }
+        _ => {
+            let mut best = Value::Null;
+            for i in 0..col.len() {
+                let v = col.value_at(i);
+                if v.is_null() {
+                    continue;
+                }
+                if best.is_null() || v.total_cmp(&best) == want {
+                    best = v;
+                }
+            }
+            best
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    fn vals(vs: &[Value]) -> Column {
+        Column::from_values(vs.iter(), vs.len())
+    }
+
+    #[test]
+    fn round_trip_exact() {
+        let rows = vec![
+            row![1, "a", 2.5, true],
+            Row(vec![
+                Value::Null,
+                Value::str("a"),
+                Value::Double(-0.0),
+                Value::Null,
+            ]),
+            Row(vec![
+                Value::Int(i64::MAX),
+                Value::Null,
+                Value::Double(f64::NAN),
+                Value::Bool(false),
+            ]),
+        ];
+        let batch = ColumnarBatch::from_rows(&rows);
+        let back = batch.to_rows();
+        assert_eq!(rows.len(), back.len());
+        for (a, b) in rows.iter().zip(&back) {
+            // `Value`'s Eq is the total order, which distinguishes -0.0
+            // from 0.0 and compares NaNs by bit pattern — exact enough.
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn mixed_width_column_preserved() {
+        let rows = vec![row![1], row![2.5], Row(vec![Value::Null])];
+        let batch = ColumnarBatch::from_rows(&rows);
+        assert!(matches!(batch.column(0).data(), ColumnData::Mixed(_)));
+        assert_eq!(batch.to_rows(), rows);
+    }
+
+    #[test]
+    fn dictionary_interns_duplicates() {
+        let rows: Vec<Row> = ["x", "y", "x", "x"].iter().map(|s| row![*s]).collect();
+        let batch = ColumnarBatch::from_rows(&rows);
+        match batch.column(0).data() {
+            ColumnData::Str { pool, .. } => assert_eq!(pool.len(), 2),
+            other => panic!("expected dictionary column, got {other:?}"),
+        }
+        assert_eq!(batch.to_rows(), rows);
+    }
+
+    /// Reference filter: the row-wise evaluator's semantics, straight off
+    /// `Value::sql_cmp` / `Value::total_cmp`.
+    fn reference_filter(vs: &[Value], op: CmpOp, lit: &Value) -> Vec<u32> {
+        vs.iter()
+            .enumerate()
+            .filter(|(_, v)| match op {
+                CmpOp::NullEq => v.total_cmp(lit) == Ordering::Equal,
+                _ => v.sql_cmp(lit).is_some_and(|o| op.matches(o)),
+            })
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    #[test]
+    fn filter_matches_scalar_semantics() {
+        let interesting = [
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(-1),
+            Value::Int(0),
+            Value::Int(1),
+            Value::Double(-0.0),
+            Value::Double(0.0),
+            Value::Double(1.0),
+            Value::Double(f64::NAN),
+            Value::Double(f64::NEG_INFINITY),
+            Value::str(""),
+            Value::str("a"),
+            Value::str("b"),
+        ];
+        let ops = [
+            CmpOp::Eq,
+            CmpOp::NullEq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ];
+        // Homogeneous typed columns and the full mixed column, against
+        // every interesting literal and operator.
+        let columns: Vec<Vec<Value>> = vec![
+            vec![Value::Int(-1), Value::Null, Value::Int(3), Value::Int(0)],
+            vec![
+                Value::Double(-0.0),
+                Value::Double(f64::NAN),
+                Value::Null,
+                Value::Double(2.0),
+            ],
+            vec![
+                Value::str("a"),
+                Value::str("b"),
+                Value::Null,
+                Value::str("a"),
+            ],
+            vec![
+                Value::Bool(true),
+                Value::Null,
+                Value::Bool(false),
+                Value::Bool(true),
+            ],
+            interesting.to_vec(),
+        ];
+        for vs in &columns {
+            let batch_rows: Vec<Row> = vs.iter().map(|v| Row(vec![v.clone()])).collect();
+            let batch = ColumnarBatch::from_rows(&batch_rows);
+            let sel = batch.all();
+            for lit in &interesting {
+                for &op in &ops {
+                    let got = filter_kernel(
+                        &batch,
+                        &ColPredicate::ColLit { col: 0, op, lit: lit.clone() },
+                        &sel,
+                    );
+                    let want = reference_filter(vs, op, lit);
+                    assert_eq!(got, want, "col {vs:?} {op:?} lit {lit}");
+                    // Also through the col-col kernel with a constant column.
+                    let wide: Vec<Row> = vs
+                        .iter()
+                        .map(|v| Row(vec![v.clone(), lit.clone()]))
+                        .collect();
+                    let wide_batch = ColumnarBatch::from_rows(&wide);
+                    let got2 = filter_kernel(
+                        &wide_batch,
+                        &ColPredicate::ColCol { left: 0, op, right: 1 },
+                        &wide_batch.all(),
+                    );
+                    assert_eq!(got2, want, "colcol {vs:?} {op:?} lit {lit}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hash_kernel_matches_eq_key_semantics() {
+        // Values equal under `=` must hash identically; NULL/NaN excluded.
+        let vs = [
+            Value::Int(1),
+            Value::Double(1.0),
+            Value::Double(-0.0),
+            Value::Double(0.0),
+            Value::Int(0),
+            Value::Null,
+            Value::Double(f64::NAN),
+        ];
+        let col = vals(&vs);
+        let sel: Vec<u32> = (0..vs.len() as u32).collect();
+        let hs = hash_kernel(&[(&col, false)], &sel);
+        assert_eq!(hs[0], hs[1], "Int(1) and Double(1.0)");
+        assert_eq!(hs[2], hs[3], "-0.0 and 0.0");
+        assert_eq!(hs[3], hs[4], "Double(0.0) and Int(0)");
+        assert_eq!(hs[5], None, "NULL excluded");
+        assert_eq!(hs[6], None, "NaN excluded");
+
+        // Raw (IS NOT DISTINCT FROM / DISTINCT) semantics: NULL hashes,
+        // -0.0 and 0.0 stay distinct, NaN hashes by bit pattern.
+        let raw = hash_kernel(&[(&col, true)], &sel);
+        assert!(raw.iter().all(Option::is_some));
+        assert_ne!(raw[2], raw[3], "-0.0 vs 0.0 raw");
+        assert_eq!(raw[0], raw[1], "Int(1) vs Double(1.0) raw (total-equal)");
+    }
+
+    #[test]
+    fn hash_rows_consistent_with_row_eq() {
+        let a = row![1, "x"];
+        let b = Row(vec![Value::Double(1.0), Value::str("x")]);
+        assert_eq!(a, b);
+        let hs = hash_rows(&[a, b]);
+        assert_eq!(hs[0], hs[1]);
+    }
+
+    #[test]
+    fn aggregate_kernels_match_serial_folds() {
+        let vs = [
+            Value::Null,
+            Value::Int(3),
+            Value::Int(-1),
+            Value::Null,
+            Value::Int(7),
+        ];
+        let col = vals(&vs);
+        assert_eq!(count_kernel(&col), 3);
+        assert_eq!(sum_kernel(&col).unwrap(), Value::Int(9));
+        assert_eq!(min_kernel(&col), Value::Int(-1));
+        assert_eq!(max_kernel(&col), Value::Int(7));
+
+        let dv = [
+            Value::Double(0.1),
+            Value::Double(0.2),
+            Value::Double(0.3),
+            Value::Null,
+        ];
+        let dcol = vals(&dv);
+        // Fold order is row order: (0.1 + 0.2) + 0.3, not any reassociation.
+        assert_eq!(sum_kernel(&dcol).unwrap(), Value::Double((0.1 + 0.2) + 0.3));
+        assert_eq!(min_kernel(&dcol), Value::Double(0.1));
+
+        let empty = vals(&[Value::Null, Value::Null]);
+        assert_eq!(count_kernel(&empty), 0);
+        assert!(sum_kernel(&empty).unwrap().is_null());
+        assert!(min_kernel(&empty).is_null());
+        assert!(max_kernel(&empty).is_null());
+
+        let overflow = vals(&[Value::Int(i64::MAX), Value::Int(1)]);
+        assert!(sum_kernel(&overflow).is_err());
+    }
+
+    #[test]
+    fn project_gathers_selected_columns() {
+        let rows = vec![row![1, "a", 10], row![2, "b", 20], row![3, "c", 30]];
+        let batch = ColumnarBatch::from_rows(&rows);
+        let picked = batch.project(&[2, 0], &[0, 2]);
+        assert_eq!(picked, vec![row![10, 1], row![30, 3]]);
+    }
+
+    #[test]
+    fn selection_vector_respected_by_to_rows() {
+        let rows = vec![row![1], row![2], row![3]];
+        let batch = ColumnarBatch::from_rows(&rows).with_selection(vec![0, 2]);
+        assert_eq!(batch.to_rows(), vec![row![1], row![3]]);
+    }
+}

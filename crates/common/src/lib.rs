@@ -15,11 +15,16 @@
 //!   traces (see [`json`]),
 //! * [`WorkerPool`] — the work-stealing-free morsel scheduler behind
 //!   intra-query parallelism and parallel cluster maintenance (see
-//!   [`pool`]).
+//!   [`pool`]),
+//! * [`ColumnarBatch`] — typed column vectors with null bitmaps,
+//!   dictionary-encoded strings and selection vectors, plus the
+//!   vectorized filter/hash/gather/aggregate kernels the executor's
+//!   columnar path is built from (see [`columnar`]).
 //!
 //! Nothing in this crate knows about query plans or storage; it is the
 //! bottom of the dependency graph.
 
+pub mod columnar;
 pub mod error;
 pub mod fault;
 pub mod govern;
@@ -31,6 +36,7 @@ pub mod schema;
 pub mod stats;
 pub mod value;
 
+pub use columnar::{CmpOp, ColPredicate, Column, ColumnarBatch, SelVec};
 pub use error::{Error, Result};
 pub use fault::{Chaos, FaultEvent, FaultPlan};
 pub use govern::{Budget, CancelToken, Clock};

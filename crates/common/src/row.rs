@@ -56,6 +56,17 @@ impl Row {
         self.0.extend_from_slice(&other.0);
     }
 
+    /// Concatenate `self` and `other` into `scratch`, reusing its
+    /// allocation. For transient combined rows (a join probe evaluating
+    /// residual predicates, say) this avoids one `Vec` allocation per
+    /// candidate pair; `scratch` keeps its capacity across calls.
+    pub fn concat_into(&self, other: &Row, scratch: &mut Row) {
+        scratch.0.clear();
+        scratch.0.reserve(self.0.len() + other.0.len());
+        scratch.0.extend_from_slice(&self.0);
+        scratch.0.extend_from_slice(&other.0);
+    }
+
     /// Project the given column indices into a new row.
     pub fn project(&self, indices: &[usize]) -> Row {
         Row(indices.iter().map(|&i| self.0[i].clone()).collect())
@@ -118,6 +129,19 @@ mod tests {
         let c = a.concat(&b);
         assert_eq!(c.arity(), 3);
         assert_eq!(c.project(&[2, 0]), row![2.5, 1]);
+    }
+
+    #[test]
+    fn concat_into_reuses_scratch() {
+        let a = row![1, "x"];
+        let b = row![2.5];
+        let mut scratch = Row::empty();
+        a.concat_into(&b, &mut scratch);
+        assert_eq!(scratch, a.concat(&b));
+        let cap = scratch.0.capacity();
+        a.concat_into(&b, &mut scratch);
+        assert_eq!(scratch.0.capacity(), cap);
+        assert_eq!(scratch, a.concat(&b));
     }
 
     #[test]

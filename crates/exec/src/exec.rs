@@ -10,8 +10,10 @@
 //! executor before parallelism existed.
 
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 use std::time::Instant;
 
+use decorr_common::columnar::{self, ColPredicate, ColumnarBatch, SelVec};
 use decorr_common::{
     mix64, Budget, CancelToken, Error, ExecStats, FxHashMap, FxHashSet, FxHasher, Result, Row,
     RowBatch, Value, WorkerPool, MORSEL_ROWS,
@@ -22,6 +24,7 @@ use decorr_storage::{Database, Table};
 use crate::env::{Env, Layout};
 use crate::eval::{eval_expr, qualifies};
 use crate::trace::{ExecTrace, JoinStrategy};
+use crate::vector;
 
 /// When nested iteration evaluates a correlated *scalar* subquery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -63,6 +66,13 @@ pub struct ExecOptions {
     /// [`Error::ResourceExhausted`] — degraded algorithms bound working
     /// state, but no algorithm can bound the result itself.
     pub mem_budget: Option<usize>,
+    /// Route scans, filters, hash-join key hashing, final projection and
+    /// grand-total aggregation through the columnar kernels in
+    /// [`decorr_common::columnar`] (`true`, the default). The row-wise
+    /// path is kept fully operational behind `false` for differential
+    /// testing; both paths produce byte-identical rows and identical
+    /// [`ExecStats`].
+    pub columnar: bool,
 }
 
 impl Default for ExecOptions {
@@ -74,6 +84,7 @@ impl Default for ExecOptions {
             timeout: None,
             cancel: None,
             mem_budget: None,
+            columnar: true,
         }
     }
 }
@@ -110,6 +121,11 @@ pub struct Executor<'a> {
     /// The boxes currently being evaluated (innermost last); used to
     /// attribute predicate evaluations and join decisions to a box.
     box_stack: Vec<BoxId>,
+    /// Per-run cache of base tables transposed into columnar batches,
+    /// keyed by table name. The database is immutable for the duration of
+    /// a run, and correlated (nested-iteration) plans re-scan the same
+    /// table once per outer binding — the transpose is paid once.
+    col_cache: FxHashMap<(String, Vec<usize>), Arc<ColumnarBatch>>,
 }
 
 impl<'a> Executor<'a> {
@@ -124,6 +140,7 @@ impl<'a> Executor<'a> {
             corr_cache: FxHashMap::default(),
             trace: None,
             box_stack: Vec::new(),
+            col_cache: FxHashMap::default(),
         }
     }
 
@@ -590,10 +607,37 @@ impl<'a> Executor<'a> {
             }
         }
 
-        // Morsel-parallel end stage: when no scalar subqueries or
-        // quantified groups remain (the common case after decorrelation,
-        // where subqueries have become joins), filtering + projection is a
-        // pure per-row map — fan it out and reassemble in chunk order.
+        // Columnar end stage: when no scalar subqueries or quantified
+        // groups remain (the common case after decorrelation, where
+        // subqueries have become joins) and both the residual predicates
+        // and the projection compile to kernel form, the join output
+        // transposes once and filtering + projection run vectorized. Rows
+        // materialize again only at the operator boundary — here.
+        if needed_scalars.is_empty() && quant_groups.is_empty() && self.opts.columnar {
+            if let (Some(mut compiled), Some(proj)) = (
+                vector::compile_preds(&plain_preds, &end_layout, env),
+                vector::compile_projection(bx.outputs.iter().map(|o| &o.expr), &end_layout),
+            ) {
+                let cols = vector::pred_columns(&compiled);
+                let batch = vector::narrow_batch(&rows, &cols);
+                vector::remap_preds(&mut compiled, &cols);
+                let sel = self.columnar_select(&batch, &compiled)?;
+                // Project straight off the surviving source rows; the
+                // projection columns never transpose.
+                let mut out_rows: Vec<Row> = sel
+                    .iter()
+                    .map(|&i| Row::new(proj.iter().map(|&c| rows[i as usize][c].clone()).collect()))
+                    .collect();
+                if bx.distinct {
+                    out_rows = dedup_rows(out_rows);
+                }
+                return Ok(out_rows);
+            }
+        }
+
+        // Morsel-parallel end stage: same conditions, row-wise kernels —
+        // filtering + projection is a pure per-row map, fanned out and
+        // reassembled in chunk order.
         if needed_scalars.is_empty() && quant_groups.is_empty() && self.parallel_over(rows.len()) {
             let outputs = &bx.outputs;
             let opts = &self.opts;
@@ -895,7 +939,92 @@ impl<'a> Executor<'a> {
 
         self.stats.rows_scanned += t.len() as u64;
         let kept: Vec<&Expr> = applicable.iter().map(|&i| &preds[i]).collect();
+        // Columnar scan: the table transposes into the per-run batch cache
+        // once, and each (re-)scan — notably nested iteration's correlated
+        // re-scans, whose outer bindings compile to literals — runs the
+        // filter kernels over it. Kept rows clone straight from the table,
+        // exactly like the row-wise path.
+        if self.opts.columnar && !kept.is_empty() {
+            if let Some(mut compiled) = vector::compile_preds(&kept, q_layout, env) {
+                self.checkpoint(t.len() as u64)?;
+                let cols = vector::pred_columns(&compiled);
+                let batch = self.table_batch(t, &cols);
+                vector::remap_preds(&mut compiled, &cols);
+                let sel = self.columnar_select(&batch, &compiled)?;
+                let rows = t.rows();
+                return Ok(sel.iter().map(|&i| rows[i as usize].clone()).collect());
+            }
+        }
         self.filter_rows_ref(t.rows(), q_layout, &kept, env)
+    }
+
+    /// The cached transpose of the base-table columns a compiled filter
+    /// reads. Keyed per column set so repeated scans of the same table —
+    /// notably nested iteration's correlated re-scans — transpose once;
+    /// columns the filter never touches are never columnized.
+    fn table_batch(&mut self, t: &Table, cols: &[usize]) -> Arc<ColumnarBatch> {
+        let key = (t.name().to_string(), cols.to_vec());
+        if let Some(b) = self.col_cache.get(&key) {
+            return Arc::clone(b);
+        }
+        let b = Arc::new(vector::narrow_batch(t.rows(), cols));
+        self.col_cache.insert(key, Arc::clone(&b));
+        b
+    }
+
+    /// Evaluate compiled predicates over a batch, morsel-chunked across the
+    /// pool for large inputs, and charge exactly the predicate-evaluation
+    /// count the row-wise short-circuit loop would have. The caller has
+    /// already charged the input against the budget; per-morsel
+    /// checkpoints here charge 0, mirroring the row-wise loops.
+    fn columnar_select(&mut self, batch: &ColumnarBatch, preds: &[ColPredicate]) -> Result<SelVec> {
+        let n = batch.len();
+        if self.parallel_over(n) {
+            let opts = &self.opts;
+            let chunks = n.div_ceil(MORSEL_ROWS);
+            let parts: Vec<Result<(SelVec, u64)>> = self.pool.run_indexed(chunks, |c| {
+                governor_check(opts, 0)?;
+                let lo = (c * MORSEL_ROWS) as u32;
+                let hi = ((c + 1) * MORSEL_ROWS).min(n) as u32;
+                Ok(vector::filter_range(batch, preds, lo, hi))
+            });
+            let mut sel = Vec::new();
+            let mut evals = 0u64;
+            for p in parts {
+                let (s, e) = p?;
+                sel.extend(s);
+                evals += e;
+            }
+            self.note_preds(evals);
+            return Ok(sel);
+        }
+        let mut sel = Vec::new();
+        let mut evals = 0u64;
+        let mut lo = 0usize;
+        while lo < n {
+            self.checkpoint(0)?;
+            let hi = (lo + MORSEL_ROWS).min(n);
+            let (s, e) = vector::filter_range(batch, preds, lo as u32, hi as u32);
+            sel.extend(s);
+            evals += e;
+            lo = hi;
+        }
+        self.note_preds(evals);
+        Ok(sel)
+    }
+
+    /// Move the rows named by `sel` (ascending) out of `rows`.
+    fn take_selected(rows: Vec<Row>, sel: &[u32]) -> Vec<Row> {
+        let mut out = Vec::with_capacity(sel.len());
+        let mut next = sel.iter().copied();
+        let mut want = next.next();
+        for (i, r) in rows.into_iter().enumerate() {
+            if Some(i as u32) == want {
+                out.push(r);
+                want = next.next();
+            }
+        }
+        out
     }
 
     fn filter_rows(
@@ -909,6 +1038,15 @@ impl<'a> Executor<'a> {
             return Ok(rows);
         }
         self.checkpoint(rows.len() as u64)?;
+        if self.opts.columnar {
+            if let Some(mut compiled) = vector::compile_preds(preds, layout, env) {
+                let cols = vector::pred_columns(&compiled);
+                let batch = vector::narrow_batch(&rows, &cols);
+                vector::remap_preds(&mut compiled, &cols);
+                let sel = self.columnar_select(&batch, &compiled)?;
+                return Ok(Self::take_selected(rows, &sel));
+            }
+        }
         if self.parallel_over(rows.len()) {
             // Compute a keep-mask in parallel, then move the kept rows out.
             let opts = &self.opts;
@@ -978,6 +1116,15 @@ impl<'a> Executor<'a> {
             return Ok(rows.to_vec());
         }
         self.checkpoint(rows.len() as u64)?;
+        if self.opts.columnar {
+            if let Some(mut compiled) = vector::compile_preds(preds, layout, env) {
+                let cols = vector::pred_columns(&compiled);
+                let batch = vector::narrow_batch(rows, &cols);
+                vector::remap_preds(&mut compiled, &cols);
+                let sel = self.columnar_select(&batch, &compiled)?;
+                return Ok(sel.iter().map(|&i| rows[i as usize].clone()).collect());
+            }
+        }
         if self.parallel_over(rows.len()) {
             let opts = &self.opts;
             let chunks: Vec<Result<(Vec<Row>, u64)>> =
@@ -1151,7 +1298,19 @@ impl<'a> Executor<'a> {
         self.checkpoint((rows.len() + right.len()) as u64)?;
         self.stats.hash_build_rows += right.len() as u64;
         self.stats.hash_probes += rows.len() as u64;
-        let out = if self.parallel_over(rows.len().max(right.len())) {
+        let parallel = self.parallel_over(rows.len().max(right.len()));
+        let out = if self.opts.columnar {
+            self.hashed_join(
+                &rows,
+                layout,
+                right,
+                &right_layout,
+                &left_keys,
+                &right_keys,
+                env,
+                parallel,
+            )?
+        } else if parallel {
             self.partitioned_hash_join(
                 &rows,
                 layout,
@@ -1204,16 +1363,147 @@ impl<'a> Executor<'a> {
         let left_keyed = extract_join_keys(&self.pool, rows, layout, left_keys, env)?;
         self.checkpoint((rows.len() * right.len()) as u64)?;
         self.stats.nl_comparisons += (rows.len() * right.len()) as u64;
-        let mut out = Vec::new();
-        for (l, lk) in rows.iter().zip(&left_keyed) {
+        // Bulk-hash both key sets once: the u64 hashes drive a counting
+        // pass that pre-sizes the output (hash equality over-counts only
+        // on collisions, so the capacity is a tight upper bound) and then
+        // prefilter the match loop, leaving the full key comparison for
+        // hash-equal pairs only.
+        let right_hashes = columnar::hash_keys(&right_keyed);
+        let left_hashes = columnar::hash_keys(&left_keyed);
+        let mut upper = 0usize;
+        for lh in left_hashes.iter().flatten() {
+            for rh in right_hashes.iter().flatten() {
+                if lh == rh {
+                    upper += 1;
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(upper);
+        for ((l, lk), lh) in rows.iter().zip(&left_keyed).zip(&left_hashes) {
             self.checkpoint(0)?;
             let Some(lk) = lk else { continue };
-            for (r, rk) in right.iter().zip(&right_keyed) {
-                if rk.as_ref() == Some(lk) {
+            for ((r, rk), rh) in right.iter().zip(&right_keyed).zip(&right_hashes) {
+                if rh == lh && rk.as_ref() == Some(lk) {
                     out.push(l.concat(r));
                 }
             }
             self.check_mem(out.len(), "nested-loop join")?;
+        }
+        Ok(out)
+    }
+
+    /// Bulk-hashed equi-join — the columnar path behind both the serial
+    /// and the partitioned hash join. Each side's keys hash in bulk
+    /// through the columnar hash kernels ([`vector::join_side`]: plain
+    /// column keys never materialize a `Vec<Value>` at all); the build
+    /// table maps `hash → right-row indices`, and collisions verify by
+    /// comparing the keyed rows *in place* — no per-probe rehash, no owned
+    /// map keys. Probing emits `(left, right)` index pairs, and the output
+    /// is materialized in one pass pre-sized from the match count. Rows,
+    /// order and stats are identical to [`serial_hash_join`] /
+    /// [`Executor::partitioned_hash_join`].
+    #[allow(clippy::too_many_arguments)]
+    fn hashed_join(
+        &self,
+        rows: &[Row],
+        layout: &Layout,
+        right: &[Row],
+        right_layout: &Layout,
+        left_keys: &[(&Expr, bool)],
+        right_keys: &[(&Expr, bool)],
+        env: Option<&Env<'_>>,
+        parallel: bool,
+    ) -> Result<Vec<Row>> {
+        let rs = vector::join_side(&self.pool, right, right_layout, right_keys, env)?;
+        let ls = vector::join_side(&self.pool, rows, layout, left_keys, env)?;
+        let pairs: Vec<(u32, u32)> = if parallel {
+            // Same hash → same partition on both sides, so each partition
+            // joins independently.
+            let parts = self.pool.threads();
+            let bucket = |hashes: &[Option<u64>]| -> Vec<Vec<u32>> {
+                let mut b: Vec<Vec<u32>> = vec![Vec::new(); parts];
+                for (i, h) in hashes.iter().enumerate() {
+                    if let Some(h) = h {
+                        b[(mix64(*h) % parts as u64) as usize].push(i as u32);
+                    }
+                }
+                b
+            };
+            let right_parts = bucket(&rs.hashes);
+            let left_parts = bucket(&ls.hashes);
+            let part_pairs: Vec<Vec<(u32, u32)>> = self.pool.run_indexed(parts, |p| {
+                let mut table: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+                for &ri in &right_parts[p] {
+                    if let Some(h) = rs.hashes[ri as usize] {
+                        table.entry(h).or_default().push(ri);
+                    }
+                }
+                let mut pairs = Vec::new();
+                for &li in &left_parts[p] {
+                    let Some(h) = ls.hashes[li as usize] else {
+                        continue;
+                    };
+                    if let Some(cands) = table.get(&h) {
+                        for &ri in cands {
+                            if ls.key_eq(li as usize, &rs, ri as usize) {
+                                pairs.push((li, ri));
+                            }
+                        }
+                    }
+                }
+                pairs
+            });
+            // Stitch the per-partition pair lists back into global left-row
+            // order: every left row lives in exactly one partition and its
+            // matches are contiguous there, so a counting sort by left
+            // index restores the serial probe order exactly (down to the
+            // floating-point aggregation order downstream).
+            let mut counts = vec![0u32; rows.len()];
+            let mut total = 0usize;
+            for pp in &part_pairs {
+                total += pp.len();
+                for &(li, _) in pp {
+                    counts[li as usize] += 1;
+                }
+            }
+            let mut cursor = Vec::with_capacity(rows.len());
+            let mut acc = 0u32;
+            for c in &counts {
+                cursor.push(acc);
+                acc += c;
+            }
+            let mut merged = vec![(0u32, 0u32); total];
+            for pp in part_pairs {
+                for (li, ri) in pp {
+                    let slot = &mut cursor[li as usize];
+                    merged[*slot as usize] = (li, ri);
+                    *slot += 1;
+                }
+            }
+            merged
+        } else {
+            let mut table: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+            for (ri, h) in rs.hashes.iter().enumerate() {
+                if let Some(h) = h {
+                    table.entry(*h).or_default().push(ri as u32);
+                }
+            }
+            let mut pairs = Vec::new();
+            for (li, h) in ls.hashes.iter().enumerate() {
+                let Some(h) = h else { continue };
+                if let Some(cands) = table.get(h) {
+                    for &ri in cands {
+                        if ls.key_eq(li, &rs, ri as usize) {
+                            pairs.push((li as u32, ri));
+                        }
+                    }
+                }
+            }
+            pairs
+        };
+        let mut out = Vec::with_capacity(pairs.len());
+        for (li, ri) in pairs {
+            out.push(rows[li as usize].concat(&right[ri as usize]));
         }
         Ok(out)
     }
@@ -1500,6 +1790,16 @@ impl<'a> Executor<'a> {
             ));
         }
 
+        // Grand totals (no GROUP BY) whose aggregates are plain-column
+        // COUNT/SUM/MIN/MAX vectorize: each argument transposes into a
+        // column and the aggregate kernels reproduce the serial fold
+        // exactly (Double accumulation order and Int overflow included).
+        let kernel_cols = if self.opts.columnar && !degraded && group_by.is_empty() {
+            grand_total_cols(&agg_slots, &layout)
+        } else {
+            None
+        };
+
         // One accumulator vector per group (one accumulator per agg slot),
         // in first-appearance order. Large inputs aggregate into
         // thread-local tables over contiguous slices, merged in slice
@@ -1507,6 +1807,8 @@ impl<'a> Executor<'a> {
         // so the result is the one the serial fold produces.
         let groups: Vec<(Vec<Value>, Vec<Acc>)> = if degraded {
             sort_groups(&input, &layout, env, group_by, &agg_slots)?
+        } else if let (Some(cols), false) = (&kernel_cols, input.is_empty()) {
+            grand_total_groups(&input, &agg_slots, cols)?
         } else if self.parallel_over(input.len()) {
             let partials = self.pool.map_worker_slices(&input, |slice| {
                 build_groups(slice, &layout, env, group_by, &agg_slots, true)
@@ -1708,6 +2010,11 @@ impl<'a> Executor<'a> {
         let probe = |chunk: &[Row]| -> Result<(Vec<Row>, u64)> {
             let mut out = Vec::new();
             let mut evals = 0u64;
+            // The combined (left ++ right) row only feeds predicate and
+            // projection evaluation — it is never stored — so one scratch
+            // buffer per worker absorbs what used to be an allocation per
+            // candidate pair.
+            let mut combined = Row::empty();
             for (li, l) in chunk.iter().enumerate() {
                 if li % MORSEL_ROWS == 0 {
                     governor_check(opts, 0)?;
@@ -1741,7 +2048,7 @@ impl<'a> Executor<'a> {
 
                 let mut matched = false;
                 for r in candidate_rows {
-                    let combined = l.concat(r);
+                    l.concat_into(r, &mut combined);
                     let env2 = Env::new(&layout, &combined, env);
                     let mut ok = true;
                     for p in &residual {
@@ -1762,7 +2069,7 @@ impl<'a> Executor<'a> {
                 }
                 if !matched {
                     // Null-extended left row.
-                    let combined = l.concat(&nulls);
+                    l.concat_into(&nulls, &mut combined);
                     let env2 = Env::new(&layout, &combined, env);
                     let mut row = Row(Vec::with_capacity(outputs.len()));
                     for o in outputs {
@@ -1877,6 +2184,62 @@ fn acc_update(slot: &AggSlot<'_>, acc: &mut Acc, v: Value) -> Result<()> {
         }
     }
     Ok(())
+}
+
+/// Per-slot kernel argument offsets for a vectorizable grand total:
+/// `None` inside the vec means `COUNT(*)`. `None` overall when any slot
+/// needs the row-wise fold (DISTINCT, computed or unbound arguments).
+fn grand_total_cols(slots: &[AggSlot<'_>], layout: &Layout) -> Option<Vec<Option<usize>>> {
+    slots
+        .iter()
+        .map(|s| {
+            if s.distinct {
+                return None;
+            }
+            match s.arg {
+                None => Some(None),
+                Some(Expr::Col { quant, col }) => {
+                    layout.offset_of(*quant).map(|off| Some(off + col))
+                }
+                Some(_) => None,
+            }
+        })
+        .collect()
+}
+
+/// Vectorized grand-total aggregation: one accumulator per slot, computed
+/// by the columnar COUNT/SUM/MIN/MAX kernels over a transposed argument
+/// column instead of a per-row fold. The representative row (for group
+/// column outputs) is the first input row, exactly as the serial fold
+/// sets it.
+fn grand_total_groups(
+    input: &[Row],
+    slots: &[AggSlot<'_>],
+    cols: &[Option<usize>],
+) -> Result<Vec<(Vec<Value>, Vec<Acc>)>> {
+    let rep = Some(input[0].clone());
+    let mut accs = Vec::with_capacity(slots.len());
+    for (slot, col) in slots.iter().zip(cols) {
+        let mut acc = Acc::new();
+        acc.rep = rep.clone();
+        match col {
+            None => acc.count = input.len() as i64, // COUNT(*): every row counts
+            Some(off) => {
+                let c = columnar::Column::from_values(input.iter().map(|r| &r[*off]), input.len());
+                acc.count = columnar::count_kernel(&c);
+                match slot.func {
+                    AggFunc::Count => {}
+                    AggFunc::Sum | AggFunc::Avg => acc.sum = columnar::sum_kernel(&c)?,
+                    AggFunc::Min | AggFunc::Max => {
+                        acc.min = columnar::min_kernel(&c);
+                        acc.max = columnar::max_kernel(&c);
+                    }
+                }
+            }
+        }
+        accs.push(acc);
+    }
+    Ok(vec![(Vec::new(), accs)])
 }
 
 /// Hash-aggregate `rows` into per-group accumulators, groups in
@@ -2115,7 +2478,7 @@ fn serial_hash_join(
 /// Extract normalized join keys for every row, morsel-parallel. `None`
 /// marks a row whose Eq key is NULL/NaN (it can never match); NullEq key
 /// parts are kept raw, exactly as in [`serial_hash_join`].
-fn extract_join_keys(
+pub(crate) fn extract_join_keys(
     pool: &WorkerPool,
     rows: &[Row],
     layout: &Layout,
@@ -2162,12 +2525,29 @@ fn key_partition(key: &[Value], parts: usize) -> usize {
     (mix64(h.finish()) % parts as u64) as usize
 }
 
-/// Order-preserving duplicate elimination.
+/// Order-preserving duplicate elimination (DISTINCT, UNION, the magic
+/// table's binding set). Rows are bulk-hashed with total-order semantics
+/// (the same equivalence as `Row`'s `Eq`) and a row compares against
+/// earlier *kept* rows only on a hash collision — no row is ever cloned
+/// into a side set.
 fn dedup_rows(rows: Vec<Row>) -> Vec<Row> {
-    let mut seen: FxHashSet<Row> = FxHashSet::default();
-    let mut out = Vec::with_capacity(rows.len());
-    for r in rows {
-        if seen.insert(r.clone()) {
+    if rows.len() <= 1 {
+        return rows;
+    }
+    let hashes = columnar::hash_rows(&rows);
+    let mut buckets: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+    let mut keep = vec![false; rows.len()];
+    for (i, h) in hashes.iter().enumerate() {
+        let kept = buckets.entry(*h).or_default();
+        if kept.iter().any(|&j| rows[j as usize] == rows[i]) {
+            continue;
+        }
+        kept.push(i as u32);
+        keep[i] = true;
+    }
+    let mut out = Vec::with_capacity(buckets.values().map(Vec::len).sum());
+    for (r, keep) in rows.into_iter().zip(keep) {
+        if keep {
             out.push(r);
         }
     }

@@ -34,6 +34,7 @@ pub mod env;
 pub mod eval;
 pub mod exec;
 pub mod trace;
+mod vector;
 
 pub use cost::{CostModel, Estimate};
 pub use decorr_stats::{BoxEstimate, PlanEstimate};

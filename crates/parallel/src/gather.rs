@@ -19,6 +19,7 @@
 
 use std::time::Instant;
 
+use decorr_common::columnar::ColumnarBatch;
 use decorr_common::{Chaos, Result, Row};
 use decorr_exec::{ExecOptions, Executor};
 use decorr_qgm::Qgm;
@@ -60,8 +61,18 @@ pub fn run_gathered(
         let meta = TableMeta::of(cluster.node(0).table(name)?);
         let mut gathered: Vec<Row> = Vec::new();
         for p in 0..n {
-            let (rows, outcome) =
-                cluster.run_recoverable(p, chaos, |db| Ok(db.table(name)?.rows().to_vec()))?;
+            // Partitions ship as columnar batches: the fragment transposes
+            // its rows once (dictionary-encoding strings, so repeated
+            // values cross the wire as codes) and the coordinator
+            // re-materializes rows on arrival — `ColumnarBatch`'s
+            // round-trip is exact, so the gathered database stays
+            // byte-identical to a row-shipped one. The message counters
+            // keep counting logical tuples for comparability with the
+            // row-shipping model the lib docs describe.
+            let (batch, outcome) = cluster.run_recoverable(p, chaos, |db| {
+                Ok(ColumnarBatch::from_rows(db.table(name)?.rows()))
+            })?;
+            let rows = batch.to_rows();
             stats.fragments += 1;
             // One request message plus one per shipped tuple.
             stats.messages += 1 + rows.len() as u64;
