@@ -3,12 +3,13 @@
 //! counters.
 //!
 //! ```text
-//! harness [table1|fig5|fig6|fig7|fig8|fig9|parallel|countbug|ablation|accuracy|chaos|all]
+//! harness [table1|fig5|fig6|fig7|fig8|fig9|parallel|countbug|ablation|accuracy|chaos|serve-bench|all]
 //!         [--scale S] [--seed N] [--nodes N1,N2,...] [--threads N]
 //!         [--trace] [--analyze] [--explain-cost] [--qerr-threshold Q]
 //!         [--fault-seed S1,S2,...] [--replication K1,K2,...]
 //!         [--timeout-ms MS] [--mem-budget ROWS] [--bench-json [PATH]]
-//!         [--columnar|--no-columnar]
+//!         [--columnar|--no-columnar] [--clients N] [--queries N]
+//!         [--concurrency N]
 //! ```
 //!
 //! `--threads N` runs the figure executors on a worker pool of N threads
@@ -38,12 +39,23 @@
 //! unrecoverable one fails closed with `NodeFailed`. `--timeout-ms` and
 //! `--mem-budget` apply query governance to the chaos runs; with
 //! `--bench-json` the sweep's JSON report replaces the baseline document.
+//! `--concurrency N` replays every chaos sweep point on N worker threads
+//! at once — the recovery contract must hold for each worker
+//! independently, modelling faults under a live query service.
+//!
+//! The `serve-bench` experiment (also opt-in by name) boots the
+//! `decorr-server` TCP service and drives it with `--clients` concurrent
+//! connections, each issuing `--queries` statements from a mixed
+//! figure/TPC-D set. It *enforces* byte-identical payloads against a
+//! single-session serial run and a typed-errors-only overload probe, and
+//! reports client-observed p50/p99 latency and aggregate QPS; with
+//! `--bench-json` the report is recorded to `BENCH_PR6.json` by default.
 
 use std::time::Instant;
 
 use decorr_bench::{
     analyze_figure, bench_baseline, chaos_sweep, figure_trace_json, format_table, race_figure,
-    run_figure_cfg, run_figure_traced, ChaosConfig, Figure,
+    run_figure_cfg, run_figure_traced, serve_bench, ChaosConfig, Figure, ServeBenchConfig,
 };
 use decorr_common::Result;
 use decorr_core::magic::MagicOptions;
@@ -68,6 +80,9 @@ struct Args {
     mem_budget: Option<usize>,
     bench_json: Option<String>,
     columnar: bool,
+    clients: usize,
+    queries: usize,
+    concurrency: usize,
 }
 
 fn parse_args() -> Args {
@@ -87,6 +102,9 @@ fn parse_args() -> Args {
         mem_budget: None,
         bench_json: None,
         columnar: true,
+        clients: 8,
+        queries: 25,
+        concurrency: 1,
     };
     let mut it = std::env::args().skip(1).peekable();
     while let Some(a) = it.next() {
@@ -142,12 +160,19 @@ fn parse_args() -> Args {
                         .expect("number"),
                 )
             }
+            "--clients" => args.clients = it.next().expect("--clients N").parse().expect("number"),
+            "--queries" => args.queries = it.next().expect("--queries N").parse().expect("number"),
+            "--concurrency" => {
+                args.concurrency = it.next().expect("--concurrency N").parse().expect("number")
+            }
             "--bench-json" => {
                 // Optional path operand: consume the next token only if it
-                // names a JSON file, else record to the default path.
+                // names a JSON file, else record to the experiment's
+                // default path (resolved in main, once the experiment
+                // selection is known).
                 let path = match it.peek() {
                     Some(p) if p.ends_with(".json") => it.next().unwrap(),
-                    _ => "BENCH_PR5.json".to_string(),
+                    _ => String::new(),
                 };
                 args.bench_json = Some(path);
             }
@@ -160,9 +185,20 @@ fn parse_args() -> Args {
     args
 }
 
-const EXPERIMENTS: [&str; 12] = [
-    "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "countbug", "ablation", "parallel",
-    "accuracy", "chaos", "all",
+const EXPERIMENTS: [&str; 13] = [
+    "table1",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "countbug",
+    "ablation",
+    "parallel",
+    "accuracy",
+    "chaos",
+    "serve-bench",
+    "all",
 ];
 
 fn main() -> Result<()> {
@@ -173,6 +209,10 @@ fn main() -> Result<()> {
     }
     if args.threads == 0 {
         eprintln!("--threads must be at least 1 (got 0)");
+        std::process::exit(2);
+    }
+    if args.clients == 0 || args.queries == 0 || args.concurrency == 0 {
+        eprintln!("--clients, --queries and --concurrency must be at least 1");
         std::process::exit(2);
     }
     for w in &args.what {
@@ -204,8 +244,8 @@ fn main() -> Result<()> {
     if wants("parallel") {
         parallel(&args.nodes, args.seed)?;
     }
-    // Chaos is opt-in by name: a fault sweep is a CI gate, not a figure,
-    // so `all` does not imply it.
+    // Chaos and serve-bench are opt-in by name: a fault sweep / service
+    // bench is a CI gate, not a figure, so `all` does not imply them.
     let chaos_requested = args.what.iter().any(|w| w == "chaos");
     let mut chaos_json = None;
     if chaos_requested {
@@ -217,21 +257,43 @@ fn main() -> Result<()> {
             replications: args.replications.clone(),
             timeout_ms: args.timeout_ms,
             mem_budget: args.mem_budget,
+            concurrency: args.concurrency,
         };
         let (table, json) = chaos_sweep(&cfg)?;
         println!("{table}");
         chaos_json = Some(json);
     }
+    let serve_requested = args.what.iter().any(|w| w == "serve-bench");
+    let mut serve_json = None;
+    if serve_requested {
+        let cfg = ServeBenchConfig {
+            scale: args.scale,
+            seed: args.seed,
+            clients: args.clients,
+            queries_per_client: args.queries,
+            ..Default::default()
+        };
+        let (table, json) = serve_bench(&cfg)?;
+        println!("{table}");
+        serve_json = Some(json);
+    }
     if let Some(path) = &args.bench_json {
-        let (json, what) = match chaos_json {
-            Some(json) => (json, "chaos sweep".to_string()),
-            None => {
+        let (json, what, default_path) = match (serve_json, chaos_json) {
+            (Some(json), _) => (json, "serve bench".to_string(), "BENCH_PR6.json"),
+            (None, Some(json)) => (json, "chaos sweep".to_string(), "BENCH_PR5.json"),
+            (None, None) => {
                 let threads = if args.threads > 1 { args.threads } else { 4 };
                 (
                     bench_baseline(args.scale, args.seed, threads)?,
                     format!("columnar A/B baseline (row-wise vs columnar, threads 1 vs {threads})"),
+                    "BENCH_PR5.json",
                 )
             }
+        };
+        let path = if path.is_empty() {
+            default_path
+        } else {
+            path.as_str()
         };
         std::fs::write(path, json + "\n")
             .map_err(|e| decorr_common::Error::internal(format!("writing {path}: {e}")))?;

@@ -18,6 +18,9 @@ use decorr_stats::{q_error, AccuracyReport, Statistics};
 use decorr_storage::Database;
 use decorr_tpcd::{generate, queries, TpcdConfig};
 
+pub mod serve;
+pub use serve::{serve_bench, ServeBenchConfig, SERVE_MIX};
+
 /// The figures of the paper's Section 5 (plus the Section 6 analysis,
 /// which has no numbered figure).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -610,6 +613,12 @@ pub struct ChaosConfig {
     pub timeout_ms: Option<u64>,
     /// Executor memory budget (rows), if any.
     pub mem_budget: Option<usize>,
+    /// Concurrent gathered runs per sweep point (`1` = the PR 4 serial
+    /// sweep). Each worker replays the *same* deterministic fault plan on
+    /// its own `Chaos` instance against the shared cluster, so recovery is
+    /// exercised under the concurrent load a query service generates —
+    /// every worker's answer must independently satisfy the contract.
+    pub concurrency: usize,
 }
 
 impl Default for ChaosConfig {
@@ -622,6 +631,7 @@ impl Default for ChaosConfig {
             replications: vec![1, 2],
             timeout_ms: None,
             mem_budget: None,
+            concurrency: 1,
         }
     }
 }
@@ -703,53 +713,92 @@ pub fn chaos_sweep(cfg: &ChaosConfig) -> Result<(String, String)> {
                 let fault = FaultPlan::single_crash(fseed, cfg.nodes);
                 let crashed = fault.crashed_node().unwrap_or(0);
                 let recoverable = cluster.survives_crash_of(crashed);
-                let chaos = Chaos::new(fault);
                 let label = format!(
                     "{} seed {fseed} replication {} (crashed node {crashed})",
                     fig.id(),
                     cluster.replication()
                 );
 
-                let (outcome, identical, rows, stats) =
-                    match run_gathered(&cluster, &plan, mk_opts(), Some(&chaos)) {
-                        Ok((rows, stats)) => {
-                            let identical = rows == baseline;
-                            if !recoverable {
-                                violations.push(format!(
-                                    "{label}: produced an answer with a stranded partition"
-                                ));
-                            } else if !identical {
-                                violations.push(format!(
-                                    "{label}: recovered answer diverges from fault-free run"
-                                ));
+                // One gathered run under its own deterministic Chaos
+                // instance (same fault plan each time). Returns the table
+                // fields plus the run's contract violations, so it can run
+                // serially or on `cfg.concurrency` worker threads.
+                let one_run = |run_label: &str| {
+                    let chaos = Chaos::new(FaultPlan::single_crash(fseed, cfg.nodes));
+                    let mut local: Vec<String> = Vec::new();
+                    let (outcome, identical, rows, stats) =
+                        match run_gathered(&cluster, &plan, mk_opts(), Some(&chaos)) {
+                            Ok((rows, stats)) => {
+                                let identical = rows == baseline;
+                                if !recoverable {
+                                    local.push(format!(
+                                        "{run_label}: produced an answer with a stranded partition"
+                                    ));
+                                } else if !identical {
+                                    local.push(format!(
+                                        "{run_label}: recovered answer diverges from fault-free run"
+                                    ));
+                                }
+                                ("recovered", identical, rows.len(), Some(stats))
                             }
-                            ("recovered", identical, rows.len(), Some(stats))
-                        }
-                        Err(Error::NodeFailed(_)) if !recoverable => {
-                            ("failed-closed", false, 0, None)
-                        }
-                        Err(e) => {
-                            violations.push(format!("{label}: unexpected error: {e}"));
-                            ("error", false, 0, None)
-                        }
-                    };
+                            Err(Error::NodeFailed(_)) if !recoverable => {
+                                ("failed-closed", false, 0, None)
+                            }
+                            Err(e) => {
+                                local.push(format!("{run_label}: unexpected error: {e}"));
+                                ("error", false, 0, None)
+                            }
+                        };
+                    let counters = stats
+                        .as_ref()
+                        .map(|s| {
+                            (
+                                s.retries,
+                                s.failovers,
+                                s.redriven_rows,
+                                s.injected_delay_ticks,
+                            )
+                        })
+                        .unwrap_or((
+                            chaos.retries(),
+                            chaos.failovers(),
+                            0,
+                            chaos.injected_delay_ticks(),
+                        ));
+                    (outcome, identical, rows, counters, local)
+                };
 
-                let (retries, failovers, redriven, delay) = stats
-                    .as_ref()
-                    .map(|s| {
-                        (
-                            s.retries,
-                            s.failovers,
-                            s.redriven_rows,
-                            s.injected_delay_ticks,
-                        )
-                    })
-                    .unwrap_or((
-                        chaos.retries(),
-                        chaos.failovers(),
-                        0,
-                        chaos.injected_delay_ticks(),
-                    ));
+                let (outcome, identical, rows, (retries, failovers, redriven, delay)) =
+                    if cfg.concurrency <= 1 {
+                        let (o, i, r, c, local) = one_run(&label);
+                        violations.extend(local);
+                        (o, i, r, c)
+                    } else {
+                        // Concurrent load: every worker replays the same
+                        // fault and must independently satisfy the
+                        // contract; the table reports worker 0.
+                        let results = std::thread::scope(|s| {
+                            let handles: Vec<_> = (0..cfg.concurrency)
+                                .map(|t| {
+                                    let run_label = format!("{label} [worker {t}]");
+                                    let one_run = &one_run;
+                                    s.spawn(move || one_run(&run_label))
+                                })
+                                .collect();
+                            handles
+                                .into_iter()
+                                .map(|h| h.join().expect("chaos worker thread"))
+                                .collect::<Vec<_>>()
+                        });
+                        let mut first = None;
+                        for (o, i, r, c, local) in results {
+                            violations.extend(local);
+                            if first.is_none() {
+                                first = Some((o, i, r, c));
+                            }
+                        }
+                        first.expect("concurrency >= 1 yields at least one run")
+                    };
                 writeln!(
                     table,
                     "{:<6} {:>4} {:>6} {:>7} {:<13} {:>9} {:>6} {:>7} {:>9} {:>9} {:>7}",

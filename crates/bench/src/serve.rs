@@ -1,0 +1,353 @@
+//! `harness serve-bench`: the query service under concurrent load.
+//!
+//! Boots a real `decorr-server` TCP endpoint on a loopback port, drives it
+//! with N concurrent [`LineClient`]s running a mixed figure/TPC-D query
+//! set, and checks — not just records — the service contract:
+//!
+//! * every client's payload for every query is **byte-identical** to a
+//!   single-session serial run of the same statement (same rows, same
+//!   order, same rendering);
+//! * a deliberately saturated service sheds with **typed errors only**
+//!   (`overloaded:` / `quota exceeded:` over the wire) and never delivers
+//!   partial rows — the overload probe occupies the only execution slot
+//!   out-of-band and asserts each concurrent request either succeeds
+//!   completely or is shed completely.
+//!
+//! Reports client-observed p50/p99 latency and aggregate QPS as both a
+//! text table and the `BENCH_PR6.json` document.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use decorr_common::{Error, JsonWriter, Result};
+use decorr_server::{serve, LineClient, Quotas, ServerConfig, Session, SessionSettings, Status};
+use decorr_tpcd::{generate, queries, TpcdConfig};
+
+/// Configuration of the `serve-bench` experiment.
+#[derive(Debug, Clone)]
+pub struct ServeBenchConfig {
+    pub scale: f64,
+    pub seed: u64,
+    /// Concurrent client connections (each is its own session).
+    pub clients: usize,
+    /// Queries each client issues, round-robin over the mixed set.
+    pub queries_per_client: usize,
+    /// Service quotas for the main (non-overload) phase.
+    pub quotas: Quotas,
+}
+
+impl Default for ServeBenchConfig {
+    fn default() -> Self {
+        ServeBenchConfig {
+            scale: 0.05,
+            seed: 42,
+            clients: 8,
+            queries_per_client: 25,
+            quotas: Quotas::default(),
+        }
+    }
+}
+
+/// The mixed workload: the three baseline figure queries (correlated,
+/// decorrelated by the cost-based race per session) plus two cheap TPC-D
+/// lookups, so the latency distribution has both heavy and light tails.
+pub const SERVE_MIX: [(&str, &str); 5] = [
+    ("fig5", queries::Q1A),
+    ("fig8", queries::Q2),
+    ("fig9", queries::Q3),
+    ("count", "SELECT COUNT(*) FROM parts"),
+    (
+        "point",
+        "SELECT s.s_name FROM suppliers s WHERE s.s_region = 'EUROPE'",
+    ),
+];
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Compute the serial reference: one local session, every statement of the
+/// mix once, payloads captured per statement. The server renders rows the
+/// same way, so equality is byte-level.
+fn serial_reference(cfg: &ServeBenchConfig) -> Result<Vec<Vec<String>>> {
+    let db = generate(&TpcdConfig { scale: cfg.scale, seed: cfg.seed, with_indexes: true })?;
+    let catalog = std::sync::Arc::new(decorr_server::SharedCatalog::new(db));
+    let admission = std::sync::Arc::new(decorr_server::AdmissionControl::new(cfg.quotas.clone()));
+    let mut session = Session::new(0, catalog, admission, SessionSettings::default());
+    let mut out = Vec::with_capacity(SERVE_MIX.len());
+    for (_, sql) in SERVE_MIX {
+        let resp = session.handle_line(sql)?;
+        out.push(payload_rows(&resp.lines));
+    }
+    Ok(out)
+}
+
+/// Strip the timing footer (`-- …` lines): everything else must match
+/// byte-for-byte between serial and concurrent runs.
+fn payload_rows(lines: &[String]) -> Vec<String> {
+    lines
+        .iter()
+        .filter(|l| !l.starts_with("--"))
+        .cloned()
+        .collect()
+}
+
+/// Run the bench and return `(text table, JSON document)`.
+pub fn serve_bench(cfg: &ServeBenchConfig) -> Result<(String, String)> {
+    use std::fmt::Write as _;
+
+    let reference = serial_reference(cfg)?;
+    let db = generate(&TpcdConfig { scale: cfg.scale, seed: cfg.seed, with_indexes: true })?;
+    let mut handle = serve(
+        db,
+        ServerConfig { quotas: cfg.quotas.clone(), ..Default::default() },
+    )?;
+    let addr = handle.local_addr();
+
+    // ---- main phase: N clients, mixed queries, byte-identical payloads --
+    let divergences = AtomicU64::new(0);
+    let started = Instant::now();
+    let mut per_client: Vec<Result<Vec<(usize, f64)>>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for c in 0..cfg.clients {
+            let reference = &reference;
+            let divergences = &divergences;
+            joins.push(scope.spawn(move || -> Result<Vec<(usize, f64)>> {
+                let mut client = LineClient::connect(addr)?;
+                let mut latencies = Vec::with_capacity(cfg.queries_per_client);
+                for i in 0..cfg.queries_per_client {
+                    // Stagger the starting point so the heavy queries are
+                    // not phase-locked across clients.
+                    let mix = (c + i) % SERVE_MIX.len();
+                    let (_, sql) = SERVE_MIX[mix];
+                    let t0 = Instant::now();
+                    let reply = client.request(sql)?;
+                    let ms = t0.elapsed().as_secs_f64() * 1e3;
+                    match reply.status {
+                        Status::Ok => {
+                            if payload_rows(&reply.lines) != reference[mix] {
+                                divergences.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        // The main phase is provisioned to never shed; any
+                        // error here is a contract failure.
+                        other => {
+                            return Err(Error::internal(format!(
+                                "client {c} query {i} ({}): unexpected status {other:?}",
+                                SERVE_MIX[mix].0
+                            )))
+                        }
+                    }
+                    latencies.push((mix, ms));
+                }
+                client.quit()?;
+                Ok(latencies)
+            }));
+        }
+        for j in joins {
+            per_client
+                .push(j.join().unwrap_or_else(|_| {
+                    Err(Error::internal("serve-bench client thread panicked"))
+                }));
+        }
+    });
+    let wall = started.elapsed();
+
+    let mut all_ms: Vec<f64> = Vec::new();
+    let mut per_mix: Vec<Vec<f64>> = vec![Vec::new(); SERVE_MIX.len()];
+    for r in per_client {
+        for (mix, ms) in r? {
+            per_mix[mix].push(ms);
+            all_ms.push(ms);
+        }
+    }
+    all_ms.sort_by(|a, b| a.total_cmp(b));
+    for v in &mut per_mix {
+        v.sort_by(|a, b| a.total_cmp(b));
+    }
+    let total_queries = all_ms.len();
+    let qps = total_queries as f64 / wall.as_secs_f64().max(1e-9);
+    let diverged = divergences.load(Ordering::Relaxed);
+    let main_stats = handle.admission().stats();
+
+    // ---- overload probe: hold the only slot, every request must shed ----
+    // A second tiny-quota server; the bench occupies its single execution
+    // slot out-of-band, so concurrent client requests shed deterministically
+    // with typed errors. Releasing the slot must restore service.
+    let probe_db =
+        generate(&TpcdConfig { scale: cfg.scale.min(0.01), seed: cfg.seed, with_indexes: true })?;
+    let mut probe = serve(
+        probe_db,
+        ServerConfig {
+            quotas: Quotas {
+                max_concurrent: 1,
+                queue_depth: 0,
+                queue_wait_ms: 0,
+                ..Quotas::default()
+            },
+            ..Default::default()
+        },
+    )?;
+    let probe_addr = probe.local_addr();
+    let admission = probe.admission();
+    let blocker = admission
+        .admit(0)
+        .map_err(|e| Error::internal(format!("overload probe could not take the slot: {e}")))?;
+    let mut probe_sheds = 0u64;
+    let mut probe_bad: Vec<String> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for _ in 0..2.max(cfg.clients / 2) {
+            joins.push(scope.spawn(move || -> Result<(u64, Vec<String>)> {
+                let mut client = LineClient::connect(probe_addr)?;
+                let mut sheds = 0;
+                let mut bad = Vec::new();
+                for _ in 0..4 {
+                    let reply = client.request("SELECT COUNT(*) FROM parts")?;
+                    if reply.is_shed() {
+                        if !reply.lines.is_empty() {
+                            bad.push(format!(
+                                "shed delivered {} partial row(s)",
+                                reply.lines.len()
+                            ));
+                        }
+                        sheds += 1;
+                    } else {
+                        bad.push(format!("expected shed, got {:?}", reply.status));
+                    }
+                }
+                client.quit()?;
+                Ok((sheds, bad))
+            }));
+        }
+        for j in joins {
+            match j.join() {
+                Ok(Ok((sheds, bad))) => {
+                    probe_sheds += sheds;
+                    probe_bad.extend(bad);
+                }
+                Ok(Err(e)) => probe_bad.push(format!("probe client error: {e}")),
+                Err(_) => probe_bad.push("probe client panicked".into()),
+            }
+        }
+    });
+    drop(blocker);
+    // Service restored once the slot frees.
+    let mut client = LineClient::connect(probe_addr)?;
+    let recovered = client.request("SELECT COUNT(*) FROM parts")?;
+    if recovered.status != Status::Ok {
+        probe_bad.push(format!(
+            "service did not recover after overload: {:?}",
+            recovered.status
+        ));
+    }
+    client.quit()?;
+    probe.shutdown();
+    handle.shutdown();
+
+    // ---- verdicts --------------------------------------------------------
+    if diverged > 0 {
+        return Err(Error::internal(format!(
+            "serve-bench: {diverged} concurrent repl(y/ies) diverged from the serial reference"
+        )));
+    }
+    if probe_sheds == 0 {
+        return Err(Error::internal(
+            "serve-bench: overload probe produced no sheds (slot hold ineffective?)",
+        ));
+    }
+    if !probe_bad.is_empty() {
+        return Err(Error::internal(format!(
+            "serve-bench: overload probe violations:\n  {}",
+            probe_bad.join("\n  ")
+        )));
+    }
+
+    // ---- report ----------------------------------------------------------
+    let mut table = String::new();
+    writeln!(
+        table,
+        "Serve bench — {} clients × {} queries (scale {}, mixed figure/TPC-D set)",
+        cfg.clients, cfg.queries_per_client, cfg.scale
+    )
+    .unwrap();
+    writeln!(
+        table,
+        "{:<7} {:>8} {:>10} {:>10} {:>10}",
+        "query", "count", "p50(ms)", "p99(ms)", "max(ms)"
+    )
+    .unwrap();
+    for (i, (name, _)) in SERVE_MIX.iter().enumerate() {
+        let v = &per_mix[i];
+        writeln!(
+            table,
+            "{:<7} {:>8} {:>10.3} {:>10.3} {:>10.3}",
+            name,
+            v.len(),
+            percentile(v, 0.50),
+            percentile(v, 0.99),
+            v.last().copied().unwrap_or(0.0)
+        )
+        .unwrap();
+    }
+    writeln!(
+        table,
+        "{:<7} {:>8} {:>10.3} {:>10.3} {:>10.3}",
+        "all",
+        total_queries,
+        percentile(&all_ms, 0.50),
+        percentile(&all_ms, 0.99),
+        all_ms.last().copied().unwrap_or(0.0)
+    )
+    .unwrap();
+    writeln!(
+        table,
+        "{total_queries} queries in {:.1} ms — {qps:.0} QPS; 0 divergences; \
+         overload probe: {probe_sheds} typed sheds, recovered",
+        wall.as_secs_f64() * 1e3
+    )
+    .unwrap();
+
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("bench", "serve-bench")
+        .field_float("scale", cfg.scale)
+        .field_uint("seed", cfg.seed)
+        .field_uint("clients", cfg.clients as u64)
+        .field_uint("queries_per_client", cfg.queries_per_client as u64)
+        .field_uint("total_queries", total_queries as u64)
+        .field_float("wall_ms", wall.as_secs_f64() * 1e3)
+        .field_float("qps", qps)
+        .field_float("p50_ms", percentile(&all_ms, 0.50))
+        .field_float("p99_ms", percentile(&all_ms, 0.99))
+        .field_uint("divergences", diverged);
+    w.key("queries").begin_array();
+    for (i, (name, _)) in SERVE_MIX.iter().enumerate() {
+        let v = &per_mix[i];
+        w.begin_object()
+            .field_str("query", name)
+            .field_uint("count", v.len() as u64)
+            .field_float("p50_ms", percentile(v, 0.50))
+            .field_float("p99_ms", percentile(v, 0.99))
+            .end_object();
+    }
+    w.end_array();
+    w.key("admission").begin_object();
+    w.field_uint("admitted", main_stats.admitted)
+        .field_uint("shed_queue_full", main_stats.shed_queue_full)
+        .field_uint("shed_wait_timeout", main_stats.shed_wait_timeout)
+        .field_uint("quota_rejections", main_stats.quota_rejections)
+        .end_object();
+    w.key("overload_probe").begin_object();
+    w.field_uint("typed_sheds", probe_sheds);
+    w.key("recovered").bool(true);
+    w.end_object();
+    w.end_object();
+
+    Ok((table, w.finish()))
+}

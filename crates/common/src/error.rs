@@ -40,6 +40,15 @@ pub enum Error {
     /// partitions — the query fails closed rather than returning a partial
     /// (wrong) answer.
     NodeFailed(String),
+    /// The service shed the request under overload (execution slots and the
+    /// bounded admission queue were both full, or the global memory pool
+    /// could not cover the reservation). The query never started; retrying
+    /// later is always safe.
+    Overloaded(String),
+    /// A per-session quota (concurrent queries, memory reservation size)
+    /// was exceeded. Unlike [`Error::Overloaded`] this is attributable to
+    /// the session's own demand, not global pressure.
+    QuotaExceeded(String),
     /// Internal invariant violation — indicates a bug in this library.
     Internal(String),
 }
@@ -72,6 +81,12 @@ impl Error {
     pub fn node_failed(msg: impl Into<String>) -> Self {
         Error::NodeFailed(msg.into())
     }
+    pub fn overloaded(msg: impl Into<String>) -> Self {
+        Error::Overloaded(msg.into())
+    }
+    pub fn quota(msg: impl Into<String>) -> Self {
+        Error::QuotaExceeded(msg.into())
+    }
     pub fn internal(msg: impl Into<String>) -> Self {
         Error::Internal(msg.into())
     }
@@ -91,6 +106,8 @@ impl fmt::Display for Error {
             Error::Timeout => write!(f, "query timeout: execution budget exhausted"),
             Error::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
             Error::NodeFailed(m) => write!(f, "node failed: {m}"),
+            Error::Overloaded(m) => write!(f, "overloaded: {m}"),
+            Error::QuotaExceeded(m) => write!(f, "quota exceeded: {m}"),
             Error::Internal(m) => write!(f, "internal error (bug): {m}"),
         }
     }

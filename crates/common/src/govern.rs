@@ -105,6 +105,19 @@ impl Budget {
 /// Cooperative cancellation: any thread may [`cancel`](CancelToken::cancel)
 /// the token; the executor checks it at morsel boundaries and unwinds with
 /// [`Error::Cancelled`]. Cloning shares the flag.
+///
+/// # One-shot contract
+///
+/// A token is **one-shot**: once [`cancel`](CancelToken::cancel) has fired
+/// it stays fired forever — there is deliberately no `reset`. Un-cancelling
+/// would race with in-flight morsels that already observed the flag, and a
+/// query that half-observed a cancellation must not be resurrected. The
+/// consequence for callers: **never reuse a token (or an `ExecOptions`
+/// clone holding one) across queries**. A long-lived session that parked a
+/// fired token in its options would see every later query die instantly
+/// with [`Error::Cancelled`] — the "sticky cancel" bug. Mint a fresh token
+/// per query and hand it to whoever may need to cancel *that* query;
+/// `decorr-server`'s session layer does exactly this.
 #[derive(Clone, Debug, Default)]
 pub struct CancelToken(Arc<AtomicBool>);
 

@@ -1,0 +1,158 @@
+//! A cross-query columnar batch cache for long-lived processes.
+//!
+//! The executor's per-run transpose cache ([`crate::Executor`]'s
+//! `col_cache`) dies with the query, so a service answering the same query
+//! shapes over and over re-transposes every base table on every request.
+//! [`ColumnarCache`] is the long-lived counterpart: it is `Clone`-shared
+//! (e.g. one per server), handed to the executor via
+//! [`crate::ExecOptions::shared_cache`], and keyed by **table snapshot
+//! version** ([`decorr_storage::Table::version`]) so it can never serve
+//! rows from a stale snapshot — dropping, reloading or re-`ANALYZE`-ing a
+//! table reassigns a fresh process-unique version, which simply misses the
+//! cache. Stale versions are purged on insert (versions are monotonic, so
+//! "different version under the same key" means "superseded snapshot").
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use decorr_common::columnar::ColumnarBatch;
+use decorr_common::FxHashMap;
+use decorr_storage::Table;
+
+/// `(table name, table snapshot version, transposed column positions)`.
+type CacheKey = (String, u64, Vec<usize>);
+
+/// A shared, snapshot-version-keyed cache of narrow columnar transposes.
+/// Cloning shares the underlying map; all methods are thread-safe.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnarCache {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: Mutex<FxHashMap<CacheKey, Arc<ColumnarBatch>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ColumnarCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cached transpose of `cols` of the *current snapshot* of `t`,
+    /// building (and inserting) it via `build` on a miss. Inserting also
+    /// evicts superseded snapshots of the same `(table, columns)` so a
+    /// long-lived process does not accumulate one batch per historical
+    /// load.
+    pub fn get_or_build(
+        &self,
+        t: &Table,
+        cols: &[usize],
+        build: impl FnOnce() -> ColumnarBatch,
+    ) -> Arc<ColumnarBatch> {
+        let key: CacheKey = (t.name().to_string(), t.version(), cols.to_vec());
+        if let Ok(map) = self.inner.map.lock() {
+            if let Some(b) = map.get(&key) {
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(b);
+            }
+        }
+        // Build outside the lock: transposing a large table must not block
+        // every other query's cache lookups.
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        let b = Arc::new(build());
+        if let Ok(mut map) = self.inner.map.lock() {
+            map.retain(|(name, version, c), _| {
+                !(name == &key.0 && c == &key.2 && *version != key.1)
+            });
+            // A concurrent builder may have raced us here; either batch is
+            // a transpose of the same snapshot, so last-write-wins is fine.
+            map.insert(key, Arc::clone(&b));
+        }
+        b
+    }
+
+    /// Drop every cached batch for `table` (any snapshot, any column set).
+    /// Correctness never requires this — version keying already fences
+    /// stale snapshots — but an explicit drop returns the memory eagerly.
+    pub fn invalidate_table(&self, table: &str) {
+        if let Ok(mut map) = self.inner.map.lock() {
+            map.retain(|(name, _, _), _| !name.eq_ignore_ascii_case(table));
+        }
+    }
+
+    /// Drop everything.
+    pub fn clear(&self) {
+        if let Ok(mut map) = self.inner.map.lock() {
+            map.clear();
+        }
+    }
+
+    /// Number of cached batches.
+    pub fn len(&self) -> usize {
+        self.inner.map.lock().map(|m| m.len()).unwrap_or(0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookup hits since creation.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookup misses (i.e. transposes paid) since creation.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decorr_common::columnar::ColumnarBatch;
+    use decorr_common::{row, DataType, Schema};
+
+    fn table(rows: &[i64]) -> Table {
+        let mut t = Table::new("t", Schema::from_pairs(&[("x", DataType::Int)]));
+        for &r in rows {
+            t.insert(row![r]).unwrap();
+        }
+        t
+    }
+
+    fn transpose(t: &Table) -> ColumnarBatch {
+        ColumnarBatch::from_rows(t.rows())
+    }
+
+    #[test]
+    fn hit_on_same_snapshot_miss_after_mutation() {
+        let cache = ColumnarCache::new();
+        let mut t = table(&[1, 2, 3]);
+        let b1 = cache.get_or_build(&t, &[0], || transpose(&t));
+        let b2 = cache.get_or_build(&t, &[0], || transpose(&t));
+        assert!(Arc::ptr_eq(&b1, &b2));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+
+        t.insert(row![4]).unwrap();
+        let b3 = cache.get_or_build(&t, &[0], || transpose(&t));
+        assert_eq!(b3.len(), 4, "mutated table must re-transpose");
+        assert_eq!(cache.misses(), 2);
+        // The superseded snapshot was evicted, not retained alongside.
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_column_sets_coexist() {
+        let cache = ColumnarCache::new();
+        let t = table(&[1]);
+        cache.get_or_build(&t, &[0], || transpose(&t));
+        cache.get_or_build(&t, &[], || transpose(&t));
+        assert_eq!(cache.len(), 2);
+        cache.invalidate_table("T");
+        assert!(cache.is_empty());
+    }
+}

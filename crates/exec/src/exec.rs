@@ -73,6 +73,12 @@ pub struct ExecOptions {
     /// testing; both paths produce byte-identical rows and identical
     /// [`ExecStats`].
     pub columnar: bool,
+    /// A cross-query [`ColumnarCache`] shared by a long-lived process
+    /// (e.g. one per `decorr-server`). Batches are keyed by table snapshot
+    /// version, so DDL / reloads / re-`ANALYZE`s invalidate by construction
+    /// and a stale snapshot can never be served. `None` (the default)
+    /// keeps the transpose cache private to the run.
+    pub shared_cache: Option<crate::cache::ColumnarCache>,
 }
 
 impl Default for ExecOptions {
@@ -85,6 +91,7 @@ impl Default for ExecOptions {
             cancel: None,
             mem_budget: None,
             columnar: true,
+            shared_cache: None,
         }
     }
 }
@@ -122,10 +129,13 @@ pub struct Executor<'a> {
     /// attribute predicate evaluations and join decisions to a box.
     box_stack: Vec<BoxId>,
     /// Per-run cache of base tables transposed into columnar batches,
-    /// keyed by table name. The database is immutable for the duration of
-    /// a run, and correlated (nested-iteration) plans re-scan the same
-    /// table once per outer binding — the transpose is paid once.
-    col_cache: FxHashMap<(String, Vec<usize>), Arc<ColumnarBatch>>,
+    /// keyed by `(table name, snapshot version, columns)`. The database is
+    /// immutable for the duration of a run, and correlated
+    /// (nested-iteration) plans re-scan the same table once per outer
+    /// binding — the transpose is paid once. The version in the key makes
+    /// the entries safe to promote into the cross-query
+    /// [`ExecOptions::shared_cache`] of a long-lived process.
+    col_cache: FxHashMap<(String, u64, Vec<usize>), Arc<ColumnarBatch>>,
 }
 
 impl<'a> Executor<'a> {
@@ -961,13 +971,19 @@ impl<'a> Executor<'a> {
     /// The cached transpose of the base-table columns a compiled filter
     /// reads. Keyed per column set so repeated scans of the same table —
     /// notably nested iteration's correlated re-scans — transpose once;
-    /// columns the filter never touches are never columnized.
+    /// columns the filter never touches are never columnized. With a
+    /// [`ExecOptions::shared_cache`] the transpose is further shared
+    /// *across* queries, keyed by the table's snapshot version so a
+    /// long-lived process never reads a superseded snapshot.
     fn table_batch(&mut self, t: &Table, cols: &[usize]) -> Arc<ColumnarBatch> {
-        let key = (t.name().to_string(), cols.to_vec());
+        let key = (t.name().to_string(), t.version(), cols.to_vec());
         if let Some(b) = self.col_cache.get(&key) {
             return Arc::clone(b);
         }
-        let b = Arc::new(vector::narrow_batch(t.rows(), cols));
+        let b = match &self.opts.shared_cache {
+            Some(shared) => shared.get_or_build(t, cols, || vector::narrow_batch(t.rows(), cols)),
+            None => Arc::new(vector::narrow_batch(t.rows(), cols)),
+        };
         self.col_cache.insert(key, Arc::clone(&b));
         b
     }

@@ -29,6 +29,7 @@
 //!   chose for Query 2 ("places the subquery *before* the join between
 //!   Parts and Lineitem", 209 invocations).
 
+pub mod cache;
 pub mod cost;
 pub mod env;
 pub mod eval;
@@ -36,6 +37,7 @@ pub mod exec;
 pub mod trace;
 mod vector;
 
+pub use cache::ColumnarCache;
 pub use cost::{CostModel, Estimate};
 pub use decorr_stats::{BoxEstimate, PlanEstimate};
 pub use env::{Env, Layout};

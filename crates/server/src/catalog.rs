@@ -1,0 +1,214 @@
+//! The shared, epoch-versioned catalog.
+//!
+//! A long-lived service cannot hand every session `&Database`: `\load`,
+//! `ANALYZE` and DDL mutate the catalog while other sessions are mid-query.
+//! [`SharedCatalog`] resolves this with copy-on-write versioning — the
+//! current catalog is an immutable [`CatalogVersion`] behind an `Arc`;
+//! readers grab a [`snapshot`](SharedCatalog::snapshot) (one `Arc` clone,
+//! held for the whole query) and are **never blocked by writers**. A writer
+//! clones the `Database` value, mutates the clone, and publishes it as a
+//! new version with the next epoch; in-flight readers keep executing
+//! against the snapshot they started with, so every query sees one
+//! internally consistent catalog — never a mix of epochs.
+//!
+//! Each version lazily builds (and then shares) the statistics-backed
+//! [`CostModel`] the strategy race prices plans with, so `ANALYZE`-grade
+//! statistics are paid once per epoch, not once per query. The catalog also
+//! owns the process-wide [`ColumnarCache`]; its entries are keyed by table
+//! snapshot version, so publishing a new epoch invalidates them by
+//! construction (stale snapshots simply stop being looked up).
+
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+use decorr_common::{Error, Result};
+use decorr_exec::{ColumnarCache, CostModel};
+use decorr_stats::Statistics;
+use decorr_storage::Database;
+
+/// One immutable published version of the catalog.
+pub struct CatalogVersion {
+    epoch: u64,
+    db: Arc<Database>,
+    /// Statistics + estimator for this version, built on first use and
+    /// shared by every query planned against this epoch.
+    model: OnceLock<Arc<CostModel>>,
+}
+
+impl CatalogVersion {
+    /// The epoch this version was published at (monotonically increasing,
+    /// starting at 1 for the database the catalog was created with).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The immutable database of this version.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The database as a shareable handle (e.g. for worker threads).
+    pub fn db_arc(&self) -> Arc<Database> {
+        Arc::clone(&self.db)
+    }
+
+    /// The cost model for this version, analyzing the catalog on first
+    /// call. Every later query on this epoch reuses the same statistics.
+    pub fn cost_model(&self) -> Arc<CostModel> {
+        Arc::clone(
+            self.model
+                .get_or_init(|| Arc::new(CostModel::new(&self.db))),
+        )
+    }
+}
+
+/// The concurrent catalog: current [`CatalogVersion`] plus the shared
+/// columnar batch cache. See the module docs for the versioning contract.
+pub struct SharedCatalog {
+    current: RwLock<Arc<CatalogVersion>>,
+    /// Serializes writers; readers never take it. Held across the whole
+    /// clone-mutate-publish cycle so concurrent writers cannot lose
+    /// updates to each other.
+    writer: Mutex<()>,
+    cache: ColumnarCache,
+}
+
+fn poisoned() -> Error {
+    Error::internal("catalog lock poisoned: a writer panicked mid-update")
+}
+
+impl SharedCatalog {
+    /// Publish `db` as epoch 1.
+    pub fn new(db: Database) -> Self {
+        SharedCatalog {
+            current: RwLock::new(Arc::new(CatalogVersion {
+                epoch: 1,
+                db: Arc::new(db),
+                model: OnceLock::new(),
+            })),
+            writer: Mutex::new(()),
+            cache: ColumnarCache::new(),
+        }
+    }
+
+    /// The current version. The returned snapshot stays valid (and
+    /// internally consistent) for as long as the caller holds it, no
+    /// matter how many epochs writers publish meanwhile.
+    pub fn snapshot(&self) -> Arc<CatalogVersion> {
+        match self.current.read() {
+            Ok(g) => Arc::clone(&g),
+            // A poisoned RwLock means a reader panicked while holding the
+            // guard for an Arc clone — the data itself is an immutable Arc
+            // and still sound, so recover it rather than cascading.
+            Err(p) => Arc::clone(&p.into_inner()),
+        }
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch()
+    }
+
+    /// The process-wide columnar batch cache, for
+    /// [`decorr_exec::ExecOptions::shared_cache`].
+    pub fn columnar_cache(&self) -> &ColumnarCache {
+        &self.cache
+    }
+
+    /// Copy-on-write update: clone the current database, apply `f`, and
+    /// publish the result as a new epoch. Readers holding older snapshots
+    /// are unaffected. If `f` fails nothing is published.
+    pub fn update<T>(&self, f: impl FnOnce(&mut Database) -> Result<T>) -> Result<T> {
+        let _w = self.writer.lock().map_err(|_| poisoned())?;
+        let snap = self.snapshot();
+        let mut db = (*snap.db).clone();
+        let out = f(&mut db)?;
+        self.publish(snap.epoch + 1, Arc::new(db), None)?;
+        Ok(out)
+    }
+
+    /// Replace the whole database (`\load`): publish `db` as a new epoch.
+    pub fn replace(&self, db: Database) -> Result<u64> {
+        let _w = self.writer.lock().map_err(|_| poisoned())?;
+        let epoch = self.snapshot().epoch + 1;
+        self.publish(epoch, Arc::new(db), None)?;
+        Ok(epoch)
+    }
+
+    /// `ANALYZE`: collect statistics over the current database and publish
+    /// them as a new epoch sharing the same (unchanged) data. Queries
+    /// planned on the new epoch price plans with the fresh statistics.
+    pub fn analyze(&self) -> Result<Arc<CostModel>> {
+        let _w = self.writer.lock().map_err(|_| poisoned())?;
+        let snap = self.snapshot();
+        let model = Arc::new(CostModel::from_stats(Statistics::analyze(&snap.db)));
+        let version = Arc::new(CatalogVersion {
+            epoch: snap.epoch + 1,
+            db: Arc::clone(&snap.db),
+            model: OnceLock::from(Arc::clone(&model)),
+        });
+        let mut cur = self.current.write().map_err(|_| poisoned())?;
+        *cur = version;
+        Ok(model)
+    }
+
+    fn publish(&self, epoch: u64, db: Arc<Database>, model: Option<Arc<CostModel>>) -> Result<()> {
+        let version = Arc::new(CatalogVersion {
+            epoch,
+            db,
+            model: match model {
+                Some(m) => OnceLock::from(m),
+                None => OnceLock::new(),
+            },
+        });
+        let mut cur = self.current.write().map_err(|_| poisoned())?;
+        *cur = version;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decorr_common::{row, DataType, Schema};
+
+    fn seed_db() -> Database {
+        let mut db = Database::new();
+        let t = db
+            .create_table("t", Schema::from_pairs(&[("x", DataType::Int)]))
+            .unwrap();
+        t.insert(row![1]).unwrap();
+        db
+    }
+
+    #[test]
+    fn snapshots_survive_later_epochs() {
+        let cat = SharedCatalog::new(seed_db());
+        let old = cat.snapshot();
+        assert_eq!(old.epoch(), 1);
+        cat.update(|db| db.table_mut("t")?.insert(row![2])).unwrap();
+        assert_eq!(cat.epoch(), 2);
+        // The old snapshot still sees exactly one row.
+        assert_eq!(old.db().table("t").unwrap().len(), 1);
+        assert_eq!(cat.snapshot().db().table("t").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn failed_update_publishes_nothing() {
+        let cat = SharedCatalog::new(seed_db());
+        let before = cat.snapshot();
+        let r = cat.update(|db| db.drop_table("missing"));
+        assert!(r.is_err());
+        assert_eq!(cat.epoch(), before.epoch());
+    }
+
+    #[test]
+    fn analyze_bumps_epoch_and_shares_the_model() {
+        let cat = SharedCatalog::new(seed_db());
+        let model = cat.analyze().unwrap();
+        assert_eq!(cat.epoch(), 2);
+        let snap = cat.snapshot();
+        assert!(Arc::ptr_eq(&model, &snap.cost_model()));
+        // Data unchanged — ANALYZE versions metadata, not rows.
+        assert_eq!(snap.db().table("t").unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,135 @@
+//! A blocking line-protocol client, shared by `serve-bench` and the
+//! integration tests.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use decorr_common::{Error, Result};
+
+/// One request's outcome: the payload lines and how the server closed it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    pub lines: Vec<String>,
+    pub status: Status,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Status {
+    /// `;ok <n>` — `n` payload lines preceded it.
+    Ok,
+    /// `;err <message>` — the rendered error; no payload lines precede it.
+    Err(String),
+    /// `;bye` — the server acknowledged `\quit`.
+    Bye,
+}
+
+impl Reply {
+    /// The payload rows, excluding `--` footer lines.
+    pub fn rows(&self) -> impl Iterator<Item = &str> {
+        self.lines
+            .iter()
+            .map(|s| s.as_str())
+            .filter(|l| !l.starts_with("--"))
+    }
+
+    /// True when the server shed this request (overload or quota) — the
+    /// retry-safe rejections, as opposed to query errors.
+    pub fn is_shed(&self) -> bool {
+        matches!(&self.status,
+            Status::Err(m) if m.starts_with("overloaded:") || m.starts_with("quota exceeded:"))
+    }
+}
+
+/// A blocking client for the `;ok`/`;err` line protocol.
+pub struct LineClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    session_id: u64,
+}
+
+fn io_err(what: &str, e: std::io::Error) -> Error {
+    Error::internal(format!("client {what}: {e}"))
+}
+
+impl LineClient {
+    /// Connect and consume the `;hello` greeting.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<LineClient> {
+        let stream = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
+        let reader = BufReader::new(stream.try_clone().map_err(|e| io_err("clone stream", e))?);
+        let mut c = LineClient { reader, writer: BufWriter::new(stream), session_id: 0 };
+        let greeting = c
+            .read_line()?
+            .ok_or_else(|| Error::internal("server closed the connection before greeting"))?;
+        c.session_id = greeting
+            .strip_prefix(";hello decorr ")
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| Error::internal(format!("bad greeting {greeting:?}")))?;
+        Ok(c)
+    }
+
+    /// The session id the server assigned this connection.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// Send one request line and read the full reply.
+    pub fn request(&mut self, line: &str) -> Result<Reply> {
+        writeln!(self.writer, "{line}").map_err(|e| io_err("write", e))?;
+        self.writer.flush().map_err(|e| io_err("flush", e))?;
+        let mut lines = Vec::new();
+        loop {
+            let l = self
+                .read_line()?
+                .ok_or_else(|| Error::internal("server closed the connection mid-reply"))?;
+            if let Some(rest) = l.strip_prefix(';') {
+                let status = if let Some(n) = rest.strip_prefix("ok ") {
+                    let n: usize = n
+                        .trim()
+                        .parse()
+                        .map_err(|_| Error::internal(format!("bad terminator {l:?}")))?;
+                    if n != lines.len() {
+                        return Err(Error::internal(format!(
+                            "terminator claims {n} payload lines, got {}",
+                            lines.len()
+                        )));
+                    }
+                    Status::Ok
+                } else if let Some(msg) = rest.strip_prefix("err ") {
+                    Status::Err(msg.trim_end().to_string())
+                } else if rest.trim_end() == "bye" {
+                    Status::Bye
+                } else {
+                    return Err(Error::internal(format!("unknown terminator {l:?}")));
+                };
+                return Ok(Reply { lines, status });
+            }
+            lines.push(l);
+        }
+    }
+
+    /// `\quit` and wait for `;bye`.
+    pub fn quit(mut self) -> Result<()> {
+        match self.request("\\quit")?.status {
+            Status::Bye => Ok(()),
+            other => Err(Error::internal(format!("expected ;bye, got {other:?}"))),
+        }
+    }
+
+    fn read_line(&mut self) -> Result<Option<String>> {
+        let mut line = String::new();
+        // Propagate read errors — an `unwrap_or(0)` here would silently
+        // turn a broken connection into a clean EOF (the shell bug this
+        // PR fixes).
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| io_err("read", e))?;
+        if n == 0 {
+            return Ok(None);
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(Some(line))
+    }
+}

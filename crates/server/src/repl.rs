@@ -1,0 +1,54 @@
+//! A REPL driver over a [`Session`] and arbitrary `BufRead`/`Write`
+//! endpoints — what `examples/sql_shell.rs` runs on stdin/stdout, and what
+//! tests run on in-memory buffers.
+
+use std::io::{BufRead, Write};
+
+use decorr_common::{Error, Result};
+
+use crate::session::{Control, Session};
+
+/// Drive `session` until `\quit`, EOF or an input error.
+///
+/// Input errors **propagate** as [`Error::Internal`]; the historical shell
+/// swallowed them (`read_line(..).unwrap_or(0)`), which made any transient
+/// stdin failure look like a clean EOF and silently killed long-lived
+/// shells. A zero-byte read — genuine EOF — still exits cleanly with
+/// `Ok(())`. Session-level errors (bad SQL, sheds, timeouts) are printed
+/// as `error: …` and the loop continues.
+pub fn run_repl(
+    session: &mut Session,
+    input: impl BufRead,
+    mut output: impl Write,
+    prompt: Option<&str>,
+) -> Result<()> {
+    let mut input = input;
+    loop {
+        if let Some(p) = prompt {
+            write!(output, "{p}").map_err(write_err)?;
+            output.flush().map_err(write_err)?;
+        }
+        let mut line = String::new();
+        let n = input
+            .read_line(&mut line)
+            .map_err(|e| Error::internal(format!("reading input: {e}")))?;
+        if n == 0 {
+            return Ok(()); // clean EOF
+        }
+        match session.handle_line(&line) {
+            Ok(resp) => {
+                for l in &resp.lines {
+                    writeln!(output, "{l}").map_err(write_err)?;
+                }
+                if resp.control == Control::Quit {
+                    return Ok(());
+                }
+            }
+            Err(e) => writeln!(output, "error: {e}").map_err(write_err)?,
+        }
+    }
+}
+
+fn write_err(e: std::io::Error) -> Error {
+    Error::internal(format!("writing output: {e}"))
+}

@@ -1,0 +1,213 @@
+//! The TCP endpoint: a line protocol over per-connection sessions.
+//!
+//! # Protocol
+//!
+//! Text, line-oriented, one request per line (the same language the REPL
+//! speaks: `\commands`, `ANALYZE`, `EXPLAIN COST …`, plain SQL). Each
+//! request yields zero or more payload lines followed by exactly one
+//! terminator line:
+//!
+//! ```text
+//! ;hello decorr <session id>        (once, on connect)
+//! <payload line> *
+//! ;ok <n>                           (n = payload line count)
+//! ;err <message>                    (typed error, rendered via Display)
+//! ;bye                              (response to \quit; connection closes)
+//! ```
+//!
+//! Payload lines never start with `;` (result rows, `--` footers and
+//! rendered tables don't), so a client can stream until a `;` line without
+//! escaping. Errors — including [`Error::Overloaded`] and
+//! [`Error::QuotaExceeded`] sheds — arrive as `;err` with **no payload
+//! lines**: a failed query never delivers partial rows.
+//!
+//! # Concurrency
+//!
+//! One thread per connection, each owning a [`Session`]; the catalog,
+//! columnar cache and admission control are the shared state. A
+//! shed/panic in one session never takes the process down: handlers catch
+//! errors and keep serving, and the accept loop exits only on
+//! [`ServerHandle::shutdown`].
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use decorr_common::{Error, Result};
+use decorr_storage::Database;
+
+use crate::admission::{AdmissionControl, Quotas};
+use crate::catalog::SharedCatalog;
+use crate::session::{Control, Session, SessionSettings};
+
+/// Server construction knobs.
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (tests, benches).
+    pub addr: String,
+    /// Service-wide admission quotas.
+    pub quotas: Quotas,
+    /// Settings each new session starts from.
+    pub session_defaults: SessionSettings,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            quotas: Quotas::default(),
+            session_defaults: SessionSettings::default(),
+        }
+    }
+}
+
+/// The shared state every connection thread hangs off.
+struct Shared {
+    catalog: Arc<SharedCatalog>,
+    admission: Arc<AdmissionControl>,
+    defaults: SessionSettings,
+    next_session: AtomicU64,
+    stopping: AtomicBool,
+}
+
+/// A running server. Dropping the handle shuts it down.
+pub struct ServerHandle {
+    local_addr: std::net::SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+/// Serve `db` on `config.addr` until [`ServerHandle::shutdown`].
+pub fn serve(db: Database, config: ServerConfig) -> Result<ServerHandle> {
+    let listener = TcpListener::bind(
+        config
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| Error::internal(format!("bad bind address {:?}: {e}", config.addr)))?
+            .next()
+            .ok_or_else(|| {
+                Error::internal(format!(
+                    "bind address {:?} resolved to nothing",
+                    config.addr
+                ))
+            })?,
+    )
+    .map_err(|e| Error::internal(format!("bind {:?}: {e}", config.addr)))?;
+    let local_addr = listener
+        .local_addr()
+        .map_err(|e| Error::internal(format!("local_addr: {e}")))?;
+
+    let shared = Arc::new(Shared {
+        catalog: Arc::new(SharedCatalog::new(db)),
+        admission: Arc::new(AdmissionControl::new(config.quotas)),
+        defaults: config.session_defaults,
+        next_session: AtomicU64::new(1),
+        stopping: AtomicBool::new(false),
+    });
+
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = std::thread::Builder::new()
+        .name("decorr-accept".into())
+        .spawn(move || accept_loop(listener, accept_shared))
+        .map_err(|e| Error::internal(format!("spawn accept loop: {e}")))?;
+
+    Ok(ServerHandle { local_addr, shared, accept_thread: Some(accept_thread) })
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for conn in listener.incoming() {
+        if shared.stopping.load(Ordering::Acquire) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue, // transient accept error: keep serving
+        };
+        let conn_shared = Arc::clone(&shared);
+        let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+        let _ = std::thread::Builder::new()
+            .name(format!("decorr-session-{id}"))
+            .spawn(move || {
+                // A connection error only ends this session.
+                let _ = serve_connection(stream, id, &conn_shared);
+            });
+    }
+}
+
+/// Drive one connection: greeting, then request/response until `\quit`,
+/// EOF or an I/O error.
+fn serve_connection(stream: TcpStream, id: u64, shared: &Shared) -> std::io::Result<()> {
+    let mut session = Session::new(
+        id,
+        Arc::clone(&shared.catalog),
+        Arc::clone(&shared.admission),
+        shared.defaults.clone(),
+    );
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    writeln!(writer, ";hello decorr {id}")?;
+    writer.flush()?;
+
+    for line in reader.lines() {
+        let line = line?; // a broken connection ends the session, not the server
+        match session.handle_line(&line) {
+            Ok(resp) => {
+                for l in &resp.lines {
+                    writeln!(writer, "{l}")?;
+                }
+                if resp.control == Control::Quit {
+                    writeln!(writer, ";bye")?;
+                    writer.flush()?;
+                    return Ok(());
+                }
+                writeln!(writer, ";ok {}", resp.lines.len())?;
+            }
+            Err(e) => {
+                // Typed errors cross the wire as one line; no payload ever
+                // precedes them (handle_line returns rows only on success).
+                writeln!(writer, ";err {e}")?;
+            }
+        }
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared catalog, for out-of-band writers (tests, benches driving
+    /// ANALYZE/reload races without burning a connection).
+    pub fn catalog(&self) -> Arc<SharedCatalog> {
+        Arc::clone(&self.shared.catalog)
+    }
+
+    /// The admission controller (for stats assertions).
+    pub fn admission(&self) -> Arc<AdmissionControl> {
+        Arc::clone(&self.shared.admission)
+    }
+
+    /// Stop accepting connections and join the accept loop. Existing
+    /// session threads finish their current request and exit when their
+    /// clients disconnect.
+    pub fn shutdown(&mut self) {
+        self.shared.stopping.store(true, Ordering::Release);
+        // Nudge the blocking accept() with one throwaway connection.
+        if let Ok(s) = TcpStream::connect(self.local_addr) {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,586 @@
+//! The reusable session layer: one tenant's stateful view of the service.
+//!
+//! A [`Session`] is what `examples/sql_shell.rs` grew into once it had to
+//! outlive a single pipe: the command loop is the same (`\strategy`,
+//! `\load`, `\explain`, plain SQL through the cost-based race), but state
+//! that used to be `main`-local is now per-session and safe to drive from
+//! the TCP server, the REPL and tests alike. [`Session::handle_line`]
+//! takes one input line and returns the output lines plus a
+//! continue/quit signal — no I/O, no printing, no process state.
+//!
+//! # Per-query cancellation (the sticky-cancel fix)
+//!
+//! [`CancelToken`] is one-shot: once fired it stays fired (see the
+//! contract note in `decorr_common::govern`). The original shell never
+//! cancelled, so it never hit this; a service that reuses one token — or
+//! one `ExecOptions` holding one — turns a single `\cancel` into a
+//! session-wide denial of service where every later query dies instantly
+//! with `Cancelled`. The session therefore **mints a fresh token for every
+//! query** and publishes it as the *active* token only for that query's
+//! duration; [`SessionCanceller::cancel_active`] fires whatever token is
+//! current, and a cancel that races with completion simply fires a token
+//! nobody will ever check again.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use decorr::choose::{audit_estimates, choose_strategy_with};
+use decorr_common::{Budget, CancelToken, Error, Result};
+use decorr_core::{apply_strategy, Strategy};
+use decorr_exec::{execute_traced, execute_with, ExecOptions};
+use decorr_qgm::print as qgm_print;
+use decorr_sql::parse_and_bind;
+use decorr_tpcd::{empdept, generate, TpcdConfig};
+
+use crate::admission::AdmissionControl;
+use crate::catalog::SharedCatalog;
+
+/// Plan selection mode: the cost-based race, or one pinned strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    Auto,
+    Fixed(Strategy),
+}
+
+/// Per-session execution knobs, adjustable with `\set`.
+#[derive(Debug, Clone)]
+pub struct SessionSettings {
+    /// Worker threads per query (`ExecOptions::threads`).
+    pub threads: usize,
+    /// Columnar kernels on the hot path (`ExecOptions::columnar`).
+    pub columnar: bool,
+    /// Per-query logical-tick budget; `None` inherits the service quota
+    /// default (which may itself be `None`: no timeout).
+    pub timeout_ticks: Option<u64>,
+    /// Per-query wall-clock budget in milliseconds.
+    pub wall_timeout_ms: Option<u64>,
+    /// Truncate result payloads after this many rows (`None`: all rows —
+    /// what the TCP protocol and the benches want; the REPL sets 20 to
+    /// match the historical shell).
+    pub max_display_rows: Option<usize>,
+}
+
+impl Default for SessionSettings {
+    fn default() -> Self {
+        SessionSettings {
+            threads: 1,
+            columnar: true,
+            timeout_ticks: None,
+            wall_timeout_ms: None,
+            max_display_rows: None,
+        }
+    }
+}
+
+/// Whether the driver should keep reading after a response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    Continue,
+    Quit,
+}
+
+/// One handled input line: payload lines plus the continue/quit signal.
+#[derive(Debug)]
+pub struct Response {
+    pub lines: Vec<String>,
+    pub control: Control,
+}
+
+impl Response {
+    fn lines(lines: Vec<String>) -> Response {
+        Response { lines, control: Control::Continue }
+    }
+
+    fn line(s: impl Into<String>) -> Response {
+        Response::lines(vec![s.into()])
+    }
+
+    fn quit() -> Response {
+        Response { lines: vec!["bye".into()], control: Control::Quit }
+    }
+}
+
+/// A cloneable handle that can cancel the session's in-flight query from
+/// any thread (the TCP server's out-of-band path, tests, ctrl-C hooks).
+#[derive(Clone)]
+pub struct SessionCanceller {
+    active: Arc<Mutex<Option<CancelToken>>>,
+}
+
+impl SessionCanceller {
+    /// Fire the session's current query token. Returns `true` if a token
+    /// existed (the query may already have completed — firing a settled
+    /// token is a harmless no-op, because the next query gets a fresh
+    /// one).
+    pub fn cancel_active(&self) -> bool {
+        match self.active.lock() {
+            Ok(g) => match g.as_ref() {
+                Some(t) => {
+                    t.cancel();
+                    true
+                }
+                None => false,
+            },
+            Err(_) => false,
+        }
+    }
+}
+
+/// One tenant session over the shared catalog. Not `Sync` on purpose —
+/// a session belongs to one driver (connection, REPL, test); concurrency
+/// happens *across* sessions, through [`SharedCatalog`] and
+/// [`AdmissionControl`].
+pub struct Session {
+    id: u64,
+    catalog: Arc<SharedCatalog>,
+    admission: Arc<AdmissionControl>,
+    mode: Mode,
+    settings: SessionSettings,
+    /// The in-flight query's cancel token. Replaced (never reset) on each
+    /// query; kept after completion so a racing `\cancel` fires into a
+    /// token nobody reads instead of poisoning the next query.
+    active: Arc<Mutex<Option<CancelToken>>>,
+    queries_run: u64,
+}
+
+impl Session {
+    pub fn new(
+        id: u64,
+        catalog: Arc<SharedCatalog>,
+        admission: Arc<AdmissionControl>,
+        settings: SessionSettings,
+    ) -> Session {
+        Session {
+            id,
+            catalog,
+            admission,
+            mode: Mode::Auto,
+            settings,
+            active: Arc::new(Mutex::new(None)),
+            queries_run: 0,
+        }
+    }
+
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    pub fn settings(&self) -> &SessionSettings {
+        &self.settings
+    }
+
+    pub fn settings_mut(&mut self) -> &mut SessionSettings {
+        &mut self.settings
+    }
+
+    /// A handle for out-of-band cancellation of this session's queries.
+    pub fn canceller(&self) -> SessionCanceller {
+        SessionCanceller { active: Arc::clone(&self.active) }
+    }
+
+    /// Handle one input line (a `\command`, `ANALYZE`, `EXPLAIN COST …`
+    /// or plain SQL). Errors are typed; the driver decides how to render
+    /// them (`error: …` in the REPL, `;err …` on the wire).
+    pub fn handle_line(&mut self, line: &str) -> Result<Response> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Ok(Response::lines(Vec::new()));
+        }
+        if let Some(rest) = line.strip_prefix('\\') {
+            return self.handle_command(rest);
+        }
+        let stmt = line.strip_suffix(';').unwrap_or(line).trim();
+        if stmt.eq_ignore_ascii_case("analyze") {
+            let model = self.catalog.analyze()?;
+            let mut lines = render_lines(model.stats().render());
+            lines.push(format!(
+                "-- statistics published as epoch {}",
+                self.catalog.epoch()
+            ));
+            return Ok(Response::lines(lines));
+        }
+        if let Some(sql) = strip_prefix_ci(stmt, "explain cost ") {
+            return self.explain_cost(sql);
+        }
+        self.run_sql(line, false)
+    }
+
+    fn handle_command(&mut self, cmd: &str) -> Result<Response> {
+        let mut parts = cmd.split_whitespace();
+        match parts.next().unwrap_or("") {
+            "quit" | "q" | "exit" => Ok(Response::quit()),
+            "tables" => {
+                let snap = self.catalog.snapshot();
+                let mut lines = Vec::new();
+                for t in snap.db().tables() {
+                    lines.push(format!(
+                        "{:<12} {:>8} rows  {:>2} indexes  {}",
+                        t.name(),
+                        t.len(),
+                        t.indexes().len(),
+                        t.schema()
+                    ));
+                }
+                Ok(Response::lines(lines))
+            }
+            "load" => match parts.next() {
+                Some("tpcd") => {
+                    let scale: f64 = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0.02);
+                    let db = generate(&TpcdConfig { scale, seed: 42, with_indexes: true })?;
+                    let epoch = self.catalog.replace(db)?;
+                    Ok(Response::line(format!(
+                        "TPC-D loaded at scale {scale} (epoch {epoch})"
+                    )))
+                }
+                Some("empdept") => {
+                    let db = empdept::generate(&empdept::EmpDeptConfig::default())?;
+                    let epoch = self.catalog.replace(db)?;
+                    Ok(Response::line(format!(
+                        "EMP/DEPT example loaded (epoch {epoch})"
+                    )))
+                }
+                other => Ok(Response::line(format!(
+                    "unknown dataset {other:?}; try tpcd or empdept"
+                ))),
+            },
+            "drop" => match parts.next() {
+                Some(name) => {
+                    self.catalog.update(|db| db.drop_table(name))?;
+                    Ok(Response::line(format!(
+                        "dropped {name} (epoch {})",
+                        self.catalog.epoch()
+                    )))
+                }
+                None => Ok(Response::line("usage: \\drop <table>")),
+            },
+            "strategy" => {
+                let mut lines = Vec::new();
+                self.mode = match parts.next().unwrap_or("") {
+                    "auto" => Mode::Auto,
+                    "ni" => Mode::Fixed(Strategy::NestedIteration),
+                    "kim" => {
+                        // The race never picks Kim for a reason; pinning it
+                        // is opting into wrong answers, so say so once.
+                        lines.push(
+                            "warning: kim is unsound (COUNT bug) — \
+                             COUNT over empty correlation groups returns \
+                             no row instead of 0; results may be wrong"
+                                .into(),
+                        );
+                        Mode::Fixed(Strategy::Kim)
+                    }
+                    "dayal" => Mode::Fixed(Strategy::Dayal),
+                    "ganski" => Mode::Fixed(Strategy::GanskiWong),
+                    "magic" => Mode::Fixed(Strategy::Magic),
+                    "optmag" => Mode::Fixed(Strategy::OptMag),
+                    other => {
+                        return Ok(Response::line(format!("unknown strategy {other:?}")));
+                    }
+                };
+                lines.push("ok".into());
+                Ok(Response::lines(lines))
+            }
+            "explain" => {
+                let sql = cmd.strip_prefix("explain").unwrap_or("").trim();
+                if sql.is_empty() {
+                    Ok(Response::line("usage: \\explain <sql>"))
+                } else {
+                    self.run_sql(sql, true)
+                }
+            }
+            "set" => self.handle_set(parts.next(), parts.next()),
+            "session" => {
+                let mode = match self.mode {
+                    Mode::Auto => "auto".to_string(),
+                    Mode::Fixed(s) => s.name().to_string(),
+                };
+                Ok(Response::lines(vec![
+                    format!("session {}", self.id),
+                    format!("  epoch       {}", self.catalog.epoch()),
+                    format!("  strategy    {mode}"),
+                    format!("  queries run {}", self.queries_run),
+                ]))
+            }
+            "cancel" => {
+                let fired = self.canceller().cancel_active();
+                Ok(Response::line(if fired {
+                    "cancel requested"
+                } else {
+                    "no query to cancel"
+                }))
+            }
+            "stats" => {
+                let s = self.admission.stats();
+                let c = self.catalog.columnar_cache();
+                Ok(Response::lines(vec![
+                    format!("admitted          {}", s.admitted),
+                    format!("shed (queue full) {}", s.shed_queue_full),
+                    format!("shed (wait)       {}", s.shed_wait_timeout),
+                    format!("quota rejections  {}", s.quota_rejections),
+                    format!("running now       {}", self.admission.running()),
+                    format!(
+                        "columnar cache    {} entries, {} hits / {} misses",
+                        c.len(),
+                        c.hits(),
+                        c.misses()
+                    ),
+                ]))
+            }
+            other => Ok(Response::line(format!("unknown command \\{other}"))),
+        }
+    }
+
+    fn handle_set(&mut self, knob: Option<&str>, value: Option<&str>) -> Result<Response> {
+        let usage = "usage: \\set <threads|columnar|timeout_ticks|wall_ms|max_rows> <value>";
+        let Some(knob) = knob else {
+            let s = &self.settings;
+            return Ok(Response::lines(vec![
+                format!("threads       {}", s.threads),
+                format!("columnar      {}", s.columnar),
+                format!("timeout_ticks {}", opt(s.timeout_ticks)),
+                format!("wall_ms       {}", opt(s.wall_timeout_ms)),
+                format!("max_rows      {}", opt(s.max_display_rows)),
+            ]));
+        };
+        let Some(value) = value else {
+            return Ok(Response::line(usage));
+        };
+        let bad = |k: &str, v: &str| Error::parse(format!("\\set {k}: bad value {v:?}"));
+        match knob {
+            "threads" => {
+                self.settings.threads =
+                    value.parse::<usize>().map_err(|_| bad(knob, value))?.max(1);
+            }
+            "columnar" => {
+                self.settings.columnar = match value {
+                    "on" | "true" | "1" => true,
+                    "off" | "false" | "0" => false,
+                    _ => return Err(bad(knob, value)),
+                };
+            }
+            "timeout_ticks" => {
+                self.settings.timeout_ticks = parse_opt(value).ok_or_else(|| bad(knob, value))?;
+            }
+            "wall_ms" => {
+                self.settings.wall_timeout_ms = parse_opt(value).ok_or_else(|| bad(knob, value))?;
+            }
+            "max_rows" => {
+                self.settings.max_display_rows =
+                    parse_opt(value).ok_or_else(|| bad(knob, value))?;
+            }
+            _ => return Ok(Response::line(usage)),
+        }
+        Ok(Response::line("ok"))
+    }
+
+    fn explain_cost(&mut self, sql: &str) -> Result<Response> {
+        let snap = self.catalog.snapshot();
+        let qgm = parse_and_bind(sql, snap.db())?;
+        let choice = choose_strategy_with(&snap.cost_model(), qgm)?;
+        let mut lines = vec!["strategy race (cheapest first):".to_string()];
+        lines.extend(render_lines(choice.render()));
+        let (_, _, trace) = execute_traced(
+            snap.db(),
+            &choice.plan,
+            self.exec_opts(CancelToken::new(), None),
+        )?;
+        let report = audit_estimates(&choice.plan, &choice.plan_estimate, &trace);
+        lines.push(format!(
+            "estimation accuracy ({} plan):",
+            choice.strategy.name()
+        ));
+        lines.extend(render_lines(report.render()));
+        Ok(Response::lines(lines))
+    }
+
+    /// Execute one SQL statement (or just render its plan). The full
+    /// service path: snapshot → admission → plan → fresh cancel token →
+    /// execute → release (permit dropped).
+    fn run_sql(&mut self, sql: &str, explain_only: bool) -> Result<Response> {
+        // Snapshot before admission: the query runs against one epoch no
+        // matter how long it queues or how many writers publish meanwhile.
+        let snap = self.catalog.snapshot();
+        let qgm = parse_and_bind(sql, snap.db())?;
+        let (label, plan) = match self.mode {
+            Mode::Auto => {
+                let choice = choose_strategy_with(&snap.cost_model(), qgm)?;
+                (
+                    format!(
+                        "{} (est cost {:.0})",
+                        choice.strategy.name(),
+                        choice.estimate.cost
+                    ),
+                    choice.plan,
+                )
+            }
+            Mode::Fixed(s) => (s.name().to_string(), apply_strategy(&qgm, s)?),
+        };
+        if explain_only {
+            let mut lines = vec![format!("-- plan: {label}")];
+            lines.extend(render_lines(qgm_print::render(&plan)));
+            return Ok(Response::lines(lines));
+        }
+
+        let permit = self.admission.admit(self.id)?;
+        // Fresh token per query — never reuse (one-shot contract).
+        let cancel = CancelToken::new();
+        self.set_active(Some(cancel.clone()));
+        let started = Instant::now();
+        let result = execute_with(
+            snap.db(),
+            &plan,
+            self.exec_opts(cancel, Some(permit.mem_rows())),
+        );
+        // The token stays in `active` (settled) until the next query
+        // replaces it; see the field docs.
+        let (rows, stats) = result?;
+        drop(permit);
+        let elapsed = started.elapsed();
+        self.queries_run += 1;
+
+        let shown = self.settings.max_display_rows.unwrap_or(usize::MAX);
+        let mut lines: Vec<String> = rows.iter().take(shown).map(|r| r.to_string()).collect();
+        if rows.len() > shown {
+            lines.push(format!("... ({} rows total)", rows.len()));
+        }
+        lines.push(format!(
+            "-- {} rows via {label} in {:.3} ms (epoch {}, {} subquery invocations, {} work units)",
+            rows.len(),
+            elapsed.as_secs_f64() * 1e3,
+            snap.epoch(),
+            stats.subquery_invocations,
+            stats.total_work()
+        ));
+        Ok(Response::lines(lines))
+    }
+
+    fn set_active(&self, token: Option<CancelToken>) {
+        if let Ok(mut g) = self.active.lock() {
+            *g = token;
+        }
+    }
+
+    fn exec_opts(&self, cancel: CancelToken, mem_rows: Option<usize>) -> ExecOptions {
+        let timeout = match (
+            self.settings
+                .timeout_ticks
+                .or(self.admission.quotas().default_timeout_ticks),
+            self.settings.wall_timeout_ms,
+        ) {
+            (Some(t), _) => Some(Budget::ticks(t)),
+            (None, Some(ms)) => Some(Budget::wall_ms(ms)),
+            (None, None) => None,
+        };
+        ExecOptions {
+            threads: self.settings.threads,
+            columnar: self.settings.columnar,
+            timeout,
+            cancel: Some(cancel),
+            mem_budget: mem_rows,
+            shared_cache: Some(self.catalog.columnar_cache().clone()),
+            ..Default::default()
+        }
+    }
+}
+
+fn opt<T: std::fmt::Display>(v: Option<T>) -> String {
+    v.map(|x| x.to_string()).unwrap_or_else(|| "none".into())
+}
+
+/// `"none"` → `Some(None)`, a number → `Some(Some(n))`, junk → `None`.
+fn parse_opt<T: std::str::FromStr>(s: &str) -> Option<Option<T>> {
+    if s == "none" || s == "off" {
+        Some(None)
+    } else {
+        s.parse().ok().map(Some)
+    }
+}
+
+fn strip_prefix_ci<'a>(s: &'a str, prefix: &str) -> Option<&'a str> {
+    if s.len() >= prefix.len() && s[..prefix.len()].eq_ignore_ascii_case(prefix) {
+        Some(s[prefix.len()..].trim())
+    } else {
+        None
+    }
+}
+
+/// Split a multi-line `render()` string into trimmed-right payload lines.
+fn render_lines(s: String) -> Vec<String> {
+    s.lines().map(|l| l.trim_end().to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::Quotas;
+    use decorr_common::{row, DataType, Schema};
+    use decorr_storage::Database;
+
+    fn session() -> Session {
+        let mut db = Database::new();
+        let t = db
+            .create_table("t", Schema::from_pairs(&[("x", DataType::Int)]))
+            .unwrap();
+        for i in 1..=3 {
+            t.insert(row![i]).unwrap();
+        }
+        Session::new(
+            1,
+            Arc::new(SharedCatalog::new(db)),
+            Arc::new(AdmissionControl::new(Quotas::default())),
+            SessionSettings::default(),
+        )
+    }
+
+    #[test]
+    fn plain_sql_returns_rows_and_footer() {
+        let mut s = session();
+        let r = s.handle_line("SELECT t.x FROM t WHERE t.x > 1").unwrap();
+        assert_eq!(r.control, Control::Continue);
+        assert_eq!(r.lines.len(), 3); // two rows + footer
+        assert!(r.lines[2].starts_with("-- 2 rows via"), "{:?}", r.lines);
+    }
+
+    #[test]
+    fn quit_signals_quit() {
+        let mut s = session();
+        assert_eq!(s.handle_line("\\quit").unwrap().control, Control::Quit);
+    }
+
+    #[test]
+    fn strategy_kim_warns_about_unsoundness() {
+        let mut s = session();
+        let r = s.handle_line("\\strategy kim").unwrap();
+        assert!(
+            r.lines.iter().any(|l| l.contains("unsound (COUNT bug)")),
+            "pinning kim must warn: {:?}",
+            r.lines
+        );
+        assert_eq!(s.mode(), Mode::Fixed(Strategy::Kim));
+    }
+
+    #[test]
+    fn set_and_show_settings() {
+        let mut s = session();
+        s.handle_line("\\set threads 4").unwrap();
+        s.handle_line("\\set max_rows 10").unwrap();
+        assert_eq!(s.settings().threads, 4);
+        assert_eq!(s.settings().max_display_rows, Some(10));
+        s.handle_line("\\set max_rows none").unwrap();
+        assert_eq!(s.settings().max_display_rows, None);
+        assert!(s.handle_line("\\set threads banana").is_err());
+    }
+
+    #[test]
+    fn analyze_publishes_a_new_epoch() {
+        let mut s = session();
+        let before = s.catalog.epoch();
+        let r = s.handle_line("ANALYZE;").unwrap();
+        assert!(r.lines.last().unwrap().contains("epoch"));
+        assert_eq!(s.catalog.epoch(), before + 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! Concurrent-session property suite: N reader sessions race one writer
+//! that republishes the catalog (reload-style drop/recreate and `ANALYZE`
+//! epochs). Every reader result must be internally consistent — all rows
+//! from ONE published epoch, never a mix — and overload sheds must be
+//! typed errors carrying no rows.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use decorr_common::{row, DataType, Error, Schema, Value};
+use decorr_server::{AdmissionControl, Quotas, Session, SessionSettings, SharedCatalog};
+use decorr_storage::Database;
+use proptest::prelude::*;
+
+const ROWS_PER_EPOCH: usize = 16;
+
+/// A database whose single table holds `ROWS_PER_EPOCH` copies of one
+/// marker value — any mixed-epoch read is immediately visible as mixed
+/// markers or a wrong count.
+fn marked_db(marker: i64) -> Database {
+    let mut db = Database::new();
+    let t = db
+        .create_table("t", Schema::from_pairs(&[("x", DataType::Int)]))
+        .unwrap();
+    for _ in 0..ROWS_PER_EPOCH {
+        t.insert(row![marker]).unwrap();
+    }
+    db
+}
+
+fn reader_session(
+    id: u64,
+    catalog: &Arc<SharedCatalog>,
+    admission: &Arc<AdmissionControl>,
+) -> Session {
+    Session::new(
+        id,
+        Arc::clone(catalog),
+        Arc::clone(admission),
+        SessionSettings::default(),
+    )
+}
+
+/// Extract the marker values a reader saw (payload rows only).
+fn markers(lines: &[String]) -> Vec<String> {
+    lines
+        .iter()
+        .filter(|l| !l.starts_with("--"))
+        .cloned()
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..Default::default() })]
+
+    /// Readers racing a drop/recreate writer always see exactly one
+    /// epoch's rows: `ROWS_PER_EPOCH` identical markers.
+    #[test]
+    fn readers_see_single_epoch_snapshots(
+        readers in 2usize..5,
+        writes in 2usize..8,
+        queries in 4usize..12,
+    ) {
+        let catalog = Arc::new(SharedCatalog::new(marked_db(0)));
+        let admission = Arc::new(AdmissionControl::new(Quotas {
+            max_concurrent: 16,
+            per_session_concurrent: 4,
+            ..Default::default()
+        }));
+        let done = AtomicBool::new(false);
+
+        std::thread::scope(|scope| {
+            let writer_catalog = Arc::clone(&catalog);
+            let done_ref = &done;
+            let writer = scope.spawn(move || {
+                for epoch_marker in 1..=(writes as i64) {
+                    // Reload-style republish: drop and recreate the table
+                    // with the next marker. Readers holding the previous
+                    // snapshot keep their epoch.
+                    writer_catalog
+                        .update(|db| {
+                            db.drop_table("t")?;
+                            let t = db.create_table(
+                                "t",
+                                Schema::from_pairs(&[("x", DataType::Int)]),
+                            )?;
+                            for _ in 0..ROWS_PER_EPOCH {
+                                t.insert(row![epoch_marker])?;
+                            }
+                            Ok(())
+                        })
+                        .unwrap();
+                    // Interleave an ANALYZE epoch: metadata-only publish.
+                    writer_catalog.analyze().unwrap();
+                }
+                done_ref.store(true, Ordering::Release);
+            });
+
+            let mut handles = Vec::new();
+            for r in 0..readers {
+                let catalog = Arc::clone(&catalog);
+                let admission = Arc::clone(&admission);
+                handles.push(scope.spawn(move || {
+                    let mut session = reader_session(100 + r as u64, &catalog, &admission);
+                    let mut checked = 0usize;
+                    for _ in 0..queries {
+                        let resp = session
+                            .handle_line("SELECT t.x FROM t")
+                            .expect("reader query must never fail during republish");
+                        let rows = markers(&resp.lines);
+                        assert_eq!(
+                            rows.len(),
+                            ROWS_PER_EPOCH,
+                            "reader saw a partial epoch: {rows:?}"
+                        );
+                        assert!(
+                            rows.iter().all(|x| x == &rows[0]),
+                            "reader saw rows from mixed epochs: {rows:?}"
+                        );
+                        checked += 1;
+                    }
+                    checked
+                }));
+            }
+            for h in handles {
+                assert!(h.join().expect("reader thread") > 0);
+            }
+            writer.join().expect("writer thread");
+        });
+
+        // All epochs published: initial + writes × (reload + analyze).
+        prop_assert_eq!(catalog.epoch(), 1 + 2 * writes as u64);
+    }
+}
+
+/// A query planned against a snapshot keeps returning that snapshot's
+/// rows even when the table it reads is dropped from the live catalog —
+/// byte-identical to the epoch it started on.
+#[test]
+fn in_flight_snapshot_survives_drop() {
+    let catalog = Arc::new(SharedCatalog::new(marked_db(7)));
+    let snap = catalog.snapshot();
+    catalog.update(|db| db.drop_table("t")).unwrap();
+    // The live catalog no longer has the table …
+    assert!(catalog.snapshot().db().table("t").is_err());
+    // … but the held snapshot still serves all 16 rows of marker 7.
+    let t = snap.db().table("t").unwrap();
+    assert_eq!(t.len(), ROWS_PER_EPOCH);
+    assert!(t.rows().iter().all(|r| r.values()[0] == Value::Int(7)));
+}
+
+/// Shed-under-overload is a typed error with no rows: a session whose
+/// query cannot be admitted gets `Error::Overloaded` / `QuotaExceeded`
+/// and never a partial payload.
+#[test]
+fn sheds_are_typed_and_carry_no_rows() {
+    let catalog = Arc::new(SharedCatalog::new(marked_db(1)));
+    let admission = Arc::new(AdmissionControl::new(Quotas {
+        max_concurrent: 1,
+        queue_depth: 0,
+        queue_wait_ms: 0,
+        per_session_concurrent: 1,
+        ..Default::default()
+    }));
+
+    // Occupy the only slot out-of-band (as another tenant would).
+    let blocker = admission.admit(999).unwrap();
+    let mut session = reader_session(1, &catalog, &admission);
+    match session.handle_line("SELECT t.x FROM t") {
+        Err(Error::Overloaded(_)) => {} // typed, no Response, hence no rows
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    // Commands that don't execute queries still work under overload.
+    assert!(session.handle_line("\\tables").is_ok());
+    drop(blocker);
+    let resp = session.handle_line("SELECT t.x FROM t").unwrap();
+    assert_eq!(markers(&resp.lines).len(), ROWS_PER_EPOCH);
+
+    // The per-session quota path is equally typed.
+    let _p1 = admission.admit(42).unwrap();
+    match admission.admit(42) {
+        Err(Error::QuotaExceeded(_)) => {}
+        other => panic!("expected QuotaExceeded, got {other:?}"),
+    };
+}

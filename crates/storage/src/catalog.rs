@@ -10,11 +10,23 @@ pub struct Database {
     tables: FxHashMap<String, Table>,
     /// Insertion order, for deterministic listings.
     order: Vec<String>,
+    /// Structural-DDL counter; see [`Database::epoch`].
+    epoch: u64,
 }
 
 impl Database {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// How many structural DDL operations (table creations, registrations,
+    /// drops) this catalog has seen. Finer-grained staleness — row loads,
+    /// index changes — is carried by each table's own
+    /// [`Table::version`](crate::Table::version); the epoch distinguishes
+    /// catalog *shapes* (which tables exist), so a session can cheaply
+    /// report "the catalog changed under you".
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     fn norm(name: &str) -> String {
@@ -28,6 +40,7 @@ impl Database {
             return Err(Error::catalog(format!("table '{name}' already exists")));
         }
         self.order.push(key.clone());
+        self.epoch += 1;
         Ok(self
             .tables
             .entry(key)
@@ -45,6 +58,7 @@ impl Database {
         }
         self.order.push(key.clone());
         self.tables.insert(key, table);
+        self.epoch += 1;
         Ok(())
     }
 
@@ -77,6 +91,7 @@ impl Database {
             return Err(Error::catalog(format!("unknown table '{name}'")));
         }
         self.order.retain(|k| k != &key);
+        self.epoch += 1;
         Ok(())
     }
 }
@@ -133,6 +148,21 @@ mod tests {
         t.create_index(&["salary"]).unwrap();
         let idx = db.table("emp").unwrap().index_on(&[0]).unwrap();
         assert_eq!(idx.distinct_keys(), 1);
+    }
+
+    #[test]
+    fn epoch_counts_structural_ddl() {
+        let mut db = Database::new();
+        assert_eq!(db.epoch(), 0);
+        db.create_table("a", Schema::default()).unwrap();
+        db.create_table("b", Schema::default()).unwrap();
+        assert_eq!(db.epoch(), 2);
+        // Failed DDL does not advance the epoch.
+        assert!(db.create_table("a", Schema::default()).is_err());
+        assert!(db.drop_table("nope").is_err());
+        assert_eq!(db.epoch(), 2);
+        db.drop_table("a").unwrap();
+        assert_eq!(db.epoch(), 3);
     }
 
     #[test]

@@ -1,8 +1,22 @@
 //! Base tables.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use decorr_common::{Error, Result, Row, Schema, Value};
 
 use crate::index::HashIndex;
+
+/// Process-wide version counter: every table creation or mutation draws a
+/// fresh, never-reused value. Versions therefore distinguish not just "has
+/// this table changed" but "is this the *same* table" — a dropped and
+/// recreated table under the same name gets a new version, which is what
+/// lets long-lived caches key on `(name, version)` and never serve rows
+/// from a stale snapshot.
+static VERSIONS: AtomicU64 = AtomicU64::new(1);
+
+fn next_version() -> u64 {
+    VERSIONS.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A named, schema-checked, in-memory table with optional primary key and
 /// any number of hash indexes.
@@ -14,12 +28,36 @@ pub struct Table {
     /// Column positions forming the primary key, if declared.
     key: Option<Vec<usize>>,
     indexes: Vec<HashIndex>,
+    /// Snapshot identity for cache keying; see [`Table::version`].
+    version: u64,
 }
 
 impl Table {
     /// Create an empty table.
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
-        Table { name: name.into(), schema, rows: Vec::new(), key: None, indexes: Vec::new() }
+        Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+            key: None,
+            indexes: Vec::new(),
+            version: next_version(),
+        }
+    }
+
+    /// The table's snapshot version: a process-unique value reassigned on
+    /// every mutation (insert, index or key change). Two `Table` values
+    /// with equal versions hold identical data; a version never comes back
+    /// once the table changes, so `(name, version)` is a sound cache key
+    /// across drops, reloads and re-`ANALYZE`s. Clones share the version —
+    /// they hold the same snapshot.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Mark the table mutated: reassign a fresh process-unique version.
+    fn touch(&mut self) {
+        self.version = next_version();
     }
 
     pub fn name(&self) -> &str {
@@ -51,6 +89,7 @@ impl Table {
             cols.push(self.schema.resolve(n)?);
         }
         self.key = Some(cols);
+        self.touch();
         Ok(())
     }
 
@@ -67,6 +106,7 @@ impl Table {
             idx.insert(pos, &row);
         }
         self.rows.push(row);
+        self.touch();
         Ok(())
     }
 
@@ -89,6 +129,7 @@ impl Table {
             return Ok(());
         }
         self.indexes.push(HashIndex::build(cols, &self.rows));
+        self.touch();
         Ok(())
     }
 
@@ -107,12 +148,14 @@ impl Table {
                 self.name
             )));
         }
+        self.touch();
         Ok(())
     }
 
     /// Drop all indexes.
     pub fn drop_all_indexes(&mut self) {
         self.indexes.clear();
+        self.touch();
     }
 
     /// An index whose column set is a subset of `cols` (so an equality
@@ -178,6 +221,34 @@ mod tests {
         t.drop_index(&["building"]).unwrap();
         assert!(t.index_lookup(1, &Value::Int(1)).is_none());
         assert!(t.drop_index(&["building"]).is_err());
+    }
+
+    #[test]
+    fn version_changes_on_every_mutation_and_never_repeats() {
+        let mut t = emp();
+        let mut seen = vec![t.version()];
+        t.insert(row!["d", 2]).unwrap();
+        seen.push(t.version());
+        t.create_index(&["building"]).unwrap();
+        seen.push(t.version());
+        // Idempotent index creation is a no-op: no new snapshot.
+        t.create_index(&["building"]).unwrap();
+        assert_eq!(t.version(), *seen.last().unwrap());
+        t.drop_index(&["building"]).unwrap();
+        seen.push(t.version());
+        t.set_key(&["name"]).unwrap();
+        seen.push(t.version());
+        let mut dedup = seen.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(
+            dedup.len(),
+            seen.len(),
+            "versions must never repeat: {seen:?}"
+        );
+        // A clone holds the same snapshot; a fresh same-name table does not.
+        assert_eq!(t.clone().version(), t.version());
+        assert_ne!(Table::new("emp", t.schema().clone()).version(), t.version());
     }
 
     #[test]

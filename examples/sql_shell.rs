@@ -13,6 +13,8 @@
 //! \tables                list tables
 //! \strategy <s>          auto | ni | kim | dayal | ganski | magic | optmag
 //! \explain <sql>         show the (rewritten) query graph instead of rows
+//! \set <knob> <value>    threads | columnar | timeout_ticks | wall_ms | max_rows
+//! \session  \stats       session / service introspection
 //! \quit
 //! ```
 //!
@@ -23,185 +25,33 @@
 //! EXPLAIN COST <query>;  race all five strategies, show the ranked
 //!                        estimates and the per-box est-vs-actual q-error
 //! ```
+//!
+//! The shell is a thin stdin/stdout driver over the same session layer the
+//! `decorr-server` TCP service uses (`decorr_server::Session` +
+//! `run_repl`), so `\strategy`, `\set` and per-query cancellation behave
+//! identically in both. Unlike the historical shell, a stdin read *error*
+//! is reported and exits nonzero — only a genuine EOF exits cleanly.
 
-use std::io::{self, BufRead, Write};
+use std::io;
+use std::sync::Arc;
 
-use decorr::prelude::*;
-use decorr_tpcd::{empdept, generate, TpcdConfig};
-
-#[derive(Clone, Copy, PartialEq)]
-enum Mode {
-    Auto,
-    Fixed(Strategy),
-}
+use decorr::prelude::Result;
+use decorr_server::{run_repl, AdmissionControl, Quotas, Session, SessionSettings, SharedCatalog};
+use decorr_tpcd::{generate, TpcdConfig};
 
 fn main() -> Result<()> {
-    let mut db = generate(&TpcdConfig { scale: 0.02, seed: 42, with_indexes: true })?;
-    let mut mode = Mode::Auto;
+    let db = generate(&TpcdConfig { scale: 0.02, seed: 42, with_indexes: true })?;
+    let catalog = Arc::new(SharedCatalog::new(db));
+    let admission = Arc::new(AdmissionControl::new(Quotas::default()));
+    // Match the historical shell: truncate displays at 20 rows.
+    let settings = SessionSettings { max_display_rows: Some(20), ..Default::default() };
+    let mut session = Session::new(0, catalog, admission, settings);
+
     println!("decorr SQL shell — TPC-D loaded at scale 0.02; \\load, \\tables, \\strategy, \\explain, \\quit");
-
-    let stdin = io::stdin();
-    let interactive = atty_stdin();
-    loop {
-        if interactive {
-            print!("decorr> ");
-            io::stdout().flush().ok();
-        }
-        let mut line = String::new();
-        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
-            break;
-        }
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        if let Some(rest) = line.strip_prefix('\\') {
-            match handle_command(rest, &mut db, &mut mode) {
-                Ok(true) => break,
-                Ok(false) => {}
-                Err(e) => println!("error: {e}"),
-            }
-            continue;
-        }
-        let stmt = line.strip_suffix(';').unwrap_or(line).trim();
-        if stmt.eq_ignore_ascii_case("analyze") {
-            print!("{}", Statistics::analyze(&db).render());
-            continue;
-        }
-        if let Some(sql) = strip_prefix_ci(stmt, "explain cost ") {
-            if let Err(e) = explain_cost(sql, &db) {
-                println!("error: {e}");
-            }
-            continue;
-        }
-        if let Err(e) = run_sql(line, &db, mode, false) {
-            println!("error: {e}");
-        }
-    }
-    Ok(())
-}
-
-fn atty_stdin() -> bool {
-    // Good enough without a TTY crate: honor an env override, default to
-    // prompting (the prompt is harmless under pipes).
-    std::env::var("DECORR_NO_PROMPT").is_err()
-}
-
-fn handle_command(cmd: &str, db: &mut Database, mode: &mut Mode) -> Result<bool> {
-    let mut parts = cmd.split_whitespace();
-    match parts.next().unwrap_or("") {
-        "quit" | "q" | "exit" => return Ok(true),
-        "tables" => {
-            for t in db.tables() {
-                println!(
-                    "{:<12} {:>8} rows  {:>2} indexes  {}",
-                    t.name(),
-                    t.len(),
-                    t.indexes().len(),
-                    t.schema()
-                );
-            }
-        }
-        "load" => match parts.next() {
-            Some("tpcd") => {
-                let scale: f64 = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0.02);
-                *db = generate(&TpcdConfig { scale, seed: 42, with_indexes: true })?;
-                println!("TPC-D loaded at scale {scale}");
-            }
-            Some("empdept") => {
-                *db = empdept::generate(&empdept::EmpDeptConfig::default())?;
-                println!("EMP/DEPT example loaded");
-            }
-            other => println!("unknown dataset {other:?}; try tpcd or empdept"),
-        },
-        "strategy" => {
-            *mode = match parts.next().unwrap_or("") {
-                "auto" => Mode::Auto,
-                "ni" => Mode::Fixed(Strategy::NestedIteration),
-                "kim" => Mode::Fixed(Strategy::Kim),
-                "dayal" => Mode::Fixed(Strategy::Dayal),
-                "ganski" => Mode::Fixed(Strategy::GanskiWong),
-                "magic" => Mode::Fixed(Strategy::Magic),
-                "optmag" => Mode::Fixed(Strategy::OptMag),
-                other => {
-                    println!("unknown strategy {other:?}");
-                    return Ok(false);
-                }
-            };
-            println!("ok");
-        }
-        "explain" => {
-            let sql = cmd.strip_prefix("explain").unwrap_or("").trim();
-            if sql.is_empty() {
-                println!("usage: \\explain <sql>");
-            } else {
-                run_sql(sql, db, *mode, true)?;
-            }
-        }
-        other => println!("unknown command \\{other}"),
-    }
-    Ok(false)
-}
-
-fn strip_prefix_ci<'a>(s: &'a str, prefix: &str) -> Option<&'a str> {
-    if s.len() >= prefix.len() && s[..prefix.len()].eq_ignore_ascii_case(prefix) {
-        Some(s[prefix.len()..].trim())
+    let prompt = if std::env::var("DECORR_NO_PROMPT").is_err() {
+        Some("decorr> ")
     } else {
         None
-    }
-}
-
-/// Race all five strategies over the query, print the ranked estimates,
-/// then execute the winner and print per-box est-vs-actual with q-error.
-fn explain_cost(sql: &str, db: &Database) -> Result<()> {
-    let qgm = parse_and_bind(sql, db)?;
-    let choice = choose_strategy(db, qgm)?;
-    println!("strategy race (cheapest first):");
-    print!("{}", choice.render());
-    let (_, _, trace) =
-        decorr::exec::execute_traced(db, &choice.plan, decorr::exec::ExecOptions::default())?;
-    let report = audit_estimates(&choice.plan, &choice.plan_estimate, &trace);
-    println!("estimation accuracy ({} plan):", choice.strategy.name());
-    print!("{}", report.render());
-    Ok(())
-}
-
-fn run_sql(sql: &str, db: &Database, mode: Mode, explain: bool) -> Result<()> {
-    let qgm = parse_and_bind(sql, db)?;
-    let (label, plan) = match mode {
-        Mode::Auto => {
-            let choice = choose_strategy(db, qgm)?;
-            (
-                format!(
-                    "{} (est cost {:.0})",
-                    choice.strategy.name(),
-                    choice.estimate.cost
-                ),
-                choice.plan,
-            )
-        }
-        Mode::Fixed(s) => (s.name().to_string(), apply_strategy(&qgm, s)?),
     };
-    if explain {
-        println!("-- plan: {label}");
-        print!("{}", qgm_print::render(&plan));
-        return Ok(());
-    }
-    let started = std::time::Instant::now();
-    let (rows, stats) = execute(db, &plan)?;
-    let elapsed = started.elapsed();
-    for r in rows.iter().take(20) {
-        println!("{r}");
-    }
-    if rows.len() > 20 {
-        println!("... ({} rows total)", rows.len());
-    }
-    println!(
-        "-- {} rows via {label} in {:.3} ms ({} subquery invocations, {} work units)",
-        rows.len(),
-        elapsed.as_secs_f64() * 1e3,
-        stats.subquery_invocations,
-        stats.total_work()
-    );
-    Ok(())
+    run_repl(&mut session, io::stdin().lock(), io::stdout(), prompt)
 }
