@@ -9,7 +9,7 @@
 //!         [--fault-seed S1,S2,...] [--replication K1,K2,...]
 //!         [--timeout-ms MS] [--mem-budget ROWS] [--bench-json [PATH]]
 //!         [--columnar|--no-columnar] [--clients N] [--queries N]
-//!         [--concurrency N]
+//!         [--concurrency N] [--repeat-workload]
 //! ```
 //!
 //! `--threads N` runs the figure executors on a worker pool of N threads
@@ -50,12 +50,21 @@
 //! single-session serial run and a typed-errors-only overload probe, and
 //! reports client-observed p50/p99 latency and aggregate QPS; with
 //! `--bench-json` the report is recorded to `BENCH_PR6.json` by default.
+//! With `--repeat-workload` the serve bench instead drives a Zipf-skewed
+//! repeated query-shape mix through the plan cache: a paired serial phase
+//! measures cold (strategy race) vs hit (template rebind) latency, a
+//! concurrent phase checks every cached reply byte-for-byte against an
+//! uncached serial reference, and an `ANALYZE` probe asserts the epoch
+//! bump forces misses (no stale plans). It fails unless hit p50 beats
+//! cold p50 with zero divergences and zero stale-epoch hits; the default
+//! `--bench-json` path becomes `BENCH_PR7.json`.
 
 use std::time::Instant;
 
 use decorr_bench::{
     analyze_figure, bench_baseline, chaos_sweep, figure_trace_json, format_table, race_figure,
-    run_figure_cfg, run_figure_traced, serve_bench, ChaosConfig, Figure, ServeBenchConfig,
+    repeat_workload_bench, run_figure_cfg, run_figure_traced, serve_bench, ChaosConfig, Figure,
+    ServeBenchConfig,
 };
 use decorr_common::Result;
 use decorr_core::magic::MagicOptions;
@@ -83,6 +92,7 @@ struct Args {
     clients: usize,
     queries: usize,
     concurrency: usize,
+    repeat_workload: bool,
 }
 
 fn parse_args() -> Args {
@@ -105,6 +115,7 @@ fn parse_args() -> Args {
         clients: 8,
         queries: 25,
         concurrency: 1,
+        repeat_workload: false,
     };
     let mut it = std::env::args().skip(1).peekable();
     while let Some(a) = it.next() {
@@ -165,6 +176,7 @@ fn parse_args() -> Args {
             "--concurrency" => {
                 args.concurrency = it.next().expect("--concurrency N").parse().expect("number")
             }
+            "--repeat-workload" => args.repeat_workload = true,
             "--bench-json" => {
                 // Optional path operand: consume the next token only if it
                 // names a JSON file, else record to the experiment's
@@ -273,13 +285,22 @@ fn main() -> Result<()> {
             queries_per_client: args.queries,
             ..Default::default()
         };
-        let (table, json) = serve_bench(&cfg)?;
+        let (table, json) = if args.repeat_workload {
+            repeat_workload_bench(&cfg)?
+        } else {
+            serve_bench(&cfg)?
+        };
         println!("{table}");
         serve_json = Some(json);
     }
     if let Some(path) = &args.bench_json {
+        let serve_default = if args.repeat_workload {
+            "BENCH_PR7.json"
+        } else {
+            "BENCH_PR6.json"
+        };
         let (json, what, default_path) = match (serve_json, chaos_json) {
-            (Some(json), _) => (json, "serve bench".to_string(), "BENCH_PR6.json"),
+            (Some(json), _) => (json, "serve bench".to_string(), serve_default),
             (None, Some(json)) => (json, "chaos sweep".to_string(), "BENCH_PR5.json"),
             (None, None) => {
                 let threads = if args.threads > 1 { args.threads } else { 4 };

@@ -47,6 +47,14 @@ pub struct ExecStats {
     /// Operators that degraded to a low-memory fallback (nested-loop join,
     /// sort-based grouping) to honor the executor's memory budget.
     pub degradations: u64,
+    /// Executions served from a cached plan template (the five-way cost
+    /// race was skipped). 0 or 1 per query; sessions accumulate it.
+    pub plan_cache_hits: u64,
+    /// Subplan subtrees (SUPP/MAGIC/DCO/CI) served from the cross-query
+    /// shared-subplan cache instead of being recomputed.
+    pub shared_subplan_hits: u64,
+    /// Rows those shared-subplan hits would otherwise have materialized.
+    pub shared_subplan_rows: u64,
 }
 
 impl ExecStats {
@@ -70,6 +78,19 @@ impl ExecStats {
             + self.rows_materialized
             + self.predicate_evals
     }
+
+    /// Fraction of subplan materialization served by the cross-query
+    /// shared-subplan cache: `reused / (reused + materialized)`. A method
+    /// (not a field) so the struct stays `Eq` and equality gates that
+    /// compare stats across runs keep holding bit-for-bit.
+    pub fn shared_work_ratio(&self) -> f64 {
+        let total = self.shared_subplan_rows + self.rows_materialized;
+        if total == 0 {
+            0.0
+        } else {
+            self.shared_subplan_rows as f64 / total as f64
+        }
+    }
 }
 
 impl AddAssign for ExecStats {
@@ -88,6 +109,9 @@ impl AddAssign for ExecStats {
         self.predicate_evals += o.predicate_evals;
         self.output_rows += o.output_rows;
         self.degradations += o.degradations;
+        self.plan_cache_hits += o.plan_cache_hits;
+        self.shared_subplan_hits += o.shared_subplan_hits;
+        self.shared_subplan_rows += o.shared_subplan_rows;
     }
 }
 
@@ -107,6 +131,9 @@ impl fmt::Display for ExecStats {
         writeln!(f, "predicate evals  {:>12}", self.predicate_evals)?;
         writeln!(f, "output rows      {:>12}", self.output_rows)?;
         writeln!(f, "degradations     {:>12}", self.degradations)?;
+        writeln!(f, "plan cache hits  {:>12}", self.plan_cache_hits)?;
+        writeln!(f, "shared subplans  {:>12}", self.shared_subplan_hits)?;
+        writeln!(f, "shared rows      {:>12}", self.shared_subplan_rows)?;
         write!(f, "TOTAL WORK       {:>12}", self.total_work())
     }
 }

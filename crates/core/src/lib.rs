@@ -23,10 +23,12 @@
 //! Starburst query rewrite that the paper emphasizes.
 
 pub mod baselines;
+pub mod fingerprint;
 pub mod magic;
 pub mod rules;
 pub mod trace;
 
+pub use fingerprint::{canonical_form, digest, fingerprint, shared_subplan_marks, SubplanMark};
 pub use magic::{
     magic_decorrelate, magic_decorrelate_traced, MagicOptions, MagicReport, SuppScope,
 };

@@ -203,7 +203,10 @@ pub fn analyze_uses(qgm: &Qgm, cur: BoxId, q: QuantId, child: BoxId) -> UseAnaly
 /// with AND.
 fn pred_null_rejecting(e: &Expr) -> bool {
     match e {
-        Expr::Col { .. } | Expr::Lit(_) => true,
+        // A Param is a literal at execution time; the analysis treats every
+        // literal uniformly, so the parameterized and the concrete graph
+        // take the same rewrite decisions.
+        Expr::Col { .. } | Expr::Lit(_) | Expr::Param(_) => true,
         Expr::Binary { op, left, right } => {
             use decorr_qgm::BinOp::*;
             match op {

@@ -33,6 +33,10 @@ pub fn eval_value<'a>(e: &'a Expr, env: &'a Env<'a>) -> Result<Cow<'a, Value>> {
             ))
         }),
         Expr::Lit(v) => Ok(Cow::Borrowed(v)),
+        Expr::Param(i) => Err(Error::internal(format!(
+            "unbound parameter ${i}: a cached plan template reached the \
+             executor without bind_params"
+        ))),
         Expr::Binary { op, left, right } => eval_binary(*op, left, right, env),
         Expr::Unary { op, expr } => {
             let v = eval_value(expr, env)?;

@@ -23,6 +23,7 @@ use decorr_storage::{Database, Table};
 
 use crate::env::{Env, Layout};
 use crate::eval::{eval_expr, qualifies};
+use crate::subplan::{SharedSubplans, SubplanLookup, SubplanShape};
 use crate::trace::{ExecTrace, JoinStrategy};
 use crate::vector;
 
@@ -79,6 +80,13 @@ pub struct ExecOptions {
     /// and a stale snapshot can never be served. `None` (the default)
     /// keeps the transpose cache private to the run.
     pub shared_cache: Option<crate::cache::ColumnarCache>,
+    /// The cross-query shared-subplan cache plus this plan's marked
+    /// shareable subtrees (SUPP/MAGIC/DCO/CI and multi-referenced CSEs).
+    /// Marked boxes are served from — or materialized into — the cache
+    /// keyed by canonical shape + table snapshot versions, so DDL /
+    /// reloads / `ANALYZE` invalidate by construction. `None` (the
+    /// default) disables cross-query sharing.
+    pub shared_subplans: Option<SharedSubplans>,
 }
 
 impl Default for ExecOptions {
@@ -92,6 +100,7 @@ impl Default for ExecOptions {
             mem_budget: None,
             columnar: true,
             shared_cache: None,
+            shared_subplans: None,
         }
     }
 }
@@ -323,11 +332,58 @@ impl<'a> Executor<'a> {
                 return Ok(RowBatch::clone(hit));
             }
         }
+        // Cross-query shared subplans: a marked box (SUPP/MAGIC/DCO/CI or
+        // a multi-referenced CSE) is served from — or materialized into —
+        // the process-wide cache, single-flight across concurrent queries.
+        let shared = self.opts.shared_subplans.as_ref().and_then(|ss| {
+            let key = self.subplan_key(ss.marks.get(&b)?)?;
+            Some((ss.cache.clone(), key))
+        });
+        if let Some((cache, key)) = shared {
+            match cache.lookup_or_begin(&key) {
+                SubplanLookup::Hit(rows) => {
+                    self.checkpoint(0)?;
+                    self.stats.shared_subplan_hits += 1;
+                    self.stats.shared_subplan_rows += rows.len() as u64;
+                    if let Some(trace) = &mut self.trace {
+                        trace.note_shared_hit(b);
+                    }
+                    if memoizable {
+                        self.cse_cache.insert(b, RowBatch::clone(&rows));
+                    }
+                    return Ok(rows);
+                }
+                SubplanLookup::Build(guard) => {
+                    // An error drops the guard, un-claiming the slot so
+                    // waiters fall through to their local fallback.
+                    let rows: RowBatch = self.eval_box(qgm, b, env)?.into();
+                    guard.finish(RowBatch::clone(&rows));
+                    if memoizable {
+                        self.cse_cache.insert(b, RowBatch::clone(&rows));
+                    }
+                    return Ok(rows);
+                }
+                SubplanLookup::Bypass => {}
+            }
+        }
         let rows: RowBatch = self.eval_box(qgm, b, env)?.into();
         if memoizable {
             self.cse_cache.insert(b, RowBatch::clone(&rows));
         }
         Ok(rows)
+    }
+
+    /// The full shared-subplan cache key for a marked subtree: canonical
+    /// shape plus `table@version` for every base table it reads. `None`
+    /// (skip caching) if a table is gone from this snapshot.
+    fn subplan_key(&self, m: &SubplanShape) -> Option<String> {
+        use std::fmt::Write as _;
+        let mut key = m.shape.clone();
+        for t in &m.tables {
+            let version = self.db.table(t).ok()?.version();
+            let _ = write!(key, ";{t}@{version}");
+        }
+        Some(key)
     }
 
     // ---- Select boxes ------------------------------------------------------

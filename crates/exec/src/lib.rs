@@ -34,6 +34,7 @@ pub mod cost;
 pub mod env;
 pub mod eval;
 pub mod exec;
+pub mod subplan;
 pub mod trace;
 mod vector;
 
@@ -42,6 +43,10 @@ pub use cost::{CostModel, Estimate};
 pub use decorr_stats::{BoxEstimate, PlanEstimate};
 pub use env::{Env, Layout};
 pub use exec::{ExecOptions, Executor, ScalarPlacement};
+pub use subplan::{
+    BuildGuard, CacheLedger, SharedSubplans, SubplanCache, SubplanCacheStats, SubplanLookup,
+    SubplanShape,
+};
 pub use trace::{BoxTrace, ExecTrace, JoinChoice, JoinStrategy};
 
 use decorr_common::{ExecStats, Result, Row};

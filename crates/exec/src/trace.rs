@@ -84,6 +84,9 @@ pub struct BoxTrace {
     /// aggregated like everything else, so a degraded join under nested
     /// iteration stays one entry however often it re-runs.
     pub degradations: Vec<(String, u64)>,
+    /// Times this box was served whole from the cross-query
+    /// shared-subplan cache instead of being evaluated.
+    pub shared_hits: u64,
 }
 
 /// The per-box operator trace of one execution.
@@ -139,6 +142,15 @@ impl ExecTrace {
             Some((_, n)) => *n += 1,
             None => e.degradations.push((reason.to_string(), 1)),
         }
+    }
+
+    pub(crate) fn note_shared_hit(&mut self, b: BoxId) {
+        self.entry(b).shared_hits += 1;
+    }
+
+    /// Total shared-subplan cache hits recorded across all boxes.
+    pub fn total_shared_hits(&self) -> u64 {
+        self.per_box.values().map(|t| t.shared_hits).sum()
     }
 
     /// Total degradations recorded across all boxes.
@@ -240,6 +252,9 @@ impl ExecTrace {
                 for (reason, n) in &t.degradations {
                     writeln!(out, "{pad}  degraded x{n}: {reason}").unwrap();
                 }
+                if t.shared_hits > 0 {
+                    writeln!(out, "{pad}  shared subplan hit x{}", t.shared_hits).unwrap();
+                }
             }
         }
         for &q in &bx.quants {
@@ -298,6 +313,7 @@ impl ExecTrace {
                         .end_object();
                 }
                 w.end_array();
+                w.field_uint("shared_subplan_hits", t.shared_hits);
             }
         }
         w.key("children").begin_array();

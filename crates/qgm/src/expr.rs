@@ -154,6 +154,13 @@ pub enum Expr {
     },
     /// Literal value.
     Lit(Value),
+    /// Placeholder for the `i`-th entry of a binding vector. Produced by
+    /// the plan-cache parameterization pass (`decorr_sql::parameterize`):
+    /// two queries differing only in literals bind to the same
+    /// parameterized graph, which is what gets fingerprinted and cached.
+    /// A plan containing `Param` nodes is a *template* — it must go
+    /// through [`crate::Qgm::bind_params`] before execution.
+    Param(usize),
     Binary {
         op: BinOp,
         left: Box<Expr>,
@@ -210,7 +217,7 @@ impl Expr {
     pub fn for_each_col<F: FnMut(QuantId, usize)>(&self, f: &mut F) {
         match self {
             Expr::Col { quant, col } => f(*quant, *col),
-            Expr::Lit(_) => {}
+            Expr::Lit(_) | Expr::Param(_) => {}
             Expr::Binary { left, right, .. } => {
                 left.for_each_col(f);
                 right.for_each_col(f);
@@ -237,7 +244,7 @@ impl Expr {
                 *quant = q;
                 *col = c;
             }
-            Expr::Lit(_) => {}
+            Expr::Lit(_) | Expr::Param(_) => {}
             Expr::Binary { left, right, .. } => {
                 left.map_cols(f);
                 right.map_cols(f);
@@ -278,7 +285,7 @@ impl Expr {
     pub fn contains_agg(&self) -> bool {
         match self {
             Expr::Agg { .. } => true,
-            Expr::Col { .. } | Expr::Lit(_) => false,
+            Expr::Col { .. } | Expr::Lit(_) | Expr::Param(_) => false,
             Expr::Binary { left, right, .. } => left.contains_agg() || right.contains_agg(),
             Expr::Unary { expr, .. } => expr.contains_agg(),
             Expr::Func { args, .. } => args.iter().any(Expr::contains_agg),
@@ -308,7 +315,7 @@ impl Expr {
             Expr::Col { quant: q, col } if *q == quant => {
                 *self = subst(*col);
             }
-            Expr::Col { .. } | Expr::Lit(_) => {}
+            Expr::Col { .. } | Expr::Lit(_) | Expr::Param(_) => {}
             Expr::Binary { left, right, .. } => {
                 left.substitute(quant, subst);
                 right.substitute(quant, subst);
@@ -322,6 +329,43 @@ impl Expr {
             Expr::Agg { arg, .. } => {
                 if let Some(a) = arg {
                     a.substitute(quant, subst);
+                }
+            }
+        }
+    }
+
+    /// Does the tree contain a [`Expr::Param`] placeholder? A graph with
+    /// parameters is a cached plan template, not an executable plan.
+    pub fn contains_param(&self) -> bool {
+        match self {
+            Expr::Param(_) => true,
+            Expr::Col { .. } | Expr::Lit(_) => false,
+            Expr::Binary { left, right, .. } => left.contains_param() || right.contains_param(),
+            Expr::Unary { expr, .. } => expr.contains_param(),
+            Expr::Func { args, .. } => args.iter().any(Expr::contains_param),
+            Expr::Agg { arg, .. } => arg.as_deref().is_some_and(Expr::contains_param),
+        }
+    }
+
+    /// Replace every [`Expr::Param`] node by whatever `subst` returns for
+    /// its index (typically a literal from a binding vector).
+    pub fn substitute_params<F: FnMut(usize) -> Expr>(&mut self, subst: &mut F) {
+        match self {
+            Expr::Param(i) => *self = subst(*i),
+            Expr::Col { .. } | Expr::Lit(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.substitute_params(subst);
+                right.substitute_params(subst);
+            }
+            Expr::Unary { expr, .. } => expr.substitute_params(subst),
+            Expr::Func { args, .. } => {
+                for a in args {
+                    a.substitute_params(subst);
+                }
+            }
+            Expr::Agg { arg, .. } => {
+                if let Some(a) = arg {
+                    a.substitute_params(subst);
                 }
             }
         }
@@ -346,6 +390,7 @@ impl fmt::Display for Expr {
         match self {
             Expr::Col { quant, col } => write!(f, "Q{}.c{}", quant.index(), col),
             Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Param(i) => write!(f, "${i}"),
             Expr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
             Expr::Unary { op: UnOp::Not, expr } => write!(f, "(NOT {expr})"),
             Expr::Unary { op: UnOp::Neg, expr } => write!(f, "(-{expr})"),

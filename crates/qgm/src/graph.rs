@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use decorr_common::{Error, FxHashSet, Result, Schema};
+use decorr_common::{Error, FxHashSet, Result, Schema, Value};
 
 use crate::expr::Expr;
 
@@ -487,6 +487,43 @@ impl Qgm {
             }
         }
         swept
+    }
+
+    /// Replace every [`Expr::Param`] placeholder in the graph by the
+    /// corresponding literal from `values`. This turns a cached plan
+    /// template (produced by binding a parameterized query) back into an
+    /// executable plan. Fails if the graph references a parameter index
+    /// beyond `values` — a plan-cache keying bug, not a user error.
+    pub fn bind_params(&mut self, values: &[Value]) -> Result<()> {
+        let mut out_of_range = None;
+        for b in self.boxes.iter_mut().flatten() {
+            b.for_each_expr_mut(|e| {
+                e.substitute_params(&mut |i| match values.get(i) {
+                    Some(v) => Expr::Lit(v.clone()),
+                    None => {
+                        out_of_range = Some(i);
+                        Expr::Lit(Value::Null)
+                    }
+                });
+            });
+        }
+        match out_of_range {
+            Some(i) => Err(Error::internal(format!(
+                "plan template references parameter ${i} but only {} binding{} given",
+                values.len(),
+                if values.len() == 1 { " was" } else { "s were" }
+            ))),
+            None => Ok(()),
+        }
+    }
+
+    /// Does any live box still contain a [`Expr::Param`] placeholder?
+    pub fn contains_params(&self) -> bool {
+        let mut found = false;
+        for b in self.live_boxes() {
+            b.for_each_expr(|e| found |= e.contains_param());
+        }
+        found
     }
 
     /// Resolve an output-column name on a box to its position.

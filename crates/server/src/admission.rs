@@ -224,6 +224,32 @@ impl AdmissionControl {
         self.state.lock().map(|s| s.running).unwrap_or(0)
     }
 
+    /// Try to reserve `rows` rows of the global pool for cached results
+    /// (the shared-subplan cache charges its residency here, so cached
+    /// intermediates and running queries draw from the same budget).
+    /// Non-blocking: a refusal means "do not cache", never "wait".
+    pub fn try_reserve_cache_rows(&self, rows: usize) -> bool {
+        let Ok(mut st) = self.state.lock() else {
+            return false;
+        };
+        if st.mem_used + rows <= self.quotas.mem_pool_rows {
+            st.mem_used += rows;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Return rows reserved with [`Self::try_reserve_cache_rows`] to the
+    /// pool (cache eviction / clear), waking queued queries that were
+    /// blocked on memory.
+    pub fn release_cache_rows(&self, rows: usize) {
+        if let Ok(mut st) = self.state.lock() {
+            st.mem_used = st.mem_used.saturating_sub(rows);
+        }
+        self.slot_freed.notify_all();
+    }
+
     fn release(&self, session: u64, mem_rows: usize) {
         if let Ok(mut st) = self.state.lock() {
             st.running = st.running.saturating_sub(1);
@@ -236,6 +262,24 @@ impl AdmissionControl {
             }
         }
         self.slot_freed.notify_all();
+    }
+}
+
+/// [`decorr_exec::CacheLedger`] over the admission controller's memory
+/// pool: the shared-subplan cache charges the rows it retains against
+/// the same global pool running queries reserve from, so cached
+/// intermediates can never oversubscribe memory the admission policy
+/// promised to queries.
+#[derive(Debug, Clone)]
+pub struct PoolLedger(pub std::sync::Arc<AdmissionControl>);
+
+impl decorr_exec::CacheLedger for PoolLedger {
+    fn try_reserve(&self, rows: u64) -> bool {
+        self.0.try_reserve_cache_rows(rows as usize)
+    }
+
+    fn release(&self, rows: u64) {
+        self.0.release_cache_rows(rows as usize);
     }
 }
 
@@ -313,6 +357,24 @@ mod tests {
         std::thread::sleep(Duration::from_millis(50));
         drop(held);
         assert!(waiter.join().expect("waiter thread").is_ok());
+    }
+
+    #[test]
+    fn cache_rows_draw_from_the_query_memory_pool() {
+        let ac = AdmissionControl::new(Quotas {
+            mem_pool_rows: 100,
+            per_query_mem_rows: 80,
+            ..quotas(8, 0, 0)
+        });
+        assert!(ac.try_reserve_cache_rows(30));
+        assert!(!ac.try_reserve_cache_rows(80), "pool cannot cover both");
+        // A query's 80-row reservation no longer fits either.
+        match ac.admit(1) {
+            Err(Error::Overloaded(_)) => {}
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        ac.release_cache_rows(30);
+        assert!(ac.admit(1).is_ok());
     }
 
     #[test]

@@ -20,8 +20,9 @@
 
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
+use decorr::plan_cache::PlanCache;
 use decorr_common::{Error, Result};
-use decorr_exec::{ColumnarCache, CostModel};
+use decorr_exec::{ColumnarCache, CostModel, SubplanCache};
 use decorr_stats::Statistics;
 use decorr_storage::Database;
 
@@ -70,6 +71,12 @@ pub struct SharedCatalog {
     /// updates to each other.
     writer: Mutex<()>,
     cache: ColumnarCache,
+    /// Process-wide plan cache. Keys include the epoch, so publishing a
+    /// new version invalidates every cached plan by construction.
+    plans: PlanCache,
+    /// Process-wide materialized-intermediate cache for magic/SUPP
+    /// subtrees, keyed by subtree shape + table snapshot versions.
+    subplans: SubplanCache,
 }
 
 fn poisoned() -> Error {
@@ -87,6 +94,8 @@ impl SharedCatalog {
             })),
             writer: Mutex::new(()),
             cache: ColumnarCache::new(),
+            plans: PlanCache::default(),
+            subplans: SubplanCache::default(),
         }
     }
 
@@ -112,6 +121,18 @@ impl SharedCatalog {
     /// [`decorr_exec::ExecOptions::shared_cache`].
     pub fn columnar_cache(&self) -> &ColumnarCache {
         &self.cache
+    }
+
+    /// The process-wide plan cache (fingerprint + epoch + mode → raced
+    /// plan template).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plans
+    }
+
+    /// The process-wide shared-subplan cache, for
+    /// [`decorr_exec::ExecOptions::shared_subplans`].
+    pub fn subplan_cache(&self) -> &SubplanCache {
+        &self.subplans
     }
 
     /// Copy-on-write update: clone the current database, apply `f`, and

@@ -27,7 +27,7 @@ pub mod repl;
 pub mod server;
 pub mod session;
 
-pub use admission::{AdmissionControl, AdmissionPermit, AdmissionStats, Quotas};
+pub use admission::{AdmissionControl, AdmissionPermit, AdmissionStats, PoolLedger, Quotas};
 pub use catalog::{CatalogVersion, SharedCatalog};
 pub use client::{LineClient, Reply, Status};
 pub use repl::run_repl;

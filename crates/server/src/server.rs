@@ -3,7 +3,9 @@
 //! # Protocol
 //!
 //! Text, line-oriented, one request per line (the same language the REPL
-//! speaks: `\commands`, `ANALYZE`, `EXPLAIN COST …`, plain SQL). Each
+//! speaks: `\commands`, `ANALYZE`, `EXPLAIN COST …`, plain SQL, and the
+//! prepared-statement verbs `PREPARE <name> AS <sql>`,
+//! `EXECUTE <name>[(arg, …)]` and `DEALLOCATE <name>`). Each
 //! request yields zero or more payload lines followed by exactly one
 //! terminator line:
 //!
@@ -38,7 +40,7 @@ use std::thread::JoinHandle;
 use decorr_common::{Error, Result};
 use decorr_storage::Database;
 
-use crate::admission::{AdmissionControl, Quotas};
+use crate::admission::{AdmissionControl, PoolLedger, Quotas};
 use crate::catalog::SharedCatalog;
 use crate::session::{Control, Session, SessionSettings};
 
@@ -98,9 +100,16 @@ pub fn serve(db: Database, config: ServerConfig) -> Result<ServerHandle> {
         .local_addr()
         .map_err(|e| Error::internal(format!("local_addr: {e}")))?;
 
+    let catalog = Arc::new(SharedCatalog::new(db));
+    let admission = Arc::new(AdmissionControl::new(config.quotas));
+    // Shared-subplan materializations draw from the same memory pool as
+    // query buffers: a big cached intermediate sheds queries, never OOMs.
+    catalog
+        .subplan_cache()
+        .set_ledger(Arc::new(PoolLedger(Arc::clone(&admission))));
     let shared = Arc::new(Shared {
-        catalog: Arc::new(SharedCatalog::new(db)),
-        admission: Arc::new(AdmissionControl::new(config.quotas)),
+        catalog,
+        admission,
         defaults: config.session_defaults,
         next_session: AtomicU64::new(1),
         stopping: AtomicBool::new(false),

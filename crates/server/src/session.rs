@@ -24,16 +24,20 @@
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use decorr::choose::{audit_estimates, choose_strategy_with};
-use decorr_common::{Budget, CancelToken, Error, Result};
-use decorr_core::{apply_strategy, Strategy};
-use decorr_exec::{execute_traced, execute_with, ExecOptions};
-use decorr_qgm::print as qgm_print;
-use decorr_sql::parse_and_bind;
+use decorr::choose::{audit_estimates, choose_strategy_with, PlanChoice, StrategyEstimate};
+use decorr::plan_cache::{plan_bytes, CachedPlan};
+use decorr_common::{Budget, CancelToken, Error, FxHashMap, Result, Value};
+use decorr_core::{
+    apply_strategy, canonical_form, fingerprint as qgm_fingerprint, shared_subplan_marks, Strategy,
+};
+use decorr_exec::{execute_traced, execute_with, ExecOptions, SharedSubplans, SubplanShape};
+use decorr_qgm::{print as qgm_print, Qgm};
+use decorr_sql::lexer::{tokenize, TokenKind};
+use decorr_sql::{bind, parameterize, parse};
 use decorr_tpcd::{empdept, generate, TpcdConfig};
 
 use crate::admission::AdmissionControl;
-use crate::catalog::SharedCatalog;
+use crate::catalog::{CatalogVersion, SharedCatalog};
 
 /// Plan selection mode: the cost-based race, or one pinned strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +62,13 @@ pub struct SessionSettings {
     /// what the TCP protocol and the benches want; the REPL sets 20 to
     /// match the historical shell).
     pub max_display_rows: Option<usize>,
+    /// Consult the process-wide plan cache (fingerprint → raced plan
+    /// template) before racing strategies. `\set plan_cache off` forces
+    /// every statement through the full race.
+    pub plan_cache: bool,
+    /// Share materialized magic/SUPP subtrees with concurrent queries
+    /// through the process-wide subplan cache.
+    pub shared_subplans: bool,
 }
 
 impl Default for SessionSettings {
@@ -68,8 +79,46 @@ impl Default for SessionSettings {
             timeout_ticks: None,
             wall_timeout_ms: None,
             max_display_rows: None,
+            plan_cache: true,
+            shared_subplans: true,
         }
     }
+}
+
+/// How a statement's executable plan was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CacheStatus {
+    /// Plan cache hit: the cached template was rebound, no race ran.
+    Hit,
+    /// Plan cache miss: the race ran and the template was (maybe) cached.
+    Miss,
+    /// Caching disabled or inapplicable for this statement.
+    Off,
+}
+
+impl CacheStatus {
+    fn name(self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+            CacheStatus::Off => "off",
+        }
+    }
+}
+
+/// A planned statement: the concrete (literal-bound) winning plan plus
+/// how it was obtained. `choice.plan` is always executable as-is.
+struct Planned {
+    label: String,
+    choice: PlanChoice,
+    status: CacheStatus,
+}
+
+/// A named statement registered with `PREPARE`: the parameterized AST
+/// plus the literals from the original text (the default bindings).
+struct Prepared {
+    query: decorr_sql::Query,
+    defaults: Vec<Value>,
 }
 
 /// Whether the driver should keep reading after a response.
@@ -141,6 +190,8 @@ pub struct Session {
     /// token nobody reads instead of poisoning the next query.
     active: Arc<Mutex<Option<CancelToken>>>,
     queries_run: u64,
+    /// `PREPARE`d statements, by lowercased name.
+    prepared: FxHashMap<String, Prepared>,
 }
 
 impl Session {
@@ -158,6 +209,7 @@ impl Session {
             settings,
             active: Arc::new(Mutex::new(None)),
             queries_run: 0,
+            prepared: FxHashMap::default(),
         }
     }
 
@@ -206,7 +258,20 @@ impl Session {
         if let Some(sql) = strip_prefix_ci(stmt, "explain cost ") {
             return self.explain_cost(sql);
         }
-        self.run_sql(line, false)
+        if let Some(rest) = strip_prefix_ci(stmt, "prepare ") {
+            return self.handle_prepare(rest);
+        }
+        if let Some(rest) = strip_prefix_ci(stmt, "execute ") {
+            return self.handle_execute(rest);
+        }
+        if let Some(rest) = strip_prefix_ci(stmt, "deallocate ") {
+            let name = rest.trim().to_ascii_lowercase();
+            return match self.prepared.remove(&name) {
+                Some(_) => Ok(Response::line(format!("deallocated {name}"))),
+                None => Err(Error::parse(format!("no prepared statement {name:?}"))),
+            };
+        }
+        self.run_sql(stmt, false)
     }
 
     fn handle_command(&mut self, cmd: &str) -> Result<Response> {
@@ -330,20 +395,54 @@ impl Session {
                     ),
                 ]))
             }
+            "cache" => {
+                let p = self.catalog.plan_cache().stats();
+                let s = self.catalog.subplan_cache().stats();
+                Ok(Response::lines(vec![
+                    format!(
+                        "plan cache      {} entries, {}/{} bytes ({})",
+                        p.entries,
+                        p.bytes,
+                        p.budget,
+                        onoff(self.settings.plan_cache)
+                    ),
+                    format!("  hits          {}", p.hits),
+                    format!("  misses        {}", p.misses),
+                    format!("  insertions    {}", p.insertions),
+                    format!("  evictions     {}", p.evictions),
+                    format!(
+                        "shared subplans {} entries, {}/{} bytes ({})",
+                        s.entries,
+                        s.bytes,
+                        s.budget,
+                        onoff(self.settings.shared_subplans)
+                    ),
+                    format!("  hits          {}", s.hits),
+                    format!("  misses        {}", s.misses),
+                    format!("  bypasses      {}", s.bypasses),
+                    format!("  evictions     {}", s.evictions),
+                    format!("  rows built    {}", s.rows_built),
+                    format!("  rows reused   {}", s.rows_reused),
+                    format!("  shared work   {:.1}%", s.shared_work_ratio() * 100.0),
+                ]))
+            }
             other => Ok(Response::line(format!("unknown command \\{other}"))),
         }
     }
 
     fn handle_set(&mut self, knob: Option<&str>, value: Option<&str>) -> Result<Response> {
-        let usage = "usage: \\set <threads|columnar|timeout_ticks|wall_ms|max_rows> <value>";
+        let usage = "usage: \\set <threads|columnar|timeout_ticks|wall_ms|max_rows\
+                     |plan_cache|shared_subplans> <value>";
         let Some(knob) = knob else {
             let s = &self.settings;
             return Ok(Response::lines(vec![
-                format!("threads       {}", s.threads),
-                format!("columnar      {}", s.columnar),
-                format!("timeout_ticks {}", opt(s.timeout_ticks)),
-                format!("wall_ms       {}", opt(s.wall_timeout_ms)),
-                format!("max_rows      {}", opt(s.max_display_rows)),
+                format!("threads         {}", s.threads),
+                format!("columnar        {}", s.columnar),
+                format!("timeout_ticks   {}", opt(s.timeout_ticks)),
+                format!("wall_ms         {}", opt(s.wall_timeout_ms)),
+                format!("max_rows        {}", opt(s.max_display_rows)),
+                format!("plan_cache      {}", onoff(s.plan_cache)),
+                format!("shared_subplans {}", onoff(s.shared_subplans)),
             ]));
         };
         let Some(value) = value else {
@@ -372,75 +471,311 @@ impl Session {
                 self.settings.max_display_rows =
                     parse_opt(value).ok_or_else(|| bad(knob, value))?;
             }
+            // on/off toggles the knob; a number sets the process-wide
+            // byte budget for the cache (and turns the knob on).
+            "plan_cache" => match value {
+                "on" | "true" | "1" => self.settings.plan_cache = true,
+                "off" | "false" | "0" => self.settings.plan_cache = false,
+                v => match v.parse::<usize>() {
+                    Ok(bytes) => {
+                        self.catalog.plan_cache().set_budget(bytes);
+                        self.settings.plan_cache = true;
+                    }
+                    Err(_) => return Err(bad(knob, value)),
+                },
+            },
+            "shared_subplans" => match value {
+                "on" | "true" | "1" => self.settings.shared_subplans = true,
+                "off" | "false" | "0" => self.settings.shared_subplans = false,
+                v => match v.parse::<usize>() {
+                    Ok(bytes) => {
+                        self.catalog.subplan_cache().set_budget(bytes);
+                        self.settings.shared_subplans = true;
+                    }
+                    Err(_) => return Err(bad(knob, value)),
+                },
+            },
             _ => return Ok(Response::line(usage)),
         }
         Ok(Response::line("ok"))
     }
 
+    /// `EXPLAIN COST`: report the race *through the plan cache*, so what
+    /// is shown is exactly the plan a subsequent execution will run (and
+    /// on a hit, the race table is the cached one — no re-race).
     fn explain_cost(&mut self, sql: &str) -> Result<Response> {
         let snap = self.catalog.snapshot();
-        let qgm = parse_and_bind(sql, snap.db())?;
-        let choice = choose_strategy_with(&snap.cost_model(), qgm)?;
-        let mut lines = vec!["strategy race (cheapest first):".to_string()];
-        lines.extend(render_lines(choice.render()));
+        let ast = parse(sql)?;
+        let planned = self.plan_query(&snap, &ast)?;
+        let mut lines = vec![format!(
+            "strategy race (cheapest first) [plan cache {}]:",
+            planned.status.name()
+        )];
+        lines.extend(render_lines(planned.choice.render()));
         let (_, _, trace) = execute_traced(
             snap.db(),
-            &choice.plan,
+            &planned.choice.plan,
             self.exec_opts(CancelToken::new(), None),
         )?;
-        let report = audit_estimates(&choice.plan, &choice.plan_estimate, &trace);
+        let report = audit_estimates(&planned.choice.plan, &planned.choice.plan_estimate, &trace);
         lines.push(format!(
             "estimation accuracy ({} plan):",
-            choice.strategy.name()
+            planned.choice.strategy.name()
         ));
         lines.extend(render_lines(report.render()));
         Ok(Response::lines(lines))
     }
 
+    /// `PREPARE <name> AS <sql>`: parse once, hoist literals into the
+    /// default binding vector, and warm the plan cache for the shape.
+    fn handle_prepare(&mut self, rest: &str) -> Result<Response> {
+        let usage = || Error::parse("usage: PREPARE <name> AS <sql>".to_string());
+        let (name, tail) = rest.split_once(char::is_whitespace).ok_or_else(usage)?;
+        let sql = strip_prefix_ci(tail.trim(), "as ").ok_or_else(usage)?;
+        let name = valid_name(name)?;
+        let query = parse(sql)?;
+        let (pquery, defaults) = parameterize(&query);
+        // Plan now: surfaces binder errors at PREPARE time and warms the
+        // cache so the first EXECUTE is already a hit.
+        let snap = self.catalog.snapshot();
+        let planned = self.plan_query(&snap, &query)?;
+        let n = defaults.len();
+        let line = format!(
+            "prepared {name} ({n} parameter{}) via {} [plan cache {}]",
+            if n == 1 { "" } else { "s" },
+            planned.label,
+            planned.status.name()
+        );
+        self.prepared
+            .insert(name, Prepared { query: pquery, defaults });
+        Ok(Response::line(line))
+    }
+
+    /// `EXECUTE <name>[(arg, …)]`: rebind the prepared shape with the
+    /// given literals (or the PREPARE-time defaults) and run it through
+    /// the plan cache — the race is skipped on every shape hit.
+    fn handle_execute(&mut self, rest: &str) -> Result<Response> {
+        let rest = rest.trim();
+        let (name, args_src) = match rest.find('(') {
+            Some(i) => (rest[..i].trim_end(), Some(&rest[i..])),
+            None => (rest, None),
+        };
+        let name = name.to_ascii_lowercase();
+        let Some(p) = self.prepared.get(&name) else {
+            return Err(Error::parse(format!(
+                "no prepared statement {name:?}; PREPARE it first"
+            )));
+        };
+        let bindings = match args_src {
+            None => p.defaults.clone(),
+            Some(src) => parse_exec_args(src)?,
+        };
+        if bindings.len() != p.defaults.len() {
+            return Err(Error::parse(format!(
+                "execute {name}: expected {} argument(s), got {}",
+                p.defaults.len(),
+                bindings.len()
+            )));
+        }
+        let query = p.query.clone();
+        let snap = self.catalog.snapshot();
+        let qgm = bind(&query, snap.db())?;
+        decorr_qgm::validate::validate(&qgm)?;
+        let planned = if self.settings.plan_cache {
+            self.plan_parameterized(&snap, qgm, bindings)?
+        } else {
+            let mut concrete = qgm;
+            concrete.bind_params(&bindings)?;
+            let choice = self.race_or_fixed(&snap, concrete)?;
+            let label = self.label_for(&choice);
+            Planned { label, choice, status: CacheStatus::Off }
+        };
+        self.execute_planned(&snap, planned)
+    }
+
     /// Execute one SQL statement (or just render its plan). The full
-    /// service path: snapshot → admission → plan → fresh cancel token →
-    /// execute → release (permit dropped).
+    /// service path: snapshot → plan (through the cache) → admission →
+    /// fresh cancel token → execute → release (permit dropped).
     fn run_sql(&mut self, sql: &str, explain_only: bool) -> Result<Response> {
         // Snapshot before admission: the query runs against one epoch no
         // matter how long it queues or how many writers publish meanwhile.
         let snap = self.catalog.snapshot();
-        let qgm = parse_and_bind(sql, snap.db())?;
-        let (label, plan) = match self.mode {
-            Mode::Auto => {
-                let choice = choose_strategy_with(&snap.cost_model(), qgm)?;
-                (
-                    format!(
-                        "{} (est cost {:.0})",
-                        choice.strategy.name(),
-                        choice.estimate.cost
-                    ),
-                    choice.plan,
-                )
-            }
-            Mode::Fixed(s) => (s.name().to_string(), apply_strategy(&qgm, s)?),
-        };
+        let ast = parse(sql)?;
+        let planned = self.plan_query(&snap, &ast)?;
         if explain_only {
-            let mut lines = vec![format!("-- plan: {label}")];
-            lines.extend(render_lines(qgm_print::render(&plan)));
+            let mut lines = vec![format!(
+                "-- plan: {} [plan cache {}]",
+                planned.label,
+                planned.status.name()
+            )];
+            lines.extend(render_lines(qgm_print::render(&planned.choice.plan)));
             return Ok(Response::lines(lines));
         }
+        self.execute_planned(&snap, planned)
+    }
 
+    /// Plan a parsed statement, consulting the plan cache when enabled.
+    fn plan_query(
+        &mut self,
+        snap: &Arc<CatalogVersion>,
+        ast: &decorr_sql::Query,
+    ) -> Result<Planned> {
+        if self.settings.plan_cache {
+            let (pquery, bindings) = parameterize(ast);
+            let bound = bind(&pquery, snap.db());
+            if let Ok(pqgm) = bound {
+                if decorr_qgm::validate::validate(&pqgm).is_ok() {
+                    return self.plan_parameterized(snap, pqgm, bindings);
+                }
+            }
+            // Parameterization produced a graph the binder/validator
+            // rejects (a literal in a shape-bearing position): fall back
+            // to the uncached path rather than failing the statement.
+        }
+        let qgm = bind(ast, snap.db())?;
+        decorr_qgm::validate::validate(&qgm)?;
+        let choice = self.race_or_fixed(snap, qgm)?;
+        let label = self.label_for(&choice);
+        Ok(Planned { label, choice, status: CacheStatus::Off })
+    }
+
+    /// The cached planning path: `pqgm` is the parameterized shape,
+    /// `bindings` the literals hoisted out of this statement's text.
+    fn plan_parameterized(
+        &mut self,
+        snap: &Arc<CatalogVersion>,
+        pqgm: Qgm,
+        bindings: Vec<Value>,
+    ) -> Result<Planned> {
+        let mode_key = match self.mode {
+            Mode::Auto => "auto".to_string(),
+            Mode::Fixed(s) => s.name().to_string(),
+        };
+        let fp = qgm_fingerprint(&pqgm);
+        let cache = self.catalog.plan_cache();
+        if let Some(hit) = cache.get(&fp, snap.epoch(), &mode_key) {
+            if hit.param_count == bindings.len() {
+                let mut choice = hit.choice.clone();
+                choice.plan.bind_params(&bindings)?;
+                let label = self.label_for(&choice);
+                return Ok(Planned { label, choice, status: CacheStatus::Hit });
+            }
+        }
+        // Miss: race the *concrete* graph — the estimator must price real
+        // literals, not placeholders.
+        let mut concrete = pqgm.clone();
+        concrete.bind_params(&bindings)?;
+        let choice = self.race_or_fixed(snap, concrete)?;
+        let label = self.label_for(&choice);
+
+        // Build the cacheable template: the parameterized graph rewritten
+        // by the winning strategy. NestedIteration under Auto is special —
+        // the race returns the input graph untouched, so the template is
+        // `pqgm` as-is (apply_strategy would run the rule optimizer and
+        // diverge from what actually won).
+        let template = match (self.mode, choice.strategy) {
+            (Mode::Auto, Strategy::NestedIteration) => Ok(pqgm.clone()),
+            (_, s) => apply_strategy(&pqgm, s),
+        };
+        if let Ok(template) = template {
+            // Cache only if rebinding the template provably reproduces the
+            // concrete winner — belt and braces against any rewrite that
+            // inspects literal values.
+            let mut check = template.clone();
+            let faithful = check.bind_params(&bindings).is_ok()
+                && canonical_form(&check, check.top())
+                    == canonical_form(&choice.plan, choice.plan.top());
+            if faithful {
+                let bytes = plan_bytes(&template) + fp.len() + 64;
+                let cached = CachedPlan {
+                    choice: PlanChoice {
+                        strategy: choice.strategy,
+                        plan: template,
+                        estimate: choice.estimate,
+                        plan_estimate: choice.plan_estimate.clone(),
+                        ranked: choice.ranked.clone(),
+                    },
+                    param_count: bindings.len(),
+                    bytes,
+                };
+                cache.insert(&fp, snap.epoch(), &mode_key, Arc::new(cached));
+            }
+        }
+        Ok(Planned { label, choice, status: CacheStatus::Miss })
+    }
+
+    /// Race strategies (Auto) or apply the pinned one (Fixed), producing
+    /// a [`PlanChoice`] either way so downstream rendering is uniform.
+    fn race_or_fixed(&self, snap: &Arc<CatalogVersion>, qgm: Qgm) -> Result<PlanChoice> {
+        match self.mode {
+            Mode::Auto => choose_strategy_with(&snap.cost_model(), qgm),
+            Mode::Fixed(s) => {
+                let plan = apply_strategy(&qgm, s)?;
+                let plan_estimate = snap.cost_model().estimate_plan(&plan)?;
+                let estimate = plan_estimate.total();
+                Ok(PlanChoice {
+                    strategy: s,
+                    plan,
+                    estimate,
+                    plan_estimate,
+                    ranked: vec![StrategyEstimate {
+                        strategy: s,
+                        estimate: Some(estimate),
+                        unsound: s == Strategy::Kim,
+                        note: Some("pinned by \\strategy".into()),
+                    }],
+                })
+            }
+        }
+    }
+
+    fn label_for(&self, choice: &PlanChoice) -> String {
+        match self.mode {
+            Mode::Auto => format!(
+                "{} (est cost {:.0})",
+                choice.strategy.name(),
+                choice.estimate.cost
+            ),
+            Mode::Fixed(s) => s.name().to_string(),
+        }
+    }
+
+    /// Admission → fresh cancel token → execute (with shared subplans
+    /// when enabled) → release → render rows + footer.
+    fn execute_planned(
+        &mut self,
+        snap: &Arc<CatalogVersion>,
+        planned: Planned,
+    ) -> Result<Response> {
         let permit = self.admission.admit(self.id)?;
         // Fresh token per query — never reuse (one-shot contract).
         let cancel = CancelToken::new();
         self.set_active(Some(cancel.clone()));
         let started = Instant::now();
-        let result = execute_with(
-            snap.db(),
-            &plan,
-            self.exec_opts(cancel, Some(permit.mem_rows())),
-        );
+        let mut opts = self.exec_opts(cancel, Some(permit.mem_rows()));
+        if self.settings.shared_subplans {
+            // Marks are computed on the *concrete* plan: the executor
+            // appends table snapshot versions, so the key pins both the
+            // bindings (via literals in the shape) and the data.
+            let marks: FxHashMap<_, _> = shared_subplan_marks(&planned.choice.plan)
+                .into_iter()
+                .map(|m| (m.box_id, SubplanShape { shape: m.shape, tables: m.tables }))
+                .collect();
+            if !marks.is_empty() {
+                opts.shared_subplans =
+                    Some(SharedSubplans { cache: self.catalog.subplan_cache().clone(), marks });
+            }
+        }
+        let result = execute_with(snap.db(), &planned.choice.plan, opts);
         // The token stays in `active` (settled) until the next query
         // replaces it; see the field docs.
-        let (rows, stats) = result?;
+        let (rows, mut stats) = result?;
         drop(permit);
         let elapsed = started.elapsed();
         self.queries_run += 1;
+        if planned.status == CacheStatus::Hit {
+            stats.plan_cache_hits += 1;
+        }
 
         let shown = self.settings.max_display_rows.unwrap_or(usize::MAX);
         let mut lines: Vec<String> = rows.iter().take(shown).map(|r| r.to_string()).collect();
@@ -448,12 +783,14 @@ impl Session {
             lines.push(format!("... ({} rows total)", rows.len()));
         }
         lines.push(format!(
-            "-- {} rows via {label} in {:.3} ms (epoch {}, {} subquery invocations, {} work units)",
+            "-- {} rows via {} in {:.3} ms (epoch {}, {} subquery invocations, {} work units, plan cache {})",
             rows.len(),
+            planned.label,
             elapsed.as_secs_f64() * 1e3,
             snap.epoch(),
             stats.subquery_invocations,
-            stats.total_work()
+            stats.total_work(),
+            planned.status.name()
         ));
         Ok(Response::lines(lines))
     }
@@ -489,6 +826,95 @@ impl Session {
 
 fn opt<T: std::fmt::Display>(v: Option<T>) -> String {
     v.map(|x| x.to_string()).unwrap_or_else(|| "none".into())
+}
+
+fn onoff(b: bool) -> &'static str {
+    if b {
+        "on"
+    } else {
+        "off"
+    }
+}
+
+/// Validate a PREPARE name: identifier-shaped, stored lowercased.
+fn valid_name(name: &str) -> Result<String> {
+    let ok = !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+    if ok {
+        Ok(name.to_ascii_lowercase())
+    } else {
+        Err(Error::parse(format!("bad statement name {name:?}")))
+    }
+}
+
+/// Parse an `EXECUTE` argument list — `(lit, lit, …)` — into values,
+/// reusing the SQL lexer so quoting and numeric forms match the parser.
+fn parse_exec_args(src: &str) -> Result<Vec<Value>> {
+    let err = |msg: String| Error::parse(format!("execute arguments: {msg}"));
+    let toks = tokenize(src)?;
+    let mut values = Vec::new();
+    let mut i = 0;
+    let kind = |j: usize| toks.get(j).map(|t| &t.kind);
+    if kind(i) != Some(&TokenKind::LParen) {
+        return Err(err("expected '('".into()));
+    }
+    i += 1;
+    if kind(i) == Some(&TokenKind::RParen) {
+        i += 1;
+    } else {
+        loop {
+            let mut negate = false;
+            if kind(i) == Some(&TokenKind::Minus) {
+                negate = true;
+                i += 1;
+            }
+            let v = match kind(i) {
+                Some(TokenKind::Number(n)) => parse_number(n, negate)?,
+                Some(TokenKind::StringLit(s)) if !negate => Value::Str(s.as_str().into()),
+                Some(TokenKind::Keyword(k)) if !negate => match k.as_str() {
+                    "NULL" => Value::Null,
+                    "TRUE" => Value::Bool(true),
+                    "FALSE" => Value::Bool(false),
+                    other => return Err(err(format!("unexpected {other}"))),
+                },
+                other => {
+                    return Err(err(format!(
+                        "expected a literal, found {}",
+                        other.map(|k| k.to_string()).unwrap_or_else(|| "end".into())
+                    )))
+                }
+            };
+            values.push(v);
+            i += 1;
+            match kind(i) {
+                Some(TokenKind::Comma) => i += 1,
+                Some(TokenKind::RParen) => {
+                    i += 1;
+                    break;
+                }
+                _ => return Err(err("expected ',' or ')'".into())),
+            }
+        }
+    }
+    match kind(i) {
+        Some(TokenKind::Eof) | None => Ok(values),
+        Some(k) => Err(err(format!("trailing input after ')': {k}"))),
+    }
+}
+
+fn parse_number(text: &str, negate: bool) -> Result<Value> {
+    let err = || Error::parse(format!("execute arguments: bad number {text:?}"));
+    if text.contains(['.', 'e', 'E']) {
+        let d: f64 = text.parse().map_err(|_| err())?;
+        Ok(Value::Double(if negate { -d } else { d }))
+    } else {
+        let n: i64 = text.parse().map_err(|_| err())?;
+        Ok(Value::Int(if negate { -n } else { n }))
+    }
 }
 
 /// `"none"` → `Some(None)`, a number → `Some(Some(n))`, junk → `None`.
@@ -582,5 +1008,115 @@ mod tests {
         let r = s.handle_line("ANALYZE;").unwrap();
         assert!(r.lines.last().unwrap().contains("epoch"));
         assert_eq!(s.catalog.epoch(), before + 1);
+    }
+
+    fn footer(r: &Response) -> &str {
+        r.lines.last().unwrap()
+    }
+
+    #[test]
+    fn repeated_shape_hits_the_plan_cache_with_fresh_bindings() {
+        let mut s = session();
+        let a = s.handle_line("SELECT t.x FROM t WHERE t.x > 1").unwrap();
+        assert!(footer(&a).contains("plan cache miss"), "{:?}", a.lines);
+        assert_eq!(a.lines.len(), 3); // x=2, x=3, footer
+                                      // Same shape, different literal: must hit and use the new binding.
+        let b = s.handle_line("SELECT t.x FROM t WHERE t.x > 2").unwrap();
+        assert!(footer(&b).contains("plan cache hit"), "{:?}", b.lines);
+        assert_eq!(b.lines.len(), 2, "{:?}", b.lines); // x=3, footer
+        assert_eq!(b.lines[0], "(3)");
+        let stats = s.catalog.plan_cache().stats();
+        assert_eq!(stats.hits, 1);
+        assert!(stats.misses >= 1);
+    }
+
+    #[test]
+    fn analyze_invalidates_cached_plans() {
+        let mut s = session();
+        s.handle_line("SELECT t.x FROM t WHERE t.x > 1").unwrap();
+        s.handle_line("ANALYZE").unwrap();
+        let r = s.handle_line("SELECT t.x FROM t WHERE t.x > 1").unwrap();
+        assert!(footer(&r).contains("plan cache miss"), "{:?}", r.lines);
+    }
+
+    #[test]
+    fn plan_cache_off_bypasses_the_cache() {
+        let mut s = session();
+        s.handle_line("\\set plan_cache off").unwrap();
+        let r = s.handle_line("SELECT t.x FROM t WHERE t.x > 1").unwrap();
+        assert!(footer(&r).contains("plan cache off"), "{:?}", r.lines);
+        assert_eq!(s.catalog.plan_cache().stats().misses, 0);
+        assert!(s.handle_line("\\set plan_cache banana").is_err());
+        assert!(s.handle_line("\\set shared_subplans banana").is_err());
+    }
+
+    #[test]
+    fn prepare_execute_deallocate_round_trip() {
+        let mut s = session();
+        let r = s
+            .handle_line("PREPARE pick AS SELECT t.x FROM t WHERE t.x > 1")
+            .unwrap();
+        assert!(
+            r.lines[0].starts_with("prepared pick (1 parameter)"),
+            "{:?}",
+            r.lines
+        );
+        // Defaults re-run the PREPARE-time literal.
+        let d = s.handle_line("EXECUTE pick").unwrap();
+        assert!(footer(&d).contains("plan cache hit"), "{:?}", d.lines);
+        assert_eq!(d.lines.len(), 3); // x=2, x=3, footer
+                                      // Explicit argument rebinds without re-racing.
+        let e = s.handle_line("EXECUTE pick(2)").unwrap();
+        assert!(footer(&e).contains("plan cache hit"), "{:?}", e.lines);
+        assert_eq!(e.lines[0], "(3)");
+        // Arity is checked.
+        assert!(s.handle_line("EXECUTE pick(1, 2)").is_err());
+        // Unknown literals are typed errors, not panics.
+        assert!(s.handle_line("EXECUTE pick(t.x)").is_err());
+        s.handle_line("DEALLOCATE pick").unwrap();
+        assert!(s.handle_line("EXECUTE pick").is_err());
+    }
+
+    #[test]
+    fn execute_accepts_negative_string_and_null_literals() {
+        let args = parse_exec_args("(-3, 'abc', NULL, TRUE, 1.5)").unwrap();
+        assert_eq!(
+            args,
+            vec![
+                Value::Int(-3),
+                Value::Str("abc".into()),
+                Value::Null,
+                Value::Bool(true),
+                Value::Double(1.5),
+            ]
+        );
+        assert!(parse_exec_args("(1,)").is_err());
+        assert!(parse_exec_args("(1) extra").is_err());
+        assert!(parse_exec_args("1").is_err());
+    }
+
+    #[test]
+    fn explain_cost_reports_the_cached_plan() {
+        let mut s = session();
+        s.handle_line("SELECT t.x FROM t WHERE t.x > 1").unwrap();
+        let r = s
+            .handle_line("EXPLAIN COST SELECT t.x FROM t WHERE t.x > 2")
+            .unwrap();
+        assert!(
+            r.lines[0].contains("[plan cache hit]"),
+            "EXPLAIN COST must go through the cache: {:?}",
+            r.lines
+        );
+    }
+
+    #[test]
+    fn cache_command_reports_counters() {
+        let mut s = session();
+        s.handle_line("SELECT t.x FROM t WHERE t.x > 1").unwrap();
+        let r = s.handle_line("\\cache").unwrap();
+        let text = r.lines.join("\n");
+        assert!(text.contains("plan cache"), "{text}");
+        assert!(text.contains("shared subplans"), "{text}");
+        assert!(text.contains("shared work"), "{text}");
     }
 }

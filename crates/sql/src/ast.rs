@@ -89,6 +89,11 @@ pub enum AstExpr {
         name: String,
     },
     Literal(Value),
+    /// Placeholder for the `i`-th entry of a binding vector, produced by
+    /// [`crate::parameterize`] (never by the parser): the plan cache
+    /// replaces literals with parameters so that queries differing only in
+    /// constants normalize to one shape.
+    Param(usize),
     Binary {
         op: AstBinOp,
         left: Box<AstExpr>,
@@ -187,7 +192,7 @@ impl AstExpr {
     pub fn contains_agg(&self) -> bool {
         match self {
             AstExpr::CountStar | AstExpr::Agg { .. } => true,
-            AstExpr::Ident { .. } | AstExpr::Literal(_) => false,
+            AstExpr::Ident { .. } | AstExpr::Literal(_) | AstExpr::Param(_) => false,
             AstExpr::Binary { left, right, .. } => left.contains_agg() || right.contains_agg(),
             AstExpr::Unary { expr, .. } => expr.contains_agg(),
             AstExpr::Coalesce(args) => args.iter().any(AstExpr::contains_agg),

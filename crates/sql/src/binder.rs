@@ -370,7 +370,7 @@ impl<'a> Binder<'a> {
             return Ok(Expr::col(placeholder, *pos));
         }
         // Structural match against a grouping expression?
-        if !matches!(e, AstExpr::Literal(_)) {
+        if !matches!(e, AstExpr::Literal(_) | AstExpr::Param(_)) {
             if let Ok(bound) = self.bind_scalar(e, scope) {
                 if let Some(i) = group_exprs.iter().position(|g| *g == bound) {
                     return Ok(Expr::col(placeholder, i));
@@ -388,6 +388,7 @@ impl<'a> Binder<'a> {
         // Recurse structurally.
         match e {
             AstExpr::Literal(v) => Ok(Expr::Lit(v.clone())),
+            AstExpr::Param(i) => Ok(Expr::Param(*i)),
             AstExpr::Binary { op, left, right } => Ok(Expr::bin(
                 map_binop(*op)?,
                 self.bind_item_over_group(left, scope, group_exprs, agg_pos, placeholder)?,
@@ -541,6 +542,7 @@ impl<'a> Binder<'a> {
                 self.resolve_ident(qualifier.as_deref(), name, scope)
             }
             AstExpr::Literal(v) => Ok(Expr::Lit(v.clone())),
+            AstExpr::Param(i) => Ok(Expr::Param(*i)),
             AstExpr::Binary { op, left, right } => Ok(Expr::bin(
                 map_binop(*op)?,
                 self.bind_scalar_inner(left, spj, scope)?,

@@ -19,10 +19,12 @@
 pub mod ast;
 pub mod binder;
 pub mod lexer;
+pub mod param;
 pub mod parser;
 
 pub use ast::Query;
 pub use binder::bind;
+pub use param::parameterize;
 pub use parser::parse;
 
 use decorr_common::Result;

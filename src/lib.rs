@@ -40,6 +40,7 @@
 //! ```
 
 pub mod choose;
+pub mod plan_cache;
 
 pub use decorr_common as common;
 pub use decorr_core as core;
@@ -65,6 +66,7 @@ pub mod prelude {
     pub use crate::choose::{
         audit_estimates, choose_strategy, choose_strategy_with, PlanChoice, StrategyEstimate,
     };
+    pub use crate::plan_cache::{CachedPlan, PlanCache, PlanCacheStats};
     pub use decorr_exec::CostModel;
     pub use decorr_stats::Statistics;
 }
