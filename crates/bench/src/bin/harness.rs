@@ -3,13 +3,15 @@
 //! counters.
 //!
 //! ```text
-//! harness [table1|fig5|fig6|fig7|fig8|fig9|parallel|countbug|ablation|accuracy|chaos|serve-bench|all]
+//! harness [table1|fig5|fig6|fig7|fig8|fig9|parallel|countbug|ablation|accuracy|chaos
+//!          |serve-bench|storage-bench|all]
 //!         [--scale S] [--seed N] [--nodes N1,N2,...] [--threads N]
 //!         [--trace] [--analyze] [--explain-cost] [--qerr-threshold Q]
 //!         [--fault-seed S1,S2,...] [--replication K1,K2,...]
 //!         [--timeout-ms MS] [--mem-budget ROWS] [--bench-json [PATH]]
 //!         [--columnar|--no-columnar] [--clients N] [--queries N]
 //!         [--concurrency N] [--repeat-workload]
+//!         [--pool-bytes N] [--data-dir DIR]
 //! ```
 //!
 //! `--threads N` runs the figure executors on a worker pool of N threads
@@ -58,13 +60,23 @@
 //! bump forces misses (no stale plans). It fails unless hit p50 beats
 //! cold p50 with zero divergences and zero stale-epoch hits; the default
 //! `--bench-json` path becomes `BENCH_PR7.json`.
+//!
+//! The `storage-bench` experiment (opt-in by name) measures the
+//! disk-backed catalog: persist cost and segment footprint, recovery
+//! (reopen) p50, cold vs warm buffer-pool scan p50, zone-map pruning, and
+//! a TPC-D join forced over `mem_budget` that must spill — the same query
+//! without a spill manager must fail under the paired deterministic tick
+//! budget. All of those claims are *enforced* (the CI `storage-smoke`
+//! job); `--pool-bytes` sizes the pool, `--data-dir` reuses a directory
+//! instead of a throwaway temp dir, and `--bench-json` records the report
+//! to `BENCH_PR8.json` by default.
 
 use std::time::Instant;
 
 use decorr_bench::{
     analyze_figure, bench_baseline, chaos_sweep, figure_trace_json, format_table, race_figure,
-    repeat_workload_bench, run_figure_cfg, run_figure_traced, serve_bench, ChaosConfig, Figure,
-    ServeBenchConfig,
+    repeat_workload_bench, run_figure_cfg, run_figure_traced, serve_bench, storage_bench,
+    ChaosConfig, Figure, ServeBenchConfig, StorageBenchConfig,
 };
 use decorr_common::Result;
 use decorr_core::magic::MagicOptions;
@@ -93,6 +105,8 @@ struct Args {
     queries: usize,
     concurrency: usize,
     repeat_workload: bool,
+    pool_bytes: Option<usize>,
+    data_dir: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -116,6 +130,8 @@ fn parse_args() -> Args {
         queries: 25,
         concurrency: 1,
         repeat_workload: false,
+        pool_bytes: None,
+        data_dir: None,
     };
     let mut it = std::env::args().skip(1).peekable();
     while let Some(a) = it.next() {
@@ -177,6 +193,10 @@ fn parse_args() -> Args {
                 args.concurrency = it.next().expect("--concurrency N").parse().expect("number")
             }
             "--repeat-workload" => args.repeat_workload = true,
+            "--pool-bytes" => {
+                args.pool_bytes = Some(it.next().expect("--pool-bytes N").parse().expect("number"))
+            }
+            "--data-dir" => args.data_dir = Some(it.next().expect("--data-dir DIR")),
             "--bench-json" => {
                 // Optional path operand: consume the next token only if it
                 // names a JSON file, else record to the experiment's
@@ -197,7 +217,7 @@ fn parse_args() -> Args {
     args
 }
 
-const EXPERIMENTS: [&str; 13] = [
+const EXPERIMENTS: [&str; 14] = [
     "table1",
     "fig5",
     "fig6",
@@ -210,6 +230,7 @@ const EXPERIMENTS: [&str; 13] = [
     "accuracy",
     "chaos",
     "serve-bench",
+    "storage-bench",
     "all",
 ];
 
@@ -293,16 +314,35 @@ fn main() -> Result<()> {
         println!("{table}");
         serve_json = Some(json);
     }
+    // Storage-bench is likewise opt-in by name: it writes and re-reads a
+    // data directory, which is a durability gate, not a figure.
+    let storage_requested = args.what.iter().any(|w| w == "storage-bench");
+    let mut storage_json = None;
+    if storage_requested {
+        let mut cfg = StorageBenchConfig {
+            scale: args.scale,
+            seed: args.seed,
+            dir: args.data_dir.clone().map(Into::into),
+            ..Default::default()
+        };
+        if let Some(bytes) = args.pool_bytes {
+            cfg.pool_bytes = bytes;
+        }
+        let (table, json) = storage_bench(&cfg)?;
+        println!("{table}");
+        storage_json = Some(json);
+    }
     if let Some(path) = &args.bench_json {
         let serve_default = if args.repeat_workload {
             "BENCH_PR7.json"
         } else {
             "BENCH_PR6.json"
         };
-        let (json, what, default_path) = match (serve_json, chaos_json) {
-            (Some(json), _) => (json, "serve bench".to_string(), serve_default),
-            (None, Some(json)) => (json, "chaos sweep".to_string(), "BENCH_PR5.json"),
-            (None, None) => {
+        let (json, what, default_path) = match (storage_json, serve_json, chaos_json) {
+            (Some(json), _, _) => (json, "storage bench".to_string(), "BENCH_PR8.json"),
+            (None, Some(json), _) => (json, "serve bench".to_string(), serve_default),
+            (None, None, Some(json)) => (json, "chaos sweep".to_string(), "BENCH_PR5.json"),
+            (None, None, None) => {
                 let threads = if args.threads > 1 { args.threads } else { 4 };
                 (
                     bench_baseline(args.scale, args.seed, threads)?,

@@ -19,7 +19,9 @@ use decorr_storage::Database;
 use decorr_tpcd::{generate, queries, TpcdConfig};
 
 pub mod serve;
+pub mod storage;
 pub use serve::{repeat_workload_bench, serve_bench, ServeBenchConfig, SERVE_MIX};
+pub use storage::{storage_bench, StorageBenchConfig};
 
 /// The figures of the paper's Section 5 (plus the Section 6 analysis,
 /// which has no numbered figure).

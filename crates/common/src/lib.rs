@@ -33,6 +33,7 @@ pub mod json;
 pub mod pool;
 pub mod row;
 pub mod schema;
+pub mod segcodec;
 pub mod stats;
 pub mod value;
 
@@ -45,5 +46,6 @@ pub use json::JsonWriter;
 pub use pool::{WorkerPool, MORSEL_ROWS};
 pub use row::{Row, RowBatch};
 pub use schema::{ColumnDef, DataType, Schema};
+pub use segcodec::ZoneMap;
 pub use stats::ExecStats;
 pub use value::Value;

@@ -55,6 +55,21 @@ pub struct ExecStats {
     pub shared_subplan_hits: u64,
     /// Rows those shared-subplan hits would otherwise have materialized.
     pub shared_subplan_rows: u64,
+    /// Operators that spilled partitions to disk to honor the memory
+    /// budget. Distinct from `degradations`: a spilled operator produces
+    /// byte-identical rows in the identical order, it just pages its
+    /// working state through the buffer pool.
+    pub spills: u64,
+    /// Column/row pages this query requested from the buffer pool that
+    /// were already resident (decoded) in the pool.
+    pub pool_hits: u64,
+    /// Pages this query faulted in from disk (decoded on read).
+    pub pool_misses: u64,
+    /// Pages materialized for this query's scans (hits + misses).
+    pub pages_read: u64,
+    /// Pages the scan path skipped entirely because a zone map proved no
+    /// row could satisfy the pushed-down predicate.
+    pub pages_pruned: u64,
 }
 
 impl ExecStats {
@@ -112,6 +127,11 @@ impl AddAssign for ExecStats {
         self.plan_cache_hits += o.plan_cache_hits;
         self.shared_subplan_hits += o.shared_subplan_hits;
         self.shared_subplan_rows += o.shared_subplan_rows;
+        self.spills += o.spills;
+        self.pool_hits += o.pool_hits;
+        self.pool_misses += o.pool_misses;
+        self.pages_read += o.pages_read;
+        self.pages_pruned += o.pages_pruned;
     }
 }
 
@@ -134,6 +154,11 @@ impl fmt::Display for ExecStats {
         writeln!(f, "plan cache hits  {:>12}", self.plan_cache_hits)?;
         writeln!(f, "shared subplans  {:>12}", self.shared_subplan_hits)?;
         writeln!(f, "shared rows      {:>12}", self.shared_subplan_rows)?;
+        writeln!(f, "spills           {:>12}", self.spills)?;
+        writeln!(f, "pool hits        {:>12}", self.pool_hits)?;
+        writeln!(f, "pool misses      {:>12}", self.pool_misses)?;
+        writeln!(f, "pages read       {:>12}", self.pages_read)?;
+        writeln!(f, "pages pruned     {:>12}", self.pages_pruned)?;
         write!(f, "TOTAL WORK       {:>12}", self.total_work())
     }
 }

@@ -13,13 +13,13 @@ use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::Instant;
 
-use decorr_common::columnar::{self, ColPredicate, ColumnarBatch, SelVec};
+use decorr_common::columnar::{self, CmpOp, ColPredicate, ColumnarBatch, SelVec};
 use decorr_common::{
     mix64, Budget, CancelToken, Error, ExecStats, FxHashMap, FxHashSet, FxHasher, Result, Row,
     RowBatch, Value, WorkerPool, MORSEL_ROWS,
 };
 use decorr_qgm::{AggFunc, BoxId, BoxKind, Expr, Qgm, QuantId, QuantKind};
-use decorr_storage::{Database, Table};
+use decorr_storage::{Database, PageIo, SpillManager, Table};
 
 use crate::env::{Env, Layout};
 use crate::eval::{eval_expr, qualifies};
@@ -87,6 +87,16 @@ pub struct ExecOptions {
     /// reloads / `ANALYZE` invalidate by construction. `None` (the
     /// default) disables cross-query sharing.
     pub shared_subplans: Option<SharedSubplans>,
+    /// Spill manager for over-budget operators. With one present, a hash
+    /// join whose build side — or a grouping whose input — exceeds
+    /// [`ExecOptions::mem_budget`] partitions its working state to disk
+    /// through the buffer pool (Grace hash join / partitioned hash
+    /// aggregation) instead of degrading to the block nested-loop or
+    /// sort-based fallbacks. Output rows are byte-identical either way;
+    /// spilled operators are counted in [`ExecStats::spills`], not
+    /// [`ExecStats::degradations`]. `None` (the default, and always on
+    /// ephemeral servers) keeps the in-memory degradations.
+    pub spill: Option<Arc<SpillManager>>,
 }
 
 impl Default for ExecOptions {
@@ -101,6 +111,7 @@ impl Default for ExecOptions {
             columnar: true,
             shared_cache: None,
             shared_subplans: None,
+            spill: None,
         }
     }
 }
@@ -281,10 +292,37 @@ impl<'a> Executor<'a> {
         }
     }
 
+    /// Record an over-budget operator that spilled to disk instead of
+    /// degrading (stats counter + trace entry on the current box).
+    fn note_spill(&mut self, reason: &str) {
+        self.stats.spills += 1;
+        if let Some(trace) = &mut self.trace {
+            if let Some(&b) = self.box_stack.last() {
+                trace.note_spill(b, reason);
+            }
+        }
+    }
+
+    /// Fold one scan's / spill pass's page-level I/O into the run stats.
+    fn note_io(&mut self, io: PageIo) {
+        self.stats.pool_hits += io.hits;
+        self.stats.pool_misses += io.misses;
+        self.stats.pages_read += io.pages_read;
+        self.stats.pages_pruned += io.pages_pruned;
+    }
+
     /// Does the memory budget force a fallback for an operator whose
     /// working state would hold `n` rows?
     fn over_mem_budget(&self, n: usize) -> bool {
         self.opts.mem_budget.is_some_and(|mb| n > mb)
+    }
+
+    /// Partition count for a spilled operator: enough that each partition's
+    /// working state fits the budget, bounded to keep partition files and
+    /// passes sane under extreme budgets.
+    fn spill_parts(&self, n: usize) -> usize {
+        let budget = self.opts.mem_budget.unwrap_or(usize::MAX).max(1);
+        n.div_ceil(budget).clamp(2, 256)
     }
 
     /// Record a join-strategy decision for the current box.
@@ -310,6 +348,12 @@ impl<'a> Executor<'a> {
                 let t = self.db.table(table)?;
                 self.checkpoint(t.len() as u64)?;
                 self.stats.rows_scanned += t.len() as u64;
+                if t.is_paged() {
+                    let mut io = PageIo::default();
+                    let rows = t.read_rows(&mut io)?.into_owned();
+                    self.note_io(io);
+                    return Ok(rows);
+                }
                 Ok(t.rows().to_vec())
             }
             BoxKind::Select => self.eval_select(qgm, b, env),
@@ -1003,8 +1047,23 @@ impl<'a> Executor<'a> {
             return Ok(out);
         }
 
-        self.stats.rows_scanned += t.len() as u64;
         let kept: Vec<&Expr> = applicable.iter().map(|&i| &preds[i]).collect();
+        // Paged tables scan through the buffer pool, page stripe by page
+        // stripe, skipping every stripe whose zone maps refute one of the
+        // sargable `col op literal` bounds. The surviving stripes then run
+        // the full predicate set exactly like a resident scan, so pruning
+        // can only remove rows no predicate would keep.
+        if t.is_paged() {
+            self.checkpoint(t.len() as u64)?;
+            let bounds = self.prune_bounds(&kept, q, env)?;
+            let mut io = PageIo::default();
+            let rows = t.read_rows_where(&bounds, &mut io)?.into_owned();
+            self.note_io(io);
+            self.stats.rows_scanned += rows.len() as u64;
+            return self.filter_rows_ref(&rows, q_layout, &kept, env);
+        }
+
+        self.stats.rows_scanned += t.len() as u64;
         // Columnar scan: the table transposes into the per-run batch cache
         // once, and each (re-)scan — notably nested iteration's correlated
         // re-scans, whose outer bindings compile to literals — runs the
@@ -1022,6 +1081,42 @@ impl<'a> Executor<'a> {
             }
         }
         self.filter_rows_ref(t.rows(), q_layout, &kept, env)
+    }
+
+    /// Derive sargable zone-map bounds from a scan's predicates: every
+    /// `Col(q, c) <op> <expr>` comparison whose other side references no
+    /// local column evaluates (under the outer bindings, so correlated
+    /// re-scans prune too) to a literal the per-page zone maps can test.
+    /// Only a conservative *filter* for whole pages — the surviving rows
+    /// still run the full predicates.
+    fn prune_bounds(
+        &self,
+        kept: &[&Expr],
+        q: QuantId,
+        env: Option<&Env<'_>>,
+    ) -> Result<Vec<(usize, CmpOp, Value)>> {
+        let empty_layout = Layout::new();
+        let empty_row = Row::empty();
+        let env0 = Env::new(&empty_layout, &empty_row, env);
+        let mut bounds = Vec::new();
+        for p in kept {
+            let Expr::Binary { op, left, right } = &**p else {
+                continue;
+            };
+            let Some(cmp) = zone_cmp_op(*op) else {
+                continue;
+            };
+            for (a, b, flipped) in [(left, right, false), (right, left, true)] {
+                if let Expr::Col { quant, col } = a.as_ref() {
+                    if *quant == q && b.referenced_quants().iter().all(|r| *r != q) {
+                        let lit = eval_expr(b, &env0)?;
+                        bounds.push((*col, if flipped { flip_cmp(cmp) } else { cmp }, lit));
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(bounds)
     }
 
     /// The cached transpose of the base-table columns a compiled filter
@@ -1335,10 +1430,41 @@ impl<'a> Executor<'a> {
         }
 
         // Memory governance: a hash table over the build side would exceed
-        // the budget, so degrade to a block nested-loop join over the
-        // extracted keys — same matches, same output order, O(1) extra
-        // memory beyond the already-materialized inputs.
+        // the budget. With a spill manager, run a Grace hash join — both
+        // sides hash-partition to disk and each partition builds a table
+        // that fits the budget; rows and order are byte-identical to the
+        // in-memory hash join. Without one, degrade to a block nested-loop
+        // join over the extracted keys — same matches, same output order,
+        // O(1) extra memory beyond the already-materialized inputs.
         if self.over_mem_budget(right.len()) {
+            if let Some(spill) = self.opts.spill.clone() {
+                let parts = self.spill_parts(right.len());
+                self.note_spill(&format!(
+                    "hash-join build side of {} rows exceeds mem_budget; \
+                     spilling {parts} grace partitions",
+                    right.len()
+                ));
+                let out = self.spilled_hash_join(
+                    &rows,
+                    layout,
+                    right,
+                    &right_layout,
+                    &left_keys,
+                    &right_keys,
+                    env,
+                    &spill,
+                    parts,
+                )?;
+                self.stats.join_output_rows += out.len() as u64;
+                self.note_join(
+                    next,
+                    JoinStrategy::GraceHash,
+                    rows.len() as u64,
+                    right.len() as u64,
+                    out.len() as u64,
+                );
+                return Ok(out);
+            }
             self.note_degradation(&format!(
                 "hash-join build side of {} rows exceeds mem_budget; \
                  using block nested-loop join",
@@ -1462,6 +1588,94 @@ impl<'a> Executor<'a> {
             self.check_mem(out.len(), "nested-loop join")?;
         }
         Ok(out)
+    }
+
+    /// Grace hash join: the disk-backed path for a build side over the
+    /// memory budget. Both sides extract their normalized keys (exactly as
+    /// the in-memory hash join would), hash-partition into a [`SpillSet`],
+    /// and each partition independently builds a budget-sized table and
+    /// probes it. Equal keys always land in the same partition and each
+    /// partition preserves its side's input order, so emitting matches in
+    /// partition-build order and stable-sorting the output by original
+    /// probe index reproduces [`serial_hash_join`]'s rows byte for byte.
+    #[allow(clippy::too_many_arguments)]
+    fn spilled_hash_join(
+        &mut self,
+        rows: &[Row],
+        layout: &Layout,
+        right: &[Row],
+        right_layout: &Layout,
+        left_keys: &[(&Expr, bool)],
+        right_keys: &[(&Expr, bool)],
+        env: Option<&Env<'_>>,
+        spill: &SpillManager,
+        parts: usize,
+    ) -> Result<Vec<Row>> {
+        let right_keyed = extract_join_keys(&self.pool, right, right_layout, right_keys, env)?;
+        let left_keyed = extract_join_keys(&self.pool, rows, layout, left_keys, env)?;
+        self.checkpoint((rows.len() + right.len()) as u64)?;
+        self.stats.hash_build_rows += right.len() as u64;
+        self.stats.hash_probes += rows.len() as u64;
+        let key_arity = right_keys.len();
+
+        // Spilled build row: key values, then the row. NULL/NaN keys match
+        // nothing in the hash paths and are never spilled at all.
+        let mut rset = spill.partition_set(parts)?;
+        for (r, k) in right.iter().zip(&right_keyed) {
+            let Some(k) = k else { continue };
+            let mut srow = Row(Vec::with_capacity(key_arity + r.0.len()));
+            srow.0.extend(k.iter().cloned());
+            srow.0.extend(r.0.iter().cloned());
+            rset.push(key_partition(k, parts), srow)?;
+        }
+        rset.finish()?;
+        // Spilled probe row: original index (for the final order-restoring
+        // sort), key values, then the row.
+        let mut lset = spill.partition_set(parts)?;
+        for (i, (l, k)) in rows.iter().zip(&left_keyed).enumerate() {
+            let Some(k) = k else { continue };
+            let mut srow = Row(Vec::with_capacity(1 + key_arity + l.0.len()));
+            srow.0.push(Value::Int(i as i64));
+            srow.0.extend(k.iter().cloned());
+            srow.0.extend(l.0.iter().cloned());
+            lset.push(key_partition(k, parts), srow)?;
+        }
+        lset.finish()?;
+
+        let mut io = PageIo::default();
+        let mut tagged: Vec<(i64, Row)> = Vec::new();
+        for p in 0..parts {
+            self.checkpoint(0)?;
+            let build = rset.read_partition(p, &mut io)?;
+            let mut table: FxHashMap<Vec<Value>, Vec<u32>> = FxHashMap::default();
+            for (ri, r) in build.iter().enumerate() {
+                table
+                    .entry(r.0[..key_arity].to_vec())
+                    .or_default()
+                    .push(ri as u32);
+            }
+            for l in lset.read_partition(p, &mut io)? {
+                let orig = match l.0[0] {
+                    Value::Int(i) => i,
+                    _ => return Err(Error::internal("spill: bad probe-row tag")),
+                };
+                if let Some(matches) = table.get(&l.0[1..1 + key_arity]) {
+                    for &ri in matches {
+                        let r = &build[ri as usize];
+                        let mut out = Row(Vec::with_capacity(
+                            l.0.len() - 1 - key_arity + r.0.len() - key_arity,
+                        ));
+                        out.0.extend(l.0[1 + key_arity..].iter().cloned());
+                        out.0.extend(r.0[key_arity..].iter().cloned());
+                        tagged.push((orig, out));
+                    }
+                }
+            }
+            self.check_mem(tagged.len(), "hash join")?;
+        }
+        self.note_io(io);
+        tagged.sort_by_key(|&(i, _)| i);
+        Ok(tagged.into_iter().map(|(_, r)| r).collect())
     }
 
     /// Bulk-hashed equi-join — the columnar path behind both the serial
@@ -1685,6 +1899,12 @@ impl<'a> Executor<'a> {
         let use_inl = probe.is_some() && rows.len() * 2 < t.len().max(1);
         if !use_inl {
             self.stats.rows_scanned += t.len() as u64;
+            if t.is_paged() {
+                let mut io = PageIo::default();
+                let right = t.read_rows(&mut io)?.into_owned();
+                self.note_io(io);
+                return self.join_step(qgm, next, rows, layout, &right, preds, applicable, env);
+            }
             return self.join_step(qgm, next, rows, layout, t.rows(), preds, applicable, env);
         }
         let (pi, col, keyexpr) = probe.expect("checked above");
@@ -1848,13 +2068,30 @@ impl<'a> Executor<'a> {
         self.stats.agg_input_rows += input.len() as u64;
 
         // Memory governance: a hash-aggregation table over this input
-        // could exceed the budget (worst case, one group per row), so
-        // degrade to sort-based grouping — the stable sort keeps each
-        // group's rows in input order, so per-group accumulation (and
-        // floating-point sums) matches the hash path exactly; only the
-        // emission order changes (key-sorted instead of first-appearance).
-        let degraded = self.over_mem_budget(input.len());
-        if degraded {
+        // could exceed the budget (worst case, one group per row). With a
+        // spill manager, partition the input by group-key hash to disk and
+        // aggregate one budget-sized partition at a time — rows, float
+        // accumulation order and first-appearance emission order are all
+        // identical to the in-memory hash path. Without one, degrade to
+        // sort-based grouping — the stable sort keeps each group's rows in
+        // input order, so per-group accumulation (and floating-point sums)
+        // matches the hash path exactly; only the emission order changes
+        // (key-sorted instead of first-appearance).
+        let over_budget = self.over_mem_budget(input.len());
+        let spilling = if over_budget {
+            self.opts.spill.clone()
+        } else {
+            None
+        };
+        let degraded = over_budget && spilling.is_none();
+        if let Some(_mgr) = &spilling {
+            let parts = self.spill_parts(input.len());
+            self.note_spill(&format!(
+                "grouping input of {} rows exceeds mem_budget; \
+                 spilling {parts} hash partitions",
+                input.len()
+            ));
+        } else if degraded {
             self.note_degradation(&format!(
                 "grouping input of {} rows exceeds mem_budget; \
                  using sort-based aggregation",
@@ -1866,7 +2103,7 @@ impl<'a> Executor<'a> {
         // COUNT/SUM/MIN/MAX vectorize: each argument transposes into a
         // column and the aggregate kernels reproduce the serial fold
         // exactly (Double accumulation order and Int overflow included).
-        let kernel_cols = if self.opts.columnar && !degraded && group_by.is_empty() {
+        let kernel_cols = if self.opts.columnar && !over_budget && group_by.is_empty() {
             grand_total_cols(&agg_slots, &layout)
         } else {
             None
@@ -1877,7 +2114,10 @@ impl<'a> Executor<'a> {
         // thread-local tables over contiguous slices, merged in slice
         // order — the merge replays distinct values in first-seen order,
         // so the result is the one the serial fold produces.
-        let groups: Vec<(Vec<Value>, Vec<Acc>)> = if degraded {
+        let groups: Vec<(Vec<Value>, Vec<Acc>)> = if let Some(mgr) = &spilling {
+            let parts = self.spill_parts(input.len());
+            self.spilled_groups(&input, &layout, env, group_by, &agg_slots, mgr, parts)?
+        } else if degraded {
             sort_groups(&input, &layout, env, group_by, &agg_slots)?
         } else if let (Some(cols), false) = (&kernel_cols, input.is_empty()) {
             grand_total_groups(&input, &agg_slots, cols)?
@@ -2192,6 +2432,9 @@ struct AggSlot<'e> {
     out_pos: usize,
 }
 
+/// One aggregated group: its key values plus one accumulator per slot.
+type Group = (Vec<Value>, Vec<Acc>);
+
 /// Accumulator state for one aggregate over one group.
 #[derive(Clone)]
 struct Acc {
@@ -2374,6 +2617,77 @@ fn fold_row(
         acc_update(slot, acc, v)?;
     }
     Ok(())
+}
+
+impl Executor<'_> {
+    /// Partitioned (spilled) hash aggregation: the disk-backed path for a
+    /// grouping input over the memory budget. Rows partition to disk by
+    /// group-key hash tagged with their original index; each partition —
+    /// which holds *every* row of each of its groups, in input order —
+    /// then hash-aggregates exactly like the in-memory path, and groups
+    /// are stable-sorted by the index of their first row to restore the
+    /// global first-appearance emission order.
+    #[allow(clippy::too_many_arguments)]
+    fn spilled_groups(
+        &mut self,
+        input: &[Row],
+        layout: &Layout,
+        env: Option<&Env<'_>>,
+        group_by: &[Expr],
+        slots: &[AggSlot<'_>],
+        spill: &SpillManager,
+        parts: usize,
+    ) -> Result<Vec<(Vec<Value>, Vec<Acc>)>> {
+        let mut set = spill.partition_set(parts)?;
+        for (i, r) in input.iter().enumerate() {
+            let env1 = Env::new(layout, r, env);
+            let mut key = Vec::with_capacity(group_by.len());
+            for g in group_by {
+                key.push(eval_expr(g, &env1)?);
+            }
+            let mut srow = Row(Vec::with_capacity(1 + r.0.len()));
+            srow.0.push(Value::Int(i as i64));
+            srow.0.extend(r.0.iter().cloned());
+            set.push(key_partition(&key, parts), srow)?;
+        }
+        set.finish()?;
+
+        let mut io = PageIo::default();
+        let mut tagged: Vec<(i64, Group)> = Vec::new();
+        for p in 0..parts {
+            self.checkpoint(0)?;
+            let spilled = set.read_partition(p, &mut io)?;
+            let mut origs = Vec::with_capacity(spilled.len());
+            let mut rows = Vec::with_capacity(spilled.len());
+            for mut sr in spilled {
+                let Value::Int(i) = sr.0.remove(0) else {
+                    return Err(Error::internal("spill: bad group-row tag"));
+                };
+                origs.push(i);
+                rows.push(sr);
+            }
+            let groups = build_groups(&rows, layout, env, group_by, slots, false)?;
+            // The j-th group's first row is the j-th first appearance of a
+            // distinct key — recover its original index for the global sort.
+            let mut firsts = Vec::with_capacity(groups.len());
+            let mut seen: FxHashSet<Vec<Value>> = FxHashSet::default();
+            for (r, &orig) in rows.iter().zip(&origs) {
+                let env1 = Env::new(layout, r, env);
+                let mut key = Vec::with_capacity(group_by.len());
+                for g in group_by {
+                    key.push(eval_expr(g, &env1)?);
+                }
+                if seen.insert(key) {
+                    firsts.push(orig);
+                }
+            }
+            debug_assert_eq!(firsts.len(), groups.len());
+            tagged.extend(firsts.into_iter().zip(groups));
+        }
+        self.note_io(io);
+        tagged.sort_by_key(|&(i, _)| i);
+        Ok(tagged.into_iter().map(|(_, g)| g).collect())
+    }
 }
 
 /// Sort-based aggregation: the memory-budget fallback for [`build_groups`].
@@ -2586,6 +2900,32 @@ pub(crate) fn extract_join_keys(
         all.extend(c?);
     }
     Ok(all)
+}
+
+/// The zone-map comparison for a predicate operator, when it has one.
+fn zone_cmp_op(op: decorr_qgm::BinOp) -> Option<CmpOp> {
+    use decorr_qgm::BinOp;
+    Some(match op {
+        BinOp::Eq => CmpOp::Eq,
+        BinOp::NullEq => CmpOp::NullEq,
+        BinOp::Ne => CmpOp::Ne,
+        BinOp::Lt => CmpOp::Lt,
+        BinOp::Le => CmpOp::Le,
+        BinOp::Gt => CmpOp::Gt,
+        BinOp::Ge => CmpOp::Ge,
+        _ => return None,
+    })
+}
+
+/// Mirror a comparison whose column sat on the right (`lit op col`).
+fn flip_cmp(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq | CmpOp::NullEq | CmpOp::Ne => op,
+    }
 }
 
 /// Which of `parts` partitions does a join key belong to? The Fx hash is

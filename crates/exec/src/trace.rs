@@ -36,6 +36,11 @@ pub enum JoinStrategy {
     /// block nested-loop comparison of the extracted keys instead of a hash
     /// table (a graceful degradation, recorded in [`BoxTrace::degradations`]).
     NestedLoop,
+    /// Build side over the memory budget with a spill manager available:
+    /// Grace hash join — both sides hash-partition to disk and each
+    /// partition hash-joins under the budget (recorded in
+    /// [`BoxTrace::spills`]).
+    GraceHash,
 }
 
 impl JoinStrategy {
@@ -46,6 +51,7 @@ impl JoinStrategy {
             JoinStrategy::Lateral => "lateral",
             JoinStrategy::Cross => "cross",
             JoinStrategy::NestedLoop => "nested-loop",
+            JoinStrategy::GraceHash => "grace-hash",
         }
     }
 }
@@ -84,6 +90,12 @@ pub struct BoxTrace {
     /// aggregated like everything else, so a degraded join under nested
     /// iteration stays one entry however often it re-runs.
     pub degradations: Vec<(String, u64)>,
+    /// Over-budget operators that spilled to disk instead of degrading,
+    /// as `(reason, count)` — kept separate from
+    /// [`BoxTrace::degradations`] because a spilled operator still runs
+    /// the hash algorithm (and produces identical rows), it just pages
+    /// its working state.
+    pub spills: Vec<(String, u64)>,
     /// Times this box was served whole from the cross-query
     /// shared-subplan cache instead of being evaluated.
     pub shared_hits: u64,
@@ -144,6 +156,14 @@ impl ExecTrace {
         }
     }
 
+    pub(crate) fn note_spill(&mut self, b: BoxId, reason: &str) {
+        let e = self.entry(b);
+        match e.spills.iter_mut().find(|(r, _)| r == reason) {
+            Some((_, n)) => *n += 1,
+            None => e.spills.push((reason.to_string(), 1)),
+        }
+    }
+
     pub(crate) fn note_shared_hit(&mut self, b: BoxId) {
         self.entry(b).shared_hits += 1;
     }
@@ -158,6 +178,15 @@ impl ExecTrace {
         self.per_box
             .values()
             .flat_map(|t| t.degradations.iter())
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Total disk spills recorded across all boxes.
+    pub fn total_spills(&self) -> u64 {
+        self.per_box
+            .values()
+            .flat_map(|t| t.spills.iter())
             .map(|(_, n)| n)
             .sum()
     }
@@ -252,6 +281,9 @@ impl ExecTrace {
                 for (reason, n) in &t.degradations {
                     writeln!(out, "{pad}  degraded x{n}: {reason}").unwrap();
                 }
+                for (reason, n) in &t.spills {
+                    writeln!(out, "{pad}  spilled x{n}: {reason}").unwrap();
+                }
                 if t.shared_hits > 0 {
                     writeln!(out, "{pad}  shared subplan hit x{}", t.shared_hits).unwrap();
                 }
@@ -307,6 +339,14 @@ impl ExecTrace {
                 w.end_array();
                 w.key("degradations").begin_array();
                 for (reason, n) in &t.degradations {
+                    w.begin_object()
+                        .field_str("reason", reason)
+                        .field_uint("count", *n)
+                        .end_object();
+                }
+                w.end_array();
+                w.key("spills").begin_array();
+                for (reason, n) in &t.spills {
                     w.begin_object()
                         .field_str("reason", reason)
                         .field_uint("count", *n)

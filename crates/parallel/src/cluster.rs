@@ -144,7 +144,9 @@ impl Cluster {
             // build all node partitions — inserts, key enforcement, index
             // builds — in parallel, one worker job per node.
             let mut buckets: Vec<Vec<Row>> = vec![Vec::new(); n];
-            for (i, row) in table.rows().iter().enumerate() {
+            let mut io = decorr_storage::PageIo::default();
+            let source = table.read_rows(&mut io)?;
+            for (i, row) in source.iter().enumerate() {
                 let node = match table.key() {
                     Some(key) => {
                         let mut h = FxHasher::default();

@@ -18,13 +18,16 @@
 //! snapshot version, so publishing a new epoch invalidates them by
 //! construction (stale snapshots simply stop being looked up).
 
+use std::path::Path;
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use decorr::plan_cache::PlanCache;
 use decorr_common::{Error, Result};
 use decorr_exec::{ColumnarCache, CostModel, SubplanCache};
 use decorr_stats::Statistics;
-use decorr_storage::Database;
+use decorr_storage::{
+    BufferPool, Database, PersistentStore, PoolStats, Recovered, SpillManager, StoreOptions,
+};
 
 /// One immutable published version of the catalog.
 pub struct CatalogVersion {
@@ -77,6 +80,18 @@ pub struct SharedCatalog {
     /// Process-wide materialized-intermediate cache for magic/SUPP
     /// subtrees, keyed by subtree shape + table snapshot versions.
     subplans: SubplanCache,
+    /// Durable backing, when the catalog was opened with a data directory.
+    /// `None` means ephemeral: epochs live only in this process.
+    persist: Option<Durable>,
+}
+
+/// The durable half of a catalog: the store behind a lock (commits are
+/// serialized by the writer mutex anyway) plus unlocked handles to the
+/// pool and spill manager, which sessions grab per query.
+struct Durable {
+    store: Mutex<PersistentStore>,
+    pool: Arc<BufferPool>,
+    spill: Arc<SpillManager>,
 }
 
 fn poisoned() -> Error {
@@ -84,11 +99,38 @@ fn poisoned() -> Error {
 }
 
 impl SharedCatalog {
-    /// Publish `db` as epoch 1.
+    /// Publish `db` as epoch 1, ephemeral: nothing survives the process.
     pub fn new(db: Database) -> Self {
+        Self::with_persist(db, 1, None)
+    }
+
+    /// Open (or create) a durable catalog rooted at `dir`.
+    ///
+    /// A fresh directory commits `seed` as epoch 1 and publishes the
+    /// segment-backed conversion; a recovered directory publishes exactly
+    /// the last durable epoch — `seed` is ignored, because the disk is the
+    /// source of truth. Every later [`update`](SharedCatalog::update) /
+    /// [`replace`](SharedCatalog::replace) / [`analyze`](SharedCatalog::analyze)
+    /// makes its epoch durable (segments + WAL, fsynced) *before*
+    /// publishing it, so an epoch a client saw acknowledged is an epoch
+    /// recovery reproduces.
+    pub fn open_durable(dir: &Path, opts: StoreOptions, seed: Database) -> Result<SharedCatalog> {
+        let Recovered { mut store, db, epoch, fresh } = PersistentStore::open(dir, opts)?;
+        let (epoch, db) = if fresh {
+            let converted = store.commit(1, &seed)?;
+            (1, converted.unwrap_or(seed))
+        } else {
+            (epoch, db)
+        };
+        let durable =
+            Durable { pool: store.pool(), spill: store.spill(), store: Mutex::new(store) };
+        Ok(Self::with_persist(db, epoch, Some(durable)))
+    }
+
+    fn with_persist(db: Database, epoch: u64, persist: Option<Durable>) -> SharedCatalog {
         SharedCatalog {
             current: RwLock::new(Arc::new(CatalogVersion {
-                epoch: 1,
+                epoch,
                 db: Arc::new(db),
                 model: OnceLock::new(),
             })),
@@ -96,6 +138,7 @@ impl SharedCatalog {
             cache: ColumnarCache::new(),
             plans: PlanCache::default(),
             subplans: SubplanCache::default(),
+            persist,
         }
     }
 
@@ -137,20 +180,27 @@ impl SharedCatalog {
 
     /// Copy-on-write update: clone the current database, apply `f`, and
     /// publish the result as a new epoch. Readers holding older snapshots
-    /// are unaffected. If `f` fails nothing is published.
+    /// are unaffected. If `f` fails nothing is published. In durable mode
+    /// the epoch is committed (segments + WAL, fsynced) before it becomes
+    /// visible to any session.
     pub fn update<T>(&self, f: impl FnOnce(&mut Database) -> Result<T>) -> Result<T> {
         let _w = self.writer.lock().map_err(|_| poisoned())?;
         let snap = self.snapshot();
         let mut db = (*snap.db).clone();
         let out = f(&mut db)?;
-        self.publish(snap.epoch + 1, Arc::new(db), None)?;
+        let epoch = snap.epoch + 1;
+        let db = self.commit_durable(epoch, db)?;
+        self.publish(epoch, Arc::new(db), None)?;
         Ok(out)
     }
 
     /// Replace the whole database (`\load`): publish `db` as a new epoch.
+    /// In durable mode the published catalog is the segment-backed
+    /// conversion — `\load` returns only after the data is on disk.
     pub fn replace(&self, db: Database) -> Result<u64> {
         let _w = self.writer.lock().map_err(|_| poisoned())?;
         let epoch = self.snapshot().epoch + 1;
+        let db = self.commit_durable(epoch, db)?;
         self.publish(epoch, Arc::new(db), None)?;
         Ok(epoch)
     }
@@ -162,14 +212,67 @@ impl SharedCatalog {
         let _w = self.writer.lock().map_err(|_| poisoned())?;
         let snap = self.snapshot();
         let model = Arc::new(CostModel::from_stats(Statistics::analyze(&snap.db)));
+        let epoch = snap.epoch + 1;
+        // Durable mode: append the epoch bump to the WAL (the tables are
+        // already segment-backed, so this records references, not data) —
+        // recovery then lands on the exact epoch sessions last saw.
+        if let Some(d) = &self.persist {
+            let mut store = d.store.lock().map_err(|_| poisoned())?;
+            store.commit(epoch, &snap.db)?;
+        }
         let version = Arc::new(CatalogVersion {
-            epoch: snap.epoch + 1,
+            epoch,
             db: Arc::clone(&snap.db),
             model: OnceLock::from(Arc::clone(&model)),
         });
         let mut cur = self.current.write().map_err(|_| poisoned())?;
         *cur = version;
         Ok(model)
+    }
+
+    /// Durable commit of `epoch`, returning the database to publish (the
+    /// segment-backed conversion when the store produced one). Ephemeral
+    /// catalogs pass `db` through untouched. Callers hold the writer lock,
+    /// so the writer → store lock order is invariant.
+    fn commit_durable(&self, epoch: u64, db: Database) -> Result<Database> {
+        let Some(d) = &self.persist else {
+            return Ok(db);
+        };
+        let mut store = d.store.lock().map_err(|_| poisoned())?;
+        Ok(store.commit(epoch, &db)?.unwrap_or(db))
+    }
+
+    /// Is this catalog backed by a data directory?
+    pub fn is_durable(&self) -> bool {
+        self.persist.is_some()
+    }
+
+    /// The buffer pool disk pages fault through (`None` when ephemeral).
+    pub fn buffer_pool(&self) -> Option<Arc<BufferPool>> {
+        self.persist.as_ref().map(|d| Arc::clone(&d.pool))
+    }
+
+    /// Pool counters for `\pool` (`None` when ephemeral).
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        self.persist.as_ref().map(|d| d.pool.stats())
+    }
+
+    /// The spill manager over-budget operators partition through
+    /// (`None` when ephemeral — in-memory catalogs degrade instead).
+    pub fn spill(&self) -> Option<Arc<SpillManager>> {
+        self.persist.as_ref().map(|d| Arc::clone(&d.spill))
+    }
+
+    /// Checkpoint the durable store: manifest the current epoch, truncate
+    /// the WAL and collect unreferenced segments. Returns the checkpointed
+    /// epoch, or `None` for an ephemeral catalog.
+    pub fn checkpoint(&self) -> Result<Option<u64>> {
+        let Some(d) = &self.persist else {
+            return Ok(None);
+        };
+        let _w = self.writer.lock().map_err(|_| poisoned())?;
+        let mut store = d.store.lock().map_err(|_| poisoned())?;
+        Ok(Some(store.checkpoint()?))
     }
 
     fn publish(&self, epoch: u64, db: Arc<Database>, model: Option<Arc<CostModel>>) -> Result<()> {
@@ -220,6 +323,75 @@ mod tests {
         let r = cat.update(|db| db.drop_table("missing"));
         assert!(r.is_err());
         assert_eq!(cat.epoch(), before.epoch());
+    }
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("decorr-catalog-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_catalog_recovers_the_published_epoch() {
+        let dir = tmp_dir("recover");
+        {
+            let cat =
+                SharedCatalog::open_durable(&dir, StoreOptions::default(), seed_db()).unwrap();
+            assert!(cat.is_durable());
+            assert_eq!(cat.epoch(), 1);
+            // Fresh open publishes the segment-backed conversion.
+            assert!(cat.snapshot().db().table("t").unwrap().is_paged());
+            // DDL and ANALYZE each commit-then-publish.
+            cat.update(|db| db.drop_table("t")).unwrap();
+            cat.analyze().unwrap();
+            assert_eq!(cat.epoch(), 3);
+        }
+        let cat = SharedCatalog::open_durable(&dir, StoreOptions::default(), seed_db()).unwrap();
+        assert_eq!(
+            cat.epoch(),
+            3,
+            "recovery must land on the last published epoch"
+        );
+        assert!(
+            cat.snapshot().db().table("t").is_err(),
+            "dropped table must stay dropped"
+        );
+    }
+
+    #[test]
+    fn durable_replace_survives_checkpoint_and_reopen() {
+        let dir = tmp_dir("replace");
+        {
+            let cat =
+                SharedCatalog::open_durable(&dir, StoreOptions::default(), seed_db()).unwrap();
+            let mut db = Database::new();
+            let t = db
+                .create_table("u", Schema::from_pairs(&[("y", DataType::Int)]))
+                .unwrap();
+            t.insert(row![7]).unwrap();
+            t.insert(row![8]).unwrap();
+            assert_eq!(cat.replace(db).unwrap(), 2);
+            assert_eq!(cat.checkpoint().unwrap(), Some(2));
+        }
+        let cat = SharedCatalog::open_durable(&dir, StoreOptions::default(), seed_db()).unwrap();
+        assert_eq!(cat.epoch(), 2);
+        let snap = cat.snapshot();
+        assert!(
+            snap.db().table("t").is_err(),
+            "replaced catalog must not resurrect the seed"
+        );
+        assert_eq!(snap.db().table("u").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn ephemeral_catalog_has_no_durable_handles() {
+        let cat = SharedCatalog::new(seed_db());
+        assert!(!cat.is_durable());
+        assert!(cat.buffer_pool().is_none());
+        assert!(cat.spill().is_none());
+        assert!(cat.pool_stats().is_none());
+        assert_eq!(cat.checkpoint().unwrap(), None);
     }
 
     #[test]

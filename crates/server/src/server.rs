@@ -38,7 +38,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use decorr_common::{Error, Result};
-use decorr_storage::Database;
+use decorr_storage::{Database, StoreOptions};
 
 use crate::admission::{AdmissionControl, PoolLedger, Quotas};
 use crate::catalog::SharedCatalog;
@@ -52,6 +52,14 @@ pub struct ServerConfig {
     pub quotas: Quotas,
     /// Settings each new session starts from.
     pub session_defaults: SessionSettings,
+    /// Durable catalog home. `None` serves ephemerally from memory;
+    /// `Some(dir)` recovers the last committed epoch from `dir` (ignoring
+    /// the seed database unless the directory is fresh) and makes every
+    /// later `\load`/`\drop`/`ANALYZE` crash-durable before it is
+    /// acknowledged.
+    pub data_dir: Option<std::path::PathBuf>,
+    /// Buffer pool / segment knobs for the durable store.
+    pub store: StoreOptions,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +68,8 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".into(),
             quotas: Quotas::default(),
             session_defaults: SessionSettings::default(),
+            data_dir: None,
+            store: StoreOptions::default(),
         }
     }
 }
@@ -100,7 +110,10 @@ pub fn serve(db: Database, config: ServerConfig) -> Result<ServerHandle> {
         .local_addr()
         .map_err(|e| Error::internal(format!("local_addr: {e}")))?;
 
-    let catalog = Arc::new(SharedCatalog::new(db));
+    let catalog = Arc::new(match &config.data_dir {
+        Some(dir) => SharedCatalog::open_durable(dir, config.store.clone(), db)?,
+        None => SharedCatalog::new(db),
+    });
     let admission = Arc::new(AdmissionControl::new(config.quotas));
     // Shared-subplan materializations draw from the same memory pool as
     // query buffers: a big cached intermediate sheds queries, never OOMs.

@@ -295,17 +295,22 @@ impl Session {
             "load" => match parts.next() {
                 Some("tpcd") => {
                     let scale: f64 = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0.02);
-                    let db = generate(&TpcdConfig { scale, seed: 42, with_indexes: true })?;
+                    // Durable catalogs hold segment-backed tables, which
+                    // carry no secondary indexes — don't build throwaways.
+                    let with_indexes = !self.catalog.is_durable();
+                    let db = generate(&TpcdConfig { scale, seed: 42, with_indexes })?;
                     let epoch = self.catalog.replace(db)?;
                     Ok(Response::line(format!(
-                        "TPC-D loaded at scale {scale} (epoch {epoch})"
+                        "TPC-D loaded at scale {scale} (epoch {epoch}{})",
+                        self.durable_suffix()
                     )))
                 }
                 Some("empdept") => {
                     let db = empdept::generate(&empdept::EmpDeptConfig::default())?;
                     let epoch = self.catalog.replace(db)?;
                     Ok(Response::line(format!(
-                        "EMP/DEPT example loaded (epoch {epoch})"
+                        "EMP/DEPT example loaded (epoch {epoch}{})",
+                        self.durable_suffix()
                     )))
                 }
                 other => Ok(Response::line(format!(
@@ -316,8 +321,9 @@ impl Session {
                 Some(name) => {
                     self.catalog.update(|db| db.drop_table(name))?;
                     Ok(Response::line(format!(
-                        "dropped {name} (epoch {})",
-                        self.catalog.epoch()
+                        "dropped {name} (epoch {}{})",
+                        self.catalog.epoch(),
+                        self.durable_suffix()
                     )))
                 }
                 None => Ok(Response::line("usage: \\drop <table>")),
@@ -368,6 +374,14 @@ impl Session {
                     format!("  epoch       {}", self.catalog.epoch()),
                     format!("  strategy    {mode}"),
                     format!("  queries run {}", self.queries_run),
+                    format!(
+                        "  storage     {}",
+                        if self.catalog.is_durable() {
+                            "durable"
+                        } else {
+                            "ephemeral"
+                        }
+                    ),
                 ]))
             }
             "cancel" => {
@@ -426,7 +440,39 @@ impl Session {
                     format!("  shared work   {:.1}%", s.shared_work_ratio() * 100.0),
                 ]))
             }
+            "pool" => match self.catalog.pool_stats() {
+                Some(p) => Ok(Response::lines(vec![
+                    format!(
+                        "buffer pool     {}/{} bytes",
+                        p.resident_bytes, p.budget_bytes
+                    ),
+                    format!("  resident      {} pages", p.resident_pages),
+                    format!("  hits          {}", p.hits),
+                    format!("  misses        {}", p.misses),
+                    format!("  evictions     {}", p.evictions),
+                ])),
+                None => Ok(Response::line(
+                    "ephemeral catalog: no buffer pool (start with a data dir)",
+                )),
+            },
+            "checkpoint" => match self.catalog.checkpoint()? {
+                Some(epoch) => Ok(Response::line(format!(
+                    "checkpointed epoch {epoch}: manifest written, wal truncated"
+                ))),
+                None => Ok(Response::line(
+                    "ephemeral catalog: nothing to checkpoint (start with a data dir)",
+                )),
+            },
             other => Ok(Response::line(format!("unknown command \\{other}"))),
+        }
+    }
+
+    /// `", durable"` when acknowledgment implies the epoch is on disk.
+    fn durable_suffix(&self) -> &'static str {
+        if self.catalog.is_durable() {
+            ", durable"
+        } else {
+            ""
         }
     }
 
@@ -819,6 +865,9 @@ impl Session {
             cancel: Some(cancel),
             mem_budget: mem_rows,
             shared_cache: Some(self.catalog.columnar_cache().clone()),
+            // Durable catalogs let over-budget joins/groupings spill
+            // through the buffer pool instead of degrading strategy.
+            spill: self.catalog.spill(),
             ..Default::default()
         }
     }

@@ -1,0 +1,161 @@
+//! End-to-end durability: a server started on a data directory recovers
+//! exactly the catalog its clients last saw acknowledged, across restarts
+//! and across a torn WAL tail.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use decorr_common::{row, DataType, Schema};
+use decorr_server::{serve, LineClient, ServerConfig, Status};
+use decorr_storage::Database;
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "decorr-server-durable-{}-{name}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn seed_db(rows: i64) -> Database {
+    let mut db = Database::new();
+    let t = db
+        .create_table("t", Schema::from_pairs(&[("x", DataType::Int)]))
+        .unwrap();
+    for i in 0..rows {
+        t.insert(row![i]).unwrap();
+    }
+    db
+}
+
+fn durable_config(dir: &std::path::Path) -> ServerConfig {
+    ServerConfig { data_dir: Some(dir.to_path_buf()), ..Default::default() }
+}
+
+#[test]
+fn restart_recovers_the_acknowledged_epoch_and_rows() {
+    let dir = tmp_dir("restart");
+    let reference: Vec<String>;
+    {
+        let mut h = serve(seed_db(5), durable_config(&dir)).unwrap();
+        let mut c = LineClient::connect(h.local_addr()).unwrap();
+        // The load is acknowledged only after segments + WAL are fsynced.
+        let r = c.request("\\load empdept").unwrap();
+        assert_eq!(r.status, Status::Ok);
+        assert!(
+            r.lines[0].contains("durable"),
+            "durable load must say so: {:?}",
+            r.lines
+        );
+        let r = c
+            .request("SELECT emp.name FROM emp WHERE emp.building > 1")
+            .unwrap();
+        assert_eq!(r.status, Status::Ok);
+        reference = r.rows().map(str::to_string).collect();
+        c.quit().unwrap();
+        h.shutdown();
+    }
+    // New process, same directory, *different* seed: disk wins.
+    let mut h = serve(seed_db(99), durable_config(&dir)).unwrap();
+    assert_eq!(
+        h.catalog().epoch(),
+        2,
+        "recovery must land on the load epoch"
+    );
+    let mut c = LineClient::connect(h.local_addr()).unwrap();
+    let r = c
+        .request("SELECT emp.name FROM emp WHERE emp.building > 1")
+        .unwrap();
+    assert_eq!(r.status, Status::Ok);
+    let got: Vec<String> = r.rows().map(str::to_string).collect();
+    assert_eq!(got, reference, "recovered rows must be byte-identical");
+    // The original seed table was replaced by the load and must stay gone.
+    match c.request("SELECT COUNT(*) FROM t").unwrap().status {
+        Status::Err(m) => assert!(m.contains("catalog error"), "{m}"),
+        other => panic!("seed table resurrected after recovery: {other:?}"),
+    }
+    c.quit().unwrap();
+    h.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_wal_tail_falls_back_to_the_previous_epoch() {
+    let dir = tmp_dir("torn");
+    {
+        let mut h = serve(seed_db(3), durable_config(&dir)).unwrap();
+        let mut c = LineClient::connect(h.local_addr()).unwrap();
+        assert_eq!(c.request("\\load empdept").unwrap().status, Status::Ok); // epoch 2
+        assert_eq!(c.request("\\drop emp").unwrap().status, Status::Ok); // epoch 3
+        c.quit().unwrap();
+        h.shutdown();
+    }
+    // Tear the last WAL record mid-frame: the drop is lost, the load isn't.
+    let wal = dir.join("wal.log");
+    let bytes = std::fs::read(&wal).unwrap();
+    std::fs::write(&wal, &bytes[..bytes.len() - 2]).unwrap();
+
+    let mut h = serve(seed_db(3), durable_config(&dir)).unwrap();
+    assert_eq!(h.catalog().epoch(), 2);
+    let mut c = LineClient::connect(h.local_addr()).unwrap();
+    let r = c.request("SELECT COUNT(*) FROM emp").unwrap();
+    assert_eq!(
+        r.status,
+        Status::Ok,
+        "torn drop must leave the loaded table intact"
+    );
+    c.quit().unwrap();
+    h.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn analyze_and_checkpoint_survive_restart() {
+    let dir = tmp_dir("analyze");
+    {
+        let mut h = serve(seed_db(4), durable_config(&dir)).unwrap();
+        let mut c = LineClient::connect(h.local_addr()).unwrap();
+        assert_eq!(c.request("ANALYZE").unwrap().status, Status::Ok); // epoch 2
+        let r = c.request("\\checkpoint").unwrap();
+        assert!(r.lines[0].contains("checkpointed epoch 2"), "{:?}", r.lines);
+        // Post-checkpoint WAL is empty; one more epoch rides on it.
+        assert_eq!(c.request("ANALYZE").unwrap().status, Status::Ok); // epoch 3
+        c.quit().unwrap();
+        h.shutdown();
+    }
+    let mut h = serve(seed_db(4), durable_config(&dir)).unwrap();
+    assert_eq!(h.catalog().epoch(), 3);
+    let mut c = LineClient::connect(h.local_addr()).unwrap();
+    // The pool serves recovered segments; \pool reports real counters.
+    assert_eq!(
+        c.request("SELECT COUNT(*) FROM t").unwrap().status,
+        Status::Ok
+    );
+    let r = c.request("\\pool").unwrap();
+    assert!(r.lines[0].starts_with("buffer pool"), "{:?}", r.lines);
+    c.quit().unwrap();
+    h.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ephemeral_server_reports_no_pool_and_no_checkpoint() {
+    let mut h = serve(seed_db(2), ServerConfig::default()).unwrap();
+    let mut c = LineClient::connect(h.local_addr()).unwrap();
+    let r = c.request("\\pool").unwrap();
+    assert!(r.lines[0].contains("ephemeral"), "{:?}", r.lines);
+    let r = c.request("\\checkpoint").unwrap();
+    assert!(r.lines[0].contains("ephemeral"), "{:?}", r.lines);
+    let r = c.request("\\session").unwrap();
+    assert!(
+        r.lines.iter().any(|l| l.contains("ephemeral")),
+        "{:?}",
+        r.lines
+    );
+    c.quit().unwrap();
+    h.shutdown();
+}

@@ -211,17 +211,21 @@ pub struct TableStats {
 }
 
 impl TableStats {
-    /// Analyze one table.
+    /// Analyze one table. Paged tables read through their buffer pool; an
+    /// unreadable segment yields empty histograms (the scan path will
+    /// surface the I/O error itself).
     pub fn analyze(table: &Table) -> Self {
         let rows = table.len() as u64;
+        let mut io = decorr_storage::PageIo::default();
+        let data = table
+            .read_rows(&mut io)
+            .unwrap_or(std::borrow::Cow::Borrowed(&[]));
         let columns = table
             .schema()
             .columns()
             .iter()
             .enumerate()
-            .map(|(i, c)| {
-                ColumnStats::analyze(&c.name, rows, table.rows().iter().map(|r| r[i].clone()))
-            })
+            .map(|(i, c)| ColumnStats::analyze(&c.name, rows, data.iter().map(|r| r[i].clone())))
             .collect();
         TableStats {
             name: table.name().to_string(),

@@ -1,0 +1,121 @@
+//! The checkpoint manifest: the catalog state the WAL is relative to.
+//!
+//! A checkpoint writes the current epoch-tagged catalog snapshot to
+//! `MANIFEST` via the classic atomic dance — write `MANIFEST.tmp`, fsync
+//! it, rename over `MANIFEST`, fsync the directory — then truncates the
+//! WAL. Recovery therefore sees either the old manifest (plus a WAL that
+//! still holds every later record) or the new one (plus a possibly stale
+//! WAL whose records are skipped by their epoch tags); a crash at any
+//! instant lands in one of those two consistent worlds.
+//!
+//! The manifest payload uses the same `[len][crc32][payload]` frame as a
+//! WAL record, so corruption fails closed with the same checksum check.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use decorr_common::segcodec::crc32;
+use decorr_common::{Error, Result};
+
+const MANIFEST: &str = "MANIFEST";
+
+fn io_err(what: &str, path: &Path, e: std::io::Error) -> Error {
+    Error::internal(format!("manifest {what} {}: {e}", path.display()))
+}
+
+fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join(MANIFEST)
+}
+
+/// Atomically replace the manifest with `payload`.
+pub fn write_manifest(dir: &Path, payload: &[u8]) -> Result<()> {
+    let tmp = dir.join("MANIFEST.tmp");
+    let mut file = std::fs::File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+    file.write_all(&(payload.len() as u32).to_le_bytes())
+        .and_then(|_| file.write_all(&crc32(payload).to_le_bytes()))
+        .and_then(|_| file.write_all(payload))
+        .map_err(|e| io_err("write", &tmp, e))?;
+    file.sync_all().map_err(|e| io_err("fsync", &tmp, e))?;
+    drop(file);
+    let dst = manifest_path(dir);
+    std::fs::rename(&tmp, &dst).map_err(|e| io_err("rename", &dst, e))?;
+    sync_dir(dir)
+}
+
+/// Read the manifest payload, if one exists. A corrupt manifest is an
+/// error (fail closed), not an empty catalog — silently starting fresh
+/// would *be* the data loss durability exists to prevent.
+pub fn read_manifest(dir: &Path) -> Result<Option<Vec<u8>>> {
+    let path = manifest_path(dir);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(io_err("read", &path, e)),
+    };
+    if bytes.len() < 8 {
+        return Err(Error::internal(format!(
+            "manifest {}: truncated header",
+            path.display()
+        )));
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes sliced")) as usize;
+    let crc = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes sliced"));
+    if bytes.len() - 8 < len {
+        return Err(Error::internal(format!(
+            "manifest {}: truncated payload",
+            path.display()
+        )));
+    }
+    let payload = &bytes[8..8 + len];
+    if crc32(payload) != crc {
+        return Err(Error::internal(format!(
+            "manifest {}: checksum mismatch",
+            path.display()
+        )));
+    }
+    Ok(Some(payload.to_vec()))
+}
+
+/// fsync a directory so a just-created or just-renamed entry survives a
+/// crash.
+pub fn sync_dir(dir: &Path) -> Result<()> {
+    let d = std::fs::File::open(dir).map_err(|e| io_err("open dir", dir, e))?;
+    d.sync_all().map_err(|e| io_err("fsync dir", dir, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "decorr-manifest-test-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_read_replace() {
+        let dir = tmp_dir("rw");
+        assert_eq!(read_manifest(&dir).unwrap(), None);
+        write_manifest(&dir, b"state-1").unwrap();
+        assert_eq!(read_manifest(&dir).unwrap().unwrap(), b"state-1");
+        write_manifest(&dir, b"state-2").unwrap();
+        assert_eq!(read_manifest(&dir).unwrap().unwrap(), b"state-2");
+    }
+
+    #[test]
+    fn corruption_is_an_error_not_an_empty_catalog() {
+        let dir = tmp_dir("corrupt");
+        write_manifest(&dir, b"precious").unwrap();
+        let path = dir.join("MANIFEST");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 1;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_manifest(&dir).is_err());
+    }
+}

@@ -1,0 +1,417 @@
+//! The buffer pool: a fixed-budget cache of decoded pages.
+//!
+//! Every disk-backed read — columnar segment pages and spill partition
+//! pages alike — goes through one [`BufferPool`]. The pool caches pages in
+//! *decoded* form ([`PageData`]), so a warm scan skips both the disk read
+//! and the page decode; its budget bounds the bytes of decoded page state
+//! resident at once, which is exactly the knob that lets a catalog far
+//! larger than memory serve queries.
+//!
+//! Eviction is clock (second chance): each `get` sets the frame's
+//! reference bit; the clock hand clears bits until it finds an
+//! unreferenced, unpinned frame. Pinned frames ([`PageGuard`]) are never
+//! evicted — scans pin the pages of the stripe they are stitching so a
+//! concurrent query cannot churn them mid-row.
+//!
+//! The pool keeps process-lifetime counters (for the `\pool` command);
+//! per-query attribution goes through [`PageIo`], which the executor folds
+//! into its `ExecStats`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use decorr_common::{Error, FxHashMap, Result, Row, Value};
+
+/// Identifies one registered page source (a segment or spill file).
+pub type SegmentId = u64;
+
+/// Address of one cached page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageKey {
+    /// Which file the page belongs to.
+    pub seg: SegmentId,
+    /// Page ordinal within the file.
+    pub page: u32,
+    /// Column ordinal (0 for row-major spill pages).
+    pub col: u32,
+}
+
+/// One decoded page.
+#[derive(Debug)]
+pub enum PageData {
+    /// A column segment page: one column's values for a stripe of rows.
+    Col(Vec<Value>),
+    /// A spill page: whole rows.
+    Rows(Vec<Row>),
+}
+
+impl PageData {
+    /// Approximate resident bytes, for budget accounting.
+    pub fn approx_bytes(&self) -> usize {
+        fn value_bytes(v: &Value) -> usize {
+            std::mem::size_of::<Value>()
+                + match v {
+                    Value::Str(s) => s.len(),
+                    _ => 0,
+                }
+        }
+        match self {
+            PageData::Col(vals) => 32 + vals.iter().map(value_bytes).sum::<usize>(),
+            PageData::Rows(rows) => {
+                32 + rows
+                    .iter()
+                    .map(|r| 24 + r.values().iter().map(value_bytes).sum::<usize>())
+                    .sum::<usize>()
+            }
+        }
+    }
+
+    /// The column values, or an error for a row page (shape mismatch is a
+    /// storage-layer bug surfaced as a typed error, never a panic).
+    pub fn as_col(&self) -> Result<&[Value]> {
+        match self {
+            PageData::Col(v) => Ok(v),
+            PageData::Rows(_) => Err(Error::internal("buffer pool: expected a column page")),
+        }
+    }
+
+    /// The row values, or an error for a column page.
+    pub fn as_rows(&self) -> Result<&[Row]> {
+        match self {
+            PageData::Rows(r) => Ok(r),
+            PageData::Col(_) => Err(Error::internal("buffer pool: expected a row page")),
+        }
+    }
+}
+
+struct Frame {
+    data: Arc<PageData>,
+    bytes: usize,
+    referenced: bool,
+    pins: u32,
+}
+
+#[derive(Default)]
+struct Inner {
+    frames: FxHashMap<PageKey, Frame>,
+    /// Clock order; entries are lazily compacted when evicted.
+    clock: Vec<PageKey>,
+    hand: usize,
+    resident: usize,
+}
+
+/// Per-query page I/O counters, folded into `ExecStats` by the executor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PageIo {
+    /// Pages served from the pool without touching disk.
+    pub hits: u64,
+    /// Pages faulted in (read + decoded) from disk.
+    pub misses: u64,
+    /// Pages materialized (hits + misses).
+    pub pages_read: u64,
+    /// Row stripes skipped entirely by zone-map pruning.
+    pub pages_pruned: u64,
+}
+
+/// A point-in-time snapshot of pool counters, for `\pool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub resident_bytes: u64,
+    pub resident_pages: u64,
+    pub budget_bytes: u64,
+}
+
+/// The process-wide page cache. See the module docs.
+pub struct BufferPool {
+    inner: Mutex<Inner>,
+    budget: usize,
+    next_seg: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+fn poisoned() -> Error {
+    Error::internal("buffer pool lock poisoned: a loader panicked mid-fault")
+}
+
+/// A pinned page: the frame cannot be evicted while the guard lives.
+/// Dropping the guard unpins (the data itself stays valid through the
+/// `Arc` even if evicted afterwards).
+pub struct PageGuard {
+    pool: Arc<BufferPool>,
+    key: PageKey,
+    data: Arc<PageData>,
+}
+
+impl PageGuard {
+    /// The pinned page's decoded data.
+    pub fn data(&self) -> &PageData {
+        &self.data
+    }
+}
+
+impl Drop for PageGuard {
+    fn drop(&mut self) {
+        if let Ok(mut inner) = self.pool.inner.lock() {
+            if let Some(f) = inner.frames.get_mut(&self.key) {
+                f.pins = f.pins.saturating_sub(1);
+            }
+        }
+    }
+}
+
+impl BufferPool {
+    /// A pool with the given decoded-byte budget.
+    pub fn new(budget_bytes: usize) -> Arc<Self> {
+        Arc::new(BufferPool {
+            inner: Mutex::new(Inner::default()),
+            budget: budget_bytes.max(1),
+            next_seg: AtomicU64::new(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        })
+    }
+
+    /// The configured budget in bytes.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget
+    }
+
+    /// Register a new page source (segment or spill file), returning its
+    /// process-unique id. Ids are never reused, so stale cache entries of a
+    /// deleted file can never be served to a new one.
+    pub fn register_segment(&self) -> SegmentId {
+        self.next_seg.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Fetch a page, faulting it in with `load` on a miss, and pin it.
+    /// `io` records the hit/miss for per-query stats.
+    pub fn get_pinned(
+        self: &Arc<Self>,
+        key: PageKey,
+        io: &mut PageIo,
+        load: impl FnOnce() -> Result<PageData>,
+    ) -> Result<PageGuard> {
+        io.pages_read += 1;
+        // Fast path: already resident.
+        {
+            let mut inner = self.inner.lock().map_err(|_| poisoned())?;
+            if let Some(f) = inner.frames.get_mut(&key) {
+                f.referenced = true;
+                f.pins += 1;
+                let data = Arc::clone(&f.data);
+                drop(inner);
+                io.hits += 1;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(PageGuard { pool: Arc::clone(self), key, data });
+            }
+        }
+        // Miss: fault in *outside* the lock so concurrent faults of other
+        // pages proceed. Two racers may both load; the second insert wins
+        // the map slot and both serve identical data.
+        io.misses += 1;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let data = Arc::new(load()?);
+        let bytes = data.approx_bytes();
+        let mut inner = self.inner.lock().map_err(|_| poisoned())?;
+        match inner.frames.get_mut(&key) {
+            Some(f) => {
+                // Lost the race; pin the winner's frame.
+                f.referenced = true;
+                f.pins += 1;
+                let data = Arc::clone(&f.data);
+                drop(inner);
+                return Ok(PageGuard { pool: Arc::clone(self), key, data });
+            }
+            None => {
+                inner.frames.insert(
+                    key,
+                    Frame { data: Arc::clone(&data), bytes, referenced: true, pins: 1 },
+                );
+                inner.clock.push(key);
+                inner.resident += bytes;
+            }
+        }
+        self.evict_to_budget(&mut inner);
+        drop(inner);
+        Ok(PageGuard { pool: Arc::clone(self), key, data })
+    }
+
+    /// Clock sweep until the pool fits its budget (or everything left is
+    /// pinned/referenced twice over — then we stop rather than spin).
+    fn evict_to_budget(&self, inner: &mut Inner) {
+        let mut sweeps = 0usize;
+        let max_sweeps = inner.clock.len().saturating_mul(2) + 1;
+        while inner.resident > self.budget && !inner.clock.is_empty() && sweeps < max_sweeps {
+            if inner.hand >= inner.clock.len() {
+                inner.hand = 0;
+            }
+            let key = inner.clock[inner.hand];
+            let evict = match inner.frames.get_mut(&key) {
+                Some(f) if f.pins > 0 => false,
+                Some(f) if f.referenced => {
+                    f.referenced = false;
+                    false
+                }
+                Some(_) => true,
+                None => {
+                    // Stale clock entry (forgotten segment): drop it.
+                    inner.clock.swap_remove(inner.hand);
+                    sweeps += 1;
+                    continue;
+                }
+            };
+            if evict {
+                if let Some(f) = inner.frames.remove(&key) {
+                    inner.resident -= f.bytes;
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                inner.clock.swap_remove(inner.hand);
+            } else {
+                inner.hand += 1;
+            }
+            sweeps += 1;
+        }
+    }
+
+    /// Drop every cached page of `seg` (the file is going away). Stale
+    /// clock entries are compacted lazily by the sweep.
+    pub fn forget_segment(&self, seg: SegmentId) {
+        if let Ok(mut inner) = self.inner.lock() {
+            let keys: Vec<PageKey> = inner
+                .frames
+                .keys()
+                .filter(|k| k.seg == seg)
+                .copied()
+                .collect();
+            for k in keys {
+                if let Some(f) = inner.frames.remove(&k) {
+                    inner.resident -= f.bytes;
+                }
+            }
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PoolStats {
+        let (resident_bytes, resident_pages) = match self.inner.lock() {
+            Ok(inner) => (inner.resident as u64, inner.frames.len() as u64),
+            Err(_) => (0, 0),
+        };
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_bytes,
+            resident_pages,
+            budget_bytes: self.budget as u64,
+        }
+    }
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "BufferPool {{ budget: {}, resident: {} pages / {} bytes, hits: {}, misses: {}, evictions: {} }}",
+            self.budget, s.resident_pages, s.resident_bytes, s.hits, s.misses, s.evictions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(n: i64) -> PageData {
+        PageData::Col((0..64).map(|i| Value::Int(n + i)).collect())
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let pool = BufferPool::new(1 << 20);
+        let seg = pool.register_segment();
+        let key = PageKey { seg, page: 0, col: 0 };
+        let mut io = PageIo::default();
+        let g = pool.get_pinned(key, &mut io, || Ok(page(0))).unwrap();
+        assert_eq!((io.hits, io.misses), (0, 1));
+        drop(g);
+        let g = pool
+            .get_pinned(key, &mut io, || panic!("must hit"))
+            .unwrap();
+        assert_eq!((io.hits, io.misses), (1, 1));
+        assert_eq!(g.data().as_col().unwrap().len(), 64);
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn eviction_keeps_the_pool_under_budget() {
+        // Budget fits roughly two pages; load many.
+        let budget = page(0).approx_bytes() * 2 + 1;
+        let pool = BufferPool::new(budget);
+        let seg = pool.register_segment();
+        let mut io = PageIo::default();
+        for p in 0..32 {
+            let key = PageKey { seg, page: p, col: 0 };
+            drop(
+                pool.get_pinned(key, &mut io, || Ok(page(p as i64)))
+                    .unwrap(),
+            );
+        }
+        let s = pool.stats();
+        assert!(s.resident_bytes <= budget as u64, "{s:?}");
+        assert!(s.evictions >= 30, "{s:?}");
+    }
+
+    #[test]
+    fn pinned_pages_survive_pressure() {
+        let budget = page(0).approx_bytes() + 1; // room for ~one page
+        let pool = BufferPool::new(budget);
+        let seg = pool.register_segment();
+        let mut io = PageIo::default();
+        let pinned_key = PageKey { seg, page: 0, col: 0 };
+        let guard = pool
+            .get_pinned(pinned_key, &mut io, || Ok(page(0)))
+            .unwrap();
+        for p in 1..16 {
+            let key = PageKey { seg, page: p, col: 0 };
+            drop(
+                pool.get_pinned(key, &mut io, || Ok(page(p as i64)))
+                    .unwrap(),
+            );
+        }
+        // The pinned page was never evicted: refetching it is a hit.
+        let before = io.hits;
+        drop(guard);
+        let _ = pool
+            .get_pinned(pinned_key, &mut io, || panic!("pinned page was evicted"))
+            .unwrap();
+        assert_eq!(io.hits, before + 1);
+    }
+
+    #[test]
+    fn forget_segment_drops_its_pages() {
+        let pool = BufferPool::new(1 << 20);
+        let seg = pool.register_segment();
+        let mut io = PageIo::default();
+        drop(
+            pool.get_pinned(PageKey { seg, page: 0, col: 0 }, &mut io, || Ok(page(0)))
+                .unwrap(),
+        );
+        pool.forget_segment(seg);
+        assert_eq!(pool.stats().resident_pages, 0);
+        // A new fetch faults in again.
+        drop(
+            pool.get_pinned(PageKey { seg, page: 0, col: 0 }, &mut io, || Ok(page(0)))
+                .unwrap(),
+        );
+        assert_eq!(io.misses, 2);
+    }
+}

@@ -1,0 +1,399 @@
+//! The persistent store: durable catalog epochs over segments + WAL.
+//!
+//! A data directory looks like:
+//!
+//! ```text
+//! <data-dir>/
+//!   MANIFEST          checkpointed catalog snapshot (epoch + table list)
+//!   wal.log           redo records since the checkpoint
+//!   segs/             immutable columnar segment files, one per table
+//!   spill/            transient operator spill files
+//! ```
+//!
+//! Every committed catalog state is one **epoch-tagged snapshot record**:
+//! the epoch plus the list of `(table, segment file)` pairs. `\load`,
+//! `\drop` and `ANALYZE` each publish a new epoch; [`PersistentStore::commit`]
+//! makes that epoch durable *before* it is published — new tables are
+//! written as segment files and fsynced, then the record is appended to
+//! the WAL and fsynced. Recovery loads the manifest, replays every WAL
+//! record with a later epoch (fail-closed at the first torn frame), and
+//! reopens the surviving snapshot's segments as paged tables. A kill -9
+//! at any byte therefore lands on exactly one previously-committed epoch.
+//!
+//! Checkpointing ([`PersistentStore::checkpoint`]) rewrites the manifest
+//! atomically, truncates the WAL and garbage-collects unreferenced
+//! segment files. Readers holding older snapshots keep working: their
+//! segment files stay open (POSIX keeps unlinked-but-open files readable)
+//! and their pool pages simply age out.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use decorr_common::segcodec::{put_string, put_varint, Cursor};
+use decorr_common::{Error, Result};
+
+use crate::catalog::Database;
+use crate::manifest::{read_manifest, sync_dir, write_manifest};
+use crate::pager::BufferPool;
+use crate::segment::{write_segment, SegmentReader, DEFAULT_PAGE_ROWS};
+use crate::spill::SpillManager;
+use crate::table::{PagedBacking, Table};
+use crate::wal::WalWriter;
+
+const SEGS_DIR: &str = "segs";
+const SPILL_DIR: &str = "spill";
+const WAL_FILE: &str = "wal.log";
+const REC_SNAPSHOT: u8 = 1;
+
+/// Store construction knobs.
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Buffer pool budget for decoded pages.
+    pub pool_bytes: usize,
+    /// Rows per segment page stripe.
+    pub page_rows: usize,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions { pool_bytes: 64 << 20, page_rows: DEFAULT_PAGE_ROWS }
+    }
+}
+
+/// What [`PersistentStore::open`] found on disk.
+pub struct Recovered {
+    /// The store handle.
+    pub store: PersistentStore,
+    /// The recovered catalog (paged tables), empty when `fresh`.
+    pub db: Database,
+    /// The epoch the catalog was recovered at.
+    pub epoch: u64,
+    /// True when the directory held no prior state (the caller should
+    /// seed and commit an initial catalog).
+    pub fresh: bool,
+}
+
+/// A durable catalog home. See the module docs for the layout and crash
+/// contract.
+#[derive(Debug)]
+pub struct PersistentStore {
+    dir: PathBuf,
+    pool: Arc<BufferPool>,
+    spill: Arc<SpillManager>,
+    wal: WalWriter,
+    page_rows: usize,
+    /// Last committed epoch.
+    epoch: u64,
+    /// Last committed `(table name, segment file)` list, in catalog order.
+    tables: Vec<(String, String)>,
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn encode_record(epoch: u64, tables: &[(String, String)]) -> Vec<u8> {
+    let mut buf = vec![REC_SNAPSHOT];
+    put_varint(&mut buf, epoch);
+    put_varint(&mut buf, tables.len() as u64);
+    for (name, file) in tables {
+        put_string(&mut buf, name);
+        put_string(&mut buf, file);
+    }
+    buf
+}
+
+fn decode_record(bytes: &[u8]) -> Result<(u64, Vec<(String, String)>)> {
+    let mut c = Cursor::new(bytes);
+    let tag = c.varint()?; // single byte: REC_SNAPSHOT < 0x80
+    if tag != REC_SNAPSHOT as u64 {
+        return Err(Error::internal(format!("wal record: bad tag {tag}")));
+    }
+    let epoch = c.varint()?;
+    let n = c.varint()? as usize;
+    let mut tables = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = c.string()?;
+        let file = c.string()?;
+        tables.push((name, file));
+    }
+    Ok((epoch, tables))
+}
+
+impl PersistentStore {
+    /// Open `dir`, recovering the last durable catalog epoch: manifest
+    /// first, then every WAL record with a later epoch, stopping fail-
+    /// closed at the first torn or corrupt record.
+    pub fn open(dir: impl Into<PathBuf>, opts: StoreOptions) -> Result<Recovered> {
+        let dir = dir.into();
+        let segs = dir.join(SEGS_DIR);
+        let spill_dir = dir.join(SPILL_DIR);
+        for d in [&dir, &segs, &spill_dir] {
+            std::fs::create_dir_all(d)
+                .map_err(|e| Error::internal(format!("store mkdir {}: {e}", d.display())))?;
+        }
+        // Spill files are transient; anything left is a dead process's.
+        if let Ok(entries) = std::fs::read_dir(&spill_dir) {
+            for e in entries.flatten() {
+                let _ = std::fs::remove_file(e.path());
+            }
+        }
+        let pool = BufferPool::new(opts.pool_bytes);
+        let spill = Arc::new(SpillManager::new(&spill_dir, Arc::clone(&pool))?);
+
+        let (mut epoch, mut tables, mut fresh) = (1u64, Vec::new(), true);
+        if let Some(payload) = read_manifest(&dir)? {
+            let (e, t) = decode_record(&payload)?;
+            epoch = e;
+            tables = t;
+            fresh = false;
+        }
+        let (wal, records) = WalWriter::open(&dir.join(WAL_FILE))?;
+        for rec in &records {
+            match decode_record(rec) {
+                // Records at or below the manifest epoch are stale copies
+                // from before a checkpoint raced a crash; skip them.
+                Ok((e, t)) if e > epoch || fresh => {
+                    epoch = e.max(epoch);
+                    tables = t;
+                    fresh = false;
+                }
+                Ok(_) => {}
+                // A CRC-valid but unparseable record ends the trusted
+                // prefix, exactly like a torn frame.
+                Err(_) => break,
+            }
+        }
+
+        let mut db = Database::new();
+        for (name, file) in &tables {
+            let seg = Arc::new(SegmentReader::open(&dir.join(file))?);
+            if !seg.meta().name.eq_ignore_ascii_case(name) {
+                return Err(Error::internal(format!(
+                    "store {}: segment {file} holds table '{}', expected '{name}'",
+                    dir.display(),
+                    seg.meta().name
+                )));
+            }
+            let backing = PagedBacking::new(seg, Arc::clone(&pool), file.clone());
+            db.add_table(Table::paged(backing))?;
+        }
+        let store = PersistentStore {
+            dir,
+            pool,
+            spill,
+            wal,
+            page_rows: opts.page_rows.max(1),
+            epoch,
+            tables,
+        };
+        Ok(Recovered { store, db, epoch, fresh })
+    }
+
+    /// The buffer pool all of this store's pages fault through.
+    pub fn pool(&self) -> Arc<BufferPool> {
+        Arc::clone(&self.pool)
+    }
+
+    /// The spill manager for over-budget operators.
+    pub fn spill(&self) -> Arc<SpillManager> {
+        Arc::clone(&self.spill)
+    }
+
+    /// The data directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The last committed epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Make `db` durable as `epoch`: write any resident table out as a
+    /// segment file (fsynced), append the snapshot record to the WAL
+    /// (fsynced), and return the catalog with those tables re-backed by
+    /// their new segments (`None` when every table was already paged).
+    /// Publish-after-commit gives exactly-once visibility: a crash before
+    /// the WAL append recovers the previous epoch, a crash after it
+    /// recovers this one.
+    pub fn commit(&mut self, epoch: u64, db: &Database) -> Result<Option<Database>> {
+        let mut metas: Vec<(String, String)> = Vec::new();
+        let mut converted: Option<Database> = None;
+        let mut wrote_segment = false;
+        for (i, t) in db.tables().enumerate() {
+            if let Some(file) = t.paged_file() {
+                metas.push((t.name().to_string(), file.to_string()));
+                continue;
+            }
+            let file = format!("{SEGS_DIR}/{}-{epoch}-{i}.seg", sanitize(t.name()));
+            write_segment(
+                &self.dir.join(&file),
+                t.name(),
+                t.schema(),
+                t.key(),
+                t.rows(),
+                self.page_rows,
+            )?;
+            wrote_segment = true;
+            let seg = Arc::new(SegmentReader::open(&self.dir.join(&file))?);
+            let backing = PagedBacking::new(seg, Arc::clone(&self.pool), file.clone());
+            let paged = Table::paged(backing);
+            let out = match &mut converted {
+                Some(out) => out,
+                None => converted.insert(db.clone()),
+            };
+            *out.table_mut(t.name())? = paged;
+            metas.push((t.name().to_string(), file));
+        }
+        if wrote_segment {
+            sync_dir(&self.dir.join(SEGS_DIR))?;
+        }
+        self.wal.append(&encode_record(epoch, &metas))?;
+        self.epoch = epoch;
+        self.tables = metas;
+        Ok(converted)
+    }
+
+    /// Checkpoint: atomically write the manifest at the current epoch,
+    /// truncate the WAL, and remove segment files no current table
+    /// references. Returns the checkpointed epoch.
+    pub fn checkpoint(&mut self) -> Result<u64> {
+        write_manifest(&self.dir, &encode_record(self.epoch, &self.tables))?;
+        self.wal.reset()?;
+        let segs = self.dir.join(SEGS_DIR);
+        if let Ok(entries) = std::fs::read_dir(&segs) {
+            for e in entries.flatten() {
+                let fname = format!("{SEGS_DIR}/{}", e.file_name().to_string_lossy());
+                if !self.tables.iter().any(|(_, f)| *f == fname) {
+                    let _ = std::fs::remove_file(e.path());
+                }
+            }
+        }
+        Ok(self.epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::PageIo;
+    use decorr_common::{row, DataType, Schema};
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("decorr-persist-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn seed_db() -> Database {
+        let mut db = Database::new();
+        let schema = Schema::from_pairs(&[("id", DataType::Int), ("name", DataType::Str)]);
+        let t = db.create_table("people", schema).unwrap();
+        t.insert(row![1, "ada"]).unwrap();
+        t.insert(row![2, "grace"]).unwrap();
+        db
+    }
+
+    fn all_rows(db: &Database, name: &str) -> Vec<decorr_common::Row> {
+        let mut io = PageIo::default();
+        db.table(name)
+            .unwrap()
+            .read_rows(&mut io)
+            .unwrap()
+            .into_owned()
+    }
+
+    #[test]
+    fn fresh_commit_then_reopen_recovers_epoch_and_rows() {
+        let dir = tmp_dir("fresh");
+        let mut rec = PersistentStore::open(&dir, StoreOptions::default()).unwrap();
+        assert!(rec.fresh);
+        assert!(rec.db.tables().next().is_none());
+        let db = seed_db();
+        let converted = rec
+            .store
+            .commit(2, &db)
+            .unwrap()
+            .expect("resident table converted");
+        assert!(converted.table("people").unwrap().is_paged());
+        assert_eq!(
+            all_rows(&converted, "people"),
+            db.table("people").unwrap().rows()
+        );
+
+        let mut rec2 = PersistentStore::open(&dir, StoreOptions::default()).unwrap();
+        assert!(!rec2.fresh);
+        assert_eq!(rec2.epoch, 2);
+        assert_eq!(
+            all_rows(&rec2.db, "people"),
+            db.table("people").unwrap().rows()
+        );
+        // Already-paged catalogs re-commit without writing new segments.
+        assert!(rec2.store.commit(3, &rec2.db).unwrap().is_none());
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_survives_reopen() {
+        let dir = tmp_dir("ckpt");
+        let mut rec = PersistentStore::open(&dir, StoreOptions::default()).unwrap();
+        rec.store.commit(2, &seed_db()).unwrap();
+        assert_eq!(rec.store.checkpoint().unwrap(), 2);
+        assert_eq!(std::fs::metadata(dir.join(WAL_FILE)).unwrap().len(), 0);
+
+        let rec2 = PersistentStore::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(rec2.epoch, 2);
+        assert_eq!(all_rows(&rec2.db, "people").len(), 2);
+    }
+
+    #[test]
+    fn torn_wal_tail_recovers_previous_epoch() {
+        let dir = tmp_dir("torn");
+        let mut rec = PersistentStore::open(&dir, StoreOptions::default()).unwrap();
+        rec.store.commit(2, &seed_db()).unwrap();
+        let mut db2 = seed_db();
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+        db2.create_table("extra", schema)
+            .unwrap()
+            .insert(row![7])
+            .unwrap();
+        rec.store.commit(3, &db2).unwrap();
+        drop(rec);
+
+        // Tear the last WAL record: recovery must land on epoch 2 exactly.
+        let wal = dir.join(WAL_FILE);
+        let bytes = std::fs::read(&wal).unwrap();
+        std::fs::write(&wal, &bytes[..bytes.len() - 3]).unwrap();
+        let rec2 = PersistentStore::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(rec2.epoch, 2);
+        assert!(rec2.db.table("extra").is_err());
+        assert_eq!(all_rows(&rec2.db, "people").len(), 2);
+    }
+
+    #[test]
+    fn checkpoint_gc_removes_unreferenced_segments() {
+        let dir = tmp_dir("gc");
+        let mut rec = PersistentStore::open(&dir, StoreOptions::default()).unwrap();
+        let converted = rec.store.commit(2, &seed_db()).unwrap().unwrap();
+        // Drop the table, commit the empty catalog, checkpoint: the old
+        // segment file must be collected.
+        let mut db = converted;
+        db.drop_table("people").unwrap();
+        rec.store.commit(3, &db).unwrap();
+        rec.store.checkpoint().unwrap();
+        let n_segs = std::fs::read_dir(dir.join(SEGS_DIR)).unwrap().count();
+        assert_eq!(n_segs, 0);
+        let rec2 = PersistentStore::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(rec2.epoch, 3);
+        assert!(rec2.db.tables().next().is_none());
+    }
+}

@@ -1,10 +1,15 @@
-//! Base tables.
+//! Base tables: resident (in-memory rows) or paged (disk-backed segments).
 
+use std::borrow::Cow;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use decorr_common::{Error, Result, Row, Schema, Value};
+use decorr_common::segcodec::ZoneMap;
+use decorr_common::{CmpOp, Error, Result, Row, Schema, Value};
 
 use crate::index::HashIndex;
+use crate::pager::{BufferPool, PageData, PageIo, PageKey, SegmentId};
+use crate::segment::SegmentReader;
 
 /// Process-wide version counter: every table creation or mutation draws a
 /// fresh, never-reused value. Versions therefore distinguish not just "has
@@ -18,8 +23,35 @@ fn next_version() -> u64 {
     VERSIONS.fetch_add(1, Ordering::Relaxed)
 }
 
-/// A named, schema-checked, in-memory table with optional primary key and
-/// any number of hash indexes.
+/// The disk half of a paged table: an open segment file plus the buffer
+/// pool its pages fault through. Cloning shares both (a paged table is an
+/// immutable snapshot).
+#[derive(Debug, Clone)]
+pub struct PagedBacking {
+    seg: Arc<SegmentReader>,
+    pool: Arc<BufferPool>,
+    seg_id: SegmentId,
+    /// Store-relative segment file name, for WAL records and manifests.
+    file: String,
+}
+
+impl PagedBacking {
+    /// Wire an open segment to a pool. `file` is the store-relative path
+    /// recorded in WAL/manifest entries.
+    pub fn new(seg: Arc<SegmentReader>, pool: Arc<BufferPool>, file: String) -> Self {
+        let seg_id = pool.register_segment();
+        PagedBacking { seg, pool, seg_id, file }
+    }
+}
+
+/// A named, schema-checked table with optional primary key.
+///
+/// Two backings exist. A **resident** table owns its rows in memory and
+/// supports mutation and hash indexes. A **paged** table is an immutable
+/// snapshot backed by a columnar segment file; its rows are materialized
+/// page-by-page through the buffer pool ([`Table::read_rows`]), zone maps
+/// let scans skip whole stripes ([`Table::read_rows_where`]), and
+/// mutation or index DDL is a catalog error (reload to change it).
 #[derive(Debug, Clone)]
 pub struct Table {
     name: String,
@@ -30,6 +62,8 @@ pub struct Table {
     indexes: Vec<HashIndex>,
     /// Snapshot identity for cache keying; see [`Table::version`].
     version: u64,
+    /// Disk backing; `Some` makes this a paged table (and `rows` empty).
+    paged: Option<PagedBacking>,
 }
 
 impl Table {
@@ -42,7 +76,42 @@ impl Table {
             key: None,
             indexes: Vec::new(),
             version: next_version(),
+            paged: None,
         }
+    }
+
+    /// Construct a paged table over an open segment. Name, schema, key and
+    /// row count come from the segment footer; the table carries no hash
+    /// indexes (index probes need resident row positions) and rejects
+    /// mutation.
+    pub fn paged(backing: PagedBacking) -> Table {
+        let meta = backing.seg.meta();
+        Table {
+            name: meta.name.clone(),
+            schema: meta.schema.clone(),
+            rows: Vec::new(),
+            key: meta.key.clone(),
+            indexes: Vec::new(),
+            version: next_version(),
+            paged: Some(backing),
+        }
+    }
+
+    /// Is this table disk-backed?
+    pub fn is_paged(&self) -> bool {
+        self.paged.is_some()
+    }
+
+    /// The store-relative segment file backing this table, if paged.
+    pub fn paged_file(&self) -> Option<&str> {
+        self.paged.as_ref().map(|p| p.file.as_str())
+    }
+
+    fn immutable(&self) -> Error {
+        Error::catalog(format!(
+            "table '{}' is disk-backed and immutable; reload it to modify",
+            self.name
+        ))
     }
 
     /// The table's snapshot version: a process-unique value reassigned on
@@ -68,22 +137,114 @@ impl Table {
         &self.schema
     }
 
+    /// The *resident* rows. Empty for a paged table — scan paths must use
+    /// [`Table::read_rows`] (or [`Table::read_rows_where`]), which serves
+    /// both backings. Index probe paths may keep using `rows()` because
+    /// paged tables never carry indexes.
     pub fn rows(&self) -> &[Row] {
         &self.rows
     }
 
+    /// Row count, resident or persisted.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        match &self.paged {
+            Some(p) => p.seg.meta().row_count,
+            None => self.rows.len(),
+        }
     }
 
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
+    }
+
+    /// All rows of the table, through the buffer pool when paged. Resident
+    /// tables borrow; paged tables materialize page stripes (pinning each
+    /// stripe's column pages while stitching) and record the page I/O in
+    /// `io`.
+    pub fn read_rows(&self, io: &mut PageIo) -> Result<Cow<'_, [Row]>> {
+        match &self.paged {
+            None => Ok(Cow::Borrowed(&self.rows[..])),
+            Some(p) => {
+                let mut out = Vec::with_capacity(self.len());
+                for page in 0..p.seg.meta().n_pages {
+                    self.stitch_page(p, page, &mut out, io)?;
+                }
+                Ok(Cow::Owned(out))
+            }
+        }
+    }
+
+    /// Rows that *might* satisfy every `col op literal` bound, through the
+    /// buffer pool. Pages whose zone map proves no row can match are
+    /// skipped without touching their bytes (`io.pages_pruned`); surviving
+    /// pages are returned whole, so the caller must still apply the full
+    /// predicate — pruning never changes the filtered result, it only
+    /// avoids I/O. Resident tables return all rows borrowed.
+    pub fn read_rows_where(
+        &self,
+        bounds: &[(usize, CmpOp, Value)],
+        io: &mut PageIo,
+    ) -> Result<Cow<'_, [Row]>> {
+        let p = match &self.paged {
+            None => return Ok(Cow::Borrowed(&self.rows[..])),
+            Some(p) => p,
+        };
+        let mut out = Vec::new();
+        'pages: for page in 0..p.seg.meta().n_pages {
+            for (col, op, lit) in bounds {
+                if !p.seg.meta().zone(page, *col).may_match(*op, lit) {
+                    io.pages_pruned += 1;
+                    continue 'pages;
+                }
+            }
+            self.stitch_page(p, page, &mut out, io)?;
+        }
+        Ok(Cow::Owned(out))
+    }
+
+    /// Materialize one page stripe: pin every column's page, transpose
+    /// into rows.
+    fn stitch_page(
+        &self,
+        p: &PagedBacking,
+        page: usize,
+        out: &mut Vec<Row>,
+        io: &mut PageIo,
+    ) -> Result<()> {
+        let n_cols = self.schema.arity();
+        let mut guards = Vec::with_capacity(n_cols);
+        for col in 0..n_cols {
+            let key = PageKey { seg: p.seg_id, page: page as u32, col: col as u32 };
+            let seg = Arc::clone(&p.seg);
+            guards.push(p.pool.get_pinned(key, io, move || {
+                Ok(PageData::Col(seg.read_page(page, col)?))
+            })?);
+        }
+        let rows_in_page = p.seg.meta().page_len(page);
+        for i in 0..rows_in_page {
+            let mut vals = Vec::with_capacity(n_cols);
+            for g in &guards {
+                vals.push(g.data().as_col()?[i].clone());
+            }
+            out.push(Row::new(vals));
+        }
+        Ok(())
+    }
+
+    /// The merged (all-pages) zone map of a column: exact min/max in total
+    /// order plus the null count. `None` for resident tables — the
+    /// estimator computes those stats by scanning.
+    pub fn zone_map(&self, col: usize) -> Option<ZoneMap> {
+        self.paged.as_ref().map(|p| p.seg.meta().column_zone(col))
     }
 
     /// Declare the primary key by column names. Purely metadata: it informs
     /// rewrites (Dayal's `GROUP BY key`, the `OptMag` supplementary-table
     /// elimination) but uniqueness is the loader's responsibility.
     pub fn set_key(&mut self, column_names: &[&str]) -> Result<()> {
+        if self.is_paged() {
+            return Err(self.immutable());
+        }
         let mut cols = Vec::with_capacity(column_names.len());
         for n in column_names {
             cols.push(self.schema.resolve(n)?);
@@ -100,6 +261,9 @@ impl Table {
 
     /// Append a row, checking it against the schema and maintaining indexes.
     pub fn insert(&mut self, row: Row) -> Result<()> {
+        if self.is_paged() {
+            return Err(self.immutable());
+        }
         self.schema.check_row(row.values())?;
         let pos = self.rows.len();
         for idx in &mut self.indexes {
@@ -121,6 +285,9 @@ impl Table {
     /// Create a hash index on the named columns. Idempotent: re-creating an
     /// index over the same column set is a no-op.
     pub fn create_index(&mut self, column_names: &[&str]) -> Result<()> {
+        if self.is_paged() {
+            return Err(self.immutable());
+        }
         let mut cols = Vec::with_capacity(column_names.len());
         for n in column_names {
             cols.push(self.schema.resolve(n)?);
