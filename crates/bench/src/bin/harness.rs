@@ -12,6 +12,7 @@
 //!         [--columnar|--no-columnar] [--clients N] [--queries N]
 //!         [--concurrency N] [--repeat-workload]
 //!         [--pool-bytes N] [--data-dir DIR]
+//!         [--disk-seed N] [--net-seed N]
 //! ```
 //!
 //! `--threads N` runs the figure executors on a worker pool of N threads
@@ -45,6 +46,19 @@
 //! at once — the recovery contract must hold for each worker
 //! independently, modelling faults under a live query service.
 //!
+//! With `--disk-seed N` and/or `--net-seed N`, `chaos` instead runs the
+//! **disk & network fault-injection suite**: a crash-point sweep that
+//! power-cuts a seeded `ChaosEnv` at every storage op and requires
+//! recovery onto the newest intact epoch with bit-identical rows; an
+//! ENOSPC probe that must fail closed with typed `StorageFull` while
+//! reads keep serving; a byte-identity check between the quiet `ChaosEnv`
+//! and the real filesystem; and a live-service network-chaos phase where
+//! `--concurrency` resilient clients ride injected connection drops,
+//! partial lines and stalls — every request must end byte-identical to
+//! the fault-free reference or in a typed error, never a hang. All four
+//! phases are enforced gates; `--bench-json` records the self-describing
+//! report to `BENCH_PR9.json` by default.
+//!
 //! The `serve-bench` experiment (also opt-in by name) boots the
 //! `decorr-server` TCP service and drives it with `--clients` concurrent
 //! connections, each issuing `--queries` statements from a mixed
@@ -74,9 +88,9 @@
 use std::time::Instant;
 
 use decorr_bench::{
-    analyze_figure, bench_baseline, chaos_sweep, figure_trace_json, format_table, race_figure,
-    repeat_workload_bench, run_figure_cfg, run_figure_traced, serve_bench, storage_bench,
-    ChaosConfig, Figure, ServeBenchConfig, StorageBenchConfig,
+    analyze_figure, bench_baseline, chaos_sweep, disk_net_chaos, figure_trace_json, format_table,
+    race_figure, repeat_workload_bench, run_figure_cfg, run_figure_traced, serve_bench,
+    storage_bench, ChaosConfig, DiskNetChaosConfig, Figure, ServeBenchConfig, StorageBenchConfig,
 };
 use decorr_common::Result;
 use decorr_core::magic::MagicOptions;
@@ -107,6 +121,8 @@ struct Args {
     repeat_workload: bool,
     pool_bytes: Option<usize>,
     data_dir: Option<String>,
+    disk_seed: Option<u64>,
+    net_seed: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -132,6 +148,8 @@ fn parse_args() -> Args {
         repeat_workload: false,
         pool_bytes: None,
         data_dir: None,
+        disk_seed: None,
+        net_seed: None,
     };
     let mut it = std::env::args().skip(1).peekable();
     while let Some(a) = it.next() {
@@ -197,6 +215,12 @@ fn parse_args() -> Args {
                 args.pool_bytes = Some(it.next().expect("--pool-bytes N").parse().expect("number"))
             }
             "--data-dir" => args.data_dir = Some(it.next().expect("--data-dir DIR")),
+            "--disk-seed" => {
+                args.disk_seed = Some(it.next().expect("--disk-seed N").parse().expect("number"))
+            }
+            "--net-seed" => {
+                args.net_seed = Some(it.next().expect("--net-seed N").parse().expect("number"))
+            }
             "--bench-json" => {
                 // Optional path operand: consume the next token only if it
                 // names a JSON file, else record to the experiment's
@@ -281,7 +305,23 @@ fn main() -> Result<()> {
     // bench is a CI gate, not a figure, so `all` does not imply them.
     let chaos_requested = args.what.iter().any(|w| w == "chaos");
     let mut chaos_json = None;
-    if chaos_requested {
+    let mut disk_net_json = None;
+    // `chaos --disk-seed/--net-seed` selects the PR-9 disk & network
+    // fault-injection suite (crash-point sweep, ENOSPC probe, byte
+    // identity, resilient clients); plain `chaos` keeps the distributed
+    // node-failure sweep.
+    if chaos_requested && (args.disk_seed.is_some() || args.net_seed.is_some()) {
+        let defaults = DiskNetChaosConfig::default();
+        let cfg = DiskNetChaosConfig {
+            disk_seed: args.disk_seed.unwrap_or(defaults.disk_seed),
+            net_seed: args.net_seed.unwrap_or(defaults.net_seed),
+            concurrency: args.concurrency,
+            ..defaults
+        };
+        let (table, json) = disk_net_chaos(&cfg)?;
+        println!("{table}");
+        disk_net_json = Some(json);
+    } else if chaos_requested {
         let cfg = ChaosConfig {
             scale: args.scale,
             seed: args.seed,
@@ -338,11 +378,21 @@ fn main() -> Result<()> {
         } else {
             "BENCH_PR6.json"
         };
-        let (json, what, default_path) = match (storage_json, serve_json, chaos_json) {
-            (Some(json), _, _) => (json, "storage bench".to_string(), "BENCH_PR8.json"),
-            (None, Some(json), _) => (json, "serve bench".to_string(), serve_default),
-            (None, None, Some(json)) => (json, "chaos sweep".to_string(), "BENCH_PR5.json"),
-            (None, None, None) => {
+        let (json, what, default_path) = match (disk_net_json, storage_json, serve_json, chaos_json)
+        {
+            (Some(json), _, _, _) => (
+                json,
+                format!(
+                    "disk & network chaos (disk seed {}, net seed {})",
+                    args.disk_seed.unwrap_or(0xD15C),
+                    args.net_seed.unwrap_or(0x4E57)
+                ),
+                "BENCH_PR9.json",
+            ),
+            (None, Some(json), _, _) => (json, "storage bench".to_string(), "BENCH_PR8.json"),
+            (None, None, Some(json), _) => (json, "serve bench".to_string(), serve_default),
+            (None, None, None, Some(json)) => (json, "chaos sweep".to_string(), "BENCH_PR5.json"),
+            (None, None, None, None) => {
                 let threads = if args.threads > 1 { args.threads } else { 4 };
                 (
                     bench_baseline(args.scale, args.seed, threads)?,
@@ -358,7 +408,11 @@ fn main() -> Result<()> {
         };
         std::fs::write(path, json + "\n")
             .map_err(|e| decorr_common::Error::internal(format!("writing {path}: {e}")))?;
-        println!("{what} (scale {}) recorded to {path}", args.scale);
+        if what.starts_with("disk & network chaos") {
+            println!("{what} recorded to {path}");
+        } else {
+            println!("{what} (scale {}) recorded to {path}", args.scale);
+        }
     }
     Ok(())
 }

@@ -1,0 +1,636 @@
+//! `harness chaos --disk-seed/--net-seed`: deterministic disk & network
+//! fault injection under the durable service.
+//!
+//! Four phases, every claim *enforced* (a violated gate is an `Err`, which
+//! fails the CI `disk-chaos-smoke` job):
+//!
+//! 1. **Crash-point sweep** — replay a commit/checkpoint workload on a
+//!    [`ChaosEnv`], killing the env at *every* op index, reopening, and
+//!    requiring recovery to land on a model epoch at or above the last
+//!    acked commit with bit-identical rows. `--concurrency N` splits the
+//!    op range over N workers — the recovery contract must hold for each
+//!    independently.
+//! 2. **ENOSPC probe** — with the device full, commits and checkpoints
+//!    fail closed with typed [`Error::StorageFull`]; reads keep serving;
+//!    once space returns the next commit publishes cleanly.
+//! 3. **Byte identity** — with faults disabled, the same workload through
+//!    [`ChaosEnv`] and [`RealEnv`] must produce byte-identical on-disk
+//!    artifacts.
+//! 4. **Network chaos** — a live TCP service under `--concurrency`
+//!    resilient clients with seeded injected drops, partial lines and
+//!    stalls: every request must end in a payload byte-identical to the
+//!    fault-free reference or a typed error — never a hang.
+//!
+//! The JSON report (default `BENCH_PR9.json`) carries a `schema` section
+//! describing every fault counter it emits, so the document is
+//! self-describing for downstream tooling.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use decorr_common::{
+    row, ChaosEnv, Clock, DataType, Error, JsonWriter, RealEnv, Result, Row, Schema,
+};
+use decorr_server::{
+    serve, LineClient, NetChaos, NetChaosConfig, NetFault, ResilientClient, RetryPolicy,
+    ServerConfig, Status,
+};
+use decorr_storage::{Database, PageIo, PersistentStore, StoreOptions};
+
+/// Configuration of the disk/network chaos suite.
+#[derive(Debug, Clone)]
+pub struct DiskNetChaosConfig {
+    /// Seed for the disk fault schedules (crash sweep + ENOSPC + identity).
+    pub disk_seed: u64,
+    /// Seed for the network fault schedule.
+    pub net_seed: u64,
+    /// Concurrent sweep workers / resilient clients.
+    pub concurrency: usize,
+    /// Requests each network-chaos client issues.
+    pub requests_per_client: usize,
+}
+
+impl Default for DiskNetChaosConfig {
+    fn default() -> Self {
+        DiskNetChaosConfig {
+            disk_seed: 0xD15C,
+            net_seed: 0x4E57,
+            concurrency: 4,
+            requests_per_client: 40,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The deterministic store workload (shared by phases 1–3).
+// ---------------------------------------------------------------------
+
+/// Expected rows per epoch: `epoch -> table -> rows`.
+fn model() -> BTreeMap<u64, BTreeMap<String, Vec<Row>>> {
+    let mut m = BTreeMap::new();
+    let mut people: Vec<Row> = Vec::new();
+    let mut audit: Vec<Row> = Vec::new();
+    m.insert(1, BTreeMap::new());
+    for epoch in 2u64..=5 {
+        for i in 0..4i64 {
+            let id = (epoch as i64) * 10 + i;
+            people.push(row![id, format!("p{id}")]);
+        }
+        let mut tables = BTreeMap::new();
+        tables.insert("people".to_string(), people.clone());
+        if epoch >= 4 {
+            audit.push(row![epoch as i64]);
+            tables.insert("audit".to_string(), audit.clone());
+        }
+        m.insert(epoch, tables);
+    }
+    m
+}
+
+fn build_db(tables: &BTreeMap<String, Vec<Row>>) -> Result<Database> {
+    let mut db = Database::new();
+    for (name, rows) in tables {
+        let schema = if name == "audit" {
+            Schema::from_pairs(&[("epoch", DataType::Int)])
+        } else {
+            Schema::from_pairs(&[("id", DataType::Int), ("name", DataType::Str)])
+        };
+        let t = db.create_table(name, schema)?;
+        for r in rows {
+            t.insert(r.clone())?;
+        }
+    }
+    Ok(db)
+}
+
+fn rows_of(db: &Database) -> Result<BTreeMap<String, Vec<Row>>> {
+    let mut io = PageIo::default();
+    let mut out = BTreeMap::new();
+    for t in db.tables() {
+        out.insert(t.name().to_string(), t.read_rows(&mut io)?.into_owned());
+    }
+    Ok(out)
+}
+
+/// Replay the workload on `env`, stopping at the first error. Returns the
+/// highest acked epoch (the durability floor).
+fn replay(env: &ChaosEnv, dir: &Path) -> Result<u64> {
+    let model = model();
+    let mut rec = match PersistentStore::open(dir, StoreOptions::on_env(Arc::new(env.clone()))) {
+        Ok(r) => r,
+        Err(_) => return Ok(0),
+    };
+    let mut acked = rec.epoch;
+    for epoch in 2u64..=5 {
+        let db = build_db(&model[&epoch])?;
+        match rec.store.commit(epoch, &db) {
+            Ok(_) => acked = epoch,
+            Err(_) => return Ok(acked),
+        }
+        if epoch == 3 && rec.store.checkpoint().is_err() {
+            return Ok(acked);
+        }
+    }
+    Ok(acked)
+}
+
+fn gate(ok: bool, msg: impl Into<String>) -> Result<()> {
+    if ok {
+        Ok(())
+    } else {
+        Err(Error::internal(format!(
+            "chaos gate violated: {}",
+            msg.into()
+        )))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Phase 1: the crash-point sweep.
+// ---------------------------------------------------------------------
+
+struct SweepReport {
+    total_ops: u64,
+    crashes: u64,
+    /// Recovered-epoch histogram over the sweep.
+    epochs: BTreeMap<u64, u64>,
+}
+
+fn crash_point_sweep(cfg: &DiskNetChaosConfig) -> Result<SweepReport> {
+    let dir = PathBuf::from("/chaos/sweep");
+    let dry = ChaosEnv::quiet(cfg.disk_seed);
+    let acked = replay(&dry, &dir)?;
+    gate(acked == 5, format!("dry run acked epoch {acked}, want 5"))?;
+    let total_ops = dry.op_count();
+
+    let workers = cfg.concurrency.max(1) as u64;
+    let seed = cfg.disk_seed;
+    let handles: Vec<_> = (0..workers)
+        .map(|w| {
+            let dir = dir.clone();
+            std::thread::spawn(move || -> Result<BTreeMap<u64, u64>> {
+                let model = model();
+                let mut epochs: BTreeMap<u64, u64> = BTreeMap::new();
+                let mut k = w;
+                while k < total_ops {
+                    let env = ChaosEnv::quiet(seed);
+                    env.set_crash_point(k);
+                    let acked = replay(&env, &dir)?;
+                    env.revive();
+                    let rec =
+                        PersistentStore::open(&dir, StoreOptions::on_env(Arc::new(env.clone())))?;
+                    gate(
+                        rec.epoch >= acked.max(1),
+                        format!("crash at op {k}: epoch {} below floor {acked}", rec.epoch),
+                    )?;
+                    let expected = model.get(&rec.epoch).ok_or_else(|| {
+                        Error::internal(format!(
+                            "crash at op {k}: recovered unknown epoch {}",
+                            rec.epoch
+                        ))
+                    })?;
+                    gate(
+                        &rows_of(&rec.db)? == expected,
+                        format!("crash at op {k}: epoch {} rows diverge", rec.epoch),
+                    )?;
+                    *epochs.entry(rec.epoch).or_insert(0) += 1;
+                    k += workers;
+                }
+                Ok(epochs)
+            })
+        })
+        .collect();
+    let mut epochs: BTreeMap<u64, u64> = BTreeMap::new();
+    for h in handles {
+        let partial = h
+            .join()
+            .map_err(|_| Error::internal("sweep worker panicked"))??;
+        for (e, n) in partial {
+            *epochs.entry(e).or_insert(0) += n;
+        }
+    }
+    Ok(SweepReport { total_ops, crashes: total_ops, epochs })
+}
+
+// ---------------------------------------------------------------------
+// Phase 2: the ENOSPC probe.
+// ---------------------------------------------------------------------
+
+struct EnospcReport {
+    typed_rejections: u64,
+    reads_served: bool,
+    recovered_after_space: bool,
+}
+
+fn enospc_probe(cfg: &DiskNetChaosConfig) -> Result<EnospcReport> {
+    let dir = PathBuf::from("/chaos/enospc");
+    let env = ChaosEnv::quiet(cfg.disk_seed);
+    let model = model();
+    let mut rec = PersistentStore::open(&dir, StoreOptions::on_env(Arc::new(env.clone())))?;
+    let paged = rec
+        .store
+        .commit(2, &build_db(&model[&2])?)?
+        .ok_or_else(|| Error::internal("epoch 2 did not page out"))?;
+
+    env.set_disk_full(true);
+    let mut typed = 0u64;
+    match rec.store.commit(3, &build_db(&model[&3])?) {
+        Err(Error::StorageFull(_)) => typed += 1,
+        other => gate(false, format!("full-disk commit returned {other:?}"))?,
+    }
+    match rec.store.checkpoint() {
+        Err(Error::StorageFull(_)) => typed += 1,
+        other => gate(false, format!("full-disk checkpoint returned {other:?}"))?,
+    }
+    let reads_served = rows_of(&paged)? == model[&2];
+    gate(reads_served, "reads stopped serving under ENOSPC")?;
+
+    env.set_disk_full(false);
+    drop(rec);
+    let mut rec = PersistentStore::open(&dir, StoreOptions::on_env(Arc::new(env.clone())))?;
+    gate(
+        rec.epoch == 2,
+        format!("partial publish: epoch {}", rec.epoch),
+    )?;
+    rec.store.commit(3, &build_db(&model[&3])?)?;
+    let rec = PersistentStore::open(&dir, StoreOptions::on_env(Arc::new(env)))?;
+    let recovered = rec.epoch == 3 && rows_of(&rec.db)? == model[&3];
+    gate(recovered, "store did not recover once space returned")?;
+    Ok(EnospcReport { typed_rejections: typed, reads_served, recovered_after_space: recovered })
+}
+
+// ---------------------------------------------------------------------
+// Phase 3: byte identity RealEnv vs quiet ChaosEnv.
+// ---------------------------------------------------------------------
+
+struct IdentityReport {
+    files_compared: u64,
+    bytes_compared: u64,
+}
+
+fn byte_identity(cfg: &DiskNetChaosConfig) -> Result<IdentityReport> {
+    let chaos_root = PathBuf::from("/chaos/ident");
+    let chaos = ChaosEnv::quiet(cfg.disk_seed);
+    replay(&chaos, &chaos_root)?;
+    let mut chaos_files: Vec<(String, Vec<u8>)> = chaos
+        .dump()?
+        .into_iter()
+        .filter_map(|(p, bytes)| {
+            p.strip_prefix(&chaos_root)
+                .ok()
+                .map(|rel| (rel.to_string_lossy().into_owned(), bytes))
+        })
+        .collect();
+    chaos_files.sort();
+
+    let real_root = std::env::temp_dir().join(format!("decorr-chaos-ident-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&real_root);
+    {
+        let model = model();
+        let mut rec = PersistentStore::open(&real_root, StoreOptions::on_env(RealEnv::shared()))?;
+        for epoch in 2u64..=5 {
+            rec.store.commit(epoch, &build_db(&model[&epoch])?)?;
+            if epoch == 3 {
+                rec.store.checkpoint()?;
+            }
+        }
+    }
+    let mut real_files: Vec<(String, Vec<u8>)> = Vec::new();
+    let mut stack = vec![real_root.clone()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d).map_err(|e| Error::io(format!("read_dir {d:?}: {e}")))? {
+            let entry = entry.map_err(|e| Error::io(format!("read_dir entry: {e}")))?;
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if let Ok(rel) = path.strip_prefix(&real_root) {
+                let bytes =
+                    std::fs::read(&path).map_err(|e| Error::io(format!("read {path:?}: {e}")))?;
+                real_files.push((rel.to_string_lossy().into_owned(), bytes));
+            }
+        }
+    }
+    real_files.sort();
+    let _ = std::fs::remove_dir_all(&real_root);
+
+    let chaos_names: Vec<&String> = chaos_files.iter().map(|(n, _)| n).collect();
+    let real_names: Vec<&String> = real_files.iter().map(|(n, _)| n).collect();
+    gate(
+        chaos_names == real_names,
+        format!("artifact sets diverge: chaos {chaos_names:?} vs real {real_names:?}"),
+    )?;
+    let mut bytes = 0u64;
+    for ((name, c), (_, r)) in chaos_files.iter().zip(real_files.iter()) {
+        gate(c == r, format!("artifact {name} not byte-identical"))?;
+        bytes += c.len() as u64;
+    }
+    Ok(IdentityReport { files_compared: chaos_files.len() as u64, bytes_compared: bytes })
+}
+
+// ---------------------------------------------------------------------
+// Phase 4: network chaos against a live service.
+// ---------------------------------------------------------------------
+
+const NET_MIX: [&str; 3] = [
+    "SELECT COUNT(*) FROM t",
+    "SELECT t.x FROM t WHERE t.x > 90",
+    "SELECT t.x FROM t WHERE t.x < 4",
+];
+
+struct NetReport {
+    requests: u64,
+    ok_identical: u64,
+    typed_failures: u64,
+    drops_injected: u64,
+    partials_injected: u64,
+    stalls_injected: u64,
+    retries: u64,
+    reconnects: u64,
+    backoff_ticks: u64,
+    server_partial_lines: u64,
+    server_stalled_sheds: u64,
+    wall_ms: f64,
+}
+
+fn net_chaos(cfg: &DiskNetChaosConfig) -> Result<NetReport> {
+    let mut db = Database::new();
+    let t = db.create_table("t", Schema::from_pairs(&[("x", DataType::Int)]))?;
+    for i in 0..100i64 {
+        t.insert(row![i])?;
+    }
+    let mut h = serve(
+        db,
+        ServerConfig {
+            read_timeout: Some(Duration::from_millis(100)),
+            write_timeout: Some(Duration::from_secs(5)),
+            ..Default::default()
+        },
+    )?;
+    let addr = h.local_addr();
+
+    // Fault-free reference payloads, one serial client. Only data rows
+    // count: the `--` footer carries plan-cache status and timings that
+    // legitimately vary between executions.
+    let mut reference: Vec<Vec<String>> = Vec::new();
+    {
+        let mut c = LineClient::connect(addr)?;
+        for q in NET_MIX {
+            let r = c.request(q)?;
+            gate(
+                r.status == Status::Ok,
+                format!("reference run failed for {q}"),
+            )?;
+            reference.push(r.rows().map(str::to_string).collect());
+        }
+        c.quit()?;
+    }
+
+    let started = Instant::now();
+    let reference = Arc::new(reference);
+    let handles: Vec<_> = (0..cfg.concurrency.max(1))
+        .map(|client_id| {
+            let reference = Arc::clone(&reference);
+            let net_seed = cfg.net_seed ^ (client_id as u64);
+            let requests = cfg.requests_per_client;
+            std::thread::spawn(move || -> Result<(NetChaos, u64, u64, u64, u64, u64)> {
+                let chaos = NetChaos::new(net_seed, NetChaosConfig::from_seed(net_seed));
+                let mut client = ResilientClient::new(addr, RetryPolicy::default(), Clock::new());
+                let (mut ok, mut typed) = (0u64, 0u64);
+                for i in 0..requests {
+                    match chaos.decide() {
+                        NetFault::DropBefore => client.sever(),
+                        NetFault::PartialLine => {
+                            // A mutating fragment: the server must discard
+                            // it, which the epoch gate below confirms.
+                            decorr_server::netchaos::send_partial_line(addr, "ANALYZE")?;
+                        }
+                        NetFault::Stall => {
+                            // Park a side connection past the read
+                            // deadline; the server must shed it without
+                            // stalling this client's request below.
+                            std::thread::spawn(move || {
+                                let _ = decorr_server::netchaos::stall_connection(
+                                    addr,
+                                    Duration::from_millis(200),
+                                );
+                            });
+                        }
+                        NetFault::None => {}
+                    }
+                    let q = NET_MIX[i % NET_MIX.len()];
+                    match client.request(q) {
+                        Ok(r) if r.status == Status::Ok => {
+                            gate(
+                                r.rows()
+                                    .eq(reference[i % NET_MIX.len()].iter().map(String::as_str)),
+                                format!("client {client_id}: payload diverged for {q}"),
+                            )?;
+                            ok += 1;
+                        }
+                        Ok(r) => gate(false, format!("unexpected status {:?}", r.status))?,
+                        // Typed transport failure after capped retries is a
+                        // legal fail-closed outcome; anything else is not.
+                        Err(Error::Io(_)) => typed += 1,
+                        Err(e) => gate(false, format!("untyped failure {e}"))?,
+                    }
+                }
+                let stats = client.stats();
+                Ok((
+                    chaos,
+                    ok,
+                    typed,
+                    stats.retries,
+                    stats.reconnects,
+                    stats.backoff_ticks,
+                ))
+            })
+        })
+        .collect();
+
+    let mut rep = NetReport {
+        requests: (cfg.concurrency.max(1) * cfg.requests_per_client) as u64,
+        ok_identical: 0,
+        typed_failures: 0,
+        drops_injected: 0,
+        partials_injected: 0,
+        stalls_injected: 0,
+        retries: 0,
+        reconnects: 0,
+        backoff_ticks: 0,
+        server_partial_lines: 0,
+        server_stalled_sheds: 0,
+        wall_ms: 0.0,
+    };
+    for h2 in handles {
+        let (chaos, ok, typed, retries, reconnects, backoff) = h2
+            .join()
+            .map_err(|_| Error::internal("net chaos client panicked"))??;
+        let s = chaos.stats();
+        rep.ok_identical += ok;
+        rep.typed_failures += typed;
+        rep.drops_injected += s.drops_injected;
+        rep.partials_injected += s.partials_injected;
+        rep.stalls_injected += s.stalls_injected;
+        rep.retries += retries;
+        rep.reconnects += reconnects;
+        rep.backoff_ticks += backoff;
+    }
+    rep.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // Truncated `ANALYZE` fragments must have been discarded, not run.
+    gate(
+        h.catalog().epoch() == 1,
+        format!("a partial line executed: epoch {}", h.catalog().epoch()),
+    )?;
+    gate(
+        rep.ok_identical + rep.typed_failures == rep.requests,
+        "request accounting does not add up",
+    )?;
+    // Give the server a beat to notice in-flight partial/stalled sockets
+    // before snapshotting its counters (injection is asynchronous).
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while Instant::now() < deadline {
+        let n = h.net_counters();
+        if n.partial_lines >= rep.partials_injected && n.stalled_sheds >= rep.stalls_injected {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let n = h.net_counters();
+    rep.server_partial_lines = n.partial_lines;
+    rep.server_stalled_sheds = n.stalled_sheds;
+    gate(
+        rep.partials_injected == 0 || rep.server_partial_lines > 0,
+        "server never counted an injected partial line",
+    )?;
+    h.shutdown();
+    Ok(rep)
+}
+
+// ---------------------------------------------------------------------
+// The suite.
+// ---------------------------------------------------------------------
+
+/// Run all four phases; returns `(text table, json report)`. Every gate
+/// is enforced — a violated contract is an `Err`, not a report line.
+pub fn disk_net_chaos(cfg: &DiskNetChaosConfig) -> Result<(String, String)> {
+    use std::fmt::Write as _;
+
+    let sweep = crash_point_sweep(cfg)?;
+    let enospc = enospc_probe(cfg)?;
+    let ident = byte_identity(cfg)?;
+    let net = net_chaos(cfg)?;
+
+    let mut t = String::new();
+    writeln!(
+        t,
+        "disk & network chaos (disk seed {}, net seed {}, concurrency {})",
+        cfg.disk_seed, cfg.net_seed, cfg.concurrency
+    )
+    .map_err(|e| Error::internal(e.to_string()))?;
+    writeln!(
+        t,
+        "  crash sweep      {} ops, {} power cuts — every recovery on a model epoch {:?}",
+        sweep.total_ops, sweep.crashes, sweep.epochs
+    )
+    .map_err(|e| Error::internal(e.to_string()))?;
+    writeln!(
+        t,
+        "  enospc           {} typed rejections; reads served: {}; recovered: {}",
+        enospc.typed_rejections, enospc.reads_served, enospc.recovered_after_space
+    )
+    .map_err(|e| Error::internal(e.to_string()))?;
+    writeln!(
+        t,
+        "  byte identity    {} artifacts, {} bytes — ChaosEnv == RealEnv",
+        ident.files_compared, ident.bytes_compared
+    )
+    .map_err(|e| Error::internal(e.to_string()))?;
+    writeln!(
+        t,
+        "  net chaos        {}/{} identical payloads, {} typed failures in {:.1} ms",
+        net.ok_identical, net.requests, net.typed_failures, net.wall_ms
+    )
+    .map_err(|e| Error::internal(e.to_string()))?;
+    writeln!(
+        t,
+        "                   injected: {} drops, {} partial lines, {} stalls; \
+         client: {} retries, {} reconnects, {} backoff ticks; \
+         server: {} partials discarded, {} stalled sheds",
+        net.drops_injected,
+        net.partials_injected,
+        net.stalls_injected,
+        net.retries,
+        net.reconnects,
+        net.backoff_ticks,
+        net.server_partial_lines,
+        net.server_stalled_sheds
+    )
+    .map_err(|e| Error::internal(e.to_string()))?;
+
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("bench", "disk-net-chaos")
+        .field_uint("disk_seed", cfg.disk_seed)
+        .field_uint("net_seed", cfg.net_seed)
+        .field_uint("concurrency", cfg.concurrency as u64);
+    // Self-describing: what each counter in this document means.
+    w.key("schema").begin_object();
+    for (k, v) in [
+        ("crash_sweep.total_ops", "ops in the workload; one simulated power cut per op"),
+        ("crash_sweep.recovered_epochs", "histogram of recovered epoch -> sweep points; every recovery verified bit-identical to the model"),
+        ("enospc.typed_rejections", "commit/checkpoint attempts rejected with typed StorageFull"),
+        ("byte_identity.files", "artifacts compared byte-for-byte between quiet ChaosEnv and RealEnv"),
+        ("net.drops_injected", "connections severed before a request (client reconnects + retries)"),
+        ("net.partials_injected", "unterminated command fragments sent and hung up"),
+        ("net.stalls_injected", "connections parked mid-line past the server read deadline"),
+        ("net.retries", "requests retried after a typed transport error"),
+        ("net.reconnects", "fresh connections established by resilient clients"),
+        ("net.backoff_ticks", "logical clock ticks spent in capped exponential backoff"),
+        ("net.server_partial_lines", "partial lines the server counted and discarded (never executed)"),
+        ("net.server_stalled_sheds", "stalled connections the server shed on its read deadline"),
+    ] {
+        w.field_str(k, v);
+    }
+    w.end_object();
+    w.key("crash_sweep").begin_object();
+    w.field_uint("total_ops", sweep.total_ops)
+        .field_uint("power_cuts", sweep.crashes);
+    w.key("recovered_epochs").begin_object();
+    for (e, n) in &sweep.epochs {
+        w.field_uint(&format!("epoch_{e}"), *n);
+    }
+    w.end_object();
+    w.field_bool("all_recoveries_bit_identical", true)
+        .end_object();
+    w.key("enospc").begin_object();
+    w.field_uint("typed_rejections", enospc.typed_rejections)
+        .field_bool("reads_served", enospc.reads_served)
+        .field_bool("recovered_after_space", enospc.recovered_after_space)
+        .end_object();
+    w.key("byte_identity").begin_object();
+    w.field_uint("files", ident.files_compared)
+        .field_uint("bytes", ident.bytes_compared)
+        .field_bool("identical", true)
+        .end_object();
+    w.key("net").begin_object();
+    w.field_uint("requests", net.requests)
+        .field_uint("ok_identical", net.ok_identical)
+        .field_uint("typed_failures", net.typed_failures)
+        .field_uint("drops_injected", net.drops_injected)
+        .field_uint("partials_injected", net.partials_injected)
+        .field_uint("stalls_injected", net.stalls_injected)
+        .field_uint("retries", net.retries)
+        .field_uint("reconnects", net.reconnects)
+        .field_uint("backoff_ticks", net.backoff_ticks)
+        .field_uint("server_partial_lines", net.server_partial_lines)
+        .field_uint("server_stalled_sheds", net.server_stalled_sheds)
+        .field_float("wall_ms", net.wall_ms)
+        .field_bool("no_hangs", true)
+        .end_object();
+    w.end_object();
+
+    Ok((t, w.finish()))
+}

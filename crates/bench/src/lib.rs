@@ -18,8 +18,10 @@ use decorr_stats::{q_error, AccuracyReport, Statistics};
 use decorr_storage::Database;
 use decorr_tpcd::{generate, queries, TpcdConfig};
 
+pub mod chaos;
 pub mod serve;
 pub mod storage;
+pub use chaos::{disk_net_chaos, DiskNetChaosConfig};
 pub use serve::{repeat_workload_bench, serve_bench, ServeBenchConfig, SERVE_MIX};
 pub use storage::{storage_bench, StorageBenchConfig};
 

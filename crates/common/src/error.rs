@@ -49,6 +49,14 @@ pub enum Error {
     /// was exceeded. Unlike [`Error::Overloaded`] this is attributable to
     /// the session's own demand, not global pressure.
     QuotaExceeded(String),
+    /// The storage device is out of space (ENOSPC, real or injected).
+    /// Fail-closed contract: no partial epoch is ever published, the store
+    /// keeps serving reads, and over-budget operators fall back to their
+    /// in-memory degradation paths instead of spilling.
+    StorageFull(String),
+    /// A disk or network I/O operation failed (real or injected). Possibly
+    /// transient: callers with an idempotent operation may retry.
+    Io(String),
     /// Internal invariant violation — indicates a bug in this library.
     Internal(String),
 }
@@ -87,6 +95,12 @@ impl Error {
     pub fn quota(msg: impl Into<String>) -> Self {
         Error::QuotaExceeded(msg.into())
     }
+    pub fn storage_full(msg: impl Into<String>) -> Self {
+        Error::StorageFull(msg.into())
+    }
+    pub fn io(msg: impl Into<String>) -> Self {
+        Error::Io(msg.into())
+    }
     pub fn internal(msg: impl Into<String>) -> Self {
         Error::Internal(msg.into())
     }
@@ -108,6 +122,8 @@ impl fmt::Display for Error {
             Error::NodeFailed(m) => write!(f, "node failed: {m}"),
             Error::Overloaded(m) => write!(f, "overloaded: {m}"),
             Error::QuotaExceeded(m) => write!(f, "quota exceeded: {m}"),
+            Error::StorageFull(m) => write!(f, "storage full: {m}"),
+            Error::Io(m) => write!(f, "i/o error: {m}"),
             Error::Internal(m) => write!(f, "internal error (bug): {m}"),
         }
     }

@@ -14,8 +14,10 @@ use std::sync::Arc;
 
 use crate::govern::Clock;
 
-/// splitmix64: the stateless mixer behind every fault decision.
-fn splitmix64(mut x: u64) -> u64 {
+/// splitmix64: the stateless mixer behind every fault decision (shared
+/// with the disk-chaos [`crate::env::ChaosEnv`] and network chaos, so one
+/// u64 seed determines an entire fault schedule).
+pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -25,6 +25,7 @@
 //! bottom of the dependency graph.
 
 pub mod columnar;
+pub mod env;
 pub mod error;
 pub mod fault;
 pub mod govern;
@@ -38,6 +39,7 @@ pub mod stats;
 pub mod value;
 
 pub use columnar::{CmpOp, ColPredicate, Column, ColumnarBatch, SelVec};
+pub use env::{ChaosEnv, DiskFaultConfig, EnvFile, EnvStats, RealEnv, StorageEnv};
 pub use error::{Error, Result};
 pub use fault::{Chaos, FaultEvent, FaultPlan};
 pub use govern::{Budget, CancelToken, Clock};

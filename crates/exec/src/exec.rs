@@ -1444,7 +1444,7 @@ impl<'a> Executor<'a> {
                      spilling {parts} grace partitions",
                     right.len()
                 ));
-                let out = self.spilled_hash_join(
+                match self.spilled_hash_join(
                     &rows,
                     layout,
                     right,
@@ -1454,16 +1454,29 @@ impl<'a> Executor<'a> {
                     env,
                     &spill,
                     parts,
-                )?;
-                self.stats.join_output_rows += out.len() as u64;
-                self.note_join(
-                    next,
-                    JoinStrategy::GraceHash,
-                    rows.len() as u64,
-                    right.len() as u64,
-                    out.len() as u64,
-                );
-                return Ok(out);
+                ) {
+                    Ok(out) => {
+                        self.stats.join_output_rows += out.len() as u64;
+                        self.note_join(
+                            next,
+                            JoinStrategy::GraceHash,
+                            rows.len() as u64,
+                            right.len() as u64,
+                            out.len() as u64,
+                        );
+                        return Ok(out);
+                    }
+                    // Fail-closed ENOSPC: the spill file cannot grow, so
+                    // fall back to the spill-free degradation path — same
+                    // matches, same order, O(1) extra memory, no disk.
+                    Err(Error::StorageFull(_)) => {
+                        self.note_degradation(
+                            "spill device full (ENOSPC); falling back to \
+                             block nested-loop join",
+                        );
+                    }
+                    Err(e) => return Err(e),
+                }
             }
             self.note_degradation(&format!(
                 "hash-join build side of {} rows exceeds mem_budget; \
@@ -2116,7 +2129,20 @@ impl<'a> Executor<'a> {
         // so the result is the one the serial fold produces.
         let groups: Vec<(Vec<Value>, Vec<Acc>)> = if let Some(mgr) = &spilling {
             let parts = self.spill_parts(input.len());
-            self.spilled_groups(&input, &layout, env, group_by, &agg_slots, mgr, parts)?
+            match self.spilled_groups(&input, &layout, env, group_by, &agg_slots, mgr, parts) {
+                Ok(groups) => groups,
+                // Fail-closed ENOSPC: the spill partitions cannot grow, so
+                // degrade to the spill-free sort-based path (key-sorted
+                // emission, identical per-group accumulation).
+                Err(Error::StorageFull(_)) => {
+                    self.note_degradation(
+                        "spill device full (ENOSPC); falling back to \
+                         sort-based aggregation",
+                    );
+                    sort_groups(&input, &layout, env, group_by, &agg_slots)?
+                }
+                Err(e) => return Err(e),
+            }
         } else if degraded {
             sort_groups(&input, &layout, env, group_by, &agg_slots)?
         } else if let (Some(cols), false) = (&kernel_cols, input.is_empty()) {

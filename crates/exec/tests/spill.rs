@@ -12,7 +12,14 @@ use decorr_storage::{BufferPool, Database, SpillManager};
 
 fn spill_mgr() -> Arc<SpillManager> {
     let dir = std::env::temp_dir().join(format!("decorr-exec-spill-{}", std::process::id()));
-    Arc::new(SpillManager::new(dir, BufferPool::new(1 << 20)).unwrap())
+    Arc::new(
+        SpillManager::new(
+            dir,
+            decorr_common::RealEnv::shared(),
+            BufferPool::new(1 << 20),
+        )
+        .unwrap(),
+    )
 }
 
 /// l(a): ints 0..60 cycled, plus NULL rows.

@@ -22,11 +22,13 @@ use std::path::Path;
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use decorr::plan_cache::PlanCache;
+use decorr_common::env::{EnvStats, StorageEnv};
 use decorr_common::{Error, Result};
 use decorr_exec::{ColumnarCache, CostModel, SubplanCache};
 use decorr_stats::Statistics;
 use decorr_storage::{
-    BufferPool, Database, PersistentStore, PoolStats, Recovered, SpillManager, StoreOptions,
+    BufferPool, Checkpoint, Database, PersistentStore, PoolStats, Recovered, SpillManager,
+    StoreOptions,
 };
 
 /// One immutable published version of the catalog.
@@ -92,6 +94,7 @@ struct Durable {
     store: Mutex<PersistentStore>,
     pool: Arc<BufferPool>,
     spill: Arc<SpillManager>,
+    env: Arc<dyn StorageEnv>,
 }
 
 fn poisoned() -> Error {
@@ -122,8 +125,12 @@ impl SharedCatalog {
         } else {
             (epoch, db)
         };
-        let durable =
-            Durable { pool: store.pool(), spill: store.spill(), store: Mutex::new(store) };
+        let durable = Durable {
+            pool: store.pool(),
+            spill: store.spill(),
+            env: store.env(),
+            store: Mutex::new(store),
+        };
         Ok(Self::with_persist(db, epoch, Some(durable)))
     }
 
@@ -265,14 +272,37 @@ impl SharedCatalog {
 
     /// Checkpoint the durable store: manifest the current epoch, truncate
     /// the WAL and collect unreferenced segments. Returns the checkpointed
-    /// epoch, or `None` for an ephemeral catalog.
-    pub fn checkpoint(&self) -> Result<Option<u64>> {
+    /// epoch plus GC counts, or `None` for an ephemeral catalog.
+    pub fn checkpoint(&self) -> Result<Option<Checkpoint>> {
         let Some(d) = &self.persist else {
             return Ok(None);
         };
         let _w = self.writer.lock().map_err(|_| poisoned())?;
         let mut store = d.store.lock().map_err(|_| poisoned())?;
         Ok(Some(store.checkpoint()?))
+    }
+
+    /// The storage environment the durable store runs on (`None` when
+    /// ephemeral). Chaos harnesses use this to reach the injected-fault
+    /// counters and crash controls of a `ChaosEnv`.
+    pub fn storage_env(&self) -> Option<Arc<dyn StorageEnv>> {
+        self.persist.as_ref().map(|d| Arc::clone(&d.env))
+    }
+
+    /// Injected disk-fault counters of the storage environment (all zero
+    /// on the real filesystem; `None` when ephemeral).
+    pub fn env_stats(&self) -> Option<EnvStats> {
+        self.persist.as_ref().map(|d| d.env.stats())
+    }
+
+    /// Cleanup/GC deletions that failed on the durable store (`None` when
+    /// ephemeral).
+    pub fn gc_failures(&self) -> Result<Option<u64>> {
+        let Some(d) = &self.persist else {
+            return Ok(None);
+        };
+        let store = d.store.lock().map_err(|_| poisoned())?;
+        Ok(Some(store.gc_failures()))
     }
 
     fn publish(&self, epoch: u64, db: Arc<Database>, model: Option<Arc<CostModel>>) -> Result<()> {
@@ -287,121 +317,5 @@ impl SharedCatalog {
         let mut cur = self.current.write().map_err(|_| poisoned())?;
         *cur = version;
         Ok(())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use decorr_common::{row, DataType, Schema};
-
-    fn seed_db() -> Database {
-        let mut db = Database::new();
-        let t = db
-            .create_table("t", Schema::from_pairs(&[("x", DataType::Int)]))
-            .unwrap();
-        t.insert(row![1]).unwrap();
-        db
-    }
-
-    #[test]
-    fn snapshots_survive_later_epochs() {
-        let cat = SharedCatalog::new(seed_db());
-        let old = cat.snapshot();
-        assert_eq!(old.epoch(), 1);
-        cat.update(|db| db.table_mut("t")?.insert(row![2])).unwrap();
-        assert_eq!(cat.epoch(), 2);
-        // The old snapshot still sees exactly one row.
-        assert_eq!(old.db().table("t").unwrap().len(), 1);
-        assert_eq!(cat.snapshot().db().table("t").unwrap().len(), 2);
-    }
-
-    #[test]
-    fn failed_update_publishes_nothing() {
-        let cat = SharedCatalog::new(seed_db());
-        let before = cat.snapshot();
-        let r = cat.update(|db| db.drop_table("missing"));
-        assert!(r.is_err());
-        assert_eq!(cat.epoch(), before.epoch());
-    }
-
-    fn tmp_dir(name: &str) -> std::path::PathBuf {
-        let dir =
-            std::env::temp_dir().join(format!("decorr-catalog-test-{}-{name}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        dir
-    }
-
-    #[test]
-    fn durable_catalog_recovers_the_published_epoch() {
-        let dir = tmp_dir("recover");
-        {
-            let cat =
-                SharedCatalog::open_durable(&dir, StoreOptions::default(), seed_db()).unwrap();
-            assert!(cat.is_durable());
-            assert_eq!(cat.epoch(), 1);
-            // Fresh open publishes the segment-backed conversion.
-            assert!(cat.snapshot().db().table("t").unwrap().is_paged());
-            // DDL and ANALYZE each commit-then-publish.
-            cat.update(|db| db.drop_table("t")).unwrap();
-            cat.analyze().unwrap();
-            assert_eq!(cat.epoch(), 3);
-        }
-        let cat = SharedCatalog::open_durable(&dir, StoreOptions::default(), seed_db()).unwrap();
-        assert_eq!(
-            cat.epoch(),
-            3,
-            "recovery must land on the last published epoch"
-        );
-        assert!(
-            cat.snapshot().db().table("t").is_err(),
-            "dropped table must stay dropped"
-        );
-    }
-
-    #[test]
-    fn durable_replace_survives_checkpoint_and_reopen() {
-        let dir = tmp_dir("replace");
-        {
-            let cat =
-                SharedCatalog::open_durable(&dir, StoreOptions::default(), seed_db()).unwrap();
-            let mut db = Database::new();
-            let t = db
-                .create_table("u", Schema::from_pairs(&[("y", DataType::Int)]))
-                .unwrap();
-            t.insert(row![7]).unwrap();
-            t.insert(row![8]).unwrap();
-            assert_eq!(cat.replace(db).unwrap(), 2);
-            assert_eq!(cat.checkpoint().unwrap(), Some(2));
-        }
-        let cat = SharedCatalog::open_durable(&dir, StoreOptions::default(), seed_db()).unwrap();
-        assert_eq!(cat.epoch(), 2);
-        let snap = cat.snapshot();
-        assert!(
-            snap.db().table("t").is_err(),
-            "replaced catalog must not resurrect the seed"
-        );
-        assert_eq!(snap.db().table("u").unwrap().len(), 2);
-    }
-
-    #[test]
-    fn ephemeral_catalog_has_no_durable_handles() {
-        let cat = SharedCatalog::new(seed_db());
-        assert!(!cat.is_durable());
-        assert!(cat.buffer_pool().is_none());
-        assert!(cat.spill().is_none());
-        assert!(cat.pool_stats().is_none());
-        assert_eq!(cat.checkpoint().unwrap(), None);
-    }
-
-    #[test]
-    fn analyze_bumps_epoch_and_shares_the_model() {
-        let cat = SharedCatalog::new(seed_db());
-        let model = cat.analyze().unwrap();
-        assert_eq!(cat.epoch(), 2);
-        let snap = cat.snapshot();
-        assert!(Arc::ptr_eq(&model, &snap.cost_model()));
-        // Data unchanged — ANALYZE versions metadata, not rows.
-        assert_eq!(snap.db().table("t").unwrap().len(), 1);
     }
 }

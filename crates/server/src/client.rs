@@ -1,10 +1,11 @@
 //! A blocking line-protocol client, shared by `serve-bench` and the
-//! integration tests.
+//! integration tests — plus [`ResilientClient`], the retry-with-backoff
+//! wrapper the network-chaos harness drives.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use decorr_common::{Error, Result};
+use decorr_common::{Clock, Error, Result};
 
 /// One request's outcome: the payload lines and how the server closed it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,7 +49,10 @@ pub struct LineClient {
 }
 
 fn io_err(what: &str, e: std::io::Error) -> Error {
-    Error::internal(format!("client {what}: {e}"))
+    // Typed as transport I/O, not `Internal`: a dropped connection is an
+    // environment fault, and [`ResilientClient`] retries exactly this
+    // class of error.
+    Error::io(format!("client {what}: {e}"))
 }
 
 impl LineClient {
@@ -131,5 +135,114 @@ impl LineClient {
             line.pop();
         }
         Ok(Some(line))
+    }
+}
+
+/// Retry policy for [`ResilientClient`]: capped exponential backoff on
+/// the logical clock (never a wall-clock sleep).
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Attempts beyond the first (0 = fail on the first transport error).
+    pub max_retries: u32,
+    /// Backoff before retry 1, in logical ticks.
+    pub base_ticks: u64,
+    /// Cap: backoff doubles per retry but never exceeds this.
+    pub max_ticks: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 4, base_ticks: 1, max_ticks: 16 }
+    }
+}
+
+/// Counters of what a [`ResilientClient`] rode through.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Requests retried after a transport ([`Error::Io`]) failure.
+    pub retries: u64,
+    /// Fresh connections established (first connect included).
+    pub reconnects: u64,
+    /// Total logical backoff ticks advanced on the clock.
+    pub backoff_ticks: u64,
+}
+
+/// A [`LineClient`] that reconnects and retries on transport errors with
+/// capped exponential backoff.
+///
+/// Only [`Error::Io`] is retried — a typed server reply (`;err` shed,
+/// query error) is a *successful* round trip and is returned as-is.
+/// Retrying re-sends the whole request line, so callers must only route
+/// idempotent requests (reads, `\settings`, ANALYZE) through this client;
+/// that is exactly the chaos harness workload.
+pub struct ResilientClient {
+    addr: std::net::SocketAddr,
+    policy: RetryPolicy,
+    clock: Clock,
+    client: Option<LineClient>,
+    stats: RetryStats,
+}
+
+impl ResilientClient {
+    /// Lazily-connecting client for `addr`; backoff advances `clock`
+    /// (share it with a [`decorr_common::Budget`] so injected waiting
+    /// consumes budget).
+    pub fn new(addr: std::net::SocketAddr, policy: RetryPolicy, clock: Clock) -> ResilientClient {
+        ResilientClient { addr, policy, clock, client: None, stats: RetryStats::default() }
+    }
+
+    /// What this client rode through so far.
+    pub fn stats(&self) -> RetryStats {
+        self.stats
+    }
+
+    /// Drop the current connection (the chaos driver's injected fault).
+    pub fn sever(&mut self) {
+        self.client = None;
+    }
+
+    /// Is a connection currently established?
+    pub fn is_connected(&self) -> bool {
+        self.client.is_some()
+    }
+
+    fn ensure_connected(&mut self) -> Result<&mut LineClient> {
+        if self.client.is_none() {
+            let c = LineClient::connect(self.addr)?;
+            self.stats.reconnects += 1;
+            self.client = Some(c);
+        }
+        self.client
+            .as_mut()
+            .ok_or_else(|| Error::internal("connection vanished after connect"))
+    }
+
+    /// Send one request, reconnecting and retrying transport failures up
+    /// to the policy's limit. Returns the first non-transport outcome;
+    /// after the last retry the typed [`Error::Io`] surfaces (never a
+    /// hang, never a panic).
+    pub fn request(&mut self, line: &str) -> Result<Reply> {
+        let mut backoff = self.policy.base_ticks.max(1);
+        let mut attempt = 0u32;
+        loop {
+            let res = self.ensure_connected().and_then(|c| c.request(line));
+            match res {
+                Ok(reply) => return Ok(reply),
+                Err(Error::Io(m)) => {
+                    // The connection state is unknown: drop it so the next
+                    // attempt starts clean.
+                    self.client = None;
+                    if attempt >= self.policy.max_retries {
+                        return Err(Error::io(format!("{m} (after {attempt} retries)")));
+                    }
+                    attempt += 1;
+                    self.stats.retries += 1;
+                    self.stats.backoff_ticks += backoff;
+                    self.clock.advance(backoff);
+                    backoff = (backoff * 2).min(self.policy.max_ticks.max(1));
+                }
+                Err(other) => return Err(other),
+            }
+        }
     }
 }

@@ -1,0 +1,160 @@
+//! Seeded network chaos: deterministic connection-level fault schedules.
+//!
+//! The disk side of this PR injects faults *under* the store via
+//! [`decorr_common::ChaosEnv`]; this module is the network counterpart for
+//! the TCP service. A [`NetChaos`] is seeded from one u64 (the same
+//! splitmix64 streams as [`decorr_common::FaultPlan`]) and hands the
+//! chaos driver one decision per request:
+//!
+//! * [`NetFault::DropBefore`] — sever the client's connection before the
+//!   request, forcing a reconnect + retry through
+//!   [`crate::client::ResilientClient`];
+//! * [`NetFault::PartialLine`] — send an unterminated half-command from a
+//!   throwaway connection and hang up; the server must *discard* it (and
+//!   count it), never execute it;
+//! * [`NetFault::Stall`] — hold a throwaway connection open, mid-line,
+//!   past the server's read deadline; the server must shed it with a
+//!   typed error instead of parking a thread.
+//!
+//! Faults are injected from the *client side on purpose*: the server's
+//! contract under connection chaos is observable entirely through its
+//! wire behavior and [`crate::server::NetSnapshot`] counters, so the same
+//! schedule exercises a production binary unchanged.
+
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use decorr_common::fault::splitmix64;
+use decorr_common::{Error, Result};
+
+/// What to inject before one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// Run normally.
+    None,
+    /// Sever the connection first (the request then needs reconnect+retry).
+    DropBefore,
+    /// Send a truncated command from a side connection, then hang up.
+    PartialLine,
+    /// Park a side connection mid-line past the server's read deadline.
+    Stall,
+}
+
+/// Per-mille fault probabilities over the request stream.
+#[derive(Debug, Clone, Copy)]
+pub struct NetChaosConfig {
+    pub drop_permille: u64,
+    pub partial_permille: u64,
+    pub stall_permille: u64,
+}
+
+impl NetChaosConfig {
+    /// Inject nothing.
+    pub fn quiet() -> NetChaosConfig {
+        NetChaosConfig { drop_permille: 0, partial_permille: 0, stall_permille: 0 }
+    }
+
+    /// The default chaos mix: frequent enough that a few hundred requests
+    /// hit every fault family, rare enough that capped backoff rides it.
+    pub fn from_seed(_seed: u64) -> NetChaosConfig {
+        NetChaosConfig { drop_permille: 60, partial_permille: 30, stall_permille: 20 }
+    }
+}
+
+/// Counters of injected network faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetChaosStats {
+    pub drops_injected: u64,
+    pub partials_injected: u64,
+    pub stalls_injected: u64,
+}
+
+/// A seeded, deterministic schedule of [`NetFault`]s. Every call to
+/// [`NetChaos::decide`] consumes one index, so a failing seed replays
+/// exactly.
+#[derive(Debug)]
+pub struct NetChaos {
+    seed: u64,
+    cfg: NetChaosConfig,
+    ops: AtomicU64,
+    drops: AtomicU64,
+    partials: AtomicU64,
+    stalls: AtomicU64,
+}
+
+impl NetChaos {
+    pub fn new(seed: u64, cfg: NetChaosConfig) -> NetChaos {
+        NetChaos {
+            seed,
+            cfg,
+            ops: AtomicU64::new(0),
+            drops: AtomicU64::new(0),
+            partials: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
+        }
+    }
+
+    /// The injected fault for the next request. Decisions are keyed on
+    /// `(seed, op index)` only — independent of timing.
+    pub fn decide(&self) -> NetFault {
+        let idx = self.ops.fetch_add(1, Ordering::Relaxed);
+        let h = splitmix64(self.seed ^ 0x4E45_5443 ^ idx.wrapping_mul(0x8EBC_6AF0_9C88_C6E3));
+        let draw = h % 1000;
+        let c = &self.cfg;
+        if draw < c.drop_permille {
+            self.drops.fetch_add(1, Ordering::Relaxed);
+            NetFault::DropBefore
+        } else if draw < c.drop_permille + c.partial_permille {
+            self.partials.fetch_add(1, Ordering::Relaxed);
+            NetFault::PartialLine
+        } else if draw < c.drop_permille + c.partial_permille + c.stall_permille {
+            self.stalls.fetch_add(1, Ordering::Relaxed);
+            NetFault::Stall
+        } else {
+            NetFault::None
+        }
+    }
+
+    /// Injected-fault counts so far.
+    pub fn stats(&self) -> NetChaosStats {
+        NetChaosStats {
+            drops_injected: self.drops.load(Ordering::Relaxed),
+            partials_injected: self.partials.load(Ordering::Relaxed),
+            stalls_injected: self.stalls.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn io_err(what: &str, e: std::io::Error) -> Error {
+    Error::io(format!("netchaos {what}: {e}"))
+}
+
+/// Open a throwaway connection, send a *truncated* command (no newline)
+/// and hang up. The server must discard it — observable as a bump in
+/// [`crate::server::NetSnapshot::partial_lines`] and, crucially, *not* as
+/// an executed command.
+pub fn send_partial_line(addr: SocketAddr, fragment: &str) -> Result<()> {
+    let mut s = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
+    s.write_all(fragment.as_bytes())
+        .map_err(|e| io_err("write", e))?;
+    s.flush().map_err(|e| io_err("flush", e))?;
+    // Half-close the write side: the server sees EOF mid-line.
+    s.shutdown(Shutdown::Write)
+        .map_err(|e| io_err("shutdown", e))?;
+    Ok(())
+}
+
+/// Open a throwaway connection, send half a command, then hold it open
+/// (no newline, no close) for `hold`. With a server read deadline shorter
+/// than `hold`, the server must shed the connection — observable as a
+/// bump in [`crate::server::NetSnapshot::stalled_sheds`] — instead of
+/// parking a session thread on the silent socket.
+pub fn stall_connection(addr: SocketAddr, hold: Duration) -> Result<()> {
+    let mut s = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
+    s.write_all(b"\\settings").map_err(|e| io_err("write", e))?;
+    s.flush().map_err(|e| io_err("flush", e))?;
+    std::thread::sleep(hold);
+    Ok(())
+}

@@ -23,6 +23,16 @@
 //! [`Error::QuotaExceeded`] sheds — arrive as `;err` with **no payload
 //! lines**: a failed query never delivers partial rows.
 //!
+//! # Fault handling
+//!
+//! A request is executed only when its full line (newline-terminated)
+//! arrived: a connection that drops mid-line leaves a *partial command*,
+//! which is discarded and counted — never executed as if it were complete.
+//! Per-connection read/write deadlines ([`ServerConfig::read_timeout`] /
+//! [`ServerConfig::write_timeout`]) shed stuck or stalled clients as typed
+//! `;err` lines instead of parking a session thread forever. Every
+//! drop/shed/discard increments the server's [`NetCounters`].
+//!
 //! # Concurrency
 //!
 //! One thread per connection, each owning a [`Session`]; the catalog,
@@ -36,6 +46,7 @@ use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use decorr_common::{Error, Result};
 use decorr_storage::{Database, StoreOptions};
@@ -60,6 +71,14 @@ pub struct ServerConfig {
     pub data_dir: Option<std::path::PathBuf>,
     /// Buffer pool / segment knobs for the durable store.
     pub store: StoreOptions,
+    /// Per-connection read deadline. A client that stalls mid-line longer
+    /// than this is shed with a typed `;err` and disconnected (`None`
+    /// waits forever — clients may legally idle between requests, so the
+    /// default is off; chaos and production configs set it).
+    pub read_timeout: Option<Duration>,
+    /// Per-connection write deadline: a client that stops draining its
+    /// socket is shed rather than parking the session thread.
+    pub write_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +89,42 @@ impl Default for ServerConfig {
             session_defaults: SessionSettings::default(),
             data_dir: None,
             store: StoreOptions::default(),
+            read_timeout: None,
+            write_timeout: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+/// Connection-fault counters, for the chaos harness and `net`-style
+/// reporting. All monotone; snapshot with [`ServerHandle::net_counters`].
+#[derive(Debug, Default)]
+pub struct NetCounters {
+    accepted: AtomicU64,
+    /// Connections that ended on a read/write error (client vanished).
+    drops: AtomicU64,
+    /// Partial (unterminated) command lines discarded at disconnect —
+    /// the truncated-command-executes bug this counter guards against.
+    partial_lines: AtomicU64,
+    /// Connections shed because a read/write deadline fired.
+    stalled_sheds: AtomicU64,
+}
+
+/// One snapshot of [`NetCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetSnapshot {
+    pub accepted: u64,
+    pub drops: u64,
+    pub partial_lines: u64,
+    pub stalled_sheds: u64,
+}
+
+impl NetCounters {
+    fn snapshot(&self) -> NetSnapshot {
+        NetSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            drops: self.drops.load(Ordering::Relaxed),
+            partial_lines: self.partial_lines.load(Ordering::Relaxed),
+            stalled_sheds: self.stalled_sheds.load(Ordering::Relaxed),
         }
     }
 }
@@ -81,6 +136,9 @@ struct Shared {
     defaults: SessionSettings,
     next_session: AtomicU64,
     stopping: AtomicBool,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    net: NetCounters,
 }
 
 /// A running server. Dropping the handle shuts it down.
@@ -126,6 +184,9 @@ pub fn serve(db: Database, config: ServerConfig) -> Result<ServerHandle> {
         defaults: config.session_defaults,
         next_session: AtomicU64::new(1),
         stopping: AtomicBool::new(false),
+        read_timeout: config.read_timeout,
+        write_timeout: config.write_timeout,
+        net: NetCounters::default(),
     });
 
     let accept_shared = Arc::clone(&shared);
@@ -148,6 +209,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         };
         let conn_shared = Arc::clone(&shared);
         let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+        shared.net.accepted.fetch_add(1, Ordering::Relaxed);
         let _ = std::thread::Builder::new()
             .name(format!("decorr-session-{id}"))
             .spawn(move || {
@@ -157,43 +219,101 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 /// Drive one connection: greeting, then request/response until `\quit`,
-/// EOF or an I/O error.
+/// EOF or an I/O error. Only complete (newline-terminated) lines are ever
+/// executed; a read deadline sheds the connection with a typed error.
 fn serve_connection(stream: TcpStream, id: u64, shared: &Shared) -> std::io::Result<()> {
+    let _ = stream.set_read_timeout(shared.read_timeout);
+    let _ = stream.set_write_timeout(shared.write_timeout);
     let mut session = Session::new(
         id,
         Arc::clone(&shared.catalog),
         Arc::clone(&shared.admission),
         shared.defaults.clone(),
     );
-    let reader = BufReader::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     writeln!(writer, ";hello decorr {id}")?;
     writer.flush()?;
 
-    for line in reader.lines() {
-        let line = line?; // a broken connection ends the session, not the server
-        match session.handle_line(&line) {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // clean EOF between requests
+            Ok(_) if !line.ends_with('\n') => {
+                // EOF mid-line: the command is truncated. Executing it
+                // would run a request the client never finished sending —
+                // discard it, count it, and close.
+                shared.net.partial_lines.fetch_add(1, Ordering::Relaxed);
+                let _ = writeln!(
+                    writer,
+                    ";err i/o error: connection dropped mid-line; partial command discarded"
+                );
+                let _ = writer.flush();
+                return Ok(());
+            }
+            Ok(_) => {}
+            Err(e) if is_timeout(&e) => {
+                // Stalled client: shed with a typed error instead of
+                // parking this thread forever.
+                shared.net.stalled_sheds.fetch_add(1, Ordering::Relaxed);
+                let _ = writeln!(
+                    writer,
+                    ";err i/o error: read deadline exceeded; connection shed"
+                );
+                let _ = writer.flush();
+                return Ok(());
+            }
+            Err(e) => {
+                shared.net.drops.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        }
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        let io = match session.handle_line(trimmed) {
             Ok(resp) => {
+                let mut io = Ok(());
                 for l in &resp.lines {
-                    writeln!(writer, "{l}")?;
+                    io = io.and_then(|_| writeln!(writer, "{l}"));
                 }
                 if resp.control == Control::Quit {
-                    writeln!(writer, ";bye")?;
-                    writer.flush()?;
+                    io = io
+                        .and_then(|_| writeln!(writer, ";bye"))
+                        .and_then(|_| writer.flush());
+                    if let Err(e) = io {
+                        note_write_failure(shared, &e);
+                    }
                     return Ok(());
                 }
-                writeln!(writer, ";ok {}", resp.lines.len())?;
+                io.and_then(|_| writeln!(writer, ";ok {}", resp.lines.len()))
             }
             Err(e) => {
                 // Typed errors cross the wire as one line; no payload ever
                 // precedes them (handle_line returns rows only on success).
-                writeln!(writer, ";err {e}")?;
+                writeln!(writer, ";err {e}")
             }
+        };
+        if let Err(e) = io.and_then(|_| writer.flush()) {
+            note_write_failure(shared, &e);
+            return Err(e);
         }
-        writer.flush()?;
     }
-    Ok(())
+}
+
+fn note_write_failure(shared: &Shared, e: &std::io::Error) {
+    if is_timeout(e) {
+        shared.net.stalled_sheds.fetch_add(1, Ordering::Relaxed);
+    } else {
+        shared.net.drops.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 impl ServerHandle {
@@ -211,6 +331,12 @@ impl ServerHandle {
     /// The admission controller (for stats assertions).
     pub fn admission(&self) -> Arc<AdmissionControl> {
         Arc::clone(&self.shared.admission)
+    }
+
+    /// Connection-fault counters: accepts, drops, discarded partial
+    /// lines, deadline sheds.
+    pub fn net_counters(&self) -> NetSnapshot {
+        self.shared.net.snapshot()
     }
 
     /// Stop accepting connections and join the accept loop. Existing

@@ -221,6 +221,11 @@ impl Session {
         self.mode
     }
 
+    /// The shared catalog this session reads and publishes through.
+    pub fn catalog(&self) -> &Arc<SharedCatalog> {
+        &self.catalog
+    }
+
     pub fn settings(&self) -> &SessionSettings {
         &self.settings
     }
@@ -441,23 +446,48 @@ impl Session {
                 ]))
             }
             "pool" => match self.catalog.pool_stats() {
-                Some(p) => Ok(Response::lines(vec![
-                    format!(
-                        "buffer pool     {}/{} bytes",
-                        p.resident_bytes, p.budget_bytes
-                    ),
-                    format!("  resident      {} pages", p.resident_pages),
-                    format!("  hits          {}", p.hits),
-                    format!("  misses        {}", p.misses),
-                    format!("  evictions     {}", p.evictions),
-                ])),
+                Some(p) => {
+                    let mut lines = vec![
+                        format!(
+                            "buffer pool     {}/{} bytes",
+                            p.resident_bytes, p.budget_bytes
+                        ),
+                        format!("  resident      {} pages", p.resident_pages),
+                        format!("  hits          {}", p.hits),
+                        format!("  misses        {}", p.misses),
+                        format!("  evictions     {}", p.evictions),
+                    ];
+                    if let Some(gc) = self.catalog.gc_failures()? {
+                        lines.push(format!("  gc failures   {gc}"));
+                    }
+                    if let Some(e) = self.catalog.env_stats() {
+                        if e.total_faults() > 0 || e.latency_ticks > 0 {
+                            lines.push(format!("disk faults     {} injected", e.total_faults()));
+                            lines.push(format!("  enospc        {}", e.enospc));
+                            lines.push(format!("  torn writes   {}", e.torn_writes));
+                            lines.push(format!("  read eio      {}", e.read_eio));
+                            lines.push(format!("  lost syncs    {}", e.lost_syncs));
+                            lines.push(format!("  crashes       {}", e.crashes));
+                            lines.push(format!("  latency ticks {}", e.latency_ticks));
+                        }
+                    }
+                    Ok(Response::lines(lines))
+                }
                 None => Ok(Response::line(
                     "ephemeral catalog: no buffer pool (start with a data dir)",
                 )),
             },
             "checkpoint" => match self.catalog.checkpoint()? {
-                Some(epoch) => Ok(Response::line(format!(
-                    "checkpointed epoch {epoch}: manifest written, wal truncated"
+                Some(ck) => Ok(Response::line(format!(
+                    "checkpointed epoch {}: manifest written, wal truncated, \
+                     {} segment(s) collected{}",
+                    ck.epoch,
+                    ck.gc_removed,
+                    if ck.gc_failed > 0 {
+                        format!(", {} gc failure(s)", ck.gc_failed)
+                    } else {
+                        String::new()
+                    }
                 ))),
                 None => Ok(Response::line(
                     "ephemeral catalog: nothing to checkpoint (start with a data dir)",
@@ -902,7 +932,7 @@ fn valid_name(name: &str) -> Result<String> {
 
 /// Parse an `EXECUTE` argument list — `(lit, lit, …)` — into values,
 /// reusing the SQL lexer so quoting and numeric forms match the parser.
-fn parse_exec_args(src: &str) -> Result<Vec<Value>> {
+pub fn parse_exec_args(src: &str) -> Result<Vec<Value>> {
     let err = |msg: String| Error::parse(format!("execute arguments: {msg}"));
     let toks = tokenize(src)?;
     let mut values = Vec::new();
@@ -986,186 +1016,4 @@ fn strip_prefix_ci<'a>(s: &'a str, prefix: &str) -> Option<&'a str> {
 /// Split a multi-line `render()` string into trimmed-right payload lines.
 fn render_lines(s: String) -> Vec<String> {
     s.lines().map(|l| l.trim_end().to_string()).collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::admission::Quotas;
-    use decorr_common::{row, DataType, Schema};
-    use decorr_storage::Database;
-
-    fn session() -> Session {
-        let mut db = Database::new();
-        let t = db
-            .create_table("t", Schema::from_pairs(&[("x", DataType::Int)]))
-            .unwrap();
-        for i in 1..=3 {
-            t.insert(row![i]).unwrap();
-        }
-        Session::new(
-            1,
-            Arc::new(SharedCatalog::new(db)),
-            Arc::new(AdmissionControl::new(Quotas::default())),
-            SessionSettings::default(),
-        )
-    }
-
-    #[test]
-    fn plain_sql_returns_rows_and_footer() {
-        let mut s = session();
-        let r = s.handle_line("SELECT t.x FROM t WHERE t.x > 1").unwrap();
-        assert_eq!(r.control, Control::Continue);
-        assert_eq!(r.lines.len(), 3); // two rows + footer
-        assert!(r.lines[2].starts_with("-- 2 rows via"), "{:?}", r.lines);
-    }
-
-    #[test]
-    fn quit_signals_quit() {
-        let mut s = session();
-        assert_eq!(s.handle_line("\\quit").unwrap().control, Control::Quit);
-    }
-
-    #[test]
-    fn strategy_kim_warns_about_unsoundness() {
-        let mut s = session();
-        let r = s.handle_line("\\strategy kim").unwrap();
-        assert!(
-            r.lines.iter().any(|l| l.contains("unsound (COUNT bug)")),
-            "pinning kim must warn: {:?}",
-            r.lines
-        );
-        assert_eq!(s.mode(), Mode::Fixed(Strategy::Kim));
-    }
-
-    #[test]
-    fn set_and_show_settings() {
-        let mut s = session();
-        s.handle_line("\\set threads 4").unwrap();
-        s.handle_line("\\set max_rows 10").unwrap();
-        assert_eq!(s.settings().threads, 4);
-        assert_eq!(s.settings().max_display_rows, Some(10));
-        s.handle_line("\\set max_rows none").unwrap();
-        assert_eq!(s.settings().max_display_rows, None);
-        assert!(s.handle_line("\\set threads banana").is_err());
-    }
-
-    #[test]
-    fn analyze_publishes_a_new_epoch() {
-        let mut s = session();
-        let before = s.catalog.epoch();
-        let r = s.handle_line("ANALYZE;").unwrap();
-        assert!(r.lines.last().unwrap().contains("epoch"));
-        assert_eq!(s.catalog.epoch(), before + 1);
-    }
-
-    fn footer(r: &Response) -> &str {
-        r.lines.last().unwrap()
-    }
-
-    #[test]
-    fn repeated_shape_hits_the_plan_cache_with_fresh_bindings() {
-        let mut s = session();
-        let a = s.handle_line("SELECT t.x FROM t WHERE t.x > 1").unwrap();
-        assert!(footer(&a).contains("plan cache miss"), "{:?}", a.lines);
-        assert_eq!(a.lines.len(), 3); // x=2, x=3, footer
-                                      // Same shape, different literal: must hit and use the new binding.
-        let b = s.handle_line("SELECT t.x FROM t WHERE t.x > 2").unwrap();
-        assert!(footer(&b).contains("plan cache hit"), "{:?}", b.lines);
-        assert_eq!(b.lines.len(), 2, "{:?}", b.lines); // x=3, footer
-        assert_eq!(b.lines[0], "(3)");
-        let stats = s.catalog.plan_cache().stats();
-        assert_eq!(stats.hits, 1);
-        assert!(stats.misses >= 1);
-    }
-
-    #[test]
-    fn analyze_invalidates_cached_plans() {
-        let mut s = session();
-        s.handle_line("SELECT t.x FROM t WHERE t.x > 1").unwrap();
-        s.handle_line("ANALYZE").unwrap();
-        let r = s.handle_line("SELECT t.x FROM t WHERE t.x > 1").unwrap();
-        assert!(footer(&r).contains("plan cache miss"), "{:?}", r.lines);
-    }
-
-    #[test]
-    fn plan_cache_off_bypasses_the_cache() {
-        let mut s = session();
-        s.handle_line("\\set plan_cache off").unwrap();
-        let r = s.handle_line("SELECT t.x FROM t WHERE t.x > 1").unwrap();
-        assert!(footer(&r).contains("plan cache off"), "{:?}", r.lines);
-        assert_eq!(s.catalog.plan_cache().stats().misses, 0);
-        assert!(s.handle_line("\\set plan_cache banana").is_err());
-        assert!(s.handle_line("\\set shared_subplans banana").is_err());
-    }
-
-    #[test]
-    fn prepare_execute_deallocate_round_trip() {
-        let mut s = session();
-        let r = s
-            .handle_line("PREPARE pick AS SELECT t.x FROM t WHERE t.x > 1")
-            .unwrap();
-        assert!(
-            r.lines[0].starts_with("prepared pick (1 parameter)"),
-            "{:?}",
-            r.lines
-        );
-        // Defaults re-run the PREPARE-time literal.
-        let d = s.handle_line("EXECUTE pick").unwrap();
-        assert!(footer(&d).contains("plan cache hit"), "{:?}", d.lines);
-        assert_eq!(d.lines.len(), 3); // x=2, x=3, footer
-                                      // Explicit argument rebinds without re-racing.
-        let e = s.handle_line("EXECUTE pick(2)").unwrap();
-        assert!(footer(&e).contains("plan cache hit"), "{:?}", e.lines);
-        assert_eq!(e.lines[0], "(3)");
-        // Arity is checked.
-        assert!(s.handle_line("EXECUTE pick(1, 2)").is_err());
-        // Unknown literals are typed errors, not panics.
-        assert!(s.handle_line("EXECUTE pick(t.x)").is_err());
-        s.handle_line("DEALLOCATE pick").unwrap();
-        assert!(s.handle_line("EXECUTE pick").is_err());
-    }
-
-    #[test]
-    fn execute_accepts_negative_string_and_null_literals() {
-        let args = parse_exec_args("(-3, 'abc', NULL, TRUE, 1.5)").unwrap();
-        assert_eq!(
-            args,
-            vec![
-                Value::Int(-3),
-                Value::Str("abc".into()),
-                Value::Null,
-                Value::Bool(true),
-                Value::Double(1.5),
-            ]
-        );
-        assert!(parse_exec_args("(1,)").is_err());
-        assert!(parse_exec_args("(1) extra").is_err());
-        assert!(parse_exec_args("1").is_err());
-    }
-
-    #[test]
-    fn explain_cost_reports_the_cached_plan() {
-        let mut s = session();
-        s.handle_line("SELECT t.x FROM t WHERE t.x > 1").unwrap();
-        let r = s
-            .handle_line("EXPLAIN COST SELECT t.x FROM t WHERE t.x > 2")
-            .unwrap();
-        assert!(
-            r.lines[0].contains("[plan cache hit]"),
-            "EXPLAIN COST must go through the cache: {:?}",
-            r.lines
-        );
-    }
-
-    #[test]
-    fn cache_command_reports_counters() {
-        let mut s = session();
-        s.handle_line("SELECT t.x FROM t WHERE t.x > 1").unwrap();
-        let r = s.handle_line("\\cache").unwrap();
-        let text = r.lines.join("\n");
-        assert!(text.contains("plan cache"), "{text}");
-        assert!(text.contains("shared subplans"), "{text}");
-        assert!(text.contains("shared work"), "{text}");
-    }
 }

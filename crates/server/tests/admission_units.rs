@@ -1,0 +1,93 @@
+//! Admission-control unit tests, relocated out of `src/` so the no-panic
+//! grep gate covers `crates/server/src`.
+
+use std::time::Duration;
+
+use decorr_common::Error;
+use decorr_server::{AdmissionControl, Quotas};
+
+fn quotas(max: usize, depth: usize, wait_ms: u64) -> Quotas {
+    Quotas {
+        max_concurrent: max,
+        queue_depth: depth,
+        queue_wait_ms: wait_ms,
+        per_session_concurrent: 8,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn slot_exhaustion_sheds_with_typed_error() {
+    let ac = AdmissionControl::new(quotas(1, 0, 0));
+    let held = ac.admit(1).unwrap();
+    match ac.admit(2) {
+        Err(Error::Overloaded(_)) => {}
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    drop(held);
+    assert!(ac.admit(2).is_ok());
+    let s = ac.stats();
+    assert_eq!(s.admitted, 2);
+    assert_eq!(s.sheds(), 1);
+}
+
+#[test]
+fn per_session_quota_is_typed_and_immediate() {
+    let ac = AdmissionControl::new(Quotas { per_session_concurrent: 1, ..quotas(8, 8, 1000) });
+    let _p = ac.admit(7).unwrap();
+    match ac.admit(7) {
+        Err(Error::QuotaExceeded(_)) => {}
+        other => panic!("expected QuotaExceeded, got {other:?}"),
+    }
+    // A different session is unaffected.
+    assert!(ac.admit(8).is_ok());
+}
+
+#[test]
+fn queued_query_gets_the_freed_slot() {
+    use std::sync::Arc;
+    let ac = Arc::new(AdmissionControl::new(quotas(1, 4, 5_000)));
+    let held = ac.admit(1).unwrap();
+    let ac2 = Arc::clone(&ac);
+    let waiter = std::thread::spawn(move || ac2.admit(2).map(|p| p.mem_rows()));
+    // Give the waiter time to queue, then free the slot.
+    std::thread::sleep(Duration::from_millis(50));
+    drop(held);
+    assert!(waiter.join().expect("waiter thread").is_ok());
+}
+
+#[test]
+fn cache_rows_draw_from_the_query_memory_pool() {
+    let ac = AdmissionControl::new(Quotas {
+        mem_pool_rows: 100,
+        per_query_mem_rows: 80,
+        ..quotas(8, 0, 0)
+    });
+    assert!(ac.try_reserve_cache_rows(30));
+    assert!(!ac.try_reserve_cache_rows(80), "pool cannot cover both");
+    // A query's 80-row reservation no longer fits either.
+    match ac.admit(1) {
+        Err(Error::Overloaded(_)) => {}
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    ac.release_cache_rows(30);
+    assert!(ac.admit(1).is_ok());
+}
+
+#[test]
+fn memory_pool_bounds_admission() {
+    let ac = AdmissionControl::new(Quotas {
+        mem_pool_rows: 100,
+        per_query_mem_rows: 80,
+        ..quotas(8, 0, 0)
+    });
+    let p = ac.admit(1).unwrap();
+    assert_eq!(p.mem_rows(), 80);
+    // Slots are free but the pool cannot cover a second reservation.
+    match ac.admit(2) {
+        Err(Error::Overloaded(_)) => {}
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    drop(p);
+    assert!(ac.admit(2).is_ok());
+}

@@ -1,0 +1,116 @@
+//! Shared-catalog unit tests, relocated out of `src/` so the no-panic
+//! grep gate covers `crates/server/src`.
+
+use std::sync::Arc;
+
+use decorr_common::{row, DataType, Schema};
+use decorr_server::SharedCatalog;
+use decorr_storage::{Database, StoreOptions};
+
+fn seed_db() -> Database {
+    let mut db = Database::new();
+    let t = db
+        .create_table("t", Schema::from_pairs(&[("x", DataType::Int)]))
+        .unwrap();
+    t.insert(row![1]).unwrap();
+    db
+}
+
+#[test]
+fn snapshots_survive_later_epochs() {
+    let cat = SharedCatalog::new(seed_db());
+    let old = cat.snapshot();
+    assert_eq!(old.epoch(), 1);
+    cat.update(|db| db.table_mut("t")?.insert(row![2])).unwrap();
+    assert_eq!(cat.epoch(), 2);
+    // The old snapshot still sees exactly one row.
+    assert_eq!(old.db().table("t").unwrap().len(), 1);
+    assert_eq!(cat.snapshot().db().table("t").unwrap().len(), 2);
+}
+
+#[test]
+fn failed_update_publishes_nothing() {
+    let cat = SharedCatalog::new(seed_db());
+    let before = cat.snapshot();
+    let r = cat.update(|db| db.drop_table("missing"));
+    assert!(r.is_err());
+    assert_eq!(cat.epoch(), before.epoch());
+}
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("decorr-catalog-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn durable_catalog_recovers_the_published_epoch() {
+    let dir = tmp_dir("recover");
+    {
+        let cat = SharedCatalog::open_durable(&dir, StoreOptions::default(), seed_db()).unwrap();
+        assert!(cat.is_durable());
+        assert_eq!(cat.epoch(), 1);
+        // Fresh open publishes the segment-backed conversion.
+        assert!(cat.snapshot().db().table("t").unwrap().is_paged());
+        // DDL and ANALYZE each commit-then-publish.
+        cat.update(|db| db.drop_table("t")).unwrap();
+        cat.analyze().unwrap();
+        assert_eq!(cat.epoch(), 3);
+    }
+    let cat = SharedCatalog::open_durable(&dir, StoreOptions::default(), seed_db()).unwrap();
+    assert_eq!(
+        cat.epoch(),
+        3,
+        "recovery must land on the last published epoch"
+    );
+    assert!(
+        cat.snapshot().db().table("t").is_err(),
+        "dropped table must stay dropped"
+    );
+}
+
+#[test]
+fn durable_replace_survives_checkpoint_and_reopen() {
+    let dir = tmp_dir("replace");
+    {
+        let cat = SharedCatalog::open_durable(&dir, StoreOptions::default(), seed_db()).unwrap();
+        let mut db = Database::new();
+        let t = db
+            .create_table("u", Schema::from_pairs(&[("y", DataType::Int)]))
+            .unwrap();
+        t.insert(row![7]).unwrap();
+        t.insert(row![8]).unwrap();
+        assert_eq!(cat.replace(db).unwrap(), 2);
+        assert_eq!(cat.checkpoint().unwrap().map(|c| c.epoch), Some(2));
+    }
+    let cat = SharedCatalog::open_durable(&dir, StoreOptions::default(), seed_db()).unwrap();
+    assert_eq!(cat.epoch(), 2);
+    let snap = cat.snapshot();
+    assert!(
+        snap.db().table("t").is_err(),
+        "replaced catalog must not resurrect the seed"
+    );
+    assert_eq!(snap.db().table("u").unwrap().len(), 2);
+}
+
+#[test]
+fn ephemeral_catalog_has_no_durable_handles() {
+    let cat = SharedCatalog::new(seed_db());
+    assert!(!cat.is_durable());
+    assert!(cat.buffer_pool().is_none());
+    assert!(cat.spill().is_none());
+    assert!(cat.pool_stats().is_none());
+    assert!(cat.checkpoint().unwrap().is_none());
+}
+
+#[test]
+fn analyze_bumps_epoch_and_shares_the_model() {
+    let cat = SharedCatalog::new(seed_db());
+    let model = cat.analyze().unwrap();
+    assert_eq!(cat.epoch(), 2);
+    let snap = cat.snapshot();
+    assert!(Arc::ptr_eq(&model, &snap.cost_model()));
+    // Data unchanged — ANALYZE versions metadata, not rows.
+    assert_eq!(snap.db().table("t").unwrap().len(), 1);
+}

@@ -1,0 +1,159 @@
+//! Network-chaos acceptance tests: partial lines are discarded (never
+//! executed), stalled connections are shed on the read deadline, and
+//! [`ResilientClient`] rides injected drops with capped backoff —
+//! every outcome a typed error or a success, never a hang.
+
+use std::time::{Duration, Instant};
+
+use decorr_common::{row, Clock, DataType, Error, Schema};
+use decorr_server::netchaos::{send_partial_line, stall_connection};
+use decorr_server::{
+    serve, LineClient, NetChaos, NetChaosConfig, NetFault, ResilientClient, RetryPolicy,
+    ServerConfig, Status,
+};
+use decorr_storage::Database;
+
+fn marked_db(rows: i64) -> Database {
+    let mut db = Database::new();
+    let t = db
+        .create_table("t", Schema::from_pairs(&[("x", DataType::Int)]))
+        .unwrap();
+    for i in 0..rows {
+        t.insert(row![i]).unwrap();
+    }
+    db
+}
+
+/// Poll `pred` until it holds or ~2s elapse. Bounded: a chaos test must
+/// never trade a server hang for a test hang.
+fn eventually(mut pred: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while Instant::now() < deadline {
+        if pred() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+#[test]
+fn partial_line_is_discarded_not_executed() {
+    let mut h = serve(marked_db(2), ServerConfig::default()).unwrap();
+    let epoch_before = h.catalog().epoch();
+
+    // A connection dies mid-command. `ANALYZE` *would* publish a new
+    // epoch — the truncated line must be counted and dropped, not run.
+    send_partial_line(h.local_addr(), "ANALYZE").unwrap();
+    assert!(
+        eventually(|| h.net_counters().partial_lines >= 1),
+        "server never counted the partial line"
+    );
+    assert_eq!(
+        h.catalog().epoch(),
+        epoch_before,
+        "a truncated command must never execute"
+    );
+
+    // The service is unaffected for healthy clients.
+    let mut c = LineClient::connect(h.local_addr()).unwrap();
+    assert_eq!(c.request("SELECT t.x FROM t").unwrap().status, Status::Ok);
+    c.quit().unwrap();
+    h.shutdown();
+}
+
+#[test]
+fn stalled_connection_is_shed_on_the_read_deadline() {
+    let mut h = serve(
+        marked_db(2),
+        ServerConfig { read_timeout: Some(Duration::from_millis(50)), ..Default::default() },
+    )
+    .unwrap();
+    let addr = h.local_addr();
+    // Park a connection mid-line well past the deadline.
+    let staller = std::thread::spawn(move || stall_connection(addr, Duration::from_millis(400)));
+    assert!(
+        eventually(|| h.net_counters().stalled_sheds >= 1),
+        "server never shed the stalled connection"
+    );
+    // Shedding freed the session thread: a healthy client is served while
+    // the staller still holds its socket.
+    let mut c = LineClient::connect(addr).unwrap();
+    assert_eq!(c.request("SELECT t.x FROM t").unwrap().status, Status::Ok);
+    c.quit().unwrap();
+    staller.join().unwrap().unwrap();
+    h.shutdown();
+}
+
+#[test]
+fn resilient_client_rides_injected_drops_deterministically() {
+    let mut h = serve(marked_db(3), ServerConfig::default()).unwrap();
+    let addr = h.local_addr();
+    let chaos = NetChaos::new(
+        7,
+        NetChaosConfig { drop_permille: 300, partial_permille: 0, stall_permille: 0 },
+    );
+    let mut client = ResilientClient::new(addr, RetryPolicy::default(), Clock::new());
+
+    let mut dropped = 0u64;
+    for _ in 0..60 {
+        if chaos.decide() == NetFault::DropBefore {
+            client.sever();
+            dropped += 1;
+        }
+        let r = client.request("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.status, Status::Ok, "every request must round-trip");
+        assert_eq!(r.rows().next(), Some("(3)"));
+    }
+    assert!(dropped > 5, "seed 7 must inject drops ({dropped})");
+    assert_eq!(chaos.stats().drops_injected, dropped);
+    // Each injected drop forced a reconnect (+1 for the initial connect).
+    assert_eq!(client.stats().reconnects, dropped + 1);
+    h.shutdown();
+}
+
+#[test]
+fn retries_are_capped_with_typed_error_never_a_hang() {
+    let mut h = serve(marked_db(1), ServerConfig::default()).unwrap();
+    let addr = h.local_addr();
+    let clock = Clock::new();
+    let policy = RetryPolicy { max_retries: 4, base_ticks: 1, max_ticks: 8 };
+    let mut client = ResilientClient::new(addr, policy, clock.clone());
+    assert_eq!(
+        client.request("SELECT t.x FROM t").unwrap().status,
+        Status::Ok
+    );
+    h.shutdown();
+    client.sever();
+
+    // The server is gone (and the connection with it): the client must
+    // fail *closed* after its retry budget — typed, bounded, and with
+    // capped exponential backoff.
+    let err = client.request("SELECT t.x FROM t").unwrap_err();
+    match err {
+        Error::Io(m) => assert!(m.contains("after 4 retries"), "{m}"),
+        other => panic!("expected typed Io error, got {other:?}"),
+    }
+    let s = client.stats();
+    assert_eq!(s.retries, 4);
+    // 1 + 2 + 4 + 8(capped) = 15 logical ticks, surfaced on the clock.
+    assert_eq!(s.backoff_ticks, 15);
+    assert_eq!(clock.now(), 15);
+}
+
+#[test]
+fn seeded_net_schedule_replays_exactly() {
+    let cfg = NetChaosConfig::from_seed(99);
+    let a = NetChaos::new(99, cfg);
+    let b = NetChaos::new(99, cfg);
+    let sa: Vec<NetFault> = (0..500).map(|_| a.decide()).collect();
+    let sb: Vec<NetFault> = (0..500).map(|_| b.decide()).collect();
+    assert_eq!(sa, sb, "same seed must give the same fault schedule");
+    assert_eq!(a.stats(), b.stats());
+    let c = NetChaos::new(100, cfg);
+    let sc: Vec<NetFault> = (0..500).map(|_| c.decide()).collect();
+    assert_ne!(sa, sc, "different seeds must diverge");
+    // The quiet config injects nothing.
+    let q = NetChaos::new(99, NetChaosConfig::quiet());
+    assert!((0..500).all(|_| q.decide() == NetFault::None));
+}

@@ -95,83 +95,3 @@ impl Database {
         Ok(())
     }
 }
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use decorr_common::DataType;
-
-    #[test]
-    fn create_lookup_drop() {
-        let mut db = Database::new();
-        db.create_table("Emp", Schema::from_pairs(&[("x", DataType::Int)]))
-            .unwrap();
-        assert!(db.has_table("emp"));
-        assert!(db.table("EMP").is_ok());
-        assert!(db.create_table("emp", Schema::default()).is_err());
-        db.drop_table("Emp").unwrap();
-        assert!(db.table("emp").is_err());
-        assert!(db.drop_table("emp").is_err());
-    }
-
-    #[test]
-    fn drop_then_recreate_discards_old_index_state() {
-        use decorr_common::row;
-
-        // Build a table with rows and a secondary hash index…
-        let mut db = Database::new();
-        let t = db
-            .create_table(
-                "Emp",
-                Schema::from_pairs(&[("building", DataType::Int), ("name", DataType::Str)]),
-            )
-            .unwrap();
-        for i in 0..10i64 {
-            t.insert(row![i % 3, format!("e{i}")]).unwrap();
-        }
-        t.create_index(&["building"]).unwrap();
-        assert_eq!(db.table("emp").unwrap().indexes().len(), 1);
-
-        // …drop it and recreate under the same normalized key with a
-        // different shape. Nothing of the old table — rows or HashIndex
-        // state — may survive into the replacement.
-        db.drop_table("EMP").unwrap();
-        let t = db
-            .create_table("emp", Schema::from_pairs(&[("salary", DataType::Double)]))
-            .unwrap();
-        assert_eq!(t.len(), 0);
-        assert!(t.indexes().is_empty());
-        assert!(t.index_on(&[0]).is_none());
-
-        // The recreated table indexes its own data only.
-        t.insert(row![100.0]).unwrap();
-        t.create_index(&["salary"]).unwrap();
-        let idx = db.table("emp").unwrap().index_on(&[0]).unwrap();
-        assert_eq!(idx.distinct_keys(), 1);
-    }
-
-    #[test]
-    fn epoch_counts_structural_ddl() {
-        let mut db = Database::new();
-        assert_eq!(db.epoch(), 0);
-        db.create_table("a", Schema::default()).unwrap();
-        db.create_table("b", Schema::default()).unwrap();
-        assert_eq!(db.epoch(), 2);
-        // Failed DDL does not advance the epoch.
-        assert!(db.create_table("a", Schema::default()).is_err());
-        assert!(db.drop_table("nope").is_err());
-        assert_eq!(db.epoch(), 2);
-        db.drop_table("a").unwrap();
-        assert_eq!(db.epoch(), 3);
-    }
-
-    #[test]
-    fn listing_is_in_creation_order() {
-        let mut db = Database::new();
-        for n in ["c", "a", "b"] {
-            db.create_table(n, Schema::default()).unwrap();
-        }
-        let names: Vec<_> = db.tables().map(|t| t.name().to_string()).collect();
-        assert_eq!(names, ["c", "a", "b"]);
-    }
-}

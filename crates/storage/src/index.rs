@@ -84,49 +84,3 @@ impl HashIndex {
         self.map.len()
     }
 }
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use decorr_common::row;
-
-    fn rows() -> Vec<Row> {
-        vec![
-            row![1, "a"],
-            row![2, "b"],
-            row![1, "c"],
-            row![Value::Null, "d"],
-        ]
-    }
-
-    #[test]
-    fn build_and_lookup() {
-        let idx = HashIndex::build(vec![0], &rows());
-        assert_eq!(idx.lookup(&[Value::Int(1)]), &[0, 2]);
-        assert_eq!(idx.lookup(&[Value::Int(2)]), &[1]);
-        assert_eq!(idx.lookup(&[Value::Int(9)]), &[] as &[usize]);
-    }
-
-    #[test]
-    fn null_keys_not_indexed_and_match_nothing() {
-        let idx = HashIndex::build(vec![0], &rows());
-        assert_eq!(idx.distinct_keys(), 2);
-        assert_eq!(idx.lookup(&[Value::Null]), &[] as &[usize]);
-    }
-
-    #[test]
-    fn multi_column() {
-        let rs = vec![row![1, "a"], row![1, "b"], row![1, "a"]];
-        let idx = HashIndex::build(vec![0, 1], &rs);
-        assert_eq!(idx.lookup(&[Value::Int(1), Value::str("a")]), &[0, 2]);
-        assert!(idx.covers(&[1, 0]));
-        assert!(!idx.covers(&[0]));
-    }
-
-    #[test]
-    fn incremental_insert() {
-        let mut idx = HashIndex::build(vec![0], &rows());
-        idx.insert(4, &row![2, "e"]);
-        assert_eq!(idx.lookup(&[Value::Int(2)]), &[1, 4]);
-    }
-}

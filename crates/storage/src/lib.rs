@@ -34,7 +34,7 @@ pub mod wal;
 pub use catalog::Database;
 pub use index::HashIndex;
 pub use pager::{BufferPool, PageData, PageIo, PageKey, PoolStats, SegmentId};
-pub use persist::{PersistentStore, Recovered, StoreOptions};
+pub use persist::{Checkpoint, PersistentStore, Recovered, StoreOptions};
 pub use segment::{write_segment, SegmentMeta, SegmentReader, DEFAULT_PAGE_ROWS};
 pub use spill::{SpillManager, SpillSet};
 pub use table::{PagedBacking, Table};

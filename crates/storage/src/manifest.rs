@@ -10,17 +10,22 @@
 //!
 //! The manifest payload uses the same `[len][crc32][payload]` frame as a
 //! WAL record, so corruption fails closed with the same checksum check.
+//! All I/O goes through a [`StorageEnv`], so the atomic dance runs — and
+//! is crash-tested — identically on the real filesystem and under
+//! injected faults.
 
-use std::io::Write;
 use std::path::{Path, PathBuf};
 
+use decorr_common::env::StorageEnv;
 use decorr_common::segcodec::crc32;
 use decorr_common::{Error, Result};
 
 const MANIFEST: &str = "MANIFEST";
 
-fn io_err(what: &str, path: &Path, e: std::io::Error) -> Error {
-    Error::internal(format!("manifest {what} {}: {e}", path.display()))
+fn le_u32(bytes: &[u8]) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&bytes[..4]);
+    u32::from_le_bytes(b)
 }
 
 fn manifest_path(dir: &Path) -> PathBuf {
@@ -28,29 +33,29 @@ fn manifest_path(dir: &Path) -> PathBuf {
 }
 
 /// Atomically replace the manifest with `payload`.
-pub fn write_manifest(dir: &Path, payload: &[u8]) -> Result<()> {
+pub fn write_manifest(env: &dyn StorageEnv, dir: &Path, payload: &[u8]) -> Result<()> {
     let tmp = dir.join("MANIFEST.tmp");
-    let mut file = std::fs::File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
-    file.write_all(&(payload.len() as u32).to_le_bytes())
-        .and_then(|_| file.write_all(&crc32(payload).to_le_bytes()))
-        .and_then(|_| file.write_all(payload))
-        .map_err(|e| io_err("write", &tmp, e))?;
-    file.sync_all().map_err(|e| io_err("fsync", &tmp, e))?;
+    let file = env.create(&tmp)?;
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    file.write_all_at(0, &frame)?;
+    file.sync_all()?;
     drop(file);
     let dst = manifest_path(dir);
-    std::fs::rename(&tmp, &dst).map_err(|e| io_err("rename", &dst, e))?;
-    sync_dir(dir)
+    env.rename(&tmp, &dst)?;
+    env.sync_dir(dir)
 }
 
 /// Read the manifest payload, if one exists. A corrupt manifest is an
 /// error (fail closed), not an empty catalog — silently starting fresh
 /// would *be* the data loss durability exists to prevent.
-pub fn read_manifest(dir: &Path) -> Result<Option<Vec<u8>>> {
+pub fn read_manifest(env: &dyn StorageEnv, dir: &Path) -> Result<Option<Vec<u8>>> {
     let path = manifest_path(dir);
-    let bytes = match std::fs::read(&path) {
-        Ok(b) => b,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-        Err(e) => return Err(io_err("read", &path, e)),
+    let bytes = match env.read(&path)? {
+        Some(b) => b,
+        None => return Ok(None),
     };
     if bytes.len() < 8 {
         return Err(Error::internal(format!(
@@ -58,8 +63,8 @@ pub fn read_manifest(dir: &Path) -> Result<Option<Vec<u8>>> {
             path.display()
         )));
     }
-    let len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes sliced")) as usize;
-    let crc = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes sliced"));
+    let len = le_u32(&bytes[..4]) as usize;
+    let crc = le_u32(&bytes[4..8]);
     if bytes.len() - 8 < len {
         return Err(Error::internal(format!(
             "manifest {}: truncated payload",
@@ -74,48 +79,4 @@ pub fn read_manifest(dir: &Path) -> Result<Option<Vec<u8>>> {
         )));
     }
     Ok(Some(payload.to_vec()))
-}
-
-/// fsync a directory so a just-created or just-renamed entry survives a
-/// crash.
-pub fn sync_dir(dir: &Path) -> Result<()> {
-    let d = std::fs::File::open(dir).map_err(|e| io_err("open dir", dir, e))?;
-    d.sync_all().map_err(|e| io_err("fsync dir", dir, e))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn tmp_dir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "decorr-manifest-test-{}-{name}",
-            std::process::id()
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
-        std::fs::create_dir_all(&dir).unwrap();
-        dir
-    }
-
-    #[test]
-    fn write_read_replace() {
-        let dir = tmp_dir("rw");
-        assert_eq!(read_manifest(&dir).unwrap(), None);
-        write_manifest(&dir, b"state-1").unwrap();
-        assert_eq!(read_manifest(&dir).unwrap().unwrap(), b"state-1");
-        write_manifest(&dir, b"state-2").unwrap();
-        assert_eq!(read_manifest(&dir).unwrap().unwrap(), b"state-2");
-    }
-
-    #[test]
-    fn corruption_is_an_error_not_an_empty_catalog() {
-        let dir = tmp_dir("corrupt");
-        write_manifest(&dir, b"precious").unwrap();
-        let path = dir.join("MANIFEST");
-        let mut bytes = std::fs::read(&path).unwrap();
-        let n = bytes.len();
-        bytes[n - 1] ^= 1;
-        std::fs::write(&path, &bytes).unwrap();
-        assert!(read_manifest(&dir).is_err());
-    }
 }

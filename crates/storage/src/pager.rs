@@ -324,94 +324,3 @@ impl std::fmt::Debug for BufferPool {
         )
     }
 }
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn page(n: i64) -> PageData {
-        PageData::Col((0..64).map(|i| Value::Int(n + i)).collect())
-    }
-
-    #[test]
-    fn hits_and_misses_are_counted() {
-        let pool = BufferPool::new(1 << 20);
-        let seg = pool.register_segment();
-        let key = PageKey { seg, page: 0, col: 0 };
-        let mut io = PageIo::default();
-        let g = pool.get_pinned(key, &mut io, || Ok(page(0))).unwrap();
-        assert_eq!((io.hits, io.misses), (0, 1));
-        drop(g);
-        let g = pool
-            .get_pinned(key, &mut io, || panic!("must hit"))
-            .unwrap();
-        assert_eq!((io.hits, io.misses), (1, 1));
-        assert_eq!(g.data().as_col().unwrap().len(), 64);
-        let s = pool.stats();
-        assert_eq!((s.hits, s.misses), (1, 1));
-    }
-
-    #[test]
-    fn eviction_keeps_the_pool_under_budget() {
-        // Budget fits roughly two pages; load many.
-        let budget = page(0).approx_bytes() * 2 + 1;
-        let pool = BufferPool::new(budget);
-        let seg = pool.register_segment();
-        let mut io = PageIo::default();
-        for p in 0..32 {
-            let key = PageKey { seg, page: p, col: 0 };
-            drop(
-                pool.get_pinned(key, &mut io, || Ok(page(p as i64)))
-                    .unwrap(),
-            );
-        }
-        let s = pool.stats();
-        assert!(s.resident_bytes <= budget as u64, "{s:?}");
-        assert!(s.evictions >= 30, "{s:?}");
-    }
-
-    #[test]
-    fn pinned_pages_survive_pressure() {
-        let budget = page(0).approx_bytes() + 1; // room for ~one page
-        let pool = BufferPool::new(budget);
-        let seg = pool.register_segment();
-        let mut io = PageIo::default();
-        let pinned_key = PageKey { seg, page: 0, col: 0 };
-        let guard = pool
-            .get_pinned(pinned_key, &mut io, || Ok(page(0)))
-            .unwrap();
-        for p in 1..16 {
-            let key = PageKey { seg, page: p, col: 0 };
-            drop(
-                pool.get_pinned(key, &mut io, || Ok(page(p as i64)))
-                    .unwrap(),
-            );
-        }
-        // The pinned page was never evicted: refetching it is a hit.
-        let before = io.hits;
-        drop(guard);
-        let _ = pool
-            .get_pinned(pinned_key, &mut io, || panic!("pinned page was evicted"))
-            .unwrap();
-        assert_eq!(io.hits, before + 1);
-    }
-
-    #[test]
-    fn forget_segment_drops_its_pages() {
-        let pool = BufferPool::new(1 << 20);
-        let seg = pool.register_segment();
-        let mut io = PageIo::default();
-        drop(
-            pool.get_pinned(PageKey { seg, page: 0, col: 0 }, &mut io, || Ok(page(0)))
-                .unwrap(),
-        );
-        pool.forget_segment(seg);
-        assert_eq!(pool.stats().resident_pages, 0);
-        // A new fetch faults in again.
-        drop(
-            pool.get_pinned(PageKey { seg, page: 0, col: 0 }, &mut io, || Ok(page(0)))
-                .unwrap(),
-        );
-        assert_eq!(io.misses, 2);
-    }
-}

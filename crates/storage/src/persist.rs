@@ -25,15 +25,25 @@
 //! segment files. Readers holding older snapshots keep working: their
 //! segment files stay open (POSIX keeps unlinked-but-open files readable)
 //! and their pool pages simply age out.
+//!
+//! All I/O goes through the [`StorageEnv`] in [`StoreOptions`] — the
+//! production [`decorr_common::RealEnv`] by default, or a seeded
+//! [`decorr_common::ChaosEnv`] under fault injection. Failed commits are
+//! fail-closed: the epoch is never published, the store keeps serving the
+//! previous epoch, and any orphaned segment bytes are swept by the next
+//! checkpoint's GC. GC/cleanup failures are *counted*
+//! ([`PersistentStore::gc_failures`]) rather than silently swallowed.
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use decorr_common::env::StorageEnv;
 use decorr_common::segcodec::{put_string, put_varint, Cursor};
-use decorr_common::{Error, Result};
+use decorr_common::{Error, RealEnv, Result};
 
 use crate::catalog::Database;
-use crate::manifest::{read_manifest, sync_dir, write_manifest};
+use crate::manifest::{read_manifest, write_manifest};
 use crate::pager::BufferPool;
 use crate::segment::{write_segment, SegmentReader, DEFAULT_PAGE_ROWS};
 use crate::spill::SpillManager;
@@ -52,11 +62,20 @@ pub struct StoreOptions {
     pub pool_bytes: usize,
     /// Rows per segment page stripe.
     pub page_rows: usize,
+    /// The filesystem the store runs on (the real one by default).
+    pub env: Arc<dyn StorageEnv>,
 }
 
 impl Default for StoreOptions {
     fn default() -> Self {
-        StoreOptions { pool_bytes: 64 << 20, page_rows: DEFAULT_PAGE_ROWS }
+        StoreOptions { pool_bytes: 64 << 20, page_rows: DEFAULT_PAGE_ROWS, env: RealEnv::shared() }
+    }
+}
+
+impl StoreOptions {
+    /// The default options on a specific environment.
+    pub fn on_env(env: Arc<dyn StorageEnv>) -> StoreOptions {
+        StoreOptions { env, ..StoreOptions::default() }
     }
 }
 
@@ -73,11 +92,24 @@ pub struct Recovered {
     pub fresh: bool,
 }
 
+/// The result of one checkpoint: the durable epoch plus what GC did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// The epoch the manifest now pins.
+    pub epoch: u64,
+    /// Unreferenced segment files removed.
+    pub gc_removed: u64,
+    /// Removal attempts that failed (the files leak until a later sweep;
+    /// also accumulated in [`PersistentStore::gc_failures`]).
+    pub gc_failed: u64,
+}
+
 /// A durable catalog home. See the module docs for the layout and crash
 /// contract.
 #[derive(Debug)]
 pub struct PersistentStore {
     dir: PathBuf,
+    env: Arc<dyn StorageEnv>,
     pool: Arc<BufferPool>,
     spill: Arc<SpillManager>,
     wal: WalWriter,
@@ -86,6 +118,9 @@ pub struct PersistentStore {
     epoch: u64,
     /// Last committed `(table name, segment file)` list, in catalog order.
     tables: Vec<(String, String)>,
+    /// Cleanup/GC deletions that failed (stale spill sweep, checkpoint GC,
+    /// orphaned-segment removal after a failed commit).
+    gc_failures: Arc<AtomicU64>,
 }
 
 fn sanitize(name: &str) -> String {
@@ -134,29 +169,36 @@ impl PersistentStore {
     /// closed at the first torn or corrupt record.
     pub fn open(dir: impl Into<PathBuf>, opts: StoreOptions) -> Result<Recovered> {
         let dir = dir.into();
+        let env = opts.env;
         let segs = dir.join(SEGS_DIR);
         let spill_dir = dir.join(SPILL_DIR);
         for d in [&dir, &segs, &spill_dir] {
-            std::fs::create_dir_all(d)
-                .map_err(|e| Error::internal(format!("store mkdir {}: {e}", d.display())))?;
+            env.create_dir_all(d)?;
         }
+        let gc_failures = Arc::new(AtomicU64::new(0));
         // Spill files are transient; anything left is a dead process's.
-        if let Ok(entries) = std::fs::read_dir(&spill_dir) {
-            for e in entries.flatten() {
-                let _ = std::fs::remove_file(e.path());
+        if let Ok(entries) = env.read_dir(&spill_dir) {
+            for name in entries {
+                if env.remove_file(&spill_dir.join(&name)).is_err() {
+                    gc_failures.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
         let pool = BufferPool::new(opts.pool_bytes);
-        let spill = Arc::new(SpillManager::new(&spill_dir, Arc::clone(&pool))?);
+        let spill = Arc::new(SpillManager::new(
+            &spill_dir,
+            Arc::clone(&env),
+            Arc::clone(&pool),
+        )?);
 
         let (mut epoch, mut tables, mut fresh) = (1u64, Vec::new(), true);
-        if let Some(payload) = read_manifest(&dir)? {
+        if let Some(payload) = read_manifest(env.as_ref(), &dir)? {
             let (e, t) = decode_record(&payload)?;
             epoch = e;
             tables = t;
             fresh = false;
         }
-        let (wal, records) = WalWriter::open(&dir.join(WAL_FILE))?;
+        let (wal, records) = WalWriter::open(env.as_ref(), &dir.join(WAL_FILE))?;
         for rec in &records {
             match decode_record(rec) {
                 // Records at or below the manifest epoch are stale copies
@@ -175,7 +217,7 @@ impl PersistentStore {
 
         let mut db = Database::new();
         for (name, file) in &tables {
-            let seg = Arc::new(SegmentReader::open(&dir.join(file))?);
+            let seg = Arc::new(SegmentReader::open(env.as_ref(), &dir.join(file))?);
             if !seg.meta().name.eq_ignore_ascii_case(name) {
                 return Err(Error::internal(format!(
                     "store {}: segment {file} holds table '{}', expected '{name}'",
@@ -188,12 +230,14 @@ impl PersistentStore {
         }
         let store = PersistentStore {
             dir,
+            env,
             pool,
             spill,
             wal,
             page_rows: opts.page_rows.max(1),
             epoch,
             tables,
+            gc_failures,
         };
         Ok(Recovered { store, db, epoch, fresh })
     }
@@ -208,6 +252,11 @@ impl PersistentStore {
         Arc::clone(&self.spill)
     }
 
+    /// The environment this store runs on.
+    pub fn env(&self) -> Arc<dyn StorageEnv> {
+        Arc::clone(&self.env)
+    }
+
     /// The data directory.
     pub fn dir(&self) -> &Path {
         &self.dir
@@ -218,16 +267,55 @@ impl PersistentStore {
         self.epoch
     }
 
+    /// Cleanup/GC deletions that failed over this store's lifetime
+    /// (spill-sweep at open, checkpoint GC, failed-commit cleanup), plus
+    /// spill-set drops that leaked. Visible so leaking disk is a signal,
+    /// not a silent `let _`.
+    pub fn gc_failures(&self) -> u64 {
+        self.gc_failures.load(Ordering::Relaxed) + self.spill.cleanup_failures()
+    }
+
     /// Make `db` durable as `epoch`: write any resident table out as a
     /// segment file (fsynced), append the snapshot record to the WAL
     /// (fsynced), and return the catalog with those tables re-backed by
     /// their new segments (`None` when every table was already paged).
     /// Publish-after-commit gives exactly-once visibility: a crash before
     /// the WAL append recovers the previous epoch, a crash after it
-    /// recovers this one.
+    /// recovers this one. On error (ENOSPC, injected or real) nothing is
+    /// published and orphaned segment bytes are best-effort removed.
     pub fn commit(&mut self, epoch: u64, db: &Database) -> Result<Option<Database>> {
         let mut metas: Vec<(String, String)> = Vec::new();
         let mut converted: Option<Database> = None;
+        let mut written: Vec<String> = Vec::new();
+        match self.commit_inner(epoch, db, &mut metas, &mut converted, &mut written) {
+            Ok(()) => {
+                self.epoch = epoch;
+                self.tables = metas;
+                Ok(converted)
+            }
+            Err(e) => {
+                // Fail closed: the WAL never saw this epoch, so recovery
+                // ignores these files — but sweep them now so ENOSPC does
+                // not compound.
+                for file in &written {
+                    let path = self.dir.join(file);
+                    if self.env.remove_file(&path).is_err() && self.env.exists(&path) {
+                        self.gc_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn commit_inner(
+        &mut self,
+        epoch: u64,
+        db: &Database,
+        metas: &mut Vec<(String, String)>,
+        converted: &mut Option<Database>,
+        written: &mut Vec<String>,
+    ) -> Result<()> {
         let mut wrote_segment = false;
         for (i, t) in db.tables().enumerate() {
             if let Some(file) = t.paged_file() {
@@ -235,7 +323,9 @@ impl PersistentStore {
                 continue;
             }
             let file = format!("{SEGS_DIR}/{}-{epoch}-{i}.seg", sanitize(t.name()));
+            written.push(file.clone());
             write_segment(
+                self.env.as_ref(),
                 &self.dir.join(&file),
                 t.name(),
                 t.schema(),
@@ -244,10 +334,13 @@ impl PersistentStore {
                 self.page_rows,
             )?;
             wrote_segment = true;
-            let seg = Arc::new(SegmentReader::open(&self.dir.join(&file))?);
+            let seg = Arc::new(SegmentReader::open(
+                self.env.as_ref(),
+                &self.dir.join(&file),
+            )?);
             let backing = PagedBacking::new(seg, Arc::clone(&self.pool), file.clone());
             let paged = Table::paged(backing);
-            let out = match &mut converted {
+            let out = match converted {
                 Some(out) => out,
                 None => converted.insert(db.clone()),
             };
@@ -255,145 +348,38 @@ impl PersistentStore {
             metas.push((t.name().to_string(), file));
         }
         if wrote_segment {
-            sync_dir(&self.dir.join(SEGS_DIR))?;
+            self.env.sync_dir(&self.dir.join(SEGS_DIR))?;
         }
-        self.wal.append(&encode_record(epoch, &metas))?;
-        self.epoch = epoch;
-        self.tables = metas;
-        Ok(converted)
+        self.wal.append(&encode_record(epoch, metas))?;
+        written.clear(); // the WAL references them now: they are live
+        Ok(())
     }
 
     /// Checkpoint: atomically write the manifest at the current epoch,
     /// truncate the WAL, and remove segment files no current table
-    /// references. Returns the checkpointed epoch.
-    pub fn checkpoint(&mut self) -> Result<u64> {
-        write_manifest(&self.dir, &encode_record(self.epoch, &self.tables))?;
+    /// references. Returns the checkpointed epoch plus GC counts.
+    pub fn checkpoint(&mut self) -> Result<Checkpoint> {
+        write_manifest(
+            self.env.as_ref(),
+            &self.dir,
+            &encode_record(self.epoch, &self.tables),
+        )?;
         self.wal.reset()?;
         let segs = self.dir.join(SEGS_DIR);
-        if let Ok(entries) = std::fs::read_dir(&segs) {
-            for e in entries.flatten() {
-                let fname = format!("{SEGS_DIR}/{}", e.file_name().to_string_lossy());
+        let (mut removed, mut failed) = (0u64, 0u64);
+        if let Ok(entries) = self.env.read_dir(&segs) {
+            for name in entries {
+                let fname = format!("{SEGS_DIR}/{name}");
                 if !self.tables.iter().any(|(_, f)| *f == fname) {
-                    let _ = std::fs::remove_file(e.path());
+                    if self.env.remove_file(&segs.join(&name)).is_ok() {
+                        removed += 1;
+                    } else {
+                        failed += 1;
+                        self.gc_failures.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
         }
-        Ok(self.epoch)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::pager::PageIo;
-    use decorr_common::{row, DataType, Schema};
-
-    fn tmp_dir(name: &str) -> PathBuf {
-        let dir =
-            std::env::temp_dir().join(format!("decorr-persist-test-{}-{name}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        dir
-    }
-
-    fn seed_db() -> Database {
-        let mut db = Database::new();
-        let schema = Schema::from_pairs(&[("id", DataType::Int), ("name", DataType::Str)]);
-        let t = db.create_table("people", schema).unwrap();
-        t.insert(row![1, "ada"]).unwrap();
-        t.insert(row![2, "grace"]).unwrap();
-        db
-    }
-
-    fn all_rows(db: &Database, name: &str) -> Vec<decorr_common::Row> {
-        let mut io = PageIo::default();
-        db.table(name)
-            .unwrap()
-            .read_rows(&mut io)
-            .unwrap()
-            .into_owned()
-    }
-
-    #[test]
-    fn fresh_commit_then_reopen_recovers_epoch_and_rows() {
-        let dir = tmp_dir("fresh");
-        let mut rec = PersistentStore::open(&dir, StoreOptions::default()).unwrap();
-        assert!(rec.fresh);
-        assert!(rec.db.tables().next().is_none());
-        let db = seed_db();
-        let converted = rec
-            .store
-            .commit(2, &db)
-            .unwrap()
-            .expect("resident table converted");
-        assert!(converted.table("people").unwrap().is_paged());
-        assert_eq!(
-            all_rows(&converted, "people"),
-            db.table("people").unwrap().rows()
-        );
-
-        let mut rec2 = PersistentStore::open(&dir, StoreOptions::default()).unwrap();
-        assert!(!rec2.fresh);
-        assert_eq!(rec2.epoch, 2);
-        assert_eq!(
-            all_rows(&rec2.db, "people"),
-            db.table("people").unwrap().rows()
-        );
-        // Already-paged catalogs re-commit without writing new segments.
-        assert!(rec2.store.commit(3, &rec2.db).unwrap().is_none());
-    }
-
-    #[test]
-    fn checkpoint_truncates_wal_and_survives_reopen() {
-        let dir = tmp_dir("ckpt");
-        let mut rec = PersistentStore::open(&dir, StoreOptions::default()).unwrap();
-        rec.store.commit(2, &seed_db()).unwrap();
-        assert_eq!(rec.store.checkpoint().unwrap(), 2);
-        assert_eq!(std::fs::metadata(dir.join(WAL_FILE)).unwrap().len(), 0);
-
-        let rec2 = PersistentStore::open(&dir, StoreOptions::default()).unwrap();
-        assert_eq!(rec2.epoch, 2);
-        assert_eq!(all_rows(&rec2.db, "people").len(), 2);
-    }
-
-    #[test]
-    fn torn_wal_tail_recovers_previous_epoch() {
-        let dir = tmp_dir("torn");
-        let mut rec = PersistentStore::open(&dir, StoreOptions::default()).unwrap();
-        rec.store.commit(2, &seed_db()).unwrap();
-        let mut db2 = seed_db();
-        let schema = Schema::from_pairs(&[("x", DataType::Int)]);
-        db2.create_table("extra", schema)
-            .unwrap()
-            .insert(row![7])
-            .unwrap();
-        rec.store.commit(3, &db2).unwrap();
-        drop(rec);
-
-        // Tear the last WAL record: recovery must land on epoch 2 exactly.
-        let wal = dir.join(WAL_FILE);
-        let bytes = std::fs::read(&wal).unwrap();
-        std::fs::write(&wal, &bytes[..bytes.len() - 3]).unwrap();
-        let rec2 = PersistentStore::open(&dir, StoreOptions::default()).unwrap();
-        assert_eq!(rec2.epoch, 2);
-        assert!(rec2.db.table("extra").is_err());
-        assert_eq!(all_rows(&rec2.db, "people").len(), 2);
-    }
-
-    #[test]
-    fn checkpoint_gc_removes_unreferenced_segments() {
-        let dir = tmp_dir("gc");
-        let mut rec = PersistentStore::open(&dir, StoreOptions::default()).unwrap();
-        let converted = rec.store.commit(2, &seed_db()).unwrap().unwrap();
-        // Drop the table, commit the empty catalog, checkpoint: the old
-        // segment file must be collected.
-        let mut db = converted;
-        db.drop_table("people").unwrap();
-        rec.store.commit(3, &db).unwrap();
-        rec.store.checkpoint().unwrap();
-        let n_segs = std::fs::read_dir(dir.join(SEGS_DIR)).unwrap().count();
-        assert_eq!(n_segs, 0);
-        let rec2 = PersistentStore::open(&dir, StoreOptions::default()).unwrap();
-        assert_eq!(rec2.epoch, 3);
-        assert!(rec2.db.tables().next().is_none());
+        Ok(Checkpoint { epoch: self.epoch, gc_removed: removed, gc_failed: failed })
     }
 }

@@ -23,13 +23,13 @@
 //! typed error, never garbage rows. The footer is written last: a crash
 //! mid-write leaves a file without a valid trailer, which `open` rejects —
 //! segment files are only ever referenced by the WAL *after* they have
-//! been fully written and fsynced.
+//! been fully written and fsynced. All I/O goes through a
+//! [`StorageEnv`], so segment writes face the same injected ENOSPC and
+//! torn-write faults as the WAL.
 
-use std::fs::File;
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
 
+use decorr_common::env::{EnvFile, StorageEnv};
 use decorr_common::segcodec::{self, crc32, put_string, put_varint, Cursor, ZoneMap};
 use decorr_common::{ColumnDef, DataType, Error, Result, Row, Schema, Value};
 
@@ -41,12 +41,58 @@ pub const DEFAULT_PAGE_ROWS: usize = 4096;
 const MAGIC: &[u8; 8] = b"DSEGv01\n";
 const END_MAGIC: &[u8; 8] = b"DSEGEND\n";
 
-fn io_err(what: &str, path: &Path, e: std::io::Error) -> Error {
-    Error::internal(format!("segment {what} {}: {e}", path.display()))
+fn le_u32(bytes: &[u8]) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&bytes[..4]);
+    u32::from_le_bytes(b)
+}
+
+fn le_u64(bytes: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[..8]);
+    u64::from_le_bytes(b)
+}
+
+/// A buffered sequential writer over an [`EnvFile`] (the streaming role
+/// `BufWriter<File>` used to play).
+struct EnvWriter<'a> {
+    file: &'a dyn EnvFile,
+    buf: Vec<u8>,
+    /// File offset of `buf[0]`.
+    base: u64,
+}
+
+const WRITER_BUF: usize = 256 * 1024;
+
+impl<'a> EnvWriter<'a> {
+    fn new(file: &'a dyn EnvFile) -> EnvWriter<'a> {
+        EnvWriter { file, buf: Vec::with_capacity(WRITER_BUF), base: 0 }
+    }
+
+    fn offset(&self) -> u64 {
+        self.base + self.buf.len() as u64
+    }
+
+    fn write_all(&mut self, data: &[u8]) -> Result<()> {
+        self.buf.extend_from_slice(data);
+        if self.buf.len() >= WRITER_BUF {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        if !self.buf.is_empty() {
+            self.file.write_all_at(self.base, &self.buf)?;
+            self.base += self.buf.len() as u64;
+            self.buf.clear();
+        }
+        Ok(())
+    }
 }
 
 /// Frame `payload` as `[len][crc][payload]` and append it to `w`.
-fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+fn write_frame(w: &mut EnvWriter<'_>, payload: &[u8]) -> Result<()> {
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(&crc32(payload).to_le_bytes())?;
     w.write_all(payload)
@@ -99,6 +145,7 @@ impl SegmentMeta {
 /// Write `rows` (already schema-checked by the source table) as a segment
 /// file at `path`, fsyncing before returning. Returns the on-disk size.
 pub fn write_segment(
+    env: &dyn StorageEnv,
     path: &Path,
     name: &str,
     schema: &Schema,
@@ -107,13 +154,11 @@ pub fn write_segment(
     page_rows: usize,
 ) -> Result<u64> {
     let page_rows = page_rows.max(1);
-    let mut file =
-        std::io::BufWriter::new(File::create(path).map_err(|e| io_err("create", path, e))?);
-    file.write_all(MAGIC)
-        .map_err(|e| io_err("write", path, e))?;
+    let file = env.create(path)?;
+    let mut w = EnvWriter::new(file.as_ref());
+    w.write_all(MAGIC)?;
     let n_cols = schema.arity();
     let n_pages = rows.len().div_ceil(page_rows);
-    let mut offset = MAGIC.len() as u64;
     let mut pages = Vec::with_capacity(n_pages * n_cols);
     let mut zones = Vec::with_capacity(n_pages * n_cols);
     let mut colbuf: Vec<Value> = Vec::with_capacity(page_rows);
@@ -123,9 +168,9 @@ pub fn write_segment(
             colbuf.extend(chunk.iter().map(|r| r[col].clone()));
             zones.push(ZoneMap::build(&colbuf));
             let payload = segcodec::encode_column_page(&colbuf);
-            write_frame(&mut file, &payload).map_err(|e| io_err("write", path, e))?;
+            let offset = w.offset();
+            write_frame(&mut w, &payload)?;
             pages.push((offset, payload.len() as u32));
-            offset += 8 + payload.len() as u64;
         }
     }
 
@@ -162,63 +207,55 @@ pub fn write_segment(
     for z in &zones {
         z.encode(&mut footer);
     }
-    write_frame(&mut file, &footer).map_err(|e| io_err("write", path, e))?;
-    let footer_offset = offset;
-    file.write_all(&footer_offset.to_le_bytes())
-        .and_then(|_| file.write_all(END_MAGIC))
-        .map_err(|e| io_err("write", path, e))?;
-    let file = file
-        .into_inner()
-        .map_err(|e| io_err("flush", path, e.into()))?;
-    file.sync_all().map_err(|e| io_err("fsync", path, e))?;
-    let size = file.metadata().map_err(|e| io_err("stat", path, e))?.len();
-    Ok(size)
+    let footer_offset = w.offset();
+    write_frame(&mut w, &footer)?;
+    w.write_all(&footer_offset.to_le_bytes())?;
+    w.write_all(END_MAGIC)?;
+    w.flush()?;
+    file.sync_all()?;
+    file.len()
 }
 
-/// An open segment file: parsed footer plus a (seek-locked) read handle.
+/// An open segment file: parsed footer plus a shareable read handle.
 #[derive(Debug)]
 pub struct SegmentReader {
     path: PathBuf,
-    file: Mutex<File>,
+    file: Box<dyn EnvFile>,
     meta: SegmentMeta,
 }
 
 impl SegmentReader {
     /// Open and validate `path`: magic, trailer, footer CRC. A partially
     /// written or corrupted segment fails closed here.
-    pub fn open(path: &Path) -> Result<SegmentReader> {
-        let mut file = File::open(path).map_err(|e| io_err("open", path, e))?;
-        let total = file.metadata().map_err(|e| io_err("stat", path, e))?.len();
-        let mut magic = [0u8; 8];
+    pub fn open(env: &dyn StorageEnv, path: &Path) -> Result<SegmentReader> {
+        let file = env.open_read(path)?;
+        let total = file.len()?;
         if total < (MAGIC.len() + 16 + 8) as u64 {
             return Err(Error::internal(format!(
                 "segment {}: file too short",
                 path.display()
             )));
         }
-        file.read_exact(&mut magic)
-            .map_err(|e| io_err("read", path, e))?;
+        let mut magic = [0u8; 8];
+        file.read_exact_at(0, &mut magic)?;
         if &magic != MAGIC {
             return Err(Error::internal(format!(
                 "segment {}: bad magic (not a segment file)",
                 path.display()
             )));
         }
-        file.seek(SeekFrom::End(-16))
-            .map_err(|e| io_err("seek", path, e))?;
         let mut trailer = [0u8; 16];
-        file.read_exact(&mut trailer)
-            .map_err(|e| io_err("read", path, e))?;
+        file.read_exact_at(total - 16, &mut trailer)?;
         if &trailer[8..] != END_MAGIC {
             return Err(Error::internal(format!(
                 "segment {}: missing end marker (torn write?)",
                 path.display()
             )));
         }
-        let footer_offset = u64::from_le_bytes(trailer[..8].try_into().expect("8 bytes sliced"));
-        let footer = read_frame_at(&mut file, path, footer_offset)?;
+        let footer_offset = le_u64(&trailer[..8]);
+        let footer = read_frame_at(file.as_ref(), path, footer_offset)?;
         let meta = parse_footer(&footer, path)?;
-        Ok(SegmentReader { path: path.to_path_buf(), file: Mutex::new(file), meta })
+        Ok(SegmentReader { path: path.to_path_buf(), file, meta })
     }
 
     /// The parsed footer.
@@ -234,13 +271,7 @@ impl SegmentReader {
     /// Read and decode one column page. CRC-checked.
     pub fn read_page(&self, page: usize, col: usize) -> Result<Vec<Value>> {
         let (offset, _) = self.meta.pages[self.meta.slot(page, col)];
-        let payload = {
-            let mut file = self
-                .file
-                .lock()
-                .map_err(|_| Error::internal("segment reader lock poisoned"))?;
-            read_frame_at(&mut file, &self.path, offset)?
-        };
+        let payload = read_frame_at(self.file.as_ref(), &self.path, offset)?;
         let values = segcodec::decode_column_page(&payload)?;
         if values.len() != self.meta.page_len(page) {
             return Err(Error::internal(format!(
@@ -252,14 +283,11 @@ impl SegmentReader {
     }
 }
 
-fn read_frame_at(file: &mut File, path: &Path, offset: u64) -> Result<Vec<u8>> {
-    file.seek(SeekFrom::Start(offset))
-        .map_err(|e| io_err("seek", path, e))?;
+fn read_frame_at(file: &dyn EnvFile, path: &Path, offset: u64) -> Result<Vec<u8>> {
     let mut head = [0u8; 8];
-    file.read_exact(&mut head)
-        .map_err(|e| io_err("read", path, e))?;
-    let len = u32::from_le_bytes(head[..4].try_into().expect("4 bytes sliced")) as usize;
-    let crc = u32::from_le_bytes(head[4..].try_into().expect("4 bytes sliced"));
+    file.read_exact_at(offset, &mut head)?;
+    let len = le_u32(&head[..4]) as usize;
+    let crc = le_u32(&head[4..]);
     if len > (1 << 30) {
         return Err(Error::internal(format!(
             "segment {}: implausible frame length {len}",
@@ -267,8 +295,7 @@ fn read_frame_at(file: &mut File, path: &Path, offset: u64) -> Result<Vec<u8>> {
         )));
     }
     let mut payload = vec![0u8; len];
-    file.read_exact(&mut payload)
-        .map_err(|e| io_err("read", path, e))?;
+    file.read_exact_at(offset + 8, &mut payload)?;
     if crc32(&payload) != crc {
         return Err(Error::internal(format!(
             "segment {}: frame checksum mismatch at offset {offset}",
@@ -331,100 +358,4 @@ fn parse_footer(footer: &[u8], path: &Path) -> Result<SegmentMeta> {
         zones.push(ZoneMap::decode(&mut c)?);
     }
     Ok(SegmentMeta { name, schema, key, row_count, page_rows, n_pages, pages, zones })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use decorr_common::row;
-
-    fn tmp(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("decorr-seg-test-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        dir.join(name)
-    }
-
-    fn sample_rows(n: i64) -> Vec<Row> {
-        (0..n)
-            .map(|i| {
-                row![
-                    i,
-                    format!("name{}", i % 7),
-                    if i % 5 == 0 {
-                        Value::Null
-                    } else {
-                        Value::Double(i as f64 / 3.0)
-                    }
-                ]
-            })
-            .collect()
-    }
-
-    fn sample_schema() -> Schema {
-        Schema::from_pairs(&[
-            ("id", DataType::Int),
-            ("name", DataType::Str),
-            ("score", DataType::Double),
-        ])
-    }
-
-    #[test]
-    fn round_trips_across_pages() {
-        let path = tmp("roundtrip.seg");
-        let rows = sample_rows(1000);
-        write_segment(&path, "t", &sample_schema(), Some(&[0]), &rows, 128).unwrap();
-        let seg = SegmentReader::open(&path).unwrap();
-        assert_eq!(seg.meta().row_count, 1000);
-        assert_eq!(seg.meta().n_pages, 8);
-        assert_eq!(seg.meta().key, Some(vec![0]));
-        assert_eq!(seg.meta().schema, sample_schema());
-        let mut rebuilt = Vec::new();
-        for p in 0..seg.meta().n_pages {
-            let cols: Vec<Vec<Value>> = (0..3).map(|c| seg.read_page(p, c).unwrap()).collect();
-            for i in 0..seg.meta().page_len(p) {
-                rebuilt.push(Row::new(cols.iter().map(|c| c[i].clone()).collect()));
-            }
-        }
-        assert_eq!(rows, rebuilt);
-    }
-
-    #[test]
-    fn zone_maps_cover_pages() {
-        let path = tmp("zones.seg");
-        let rows = sample_rows(512);
-        write_segment(&path, "t", &sample_schema(), None, &rows, 128).unwrap();
-        let seg = SegmentReader::open(&path).unwrap();
-        // Page 0 of the id column holds 0..127.
-        let z = seg.meta().zone(0, 0);
-        assert_eq!(z.min, Value::Int(0));
-        assert_eq!(z.max, Value::Int(127));
-        let all = seg.meta().column_zone(0);
-        assert_eq!(all.max, Value::Int(511));
-        assert_eq!(all.rows, 512);
-    }
-
-    #[test]
-    fn corruption_fails_closed() {
-        let path = tmp("corrupt.seg");
-        write_segment(&path, "t", &sample_schema(), None, &sample_rows(100), 32).unwrap();
-        let mut bytes = std::fs::read(&path).unwrap();
-        // Flip a byte inside the first page frame.
-        bytes[16] ^= 0xFF;
-        std::fs::write(&path, &bytes).unwrap();
-        let seg = SegmentReader::open(&path).unwrap(); // footer still valid
-        assert!(seg.read_page(0, 0).is_err());
-        // Truncate the trailer: open itself must fail.
-        bytes.truncate(bytes.len() - 4);
-        std::fs::write(&path, &bytes).unwrap();
-        assert!(SegmentReader::open(&path).is_err());
-    }
-
-    #[test]
-    fn empty_tables_round_trip() {
-        let path = tmp("empty.seg");
-        write_segment(&path, "t", &sample_schema(), None, &[], 128).unwrap();
-        let seg = SegmentReader::open(&path).unwrap();
-        assert_eq!(seg.meta().row_count, 0);
-        assert_eq!(seg.meta().n_pages, 0);
-    }
 }

@@ -350,91 +350,3 @@ impl Table {
             .map(|i| i.lookup(std::slice::from_ref(value)))
     }
 }
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use decorr_common::{row, DataType};
-
-    fn emp() -> Table {
-        let mut t = Table::new(
-            "emp",
-            Schema::from_pairs(&[("name", DataType::Str), ("building", DataType::Int)]),
-        );
-        t.insert_all(vec![row!["a", 1], row!["b", 2], row!["c", 1]])
-            .unwrap();
-        t
-    }
-
-    #[test]
-    fn schema_enforced_on_insert() {
-        let mut t = emp();
-        assert!(t.insert(row![1, "oops"]).is_err());
-        assert!(t.insert(row!["d"]).is_err());
-        assert_eq!(t.len(), 3);
-    }
-
-    #[test]
-    fn index_lifecycle() {
-        let mut t = emp();
-        t.create_index(&["building"]).unwrap();
-        assert_eq!(t.index_lookup(1, &Value::Int(1)).unwrap(), &[0, 2]);
-        // Index maintained across later inserts.
-        t.insert(row!["d", 1]).unwrap();
-        assert_eq!(t.index_lookup(1, &Value::Int(1)).unwrap(), &[0, 2, 3]);
-        // Idempotent creation.
-        t.create_index(&["building"]).unwrap();
-        assert_eq!(t.indexes().len(), 1);
-        t.drop_index(&["building"]).unwrap();
-        assert!(t.index_lookup(1, &Value::Int(1)).is_none());
-        assert!(t.drop_index(&["building"]).is_err());
-    }
-
-    #[test]
-    fn version_changes_on_every_mutation_and_never_repeats() {
-        let mut t = emp();
-        let mut seen = vec![t.version()];
-        t.insert(row!["d", 2]).unwrap();
-        seen.push(t.version());
-        t.create_index(&["building"]).unwrap();
-        seen.push(t.version());
-        // Idempotent index creation is a no-op: no new snapshot.
-        t.create_index(&["building"]).unwrap();
-        assert_eq!(t.version(), *seen.last().unwrap());
-        t.drop_index(&["building"]).unwrap();
-        seen.push(t.version());
-        t.set_key(&["name"]).unwrap();
-        seen.push(t.version());
-        let mut dedup = seen.clone();
-        dedup.sort_unstable();
-        dedup.dedup();
-        assert_eq!(
-            dedup.len(),
-            seen.len(),
-            "versions must never repeat: {seen:?}"
-        );
-        // A clone holds the same snapshot; a fresh same-name table does not.
-        assert_eq!(t.clone().version(), t.version());
-        assert_ne!(Table::new("emp", t.schema().clone()).version(), t.version());
-    }
-
-    #[test]
-    fn key_metadata() {
-        let mut t = emp();
-        assert!(t.key().is_none());
-        t.set_key(&["name"]).unwrap();
-        assert_eq!(t.key(), Some(&[0usize][..]));
-        assert!(t.set_key(&["nope"]).is_err());
-    }
-
-    #[test]
-    fn best_index_prefers_widest() {
-        let mut t = emp();
-        t.create_index(&["building"]).unwrap();
-        t.create_index(&["building", "name"]).unwrap();
-        let best = t.best_index_for(&[0, 1]).unwrap();
-        assert_eq!(best.columns().len(), 2);
-        let only = t.best_index_for(&[1]).unwrap();
-        assert_eq!(only.columns(), &[1]);
-    }
-}

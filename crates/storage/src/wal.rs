@@ -9,18 +9,25 @@
 //! the valid prefix, so post-recovery appends never interleave with torn
 //! bytes.
 //!
+//! All I/O goes through a [`StorageEnv`], so the same code path runs on
+//! the real filesystem and under injected faults. A failed append tries
+//! to truncate back to the last good length; if even that fails the
+//! writer wedges fail-closed (every later append errors) rather than
+//! risk interleaving good frames after torn bytes.
+//!
 //! Record payloads are opaque here; the persistent store defines their
 //! schema (epoch-tagged catalog snapshots, see [`crate::persist`]).
 
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+use decorr_common::env::{EnvFile, StorageEnv};
 use decorr_common::segcodec::crc32;
 use decorr_common::{Error, Result};
 
-fn io_err(what: &str, path: &Path, e: std::io::Error) -> Error {
-    Error::internal(format!("wal {what} {}: {e}", path.display()))
+fn le_u32(bytes: &[u8]) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&bytes[..4]);
+    u32::from_le_bytes(b)
 }
 
 /// Parse the valid record prefix of `bytes`: the decoded payloads plus the
@@ -31,9 +38,8 @@ pub fn valid_prefix(bytes: &[u8]) -> (Vec<Vec<u8>>, u64) {
     let mut records = Vec::new();
     let mut pos = 0usize;
     while bytes.len() - pos >= 8 {
-        let len =
-            u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes sliced")) as usize;
-        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes sliced"));
+        let len = le_u32(&bytes[pos..pos + 4]) as usize;
+        let crc = le_u32(&bytes[pos + 4..pos + 8]);
         if len > (1 << 30) || bytes.len() - pos - 8 < len {
             break;
         }
@@ -51,123 +57,79 @@ pub fn valid_prefix(bytes: &[u8]) -> (Vec<Vec<u8>>, u64) {
 #[derive(Debug)]
 pub struct WalWriter {
     path: PathBuf,
-    file: File,
+    file: Box<dyn EnvFile>,
+    /// Byte length of the synced, valid record prefix: the append offset.
+    len: u64,
+    /// Set when a failed append could not be rolled back — the tail state
+    /// is unknown, so the writer refuses further appends (fail closed).
+    wedged: bool,
 }
 
 impl WalWriter {
     /// Open (creating if absent) the WAL at `path`, returning the valid
     /// record prefix. The file is truncated to that prefix and positioned
     /// for appending.
-    pub fn open(path: &Path) -> Result<(WalWriter, Vec<Vec<u8>>)> {
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)
-            .map_err(|e| io_err("open", path, e))?;
-        let mut bytes = Vec::new();
-        file.read_to_end(&mut bytes)
-            .map_err(|e| io_err("read", path, e))?;
+    pub fn open(env: &dyn StorageEnv, path: &Path) -> Result<(WalWriter, Vec<Vec<u8>>)> {
+        let file = env.open_rw(path)?;
+        let bytes = file.read_all()?;
         let (records, valid_len) = valid_prefix(&bytes);
         if valid_len < bytes.len() as u64 {
-            file.set_len(valid_len)
-                .map_err(|e| io_err("truncate", path, e))?;
+            file.set_len(valid_len)?;
         }
-        file.seek(SeekFrom::Start(valid_len))
-            .map_err(|e| io_err("seek", path, e))?;
-        Ok((WalWriter { path: path.to_path_buf(), file }, records))
+        Ok((
+            WalWriter { path: path.to_path_buf(), file, len: valid_len, wedged: false },
+            records,
+        ))
     }
 
     /// Append one record and fsync. When this returns, the record survives
-    /// a crash at any later point.
+    /// a crash at any later point. On failure the tail is rolled back to
+    /// the last good record; if rollback itself fails the writer wedges.
     pub fn append(&mut self, payload: &[u8]) -> Result<()> {
-        self.file
-            .write_all(&(payload.len() as u32).to_le_bytes())
-            .and_then(|_| self.file.write_all(&crc32(payload).to_le_bytes()))
-            .and_then(|_| self.file.write_all(payload))
-            .map_err(|e| io_err("append", &self.path, e))?;
-        self.file
-            .sync_data()
-            .map_err(|e| io_err("fsync", &self.path, e))
+        if self.wedged {
+            return Err(Error::io(format!(
+                "wal wedged after unrecoverable append failure: {}",
+                self.path.display()
+            )));
+        }
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        let res = self
+            .file
+            .write_all_at(self.len, &frame)
+            .and_then(|_| self.file.sync_data());
+        match res {
+            Ok(()) => {
+                self.len += frame.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                // A prefix of the frame may be on disk; cut it off so the
+                // next append starts at a frame boundary. CRC framing
+                // already protects replay, but a clean tail means a later
+                // good record can never land after torn bytes.
+                if self.file.set_len(self.len).is_err() {
+                    self.wedged = true;
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Discard every record (checkpoint rotation: the manifest now carries
     /// the state).
     pub fn reset(&mut self) -> Result<()> {
-        self.file
-            .set_len(0)
-            .map_err(|e| io_err("truncate", &self.path, e))?;
-        self.file
-            .seek(SeekFrom::Start(0))
-            .map_err(|e| io_err("seek", &self.path, e))?;
-        self.file
-            .sync_data()
-            .map_err(|e| io_err("fsync", &self.path, e))
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn tmp(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("decorr-wal-test-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let p = dir.join(name);
-        let _ = std::fs::remove_file(&p);
-        p
+        self.file.set_len(0)?;
+        self.file.sync_data()?;
+        self.len = 0;
+        self.wedged = false;
+        Ok(())
     }
 
-    #[test]
-    fn append_then_reopen_replays_all() {
-        let path = tmp("basic.wal");
-        let (mut w, records) = WalWriter::open(&path).unwrap();
-        assert!(records.is_empty());
-        w.append(b"one").unwrap();
-        w.append(b"two").unwrap();
-        drop(w);
-        let (_, records) = WalWriter::open(&path).unwrap();
-        assert_eq!(records, vec![b"one".to_vec(), b"two".to_vec()]);
-    }
-
-    #[test]
-    fn torn_tail_is_dropped_at_every_truncation_point() {
-        let path = tmp("torn.wal");
-        let (mut w, _) = WalWriter::open(&path).unwrap();
-        w.append(b"alpha").unwrap();
-        w.append(b"beta").unwrap();
-        w.append(b"gamma").unwrap();
-        drop(w);
-        let full = std::fs::read(&path).unwrap();
-        // Simulate a crash at *every* byte offset: recovery must always
-        // yield a prefix of the appended records.
-        for cut in 0..=full.len() {
-            let (records, valid) = valid_prefix(&full[..cut]);
-            assert!(valid <= cut as u64);
-            let expected: Vec<&[u8]> =
-                [b"alpha".as_slice(), b"beta", b"gamma"][..records.len()].to_vec();
-            assert_eq!(records, expected, "cut at {cut}");
-        }
-    }
-
-    #[test]
-    fn corrupt_byte_fails_closed_and_reopen_truncates() {
-        let path = tmp("corrupt.wal");
-        let (mut w, _) = WalWriter::open(&path).unwrap();
-        w.append(b"first").unwrap();
-        w.append(b"second").unwrap();
-        drop(w);
-        let mut bytes = std::fs::read(&path).unwrap();
-        let n = bytes.len();
-        bytes[n - 2] ^= 0x40; // flip a bit inside the second payload
-        std::fs::write(&path, &bytes).unwrap();
-        let (mut w, records) = WalWriter::open(&path).unwrap();
-        assert_eq!(records, vec![b"first".to_vec()]);
-        // Appending after truncation keeps the log coherent.
-        w.append(b"third").unwrap();
-        drop(w);
-        let (_, records) = WalWriter::open(&path).unwrap();
-        assert_eq!(records, vec![b"first".to_vec(), b"third".to_vec()]);
+    /// Is the writer wedged (an append failure could not be rolled back)?
+    pub fn is_wedged(&self) -> bool {
+        self.wedged
     }
 }

@@ -107,8 +107,9 @@ fn rows() -> impl Strategy<Value = Vec<Row>> {
 /// Write `rows` as a segment and reopen it as a paged table.
 fn paged(rows: &[Row], page_rows: usize) -> (Table, std::path::PathBuf) {
     let path = tmp_seg();
-    write_segment(&path, "t", &schema(), None, rows, page_rows).unwrap();
-    let seg = Arc::new(SegmentReader::open(&path).unwrap());
+    let env = decorr_common::RealEnv;
+    write_segment(&env, &path, "t", &schema(), None, rows, page_rows).unwrap();
+    let seg = Arc::new(SegmentReader::open(&env, &path).unwrap());
     let pool = BufferPool::new(1 << 20);
     let t = Table::paged(PagedBacking::new(seg, pool, "t.seg".into()));
     (t, path)
