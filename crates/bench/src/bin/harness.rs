@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! harness [table1|fig5|fig6|fig7|fig8|fig9|parallel|countbug|ablation|accuracy|chaos
-//!          |serve-bench|storage-bench|all]
+//!          |ni-bench|serve-bench|storage-bench|all]
 //!         [--scale S] [--seed N] [--nodes N1,N2,...] [--threads N]
 //!         [--trace] [--analyze] [--explain-cost] [--qerr-threshold Q]
 //!         [--fault-seed S1,S2,...] [--replication K1,K2,...]
@@ -59,6 +59,16 @@
 //! phases are enforced gates; `--bench-json` records the self-describing
 //! report to `BENCH_PR9.json` by default.
 //!
+//! The `ni-bench` experiment (opt-in by name — it is a regression gate,
+//! not a paper figure) compares the three nested-iteration lanes — naive
+//! (pre-memoization), memoized (correlation-key memo) and batched (memo +
+//! sorted outer batches + set-oriented correlation probe) — over the
+//! baseline figures. It *enforces* byte-identical rows, an unchanged
+//! logical invocation count, the `invocations == distinct + hits` counter
+//! invariant, and strictly less total work than naive on every figure
+//! (the CI `ni-memo-smoke` job runs it at tiny scale); with `--bench-json`
+//! the report is recorded to `BENCH_PR10.json` by default.
+//!
 //! The `serve-bench` experiment (also opt-in by name) boots the
 //! `decorr-server` TCP service and drives it with `--clients` concurrent
 //! connections, each issuing `--queries` statements from a mixed
@@ -89,7 +99,7 @@ use std::time::Instant;
 
 use decorr_bench::{
     analyze_figure, bench_baseline, chaos_sweep, disk_net_chaos, figure_trace_json, format_table,
-    race_figure, repeat_workload_bench, run_figure_cfg, run_figure_traced, serve_bench,
+    ni_bench, race_figure, repeat_workload_bench, run_figure_cfg, run_figure_traced, serve_bench,
     storage_bench, ChaosConfig, DiskNetChaosConfig, Figure, ServeBenchConfig, StorageBenchConfig,
 };
 use decorr_common::Result;
@@ -241,7 +251,7 @@ fn parse_args() -> Args {
     args
 }
 
-const EXPERIMENTS: [&str; 14] = [
+const EXPERIMENTS: [&str; 15] = [
     "table1",
     "fig5",
     "fig6",
@@ -253,6 +263,7 @@ const EXPERIMENTS: [&str; 14] = [
     "parallel",
     "accuracy",
     "chaos",
+    "ni-bench",
     "serve-bench",
     "storage-bench",
     "all",
@@ -336,6 +347,15 @@ fn main() -> Result<()> {
         println!("{table}");
         chaos_json = Some(json);
     }
+    // ni-bench is likewise opt-in by name: it is the nested-iteration
+    // memoization regression gate, not a paper figure.
+    let ni_requested = args.what.iter().any(|w| w == "ni-bench");
+    let mut ni_json = None;
+    if ni_requested {
+        let (table, json) = ni_bench(args.scale, args.seed)?;
+        println!("{table}");
+        ni_json = Some(json);
+    }
     let serve_requested = args.what.iter().any(|w| w == "serve-bench");
     let mut serve_json = None;
     if serve_requested {
@@ -378,29 +398,38 @@ fn main() -> Result<()> {
         } else {
             "BENCH_PR6.json"
         };
-        let (json, what, default_path) = match (disk_net_json, storage_json, serve_json, chaos_json)
-        {
-            (Some(json), _, _, _) => (
-                json,
-                format!(
-                    "disk & network chaos (disk seed {}, net seed {})",
-                    args.disk_seed.unwrap_or(0xD15C),
-                    args.net_seed.unwrap_or(0x4E57)
+        let (json, what, default_path) =
+            match (disk_net_json, storage_json, serve_json, chaos_json, ni_json) {
+                (Some(json), _, _, _, _) => (
+                    json,
+                    format!(
+                        "disk & network chaos (disk seed {}, net seed {})",
+                        args.disk_seed.unwrap_or(0xD15C),
+                        args.net_seed.unwrap_or(0x4E57)
+                    ),
+                    "BENCH_PR9.json",
                 ),
-                "BENCH_PR9.json",
-            ),
-            (None, Some(json), _, _) => (json, "storage bench".to_string(), "BENCH_PR8.json"),
-            (None, None, Some(json), _) => (json, "serve bench".to_string(), serve_default),
-            (None, None, None, Some(json)) => (json, "chaos sweep".to_string(), "BENCH_PR5.json"),
-            (None, None, None, None) => {
-                let threads = if args.threads > 1 { args.threads } else { 4 };
-                (
-                    bench_baseline(args.scale, args.seed, threads)?,
-                    format!("columnar A/B baseline (row-wise vs columnar, threads 1 vs {threads})"),
-                    "BENCH_PR5.json",
-                )
-            }
-        };
+                (None, Some(json), _, _, _) => {
+                    (json, "storage bench".to_string(), "BENCH_PR8.json")
+                }
+                (None, None, Some(json), _, _) => (json, "serve bench".to_string(), serve_default),
+                (None, None, None, Some(json), _) => {
+                    (json, "chaos sweep".to_string(), "BENCH_PR5.json")
+                }
+                (None, None, None, None, Some(json)) => {
+                    (json, "ni-bench lanes".to_string(), "BENCH_PR10.json")
+                }
+                (None, None, None, None, None) => {
+                    let threads = if args.threads > 1 { args.threads } else { 4 };
+                    (
+                        bench_baseline(args.scale, args.seed, threads)?,
+                        format!(
+                            "columnar A/B baseline (row-wise vs columnar, threads 1 vs {threads})"
+                        ),
+                        "BENCH_PR5.json",
+                    )
+                }
+            };
         let path = if path.is_empty() {
             default_path
         } else {

@@ -36,8 +36,20 @@ pub struct ExecStats {
     /// Groups produced by aggregation.
     pub agg_groups: u64,
     /// Correlated subquery evaluations (the nested-iteration count the
-    /// paper reports per query).
+    /// paper reports per query). A memoized invocation still counts: this
+    /// is the *logical* count — how many times a binding needed the
+    /// subquery's result — so it is identical whether the memo is on or
+    /// off, exactly like the paper's "3954 invocations".
     pub subquery_invocations: u64,
+    /// Subquery invocations that actually *executed* the subtree — the
+    /// paper's "only 2138 are distinct". Without the correlation-key memo
+    /// every invocation executes, so this equals `subquery_invocations`.
+    pub subquery_distinct_invocations: u64,
+    /// Subquery invocations served from the correlation-key memo instead
+    /// of re-executing. `subquery_invocations ==
+    /// subquery_distinct_invocations + subquery_memo_hits` holds for every
+    /// run.
+    pub subquery_memo_hits: u64,
     /// Rows materialized into temporary tables (SUPP, MAGIC, views, ...).
     pub rows_materialized: u64,
     /// Predicate evaluations applied to candidate rows.
@@ -120,6 +132,8 @@ impl AddAssign for ExecStats {
         self.agg_input_rows += o.agg_input_rows;
         self.agg_groups += o.agg_groups;
         self.subquery_invocations += o.subquery_invocations;
+        self.subquery_distinct_invocations += o.subquery_distinct_invocations;
+        self.subquery_memo_hits += o.subquery_memo_hits;
         self.rows_materialized += o.rows_materialized;
         self.predicate_evals += o.predicate_evals;
         self.output_rows += o.output_rows;
@@ -147,6 +161,12 @@ impl fmt::Display for ExecStats {
         writeln!(f, "agg input rows   {:>12}", self.agg_input_rows)?;
         writeln!(f, "agg groups       {:>12}", self.agg_groups)?;
         writeln!(f, "subquery invokes {:>12}", self.subquery_invocations)?;
+        writeln!(
+            f,
+            "  distinct       {:>12}",
+            self.subquery_distinct_invocations
+        )?;
+        writeln!(f, "  memo hits      {:>12}", self.subquery_memo_hits)?;
         writeln!(f, "materialized     {:>12}", self.rows_materialized)?;
         writeln!(f, "predicate evals  {:>12}", self.predicate_evals)?;
         writeln!(f, "output rows      {:>12}", self.output_rows)?;

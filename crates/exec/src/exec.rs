@@ -18,7 +18,7 @@ use decorr_common::{
     mix64, Budget, CancelToken, Error, ExecStats, FxHashMap, FxHashSet, FxHasher, Result, Row,
     RowBatch, Value, WorkerPool, MORSEL_ROWS,
 };
-use decorr_qgm::{AggFunc, BoxId, BoxKind, Expr, Qgm, QuantId, QuantKind};
+use decorr_qgm::{AggFunc, BinOp, BoxId, BoxKind, Expr, Qgm, QuantId, QuantKind, UnOp};
 use decorr_storage::{Database, PageIo, SpillManager, Table};
 
 use crate::env::{Env, Layout};
@@ -97,6 +97,27 @@ pub struct ExecOptions {
     /// [`ExecStats::degradations`]. `None` (the default, and always on
     /// ephemeral servers) keeps the in-memory degradations.
     pub spill: Option<Arc<SpillManager>>,
+    /// Correlation-key memoization for nested iteration (`true`, the
+    /// default). Correlated subtrees are keyed on their *binding tuple* —
+    /// the outer values their free references resolve to, normalized like
+    /// hash-join keys when every use is a SQL comparison — so repeated
+    /// bindings are served from a per-run memo instead of re-executing
+    /// (the paper's "3954 invocations of which only 2138 are distinct").
+    /// Hits and misses are counted in
+    /// [`ExecStats::subquery_memo_hits`] / [`ExecStats::subquery_distinct_invocations`];
+    /// memo storage is charged against [`ExecOptions::mem_budget`] and
+    /// falls back to unmemoized execution when the ledger is exhausted.
+    /// `false` reproduces the naive once-per-binding executor exactly
+    /// (results *and* stats) for differential tests and `harness ni-bench`.
+    pub ni_memo: bool,
+    /// Set-oriented nested iteration (`true`, the default): lateral joins
+    /// group their outer batch by correlation key so each distinct binding
+    /// evaluates once and results gather back in the original row order,
+    /// and correlated equality scans without an index build a hash
+    /// partition over the correlation column once and probe per binding
+    /// (an executor-level magic-lite). Rows and row order are byte-
+    /// identical to the per-row path; only the work counters shrink.
+    pub ni_batch: bool,
 }
 
 impl Default for ExecOptions {
@@ -112,7 +133,19 @@ impl Default for ExecOptions {
             shared_cache: None,
             shared_subplans: None,
             spill: None,
+            ni_memo: true,
+            ni_batch: true,
         }
+    }
+}
+
+impl ExecOptions {
+    /// The naive nested-iteration configuration: no correlation-key memo,
+    /// no batched/set-oriented invocation — the executor exactly as it was
+    /// before memoization existed. `harness ni-bench` and the differential
+    /// property tests compare against this.
+    pub fn naive_ni(self) -> Self {
+        ExecOptions { ni_memo: false, ni_batch: false, ..self }
     }
 }
 
@@ -156,6 +189,166 @@ pub struct Executor<'a> {
     /// the entries safe to promote into the cross-query
     /// [`ExecOptions::shared_cache`] of a long-lived process.
     col_cache: FxHashMap<(String, u64, Vec<usize>), Arc<ColumnarBatch>>,
+    /// The per-run subquery memo, keyed `(box, scope, binding tuple)`.
+    ///
+    /// With [`ExecOptions::ni_memo`] the scope is always 0 and the binding
+    /// tuple is the box's correlation signature resolved under the current
+    /// environment: one entry per *distinct* binding for the whole run.
+    /// Without it, entries are keyed by the enclosing Select evaluation's
+    /// scope id with an empty tuple — exactly the legacy per-`eval_select`
+    /// cache for boxes uncorrelated with the block being evaluated.
+    subq_memo: FxHashMap<(BoxId, u64, MemoKey), RowBatch>,
+    /// Rows held by `subq_memo` entries with scope 0, charged against
+    /// [`ExecOptions::mem_budget`]: once the ledger is exhausted new
+    /// results are returned unmemoized (graceful fall-back, no error).
+    memo_rows: usize,
+    /// Plan-time correlation signatures, computed once per box.
+    sig_cache: FxHashMap<BoxId, Arc<CorrSig>>,
+    /// Scope id of the innermost Select evaluation (legacy memo keying).
+    cur_scope: u64,
+    /// Scope id allocator; 0 is reserved for run-lifetime memo entries.
+    scope_counter: u64,
+    /// Set-oriented probe indexes: hash partition of one base-table column
+    /// by `eq_key` value, keyed `(table, snapshot version, column)`.
+    corr_index: FxHashMap<CorrIndexKey, Arc<FxHashMap<Value, Vec<u32>>>>,
+    /// Correlated-equality scan shapes seen once already: the second scan
+    /// of the same shape builds the probe index, so one-shot scans never
+    /// pay the build pass.
+    corr_scan_seen: FxHashSet<CorrIndexKey>,
+}
+
+/// Identity of one probe-indexable scan shape: `(table, snapshot version,
+/// probed column)`.
+type CorrIndexKey = (String, u64, usize);
+
+/// A correlated subtree's plan-time correlation signature: the outer
+/// columns it reads (its free references, in the deterministic
+/// `Qgm::free_refs` order) plus the binding-key normalization the memo may
+/// safely apply.
+struct CorrSig {
+    refs: Vec<(QuantId, usize)>,
+    /// Every free-reference occurrence in the subtree sits under a SQL
+    /// comparison operand (`= <> < <= > >=`, reached only through
+    /// arithmetic), so binding classes SQL comparison cannot distinguish —
+    /// NULL vs NaN (both compare to nothing) and `-0.0` vs `0.0` — provably
+    /// produce identical results and the key normalizes `eq_key`-style,
+    /// exactly like a hash-join key.
+    /// Otherwise the key keeps raw values under [`Value`]'s total
+    /// equality, which is always sound: total-equal bindings are
+    /// indistinguishable to the interpreter.
+    sql_norm: bool,
+}
+
+impl CorrSig {
+    /// The memo key for one binding: each free reference resolved through
+    /// the environment chain, normalized per `sql_norm`. `None` when a
+    /// reference is unbound (the caller falls back to direct evaluation).
+    fn key_under(&self, env: &Env<'_>) -> Option<MemoKey> {
+        let mut key = Vec::with_capacity(self.refs.len());
+        for &(q, c) in &self.refs {
+            let v = env.lookup(q, c)?;
+            key.push(if self.sql_norm {
+                // NULL and NaN fold to one class (both match nothing under
+                // SQL comparison), -0.0 folds onto 0.0.
+                v.eq_key().unwrap_or(Value::Null)
+            } else {
+                v.clone()
+            });
+        }
+        Some(MemoKey(key))
+    }
+}
+
+/// Exact binding-tuple key for the subquery memo.
+///
+/// [`Value`]'s own `Eq`/`Hash` follow the total order, which unifies `Int`
+/// and `Double` *numerically through `f64`* — lossy past 2^53, so two
+/// distinguishable bindings could share a map slot. A memo may always
+/// over-split (a missed hit just re-executes) but may never falsely merge,
+/// so keys compare exactly per variant: `Int` by integer, `Double` by
+/// bits. `-0.0`/`0.0` and NULL/NaN folding, where provably safe, happens
+/// *before* the key is built (see [`CorrSig::sql_norm`]).
+#[derive(Clone)]
+struct MemoKey(Vec<Value>);
+
+impl PartialEq for MemoKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.len() == other.0.len()
+            && self.0.iter().zip(&other.0).all(|(a, b)| match (a, b) {
+                (Value::Null, Value::Null) => true,
+                (Value::Bool(x), Value::Bool(y)) => x == y,
+                (Value::Int(x), Value::Int(y)) => x == y,
+                (Value::Double(x), Value::Double(y)) => x.to_bits() == y.to_bits(),
+                (Value::Str(x), Value::Str(y)) => x == y,
+                _ => false,
+            })
+    }
+}
+
+impl Eq for MemoKey {}
+
+impl Hash for MemoKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for v in &self.0 {
+            match v {
+                Value::Null => state.write_u8(0),
+                Value::Bool(b) => {
+                    state.write_u8(1);
+                    state.write_u8(*b as u8);
+                }
+                Value::Int(i) => {
+                    state.write_u8(2);
+                    state.write_i64(*i);
+                }
+                Value::Double(d) => {
+                    state.write_u8(3);
+                    state.write_u64(d.to_bits());
+                }
+                Value::Str(s) => {
+                    state.write_u8(4);
+                    state.write(s.as_bytes());
+                    state.write_u8(0xff);
+                }
+            }
+        }
+    }
+}
+
+impl MemoKey {
+    /// The empty binding tuple (uncorrelated / legacy-scoped entries).
+    fn empty() -> Self {
+        MemoKey(Vec::new())
+    }
+}
+
+/// Does every free-reference occurrence in `e` sit in a SQL-comparison
+/// context? `safe` says the current position is reached only through
+/// comparison operands and value-preserving arithmetic (`+ - *` and unary
+/// negation — `/` is excluded because `NULL / 0` is NULL while `NaN / 0`
+/// errors, so NULL~NaN folding would change behaviour). Everything else —
+/// `IS [NOT] NULL`, `<=>`, `COALESCE`, aggregates, boolean structure —
+/// observes the raw value and resets the context.
+fn cmp_context_only(e: &Expr, is_free: &impl Fn(QuantId) -> bool, safe: bool) -> bool {
+    match e {
+        Expr::Col { quant, .. } => !is_free(*quant) || safe,
+        Expr::Lit(_) | Expr::Param(_) => true,
+        Expr::Binary { op, left, right } => {
+            let inner = match op {
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => true,
+                BinOp::Add | BinOp::Sub | BinOp::Mul => safe,
+                _ => false,
+            };
+            cmp_context_only(left, is_free, inner) && cmp_context_only(right, is_free, inner)
+        }
+        Expr::Unary { op, expr } => {
+            let inner = matches!(op, UnOp::Neg) && safe;
+            cmp_context_only(expr, is_free, inner)
+        }
+        Expr::Func { args, .. } => args.iter().all(|a| cmp_context_only(a, is_free, false)),
+        Expr::Agg { arg, .. } => arg
+            .as_ref()
+            .is_none_or(|a| cmp_context_only(a, is_free, false)),
+    }
 }
 
 impl<'a> Executor<'a> {
@@ -171,6 +364,13 @@ impl<'a> Executor<'a> {
             trace: None,
             box_stack: Vec::new(),
             col_cache: FxHashMap::default(),
+            subq_memo: FxHashMap::default(),
+            memo_rows: 0,
+            sig_cache: FxHashMap::default(),
+            cur_scope: 0,
+            scope_counter: 0,
+            corr_index: FxHashMap::default(),
+            corr_scan_seen: FxHashSet::default(),
         }
     }
 
@@ -203,6 +403,110 @@ impl<'a> Executor<'a> {
         let c = !qgm.free_refs(b).is_empty();
         self.corr_cache.insert(b, c);
         c
+    }
+
+    /// The plan-time correlation signature of the subtree rooted at `b`,
+    /// computed once per box: its free references plus whether every
+    /// occurrence sits in a SQL-comparison context (see [`CorrSig`]).
+    fn corr_sig(&mut self, qgm: &Qgm, b: BoxId) -> Arc<CorrSig> {
+        if let Some(s) = self.sig_cache.get(&b) {
+            return Arc::clone(s);
+        }
+        let refs = qgm.free_refs(b);
+        let local = qgm.subtree_quants(b);
+        let is_free = |q: QuantId| !local.contains(&q);
+        let mut sql_norm = !refs.is_empty();
+        if sql_norm {
+            for bb in qgm.reachable_boxes(b) {
+                qgm.boxref(bb).for_each_expr(|e| {
+                    if !cmp_context_only(e, &is_free, false) {
+                        sql_norm = false;
+                    }
+                });
+            }
+        }
+        let sig = Arc::new(CorrSig { refs, sql_norm });
+        self.sig_cache.insert(b, Arc::clone(&sig));
+        sig
+    }
+
+    /// Count one subquery invocation that executed the subtree.
+    fn count_subq_exec(&mut self) {
+        self.stats.subquery_invocations += 1;
+        self.stats.subquery_distinct_invocations += 1;
+    }
+
+    /// Count one subquery invocation served from the memo: still a logical
+    /// invocation (in stats *and* in the child's trace entry), but no
+    /// execution happened.
+    fn count_subq_hit(&mut self, child: BoxId) {
+        self.stats.subquery_invocations += 1;
+        self.stats.subquery_memo_hits += 1;
+        if let Some(trace) = &mut self.trace {
+            trace.note_memo_hit(child);
+        }
+    }
+
+    /// Evaluate a subquery child for the current binding through the
+    /// per-run correlation-key memo.
+    ///
+    /// `correlated_here` says the child reads columns bound by the block
+    /// currently being evaluated — i.e. each candidate row is a *logical*
+    /// invocation (always counted in `subquery_invocations`, hit or miss).
+    /// Children correlated only to outer blocks are constants for the
+    /// whole enclosing evaluation; their hits are the legacy
+    /// per-evaluation cache promoted to run lifetime and stay uncounted.
+    fn memoized_child(
+        &mut self,
+        qgm: &Qgm,
+        child: BoxId,
+        env2: &Env<'_>,
+        correlated_here: bool,
+    ) -> Result<RowBatch> {
+        if !self.opts.ni_memo {
+            // Naive nested iteration: correlated-here children execute per
+            // call; everything else caches per enclosing Select evaluation
+            // — the executor exactly as it was before the memo existed.
+            if correlated_here {
+                self.count_subq_exec();
+                return Ok(self.eval_box(qgm, child, Some(env2))?.into());
+            }
+            let k = (child, self.cur_scope, MemoKey::empty());
+            if let Some(hit) = self.subq_memo.get(&k) {
+                return Ok(RowBatch::clone(hit));
+            }
+            self.count_subq_exec();
+            let rows: RowBatch = self.eval_box(qgm, child, Some(env2))?.into();
+            self.subq_memo.insert(k, RowBatch::clone(&rows));
+            return Ok(rows);
+        }
+        let sig = self.corr_sig(qgm, child);
+        let Some(key) = sig.key_under(env2) else {
+            // An unbound free reference leaves nothing sound to key on.
+            self.count_subq_exec();
+            return Ok(self.eval_box(qgm, child, Some(env2))?.into());
+        };
+        let k = (child, 0u64, key);
+        if let Some(hit) = self.subq_memo.get(&k).map(RowBatch::clone) {
+            if correlated_here {
+                self.count_subq_hit(child);
+            }
+            return Ok(hit);
+        }
+        self.count_subq_exec();
+        let rows: RowBatch = self.eval_box(qgm, child, Some(env2))?.into();
+        // Charge the memo against the memory budget; once the ledger is
+        // exhausted, fall back to unmemoized execution (the query keeps
+        // running, later duplicates just re-execute).
+        let fits = self
+            .opts
+            .mem_budget
+            .is_none_or(|mb| self.memo_rows + rows.len() <= mb);
+        if fits {
+            self.memo_rows += rows.len();
+            self.subq_memo.insert(k, RowBatch::clone(&rows));
+        }
+        Ok(rows)
     }
 
     // ---- box dispatch ----------------------------------------------------
@@ -356,7 +660,16 @@ impl<'a> Executor<'a> {
                 }
                 Ok(t.rows().to_vec())
             }
-            BoxKind::Select => self.eval_select(qgm, b, env),
+            BoxKind::Select => {
+                // Each Select evaluation gets a fresh scope id; with the
+                // correlation-key memo off, outer-correlated subquery
+                // results cache per enclosing evaluation (legacy scope).
+                self.scope_counter += 1;
+                let saved = std::mem::replace(&mut self.cur_scope, self.scope_counter);
+                let r = self.eval_select(qgm, b, env);
+                self.cur_scope = saved;
+                r
+            }
             BoxKind::Grouping { .. } => self.eval_grouping(qgm, b, env),
             BoxKind::Union { all } => self.eval_union(qgm, b, *all, env),
             BoxKind::OuterJoin => self.eval_outer_join(qgm, b, env),
@@ -447,11 +760,6 @@ impl<'a> Executor<'a> {
             .copied()
             .filter(|&q| qgm.quant(q).kind != QuantKind::Foreach)
             .collect();
-
-        // Per-evaluation cache of subquery results that do not depend on
-        // this box's rows (they may still be correlated to *outer* blocks,
-        // which are fixed during this evaluation).
-        let mut local_subq_cache: FxHashMap<BoxId, RowBatch> = FxHashMap::default();
 
         // Classify predicates. `consumed[i]` marks predicates already
         // applied at a scan or join step.
@@ -635,14 +943,7 @@ impl<'a> Executor<'a> {
                         .filter(|fq| local.contains(fq))
                         .collect();
                     if deps.iter().all(|d| bound.contains(d)) {
-                        rows = self.append_scalar_column(
-                            qgm,
-                            sq,
-                            rows,
-                            &layout,
-                            env,
-                            &mut local_subq_cache,
-                        )?;
+                        rows = self.append_scalar_column(qgm, sq, rows, &layout, env)?;
                         layout.push(sq, 1);
                         scalars_bound.insert(sq);
                     }
@@ -796,12 +1097,7 @@ impl<'a> Executor<'a> {
                 let env2 = Env::new(&layout, &row, env);
                 let mut extra: Vec<Value> = Vec::with_capacity(needed_scalars.len());
                 for &sq in &needed_scalars {
-                    extra.push(self.scalar_subquery_value(
-                        qgm,
-                        sq,
-                        &env2,
-                        &mut local_subq_cache,
-                    )?);
+                    extra.push(self.scalar_subquery_value(qgm, sq, &env2)?);
                 }
                 row.0.extend(extra);
             }
@@ -823,7 +1119,7 @@ impl<'a> Executor<'a> {
             // Quantified groups.
             for (sq, group) in &quant_groups {
                 let kind = qgm.quant(*sq).kind;
-                let sub_rows = self.subquery_rows(qgm, *sq, &env2, &mut local_subq_cache)?;
+                let sub_rows = self.subquery_rows(qgm, *sq, &env2)?;
                 let mut q_layout = Layout::new();
                 q_layout.push(*sq, qgm.output_arity(qgm.quant(*sq).input));
                 let sat = match kind {
@@ -1061,6 +1357,79 @@ impl<'a> Executor<'a> {
             self.note_io(io);
             self.stats.rows_scanned += rows.len() as u64;
             return self.filter_rows_ref(&rows, q_layout, &kept, env);
+        }
+
+        // Set-oriented correlated scan: a correlated equality over a column
+        // with no real index — nested iteration's hot inner loop — builds a
+        // hash partition over that column on its *second* scan of the run
+        // and probes it per binding thereafter (an executor-level
+        // magic-lite; one-shot scans never pay the build pass). The probe
+        // returns positions in scan order and the remaining predicates run
+        // per surviving row, so rows and row order are byte-identical to
+        // the full scan.
+        if self.opts.ni_batch {
+            let mut corr_probe: Option<(usize, Value, usize)> = None;
+            for &i in applicable {
+                if let Expr::Binary { op: BinOp::Eq, left, right } = &preds[i] {
+                    for (a, b) in [(left, right), (right, left)] {
+                        if let Expr::Col { quant, col } = a.as_ref() {
+                            let other_refs = b.referenced_quants();
+                            if *quant == q
+                                && !other_refs.is_empty()
+                                && other_refs.iter().all(|r| *r != q)
+                            {
+                                let key = eval_expr(b, &env0)?;
+                                corr_probe = Some((*col, key, i));
+                                break;
+                            }
+                        }
+                    }
+                }
+                if corr_probe.is_some() {
+                    break;
+                }
+            }
+            if let Some((col, key, pi)) = corr_probe {
+                let ck = (t.name().to_string(), t.version(), col);
+                let idx = if let Some(idx) = self.corr_index.get(&ck) {
+                    Some(Arc::clone(idx))
+                } else if !self.corr_scan_seen.insert(ck.clone()) {
+                    // Second scan of this shape: pay one build pass over the
+                    // table, then every scan is a probe.
+                    self.checkpoint(t.len() as u64)?;
+                    self.stats.rows_scanned += t.len() as u64;
+                    self.stats.hash_build_rows += t.len() as u64;
+                    let built = Arc::new(vector::build_corr_index(t.rows(), col));
+                    self.corr_index.insert(ck, Arc::clone(&built));
+                    Some(built)
+                } else {
+                    None
+                };
+                if let Some(idx) = idx {
+                    self.stats.index_lookups += 1;
+                    let positions: &[u32] = key
+                        .eq_key()
+                        .and_then(|k| idx.get(&k))
+                        .map_or(&[], |v| v.as_slice());
+                    self.stats.index_rows += positions.len() as u64;
+                    let mut out = Vec::new();
+                    'rows: for &p in positions {
+                        let r = &t.rows()[p as usize];
+                        for &i in applicable {
+                            if i == pi {
+                                continue;
+                            }
+                            let env1 = Env::new(q_layout, r, env);
+                            self.note_pred();
+                            if !qualifies(&preds[i], &env1)? {
+                                continue 'rows;
+                            }
+                        }
+                        out.push(r.clone());
+                    }
+                    return Ok(out);
+                }
+            }
         }
 
         self.stats.rows_scanned += t.len() as u64;
@@ -1959,15 +2328,62 @@ impl<'a> Executor<'a> {
     ) -> Result<Vec<Row>> {
         let child = qgm.quant(next).input;
         let mut out = Vec::new();
-        for l in &rows {
-            self.checkpoint(1)?;
-            let env2 = Env::new(layout, l, env);
-            self.stats.subquery_invocations += 1;
-            let sub = self.eval_box(qgm, child, Some(&env2))?;
-            for r in &sub {
-                out.push(l.concat(r));
+        if self.opts.ni_memo && self.opts.ni_batch {
+            // Batched lateral: group the outer rows by correlation key so
+            // each distinct binding executes the subquery once per batch,
+            // then gather results back in the original row order.
+            let sig = self.corr_sig(qgm, child);
+            let mut slot_of: FxHashMap<MemoKey, usize> = FxHashMap::default();
+            let mut slot_rows: Vec<Option<RowBatch>> = Vec::new();
+            let mut assignment: Vec<Option<usize>> = Vec::with_capacity(rows.len());
+            for l in &rows {
+                self.checkpoint(1)?;
+                let env2 = Env::new(layout, l, env);
+                let Some(key) = sig.key_under(&env2) else {
+                    assignment.push(None);
+                    continue;
+                };
+                match slot_of.get(&key) {
+                    Some(&s) => {
+                        // Logical invocation, physically shared with the
+                        // first row of the group.
+                        self.count_subq_hit(child);
+                        assignment.push(Some(s));
+                    }
+                    None => {
+                        let sub = self.memoized_child(qgm, child, &env2, true)?;
+                        let s = slot_rows.len();
+                        slot_rows.push(Some(sub));
+                        slot_of.insert(key, s);
+                        assignment.push(Some(s));
+                    }
+                }
             }
-            self.check_mem(out.len(), "lateral join")?;
+            for (l, slot) in rows.iter().zip(assignment) {
+                let sub = match &slot {
+                    Some(s) => RowBatch::clone(slot_rows[*s].as_ref().expect("slot filled")),
+                    None => {
+                        // Unkeyable binding (an unbound free ref): evaluate
+                        // this row on its own, as the per-row path would.
+                        let env2 = Env::new(layout, l, env);
+                        self.memoized_child(qgm, child, &env2, true)?
+                    }
+                };
+                for r in sub.iter() {
+                    out.push(l.concat(r));
+                }
+                self.check_mem(out.len(), "lateral join")?;
+            }
+        } else {
+            for l in &rows {
+                self.checkpoint(1)?;
+                let env2 = Env::new(layout, l, env);
+                let sub = self.memoized_child(qgm, child, &env2, true)?;
+                for r in sub.iter() {
+                    out.push(l.concat(r));
+                }
+                self.check_mem(out.len(), "lateral join")?;
+            }
         }
         self.stats.join_output_rows += out.len() as u64;
         self.note_join(
@@ -1981,44 +2397,24 @@ impl<'a> Executor<'a> {
     }
 
     /// Compute the rows of a subquery quantifier for the current candidate
-    /// row: correlated subqueries evaluate per call (counted), uncorrelated
-    /// ones once per Select-box evaluation.
-    fn subquery_rows(
-        &mut self,
-        qgm: &Qgm,
-        sq: QuantId,
-        env2: &Env<'_>,
-        cache: &mut FxHashMap<BoxId, RowBatch>,
-    ) -> Result<RowBatch> {
+    /// row through the correlation-key memo: repeated bindings hit instead
+    /// of re-executing; boxes correlated only to outer blocks are served
+    /// once per distinct outer binding for the whole run.
+    fn subquery_rows(&mut self, qgm: &Qgm, sq: QuantId, env2: &Env<'_>) -> Result<RowBatch> {
         let child = qgm.quant(sq).input;
-        // A subquery is re-evaluated per candidate row only if it references
-        // quantifiers of the box being evaluated — i.e. anything bound in
-        // the *innermost* frame.
-        let correlated_here = qgm
-            .free_refs(child)
+        // A subquery is a *logical* per-candidate-row invocation only if it
+        // references quantifiers of the box being evaluated — i.e. anything
+        // bound in the innermost frame.
+        let correlated_here = self
+            .corr_sig(qgm, child)
+            .refs
             .iter()
-            .any(|(fq, _)| env2.layout.contains(*fq));
-        if correlated_here {
-            self.stats.subquery_invocations += 1;
-            return Ok(self.eval_box(qgm, child, Some(env2))?.into());
-        }
-        if let Some(hit) = cache.get(&child) {
-            return Ok(RowBatch::clone(hit));
-        }
-        self.stats.subquery_invocations += 1;
-        let rows: RowBatch = self.eval_box(qgm, child, Some(env2))?.into();
-        cache.insert(child, RowBatch::clone(&rows));
-        Ok(rows)
+            .any(|&(fq, _)| env2.layout.contains(fq));
+        self.memoized_child(qgm, child, env2, correlated_here)
     }
 
-    fn scalar_subquery_value(
-        &mut self,
-        qgm: &Qgm,
-        sq: QuantId,
-        env2: &Env<'_>,
-        cache: &mut FxHashMap<BoxId, RowBatch>,
-    ) -> Result<Value> {
-        let rows = self.subquery_rows(qgm, sq, env2, cache)?;
+    fn scalar_subquery_value(&mut self, qgm: &Qgm, sq: QuantId, env2: &Env<'_>) -> Result<Value> {
+        let rows = self.subquery_rows(qgm, sq, env2)?;
         match rows.len() {
             0 => Ok(Value::Null),
             1 => Ok(rows[0][0].clone()),
@@ -2035,14 +2431,13 @@ impl<'a> Executor<'a> {
         rows: Vec<Row>,
         layout: &Layout,
         env: Option<&Env<'_>>,
-        cache: &mut FxHashMap<BoxId, RowBatch>,
     ) -> Result<Vec<Row>> {
         let mut out = Vec::with_capacity(rows.len());
         for mut r in rows {
             self.checkpoint(0)?;
             let v = {
                 let env2 = Env::new(layout, &r, env);
-                self.scalar_subquery_value(qgm, sq, &env2, cache)?
+                self.scalar_subquery_value(qgm, sq, &env2)?
             };
             r.0.push(v);
             out.push(r);

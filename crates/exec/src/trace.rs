@@ -99,6 +99,12 @@ pub struct BoxTrace {
     /// Times this box was served whole from the cross-query
     /// shared-subplan cache instead of being evaluated.
     pub shared_hits: u64,
+    /// Times this box's result was served from the per-run correlation-key
+    /// memo instead of being re-evaluated. Memo hits still count in
+    /// [`BoxTrace::invocations`] (a hit is a *logical* invocation), so the
+    /// `max(invocations) == ExecStats::subquery_invocations` invariant
+    /// keeps holding with the memo on.
+    pub memo_hits: u64,
 }
 
 /// The per-box operator trace of one execution.
@@ -166,6 +172,19 @@ impl ExecTrace {
 
     pub(crate) fn note_shared_hit(&mut self, b: BoxId) {
         self.entry(b).shared_hits += 1;
+    }
+
+    /// Record a correlation-key memo hit: the box was logically invoked
+    /// (counted in `invocations`) but served from the memo.
+    pub(crate) fn note_memo_hit(&mut self, b: BoxId) {
+        let e = self.entry(b);
+        e.invocations += 1;
+        e.memo_hits += 1;
+    }
+
+    /// Total correlation-key memo hits recorded across all boxes.
+    pub fn total_memo_hits(&self) -> u64 {
+        self.per_box.values().map(|t| t.memo_hits).sum()
     }
 
     /// Total shared-subplan cache hits recorded across all boxes.
@@ -287,6 +306,9 @@ impl ExecTrace {
                 if t.shared_hits > 0 {
                     writeln!(out, "{pad}  shared subplan hit x{}", t.shared_hits).unwrap();
                 }
+                if t.memo_hits > 0 {
+                    writeln!(out, "{pad}  correlation memo hit x{}", t.memo_hits).unwrap();
+                }
             }
         }
         for &q in &bx.quants {
@@ -354,6 +376,7 @@ impl ExecTrace {
                 }
                 w.end_array();
                 w.field_uint("shared_subplan_hits", t.shared_hits);
+                w.field_uint("memo_hits", t.memo_hits);
             }
         }
         w.key("children").begin_array();

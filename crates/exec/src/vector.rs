@@ -28,7 +28,7 @@
 use std::cmp::Ordering;
 
 use decorr_common::columnar::{self, ColPredicate, Column, ColumnarBatch, SelVec, ValRef};
-use decorr_common::{CmpOp, Result, Row, Value, WorkerPool};
+use decorr_common::{CmpOp, FxHashMap, Result, Row, Value, WorkerPool};
 use decorr_qgm::{BinOp, Expr};
 
 use crate::env::{Env, Layout};
@@ -276,4 +276,20 @@ impl JoinSide {
             }
         })
     }
+}
+
+/// Hash-partition a table's rows by one column for set-oriented nested
+/// iteration: `eq_key`-normalized value → ascending row positions. Rows
+/// whose value no SQL equality can select (NULL, NaN) are excluded, the
+/// same discipline as hash-join build sides; probing with a binding's
+/// `eq_key` therefore returns exactly the rows a per-binding scan with the
+/// `col = binding` predicate would keep, in scan order.
+pub fn build_corr_index(rows: &[Row], col: usize) -> FxHashMap<Value, Vec<u32>> {
+    let mut idx: FxHashMap<Value, Vec<u32>> = FxHashMap::default();
+    for (i, r) in rows.iter().enumerate() {
+        if let Some(k) = r[col].eq_key() {
+            idx.entry(k).or_default().push(i as u32);
+        }
+    }
+    idx
 }

@@ -291,10 +291,24 @@ fn index_used_inside_correlated_subquery() {
     let sql = "Select D.name From Dept D Where D.num_emps > \
         (Select Count(*) From Emp E Where E.building = D.building)";
     let qgm = parse_and_bind(sql, &db).unwrap();
-    let (_, stats) = execute(&db, &qgm).unwrap();
-    // Each of the 5 invocations probes the index instead of scanning emp.
+    // Naive nested iteration: each of the 5 invocations probes the index
+    // instead of scanning emp.
+    let (rows, stats) = execute_with(&db, &qgm, ExecOptions::default().naive_ni()).unwrap();
     assert_eq!(stats.subquery_invocations, 5);
     assert_eq!(stats.index_lookups, 5);
+    // The correlation-key memo keeps the logical count but only probes
+    // once per distinct building.
+    let (memo_rows, memo_stats) = execute(&db, &qgm).unwrap();
+    assert_eq!(memo_rows, rows);
+    assert_eq!(memo_stats.subquery_invocations, 5);
+    assert_eq!(
+        memo_stats.index_lookups,
+        memo_stats.subquery_distinct_invocations
+    );
+    assert_eq!(
+        memo_stats.subquery_invocations,
+        memo_stats.subquery_distinct_invocations + memo_stats.subquery_memo_hits
+    );
 }
 
 #[test]

@@ -75,7 +75,10 @@ fn mid_query_cancel_from_another_thread() {
     let qgm = parse_and_bind(CORRELATED, &db).unwrap();
     for threads in [1, 4] {
         let tok = CancelToken::new();
-        let opts = opts_with(threads, |o| o.cancel = Some(tok.clone()));
+        // Naive nested iteration keeps the run long enough for the killer
+        // thread to land mid-query (the memoized executor finishes this
+        // query in microseconds).
+        let opts = opts_with(threads, |o| o.cancel = Some(tok.clone())).naive_ni();
         let mut ex = Executor::new(&db, opts);
         let result = std::thread::scope(|scope| {
             let killer = tok.clone();

@@ -69,6 +69,14 @@ pub struct SessionSettings {
     /// Share materialized magic/SUPP subtrees with concurrent queries
     /// through the process-wide subplan cache.
     pub shared_subplans: bool,
+    /// Memoize correlated subqueries by correlation key
+    /// (`ExecOptions::ni_memo`). `\set ni_memo off` restores the naive
+    /// once-per-outer-row executor, for A/B timing.
+    pub ni_memo: bool,
+    /// Batch outer bindings and probe subquery correlation columns
+    /// set-orientedly (`ExecOptions::ni_batch`; only effective with
+    /// `ni_memo` on).
+    pub ni_batch: bool,
 }
 
 impl Default for SessionSettings {
@@ -81,6 +89,8 @@ impl Default for SessionSettings {
             max_display_rows: None,
             plan_cache: true,
             shared_subplans: true,
+            ni_memo: true,
+            ni_batch: true,
         }
     }
 }
@@ -508,7 +518,7 @@ impl Session {
 
     fn handle_set(&mut self, knob: Option<&str>, value: Option<&str>) -> Result<Response> {
         let usage = "usage: \\set <threads|columnar|timeout_ticks|wall_ms|max_rows\
-                     |plan_cache|shared_subplans> <value>";
+                     |plan_cache|shared_subplans|ni_memo|ni_batch> <value>";
         let Some(knob) = knob else {
             let s = &self.settings;
             return Ok(Response::lines(vec![
@@ -519,6 +529,8 @@ impl Session {
                 format!("max_rows        {}", opt(s.max_display_rows)),
                 format!("plan_cache      {}", onoff(s.plan_cache)),
                 format!("shared_subplans {}", onoff(s.shared_subplans)),
+                format!("ni_memo         {}", onoff(s.ni_memo)),
+                format!("ni_batch        {}", onoff(s.ni_batch)),
             ]));
         };
         let Some(value) = value else {
@@ -532,6 +544,20 @@ impl Session {
             }
             "columnar" => {
                 self.settings.columnar = match value {
+                    "on" | "true" | "1" => true,
+                    "off" | "false" | "0" => false,
+                    _ => return Err(bad(knob, value)),
+                };
+            }
+            "ni_memo" => {
+                self.settings.ni_memo = match value {
+                    "on" | "true" | "1" => true,
+                    "off" | "false" | "0" => false,
+                    _ => return Err(bad(knob, value)),
+                };
+            }
+            "ni_batch" => {
+                self.settings.ni_batch = match value {
                     "on" | "true" | "1" => true,
                     "off" | "false" | "0" => false,
                     _ => return Err(bad(knob, value)),
@@ -859,12 +885,14 @@ impl Session {
             lines.push(format!("... ({} rows total)", rows.len()));
         }
         lines.push(format!(
-            "-- {} rows via {} in {:.3} ms (epoch {}, {} subquery invocations, {} work units, plan cache {})",
+            "-- {} rows via {} in {:.3} ms (epoch {}, {} subquery invocations ({} distinct, {} memo hits), {} work units, plan cache {})",
             rows.len(),
             planned.label,
             elapsed.as_secs_f64() * 1e3,
             snap.epoch(),
             stats.subquery_invocations,
+            stats.subquery_distinct_invocations,
+            stats.subquery_memo_hits,
             stats.total_work(),
             planned.status.name()
         ));
@@ -891,6 +919,8 @@ impl Session {
         ExecOptions {
             threads: self.settings.threads,
             columnar: self.settings.columnar,
+            ni_memo: self.settings.ni_memo,
+            ni_batch: self.settings.ni_batch,
             timeout,
             cancel: Some(cancel),
             mem_budget: mem_rows,
